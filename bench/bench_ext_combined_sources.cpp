@@ -1,0 +1,75 @@
+// Extension experiment (paper §III-F: "applications will benefit from
+// combining it with other sources of information (such as small
+// darknets)"): augment the 22 backscatter features with a darknet-hit
+// feature and measure the classification gain at an attenuated root view.
+#include "common.hpp"
+
+#include <cmath>
+#include <iostream>
+
+namespace dnsbs::bench {
+namespace {
+
+ml::MetricSummary cv(const ml::Dataset& data, std::uint64_t seed) {
+  ml::CrossValConfig cfg;
+  cfg.repetitions = 20;
+  cfg.seed = seed;
+  return ml::cross_validate(
+      data,
+      [](std::uint64_t s) {
+        ml::ForestConfig fc;
+        fc.n_trees = 100;
+        fc.seed = s;
+        return std::unique_ptr<ml::Classifier>(std::make_unique<ml::RandomForest>(fc));
+      },
+      cfg);
+}
+
+int run(int argc, char** argv) {
+  print_header("Extension: combining backscatter with darknet evidence",
+               "paper §III-F (combining data sources)",
+               "RF cross-validation with and without a log-scaled "
+               "darknet-hit feature, at the M-Root view where backscatter "
+               "alone is weakest.");
+  const double scale = arg_scale(argc, argv, 0.25);
+  const std::uint64_t seed = arg_seed(argc, argv, 83);
+
+  WorldRun world = run_world(sim::m_ditl_config(seed, scale));
+  const auto labels = curate(world, 0, seed ^ 0x5);
+  auto [base, used] = labels.join(world.features[0]);
+  std::printf("labeled examples at M-Root: %zu\n\n", base.size());
+
+  // Augmented dataset: same rows plus log1p(darknet addresses hit).
+  std::vector<std::string> names = base.feature_names();
+  names.push_back("darknet_hits_log");
+  ml::Dataset augmented(names, base.class_names());
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    const auto row = base.row(i);
+    std::vector<double> extended(row.begin(), row.end());
+    extended.push_back(std::log1p(
+        static_cast<double>(world.darknet->addresses_hit_by(used[i]))));
+    augmented.add(std::move(extended), base.label(i));
+  }
+
+  const auto without = cv(base, seed);
+  const auto with = cv(augmented, seed);
+
+  util::TableWriter table("backscatter-only vs combined features (RF)");
+  table.columns({"features", "accuracy", "precision", "recall", "F1"});
+  table.row({"backscatter (22)", util::fixed(without.mean.accuracy, 3),
+             util::fixed(without.mean.precision, 3), util::fixed(without.mean.recall, 3),
+             util::fixed(without.mean.f1, 3)});
+  table.row({"+ darknet (23)", util::fixed(with.mean.accuracy, 3),
+             util::fixed(with.mean.precision, 3), util::fixed(with.mean.recall, 3),
+             util::fixed(with.mean.f1, 3)});
+  table.print(std::cout);
+  std::printf("Expected shape: the darknet feature sharpens the scan class "
+              "(its strongest\ncorroboration) and lifts overall F1 — the "
+              "multi-source direction §III-F argues for.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace dnsbs::bench
+
+int main(int argc, char** argv) { return dnsbs::bench::run(argc, argv); }

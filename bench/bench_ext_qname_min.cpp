@@ -1,0 +1,54 @@
+// Extension experiment (paper §VII, DNS privacy): QNAME minimization
+// (RFC 7816) constrains backscatter "to only the local authority".  We
+// sweep the fraction of minimizing resolvers and measure what the root
+// and national vantage points lose.
+#include "common.hpp"
+
+#include <iostream>
+
+namespace dnsbs::bench {
+namespace {
+
+struct Sweep {
+  double fraction;
+  std::size_t national_detected;
+  std::size_t root_detected;
+  std::size_t national_records;
+  std::size_t root_records;
+};
+
+int run(int argc, char** argv) {
+  print_header("Extension: impact of QNAME minimization on the sensor",
+               "paper §VII (privacy outlook); RFC 7816",
+               "Originators detectable at each vantage as minimizing "
+               "resolvers spread; the final authority keeps the full "
+               "signal by design.");
+  const double scale = arg_scale(argc, argv, 0.2);
+  const std::uint64_t seed = arg_seed(argc, argv, 73);
+
+  util::TableWriter table("vantage visibility vs minimization deployment");
+  table.columns({"qmin fraction", "national records", "national originators",
+                 "M-Root records", "M-Root originators"});
+  for (const double fraction : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    sim::ScenarioConfig config = sim::jp_ditl_config(seed, scale);
+    config.resolver.qname_min_fraction = fraction;
+    WorldRun world = run_world(std::move(config));
+    // authorities: 0 = national, 1 = B-Root, 2 = M-Root.
+    table.row({util::fixed(fraction, 2),
+               util::with_commas(world.scenario->authority(0).records().size()),
+               std::to_string(world.features[0].size()),
+               util::with_commas(world.scenario->authority(2).records().size()),
+               std::to_string(world.features[2].size())});
+  }
+  table.print(std::cout);
+  std::printf("Expected shape: attributable records and detectable "
+              "originators above the final\nauthority fall roughly linearly "
+              "with deployment, vanishing at 100%% — the paper's\nanticipated "
+              "loss of this data source to query minimization.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace dnsbs::bench
+
+int main(int argc, char** argv) { return dnsbs::bench::run(argc, argv); }

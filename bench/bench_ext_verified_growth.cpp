@@ -1,0 +1,74 @@
+// Extension experiment (paper §V-D future work): automatic label growing
+// with external verification — newly-identified spammers must appear in a
+// blacklist, new scanners in the darknet — compared against plain
+// auto-grow and the curated-labels baseline.
+#include "common.hpp"
+
+#include <iostream>
+
+namespace dnsbs::bench {
+namespace {
+
+int run(int argc, char** argv) {
+  print_header("Extension: externally-verified automatic label growing",
+               "paper §V-D ('verify candidate additions ... against external "
+               "sources')",
+               "Auto-grow vs verified auto-grow vs weekly retraining on "
+               "curated labels.");
+  const double scale = arg_scale(argc, argv, 0.08);
+  const std::uint64_t seed = arg_seed(argc, argv, 79);
+  constexpr std::size_t kWeeks = 16;
+  constexpr std::size_t kCurationWeek = 2;
+
+  core::SensorConfig sensor;
+  sensor.min_queriers = 10;
+  LongRun run =
+      run_weekly_windows(sim::b_multi_year_config(seed, kWeeks, scale), kWeeks, sensor);
+  labeling::CuratorConfig cc;
+  cc.max_per_class = 50;
+  const auto labels = curate_window(run, kCurationWeek, seed ^ 0x9, cc);
+  std::printf("curated %zu labeled examples at week %zu\n\n", labels.size(),
+              kCurationWeek);
+
+  labeling::StrategyConfig sc;
+  sc.seed = seed;
+  const auto& truth = run.scenario->truth();
+  const auto daily = labeling::evaluate_train_daily(run.windows, labels, sc);
+  const auto grown =
+      labeling::evaluate_auto_grow(run.windows, kCurationWeek, labels, sc, &truth);
+  const auto verified = labeling::evaluate_auto_grow_verified(
+      run.windows, kCurationWeek, labels, run.blacklist, *run.darknet, sc, &truth);
+
+  util::TableWriter table("per-week f-score and grown-label error");
+  table.columns({"week", "retrain-weekly", "auto-grow", "err", "verified-grow",
+                 "err(verified)"});
+  double grown_late = 0, verified_late = 0;
+  std::size_t late = 0;
+  for (std::size_t w = 0; w < run.windows.size(); ++w) {
+    table.row({std::to_string(w), util::fixed(daily[w].f1, 3),
+               util::fixed(grown[w].f1, 3),
+               w >= kCurationWeek ? util::fixed(grown[w].label_error, 3) : "-",
+               util::fixed(verified[w].f1, 3),
+               w >= kCurationWeek ? util::fixed(verified[w].label_error, 3) : "-"});
+    if (w >= kCurationWeek + 5) {
+      grown_late += grown[w].f1;
+      verified_late += verified[w].f1;
+      ++late;
+    }
+  }
+  table.print(std::cout);
+  if (late > 0) {
+    std::printf("mean late f-score: auto-grow %.3f vs verified %.3f\n",
+                grown_late / late, verified_late / late);
+  }
+  std::printf("Expected shape: verification prunes the mislabeled malicious "
+              "examples, keeping the\ngrown-label error lower and the "
+              "f-score above plain auto-grow — the fix the paper\nproposes "
+              "as future work.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace dnsbs::bench
+
+int main(int argc, char** argv) { return dnsbs::bench::run(argc, argv); }

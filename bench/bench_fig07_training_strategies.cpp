@@ -1,0 +1,74 @@
+// Figure 7: classifier f-score over time under three training strategies:
+// train-once, retrain-daily (fresh features, fixed labels), and automatic
+// label-set growing.
+#include "common.hpp"
+
+#include <iostream>
+
+#include "labeling/strategies.hpp"
+
+namespace dnsbs::bench {
+namespace {
+
+int run(int argc, char** argv) {
+  print_header("Figure 7: training strategies over time",
+               "Fukuda & Heidemann, IMC'15 / TON'17, Fig. 7 (B-multi-year)",
+               "Per-window f-score for train-once / retrain-weekly / "
+               "auto-grown labels; curation at week 2.");
+  const double scale = arg_scale(argc, argv, 0.08);
+  const std::uint64_t seed = arg_seed(argc, argv, 29);
+  constexpr std::size_t kWeeks = 16;
+  constexpr std::size_t kCurationWeek = 2;
+
+  core::SensorConfig sensor;
+  sensor.min_queriers = 10;
+  LongRun run =
+      run_weekly_windows(sim::b_multi_year_config(seed, kWeeks, scale), kWeeks, sensor);
+  labeling::CuratorConfig cc;
+  cc.max_per_class = 50;
+  const auto labels = curate_window(run, kCurationWeek, seed ^ 0x777, cc);
+  std::printf("curated %zu labeled examples at week %zu\n\n", labels.size(),
+              kCurationWeek);
+
+  labeling::StrategyConfig sc;
+  sc.seed = seed;
+  const auto once = labeling::evaluate_train_once(run.windows, kCurationWeek, labels, sc);
+  const auto daily = labeling::evaluate_train_daily(run.windows, labels, sc);
+  const auto grown = labeling::evaluate_auto_grow(run.windows, kCurationWeek, labels, sc,
+                                                  &run.scenario->truth());
+
+  util::TableWriter table("f-score per weekly window");
+  table.columns({"week", "train-once", "retrain-weekly", "auto-grow",
+                 "grown-label error", "examples"});
+  const auto cell = [](const labeling::StrategyPoint& p) {
+    return p.trained ? util::fixed(p.f1, 3) : std::string("(no model)");
+  };
+  double once_late = 0, daily_late = 0, grown_late = 0;
+  std::size_t late = 0;
+  for (std::size_t w = 0; w < run.windows.size(); ++w) {
+    table.row({std::to_string(w), cell(once[w]), cell(daily[w]), cell(grown[w]),
+               w >= kCurationWeek ? util::fixed(grown[w].label_error, 3) : "-",
+               std::to_string(daily[w].examples)});
+    if (w >= kCurationWeek + 5) {
+      once_late += once[w].f1;
+      daily_late += daily[w].f1;
+      grown_late += grown[w].f1;
+      ++late;
+    }
+  }
+  table.print(std::cout);
+  if (late > 0) {
+    std::printf("mean f-score 5+ weeks after curation: train-once %.3f, "
+                "retrain-weekly %.3f, auto-grow %.3f\n",
+                once_late / late, daily_late / late, grown_late / late);
+  }
+  std::printf("Expected shape (paper Fig. 7): retrain-daily sustains the "
+              "highest f-score; train-once\ndecays after curation; auto-grow "
+              "degrades as classification error compounds.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace dnsbs::bench
+
+int main(int argc, char** argv) { return dnsbs::bench::run(argc, argv); }

@@ -1,0 +1,63 @@
+// Figure 11: number of originators over time per class, with a
+// Heartbleed-like vulnerability disclosure driving a scanning burst.
+#include "common.hpp"
+
+#include <iostream>
+
+#include "analysis/timeseries.hpp"
+
+namespace dnsbs::bench {
+namespace {
+
+int run(int argc, char** argv) {
+  print_header("Figure 11: number of originators over time",
+               "Fukuda & Heidemann, IMC'15 / TON'17, Fig. 11 (M-sampled)",
+               "Weekly originator counts per class; a Heartbleed-like "
+               "disclosure fires at week 7.");
+  const double scale = arg_scale(argc, argv, 0.06);
+  const std::uint64_t seed = arg_seed(argc, argv, 47);
+  constexpr std::size_t kWeeks = 14;
+
+  core::SensorConfig sensor;
+  sensor.min_queriers = 10;
+  LongRun run =
+      run_weekly_windows(sim::m_sampled_config(seed, kWeeks, scale), kWeeks, sensor);
+  labeling::CuratorConfig cc;
+  cc.max_per_class = 50;
+  const auto labels = curate_window(run, 1, seed ^ 0x11, cc);
+  const auto windows = classify_windows(run, labels, seed);
+
+  util::TableWriter table("weekly originator counts (RF classification)");
+  table.columns({"week", "total", "scan", "spam", "mail", "cdn", "other"});
+  std::size_t pre_scan = 0, burst_scan = 0;
+  for (const auto& w : windows) {
+    const auto counts = analysis::window_class_counts(w);
+    std::size_t total = 0;
+    for (const std::size_t c : counts) total += c;
+    const std::size_t scan = counts[static_cast<std::size_t>(core::AppClass::kScan)];
+    const std::size_t spam = counts[static_cast<std::size_t>(core::AppClass::kSpam)];
+    const std::size_t mail = counts[static_cast<std::size_t>(core::AppClass::kMail)];
+    const std::size_t cdn = counts[static_cast<std::size_t>(core::AppClass::kCdn)];
+    table.row({std::to_string(w.index), std::to_string(total), std::to_string(scan),
+               std::to_string(spam), std::to_string(mail), std::to_string(cdn),
+               std::to_string(total - scan - spam - mail - cdn)});
+    if (w.index >= 3 && w.index <= 6) pre_scan += scan;
+    if (w.index >= 8 && w.index <= 10) burst_scan += scan;
+  }
+  table.print(std::cout);
+
+  const double pre = static_cast<double>(pre_scan) / 4.0;
+  const double burst = static_cast<double>(burst_scan) / 3.0;
+  std::printf("mean scanners/week before disclosure (w3-6): %.1f; during "
+              "burst (w8-10): %.1f (%+.0f%%)\n",
+              pre, burst, pre > 0 ? 100.0 * (burst - pre) / pre : 0.0);
+  std::printf("Expected shape (paper Fig. 11): a steady scanning background "
+              "with a noticeable (>25%%)\nrise after the disclosure, on top "
+              "of week-by-week churn.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace dnsbs::bench
+
+int main(int argc, char** argv) { return dnsbs::bench::run(argc, argv); }

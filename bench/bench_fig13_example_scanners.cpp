@@ -1,0 +1,92 @@
+// Figure 13: footprint trajectories of five example scanners that also
+// appear in the darknet — long-lived ssh scanners, a seasonal tcp80
+// scanner, and short Heartbleed-era tcp443 bursts.
+#include "common.hpp"
+
+#include <iostream>
+
+#include "analysis/timeseries.hpp"
+
+namespace dnsbs::bench {
+namespace {
+
+int run(int argc, char** argv) {
+  print_header("Figure 13: five example scan-class originators",
+               "Fukuda & Heidemann, IMC'15 / TON'17, Fig. 13 (M-sampled + darknet)",
+               "Weekly querier footprints of individual darknet-confirmed "
+               "scanners, annotated with their scanned port.");
+  const double scale = arg_scale(argc, argv, 0.06);
+  const std::uint64_t seed = arg_seed(argc, argv, 47);
+  constexpr std::size_t kWeeks = 14;
+
+  core::SensorConfig sensor;
+  sensor.min_queriers = 10;
+  LongRun run =
+      run_weekly_windows(sim::m_sampled_config(seed, kWeeks, scale), kWeeks, sensor);
+  labeling::CuratorConfig cc;
+  cc.max_per_class = 50;
+  const auto labels = curate_window(run, 1, seed ^ 0x11, cc);
+  const auto windows = classify_windows(run, labels, seed);
+
+  // Candidates: persistent scan-class originators confirmed by darknet.
+  const auto ranked =
+      analysis::persistent_originators(windows, core::AppClass::kScan, 1);
+  struct Example {
+    net::IPv4Addr addr;
+    std::uint16_t port;
+    std::vector<std::size_t> series;
+  };
+  std::vector<Example> examples;
+  for (const auto& addr : ranked) {
+    if (!run.darknet->confirms_scanner(addr, 4)) continue;
+    std::uint16_t port = 0;
+    bool found = false;
+    for (const auto& spec : run.scenario->population()) {
+      if (spec.address == addr && spec.cls == core::AppClass::kScan) {
+        port = spec.port;
+        found = true;
+        break;
+      }
+    }
+    if (!found) continue;
+    // Prefer variety of ports across the five lines.
+    bool dup = false;
+    std::size_t same_port = 0;
+    for (const auto& e : examples) same_port += e.port == port;
+    dup = same_port >= 2;
+    if (dup) continue;
+    examples.push_back(
+        Example{addr, port, analysis::footprint_trajectory(windows, addr)});
+    if (examples.size() == 5) break;
+  }
+
+  util::TableWriter table("weekly footprint per example scanner (0 = absent)");
+  std::vector<std::string> header = {"week"};
+  for (const auto& e : examples) {
+    const std::string label = e.port == 1    ? "icmp"
+                              : e.port == 0  ? "multi"
+                                             : "tcp" + std::to_string(e.port);
+    header.push_back(label + " " + e.addr.to_string());
+  }
+  table.columns(header);
+  for (std::size_t w = 0; w < windows.size(); ++w) {
+    std::vector<std::string> row = {std::to_string(w)};
+    for (const auto& e : examples) row.push_back(std::to_string(e.series[w]));
+    table.row(std::move(row));
+  }
+  table.print(std::cout);
+
+  for (const auto& e : examples) {
+    std::printf("scanner %s: darknet addresses hit = %zu\n", e.addr.to_string().c_str(),
+                run.darknet->addresses_hit_by(e.addr));
+  }
+  std::printf("\nExpected shape (paper Fig. 13): some scanners persist across "
+              "all weeks (ssh-style),\nothers appear for a few weeks "
+              "(tcp443/Heartbleed bursts); darknet evidence corroborates.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace dnsbs::bench
+
+int main(int argc, char** argv) { return dnsbs::bench::run(argc, argv); }

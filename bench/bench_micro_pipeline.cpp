@@ -1,0 +1,161 @@
+// Microbenchmarks (google-benchmark) of the performance-critical pieces:
+// record parsing, dedup, aggregation, feature extraction, trie lookups,
+// cache operations, and classifier prediction.
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "core/sensor.hpp"
+#include "ml/forest.hpp"
+#include "net/prefix_trie.hpp"
+#include "sim/scenario.hpp"
+
+namespace dnsbs {
+namespace {
+
+// A small shared world so benchmarks measure the pipeline, not setup.
+struct MicroWorld {
+  MicroWorld() : scenario(sim::jp_ditl_config(5, 0.05)) {
+    scenario.run();
+    records = scenario.authority(0).records();
+  }
+  sim::Scenario scenario;
+  std::vector<dns::QueryRecord> records;
+};
+
+MicroWorld& world() {
+  static MicroWorld w;
+  return w;
+}
+
+void BM_ParseRecord(benchmark::State& state) {
+  const std::string line = dns::serialize(world().records.front());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dns::parse_record(line));
+  }
+}
+BENCHMARK(BM_ParseRecord);
+
+void BM_SerializeRecord(benchmark::State& state) {
+  const auto& record = world().records.front();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dns::serialize(record));
+  }
+}
+BENCHMARK(BM_SerializeRecord);
+
+void BM_ReverseNameCodec(benchmark::State& state) {
+  const net::IPv4Addr addr(0x01020304);
+  for (auto _ : state) {
+    const auto name = dns::reverse_name(addr);
+    benchmark::DoNotOptimize(dns::address_from_reverse(name));
+  }
+}
+BENCHMARK(BM_ReverseNameCodec);
+
+void BM_WireEncodeDecode(benchmark::State& state) {
+  const auto msg = dns::Message::ptr_query(99, net::IPv4Addr(0x01020304));
+  for (auto _ : state) {
+    const auto wire = dns::encode(msg);
+    benchmark::DoNotOptimize(dns::decode(wire));
+  }
+}
+BENCHMARK(BM_WireEncodeDecode);
+
+void BM_DedupIngest(benchmark::State& state) {
+  const auto& records = world().records;
+  for (auto _ : state) {
+    core::Deduplicator dedup;
+    for (const auto& r : records) benchmark::DoNotOptimize(dedup.admit(r));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(records.size()));
+}
+BENCHMARK(BM_DedupIngest);
+
+void BM_SensorIngestAndExtract(benchmark::State& state) {
+  auto& w = world();
+  for (auto _ : state) {
+    core::Sensor sensor({}, w.scenario.plan().as_db(), w.scenario.plan().geo_db(),
+                        w.scenario.naming());
+    sensor.ingest_all(w.records);
+    benchmark::DoNotOptimize(sensor.extract_features());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(w.records.size()));
+}
+BENCHMARK(BM_SensorIngestAndExtract);
+
+void BM_TrieLookup(benchmark::State& state) {
+  const auto& as_db = world().scenario.plan().as_db();
+  util::Rng rng(1);
+  std::vector<net::IPv4Addr> probes;
+  for (int i = 0; i < 1024; ++i) {
+    probes.push_back(world().scenario.plan().random_host(rng));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(as_db.lookup(probes[i++ & 1023]));
+  }
+}
+BENCHMARK(BM_TrieLookup);
+
+void BM_CacheLookupInsert(benchmark::State& state) {
+  dns::CacheSim cache;
+  const auto name = dns::reverse_name(net::IPv4Addr(0x01020304));
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    const auto now = util::SimTime::seconds(t++);
+    if (cache.lookup(name, dns::QType::kPTR, now) == dns::CacheResult::kMiss) {
+      cache.insert_positive(name, dns::QType::kPTR, 30, now);
+    }
+  }
+}
+BENCHMARK(BM_CacheLookupInsert);
+
+void BM_QuerierNameClassification(benchmark::State& state) {
+  const auto name = *dns::DnsName::parse("home1-2-3-4.isp1234.jp");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::classify_querier_name(name));
+  }
+}
+BENCHMARK(BM_QuerierNameClassification);
+
+void BM_RandomForestPredict(benchmark::State& state) {
+  // Train once on a small synthetic set; measure prediction latency.
+  ml::Dataset data = core::make_dataset();
+  util::Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    std::vector<double> row(core::kFeatureCount);
+    for (auto& v : row) v = rng.uniform();
+    data.add(std::move(row), rng.below(core::kAppClassCount));
+  }
+  ml::ForestConfig cfg;
+  cfg.n_trees = 100;
+  ml::RandomForest rf(cfg);
+  rf.fit(data);
+  const auto probe = data.row(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rf.predict(probe));
+  }
+}
+BENCHMARK(BM_RandomForestPredict);
+
+void BM_QueryLogRoundTrip(benchmark::State& state) {
+  const auto& records = world().records;
+  const std::size_t n = std::min<std::size_t>(records.size(), 10000);
+  for (auto _ : state) {
+    std::stringstream buffer;
+    dns::QueryLogWriter writer(buffer);
+    for (std::size_t i = 0; i < n; ++i) writer.write(records[i]);
+    benchmark::DoNotOptimize(dns::read_all(buffer).size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_QueryLogRoundTrip);
+
+}  // namespace
+}  // namespace dnsbs
+
+BENCHMARK_MAIN();

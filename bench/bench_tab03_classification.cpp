@@ -1,0 +1,119 @@
+// Table III: classification accuracy/precision/recall/F1 for CART, RF,
+// and kernel SVM across the four dataset analogues, using the paper's
+// repeated 60/40 cross-validation protocol.
+#include "common.hpp"
+
+#include <iostream>
+
+#include "ml/cart.hpp"
+#include "ml/svm.hpp"
+
+namespace dnsbs::bench {
+namespace {
+
+struct DatasetRun {
+  std::string name;
+  ml::Dataset data;
+};
+
+void evaluate(util::TableWriter& table, const DatasetRun& run, std::size_t reps) {
+  struct Algo {
+    const char* name;
+    ml::ModelFactory factory;
+  };
+  // The paper runs each randomized algorithm 10 times and majority-votes
+  // (§III-D); CART is deterministic and runs once.
+  const Algo algos[] = {
+      {"CART",
+       [](std::uint64_t seed) {
+         ml::CartConfig cfg;
+         cfg.seed = seed;
+         return std::unique_ptr<ml::Classifier>(std::make_unique<ml::CartTree>(cfg));
+       }},
+      {"RF",
+       [](std::uint64_t seed) {
+         return std::unique_ptr<ml::Classifier>(std::make_unique<ml::VotingClassifier>(
+             [](std::uint64_t s) {
+               ml::ForestConfig cfg;
+               cfg.n_trees = 100;
+               cfg.seed = s;
+               return std::unique_ptr<ml::Classifier>(
+                   std::make_unique<ml::RandomForest>(cfg));
+             },
+             10, seed));
+       }},
+      {"SVM",
+       [](std::uint64_t seed) {
+         return std::unique_ptr<ml::Classifier>(std::make_unique<ml::VotingClassifier>(
+             [](std::uint64_t s) {
+               ml::SvmConfig cfg;
+               cfg.seed = s;
+               return std::unique_ptr<ml::Classifier>(
+                   std::make_unique<ml::KernelSvm>(cfg));
+             },
+             10, seed));
+       }},
+  };
+  for (const Algo& algo : algos) {
+    ml::CrossValConfig cv;
+    cv.repetitions = reps;
+    cv.train_fraction = 0.6;
+    cv.seed = 20140415;
+    const ml::MetricSummary s = ml::cross_validate(run.data, algo.factory, cv);
+    const auto cell = [](double mean, double sd) {
+      return util::fixed(mean, 2) + " (" + util::fixed(sd, 2) + ")";
+    };
+    table.row({run.name, algo.name, cell(s.mean.accuracy, s.stddev.accuracy),
+               cell(s.mean.precision, s.stddev.precision),
+               cell(s.mean.recall, s.stddev.recall), cell(s.mean.f1, s.stddev.f1),
+               std::to_string(run.data.size())});
+  }
+}
+
+DatasetRun build(const char* name, sim::ScenarioConfig config, std::size_t authority,
+                 core::SensorConfig sensor_config = {}) {
+  const std::uint64_t seed = config.seed;
+  WorldRun world = run_world(std::move(config), sensor_config);
+  const auto labels = curate(world, authority, seed ^ 0xc0de);
+  auto [data, used] = labels.join(world.features[authority]);
+  std::printf("%-10s labeled examples: %zu (of %zu detected)\n", name, data.size(),
+              world.features[authority].size());
+  return DatasetRun{name, std::move(data)};
+}
+
+int run(int argc, char** argv) {
+  print_header("Table III: validating classification against labeled ground truth",
+               "Fukuda & Heidemann, IMC'15 / TON'17, Table III",
+               "mean (stddev) over repeated random 60%/40% splits; RF should "
+               "lead, JP (unsampled, low in hierarchy) should score best.");
+  const double scale = arg_scale(argc, argv, 0.25);
+  const std::uint64_t seed = arg_seed(argc, argv, 7);
+  const std::size_t reps = 20;
+
+  std::vector<DatasetRun> runs;
+  runs.push_back(build("JP-ditl", sim::jp_ditl_config(seed, scale), 0));
+  runs.push_back(build("B-post-ditl", sim::b_post_ditl_config(seed + 1, scale), 0));
+  runs.push_back(build("M-ditl", sim::m_ditl_config(seed + 2, scale), 0));
+  {
+    core::SensorConfig sensor;
+    sensor.min_queriers = 10;  // compressed sampling floor, see DESIGN.md
+    runs.push_back(build("M-sampled", sim::m_sampled_config(seed + 3, 3, scale * 0.5),
+                         0, sensor));
+  }
+
+  util::TableWriter table("classification metrics (mean over splits, stddev)");
+  table.columns({"dataset", "algorithm", "accuracy", "precision", "recall", "F1",
+                 "examples"});
+  for (const auto& run : runs) evaluate(table, run, reps);
+  table.print(std::cout);
+
+  std::printf("Expected shape (paper Tab. III): RF > SVM > CART on every "
+              "dataset; accuracies ~0.5-0.8,\nroot views slightly worse than "
+              "the national view.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace dnsbs::bench
+
+int main(int argc, char** argv) { return dnsbs::bench::run(argc, argv); }

@@ -1,0 +1,153 @@
+#include "common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace dnsbs::bench {
+
+namespace {
+const char* find_arg(int argc, char** argv, const char* name) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  }
+  return nullptr;
+}
+}  // namespace
+
+double arg_scale(int argc, char** argv, double fallback) {
+  const char* v = find_arg(argc, argv, "--scale");
+  return v ? std::atof(v) : fallback;
+}
+
+std::uint64_t arg_seed(int argc, char** argv, std::uint64_t fallback) {
+  const char* v = find_arg(argc, argv, "--seed");
+  return v ? std::strtoull(v, nullptr, 10) : fallback;
+}
+
+WorldRun run_world(sim::ScenarioConfig config, core::SensorConfig sensor_config) {
+  WorldRun world;
+  const std::uint64_t seed = config.seed;
+  world.scenario = std::make_unique<sim::Scenario>(std::move(config));
+  world.darknet =
+      std::make_unique<labeling::Darknet>(labeling::default_darknet_prefixes());
+  world.scenario->engine().set_traffic_observer(world.darknet.get());
+  world.scenario->run();
+
+  util::Rng rng = util::Rng::stream(seed, 0xb1ac);
+  world.blacklist =
+      labeling::BlacklistSet::build(world.scenario->population(), {}, rng);
+
+  for (auto& authority : world.scenario->authorities()) {
+    core::Sensor sensor(sensor_config, world.scenario->plan().as_db(),
+                        world.scenario->plan().geo_db(), world.scenario->naming());
+    sensor.ingest_all(authority.records());
+    world.features.push_back(sensor.extract_features());
+  }
+  return world;
+}
+
+labeling::GroundTruth curate(const WorldRun& world, std::size_t authority_index,
+                             std::uint64_t seed, labeling::CuratorConfig config) {
+  labeling::Curator curator(*world.scenario, world.blacklist, *world.darknet, config,
+                            seed);
+  return curator.curate(world.features[authority_index]);
+}
+
+std::unique_ptr<ml::Classifier> make_rf(std::uint64_t seed, std::size_t trees) {
+  ml::ForestConfig cfg;
+  cfg.n_trees = trees;
+  cfg.seed = seed;
+  return std::make_unique<ml::RandomForest>(cfg);
+}
+
+std::vector<core::ClassifiedOriginator> classify_authority(
+    const WorldRun& world, std::size_t authority_index,
+    const labeling::GroundTruth& labels, std::uint64_t seed) {
+  const auto [data, used] = labels.join(world.features[authority_index]);
+  auto model = make_rf(seed);
+  model->fit(data);
+  return core::classify_all(world.features[authority_index], *model);
+}
+
+LongRun run_weekly_windows(sim::ScenarioConfig config, std::size_t weeks,
+                           core::SensorConfig sensor_config) {
+  LongRun run;
+  const std::uint64_t seed = config.seed;
+  run.scenario = std::make_unique<sim::Scenario>(std::move(config));
+  run.darknet =
+      std::make_unique<labeling::Darknet>(labeling::default_darknet_prefixes());
+  run.scenario->engine().set_traffic_observer(run.darknet.get());
+
+  util::Rng rng = util::Rng::stream(seed, 0xb1ac);
+  run.blacklist =
+      labeling::BlacklistSet::build(run.scenario->population(), {}, rng);
+
+  for (std::size_t w = 0; w < weeks; ++w) {
+    const auto t0 = util::SimTime::weeks(static_cast<std::int64_t>(w));
+    const auto t1 = util::SimTime::weeks(static_cast<std::int64_t>(w + 1));
+    run.scenario->run_window(t0, t1);
+    core::Sensor sensor(sensor_config, run.scenario->plan().as_db(),
+                        run.scenario->plan().geo_db(), run.scenario->naming());
+    sensor.ingest_all(run.scenario->authority(0).records());
+    run.scenario->authority(0).clear_records();
+    labeling::WindowObservation obs;
+    obs.start = t0;
+    obs.end = t1;
+    obs.features = sensor.extract_features();
+    run.windows.push_back(std::move(obs));
+  }
+  return run;
+}
+
+labeling::GroundTruth curate_window(const LongRun& run, std::size_t window,
+                                    std::uint64_t seed,
+                                    labeling::CuratorConfig config) {
+  labeling::Curator curator(*run.scenario, run.blacklist, *run.darknet, config, seed);
+  return curator.curate(run.windows[window].features);
+}
+
+std::vector<analysis::WindowResult> classify_windows(const LongRun& run,
+                                                     const labeling::GroundTruth& labels,
+                                                     std::uint64_t seed) {
+  std::vector<analysis::WindowResult> results;
+  std::unique_ptr<ml::Classifier> model;
+  for (std::size_t w = 0; w < run.windows.size(); ++w) {
+    const auto& window = run.windows[w];
+    auto [data, used] = labels.join(window.features);
+    // Retrain when this window has a usable labeled set; otherwise keep
+    // yesterday's boundary (graceful degradation, §V-C).
+    std::size_t populated = 0;
+    for (const std::size_t c : data.class_counts()) {
+      if (c >= 2) ++populated;
+    }
+    if (populated >= 2) {
+      model = make_rf(seed + w);
+      model->fit(data);
+    }
+    analysis::WindowResult result;
+    result.index = w;
+    result.start = window.start;
+    result.end = window.end;
+    if (model) {
+      for (const auto& fv : window.features) {
+        result.classes[fv.originator] =
+            static_cast<core::AppClass>(model->predict(fv.row()));
+        result.footprints[fv.originator] = fv.footprint;
+      }
+    }
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+void print_header(const std::string& experiment, const std::string& paper_ref,
+                  const std::string& note) {
+  std::printf("==============================================================\n");
+  std::printf("dnsbs reproduction bench: %s\n", experiment.c_str());
+  std::printf("paper reference: %s\n", paper_ref.c_str());
+  if (!note.empty()) std::printf("%s\n", note.c_str());
+  std::printf("==============================================================\n\n");
+}
+
+}  // namespace dnsbs::bench

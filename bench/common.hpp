@@ -1,0 +1,88 @@
+// Shared plumbing for the reproduction benches: build a world, run it,
+// extract features at each authority, curate labels, train the classifier.
+// Every bench binary prints one paper table/figure (see DESIGN.md).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/window_result.hpp"
+#include "core/sensor.hpp"
+#include "labeling/blacklist.hpp"
+#include "labeling/strategies.hpp"
+#include "labeling/curator.hpp"
+#include "labeling/darknet.hpp"
+#include "ml/crossval.hpp"
+#include "ml/forest.hpp"
+#include "sim/scenario.hpp"
+#include "util/table.hpp"
+
+namespace dnsbs::bench {
+
+/// Command-line override: `--scale 0.5` shrinks or grows the world.
+/// Benches choose defaults that run in tens of seconds on one core.
+double arg_scale(int argc, char** argv, double fallback);
+
+/// Optional `--seed N`.
+std::uint64_t arg_seed(int argc, char** argv, std::uint64_t fallback);
+
+/// A fully-run scenario with per-authority sensor output.
+struct WorldRun {
+  std::unique_ptr<sim::Scenario> scenario;
+  std::unique_ptr<labeling::Darknet> darknet;
+  labeling::BlacklistSet blacklist;
+  /// features[i] = extracted feature vectors at authority i, sorted by
+  /// footprint descending.
+  std::vector<std::vector<core::FeatureVector>> features;
+};
+
+/// Builds the world, attaches a darknet, runs the full duration, and runs
+/// the sensor over every authority's log.
+WorldRun run_world(sim::ScenarioConfig config, core::SensorConfig sensor_config = {});
+
+/// Curates a labeled set from authority `authority_index`'s detections.
+labeling::GroundTruth curate(const WorldRun& world, std::size_t authority_index,
+                             std::uint64_t seed,
+                             labeling::CuratorConfig config = {});
+
+/// The paper's preferred classifier: Random Forest, freshly seeded.
+std::unique_ptr<ml::Classifier> make_rf(std::uint64_t seed, std::size_t trees = 100);
+
+/// Trains an RF on curated labels joined with this authority's features
+/// and classifies every detected originator.
+std::vector<core::ClassifiedOriginator> classify_authority(
+    const WorldRun& world, std::size_t authority_index,
+    const labeling::GroundTruth& labels, std::uint64_t seed);
+
+/// Prints a standard bench header so outputs are self-describing.
+void print_header(const std::string& experiment, const std::string& paper_ref,
+                  const std::string& note);
+
+/// A long-horizon run sliced into weekly observation windows at the first
+/// authority: the machinery behind the §V / §VI longitudinal figures.
+struct LongRun {
+  std::unique_ptr<sim::Scenario> scenario;
+  std::unique_ptr<labeling::Darknet> darknet;
+  labeling::BlacklistSet blacklist;
+  std::vector<labeling::WindowObservation> windows;
+};
+
+LongRun run_weekly_windows(sim::ScenarioConfig config, std::size_t weeks,
+                           core::SensorConfig sensor_config = {});
+
+/// Curates labels from one window of a long run.
+labeling::GroundTruth curate_window(const LongRun& run, std::size_t window,
+                                    std::uint64_t seed,
+                                    labeling::CuratorConfig config = {});
+
+/// Classifies every window: retrains an RF per window on the labeled
+/// examples' fresh features (the paper's recommended strategy) and labels
+/// every detected originator, producing the WindowResult series the §VI
+/// longitudinal analyses consume.  Windows whose training set is too thin
+/// reuse the most recent usable model.
+std::vector<analysis::WindowResult> classify_windows(const LongRun& run,
+                                                     const labeling::GroundTruth& labels,
+                                                     std::uint64_t seed);
+
+}  // namespace dnsbs::bench

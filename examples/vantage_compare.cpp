@@ -1,0 +1,67 @@
+// vantage_compare: the same Internet activity seen from three different
+// DNS authorities — a national ccTLD server and two root identities.
+// Demonstrates the paper's central point about observation position:
+// lower authorities see richer, less attenuated backscatter, roots see a
+// sampled-but-global view.
+//
+// Build & run:   ./build/examples/vantage_compare
+#include <cstdio>
+#include <iostream>
+#include <unordered_set>
+
+#include "core/sensor.hpp"
+#include "sim/scenario.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace dnsbs;
+
+  std::printf("one world, 50 hours, three vantage points...\n\n");
+  // jp_ditl_config instantiates a national authority *plus* both roots.
+  sim::Scenario scenario(sim::jp_ditl_config(/*seed=*/7, /*scale=*/0.2));
+  scenario.run();
+
+  util::TableWriter table("the same activity from three authorities");
+  table.columns({"authority", "queries seen", "interesting originators",
+                 "largest footprint", "median footprint"});
+
+  std::vector<std::unordered_set<net::IPv4Addr>> detected_sets;
+  for (auto& authority : scenario.authorities()) {
+    core::Sensor sensor({}, scenario.plan().as_db(), scenario.plan().geo_db(),
+                        scenario.naming());
+    sensor.ingest_all(authority.records());
+    const auto features = sensor.extract_features();
+
+    std::unordered_set<net::IPv4Addr> detected;
+    for (const auto& fv : features) detected.insert(fv.originator);
+    detected_sets.push_back(std::move(detected));
+
+    std::size_t largest = 0, median = 0;
+    if (!features.empty()) {
+      largest = features.front().footprint;
+      median = features[features.size() / 2].footprint;
+    }
+    table.row({authority.config().name, util::with_commas(authority.records().size()),
+               std::to_string(detected_sets.back().size()), util::with_commas(largest),
+               util::with_commas(median)});
+  }
+  table.print(std::cout);
+
+  // How much of the national view do the attenuated roots recover?
+  if (detected_sets.size() == 3 && !detected_sets[0].empty()) {
+    for (std::size_t root = 1; root < 3; ++root) {
+      std::size_t overlap = 0;
+      for (const auto& addr : detected_sets[root]) {
+        overlap += detected_sets[0].contains(addr);
+      }
+      std::printf("%s recovered %zu of the national view's %zu originators "
+                  "(plus %zu outside it)\n",
+                  scenario.authority(root).config().name.c_str(), overlap,
+                  detected_sets[0].size(), detected_sets[root].size() - overlap);
+    }
+  }
+  std::printf("\nTakeaway: caching attenuates the signal up the hierarchy, "
+              "but large activities remain\nvisible even at the root — the "
+              "paper's core observation (Fig. 1, Fig. 4).\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+#include "analysis/churn_analysis.hpp"
+
+#include <unordered_set>
+
+namespace dnsbs::analysis {
+
+std::vector<ChurnPoint> weekly_churn(std::span<const WindowResult> windows,
+                                     core::AppClass cls) {
+  std::vector<ChurnPoint> out;
+  std::unordered_set<net::IPv4Addr> previous;
+  for (std::size_t w = 0; w < windows.size(); ++w) {
+    std::unordered_set<net::IPv4Addr> current;
+    for (const auto& [addr, c] : windows[w].classes) {
+      if (c == cls) current.insert(addr);
+    }
+    ChurnPoint point;
+    point.window = w;
+    for (const auto& addr : current) {
+      previous.contains(addr) ? ++point.continuing : ++point.fresh;
+    }
+    for (const auto& addr : previous) {
+      if (!current.contains(addr)) ++point.departing;
+    }
+    out.push_back(point);
+    previous = std::move(current);
+  }
+  return out;
+}
+
+double mean_turnover(std::span<const ChurnPoint> churn) {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 1; i < churn.size(); ++i) {
+    const std::size_t present = churn[i].fresh + churn[i].continuing;
+    if (present == 0) continue;
+    sum += static_cast<double>(churn[i].fresh) / static_cast<double>(present);
+    ++n;
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+}  // namespace dnsbs::analysis

@@ -1,0 +1,27 @@
+// Week-by-week originator churn for one class (paper Figure 15): how many
+// detected originators are new, continuing from the previous window, or
+// departed since it.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "analysis/window_result.hpp"
+
+namespace dnsbs::analysis {
+
+struct ChurnPoint {
+  std::size_t window = 0;
+  std::size_t fresh = 0;       ///< present now, absent previous window
+  std::size_t continuing = 0;  ///< present in both
+  std::size_t departing = 0;   ///< present previous window, absent now
+};
+
+std::vector<ChurnPoint> weekly_churn(std::span<const WindowResult> windows,
+                                     core::AppClass cls);
+
+/// Mean turnover rate: fresh / (fresh + continuing), averaged over windows
+/// after the first (the paper reports ~20% per week for scanners).
+double mean_turnover(std::span<const ChurnPoint> churn);
+
+}  // namespace dnsbs::analysis

@@ -1,0 +1,42 @@
+#include "analysis/consistency.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace dnsbs::analysis {
+
+std::vector<double> consistency_ratios(std::span<const WindowResult> windows,
+                                       const ConsistencyConfig& config) {
+  // Per-originator class histogram across qualifying windows.
+  std::unordered_map<net::IPv4Addr, std::array<std::size_t, core::kAppClassCount>> votes;
+  for (const auto& w : windows) {
+    for (const auto& [addr, cls] : w.classes) {
+      const auto it = w.footprints.find(addr);
+      const std::size_t footprint = it == w.footprints.end() ? 0 : it->second;
+      if (footprint < config.min_footprint) continue;
+      votes[addr][static_cast<std::size_t>(cls)]++;
+    }
+  }
+  std::vector<double> ratios;
+  for (const auto& [addr, hist] : votes) {
+    std::size_t total = 0, best = 0;
+    for (const std::size_t v : hist) {
+      total += v;
+      best = std::max(best, v);
+    }
+    if (total < config.min_appearances) continue;
+    ratios.push_back(static_cast<double>(best) / static_cast<double>(total));
+  }
+  return ratios;
+}
+
+double majority_fraction(std::span<const double> ratios) {
+  if (ratios.empty()) return 0.0;
+  std::size_t strict = 0;
+  for (const double r : ratios) {
+    if (r > 0.5) ++strict;
+  }
+  return static_cast<double>(strict) / static_cast<double>(ratios.size());
+}
+
+}  // namespace dnsbs::analysis

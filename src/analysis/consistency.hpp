@@ -1,0 +1,31 @@
+// Classification consistency over time (paper §V-E, Figure 8): for each
+// originator observed in several weekly windows, r = the fraction of
+// windows in which its most common (plurality) class was assigned.  High
+// r = the sensor tells a stable story about that address.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "analysis/window_result.hpp"
+
+namespace dnsbs::analysis {
+
+struct ConsistencyConfig {
+  /// Only windows where the originator's footprint >= q contribute
+  /// (Figure 8 sweeps q in {20, 50, 75, 100}).
+  std::size_t min_footprint = 20;
+  /// Originators must appear in at least this many qualifying windows
+  /// ("we show only originators that appear in four or more samples").
+  std::size_t min_appearances = 4;
+};
+
+/// r values, one per qualifying originator (unsorted).
+std::vector<double> consistency_ratios(std::span<const WindowResult> windows,
+                                       const ConsistencyConfig& config);
+
+/// Fraction of qualifying originators with r > 0.5 (strict majority) —
+/// the paper's "85-90% provide a consistent result".
+double majority_fraction(std::span<const double> ratios);
+
+}  // namespace dnsbs::analysis

@@ -1,0 +1,48 @@
+#include "analysis/diurnal.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace dnsbs::analysis {
+
+std::vector<std::size_t> per_minute_queriers(std::span<const dns::QueryRecord> records,
+                                             net::IPv4Addr originator, util::SimTime t0,
+                                             util::SimTime t1) {
+  const std::int64_t first_minute = t0.minute_index();
+  const std::int64_t last_minute = t1.minute_index();
+  if (last_minute <= first_minute) return {};
+  std::vector<std::unordered_set<std::uint32_t>> buckets(
+      static_cast<std::size_t>(last_minute - first_minute));
+  for (const auto& r : records) {
+    if (r.originator != originator || r.time < t0 || r.time >= t1) continue;
+    buckets[static_cast<std::size_t>(r.time.minute_index() - first_minute)].insert(
+        r.querier.value());
+  }
+  std::vector<std::size_t> out;
+  out.reserve(buckets.size());
+  for (const auto& b : buckets) out.push_back(b.size());
+  return out;
+}
+
+std::vector<double> hourly_profile(std::span<const std::size_t> per_minute) {
+  std::vector<double> sums(24, 0.0);
+  std::vector<std::size_t> counts(24, 0);
+  for (std::size_t minute = 0; minute < per_minute.size(); ++minute) {
+    const std::size_t hour = (minute / 60) % 24;
+    sums[hour] += static_cast<double>(per_minute[minute]);
+    ++counts[hour];
+  }
+  for (std::size_t h = 0; h < 24; ++h) {
+    if (counts[h] > 0) sums[h] /= static_cast<double>(counts[h]);
+  }
+  return sums;
+}
+
+double diurnality(std::span<const double> hourly) {
+  if (hourly.empty()) return 0.0;
+  const auto [lo, hi] = std::minmax_element(hourly.begin(), hourly.end());
+  const double sum = *lo + *hi;
+  return sum <= 0.0 ? 0.0 : (*hi - *lo) / sum;
+}
+
+}  // namespace dnsbs::analysis

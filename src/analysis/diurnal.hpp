@@ -1,0 +1,26 @@
+// Diurnal activity profiles (paper Appendix C / Figure 16): counts of
+// queriers per minute for one originator, revealing whether an activity
+// tracks human time-of-day (CDN, mail) or runs flat (ssh scanning, spam).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "dns/query_log.hpp"
+
+namespace dnsbs::analysis {
+
+/// Unique queriers per minute for `originator` over [t0, t1).
+std::vector<std::size_t> per_minute_queriers(std::span<const dns::QueryRecord> records,
+                                             net::IPv4Addr originator, util::SimTime t0,
+                                             util::SimTime t1);
+
+/// Aggregates a minute series into per-hour-of-day means, for a compact
+/// diurnality summary.
+std::vector<double> hourly_profile(std::span<const std::size_t> per_minute);
+
+/// Diurnality score in [0, 1]: (max - min) / (max + min) of the hourly
+/// profile; near 0 for flat activity, near 1 for strongly diurnal.
+double diurnality(std::span<const double> hourly);
+
+}  // namespace dnsbs::analysis

@@ -1,0 +1,36 @@
+#include "analysis/footprint.hpp"
+
+#include "util/stats.hpp"
+
+namespace dnsbs::analysis {
+
+std::vector<std::pair<double, double>> footprint_ccdf(
+    std::span<const core::FeatureVector> features) {
+  std::vector<double> sizes;
+  sizes.reserve(features.size());
+  for (const auto& fv : features) sizes.push_back(static_cast<double>(fv.footprint));
+  return util::ccdf(std::move(sizes));
+}
+
+ClassMix class_mix_top_n(std::span<const core::ClassifiedOriginator> classified,
+                         std::size_t n) {
+  ClassMix mix;
+  const std::size_t limit = std::min(n, classified.size());
+  for (std::size_t i = 0; i < limit; ++i) {
+    ++mix.fraction[static_cast<std::size_t>(classified[i].predicted)];
+    ++mix.total;
+  }
+  if (mix.total > 0) {
+    for (double& f : mix.fraction) f /= static_cast<double>(mix.total);
+  }
+  return mix;
+}
+
+std::array<std::size_t, core::kAppClassCount> class_counts(
+    std::span<const core::ClassifiedOriginator> classified) {
+  std::array<std::size_t, core::kAppClassCount> counts{};
+  for (const auto& c : classified) ++counts[static_cast<std::size_t>(c.predicted)];
+  return counts;
+}
+
+}  // namespace dnsbs::analysis

@@ -1,0 +1,31 @@
+// Footprint-size analyses (paper §VI-A/B: Figure 9's heavy-tailed
+// distribution and Figure 10's top-N class mixes).
+#pragma once
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/sensor.hpp"
+
+namespace dnsbs::analysis {
+
+/// (footprint, fraction of originators with footprint >= x) points for a
+/// log-log CCDF plot, from extracted feature vectors.
+std::vector<std::pair<double, double>> footprint_ccdf(
+    std::span<const core::FeatureVector> features);
+
+/// Fraction of each application class among the top-N originators by
+/// footprint (input must be footprint-sorted, as the sensor emits).
+struct ClassMix {
+  std::array<double, core::kAppClassCount> fraction{};
+  std::size_t total = 0;
+};
+ClassMix class_mix_top_n(std::span<const core::ClassifiedOriginator> classified,
+                         std::size_t n);
+
+/// Count of originators per class (paper Table V rows).
+std::array<std::size_t, core::kAppClassCount> class_counts(
+    std::span<const core::ClassifiedOriginator> classified);
+
+}  // namespace dnsbs::analysis

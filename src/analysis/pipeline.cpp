@@ -1,0 +1,53 @@
+#include "analysis/pipeline.hpp"
+
+namespace dnsbs::analysis {
+
+WindowedPipeline::WindowedPipeline(WindowedPipelineConfig config,
+                                   const netdb::AsDb& as_db, const netdb::GeoDb& geo_db,
+                                   const core::QuerierResolver& resolver)
+    : config_(config), as_db_(as_db), geo_db_(geo_db), resolver_(resolver) {}
+
+const WindowResult& WindowedPipeline::process_window(
+    std::span<const dns::QueryRecord> records, util::SimTime start, util::SimTime end) {
+  // 1. Sensor pass over this window only (fresh caches/aggregates: the
+  //    paper's per-interval feature vectors).
+  core::Sensor sensor(config_.sensor, as_db_, geo_db_, resolver_);
+  sensor.ingest_all(records);
+
+  labeling::WindowObservation observation;
+  observation.start = start;
+  observation.end = end;
+  observation.features = sensor.extract_features();
+
+  // 2. Retrain on the labeled examples re-appearing in this window, when
+  //    there are enough of them; else keep yesterday's boundary (§V-C).
+  auto [train, used] = labels_.join(observation.features);
+  std::size_t populated = 0;
+  for (const std::size_t c : train.class_counts()) {
+    if (c >= config_.min_per_class) ++populated;
+  }
+  if (populated >= config_.min_classes) {
+    ml::ForestConfig fc = config_.forest;
+    fc.seed = config_.seed ^ (0x9e3779b97f4a7c15ULL * (results_.size() + 1));
+    model_ = std::make_unique<ml::RandomForest>(fc);
+    model_->fit(train);
+  }
+
+  // 3. Classify everything detected.
+  WindowResult result;
+  result.index = results_.size();
+  result.start = start;
+  result.end = end;
+  if (model_) {
+    for (const auto& fv : observation.features) {
+      result.classes[fv.originator] =
+          static_cast<core::AppClass>(model_->predict(fv.row()));
+      result.footprints[fv.originator] = fv.footprint;
+    }
+  }
+  observations_.push_back(std::move(observation));
+  results_.push_back(std::move(result));
+  return results_.back();
+}
+
+}  // namespace dnsbs::analysis

@@ -1,0 +1,73 @@
+// Windowed operation: the paper's recommended deployment loop (§V-F).
+//
+// Long-running studies process backscatter in fixed windows (a day or a
+// week): each window's query log runs through a fresh Sensor, the
+// classifier is retrained on the curated labels' *fresh* feature vectors
+// ("adapting the classification boundary using fresh feature vector
+// observations and re-training daily"), and every detected originator is
+// classified.  WindowedPipeline packages that loop behind one call per
+// window so operators and the longitudinal benches share one code path.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "analysis/window_result.hpp"
+#include "core/sensor.hpp"
+#include "labeling/ground_truth.hpp"
+#include "labeling/strategies.hpp"
+#include "ml/forest.hpp"
+
+namespace dnsbs::analysis {
+
+struct WindowedPipelineConfig {
+  core::SensorConfig sensor;
+  ml::ForestConfig forest;
+  /// Retraining needs at least this many classes with >= min_per_class
+  /// examples in the window; otherwise the previous model is reused.
+  std::size_t min_classes = 2;
+  std::size_t min_per_class = 2;
+  std::uint64_t seed = 1;
+};
+
+class WindowedPipeline {
+ public:
+  WindowedPipeline(WindowedPipelineConfig config, const netdb::AsDb& as_db,
+                   const netdb::GeoDb& geo_db, const core::QuerierResolver& resolver);
+
+  /// Installs (or replaces) the curated labeled set; typically called
+  /// once after the first curation and again at re-curation dates.
+  void set_labels(labeling::GroundTruth labels) { labels_ = std::move(labels); }
+  const labeling::GroundTruth& labels() const noexcept { return labels_; }
+
+  /// Processes one window's query records: sensor pass, optional retrain
+  /// on re-appearing labeled examples, classification of every detected
+  /// originator.  Returns the window's result (also retained internally).
+  const WindowResult& process_window(std::span<const dns::QueryRecord> records,
+                                     util::SimTime start, util::SimTime end);
+
+  /// All windows processed so far, in order.
+  const std::vector<WindowResult>& results() const noexcept { return results_; }
+
+  /// The per-window sensor observations (feature vectors), kept for
+  /// strategy evaluation and re-curation.
+  const std::vector<labeling::WindowObservation>& observations() const noexcept {
+    return observations_;
+  }
+
+  /// True if a usable model exists (training has succeeded at least once).
+  bool has_model() const noexcept { return model_ != nullptr; }
+
+ private:
+  WindowedPipelineConfig config_;
+  const netdb::AsDb& as_db_;
+  const netdb::GeoDb& geo_db_;
+  const core::QuerierResolver& resolver_;
+  labeling::GroundTruth labels_;
+  std::unique_ptr<ml::RandomForest> model_;
+  std::vector<WindowResult> results_;
+  std::vector<labeling::WindowObservation> observations_;
+};
+
+}  // namespace dnsbs::analysis

@@ -1,0 +1,50 @@
+#include "analysis/teams.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace dnsbs::analysis {
+
+std::vector<BlockActivity> blocks_of_class(std::span<const WindowResult> windows,
+                                           core::AppClass cls,
+                                           std::size_t min_originators) {
+  struct BlockState {
+    std::unordered_set<std::uint32_t> members;       // class-matching addresses
+    std::unordered_set<std::uint8_t> classes_seen;   // any class in the block
+  };
+  std::unordered_map<std::uint32_t, BlockState> blocks;
+  for (const auto& w : windows) {
+    for (const auto& [addr, c] : w.classes) {
+      BlockState& state = blocks[addr.slash24()];
+      state.classes_seen.insert(static_cast<std::uint8_t>(c));
+      if (c == cls) state.members.insert(addr.value());
+    }
+  }
+  std::vector<BlockActivity> out;
+  for (const auto& [block, state] : blocks) {
+    if (state.members.size() < min_originators) continue;
+    out.push_back(BlockActivity{block, state.members.size(), state.classes_seen.size()});
+  }
+  std::sort(out.begin(), out.end(), [](const BlockActivity& a, const BlockActivity& b) {
+    if (a.originators != b.originators) return a.originators > b.originators;
+    return a.slash24 < b.slash24;
+  });
+  return out;
+}
+
+std::vector<std::size_t> block_trajectory(std::span<const WindowResult> windows,
+                                          std::uint32_t slash24, core::AppClass cls) {
+  std::vector<std::size_t> out;
+  out.reserve(windows.size());
+  for (const auto& w : windows) {
+    std::size_t count = 0;
+    for (const auto& [addr, c] : w.classes) {
+      if (c == cls && addr.slash24() == slash24) ++count;
+    }
+    out.push_back(count);
+  }
+  return out;
+}
+
+}  // namespace dnsbs::analysis

@@ -1,0 +1,30 @@
+// Scanner teams: multiple originators scanning from the same /24 block
+// (paper §VI-B "New and old observations" and Figure 14).  A block with
+// four or more same-class originators suggests coordinated scanning.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "analysis/window_result.hpp"
+
+namespace dnsbs::analysis {
+
+struct BlockActivity {
+  std::uint32_t slash24 = 0;       ///< block id (address >> 8)
+  std::size_t originators = 0;     ///< distinct scanning addresses seen
+  std::size_t distinct_classes = 0;///< classes seen in the block (1 = aligned)
+};
+
+/// Blocks with at least `min_originators` distinct originators classified
+/// `cls` across all windows, sorted by originator count descending.
+std::vector<BlockActivity> blocks_of_class(std::span<const WindowResult> windows,
+                                           core::AppClass cls,
+                                           std::size_t min_originators);
+
+/// Per-window count of class-`cls` originators inside one /24 block (one
+/// line of Figure 14).
+std::vector<std::size_t> block_trajectory(std::span<const WindowResult> windows,
+                                          std::uint32_t slash24, core::AppClass cls);
+
+}  // namespace dnsbs::analysis

@@ -1,0 +1,69 @@
+#include "analysis/timeseries.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace dnsbs::analysis {
+
+std::array<std::size_t, core::kAppClassCount> window_class_counts(const WindowResult& w) {
+  std::array<std::size_t, core::kAppClassCount> counts{};
+  for (const auto& [addr, cls] : w.classes) ++counts[static_cast<std::size_t>(cls)];
+  return counts;
+}
+
+util::BoxStats class_footprint_box(const WindowResult& w, core::AppClass cls) {
+  std::vector<double> sizes;
+  for (const auto& [addr, c] : w.classes) {
+    if (c != cls) continue;
+    const auto it = w.footprints.find(addr);
+    if (it != w.footprints.end()) sizes.push_back(static_cast<double>(it->second));
+  }
+  return util::box_stats(std::move(sizes));
+}
+
+std::vector<std::size_t> footprint_trajectory(std::span<const WindowResult> windows,
+                                              net::IPv4Addr originator) {
+  std::vector<std::size_t> out;
+  out.reserve(windows.size());
+  for (const auto& w : windows) {
+    const auto it = w.footprints.find(originator);
+    out.push_back(it == w.footprints.end() ? 0 : it->second);
+  }
+  return out;
+}
+
+std::vector<net::IPv4Addr> persistent_originators(std::span<const WindowResult> windows,
+                                                  core::AppClass cls,
+                                                  std::size_t min_windows) {
+  struct Stats {
+    std::size_t appearances = 0;
+    std::size_t peak = 0;
+  };
+  std::unordered_map<net::IPv4Addr, Stats> stats;
+  for (const auto& w : windows) {
+    for (const auto& [addr, c] : w.classes) {
+      if (c != cls) continue;
+      auto& s = stats[addr];
+      ++s.appearances;
+      const auto it = w.footprints.find(addr);
+      if (it != w.footprints.end()) s.peak = std::max(s.peak, it->second);
+    }
+  }
+  std::vector<std::pair<net::IPv4Addr, Stats>> ranked(stats.begin(), stats.end());
+  std::erase_if(ranked, [min_windows](const auto& p) {
+    return p.second.appearances < min_windows;
+  });
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second.appearances != b.second.appearances) {
+      return a.second.appearances > b.second.appearances;
+    }
+    if (a.second.peak != b.second.peak) return a.second.peak > b.second.peak;
+    return a.first < b.first;
+  });
+  std::vector<net::IPv4Addr> out;
+  out.reserve(ranked.size());
+  for (const auto& [addr, s] : ranked) out.push_back(addr);
+  return out;
+}
+
+}  // namespace dnsbs::analysis

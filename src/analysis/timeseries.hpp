@@ -1,0 +1,31 @@
+// Per-window time series over classified windows: originator counts per
+// class (Figure 11), footprint distributions for a class (Figure 12), and
+// per-originator footprint trajectories (Figure 13).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "analysis/window_result.hpp"
+#include "util/stats.hpp"
+
+namespace dnsbs::analysis {
+
+/// Originator counts per class for one window (one x-position of Fig 11).
+std::array<std::size_t, core::kAppClassCount> window_class_counts(const WindowResult& w);
+
+/// Box statistics of footprints of one class in one window (Fig 12).
+util::BoxStats class_footprint_box(const WindowResult& w, core::AppClass cls);
+
+/// Footprint trajectory of one originator across windows; 0 where absent
+/// (the per-scanner lines of Fig 13).
+std::vector<std::size_t> footprint_trajectory(std::span<const WindowResult> windows,
+                                              net::IPv4Addr originator);
+
+/// Originators of a class ranked by how many windows they appear in, then
+/// by peak footprint — used to pick Figure 13's example scanners.
+std::vector<net::IPv4Addr> persistent_originators(std::span<const WindowResult> windows,
+                                                  core::AppClass cls,
+                                                  std::size_t min_windows = 1);
+
+}  // namespace dnsbs::analysis

@@ -1,0 +1,25 @@
+// Shared shape for longitudinal analyses: one classified observation
+// window (a day or a week of sensor output), as produced by running the
+// sensor + classifier repeatedly over a long scenario (paper §VI).
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+
+#include "core/taxonomy.hpp"
+#include "net/ipv4.hpp"
+#include "util/time.hpp"
+
+namespace dnsbs::analysis {
+
+struct WindowResult {
+  std::size_t index = 0;
+  util::SimTime start{};
+  util::SimTime end{};
+  /// Predicted class per detected originator.
+  std::unordered_map<net::IPv4Addr, core::AppClass> classes;
+  /// Footprint (unique queriers) per detected originator.
+  std::unordered_map<net::IPv4Addr, std::size_t> footprints;
+};
+
+}  // namespace dnsbs::analysis

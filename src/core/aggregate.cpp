@@ -1,0 +1,43 @@
+#include "core/aggregate.hpp"
+
+#include <algorithm>
+
+namespace dnsbs::core {
+
+void OriginatorAggregator::add(const dns::QueryRecord& record) {
+  auto [it, inserted] = aggregates_.try_emplace(record.originator);
+  OriginatorAggregate& agg = it->second;
+  if (inserted) {
+    agg.originator = record.originator;
+    agg.first_seen = record.time;
+    agg.last_seen = record.time;
+  } else {
+    agg.first_seen = std::min(agg.first_seen, record.time);
+    agg.last_seen = std::max(agg.last_seen, record.time);
+  }
+  ++agg.querier_queries[record.querier];
+  ++agg.total_queries;
+  const std::int64_t period = record.time.secs() / period_.secs();
+  agg.periods.insert(period);
+  all_periods_.insert(period);
+}
+
+std::vector<const OriginatorAggregate*> OriginatorAggregator::select_interesting(
+    std::size_t min_queriers, std::size_t top_n) const {
+  std::vector<const OriginatorAggregate*> selected;
+  selected.reserve(aggregates_.size());
+  for (const auto& [addr, agg] : aggregates_) {
+    if (agg.unique_queriers() >= min_queriers) selected.push_back(&agg);
+  }
+  std::sort(selected.begin(), selected.end(),
+            [](const OriginatorAggregate* a, const OriginatorAggregate* b) {
+              if (a->unique_queriers() != b->unique_queriers()) {
+                return a->unique_queriers() > b->unique_queriers();
+              }
+              return a->originator < b->originator;
+            });
+  if (top_n != 0 && selected.size() > top_n) selected.resize(top_n);
+  return selected;
+}
+
+}  // namespace dnsbs::core

@@ -1,0 +1,66 @@
+// Per-originator aggregation over a measurement interval.
+//
+// Paper §III-B: feature vectors are computed per originator over an
+// interval of d days; the interesting originators are those with >= 20
+// unique queriers, ranked by unique-querier count ("footprint").  The
+// aggregator folds a deduplicated query stream into per-originator querier
+// histograms plus the temporal footprint needed by the dynamic features.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "dns/query_log.hpp"
+#include "net/ipv4.hpp"
+#include "util/time.hpp"
+
+namespace dnsbs::core {
+
+/// Everything the feature extractors need to know about one originator.
+struct OriginatorAggregate {
+  net::IPv4Addr originator;
+  /// Query count per unique querier (after dedup).
+  std::unordered_map<net::IPv4Addr, std::uint32_t> querier_queries;
+  /// Distinct 10-minute periods in which the originator appeared.
+  std::unordered_set<std::int64_t> periods;
+  util::SimTime first_seen{};
+  util::SimTime last_seen{};
+  std::uint64_t total_queries = 0;
+
+  std::size_t unique_queriers() const noexcept { return querier_queries.size(); }
+};
+
+class OriginatorAggregator {
+ public:
+  /// `period` is the persistence bucket width (paper: 10 minutes).
+  explicit OriginatorAggregator(util::SimTime period = util::SimTime::minutes(10))
+      : period_(period) {}
+
+  void add(const dns::QueryRecord& record);
+
+  std::size_t originator_count() const noexcept { return aggregates_.size(); }
+
+  /// Distinct 10-minute periods observed across the whole interval
+  /// (denominator for the persistence feature).
+  std::size_t total_periods() const noexcept { return all_periods_.size(); }
+
+  const std::unordered_map<net::IPv4Addr, OriginatorAggregate>& aggregates() const noexcept {
+    return aggregates_;
+  }
+
+  /// Originators with at least `min_queriers` unique queriers, sorted by
+  /// unique-querier count descending (ties: by address for determinism),
+  /// truncated to `top_n` (0 = no truncation).  This is the paper's
+  /// "interesting and analyzable" selection.
+  std::vector<const OriginatorAggregate*> select_interesting(std::size_t min_queriers,
+                                                             std::size_t top_n) const;
+
+ private:
+  util::SimTime period_;
+  std::unordered_map<net::IPv4Addr, OriginatorAggregate> aggregates_;
+  std::unordered_set<std::int64_t> all_periods_;
+};
+
+}  // namespace dnsbs::core

@@ -1,0 +1,37 @@
+#include "core/dedup.hpp"
+
+namespace dnsbs::core {
+
+bool Deduplicator::admit(const dns::QueryRecord& record) {
+  const PairKey key{(static_cast<std::uint64_t>(record.querier.value()) << 32) |
+                    record.originator.value()};
+  const auto [it, inserted] = last_seen_.try_emplace(key, record.time);
+  bool pass = true;
+  if (!inserted) {
+    if (record.time - it->second < window_ && record.time >= it->second) {
+      pass = false;
+    } else {
+      it->second = record.time;
+    }
+  }
+  pass ? ++admitted_ : ++suppressed_;
+  // Periodically drop stale entries so long runs don't accumulate state
+  // for queriers that went quiet.
+  if (record.time - last_prune_ > window_ + window_) {
+    prune(record.time);
+    last_prune_ = record.time;
+  }
+  return pass;
+}
+
+void Deduplicator::prune(util::SimTime now) {
+  for (auto it = last_seen_.begin(); it != last_seen_.end();) {
+    if (now - it->second >= window_) {
+      it = last_seen_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace dnsbs::core

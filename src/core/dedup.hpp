@@ -1,0 +1,57 @@
+// Duplicate-query suppression.
+//
+// Paper §III-C: "To avoid excessive skew of querier rate estimates due to
+// queriers that do not follow DNS timeout rules, we eliminate duplicate
+// queries from the same querier in a 30 s window."  Deduplicator passes a
+// record through iff the same (querier, originator) pair has not been seen
+// within the window.  Records are expected in (roughly) time order; the
+// window state is pruned as time advances to bound memory.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+
+#include "dns/query_log.hpp"
+#include "util/time.hpp"
+
+namespace dnsbs::core {
+
+class Deduplicator {
+ public:
+  explicit Deduplicator(util::SimTime window = util::SimTime::seconds(30))
+      : window_(window) {}
+
+  /// True if the record survives deduplication (first sighting of this
+  /// (querier, originator) pair within the window).
+  bool admit(const dns::QueryRecord& record);
+
+  std::uint64_t admitted() const noexcept { return admitted_; }
+  std::uint64_t suppressed() const noexcept { return suppressed_; }
+
+  /// Entries currently tracked (diagnostic).
+  std::size_t state_size() const noexcept { return last_seen_.size(); }
+
+ private:
+  struct PairKey {
+    std::uint64_t packed;
+    bool operator==(const PairKey&) const = default;
+  };
+  struct PairHash {
+    std::size_t operator()(const PairKey& k) const noexcept {
+      std::uint64_t z = k.packed + 0x9e3779b97f4a7c15ULL;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      return static_cast<std::size_t>(z ^ (z >> 31));
+    }
+  };
+
+  void prune(util::SimTime now);
+
+  util::SimTime window_;
+  std::unordered_map<PairKey, util::SimTime, PairHash> last_seen_;
+  util::SimTime last_prune_{};
+  std::uint64_t admitted_ = 0;
+  std::uint64_t suppressed_ = 0;
+};
+
+}  // namespace dnsbs::core

@@ -1,0 +1,77 @@
+#include "core/dynamic_features.hpp"
+
+#include <unordered_set>
+
+#include "util/stats.hpp"
+
+namespace dnsbs::core {
+
+std::array<std::string_view, kDynamicFeatureCount> dynamic_feature_names() noexcept {
+  return {"queries_per_querier", "persistence",       "local_entropy",
+          "global_entropy",      "unique_as",         "unique_cc",
+          "queriers_per_cc",     "queriers_per_as"};
+}
+
+DynamicFeatureExtractor::DynamicFeatureExtractor(const netdb::AsDb& as_db,
+                                                 const netdb::GeoDb& geo_db,
+                                                 const OriginatorAggregator& interval)
+    : as_db_(as_db), geo_db_(geo_db), interval_periods_(interval.total_periods()) {
+  std::unordered_set<netdb::Asn> ases;
+  std::unordered_set<netdb::CountryCode> countries;
+  for (const auto& [originator, agg] : interval.aggregates()) {
+    for (const auto& [querier, count] : agg.querier_queries) {
+      if (const auto asn = as_db_.lookup(querier)) ases.insert(*asn);
+      if (const auto cc = geo_db_.lookup(querier)) countries.insert(*cc);
+    }
+  }
+  interval_as_count_ = ases.size();
+  interval_country_count_ = countries.size();
+}
+
+DynamicFeatures DynamicFeatureExtractor::extract(const OriginatorAggregate& agg) const {
+  DynamicFeatures f{};
+  const double queriers = static_cast<double>(agg.unique_queriers());
+  if (queriers == 0.0) return f;
+
+  f[static_cast<std::size_t>(DynamicFeature::kQueriesPerQuerier)] =
+      static_cast<double>(agg.total_queries) / queriers;
+
+  f[static_cast<std::size_t>(DynamicFeature::kPersistence)] =
+      interval_periods_ == 0
+          ? 0.0
+          : static_cast<double>(agg.periods.size()) / static_cast<double>(interval_periods_);
+
+  util::Counter<std::uint32_t> slash24s;
+  util::Counter<std::uint32_t> slash8s;
+  std::unordered_set<netdb::Asn> ases;
+  std::unordered_set<netdb::CountryCode> countries;
+  for (const auto& [querier, count] : agg.querier_queries) {
+    slash24s.add(querier.slash24());
+    slash8s.add(querier.slash8());
+    if (const auto asn = as_db_.lookup(querier)) ases.insert(*asn);
+    if (const auto cc = geo_db_.lookup(querier)) countries.insert(*cc);
+  }
+  const auto local_counts = slash24s.values();
+  const auto global_counts = slash8s.values();
+  f[static_cast<std::size_t>(DynamicFeature::kLocalEntropy)] =
+      util::normalized_entropy(local_counts);
+  f[static_cast<std::size_t>(DynamicFeature::kGlobalEntropy)] =
+      util::normalized_entropy(global_counts);
+
+  f[static_cast<std::size_t>(DynamicFeature::kUniqueAs)] =
+      interval_as_count_ == 0
+          ? 0.0
+          : static_cast<double>(ases.size()) / static_cast<double>(interval_as_count_);
+  f[static_cast<std::size_t>(DynamicFeature::kUniqueCountries)] =
+      interval_country_count_ == 0 ? 0.0
+                                   : static_cast<double>(countries.size()) /
+                                         static_cast<double>(interval_country_count_);
+
+  f[static_cast<std::size_t>(DynamicFeature::kQueriersPerCountry)] =
+      static_cast<double>(countries.size()) / queriers;
+  f[static_cast<std::size_t>(DynamicFeature::kQueriersPerAs)] =
+      static_cast<double>(ases.size()) / queriers;
+  return f;
+}
+
+}  // namespace dnsbs::core

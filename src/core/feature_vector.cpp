@@ -1,0 +1,49 @@
+#include "core/feature_vector.hpp"
+
+namespace dnsbs::core {
+
+std::vector<double> FeatureVector::row() const {
+  std::vector<double> out;
+  out.reserve(kFeatureCount);
+  out.insert(out.end(), statics.begin(), statics.end());
+  out.insert(out.end(), dynamics.begin(), dynamics.end());
+  return out;
+}
+
+const std::vector<std::string>& feature_names() {
+  static const std::vector<std::string> kNames = [] {
+    std::vector<std::string> names;
+    names.reserve(kFeatureCount);
+    for (const auto n : static_feature_names()) names.emplace_back(n);
+    for (const auto n : dynamic_feature_names()) names.emplace_back(n);
+    return names;
+  }();
+  return kNames;
+}
+
+const std::vector<std::string>& app_class_names() {
+  static const std::vector<std::string> kNames = [] {
+    std::vector<std::string> names;
+    names.reserve(kAppClassCount);
+    for (const AppClass c : all_app_classes()) names.emplace_back(to_string(c));
+    return names;
+  }();
+  return kNames;
+}
+
+ml::Dataset make_dataset() { return ml::Dataset(feature_names(), app_class_names()); }
+
+StaticFeatures compute_static_features(const OriginatorAggregate& agg,
+                                       const QuerierResolver& resolver) {
+  StaticFeatures f{};
+  if (agg.querier_queries.empty()) return f;
+  for (const auto& [querier, count] : agg.querier_queries) {
+    const QuerierCategory category = classify_querier(resolver.resolve(querier));
+    f[static_cast<std::size_t>(category)] += 1.0;
+  }
+  const double total = static_cast<double>(agg.unique_queriers());
+  for (double& v : f) v /= total;
+  return f;
+}
+
+}  // namespace dnsbs::core

@@ -1,0 +1,49 @@
+#include "core/sensor.hpp"
+
+namespace dnsbs::core {
+
+Sensor::Sensor(SensorConfig config, const netdb::AsDb& as_db, const netdb::GeoDb& geo_db,
+               const QuerierResolver& resolver)
+    : config_(config),
+      as_db_(as_db),
+      geo_db_(geo_db),
+      resolver_(resolver),
+      dedup_(config.dedup_window),
+      aggregator_(config.persistence_period) {}
+
+void Sensor::ingest(const dns::QueryRecord& record) {
+  if (dedup_.admit(record)) aggregator_.add(record);
+}
+
+std::vector<FeatureVector> Sensor::extract_features() const {
+  const auto interesting =
+      aggregator_.select_interesting(config_.min_queriers, config_.top_n);
+  const DynamicFeatureExtractor dyn(as_db_, geo_db_, aggregator_);
+
+  std::vector<FeatureVector> out;
+  out.reserve(interesting.size());
+  for (const OriginatorAggregate* agg : interesting) {
+    FeatureVector fv;
+    fv.originator = agg->originator;
+    fv.footprint = agg->unique_queriers();
+    fv.statics = compute_static_features(*agg, resolver_);
+    fv.dynamics = dyn.extract(*agg);
+    out.push_back(std::move(fv));
+  }
+  return out;
+}
+
+std::vector<ClassifiedOriginator> classify_all(std::span<const FeatureVector> features,
+                                               const ml::Classifier& model) {
+  std::vector<ClassifiedOriginator> out;
+  out.reserve(features.size());
+  for (const auto& fv : features) {
+    ClassifiedOriginator c;
+    c.features = fv;
+    c.predicted = static_cast<AppClass>(model.predict(fv.row()));
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+}  // namespace dnsbs::core

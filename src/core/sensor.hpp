@@ -1,0 +1,71 @@
+// The end-to-end backscatter sensor (paper Figure 2, classification side):
+// query stream -> dedup -> per-originator aggregation -> interesting
+// selection -> feature extraction -> (optional) classification.
+//
+// One Sensor instance covers one measurement interval at one authority;
+// long-running studies build a Sensor per day/week window (see
+// analysis::IntervalSeries).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/aggregate.hpp"
+#include "core/dedup.hpp"
+#include "core/feature_vector.hpp"
+#include "ml/classifier.hpp"
+
+namespace dnsbs::core {
+
+struct SensorConfig {
+  /// Analyzability threshold: minimum unique queriers (paper: 20).
+  std::size_t min_queriers = 20;
+  /// Keep only the N largest footprints; 0 = unlimited (paper: top-10000).
+  std::size_t top_n = 10000;
+  /// Duplicate suppression window (paper: 30 s).
+  util::SimTime dedup_window = util::SimTime::seconds(30);
+  /// Persistence bucket (paper: 10 minutes).
+  util::SimTime persistence_period = util::SimTime::minutes(10);
+};
+
+class Sensor {
+ public:
+  Sensor(SensorConfig config, const netdb::AsDb& as_db, const netdb::GeoDb& geo_db,
+         const QuerierResolver& resolver);
+
+  /// Feeds one reverse-query observation (records should arrive roughly
+  /// time-ordered, as they do from a capture point).
+  void ingest(const dns::QueryRecord& record);
+
+  void ingest_all(std::span<const dns::QueryRecord> records) {
+    for (const auto& r : records) ingest(r);
+  }
+
+  /// Selects interesting originators and computes their feature vectors,
+  /// ordered by footprint descending.  Call once ingestion is complete.
+  std::vector<FeatureVector> extract_features() const;
+
+  const OriginatorAggregator& aggregator() const noexcept { return aggregator_; }
+  const Deduplicator& dedup() const noexcept { return dedup_; }
+  const SensorConfig& config() const noexcept { return config_; }
+
+ private:
+  SensorConfig config_;
+  const netdb::AsDb& as_db_;
+  const netdb::GeoDb& geo_db_;
+  const QuerierResolver& resolver_;
+  Deduplicator dedup_;
+  OriginatorAggregator aggregator_;
+};
+
+/// A feature vector plus the model's verdict.
+struct ClassifiedOriginator {
+  FeatureVector features;
+  AppClass predicted = AppClass::kScan;
+};
+
+/// Runs a trained classifier over extracted feature vectors.
+std::vector<ClassifiedOriginator> classify_all(std::span<const FeatureVector> features,
+                                               const ml::Classifier& model);
+
+}  // namespace dnsbs::core

@@ -1,0 +1,118 @@
+#include "core/static_features.hpp"
+
+#include <cctype>
+#include <vector>
+
+#include "util/strings.hpp"
+
+namespace dnsbs::core {
+
+namespace {
+
+struct KeywordRule {
+  QuerierCategory category;
+  std::vector<std::string_view> keywords;
+  bool prefix_only;  ///< keyword must start the label (send*), else substring
+};
+
+/// Rules in paper order; within a label the first matching rule wins.
+const std::vector<KeywordRule>& keyword_rules() {
+  static const std::vector<KeywordRule> kRules = {
+      {QuerierCategory::kHome,
+       {"ap", "cable", "cpe", "customer", "dsl", "dynamic", "fiber", "flets", "home", "host",
+        "ip", "net", "pool", "pop", "retail", "user"},
+       false},
+      {QuerierCategory::kMail,
+       {"mail", "mx", "smtp", "post", "correo", "poczta", "send", "lists", "newsletter",
+        "zimbra", "mta", "pop", "imap"},
+       false},
+      {QuerierCategory::kNs, {"cns", "dns", "ns", "cache", "resolv", "name"}, false},
+      {QuerierCategory::kFw, {"firewall", "wall", "fw"}, false},
+      {QuerierCategory::kAntispam, {"ironport", "spam"}, false},
+      {QuerierCategory::kWww, {"www"}, false},
+      {QuerierCategory::kNtp, {"ntp"}, false},
+  };
+  return kRules;
+}
+
+/// Provider suffixes (matched against any label, mirroring "suffix of
+/// Akamai, Edgecast, ..." — provider names appear as registrable-domain
+/// labels).
+const std::vector<std::pair<QuerierCategory, std::string_view>>& provider_labels() {
+  static const std::vector<std::pair<QuerierCategory, std::string_view>> kProviders = {
+      {QuerierCategory::kCdn, "akamai"},        {QuerierCategory::kCdn, "akamaitech"},
+      {QuerierCategory::kCdn, "edgecast"},      {QuerierCategory::kCdn, "cdnetworks"},
+      {QuerierCategory::kCdn, "llnw"},          {QuerierCategory::kCdn, "llnwd"},
+      {QuerierCategory::kAws, "amazonaws"},     {QuerierCategory::kMs, "azure"},
+      {QuerierCategory::kMs, "cloudapp"},       {QuerierCategory::kMs, "microsoft"},
+      {QuerierCategory::kGoogle, "google"},     {QuerierCategory::kGoogle, "googlebot"},
+      {QuerierCategory::kGoogle, "1e100"},
+  };
+  return kProviders;
+}
+
+/// True if `label` matches `keyword` as a name component: the keyword
+/// appears at a position where it is delimited by non-alphabetic characters
+/// (digits, '-', '_', start/end).  "home1-2-3-4" matches "home";
+/// "chromecast" does not match "home"; "mail-ns" matches "mail" and "ns".
+bool component_match(std::string_view label, std::string_view keyword) {
+  std::size_t pos = 0;
+  while ((pos = label.find(keyword, pos)) != std::string_view::npos) {
+    const bool left_ok =
+        pos == 0 || !(std::isalpha(static_cast<unsigned char>(label[pos - 1])));
+    const std::size_t end = pos + keyword.size();
+    const bool right_ok =
+        end == label.size() || !(std::isalpha(static_cast<unsigned char>(label[end])));
+    if (left_ok && right_ok) return true;
+    ++pos;
+  }
+  return false;
+}
+
+bool prefix_match(std::string_view label, std::string_view keyword) {
+  return util::starts_with(label, keyword);
+}
+
+std::optional<QuerierCategory> classify_label(std::string_view label) {
+  for (const auto& rule : keyword_rules()) {
+    for (const auto keyword : rule.keywords) {
+      const bool hit = (keyword == "send") ? prefix_match(label, keyword)
+                                           : component_match(label, keyword);
+      if (hit) return rule.category;
+    }
+  }
+  for (const auto& [category, provider] : provider_labels()) {
+    if (label == provider) return category;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+QuerierCategory classify_querier_name(const dns::DnsName& name) {
+  // Leftmost component is favored: scan labels host-side first and return
+  // the first label that matches any rule.
+  for (std::size_t i = 0; i < name.label_count(); ++i) {
+    if (const auto category = classify_label(name.label(i))) return *category;
+  }
+  return QuerierCategory::kOther;
+}
+
+QuerierCategory classify_querier(const QuerierInfo& info) {
+  switch (info.status) {
+    case ResolveStatus::kNxDomain: return QuerierCategory::kNxDomain;
+    case ResolveStatus::kUnreachable: return QuerierCategory::kUnreach;
+    case ResolveStatus::kOk: return classify_querier_name(info.name);
+  }
+  return QuerierCategory::kOther;
+}
+
+std::array<std::string_view, kQuerierCategoryCount> static_feature_names() noexcept {
+  std::array<std::string_view, kQuerierCategoryCount> names{};
+  for (std::size_t i = 0; i < kQuerierCategoryCount; ++i) {
+    names[i] = to_string(static_cast<QuerierCategory>(i));
+  }
+  return names;
+}
+
+}  // namespace dnsbs::core

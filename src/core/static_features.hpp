@@ -1,0 +1,60 @@
+// Static features: classifying querier reverse-DNS names.
+//
+// Paper §III-C defines keyword categories over querier domain names (home,
+// mail, ns, fw, antispam, www, ntp) plus provider suffixes (cdn, aws, ms,
+// google) and two resolution-failure categories (unreach, nxdomain).
+// Matching is by name component, "favoring matches by the left-most
+// component, and taking first rule when there are multiple matches" — so
+// both mail.ns.example.com and mail-ns.example.com classify as mail.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string_view>
+
+#include "core/taxonomy.hpp"
+#include "dns/name.hpp"
+#include "net/ipv4.hpp"
+
+namespace dnsbs::core {
+
+/// How a querier's reverse name resolved.
+enum class ResolveStatus : std::uint8_t {
+  kOk,         ///< PTR returned a name
+  kNxDomain,   ///< no reverse name exists
+  kUnreachable ///< the reverse authority could not be reached
+};
+
+/// A querier's resolved identity, as seen by the sensor's own reverse
+/// lookups of querier addresses.
+struct QuerierInfo {
+  ResolveStatus status = ResolveStatus::kNxDomain;
+  dns::DnsName name;  ///< valid when status == kOk
+};
+
+/// Interface the sensor uses to discover querier names; implemented by the
+/// simulator's naming model and, in a live deployment, by an actual
+/// resolver client.
+class QuerierResolver {
+ public:
+  virtual ~QuerierResolver() = default;
+  virtual QuerierInfo resolve(net::IPv4Addr querier) const = 0;
+};
+
+/// Classifies one resolved name into a keyword category (kOther when no
+/// keyword matches).  Exposed separately from the fraction computation for
+/// testing and reuse.
+QuerierCategory classify_querier_name(const dns::DnsName& name);
+
+/// Classifies a QuerierInfo, folding in the failure categories.
+QuerierCategory classify_querier(const QuerierInfo& info);
+
+/// Fraction of an originator's queriers falling in each category; sums to
+/// 1 over non-empty inputs.  (Fractions, not counts, so static features
+/// are independent of query rate — paper §III-C.)
+using StaticFeatures = std::array<double, kQuerierCategoryCount>;
+
+/// Names for the static feature columns, in QuerierCategory order.
+std::array<std::string_view, kQuerierCategoryCount> static_feature_names() noexcept;
+
+}  // namespace dnsbs::core

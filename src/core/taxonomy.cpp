@@ -1,0 +1,59 @@
+#include "core/taxonomy.hpp"
+
+namespace dnsbs::core {
+
+const std::array<AppClass, kAppClassCount>& all_app_classes() noexcept {
+  static constexpr std::array<AppClass, kAppClassCount> kAll = {
+      AppClass::kAdTracker, AppClass::kCdn,  AppClass::kCloud, AppClass::kCrawler,
+      AppClass::kDns,       AppClass::kMail, AppClass::kNtp,   AppClass::kP2p,
+      AppClass::kPush,      AppClass::kScan, AppClass::kSpam,  AppClass::kUpdate,
+  };
+  return kAll;
+}
+
+std::string_view to_string(AppClass c) noexcept {
+  switch (c) {
+    case AppClass::kAdTracker: return "ad-tracker";
+    case AppClass::kCdn: return "cdn";
+    case AppClass::kCloud: return "cloud";
+    case AppClass::kCrawler: return "crawler";
+    case AppClass::kDns: return "dns";
+    case AppClass::kMail: return "mail";
+    case AppClass::kNtp: return "ntp";
+    case AppClass::kP2p: return "p2p";
+    case AppClass::kPush: return "push";
+    case AppClass::kScan: return "scan";
+    case AppClass::kSpam: return "spam";
+    case AppClass::kUpdate: return "update";
+  }
+  return "?";
+}
+
+std::optional<AppClass> app_class_from_string(std::string_view s) noexcept {
+  for (const AppClass c : all_app_classes()) {
+    if (to_string(c) == s) return c;
+  }
+  return std::nullopt;
+}
+
+std::string_view to_string(QuerierCategory c) noexcept {
+  switch (c) {
+    case QuerierCategory::kHome: return "home";
+    case QuerierCategory::kMail: return "mail";
+    case QuerierCategory::kNs: return "ns";
+    case QuerierCategory::kFw: return "fw";
+    case QuerierCategory::kAntispam: return "antispam";
+    case QuerierCategory::kWww: return "www";
+    case QuerierCategory::kNtp: return "ntp";
+    case QuerierCategory::kCdn: return "cdn";
+    case QuerierCategory::kAws: return "aws";
+    case QuerierCategory::kMs: return "ms";
+    case QuerierCategory::kGoogle: return "google";
+    case QuerierCategory::kOther: return "other";
+    case QuerierCategory::kUnreach: return "unreach";
+    case QuerierCategory::kNxDomain: return "nxdomain";
+  }
+  return "?";
+}
+
+}  // namespace dnsbs::core

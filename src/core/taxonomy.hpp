@@ -1,0 +1,69 @@
+// The paper's two taxonomies.
+//
+// AppClass: the twelve application classes an *originator* is classified
+// into (§III-D).  QuerierCategory: the static-feature categories a
+// *querier's* reverse domain name is matched against (§III-C).  Keeping
+// both as enums (not strings) makes feature vectors and confusion matrices
+// cheap and typo-proof.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <optional>
+#include <string_view>
+
+namespace dnsbs::core {
+
+/// Originator application classes (paper §III-D).
+enum class AppClass : std::uint8_t {
+  kAdTracker = 0,
+  kCdn,
+  kCloud,
+  kCrawler,
+  kDns,
+  kMail,
+  kNtp,
+  kP2p,
+  kPush,
+  kScan,
+  kSpam,
+  kUpdate,
+};
+inline constexpr std::size_t kAppClassCount = 12;
+
+/// All classes, in enum order (index == enum value).
+const std::array<AppClass, kAppClassCount>& all_app_classes() noexcept;
+
+std::string_view to_string(AppClass c) noexcept;
+std::optional<AppClass> app_class_from_string(std::string_view s) noexcept;
+
+/// True for the classes the paper treats as malicious (§V: scan, spam);
+/// everything else is benign or indeterminate.
+constexpr bool is_malicious(AppClass c) noexcept {
+  return c == AppClass::kScan || c == AppClass::kSpam;
+}
+
+/// Querier static-feature categories (paper §III-C).  The last three are
+/// not keyword-driven: other = no keyword matched, unreach = querier could
+/// not be resolved, nxdomain = querier has no reverse name.
+enum class QuerierCategory : std::uint8_t {
+  kHome = 0,
+  kMail,
+  kNs,
+  kFw,
+  kAntispam,
+  kWww,
+  kNtp,
+  kCdn,
+  kAws,
+  kMs,
+  kGoogle,
+  kOther,
+  kUnreach,
+  kNxDomain,
+};
+inline constexpr std::size_t kQuerierCategoryCount = 14;
+
+std::string_view to_string(QuerierCategory c) noexcept;
+
+}  // namespace dnsbs::core

@@ -1,0 +1,64 @@
+#include "dns/cache.hpp"
+
+namespace dnsbs::dns {
+
+CacheResult CacheSim::lookup(const DnsName& name, QType type, util::SimTime now) {
+  ++stats_.lookups;
+  const auto it = entries_.find(Key{name, type});
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return CacheResult::kMiss;
+  }
+  if (it->second.expires <= now) {
+    entries_.erase(it);
+    ++stats_.expired_evictions;
+    ++stats_.misses;
+    return CacheResult::kMiss;
+  }
+  if (it->second.negative) {
+    ++stats_.hits_negative;
+    return CacheResult::kHitNegative;
+  }
+  ++stats_.hits_positive;
+  return CacheResult::kHitPositive;
+}
+
+void CacheSim::insert_positive(const DnsName& name, QType type, std::uint32_t ttl,
+                               util::SimTime now) {
+  if (ttl == 0) return;
+  store(Key{name, type}, Entry{now + util::SimTime::seconds(ttl), false}, now);
+}
+
+void CacheSim::insert_negative(const DnsName& name, QType type, std::uint32_t ttl,
+                               util::SimTime now) {
+  if (ttl == 0) return;
+  store(Key{name, type}, Entry{now + util::SimTime::seconds(ttl), true}, now);
+}
+
+void CacheSim::store(Key key, Entry entry, util::SimTime now) {
+  ++stats_.inserts;
+  if (max_entries_ != 0 && entries_.size() >= max_entries_ &&
+      entries_.find(key) == entries_.end()) {
+    evict_one(now);
+  }
+  entries_[std::move(key)] = entry;
+}
+
+void CacheSim::evict_one(util::SimTime now) {
+  // Purge anything already expired; otherwise drop the soonest-to-expire.
+  auto victim = entries_.end();
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.expires <= now) {
+      it = entries_.erase(it);
+      ++stats_.expired_evictions;
+      return;
+    }
+    if (victim == entries_.end() || it->second.expires < victim->second.expires) {
+      victim = it;
+    }
+    ++it;
+  }
+  if (victim != entries_.end()) entries_.erase(victim);
+}
+
+}  // namespace dnsbs::dns

@@ -1,0 +1,88 @@
+// TTL-driven DNS cache simulation.
+//
+// Caching is the central confound in DNS backscatter (paper §II, §IV-D):
+// recursive resolvers cache both the PTR answers and the NS delegation
+// records of the reverse tree, so authorities higher in the hierarchy see a
+// heavily attenuated sample of queriers.  CacheSim models one resolver's
+// cache with real TTL semantics on a virtual clock, including negative
+// caching (NXDOMAIN, RFC 2308).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+
+#include "dns/name.hpp"
+#include "dns/wire.hpp"
+#include "util/time.hpp"
+
+namespace dnsbs::dns {
+
+/// Outcome of a cache probe.
+enum class CacheResult {
+  kMiss,         ///< nothing cached; resolver must ask upstream
+  kHitPositive,  ///< cached answer still fresh
+  kHitNegative,  ///< cached NXDOMAIN/NODATA still fresh
+};
+
+class CacheSim {
+ public:
+  struct Stats {
+    std::uint64_t lookups = 0;
+    std::uint64_t hits_positive = 0;
+    std::uint64_t hits_negative = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t inserts = 0;
+    std::uint64_t expired_evictions = 0;
+  };
+
+  /// max_entries bounds memory; 0 means unbounded.  When full, expired
+  /// entries are purged first; if still full, the entry closest to expiry
+  /// is evicted (a reasonable stand-in for LRU under TTL workloads).
+  explicit CacheSim(std::size_t max_entries = 0) : max_entries_(max_entries) {}
+
+  /// Probes the cache at virtual time `now`; expired entries count as
+  /// misses and are removed lazily.
+  CacheResult lookup(const DnsName& name, QType type, util::SimTime now);
+
+  /// Caches a positive answer valid for `ttl` seconds from `now`.
+  /// ttl == 0 entries are never stored (the paper's controlled experiment
+  /// sets PTR TTL to zero exactly to disable caching).
+  void insert_positive(const DnsName& name, QType type, std::uint32_t ttl, util::SimTime now);
+
+  /// Caches a negative (NXDOMAIN) answer for `ttl` seconds (the SOA
+  /// MINIMUM-derived negative TTL).
+  void insert_negative(const DnsName& name, QType type, std::uint32_t ttl, util::SimTime now);
+
+  std::size_t size() const noexcept { return entries_.size(); }
+  const Stats& stats() const noexcept { return stats_; }
+
+  /// Drops every entry (resolver restart).
+  void clear() noexcept { entries_.clear(); }
+
+ private:
+  struct Key {
+    DnsName name;
+    QType type;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      return std::hash<DnsName>{}(k.name) ^
+             (static_cast<std::size_t>(k.type) * 0x9e3779b97f4a7c15ULL);
+    }
+  };
+  struct Entry {
+    util::SimTime expires;
+    bool negative = false;
+  };
+
+  void store(Key key, Entry entry, util::SimTime now);
+  void evict_one(util::SimTime now);
+
+  std::size_t max_entries_;
+  std::unordered_map<Key, Entry, KeyHash> entries_;
+  Stats stats_;
+};
+
+}  // namespace dnsbs::dns

@@ -1,0 +1,45 @@
+#include "dns/capture.hpp"
+
+#include "dns/reverse.hpp"
+
+namespace dnsbs::dns {
+
+std::optional<QueryRecord> record_from_packet(std::span<const std::uint8_t> payload,
+                                              util::SimTime time, net::IPv4Addr source,
+                                              CaptureStats& stats) {
+  ++stats.packets;
+  const auto message = decode(payload.data(), payload.size());
+  if (!message) {
+    ++stats.malformed;
+    return std::nullopt;
+  }
+  if (message->is_response) {
+    ++stats.responses;
+    return std::nullopt;
+  }
+  if (message->opcode != 0 || message->questions.size() != 1) {
+    ++stats.malformed;
+    return std::nullopt;
+  }
+  const Question& q = message->questions.front();
+  if (q.qtype != QType::kPTR || q.qclass != QClass::kIN) {
+    ++stats.non_ptr;
+    return std::nullopt;
+  }
+  const auto originator = address_from_reverse(q.name);
+  if (!originator) {
+    ++stats.non_reverse_name;
+    return std::nullopt;
+  }
+  ++stats.accepted;
+  // The response outcome is unknown at query time; NOERROR is recorded
+  // and may be refined by matching responses in a fuller capture stack.
+  return QueryRecord{time, source, *originator, RCode::kNoError};
+}
+
+std::vector<std::uint8_t> make_ptr_query_packet(std::uint16_t id,
+                                                net::IPv4Addr originator) {
+  return encode(Message::ptr_query(id, originator));
+}
+
+}  // namespace dnsbs::dns

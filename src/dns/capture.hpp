@@ -1,0 +1,43 @@
+// Packet-capture ingestion (paper §III-A: "Queries may be obtained
+// through packet capture on the network or through logging in DNS server
+// itself").
+//
+// Converts raw DNS query packets observed at an authority into the
+// sensor's QueryRecord tuples.  Only well-formed reverse queries pass:
+// QR=0, opcode QUERY, QTYPE PTR, QCLASS IN, QNAME a full
+// d.c.b.a.in-addr.arpa name.  Everything else — forward queries, junk,
+// responses, truncated packets — is filtered, with counters so operators
+// can see what their capture point carries.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "dns/query_log.hpp"
+
+namespace dnsbs::dns {
+
+struct CaptureStats {
+  std::uint64_t packets = 0;
+  std::uint64_t malformed = 0;        ///< undecodable wire data
+  std::uint64_t responses = 0;        ///< QR=1: not queries
+  std::uint64_t non_ptr = 0;          ///< forward or non-PTR queries
+  std::uint64_t non_reverse_name = 0; ///< PTR outside in-addr.arpa or partial
+  std::uint64_t accepted = 0;
+};
+
+/// Extracts a backscatter record from one DNS packet payload.
+/// `time` and `source` come from the capture layer (pcap timestamp and
+/// IP source address).  Returns nullopt for non-backscatter packets and
+/// classifies the reason into `stats`.
+std::optional<QueryRecord> record_from_packet(std::span<const std::uint8_t> payload,
+                                              util::SimTime time, net::IPv4Addr source,
+                                              CaptureStats& stats);
+
+/// Builds the wire payload a querier would send for `originator`
+/// (convenience for tests and replay tools).
+std::vector<std::uint8_t> make_ptr_query_packet(std::uint16_t id,
+                                                net::IPv4Addr originator);
+
+}  // namespace dnsbs::dns

@@ -1,0 +1,162 @@
+#include "dns/json_log.hpp"
+
+#include <cctype>
+#include <istream>
+#include <ostream>
+#include <unordered_map>
+
+#include "util/strings.hpp"
+
+namespace dnsbs::dns {
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+}
+
+/// Minimal tolerant parser for one flat JSON object of string or integer
+/// fields.  Returns field map; nullopt on structural errors.
+std::optional<std::unordered_map<std::string, std::string>> parse_flat_object(
+    std::string_view s) {
+  std::unordered_map<std::string, std::string> fields;
+  std::size_t i = 0;
+  const auto skip_ws = [&] {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+  };
+  const auto parse_string = [&]() -> std::optional<std::string> {
+    if (i >= s.size() || s[i] != '"') return std::nullopt;
+    ++i;
+    std::string out;
+    while (i < s.size() && s[i] != '"') {
+      if (s[i] == '\\') {
+        ++i;
+        if (i >= s.size()) return std::nullopt;
+        switch (s[i]) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case '/': out += '/'; break;
+          default: return std::nullopt;  // unsupported escape
+        }
+      } else {
+        out += s[i];
+      }
+      ++i;
+    }
+    if (i >= s.size()) return std::nullopt;  // unterminated
+    ++i;                                     // closing quote
+    return out;
+  };
+
+  skip_ws();
+  if (i >= s.size() || s[i] != '{') return std::nullopt;
+  ++i;
+  skip_ws();
+  if (i < s.size() && s[i] == '}') return fields;  // empty object
+  while (true) {
+    skip_ws();
+    const auto key = parse_string();
+    if (!key) return std::nullopt;
+    skip_ws();
+    if (i >= s.size() || s[i] != ':') return std::nullopt;
+    ++i;
+    skip_ws();
+    std::string value;
+    if (i < s.size() && s[i] == '"') {
+      const auto v = parse_string();
+      if (!v) return std::nullopt;
+      value = *v;
+    } else {
+      // Bare token (number / bool / null) up to , or }.
+      const std::size_t start = i;
+      while (i < s.size() && s[i] != ',' && s[i] != '}') ++i;
+      value = std::string(util::trim(s.substr(start, i - start)));
+      if (value.empty()) return std::nullopt;
+    }
+    fields[*key] = std::move(value);
+    skip_ws();
+    if (i >= s.size()) return std::nullopt;
+    if (s[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (s[i] == '}') break;
+    return std::nullopt;
+  }
+  return fields;
+}
+
+std::optional<RCode> rcode_from(std::string_view s) noexcept {
+  if (s == "NOERROR") return RCode::kNoError;
+  if (s == "NXDOMAIN") return RCode::kNXDomain;
+  if (s == "SERVFAIL") return RCode::kServFail;
+  if (s == "FORMERR") return RCode::kFormErr;
+  if (s == "NOTIMP") return RCode::kNotImp;
+  if (s == "REFUSED") return RCode::kRefused;
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::string to_json(const QueryRecord& record) {
+  std::string out = "{\"t\":";
+  out += std::to_string(record.time.secs());
+  out += ",\"q\":\"";
+  append_escaped(out, record.querier.to_string());
+  out += "\",\"o\":\"";
+  append_escaped(out, record.originator.to_string());
+  out += "\",\"rc\":\"";
+  append_escaped(out, to_string(record.rcode));
+  out += "\"}";
+  return out;
+}
+
+std::optional<QueryRecord> from_json(std::string_view line) {
+  const auto fields = parse_flat_object(line);
+  if (!fields) return std::nullopt;
+  const auto get = [&fields](const char* key) -> std::optional<std::string_view> {
+    const auto it = fields->find(key);
+    if (it == fields->end()) return std::nullopt;
+    return std::string_view(it->second);
+  };
+  const auto t = get("t");
+  const auto q = get("q");
+  const auto o = get("o");
+  const auto rc = get("rc");
+  if (!t || !q || !o || !rc) return std::nullopt;
+  std::uint64_t secs = 0;
+  if (!util::parse_u64(*t, secs)) return std::nullopt;
+  const auto querier = net::IPv4Addr::parse(*q);
+  const auto originator = net::IPv4Addr::parse(*o);
+  const auto rcode = rcode_from(*rc);
+  if (!querier || !originator || !rcode) return std::nullopt;
+  return QueryRecord{util::SimTime::seconds(static_cast<std::int64_t>(secs)), *querier,
+                     *originator, *rcode};
+}
+
+void JsonLogWriter::write(const QueryRecord& record) {
+  os_ << to_json(record) << '\n';
+  ++count_;
+}
+
+std::optional<QueryRecord> JsonLogReader::next() {
+  std::string line;
+  while (std::getline(is_, line)) {
+    if (line.empty()) continue;
+    if (auto record = from_json(line)) return record;
+    ++skipped_;
+  }
+  return std::nullopt;
+}
+
+}  // namespace dnsbs::dns

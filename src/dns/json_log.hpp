@@ -1,0 +1,53 @@
+// dnstap-style structured logging (paper §III-A: "DNS logging is supported
+// in most servers, and tools such as dnstap define standard logging
+// formats").
+//
+// One JSON object per line, schema:
+//   {"t":12345,"q":"192.0.2.53","o":"1.2.3.4","rc":"NOERROR"}
+//
+// The JSON subset is hand-rolled (no external deps): objects of
+// string/number fields, double-quoted strings with \" \\ \n \t escapes.
+// Parsing is tolerant of field order and unknown extra fields, so logs
+// produced by richer emitters still replay.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "dns/query_log.hpp"
+
+namespace dnsbs::dns {
+
+/// Serializes one record as a JSON line (no trailing newline).
+std::string to_json(const QueryRecord& record);
+
+/// Parses one JSON line; nullopt on malformed input or missing fields.
+std::optional<QueryRecord> from_json(std::string_view line);
+
+/// Stream writer, one JSON object per line.
+class JsonLogWriter {
+ public:
+  explicit JsonLogWriter(std::ostream& os) : os_(os) {}
+  void write(const QueryRecord& record);
+  std::size_t count() const noexcept { return count_; }
+
+ private:
+  std::ostream& os_;
+  std::size_t count_ = 0;
+};
+
+/// Stream reader; malformed lines are counted and skipped.
+class JsonLogReader {
+ public:
+  explicit JsonLogReader(std::istream& is) : is_(is) {}
+  std::optional<QueryRecord> next();
+  std::size_t skipped() const noexcept { return skipped_; }
+
+ private:
+  std::istream& is_;
+  std::size_t skipped_ = 0;
+};
+
+}  // namespace dnsbs::dns

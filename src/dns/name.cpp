@@ -1,0 +1,90 @@
+#include "dns/name.hpp"
+
+#include <cctype>
+
+#include "util/strings.hpp"
+
+namespace dnsbs::dns {
+
+namespace {
+constexpr std::size_t kMaxLabel = 63;
+constexpr std::size_t kMaxWire = 255;
+
+bool valid_label_char(char c) noexcept {
+  // Accept the LDH set plus underscore (seen in real reverse trees) —
+  // printable, no dots or whitespace.
+  const unsigned char u = static_cast<unsigned char>(c);
+  return std::isalnum(u) || c == '-' || c == '_';
+}
+}  // namespace
+
+DnsName DnsName::from_labels(std::vector<std::string> labels) {
+  DnsName name;
+  name.labels_.reserve(labels.size());
+  for (auto& label : labels) {
+    name.labels_.push_back(util::to_lower(label));
+  }
+  return name;
+}
+
+std::optional<DnsName> DnsName::parse(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  if (text == ".") return DnsName{};
+  if (text.back() == '.') text.remove_suffix(1);
+  if (text.empty()) return std::nullopt;
+
+  DnsName name;
+  std::size_t wire = 1;  // root byte
+  for (const auto piece : util::split(text, '.')) {
+    if (piece.empty() || piece.size() > kMaxLabel) return std::nullopt;
+    for (const char c : piece) {
+      if (!valid_label_char(c)) return std::nullopt;
+    }
+    wire += 1 + piece.size();
+    if (wire > kMaxWire) return std::nullopt;
+    name.labels_.push_back(util::to_lower(piece));
+  }
+  return name;
+}
+
+bool DnsName::ends_in(const DnsName& suffix) const noexcept {
+  if (suffix.labels_.size() > labels_.size()) return false;
+  const std::size_t offset = labels_.size() - suffix.labels_.size();
+  for (std::size_t i = 0; i < suffix.labels_.size(); ++i) {
+    if (labels_[offset + i] != suffix.labels_[i]) return false;
+  }
+  return true;
+}
+
+DnsName DnsName::parent() const {
+  DnsName p;
+  if (labels_.size() <= 1) return p;
+  p.labels_.assign(labels_.begin() + 1, labels_.end());
+  return p;
+}
+
+DnsName DnsName::child(std::string_view label) const {
+  DnsName c;
+  c.labels_.reserve(labels_.size() + 1);
+  c.labels_.push_back(util::to_lower(label));
+  c.labels_.insert(c.labels_.end(), labels_.begin(), labels_.end());
+  return c;
+}
+
+std::size_t DnsName::wire_length() const noexcept {
+  std::size_t len = 1;
+  for (const auto& label : labels_) len += 1 + label.size();
+  return len;
+}
+
+std::string DnsName::to_string() const {
+  if (labels_.empty()) return ".";
+  std::string out;
+  for (std::size_t i = 0; i < labels_.size(); ++i) {
+    if (i) out.push_back('.');
+    out.append(labels_[i]);
+  }
+  return out;
+}
+
+}  // namespace dnsbs::dns

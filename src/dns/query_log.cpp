@@ -1,0 +1,63 @@
+#include "dns/query_log.hpp"
+
+#include <istream>
+#include <ostream>
+
+#include "util/strings.hpp"
+
+namespace dnsbs::dns {
+
+namespace {
+std::optional<RCode> rcode_from_string(std::string_view s) noexcept {
+  if (s == "NOERROR") return RCode::kNoError;
+  if (s == "NXDOMAIN") return RCode::kNXDomain;
+  if (s == "SERVFAIL") return RCode::kServFail;
+  if (s == "FORMERR") return RCode::kFormErr;
+  if (s == "NOTIMP") return RCode::kNotImp;
+  if (s == "REFUSED") return RCode::kRefused;
+  return std::nullopt;
+}
+}  // namespace
+
+std::string serialize(const QueryRecord& record) {
+  return util::format("%lld\t%s\t%s\t%s", static_cast<long long>(record.time.secs()),
+                      record.querier.to_string().c_str(),
+                      record.originator.to_string().c_str(), to_string(record.rcode));
+}
+
+std::optional<QueryRecord> parse_record(std::string_view line) {
+  const auto fields = util::split(line, '\t');
+  if (fields.size() != 4) return std::nullopt;
+  std::uint64_t secs = 0;
+  if (!util::parse_u64(util::trim(fields[0]), secs)) return std::nullopt;
+  const auto querier = net::IPv4Addr::parse(util::trim(fields[1]));
+  const auto originator = net::IPv4Addr::parse(util::trim(fields[2]));
+  const auto rcode = rcode_from_string(util::trim(fields[3]));
+  if (!querier || !originator || !rcode) return std::nullopt;
+  return QueryRecord{util::SimTime::seconds(static_cast<std::int64_t>(secs)), *querier,
+                     *originator, *rcode};
+}
+
+void QueryLogWriter::write(const QueryRecord& record) {
+  os_ << serialize(record) << '\n';
+  ++count_;
+}
+
+std::optional<QueryRecord> QueryLogReader::next() {
+  std::string line;
+  while (std::getline(is_, line)) {
+    if (line.empty()) continue;
+    if (auto record = parse_record(line)) return record;
+    ++skipped_;
+  }
+  return std::nullopt;
+}
+
+std::vector<QueryRecord> read_all(std::istream& is) {
+  QueryLogReader reader(is);
+  std::vector<QueryRecord> out;
+  while (auto record = reader.next()) out.push_back(*record);
+  return out;
+}
+
+}  // namespace dnsbs::dns

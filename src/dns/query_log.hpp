@@ -1,0 +1,70 @@
+// Query-log records: the raw input of the backscatter sensor.
+//
+// Whether captured from packets or from server logs (paper §III-A), each
+// reverse query at an authority reduces to an
+// (arrival time, querier address, QNAME) observation; the originator is
+// recovered from the QNAME.  QueryRecord is that tuple plus the response
+// outcome, and this header provides a line-oriented text serialization so
+// logs can be written by the simulator and replayed through the pipeline.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dns/name.hpp"
+#include "dns/wire.hpp"
+#include "net/ipv4.hpp"
+#include "util/time.hpp"
+
+namespace dnsbs::dns {
+
+struct QueryRecord {
+  util::SimTime time;           ///< arrival at the authority
+  net::IPv4Addr querier;        ///< source of the DNS packet
+  net::IPv4Addr originator;     ///< decoded from the PTR QNAME
+  RCode rcode = RCode::kNoError;///< authority's response outcome
+
+  bool operator==(const QueryRecord&) const = default;
+};
+
+/// One record per line: "<secs>\t<querier>\t<originator>\t<rcode>".
+std::string serialize(const QueryRecord& record);
+
+/// Parses one line; nullopt on malformed input.
+std::optional<QueryRecord> parse_record(std::string_view line);
+
+/// Streams records to a text log.
+class QueryLogWriter {
+ public:
+  explicit QueryLogWriter(std::ostream& os) : os_(os) {}
+  void write(const QueryRecord& record);
+  std::size_t count() const noexcept { return count_; }
+
+ private:
+  std::ostream& os_;
+  std::size_t count_ = 0;
+};
+
+/// Reads records from a text log; malformed lines are counted and skipped
+/// (real logs contain garbage; the pipeline must not fall over).
+class QueryLogReader {
+ public:
+  explicit QueryLogReader(std::istream& is) : is_(is) {}
+
+  /// Returns the next record or nullopt at end of stream.
+  std::optional<QueryRecord> next();
+
+  std::size_t skipped() const noexcept { return skipped_; }
+
+ private:
+  std::istream& is_;
+  std::size_t skipped_ = 0;
+};
+
+/// Convenience: parses a whole log; malformed lines are skipped.
+std::vector<QueryRecord> read_all(std::istream& is);
+
+}  // namespace dnsbs::dns

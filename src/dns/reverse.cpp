@@ -1,0 +1,62 @@
+#include "dns/reverse.hpp"
+
+#include "util/strings.hpp"
+
+namespace dnsbs::dns {
+
+const DnsName& in_addr_arpa() {
+  static const DnsName name = *DnsName::parse("in-addr.arpa");
+  return name;
+}
+
+DnsName reverse_name(net::IPv4Addr addr) {
+  return DnsName::from_labels({std::to_string(addr.octet(3)), std::to_string(addr.octet(2)),
+                               std::to_string(addr.octet(1)), std::to_string(addr.octet(0)),
+                               "in-addr", "arpa"});
+}
+
+std::optional<net::IPv4Addr> address_from_reverse(const DnsName& qname) {
+  if (qname.label_count() != 6 || !qname.ends_in(in_addr_arpa())) return std::nullopt;
+  std::uint32_t value = 0;
+  // Labels are reversed: label(0) is the low octet.
+  for (int i = 3; i >= 0; --i) {
+    std::uint64_t octet = 0;
+    const auto& label = qname.label(static_cast<std::size_t>(i));
+    if (!util::parse_u64(label, octet) || octet > 255 || label.size() > 3) return std::nullopt;
+    value = (value << 8) | static_cast<std::uint32_t>(octet);
+  }
+  return net::IPv4Addr(value);
+}
+
+bool is_reverse_name(const DnsName& name) { return name.ends_in(in_addr_arpa()); }
+
+DnsName reverse_zone(net::IPv4Addr addr, ReverseZoneLevel level) {
+  switch (level) {
+    case ReverseZoneLevel::kRoot:
+      return in_addr_arpa();
+    case ReverseZoneLevel::kSlash8:
+      return in_addr_arpa().child(std::to_string(addr.octet(0)));
+    case ReverseZoneLevel::kSlash16:
+      return in_addr_arpa()
+          .child(std::to_string(addr.octet(0)))
+          .child(std::to_string(addr.octet(1)));
+    case ReverseZoneLevel::kSlash24:
+      return in_addr_arpa()
+          .child(std::to_string(addr.octet(0)))
+          .child(std::to_string(addr.octet(1)))
+          .child(std::to_string(addr.octet(2)));
+  }
+  return in_addr_arpa();
+}
+
+net::Prefix zone_prefix(net::IPv4Addr addr, ReverseZoneLevel level) {
+  switch (level) {
+    case ReverseZoneLevel::kRoot: return net::Prefix(net::IPv4Addr(0), 0);
+    case ReverseZoneLevel::kSlash8: return net::Prefix(addr, 8);
+    case ReverseZoneLevel::kSlash16: return net::Prefix(addr, 16);
+    case ReverseZoneLevel::kSlash24: return net::Prefix(addr, 24);
+  }
+  return net::Prefix(net::IPv4Addr(0), 0);
+}
+
+}  // namespace dnsbs::dns

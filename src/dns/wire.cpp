@@ -1,0 +1,312 @@
+#include "dns/wire.hpp"
+
+#include <cstring>
+#include <unordered_map>
+
+#include "dns/reverse.hpp"
+
+namespace dnsbs::dns {
+
+const char* to_string(QType t) noexcept {
+  switch (t) {
+    case QType::kA: return "A";
+    case QType::kNS: return "NS";
+    case QType::kCNAME: return "CNAME";
+    case QType::kSOA: return "SOA";
+    case QType::kPTR: return "PTR";
+    case QType::kMX: return "MX";
+    case QType::kTXT: return "TXT";
+    case QType::kAAAA: return "AAAA";
+    case QType::kANY: return "ANY";
+  }
+  return "TYPE?";
+}
+
+const char* to_string(RCode r) noexcept {
+  switch (r) {
+    case RCode::kNoError: return "NOERROR";
+    case RCode::kFormErr: return "FORMERR";
+    case RCode::kServFail: return "SERVFAIL";
+    case RCode::kNXDomain: return "NXDOMAIN";
+    case RCode::kNotImp: return "NOTIMP";
+    case RCode::kRefused: return "REFUSED";
+  }
+  return "RCODE?";
+}
+
+Message Message::ptr_query(std::uint16_t id, net::IPv4Addr originator) {
+  Message m;
+  m.id = id;
+  m.recursion_desired = true;
+  m.questions.push_back(Question{
+      .name = reverse_name(originator), .qtype = QType::kPTR, .qclass = QClass::kIN});
+  return m;
+}
+
+Message Message::response_to(const Message& query, RCode rcode,
+                             std::vector<ResourceRecord> answers) {
+  Message m;
+  m.id = query.id;
+  m.is_response = true;
+  m.opcode = query.opcode;
+  m.recursion_desired = query.recursion_desired;
+  m.rcode = rcode;
+  m.questions = query.questions;
+  m.answers = std::move(answers);
+  return m;
+}
+
+namespace {
+
+// ---- encoding ----
+
+class Encoder {
+ public:
+  std::vector<std::uint8_t> take() { return std::move(out_); }
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v) {
+    out_.push_back(static_cast<std::uint8_t>(v >> 8));
+    out_.push_back(static_cast<std::uint8_t>(v));
+  }
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v >> 16));
+    u16(static_cast<std::uint16_t>(v));
+  }
+
+  void patch_u16(std::size_t offset, std::uint16_t v) {
+    out_[offset] = static_cast<std::uint8_t>(v >> 8);
+    out_[offset + 1] = static_cast<std::uint8_t>(v);
+  }
+
+  std::size_t size() const noexcept { return out_.size(); }
+
+  /// Emits a name with compression: the longest previously-emitted suffix
+  /// is replaced by a pointer (RFC 1035 §4.1.4).
+  void name(const DnsName& n) {
+    const auto& labels = n.labels();
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      // The suffix starting at label i, as a key for the offset map.
+      std::string key;
+      for (std::size_t j = i; j < labels.size(); ++j) {
+        key += labels[j];
+        key += '.';
+      }
+      const auto it = suffix_offsets_.find(key);
+      if (it != suffix_offsets_.end() && it->second < 0x3fff) {
+        u16(static_cast<std::uint16_t>(0xc000 | it->second));
+        return;
+      }
+      if (out_.size() < 0x3fff) suffix_offsets_.emplace(std::move(key), out_.size());
+      u8(static_cast<std::uint8_t>(labels[i].size()));
+      for (const char c : labels[i]) out_.push_back(static_cast<std::uint8_t>(c));
+    }
+    u8(0);  // root
+  }
+
+ private:
+  std::vector<std::uint8_t> out_;
+  std::unordered_map<std::string, std::size_t> suffix_offsets_;
+};
+
+void encode_rr(Encoder& enc, const ResourceRecord& rr) {
+  enc.name(rr.name);
+  enc.u16(static_cast<std::uint16_t>(rr.rtype));
+  enc.u16(static_cast<std::uint16_t>(rr.rclass));
+  enc.u32(rr.ttl);
+  const std::size_t rdlength_at = enc.size();
+  enc.u16(0);  // placeholder
+  const std::size_t rdata_start = enc.size();
+  if (const auto* addr = std::get_if<net::IPv4Addr>(&rr.rdata.value)) {
+    enc.u32(addr->value());
+  } else if (const auto* nm = std::get_if<DnsName>(&rr.rdata.value)) {
+    enc.name(*nm);
+  } else {
+    const auto& raw = std::get<std::vector<std::uint8_t>>(rr.rdata.value);
+    for (const std::uint8_t b : raw) enc.u8(b);
+  }
+  enc.patch_u16(rdlength_at, static_cast<std::uint16_t>(enc.size() - rdata_start));
+}
+
+// ---- decoding ----
+
+class Decoder {
+ public:
+  Decoder(const std::uint8_t* data, std::size_t size) : data_(data), size_(size) {}
+
+  bool u8(std::uint8_t& v) {
+    if (pos_ + 1 > size_) return false;
+    v = data_[pos_++];
+    return true;
+  }
+  bool u16(std::uint16_t& v) {
+    if (pos_ + 2 > size_) return false;
+    v = static_cast<std::uint16_t>((data_[pos_] << 8) | data_[pos_ + 1]);
+    pos_ += 2;
+    return true;
+  }
+  bool u32(std::uint32_t& v) {
+    std::uint16_t hi = 0, lo = 0;
+    if (!u16(hi) || !u16(lo)) return false;
+    v = (static_cast<std::uint32_t>(hi) << 16) | lo;
+    return true;
+  }
+
+  std::size_t pos() const noexcept { return pos_; }
+  bool seek(std::size_t p) {
+    if (p > size_) return false;
+    pos_ = p;
+    return true;
+  }
+
+  /// Decodes a possibly-compressed name starting at the cursor.
+  bool name(DnsName& out) {
+    std::vector<std::string> labels;
+    std::size_t cursor = pos_;
+    std::size_t jumps = 0;
+    bool jumped = false;
+    std::size_t after_first_pointer = 0;
+    while (true) {
+      if (cursor >= size_) return false;
+      const std::uint8_t len = data_[cursor];
+      if ((len & 0xc0) == 0xc0) {
+        if (cursor + 1 >= size_) return false;
+        if (++jumps > 64) return false;  // pointer loop
+        const std::size_t target =
+            (static_cast<std::size_t>(len & 0x3f) << 8) | data_[cursor + 1];
+        if (!jumped) {
+          after_first_pointer = cursor + 2;
+          jumped = true;
+        }
+        if (target >= cursor) return false;  // only backwards pointers
+        cursor = target;
+        continue;
+      }
+      if ((len & 0xc0) != 0) return false;  // reserved label types
+      ++cursor;
+      if (len == 0) break;
+      if (cursor + len > size_) return false;
+      labels.emplace_back(reinterpret_cast<const char*>(data_ + cursor), len);
+      cursor += len;
+      if (labels.size() > 127) return false;
+    }
+    pos_ = jumped ? after_first_pointer : cursor;
+    out = DnsName::from_labels(std::move(labels));
+    return true;
+  }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+bool decode_rr(Decoder& dec, ResourceRecord& rr) {
+  std::uint16_t rtype = 0, rclass = 0, rdlength = 0;
+  if (!dec.name(rr.name) || !dec.u16(rtype) || !dec.u16(rclass) || !dec.u32(rr.ttl) ||
+      !dec.u16(rdlength)) {
+    return false;
+  }
+  rr.rtype = static_cast<QType>(rtype);
+  rr.rclass = static_cast<QClass>(rclass);
+  const std::size_t rdata_start = dec.pos();
+  switch (rr.rtype) {
+    case QType::kA: {
+      std::uint32_t v = 0;
+      if (rdlength != 4 || !dec.u32(v)) return false;
+      rr.rdata.value = net::IPv4Addr(v);
+      return true;
+    }
+    case QType::kPTR:
+    case QType::kNS:
+    case QType::kCNAME: {
+      DnsName n;
+      if (!dec.name(n)) return false;
+      if (dec.pos() != rdata_start + rdlength) return false;
+      rr.rdata.value = std::move(n);
+      return true;
+    }
+    default: {
+      std::vector<std::uint8_t> raw(rdlength);
+      for (auto& b : raw) {
+        if (!dec.u8(b)) return false;
+      }
+      rr.rdata.value = std::move(raw);
+      return true;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode(const Message& msg) {
+  Encoder enc;
+  enc.u16(msg.id);
+  std::uint16_t flags = 0;
+  if (msg.is_response) flags |= 0x8000;
+  flags |= static_cast<std::uint16_t>((msg.opcode & 0xf) << 11);
+  if (msg.authoritative) flags |= 0x0400;
+  if (msg.truncated) flags |= 0x0200;
+  if (msg.recursion_desired) flags |= 0x0100;
+  if (msg.recursion_available) flags |= 0x0080;
+  flags |= static_cast<std::uint16_t>(msg.rcode) & 0xf;
+  enc.u16(flags);
+  enc.u16(static_cast<std::uint16_t>(msg.questions.size()));
+  enc.u16(static_cast<std::uint16_t>(msg.answers.size()));
+  enc.u16(static_cast<std::uint16_t>(msg.authorities.size()));
+  enc.u16(static_cast<std::uint16_t>(msg.additionals.size()));
+  for (const auto& q : msg.questions) {
+    enc.name(q.name);
+    enc.u16(static_cast<std::uint16_t>(q.qtype));
+    enc.u16(static_cast<std::uint16_t>(q.qclass));
+  }
+  for (const auto& rr : msg.answers) encode_rr(enc, rr);
+  for (const auto& rr : msg.authorities) encode_rr(enc, rr);
+  for (const auto& rr : msg.additionals) encode_rr(enc, rr);
+  return enc.take();
+}
+
+std::optional<Message> decode(const std::uint8_t* data, std::size_t size) {
+  Decoder dec(data, size);
+  Message msg;
+  std::uint16_t flags = 0, qd = 0, an = 0, ns = 0, ar = 0;
+  if (!dec.u16(msg.id) || !dec.u16(flags) || !dec.u16(qd) || !dec.u16(an) || !dec.u16(ns) ||
+      !dec.u16(ar)) {
+    return std::nullopt;
+  }
+  msg.is_response = (flags & 0x8000) != 0;
+  msg.opcode = static_cast<std::uint8_t>((flags >> 11) & 0xf);
+  msg.authoritative = (flags & 0x0400) != 0;
+  msg.truncated = (flags & 0x0200) != 0;
+  msg.recursion_desired = (flags & 0x0100) != 0;
+  msg.recursion_available = (flags & 0x0080) != 0;
+  msg.rcode = static_cast<RCode>(flags & 0xf);
+
+  for (std::uint16_t i = 0; i < qd; ++i) {
+    Question q;
+    std::uint16_t qtype = 0, qclass = 0;
+    if (!dec.name(q.name) || !dec.u16(qtype) || !dec.u16(qclass)) return std::nullopt;
+    q.qtype = static_cast<QType>(qtype);
+    q.qclass = static_cast<QClass>(qclass);
+    msg.questions.push_back(std::move(q));
+  }
+  const auto read_section = [&dec](std::uint16_t count, std::vector<ResourceRecord>& out) {
+    for (std::uint16_t i = 0; i < count; ++i) {
+      ResourceRecord rr;
+      if (!decode_rr(dec, rr)) return false;
+      out.push_back(std::move(rr));
+    }
+    return true;
+  };
+  if (!read_section(an, msg.answers) || !read_section(ns, msg.authorities) ||
+      !read_section(ar, msg.additionals)) {
+    return std::nullopt;
+  }
+  return msg;
+}
+
+std::optional<Message> decode(const std::vector<std::uint8_t>& wire) {
+  return decode(wire.data(), wire.size());
+}
+
+}  // namespace dnsbs::dns

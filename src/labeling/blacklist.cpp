@@ -1,0 +1,45 @@
+#include "labeling/blacklist.hpp"
+
+namespace dnsbs::labeling {
+
+BlacklistSet BlacklistSet::build(std::span<const sim::OriginatorSpec> population,
+                                 const BlacklistConfig& config, util::Rng& rng) {
+  BlacklistSet set;
+  for (const auto& spec : population) {
+    Entry entry;
+    for (std::size_t op = 0; op < config.operators; ++op) {
+      switch (spec.cls) {
+        case core::AppClass::kSpam:
+          if (rng.chance(config.spam_detection_prob)) ++entry.spam;
+          if (rng.chance(config.spam_other_prob)) ++entry.other;
+          break;
+        case core::AppClass::kScan:
+          if (rng.chance(config.scan_other_prob)) ++entry.other;
+          break;
+        default:
+          if (rng.chance(config.false_listing_prob)) {
+            rng.chance(0.5) ? ++entry.spam : ++entry.other;
+          }
+          break;
+      }
+    }
+    if (entry.spam > 0 || entry.other > 0) {
+      auto& existing = set.entries_[spec.address];
+      existing.spam += entry.spam;
+      existing.other += entry.other;
+    }
+  }
+  return set;
+}
+
+std::uint32_t BlacklistSet::spam_listings(net::IPv4Addr addr) const {
+  const auto it = entries_.find(addr);
+  return it == entries_.end() ? 0 : it->second.spam;
+}
+
+std::uint32_t BlacklistSet::other_listings(net::IPv4Addr addr) const {
+  const auto it = entries_.find(addr);
+  return it == entries_.end() ? 0 : it->second.other;
+}
+
+}  // namespace dnsbs::labeling

@@ -1,0 +1,59 @@
+// DNSBL simulation: the external reputation evidence the paper uses to
+// confirm spammers (Appendix A: "9 organizations ... we consider only the
+// spam portion of blacklists").
+//
+// Real blacklists are imperfect: they list most (not all) active spammers
+// after a detection delay, list some scanners/abusers in their "other"
+// sections, and contain a little noise.  BlacklistSet models N independent
+// list operators with per-operator detection probabilities, so the
+// "BLS/BLO" columns of Tables VII/VIII have realistic disagreement.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "core/taxonomy.hpp"
+#include "net/ipv4.hpp"
+#include "sim/originator.hpp"
+#include "util/rng.hpp"
+
+namespace dnsbs::labeling {
+
+struct BlacklistConfig {
+  std::size_t operators = 9;           ///< independent DNSBL providers
+  double spam_detection_prob = 0.55;   ///< P(one operator lists an active spammer)
+  double scan_other_prob = 0.25;       ///< P(operator lists a scanner in "other")
+  double spam_other_prob = 0.30;       ///< spammers also do other abuse
+  double false_listing_prob = 0.004;   ///< benign originators wrongly listed
+};
+
+class BlacklistSet {
+ public:
+  /// Builds listings from the true population (the sim plays the role of
+  /// the abuse ecosystem the real lists observe).
+  static BlacklistSet build(std::span<const sim::OriginatorSpec> population,
+                            const BlacklistConfig& config, util::Rng& rng);
+
+  /// Number of operators listing this address as a spam source (the BLS
+  /// column of Table VII).
+  std::uint32_t spam_listings(net::IPv4Addr addr) const;
+
+  /// Listings in non-spam ("other malicious") sections (the BLO column).
+  std::uint32_t other_listings(net::IPv4Addr addr) const;
+
+  /// True if any operator lists the address at all.
+  bool listed(net::IPv4Addr addr) const {
+    return spam_listings(addr) > 0 || other_listings(addr) > 0;
+  }
+
+  std::size_t listed_addresses() const noexcept { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::uint32_t spam = 0;
+    std::uint32_t other = 0;
+  };
+  std::unordered_map<net::IPv4Addr, Entry> entries_;
+};
+
+}  // namespace dnsbs::labeling

@@ -1,0 +1,45 @@
+#include "labeling/curator.hpp"
+
+namespace dnsbs::labeling {
+
+Curator::Curator(const sim::Scenario& scenario, const BlacklistSet& blacklist,
+                 const Darknet& darknet, CuratorConfig config, std::uint64_t seed)
+    : scenario_(scenario),
+      blacklist_(blacklist),
+      darknet_(darknet),
+      config_(config),
+      rng_(util::Rng::stream(seed, 0xc42a)) {}
+
+GroundTruth Curator::curate(std::span<const core::FeatureVector> detected) {
+  GroundTruth out;
+  std::array<std::size_t, core::kAppClassCount> taken{};
+  const auto& truth = scenario_.truth();
+
+  // Detected features arrive footprint-descending (the sensor sorts), so
+  // curation naturally prefers the most prominent originators, as the
+  // paper's top-10000 intersection does.
+  for (const auto& fv : detected) {
+    const auto it = truth.find(fv.originator);
+    if (it == truth.end()) continue;  // not an activity we injected
+    const core::AppClass true_class = it->second;
+    auto& count = taken[static_cast<std::size_t>(true_class)];
+    if (count >= config_.max_per_class) continue;
+
+    if (config_.require_evidence_for_malicious && core::is_malicious(true_class)) {
+      const bool listed = blacklist_.listed(fv.originator);
+      const bool confirmed = darknet_.confirms_scanner(fv.originator, 4);
+      if (!listed && !confirmed) continue;
+    }
+
+    core::AppClass label = true_class;
+    if (!rng_.chance(config_.label_accuracy)) {
+      // Curation mistake: a plausible adjacent class.
+      label = static_cast<core::AppClass>(rng_.below(core::kAppClassCount));
+    }
+    out.add(fv.originator, label);
+    ++count;
+  }
+  return out;
+}
+
+}  // namespace dnsbs::labeling

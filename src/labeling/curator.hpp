@@ -1,0 +1,49 @@
+// Expert curation simulation (paper §III-E, §IV-B).
+//
+// The paper's human expert intersects external evidence (blacklists,
+// darknets, crawl lists) with the top originators by querier count, then
+// verifies each candidate manually.  Curator reproduces that process
+// against the simulator's known truth: it labels only originators that
+// were actually *detected* in the window (so the labeled set reflects the
+// vantage point, as the paper stresses), requires corroborating evidence
+// for malicious classes, and enforces per-class minimums/caps.
+#pragma once
+
+#include "core/feature_vector.hpp"
+#include "labeling/blacklist.hpp"
+#include "labeling/darknet.hpp"
+#include "labeling/ground_truth.hpp"
+#include "sim/scenario.hpp"
+
+namespace dnsbs::labeling {
+
+struct CuratorConfig {
+  /// Per-class cap on labeled examples (the paper labels 200-700 total).
+  std::size_t max_per_class = 60;
+  /// Expert accuracy: probability a curated label is correct (manual
+  /// verification is good but not perfect).
+  double label_accuracy = 0.97;
+  /// Malicious examples are only admitted with external evidence
+  /// (blacklist listing or darknet confirmation) — matching Appendix A.
+  bool require_evidence_for_malicious = true;
+};
+
+class Curator {
+ public:
+  Curator(const sim::Scenario& scenario, const BlacklistSet& blacklist,
+          const Darknet& darknet, CuratorConfig config, std::uint64_t seed);
+
+  /// Curates a labeled set from the originators detected in a window
+  /// (their extracted feature vectors).  Wrong-class labels occur at
+  /// (1 - label_accuracy), as real curation error would.
+  GroundTruth curate(std::span<const core::FeatureVector> detected);
+
+ private:
+  const sim::Scenario& scenario_;
+  const BlacklistSet& blacklist_;
+  const Darknet& darknet_;
+  CuratorConfig config_;
+  util::Rng rng_;
+};
+
+}  // namespace dnsbs::labeling

@@ -1,0 +1,34 @@
+#include "labeling/darknet.hpp"
+
+namespace dnsbs::labeling {
+
+void Darknet::on_touch(util::SimTime time, const sim::OriginatorSpec& originator,
+                       net::IPv4Addr target) {
+  (void)time;
+  for (const net::Prefix& prefix : prefixes_) {
+    if (prefix.contains(target)) {
+      hits_[originator.address].insert(target.value());
+      ++packets_;
+      return;
+    }
+  }
+}
+
+std::size_t Darknet::addresses_hit_by(net::IPv4Addr source) const {
+  const auto it = hits_.find(source);
+  return it == hits_.end() ? 0 : it->second.size();
+}
+
+std::vector<net::IPv4Addr> Darknet::sources() const {
+  std::vector<net::IPv4Addr> out;
+  out.reserve(hits_.size());
+  for (const auto& [source, targets] : hits_) out.push_back(source);
+  return out;
+}
+
+std::vector<net::Prefix> default_darknet_prefixes() {
+  // The simulator reserves these blocks as never-allocated dark space.
+  return sim::darknet_prefixes();
+}
+
+}  // namespace dnsbs::labeling

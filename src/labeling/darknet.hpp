@@ -1,0 +1,55 @@
+// Darknet sensor: a block of unoccupied address space whose incoming
+// packets are all unsolicited.  The paper confirms scanners with "two
+// darknets (one a /17 and the other a /18 prefix)" (Appendix A) and uses
+// darknet hits as the DarkIP column of Tables VII/VIII.
+//
+// Implemented as a TrafficObserver on the simulator's raw touches:
+// scanners picking random 32-bit targets naturally land in the darknet
+// prefixes, exactly as real random scanning does.
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "net/ipv4.hpp"
+#include "sim/traffic_engine.hpp"
+
+namespace dnsbs::labeling {
+
+class Darknet final : public sim::TrafficObserver {
+ public:
+  /// Monitors the given unallocated prefixes (they must not overlap the
+  /// address plan's allocated sites; scenario presets reserve them).
+  explicit Darknet(std::vector<net::Prefix> prefixes)
+      : prefixes_(std::move(prefixes)) {}
+
+  void on_touch(util::SimTime time, const sim::OriginatorSpec& originator,
+                net::IPv4Addr target) override;
+
+  /// Distinct darknet addresses hit by this source (the DarkIP column).
+  std::size_t addresses_hit_by(net::IPv4Addr source) const;
+
+  /// The paper's confirmation rule: a confirmed scanner touched more than
+  /// `threshold` distinct darknet addresses.
+  bool confirms_scanner(net::IPv4Addr source, std::size_t threshold = 16) const {
+    return addresses_hit_by(source) > threshold;
+  }
+
+  /// All sources that hit the darknet at all.
+  std::vector<net::IPv4Addr> sources() const;
+
+  std::uint64_t packets() const noexcept { return packets_; }
+
+ private:
+  std::vector<net::Prefix> prefixes_;
+  std::unordered_map<net::IPv4Addr, std::unordered_set<std::uint32_t>> hits_;
+  std::uint64_t packets_ = 0;
+};
+
+/// Darknet prefixes that the scenario presets leave unallocated: the top
+/// of 127/8 is never assigned by the address plan (127 is skipped), so we
+/// carve the paper's /17 + /18 from it.
+std::vector<net::Prefix> default_darknet_prefixes();
+
+}  // namespace dnsbs::labeling

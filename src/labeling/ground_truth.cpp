@@ -1,0 +1,24 @@
+#include "labeling/ground_truth.hpp"
+
+namespace dnsbs::labeling {
+
+std::array<std::size_t, core::kAppClassCount> GroundTruth::class_counts() const {
+  std::array<std::size_t, core::kAppClassCount> counts{};
+  for (const auto& [addr, cls] : labels_) ++counts[static_cast<std::size_t>(cls)];
+  return counts;
+}
+
+std::pair<ml::Dataset, std::vector<net::IPv4Addr>> GroundTruth::join(
+    std::span<const core::FeatureVector> features) const {
+  ml::Dataset dataset = core::make_dataset();
+  std::vector<net::IPv4Addr> used;
+  for (const auto& fv : features) {
+    const auto label = label_of(fv.originator);
+    if (!label) continue;
+    dataset.add(fv.row(), static_cast<std::size_t>(*label));
+    used.push_back(fv.originator);
+  }
+  return {std::move(dataset), std::move(used)};
+}
+
+}  // namespace dnsbs::labeling

@@ -1,0 +1,47 @@
+// Labeled ground truth: the curated originator -> application-class map
+// used to train and validate the classifier (paper §IV-B, Appendix A).
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/feature_vector.hpp"
+#include "core/taxonomy.hpp"
+#include "ml/dataset.hpp"
+#include "net/ipv4.hpp"
+
+namespace dnsbs::labeling {
+
+class GroundTruth {
+ public:
+  void add(net::IPv4Addr originator, core::AppClass cls) { labels_[originator] = cls; }
+  void remove(net::IPv4Addr originator) { labels_.erase(originator); }
+
+  std::optional<core::AppClass> label_of(net::IPv4Addr originator) const {
+    const auto it = labels_.find(originator);
+    if (it == labels_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  std::size_t size() const noexcept { return labels_.size(); }
+  bool empty() const noexcept { return labels_.empty(); }
+
+  /// Examples per class (paper Table VI rows).
+  std::array<std::size_t, core::kAppClassCount> class_counts() const;
+
+  const std::unordered_map<net::IPv4Addr, core::AppClass>& labels() const noexcept {
+    return labels_;
+  }
+
+  /// Joins labels with extracted feature vectors into a training dataset;
+  /// feature vectors without a label are skipped.  Returns the dataset and
+  /// the addresses that were used, in row order.
+  std::pair<ml::Dataset, std::vector<net::IPv4Addr>> join(
+      std::span<const core::FeatureVector> features) const;
+
+ private:
+  std::unordered_map<net::IPv4Addr, core::AppClass> labels_;
+};
+
+}  // namespace dnsbs::labeling

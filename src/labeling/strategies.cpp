@@ -1,0 +1,213 @@
+#include "labeling/strategies.hpp"
+
+#include <functional>
+
+#include "ml/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace dnsbs::labeling {
+
+namespace {
+
+bool trainable(const ml::Dataset& data, const StrategyConfig& config) {
+  std::size_t populated = 0;
+  for (const std::size_t c : data.class_counts()) {
+    if (c >= config.min_per_class) ++populated;
+  }
+  return populated >= config.min_classes;
+}
+
+ml::RandomForest make_forest(const StrategyConfig& config, std::uint64_t salt) {
+  ml::ForestConfig fc = config.forest;
+  fc.seed = config.seed ^ (salt * 0x9e3779b97f4a7c15ULL);
+  return ml::RandomForest(fc);
+}
+
+/// f-score of `model` on the labeled examples present in `window`.
+StrategyPoint score_window(const ml::Classifier& model, const WindowObservation& window,
+                           const GroundTruth& labels, std::size_t index) {
+  StrategyPoint point;
+  point.window = index;
+  ml::ConfusionMatrix cm(core::kAppClassCount);
+  for (const auto& fv : window.features) {
+    const auto label = labels.label_of(fv.originator);
+    if (!label) continue;
+    ++point.examples;
+    cm.add(static_cast<std::size_t>(*label), model.predict(fv.row()));
+  }
+  if (point.examples > 0) {
+    const ml::Metrics m = ml::compute_metrics(cm);
+    point.f1 = m.f1;
+    point.accuracy = m.accuracy;
+    point.trained = true;
+  }
+  return point;
+}
+
+}  // namespace
+
+std::array<std::size_t, core::kAppClassCount> reappearing_counts(
+    const WindowObservation& window, const GroundTruth& labels) {
+  std::array<std::size_t, core::kAppClassCount> counts{};
+  for (const auto& fv : window.features) {
+    if (const auto label = labels.label_of(fv.originator)) {
+      ++counts[static_cast<std::size_t>(*label)];
+    }
+  }
+  return counts;
+}
+
+std::vector<StrategyPoint> evaluate_train_once(
+    std::span<const WindowObservation> windows, std::size_t curation_window,
+    const GroundTruth& labels, const StrategyConfig& config) {
+  std::vector<StrategyPoint> out;
+  if (curation_window >= windows.size()) return out;
+  auto [train_data, used] = labels.join(windows[curation_window].features);
+  if (!trainable(train_data, config)) {
+    for (std::size_t w = 0; w < windows.size(); ++w) out.push_back({w, 0, 0, 0, false});
+    return out;
+  }
+  ml::RandomForest model = make_forest(config, 1);
+  model.fit(train_data);
+  for (std::size_t w = 0; w < windows.size(); ++w) {
+    out.push_back(score_window(model, windows[w], labels, w));
+  }
+  return out;
+}
+
+std::vector<StrategyPoint> evaluate_train_daily(
+    std::span<const WindowObservation> windows, const GroundTruth& labels,
+    const StrategyConfig& config) {
+  std::vector<StrategyPoint> out;
+  for (std::size_t w = 0; w < windows.size(); ++w) {
+    auto [data, used] = labels.join(windows[w].features);
+    StrategyPoint point;
+    point.window = w;
+    point.examples = data.size();
+    if (!trainable(data, config)) {
+      out.push_back(point);
+      continue;
+    }
+    // Fresh features, fixed labels.  Following the paper's §V-C protocol,
+    // the same day's re-appearing labeled examples serve as both the
+    // (re)training input and the validation set — which flatters this
+    // strategy exactly as the paper's Figure 7 curve is flattered; use
+    // crossval on one window for an unbiased single-window estimate.
+    ml::RandomForest model = make_forest(config, w + 2);
+    model.fit(data);
+    out.push_back(score_window(model, windows[w], labels, w));
+  }
+  return out;
+}
+
+namespace {
+
+/// Shared auto-grow chain: `admit` decides whether a predicted label may
+/// enter the next window's training set (nullopt = reject the example).
+using LabelFilter =
+    std::function<std::optional<core::AppClass>(net::IPv4Addr, core::AppClass)>;
+
+std::vector<StrategyPoint> auto_grow_impl(
+    std::span<const WindowObservation> windows, std::size_t curation_window,
+    const GroundTruth& labels, const StrategyConfig& config,
+    const std::unordered_map<net::IPv4Addr, core::AppClass>* truth,
+    const LabelFilter& admit) {
+  std::vector<StrategyPoint> out(windows.size());
+  for (std::size_t w = 0; w < windows.size(); ++w) out[w].window = w;
+  if (curation_window >= windows.size()) return out;
+
+  // The label set evolves forward from curation: the model trained on
+  // window w's (features, evolving labels) both scores the *next* window
+  // and relabels it for the window after.  Errors therefore compound —
+  // a mislabeled example trains the next model, which mislabels more
+  // (the paper's "classification error quickly accumulates over days").
+  GroundTruth evolving = labels;
+  for (std::size_t w = curation_window; w < windows.size(); ++w) {
+    auto [data, used] = evolving.join(windows[w].features);
+    out[w].examples = data.size();
+    if (truth && !evolving.empty()) {
+      std::size_t wrong = 0, checked = 0;
+      for (const auto& [addr, cls] : evolving.labels()) {
+        const auto it = truth->find(addr);
+        if (it == truth->end()) continue;
+        ++checked;
+        if (it->second != cls) ++wrong;
+      }
+      if (checked > 0) {
+        out[w].label_error = static_cast<double>(wrong) / static_cast<double>(checked);
+      }
+    }
+    if (!trainable(data, config)) {
+      // Too few classes survive in the grown labels: the strategy has
+      // collapsed and cannot build a classifier (f1 stays 0).
+      evolving = GroundTruth{};
+      continue;
+    }
+    ml::RandomForest model = make_forest(config, w + 1000);
+    model.fit(data);
+
+    // Forward evaluation: yesterday's grown model against today's
+    // re-appearing curated examples (never the rows it was fit on).
+    if (w + 1 < windows.size()) {
+      const double err = out[w + 1].label_error;
+      out[w + 1] = score_window(model, windows[w + 1], labels, w + 1);
+      out[w + 1].label_error = err;
+    }
+    // The curation window itself scores as self-trained (deceptively high,
+    // as the paper notes for curation days).
+    if (w == curation_window) {
+      const double err = out[w].label_error;
+      out[w] = score_window(model, windows[w], labels, w);
+      out[w].label_error = err;
+    }
+
+    // Grow: the next window's labels are this model's predictions for
+    // every originator detected there, gated by the admission filter.
+    if (w + 1 < windows.size()) {
+      GroundTruth next;
+      for (const auto& fv : windows[w + 1].features) {
+        const auto predicted = static_cast<core::AppClass>(model.predict(fv.row()));
+        if (const auto admitted = admit(fv.originator, predicted)) {
+          next.add(fv.originator, *admitted);
+        }
+      }
+      evolving = std::move(next);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<StrategyPoint> evaluate_auto_grow(
+    std::span<const WindowObservation> windows, std::size_t curation_window,
+    const GroundTruth& labels, const StrategyConfig& config,
+    const std::unordered_map<net::IPv4Addr, core::AppClass>* truth) {
+  return auto_grow_impl(windows, curation_window, labels, config, truth,
+                        [](net::IPv4Addr, core::AppClass cls) {
+                          return std::optional<core::AppClass>(cls);
+                        });
+}
+
+std::vector<StrategyPoint> evaluate_auto_grow_verified(
+    std::span<const WindowObservation> windows, std::size_t curation_window,
+    const GroundTruth& labels, const BlacklistSet& blacklist, const Darknet& darknet,
+    const StrategyConfig& config,
+    const std::unordered_map<net::IPv4Addr, core::AppClass>* truth) {
+  return auto_grow_impl(
+      windows, curation_window, labels, config, truth,
+      [&blacklist, &darknet](net::IPv4Addr addr,
+                             core::AppClass cls) -> std::optional<core::AppClass> {
+        if (!core::is_malicious(cls)) return cls;
+        // Newly-identified malicious labels need external corroboration
+        // (Spamhaus-style reputation or darknet sightings).
+        if (cls == core::AppClass::kSpam && blacklist.spam_listings(addr) > 0) return cls;
+        if (cls == core::AppClass::kScan &&
+            (darknet.confirms_scanner(addr, 4) || blacklist.other_listings(addr) > 0)) {
+          return cls;
+        }
+        return std::nullopt;
+      });
+}
+
+}  // namespace dnsbs::labeling

@@ -1,0 +1,167 @@
+#include "ml/cart.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace dnsbs::ml {
+
+namespace {
+
+double gini_from_counts(std::span<const std::size_t> counts, std::size_t total) noexcept {
+  if (total == 0) return 0.0;
+  double sum_sq = 0.0;
+  for (const std::size_t c : counts) {
+    const double p = static_cast<double>(c) / static_cast<double>(total);
+    sum_sq += p * p;
+  }
+  return 1.0 - sum_sq;
+}
+
+std::uint32_t majority(std::span<const std::size_t> counts) noexcept {
+  std::size_t best = 0;
+  for (std::size_t k = 1; k < counts.size(); ++k) {
+    if (counts[k] > counts[best]) best = k;
+  }
+  return static_cast<std::uint32_t>(best);
+}
+
+}  // namespace
+
+void CartTree::fit(const Dataset& train) {
+  std::vector<std::size_t> all(train.size());
+  std::iota(all.begin(), all.end(), 0);
+  fit_indices(train, all);
+}
+
+void CartTree::fit_indices(const Dataset& train, std::span<const std::size_t> indices) {
+  nodes_.clear();
+  depth_ = 0;
+  class_count_ = train.class_count();
+  importance_.assign(train.feature_count(), 0.0);
+  util::Rng rng(config_.seed);
+  std::vector<std::size_t> rows(indices.begin(), indices.end());
+  if (rows.empty()) {
+    nodes_.push_back(Node{});  // degenerate leaf predicting class 0
+    return;
+  }
+  build(train, rows, 0, rows.size(), 0, rng);
+}
+
+std::uint32_t CartTree::build(const Dataset& train, std::vector<std::size_t>& rows,
+                              std::size_t begin, std::size_t end, std::size_t depth,
+                              util::Rng& rng) {
+  depth_ = std::max(depth_, depth);
+  const std::size_t n = end - begin;
+
+  std::vector<std::size_t> counts(class_count_, 0);
+  for (std::size_t i = begin; i < end; ++i) ++counts[train.label(rows[i])];
+  const double node_gini = gini_from_counts(counts, n);
+
+  const auto make_leaf = [&]() {
+    Node leaf;
+    leaf.feature = -1;
+    leaf.label = majority(counts);
+    nodes_.push_back(leaf);
+    return static_cast<std::uint32_t>(nodes_.size() - 1);
+  };
+
+  if (node_gini == 0.0 || n < config_.min_samples_split || depth >= config_.max_depth) {
+    return make_leaf();
+  }
+
+  // Candidate features: all, or a random subset of max_features.
+  const std::size_t f_total = train.feature_count();
+  std::vector<std::size_t> features;
+  if (config_.max_features == 0 || config_.max_features >= f_total) {
+    features.resize(f_total);
+    std::iota(features.begin(), features.end(), 0);
+  } else {
+    features = rng.sample_indices(f_total, config_.max_features);
+  }
+
+  struct Best {
+    double decrease = 0.0;
+    std::size_t feature = 0;
+    double threshold = 0.0;
+  } best;
+
+  // Scratch: (value, label) pairs sorted per candidate feature.
+  std::vector<std::pair<double, std::size_t>> sorted;
+  sorted.reserve(n);
+  std::vector<std::size_t> left_counts(class_count_);
+
+  for (const std::size_t f : features) {
+    sorted.clear();
+    for (std::size_t i = begin; i < end; ++i) {
+      sorted.emplace_back(train.row(rows[i])[f], train.label(rows[i]));
+    }
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    if (sorted.front().first == sorted.back().first) continue;  // constant feature
+
+    std::fill(left_counts.begin(), left_counts.end(), 0);
+    std::size_t n_left = 0;
+    // Sweep split positions between consecutive distinct values.
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      ++left_counts[sorted[i].second];
+      ++n_left;
+      if (sorted[i].first == sorted[i + 1].first) continue;
+      const std::size_t n_right = n - n_left;
+      if (n_left < config_.min_samples_leaf || n_right < config_.min_samples_leaf) continue;
+
+      double left_sq = 0.0, right_sq = 0.0;
+      for (std::size_t k = 0; k < class_count_; ++k) {
+        const double cl = static_cast<double>(left_counts[k]);
+        const double cr = static_cast<double>(counts[k] - left_counts[k]);
+        left_sq += cl * cl;
+        right_sq += cr * cr;
+      }
+      const double gini_left = 1.0 - left_sq / (static_cast<double>(n_left) * n_left);
+      const double gini_right = 1.0 - right_sq / (static_cast<double>(n_right) * n_right);
+      const double weighted =
+          (static_cast<double>(n_left) * gini_left + static_cast<double>(n_right) * gini_right) /
+          static_cast<double>(n);
+      const double decrease = node_gini - weighted;
+      if (decrease > best.decrease) {
+        best = Best{decrease, f, (sorted[i].first + sorted[i + 1].first) / 2.0};
+      }
+    }
+  }
+
+  if (best.decrease <= 1e-12) return make_leaf();
+
+  // Partition rows in place around the chosen threshold.
+  const auto mid_it =
+      std::partition(rows.begin() + static_cast<std::ptrdiff_t>(begin),
+                     rows.begin() + static_cast<std::ptrdiff_t>(end), [&](std::size_t r) {
+                       return train.row(r)[best.feature] <= best.threshold;
+                     });
+  const std::size_t mid = static_cast<std::size_t>(mid_it - rows.begin());
+  assert(mid > begin && mid < end);
+
+  importance_[best.feature] += static_cast<double>(n) * best.decrease;
+
+  const std::uint32_t self = static_cast<std::uint32_t>(nodes_.size());
+  nodes_.push_back(Node{});  // reserve slot; children append after
+  nodes_[self].feature = static_cast<std::int32_t>(best.feature);
+  nodes_[self].threshold = best.threshold;
+  const std::uint32_t left = build(train, rows, begin, mid, depth + 1, rng);
+  const std::uint32_t right = build(train, rows, mid, end, depth + 1, rng);
+  nodes_[self].left = left;
+  nodes_[self].right = right;
+  return self;
+}
+
+std::size_t CartTree::predict(std::span<const double> features) const {
+  if (nodes_.empty()) return 0;
+  std::uint32_t at = 0;
+  while (nodes_[at].feature >= 0) {
+    const Node& node = nodes_[at];
+    at = features[static_cast<std::size_t>(node.feature)] <= node.threshold ? node.left
+                                                                            : node.right;
+  }
+  return nodes_[at].label;
+}
+
+}  // namespace dnsbs::ml

@@ -1,0 +1,70 @@
+// CART decision tree (Breiman et al. 1984), one of the paper's three
+// classifiers and the base learner of the Random Forest.
+//
+// Binary tree, Gini-impurity splitting, exhaustive threshold search over
+// midpoints of sorted feature values.  Supports per-node feature
+// subsampling (max_features) so the forest can decorrelate trees, and
+// accumulates per-feature Gini importance — the quantity behind the
+// paper's Table IV "top discriminative features".
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ml/classifier.hpp"
+#include "util/rng.hpp"
+
+namespace dnsbs::ml {
+
+struct CartConfig {
+  std::size_t max_depth = 24;
+  std::size_t min_samples_split = 2;
+  std::size_t min_samples_leaf = 1;
+  /// Features examined per node: 0 = all (plain CART); forests pass
+  /// ~sqrt(feature_count).
+  std::size_t max_features = 0;
+  std::uint64_t seed = 1;
+};
+
+class CartTree final : public Classifier {
+ public:
+  explicit CartTree(CartConfig config = {}) : config_(config) {}
+
+  void fit(const Dataset& train) override;
+  std::size_t predict(std::span<const double> features) const override;
+  std::string name() const override { return "CART"; }
+
+  /// Fits on a bootstrap sample given by row indices (duplicates allowed);
+  /// used by the Random Forest.
+  void fit_indices(const Dataset& train, std::span<const std::size_t> indices);
+
+  /// Total Gini-impurity decrease attributed to each feature, weighted by
+  /// node sample counts; unnormalized.
+  const std::vector<double>& gini_importance() const noexcept { return importance_; }
+
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+  std::size_t depth() const noexcept { return depth_; }
+
+ private:
+  struct Node {
+    // Interior: feature/threshold, children indices.  Leaf: label.
+    std::int32_t feature = -1;  // -1 marks a leaf
+    double threshold = 0.0;
+    std::uint32_t left = 0;
+    std::uint32_t right = 0;
+    std::uint32_t label = 0;
+  };
+
+  std::uint32_t build(const Dataset& train, std::vector<std::size_t>& rows, std::size_t begin,
+                      std::size_t end, std::size_t depth, util::Rng& rng);
+
+  CartConfig config_;
+  std::vector<Node> nodes_;
+  std::vector<double> importance_;
+  std::size_t depth_ = 0;
+  std::size_t class_count_ = 0;
+};
+
+}  // namespace dnsbs::ml

@@ -1,0 +1,44 @@
+// Common classifier interface so the validation harness (crossval) and the
+// training-over-time strategies can drive CART, Random Forest, and SVM
+// interchangeably, as the paper's §IV-C comparison does.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace dnsbs::ml {
+
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Trains on the full dataset.  Implementations must be re-trainable:
+  /// a second fit() discards the first model.
+  virtual void fit(const Dataset& train) = 0;
+
+  /// Predicts the class index for one feature row.
+  virtual std::size_t predict(std::span<const double> features) const = 0;
+
+  /// Human-readable algorithm name ("CART", "RF", "SVM").
+  virtual std::string name() const = 0;
+
+  /// Predicts a batch.
+  std::vector<std::size_t> predict_all(const Dataset& data) const {
+    std::vector<std::size_t> out;
+    out.reserve(data.size());
+    for (std::size_t i = 0; i < data.size(); ++i) out.push_back(predict(data.row(i)));
+    return out;
+  }
+};
+
+/// Factory signature used by the cross-validation harness: a fresh model
+/// per repetition, seeded per run (RF and SVM are randomized; the paper
+/// re-runs them and majority-votes).
+using ClassifierFactory = std::unique_ptr<Classifier> (*)(std::uint64_t seed);
+
+}  // namespace dnsbs::ml

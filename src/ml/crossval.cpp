@@ -1,0 +1,62 @@
+#include "ml/crossval.hpp"
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace dnsbs::ml {
+
+MetricSummary cross_validate(const Dataset& data, const ModelFactory& factory,
+                             const CrossValConfig& config) {
+  util::Rng rng(config.seed);
+  std::vector<Metrics> runs;
+  runs.reserve(config.repetitions);
+  for (std::size_t rep = 0; rep < config.repetitions; ++rep) {
+    const auto [train_idx, test_idx] = data.stratified_split(rng, config.train_fraction);
+    const Dataset train = data.subset(train_idx);
+    const Dataset test = data.subset(test_idx);
+    if (train.empty() || test.empty()) continue;
+
+    auto model = factory(config.seed * 1000003ULL + rep);
+    model->fit(train);
+
+    ConfusionMatrix cm(data.class_count());
+    for (std::size_t i = 0; i < test.size(); ++i) {
+      cm.add(test.label(i), model->predict(test.row(i)));
+    }
+    runs.push_back(compute_metrics(cm));
+  }
+  return summarize(runs);
+}
+
+VotingClassifier::VotingClassifier(ModelFactory factory, std::size_t votes, std::uint64_t seed)
+    : factory_(std::move(factory)), votes_(votes == 0 ? 1 : votes), seed_(seed) {}
+
+void VotingClassifier::fit(const Dataset& train) {
+  members_.clear();
+  class_count_ = train.class_count();
+  for (std::size_t v = 0; v < votes_; ++v) {
+    auto member = factory_(seed_ ^ (0x9e3779b97f4a7c15ULL * (v + 1)));
+    member->fit(train);
+    members_.push_back(std::move(member));
+  }
+}
+
+std::size_t VotingClassifier::predict(std::span<const double> features) const {
+  std::vector<std::size_t> tally(class_count_ == 0 ? 1 : class_count_, 0);
+  for (const auto& member : members_) {
+    const std::size_t y = member->predict(features);
+    if (y < tally.size()) ++tally[y];
+  }
+  std::size_t best = 0;
+  for (std::size_t k = 1; k < tally.size(); ++k) {
+    if (tally[k] > tally[best]) best = k;
+  }
+  return best;
+}
+
+std::string VotingClassifier::name() const {
+  return members_.empty() ? "Voting" : "Voting(" + members_.front()->name() + ")";
+}
+
+}  // namespace dnsbs::ml

@@ -1,0 +1,50 @@
+// Repeated random-split cross-validation, the paper's §IV-C protocol:
+// "pick a random 60% of the labeled ground-truth for training, then test on
+// the remaining 40% ... repeat this process 50 times".  Also provides the
+// 10-run majority-vote wrapper the paper applies to the randomized
+// algorithms (RF, SVM).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "ml/classifier.hpp"
+#include "ml/metrics.hpp"
+
+namespace dnsbs::ml {
+
+struct CrossValConfig {
+  double train_fraction = 0.6;
+  std::size_t repetitions = 50;
+  std::uint64_t seed = 42;
+};
+
+/// Builds a fresh (seeded) model for one repetition.
+using ModelFactory = std::function<std::unique_ptr<Classifier>(std::uint64_t seed)>;
+
+/// Runs the repeated-split protocol and summarizes the four metrics.
+MetricSummary cross_validate(const Dataset& data, const ModelFactory& factory,
+                             const CrossValConfig& config = {});
+
+/// Trains `votes` independently-seeded copies and majority-votes their
+/// predictions (ties break toward the lower class index).  Used for the
+/// non-deterministic algorithms per §III-D.
+class VotingClassifier final : public Classifier {
+ public:
+  VotingClassifier(ModelFactory factory, std::size_t votes, std::uint64_t seed);
+
+  void fit(const Dataset& train) override;
+  std::size_t predict(std::span<const double> features) const override;
+  std::string name() const override;
+
+ private:
+  ModelFactory factory_;
+  std::size_t votes_;
+  std::uint64_t seed_;
+  std::vector<std::unique_ptr<Classifier>> members_;
+  std::size_t class_count_ = 0;
+};
+
+}  // namespace dnsbs::ml

@@ -1,0 +1,79 @@
+#include "ml/dataset.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace dnsbs::ml {
+
+void Dataset::add(std::vector<double> features, std::size_t label) {
+  if (features.size() != feature_count()) {
+    throw std::invalid_argument("Dataset::add: feature count mismatch");
+  }
+  if (label >= class_count()) {
+    throw std::invalid_argument("Dataset::add: label out of range");
+  }
+  rows_.insert(rows_.end(), features.begin(), features.end());
+  labels_.push_back(label);
+}
+
+std::vector<std::size_t> Dataset::class_counts() const {
+  std::vector<std::size_t> counts(class_count(), 0);
+  for (const std::size_t y : labels_) ++counts[y];
+  return counts;
+}
+
+Dataset Dataset::subset(std::span<const std::size_t> indices) const {
+  Dataset out(feature_names_, class_names_);
+  for (const std::size_t i : indices) {
+    assert(i < size());
+    const auto r = row(i);
+    out.rows_.insert(out.rows_.end(), r.begin(), r.end());
+    out.labels_.push_back(labels_[i]);
+  }
+  return out;
+}
+
+std::pair<std::vector<std::size_t>, std::vector<std::size_t>> Dataset::stratified_split(
+    util::Rng& rng, double train_fraction) const {
+  std::vector<std::vector<std::size_t>> by_class(class_count());
+  for (std::size_t i = 0; i < size(); ++i) by_class[labels_[i]].push_back(i);
+
+  std::vector<std::size_t> train, test;
+  for (auto& members : by_class) {
+    rng.shuffle(members);
+    // Round per-class train counts so small classes still contribute at
+    // least one example to each side when they can.
+    std::size_t n_train =
+        static_cast<std::size_t>(train_fraction * static_cast<double>(members.size()) + 0.5);
+    if (members.size() >= 2) {
+      if (n_train == 0) n_train = 1;
+      if (n_train == members.size()) n_train = members.size() - 1;
+    }
+    for (std::size_t k = 0; k < members.size(); ++k) {
+      (k < n_train ? train : test).push_back(members[k]);
+    }
+  }
+  rng.shuffle(train);
+  rng.shuffle(test);
+  return {std::move(train), std::move(test)};
+}
+
+Dataset Dataset::with_features(std::span<const std::size_t> feature_indices) const {
+  std::vector<std::string> names;
+  names.reserve(feature_indices.size());
+  for (const std::size_t f : feature_indices) {
+    assert(f < feature_count());
+    names.push_back(feature_names_[f]);
+  }
+  Dataset out(std::move(names), class_names_);
+  for (std::size_t i = 0; i < size(); ++i) {
+    const auto r = row(i);
+    std::vector<double> projected;
+    projected.reserve(feature_indices.size());
+    for (const std::size_t f : feature_indices) projected.push_back(r[f]);
+    out.add(std::move(projected), labels_[i]);
+  }
+  return out;
+}
+
+}  // namespace dnsbs::ml

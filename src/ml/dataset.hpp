@@ -1,0 +1,64 @@
+// Labeled dataset container for the classification stage.
+//
+// A row is one originator's feature vector (static keyword fractions +
+// dynamic diversity measures); the label is one of the paper's application
+// classes.  The container owns the feature/class name tables so models can
+// report importances and confusions by name.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace dnsbs::ml {
+
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(std::vector<std::string> feature_names, std::vector<std::string> class_names)
+      : feature_names_(std::move(feature_names)), class_names_(std::move(class_names)) {}
+
+  /// Adds one labeled example.  `features.size()` must equal
+  /// feature_count(); `label` must be < class_count().
+  void add(std::vector<double> features, std::size_t label);
+
+  std::size_t size() const noexcept { return labels_.size(); }
+  bool empty() const noexcept { return labels_.empty(); }
+  std::size_t feature_count() const noexcept { return feature_names_.size(); }
+  std::size_t class_count() const noexcept { return class_names_.size(); }
+
+  std::span<const double> row(std::size_t i) const noexcept {
+    return {rows_.data() + i * feature_count(), feature_count()};
+  }
+  std::size_t label(std::size_t i) const noexcept { return labels_[i]; }
+
+  const std::vector<std::string>& feature_names() const noexcept { return feature_names_; }
+  const std::vector<std::string>& class_names() const noexcept { return class_names_; }
+
+  /// Number of examples per class.
+  std::vector<std::size_t> class_counts() const;
+
+  /// New dataset containing the given rows (same schema).
+  Dataset subset(std::span<const std::size_t> indices) const;
+
+  /// Stratified split: within every class, ~train_fraction of rows go to
+  /// the first index vector, the rest to the second.  Order is randomized.
+  /// Mirrors the paper's repeated 60%/40% cross-validation splits (§IV-C).
+  std::pair<std::vector<std::size_t>, std::vector<std::size_t>> stratified_split(
+      util::Rng& rng, double train_fraction) const;
+
+  /// Projects onto a subset of feature columns (for the static-only /
+  /// dynamic-only ablation); indices must be valid columns.
+  Dataset with_features(std::span<const std::size_t> feature_indices) const;
+
+ private:
+  std::vector<std::string> feature_names_;
+  std::vector<std::string> class_names_;
+  std::vector<double> rows_;  // row-major, size == size()*feature_count()
+  std::vector<std::size_t> labels_;
+};
+
+}  // namespace dnsbs::ml

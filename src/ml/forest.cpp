@@ -1,0 +1,82 @@
+#include "ml/forest.hpp"
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace dnsbs::ml {
+
+void RandomForest::fit(const Dataset& train) {
+  trees_.clear();
+  class_count_ = train.class_count();
+  feature_count_ = train.feature_count();
+  const std::size_t max_features =
+      config_.max_features != 0
+          ? config_.max_features
+          : std::max<std::size_t>(
+                1, static_cast<std::size_t>(
+                       std::sqrt(static_cast<double>(train.feature_count()))));
+
+  // For the balanced bootstrap: index examples by class.
+  std::vector<std::vector<std::size_t>> by_class;
+  if (config_.balanced_bootstrap) {
+    by_class.resize(train.class_count());
+    for (std::size_t i = 0; i < train.size(); ++i) {
+      by_class[train.label(i)].push_back(i);
+    }
+    std::erase_if(by_class, [](const auto& members) { return members.empty(); });
+  }
+
+  util::Rng boot_rng = util::Rng::stream(config_.seed, 0xb007);
+  trees_.reserve(config_.n_trees);
+  std::vector<std::size_t> sample(train.size());
+  for (std::size_t t = 0; t < config_.n_trees; ++t) {
+    CartConfig cc;
+    cc.max_depth = config_.max_depth;
+    cc.min_samples_leaf = config_.min_samples_leaf;
+    cc.max_features = max_features;
+    cc.seed = util::SplitMix64(config_.seed ^ (t * 0x9e3779b97f4a7c15ULL + 1)).next();
+    CartTree tree(cc);
+    // Bootstrap: n draws with replacement (optionally class-balanced).
+    if (config_.balanced_bootstrap && !by_class.empty()) {
+      for (auto& s : sample) {
+        const auto& members = by_class[boot_rng.below(by_class.size())];
+        s = members[boot_rng.below(members.size())];
+      }
+    } else {
+      for (auto& s : sample) s = boot_rng.below(train.size());
+    }
+    tree.fit_indices(train, sample);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+std::size_t RandomForest::predict(std::span<const double> features) const {
+  if (trees_.empty()) return 0;
+  std::vector<std::size_t> votes(class_count_ == 0 ? 1 : class_count_, 0);
+  for (const auto& tree : trees_) {
+    const std::size_t y = tree.predict(features);
+    if (y < votes.size()) ++votes[y];
+  }
+  std::size_t best = 0;
+  for (std::size_t k = 1; k < votes.size(); ++k) {
+    if (votes[k] > votes[best]) best = k;
+  }
+  return best;
+}
+
+std::vector<double> RandomForest::gini_importance() const {
+  std::vector<double> total(feature_count_, 0.0);
+  for (const auto& tree : trees_) {
+    const auto& imp = tree.gini_importance();
+    for (std::size_t f = 0; f < total.size() && f < imp.size(); ++f) total[f] += imp[f];
+  }
+  double sum = 0.0;
+  for (const double v : total) sum += v;
+  if (sum > 0.0) {
+    for (double& v : total) v = 100.0 * v / sum;
+  }
+  return total;
+}
+
+}  // namespace dnsbs::ml

@@ -1,0 +1,123 @@
+#include "ml/metrics.hpp"
+
+#include <cmath>
+
+#include "util/strings.hpp"
+
+namespace dnsbs::ml {
+
+std::size_t ConfusionMatrix::total() const noexcept {
+  std::size_t t = 0;
+  for (const std::size_t c : cells_) t += c;
+  return t;
+}
+
+std::size_t ConfusionMatrix::correct() const noexcept {
+  std::size_t t = 0;
+  for (std::size_t k = 0; k < n_; ++k) t += at(k, k);
+  return t;
+}
+
+std::size_t ConfusionMatrix::false_positives(std::size_t k) const noexcept {
+  std::size_t fp = 0;
+  for (std::size_t r = 0; r < n_; ++r) {
+    if (r != k) fp += at(r, k);
+  }
+  return fp;
+}
+
+std::size_t ConfusionMatrix::false_negatives(std::size_t k) const noexcept {
+  std::size_t fn = 0;
+  for (std::size_t c = 0; c < n_; ++c) {
+    if (c != k) fn += at(k, c);
+  }
+  return fn;
+}
+
+std::size_t ConfusionMatrix::support(std::size_t k) const noexcept {
+  std::size_t s = 0;
+  for (std::size_t c = 0; c < n_; ++c) s += at(k, c);
+  return s;
+}
+
+std::string ConfusionMatrix::to_string(std::span<const std::string> class_names) const {
+  std::string out = "truth\\pred";
+  for (std::size_t c = 0; c < n_; ++c) {
+    out += util::format("  %10s", c < class_names.size() ? class_names[c].c_str() : "?");
+  }
+  out += '\n';
+  for (std::size_t r = 0; r < n_; ++r) {
+    out += util::format("%-10s", r < class_names.size() ? class_names[r].c_str() : "?");
+    for (std::size_t c = 0; c < n_; ++c) {
+      out += util::format("  %10zu", at(r, c));
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Metrics compute_metrics(const ConfusionMatrix& cm) noexcept {
+  Metrics m;
+  const std::size_t total = cm.total();
+  if (total == 0) return m;
+  m.accuracy = static_cast<double>(cm.correct()) / static_cast<double>(total);
+
+  double prec_sum = 0.0, rec_sum = 0.0, f1_sum = 0.0;
+  std::size_t active = 0;
+  for (std::size_t k = 0; k < cm.classes(); ++k) {
+    const std::size_t tp = cm.true_positives(k);
+    const std::size_t fp = cm.false_positives(k);
+    const std::size_t fn = cm.false_negatives(k);
+    if (tp + fp + fn == 0) continue;  // class absent from truth and predictions
+    ++active;
+    if (tp + fp > 0) prec_sum += static_cast<double>(tp) / static_cast<double>(tp + fp);
+    if (tp + fn > 0) rec_sum += static_cast<double>(tp) / static_cast<double>(tp + fn);
+    if (2 * tp + fp + fn > 0) {
+      f1_sum += 2.0 * static_cast<double>(tp) / static_cast<double>(2 * tp + fp + fn);
+    }
+  }
+  if (active > 0) {
+    m.precision = prec_sum / static_cast<double>(active);
+    m.recall = rec_sum / static_cast<double>(active);
+    m.f1 = f1_sum / static_cast<double>(active);
+  }
+  return m;
+}
+
+ConfusionMatrix confusion(std::span<const std::size_t> truth,
+                          std::span<const std::size_t> predicted, std::size_t classes) {
+  ConfusionMatrix cm(classes);
+  const std::size_t n = std::min(truth.size(), predicted.size());
+  for (std::size_t i = 0; i < n; ++i) cm.add(truth[i], predicted[i]);
+  return cm;
+}
+
+MetricSummary summarize(std::span<const Metrics> runs) noexcept {
+  MetricSummary s;
+  s.runs = runs.size();
+  if (runs.empty()) return s;
+  const double n = static_cast<double>(runs.size());
+  for (const auto& r : runs) {
+    s.mean.accuracy += r.accuracy;
+    s.mean.precision += r.precision;
+    s.mean.recall += r.recall;
+    s.mean.f1 += r.f1;
+  }
+  s.mean.accuracy /= n;
+  s.mean.precision /= n;
+  s.mean.recall /= n;
+  s.mean.f1 /= n;
+  for (const auto& r : runs) {
+    s.stddev.accuracy += (r.accuracy - s.mean.accuracy) * (r.accuracy - s.mean.accuracy);
+    s.stddev.precision += (r.precision - s.mean.precision) * (r.precision - s.mean.precision);
+    s.stddev.recall += (r.recall - s.mean.recall) * (r.recall - s.mean.recall);
+    s.stddev.f1 += (r.f1 - s.mean.f1) * (r.f1 - s.mean.f1);
+  }
+  s.stddev.accuracy = std::sqrt(s.stddev.accuracy / n);
+  s.stddev.precision = std::sqrt(s.stddev.precision / n);
+  s.stddev.recall = std::sqrt(s.stddev.recall / n);
+  s.stddev.f1 = std::sqrt(s.stddev.f1 / n);
+  return s;
+}
+
+}  // namespace dnsbs::ml

@@ -1,0 +1,68 @@
+// Classification metrics matching the paper's §IV-C definitions:
+// accuracy ((tp+tn)/all), precision (tp/(tp+fp)), recall (tp/(tp+fn)), and
+// F1 (2tp/(2tp+fp+fn)), computed per class in one-vs-rest fashion and
+// macro-averaged over classes that actually occur.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dnsbs::ml {
+
+/// Row = true class, column = predicted class.
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(std::size_t classes) : n_(classes), cells_(classes * classes, 0) {}
+
+  void add(std::size_t truth, std::size_t predicted) noexcept {
+    if (truth < n_ && predicted < n_) ++cells_[truth * n_ + predicted];
+  }
+
+  std::size_t at(std::size_t truth, std::size_t predicted) const noexcept {
+    return cells_[truth * n_ + predicted];
+  }
+
+  std::size_t classes() const noexcept { return n_; }
+  std::size_t total() const noexcept;
+  std::size_t correct() const noexcept;
+
+  std::size_t true_positives(std::size_t k) const noexcept { return at(k, k); }
+  std::size_t false_positives(std::size_t k) const noexcept;
+  std::size_t false_negatives(std::size_t k) const noexcept;
+  /// Occurrences of class k in the truth column.
+  std::size_t support(std::size_t k) const noexcept;
+
+  /// Renders with class names (for bench output / debugging).
+  std::string to_string(std::span<const std::string> class_names) const;
+
+ private:
+  std::size_t n_;
+  std::vector<std::size_t> cells_;
+};
+
+struct Metrics {
+  double accuracy = 0.0;
+  double precision = 0.0;  ///< macro over classes with support or predictions
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+/// Computes the paper's four metrics from a confusion matrix.
+Metrics compute_metrics(const ConfusionMatrix& cm) noexcept;
+
+/// Builds a confusion matrix from parallel truth/prediction vectors.
+ConfusionMatrix confusion(std::span<const std::size_t> truth,
+                          std::span<const std::size_t> predicted, std::size_t classes);
+
+/// Mean and standard deviation over repeated evaluation runs; this is the
+/// "mean (stddev in smaller type)" layout of the paper's Table III.
+struct MetricSummary {
+  Metrics mean;
+  Metrics stddev;
+  std::size_t runs = 0;
+};
+MetricSummary summarize(std::span<const Metrics> runs) noexcept;
+
+}  // namespace dnsbs::ml

@@ -1,0 +1,213 @@
+#include "ml/svm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace dnsbs::ml {
+
+void StandardScaler::fit(const Dataset& data) {
+  const std::size_t f = data.feature_count();
+  means_.assign(f, 0.0);
+  inv_stds_.assign(f, 1.0);
+  if (data.empty()) return;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const auto row = data.row(i);
+    for (std::size_t j = 0; j < f; ++j) means_[j] += row[j];
+  }
+  for (double& m : means_) m /= static_cast<double>(data.size());
+  std::vector<double> var(f, 0.0);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const auto row = data.row(i);
+    for (std::size_t j = 0; j < f; ++j) {
+      const double d = row[j] - means_[j];
+      var[j] += d * d;
+    }
+  }
+  for (std::size_t j = 0; j < f; ++j) {
+    const double sd = std::sqrt(var[j] / static_cast<double>(data.size()));
+    inv_stds_[j] = sd > 1e-12 ? 1.0 / sd : 1.0;
+  }
+}
+
+std::vector<double> StandardScaler::transform(std::span<const double> row) const {
+  std::vector<double> out(row.size());
+  for (std::size_t j = 0; j < row.size() && j < means_.size(); ++j) {
+    out[j] = (row[j] - means_[j]) * inv_stds_[j];
+  }
+  return out;
+}
+
+namespace {
+
+double rbf(std::span<const double> a, std::span<const double> b, double gamma) noexcept {
+  double d2 = 0.0;
+  for (std::size_t j = 0; j < a.size(); ++j) {
+    const double d = a[j] - b[j];
+    d2 += d * d;
+  }
+  return std::exp(-gamma * d2);
+}
+
+/// Simplified SMO (Platt 1998 as condensed in the CS229 notes): optimizes
+/// the dual over pairs of multipliers with a randomized second choice.
+struct SmoResult {
+  std::vector<double> alpha;
+  double bias = 0.0;
+};
+
+SmoResult solve_smo(const std::vector<std::vector<double>>& x, const std::vector<int>& y,
+                    const SvmConfig& cfg, double gamma, util::Rng& rng) {
+  const std::size_t n = x.size();
+  SmoResult res;
+  res.alpha.assign(n, 0.0);
+  if (n < 2) return res;
+
+  // Precompute the kernel matrix: ground-truth sets are hundreds of rows,
+  // so O(n^2) memory is the right trade for SMO's repeated accesses.
+  std::vector<double> K(n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const double k = rbf(x[i], x[j], gamma);
+      K[i * n + j] = k;
+      K[j * n + i] = k;
+    }
+  }
+  const auto f = [&](std::size_t i) {
+    double s = res.bias;
+    for (std::size_t t = 0; t < n; ++t) {
+      if (res.alpha[t] != 0.0) s += res.alpha[t] * y[t] * K[t * n + i];
+    }
+    return s;
+  };
+
+  std::size_t passes = 0;
+  std::size_t iterations = 0;
+  while (passes < cfg.max_passes && iterations < cfg.max_iterations) {
+    ++iterations;
+    std::size_t changed = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double Ei = f(i) - y[i];
+      const bool violates = (y[i] * Ei < -cfg.tol && res.alpha[i] < cfg.C) ||
+                            (y[i] * Ei > cfg.tol && res.alpha[i] > 0.0);
+      if (!violates) continue;
+      std::size_t j = rng.below(n - 1);
+      if (j >= i) ++j;
+      const double Ej = f(j) - y[j];
+      const double ai_old = res.alpha[i];
+      const double aj_old = res.alpha[j];
+      double lo, hi;
+      if (y[i] != y[j]) {
+        lo = std::max(0.0, aj_old - ai_old);
+        hi = std::min(cfg.C, cfg.C + aj_old - ai_old);
+      } else {
+        lo = std::max(0.0, ai_old + aj_old - cfg.C);
+        hi = std::min(cfg.C, ai_old + aj_old);
+      }
+      if (lo >= hi) continue;
+      const double eta = 2.0 * K[i * n + j] - K[i * n + i] - K[j * n + j];
+      if (eta >= 0.0) continue;
+      double aj = aj_old - y[j] * (Ei - Ej) / eta;
+      aj = std::clamp(aj, lo, hi);
+      if (std::abs(aj - aj_old) < 1e-5) continue;
+      const double ai = ai_old + y[i] * y[j] * (aj_old - aj);
+      res.alpha[i] = ai;
+      res.alpha[j] = aj;
+      const double b1 = res.bias - Ei - y[i] * (ai - ai_old) * K[i * n + i] -
+                        y[j] * (aj - aj_old) * K[i * n + j];
+      const double b2 = res.bias - Ej - y[i] * (ai - ai_old) * K[i * n + j] -
+                        y[j] * (aj - aj_old) * K[j * n + j];
+      if (ai > 0.0 && ai < cfg.C) {
+        res.bias = b1;
+      } else if (aj > 0.0 && aj < cfg.C) {
+        res.bias = b2;
+      } else {
+        res.bias = (b1 + b2) / 2.0;
+      }
+      ++changed;
+    }
+    passes = changed == 0 ? passes + 1 : 0;
+  }
+  return res;
+}
+
+}  // namespace
+
+void KernelSvm::fit(const Dataset& train) {
+  models_.clear();
+  class_count_ = train.class_count();
+  scaler_.fit(train);
+  gamma_ = config_.gamma > 0.0
+               ? config_.gamma
+               : 1.0 / static_cast<double>(std::max<std::size_t>(1, train.feature_count()));
+
+  // Scale all rows once, grouped by class.
+  std::vector<std::vector<std::size_t>> by_class(class_count_);
+  std::vector<std::vector<double>> scaled(train.size());
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    scaled[i] = scaler_.transform(train.row(i));
+    by_class[train.label(i)].push_back(i);
+  }
+
+  util::Rng rng(config_.seed);
+  // One-vs-one: a binary machine per unordered class pair that has data.
+  for (std::size_t a = 0; a < class_count_; ++a) {
+    for (std::size_t b = a + 1; b < class_count_; ++b) {
+      if (by_class[a].empty() || by_class[b].empty()) continue;
+      std::vector<std::vector<double>> x;
+      std::vector<int> y;
+      x.reserve(by_class[a].size() + by_class[b].size());
+      for (const std::size_t i : by_class[a]) {
+        x.push_back(scaled[i]);
+        y.push_back(+1);
+      }
+      for (const std::size_t i : by_class[b]) {
+        x.push_back(scaled[i]);
+        y.push_back(-1);
+      }
+      const SmoResult sol = solve_smo(x, y, config_, gamma_, rng);
+      BinaryModel m;
+      m.class_pos = a;
+      m.class_neg = b;
+      m.bias = sol.bias;
+      for (std::size_t i = 0; i < x.size(); ++i) {
+        if (sol.alpha[i] > 1e-9) {
+          m.support.push_back(std::move(x[i]));
+          m.alpha_y.push_back(sol.alpha[i] * y[i]);
+        }
+      }
+      models_.push_back(std::move(m));
+    }
+  }
+}
+
+double KernelSvm::decision(const BinaryModel& m, std::span<const double> scaled) const {
+  double s = m.bias;
+  for (std::size_t i = 0; i < m.support.size(); ++i) {
+    s += m.alpha_y[i] * rbf(m.support[i], scaled, gamma_);
+  }
+  return s;
+}
+
+std::size_t KernelSvm::predict(std::span<const double> features) const {
+  if (models_.empty()) return 0;
+  const std::vector<double> scaled = scaler_.transform(features);
+  std::vector<std::size_t> votes(class_count_, 0);
+  for (const auto& m : models_) {
+    ++votes[decision(m, scaled) >= 0.0 ? m.class_pos : m.class_neg];
+  }
+  std::size_t best = 0;
+  for (std::size_t k = 1; k < votes.size(); ++k) {
+    if (votes[k] > votes[best]) best = k;
+  }
+  return best;
+}
+
+std::size_t KernelSvm::support_vector_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& m : models_) n += m.support.size();
+  return n;
+}
+
+}  // namespace dnsbs::ml

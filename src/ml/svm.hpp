@@ -1,0 +1,68 @@
+// Kernel support-vector machine: RBF kernel, SMO solver, one-vs-one
+// multi-class voting — the third classifier of the paper's comparison
+// (Scholkopf & Smola 2001).  Features are standardized internally since
+// the dynamic features live on very different scales than the static
+// fraction features.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ml/classifier.hpp"
+
+namespace dnsbs::ml {
+
+struct SvmConfig {
+  double C = 10.0;        ///< soft-margin penalty
+  double gamma = 0.0;     ///< RBF width; 0 = 1/feature_count after scaling
+  double tol = 1e-3;      ///< KKT violation tolerance
+  std::size_t max_passes = 5;   ///< SMO passes without change before stop
+  std::size_t max_iterations = 2000;  ///< hard cap per binary problem
+  std::uint64_t seed = 1;
+};
+
+/// Column-wise standardization (zero mean, unit variance).
+class StandardScaler {
+ public:
+  void fit(const Dataset& data);
+  std::vector<double> transform(std::span<const double> row) const;
+  bool fitted() const noexcept { return !means_.empty(); }
+
+ private:
+  std::vector<double> means_;
+  std::vector<double> inv_stds_;
+};
+
+class KernelSvm final : public Classifier {
+ public:
+  explicit KernelSvm(SvmConfig config = {}) : config_(config) {}
+
+  void fit(const Dataset& train) override;
+  std::size_t predict(std::span<const double> features) const override;
+  std::string name() const override { return "SVM"; }
+
+  std::size_t support_vector_count() const noexcept;
+
+ private:
+  /// One binary one-vs-one sub-problem: classes (pos, neg), dual weights
+  /// over its support vectors, and bias.
+  struct BinaryModel {
+    std::size_t class_pos = 0;
+    std::size_t class_neg = 0;
+    std::vector<std::vector<double>> support;  ///< scaled feature rows
+    std::vector<double> alpha_y;               ///< alpha_i * y_i
+    double bias = 0.0;
+  };
+
+  double decision(const BinaryModel& m, std::span<const double> scaled) const;
+
+  SvmConfig config_;
+  StandardScaler scaler_;
+  std::vector<BinaryModel> models_;
+  std::size_t class_count_ = 0;
+  double gamma_ = 1.0;
+};
+
+}  // namespace dnsbs::ml

@@ -1,0 +1,36 @@
+#include "net/ipv4.hpp"
+
+#include "util/strings.hpp"
+
+namespace dnsbs::net {
+
+std::optional<IPv4Addr> IPv4Addr::parse(std::string_view text) noexcept {
+  const auto parts = util::split(text, '.');
+  if (parts.size() != 4) return std::nullopt;
+  std::uint32_t value = 0;
+  for (const auto part : parts) {
+    std::uint64_t octet = 0;
+    if (!util::parse_u64(part, octet) || octet > 255 || part.size() > 3) return std::nullopt;
+    value = (value << 8) | static_cast<std::uint32_t>(octet);
+  }
+  return IPv4Addr(value);
+}
+
+std::string IPv4Addr::to_string() const {
+  return util::format("%u.%u.%u.%u", octet(0), octet(1), octet(2), octet(3));
+}
+
+std::optional<Prefix> Prefix::parse(std::string_view text) noexcept {
+  const std::size_t slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto addr = IPv4Addr::parse(text.substr(0, slash));
+  std::uint64_t len = 0;
+  if (!addr || !util::parse_u64(text.substr(slash + 1), len) || len > 32) return std::nullopt;
+  return Prefix(*addr, static_cast<int>(len));
+}
+
+std::string Prefix::to_string() const {
+  return addr_.to_string() + "/" + std::to_string(len_);
+}
+
+}  // namespace dnsbs::net

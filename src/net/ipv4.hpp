@@ -1,0 +1,124 @@
+// IPv4 address and prefix value types.
+//
+// Addresses are the join point of the whole system: originators and queriers
+// are addresses, the geo/AS databases map prefixes, the reverse-DNS codec
+// turns addresses into in-addr.arpa names, and the dynamic features bucket
+// queriers by /8 and /24.  Keeping them as a strong value type (not raw
+// uint32) prevents the classic host/network byte-order and prefix/host
+// confusions.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace dnsbs::net {
+
+/// An IPv4 address held in host byte order.
+class IPv4Addr {
+ public:
+  constexpr IPv4Addr() noexcept = default;
+  explicit constexpr IPv4Addr(std::uint32_t host_order) noexcept : value_(host_order) {}
+
+  static constexpr IPv4Addr from_octets(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                                        std::uint8_t d) noexcept {
+    return IPv4Addr((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+                    (std::uint32_t{c} << 8) | std::uint32_t{d});
+  }
+
+  /// Parses dotted-quad "a.b.c.d"; rejects out-of-range octets, empty
+  /// fields, and trailing garbage.
+  static std::optional<IPv4Addr> parse(std::string_view text) noexcept;
+
+  constexpr std::uint32_t value() const noexcept { return value_; }
+
+  constexpr std::uint8_t octet(int i) const noexcept {
+    return static_cast<std::uint8_t>(value_ >> (8 * (3 - i)));
+  }
+
+  /// The /8 bucket (first octet); geographic allocation granularity in the
+  /// paper's global-entropy feature.
+  constexpr std::uint32_t slash8() const noexcept { return value_ >> 24; }
+
+  /// The /16 bucket.
+  constexpr std::uint32_t slash16() const noexcept { return value_ >> 16; }
+
+  /// The /24 bucket; the paper's local-entropy and scanner-team granularity.
+  constexpr std::uint32_t slash24() const noexcept { return value_ >> 8; }
+
+  std::string to_string() const;
+
+  constexpr auto operator<=>(const IPv4Addr&) const noexcept = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// A CIDR prefix: address + mask length.  The network bits below the mask
+/// are canonicalized to zero on construction.
+class Prefix {
+ public:
+  constexpr Prefix() noexcept = default;
+
+  /// Canonicalizes: host bits are cleared.  len must be 0..32.
+  constexpr Prefix(IPv4Addr addr, int len) noexcept
+      : addr_(IPv4Addr(len == 0 ? 0 : (addr.value() & mask_for(len)))), len_(len) {}
+
+  /// Parses "a.b.c.d/len".
+  static std::optional<Prefix> parse(std::string_view text) noexcept;
+
+  constexpr IPv4Addr address() const noexcept { return addr_; }
+  constexpr int length() const noexcept { return len_; }
+
+  constexpr std::uint32_t mask() const noexcept { return len_ == 0 ? 0 : mask_for(len_); }
+
+  constexpr bool contains(IPv4Addr a) const noexcept {
+    return (a.value() & mask()) == addr_.value();
+  }
+
+  constexpr bool contains(const Prefix& other) const noexcept {
+    return other.len_ >= len_ && contains(other.addr_);
+  }
+
+  /// Number of addresses covered (2^(32-len)).
+  constexpr std::uint64_t size() const noexcept { return 1ULL << (32 - len_); }
+
+  /// The i-th address inside the prefix (i < size()).
+  constexpr IPv4Addr at(std::uint64_t i) const noexcept {
+    return IPv4Addr(addr_.value() + static_cast<std::uint32_t>(i));
+  }
+
+  std::string to_string() const;
+
+  constexpr auto operator<=>(const Prefix&) const noexcept = default;
+
+ private:
+  static constexpr std::uint32_t mask_for(int len) noexcept {
+    return len == 0 ? 0 : (~std::uint32_t{0} << (32 - len));
+  }
+
+  IPv4Addr addr_{};
+  int len_ = 0;
+};
+
+}  // namespace dnsbs::net
+
+template <>
+struct std::hash<dnsbs::net::IPv4Addr> {
+  std::size_t operator()(const dnsbs::net::IPv4Addr& a) const noexcept {
+    // Fibonacci hash of the 32-bit value; addresses are clustered so a
+    // multiplicative mix matters for unordered_map behaviour.
+    return static_cast<std::size_t>(a.value() * 0x9e3779b97f4a7c15ULL >> 16);
+  }
+};
+
+template <>
+struct std::hash<dnsbs::net::Prefix> {
+  std::size_t operator()(const dnsbs::net::Prefix& p) const noexcept {
+    const std::uint64_t key = (static_cast<std::uint64_t>(p.address().value()) << 6) |
+                              static_cast<std::uint64_t>(p.length());
+    return static_cast<std::size_t>(key * 0x9e3779b97f4a7c15ULL >> 16);
+  }
+};

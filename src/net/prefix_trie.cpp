@@ -1,0 +1,14 @@
+// Explicit instantiations of the prefix trie for the value types used in
+// the library; keeps template bloat out of every translation unit and makes
+// compile errors in the trie surface here, once.
+#include "net/prefix_trie.hpp"
+
+#include <cstdint>
+#include <string>
+
+namespace dnsbs::net {
+
+template class PrefixTrie<std::uint32_t>;
+template class PrefixTrie<std::string>;
+
+}  // namespace dnsbs::net

@@ -1,0 +1,113 @@
+// Binary (one bit per level) longest-prefix-match trie mapping CIDR
+// prefixes to values.  Backs the synthetic AS and geo databases: lookups
+// must behave like real whois/GeoIP — most-specific prefix wins.
+//
+// The trie is a template, so the implementation lives here; prefix_trie.cpp
+// holds only explicit instantiations used across the library (keeps link
+// sizes honest and catches template errors early).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "net/ipv4.hpp"
+
+namespace dnsbs::net {
+
+template <typename Value>
+class PrefixTrie {
+ public:
+  PrefixTrie() : root_(std::make_unique<Node>()) {}
+
+  /// Inserts (or replaces) the value for an exact prefix.
+  /// Returns true if this is a new prefix, false if it replaced an entry.
+  bool insert(const Prefix& prefix, Value value) {
+    Node* node = root_.get();
+    const std::uint32_t bits = prefix.address().value();
+    for (int depth = 0; depth < prefix.length(); ++depth) {
+      const int bit = (bits >> (31 - depth)) & 1;
+      auto& child = node->children[bit];
+      if (!child) child = std::make_unique<Node>();
+      node = child.get();
+    }
+    const bool fresh = !node->value.has_value();
+    node->value = std::move(value);
+    if (fresh) ++size_;
+    return fresh;
+  }
+
+  /// Longest-prefix match: returns the value of the most specific prefix
+  /// containing `addr`, or nullptr if none.
+  const Value* lookup(IPv4Addr addr) const noexcept {
+    const Node* node = root_.get();
+    const Value* best = node->value ? &*node->value : nullptr;
+    const std::uint32_t bits = addr.value();
+    for (int depth = 0; depth < 32 && node; ++depth) {
+      const int bit = (bits >> (31 - depth)) & 1;
+      node = node->children[bit].get();
+      if (node && node->value) best = &*node->value;
+    }
+    return best;
+  }
+
+  /// Exact-prefix fetch (no LPM).
+  const Value* find_exact(const Prefix& prefix) const noexcept {
+    const Node* node = root_.get();
+    const std::uint32_t bits = prefix.address().value();
+    for (int depth = 0; depth < prefix.length(); ++depth) {
+      const int bit = (bits >> (31 - depth)) & 1;
+      node = node->children[bit].get();
+      if (!node) return nullptr;
+    }
+    return node->value ? &*node->value : nullptr;
+  }
+
+  /// Removes an exact prefix.  Returns true if it existed.
+  /// (Interior nodes are left in place; removal is rare in our workloads.)
+  bool erase(const Prefix& prefix) noexcept {
+    Node* node = root_.get();
+    const std::uint32_t bits = prefix.address().value();
+    for (int depth = 0; depth < prefix.length(); ++depth) {
+      const int bit = (bits >> (31 - depth)) & 1;
+      node = node->children[bit].get();
+      if (!node) return false;
+    }
+    if (!node->value) return false;
+    node->value.reset();
+    --size_;
+    return true;
+  }
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  /// Visits all (prefix, value) entries in address order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    walk(root_.get(), 0, 0, fn);
+  }
+
+ private:
+  struct Node {
+    std::optional<Value> value;
+    std::unique_ptr<Node> children[2];
+  };
+
+  template <typename Fn>
+  static void walk(const Node* node, std::uint32_t bits, int depth, Fn& fn) {
+    if (!node) return;
+    if (node->value) fn(Prefix(IPv4Addr(bits), depth), *node->value);
+    if (depth < 32) {
+      walk(node->children[0].get(), bits, depth + 1, fn);
+      walk(node->children[1].get(), bits | (1u << (31 - depth)), depth + 1, fn);
+    }
+  }
+
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace dnsbs::net

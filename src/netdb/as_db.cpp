@@ -1,0 +1,21 @@
+#include "netdb/as_db.hpp"
+
+namespace dnsbs::netdb {
+
+void AsDb::add(const net::Prefix& prefix, Asn asn, std::string name) {
+  trie_.insert(prefix, asn);
+  if (!name.empty()) names_.emplace(asn, std::move(name));
+}
+
+std::optional<Asn> AsDb::lookup(net::IPv4Addr addr) const noexcept {
+  const Asn* asn = trie_.lookup(addr);
+  if (!asn) return std::nullopt;
+  return *asn;
+}
+
+const std::string* AsDb::name_of(Asn asn) const noexcept {
+  const auto it = names_.find(asn);
+  return it == names_.end() ? nullptr : &it->second;
+}
+
+}  // namespace dnsbs::netdb

@@ -1,0 +1,41 @@
+// Autonomous-system database: IP prefix -> origin ASN, whois style.
+//
+// The dynamic features normalize querier diversity by AS (paper §III-C:
+// "unique ASes ... ASes are from IP addresses via whois").  The paper used
+// live whois; we keep the same interface over a longest-prefix-match trie
+// that the simulator's address plan populates.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "net/ipv4.hpp"
+#include "net/prefix_trie.hpp"
+
+namespace dnsbs::netdb {
+
+using Asn = std::uint32_t;
+
+class AsDb {
+ public:
+  /// Registers a prefix as originated by `asn`; `name` registers the AS
+  /// (org) name on first sight.
+  void add(const net::Prefix& prefix, Asn asn, std::string name = {});
+
+  /// Longest-prefix match; nullopt for unrouted space.
+  std::optional<Asn> lookup(net::IPv4Addr addr) const noexcept;
+
+  /// Organization name for an ASN, or nullptr if unknown.
+  const std::string* name_of(Asn asn) const noexcept;
+
+  std::size_t prefix_count() const noexcept { return trie_.size(); }
+  std::size_t as_count() const noexcept { return names_.size(); }
+
+ private:
+  net::PrefixTrie<Asn> trie_;
+  std::unordered_map<Asn, std::string> names_;
+};
+
+}  // namespace dnsbs::netdb

@@ -1,0 +1,41 @@
+#include "netdb/geo_db.hpp"
+
+namespace dnsbs::netdb {
+
+const std::vector<CountryInfo>& world_countries() {
+  // Weights very roughly track Internet-user populations; exact values do
+  // not matter, only that activity and address space cluster by region.
+  static const std::vector<CountryInfo> kCountries = {
+      {{'u', 's'}, Region::kNorthAmerica, 10.0}, {{'c', 'a'}, Region::kNorthAmerica, 1.5},
+      {{'m', 'x'}, Region::kNorthAmerica, 1.2},  {{'b', 'r'}, Region::kSouthAmerica, 2.5},
+      {{'a', 'r'}, Region::kSouthAmerica, 0.8},  {{'c', 'l'}, Region::kSouthAmerica, 0.4},
+      {{'c', 'o'}, Region::kSouthAmerica, 0.5},  {{'d', 'e'}, Region::kEurope, 2.5},
+      {{'f', 'r'}, Region::kEurope, 2.0},        {{'g', 'b'}, Region::kEurope, 2.0},
+      {{'n', 'l'}, Region::kEurope, 1.0},        {{'i', 't'}, Region::kEurope, 1.2},
+      {{'e', 's'}, Region::kEurope, 1.0},        {{'p', 'l'}, Region::kEurope, 0.8},
+      {{'s', 'e'}, Region::kEurope, 0.5},        {{'r', 'u'}, Region::kEurope, 2.2},
+      {{'u', 'a'}, Region::kEurope, 0.6},        {{'t', 'r'}, Region::kEurope, 1.0},
+      {{'j', 'p'}, Region::kAsia, 3.5},          {{'c', 'n'}, Region::kAsia, 8.0},
+      {{'k', 'r'}, Region::kAsia, 1.5},          {{'i', 'n'}, Region::kAsia, 4.0},
+      {{'t', 'w'}, Region::kAsia, 0.8},          {{'h', 'k'}, Region::kAsia, 0.6},
+      {{'s', 'g'}, Region::kAsia, 0.5},          {{'t', 'h'}, Region::kAsia, 0.8},
+      {{'v', 'n'}, Region::kAsia, 0.9},          {{'i', 'd'}, Region::kAsia, 1.5},
+      {{'p', 'h'}, Region::kAsia, 0.8},          {{'p', 'k'}, Region::kAsia, 0.7},
+      {{'a', 'u'}, Region::kOceania, 0.8},       {{'n', 'z'}, Region::kOceania, 0.2},
+      {{'z', 'a'}, Region::kAfrica, 0.5},        {{'e', 'g'}, Region::kAfrica, 0.6},
+      {{'n', 'g'}, Region::kAfrica, 0.7},        {{'k', 'e'}, Region::kAfrica, 0.3},
+  };
+  return kCountries;
+}
+
+void GeoDb::add(const net::Prefix& prefix, CountryCode country) {
+  trie_.insert(prefix, country);
+}
+
+std::optional<CountryCode> GeoDb::lookup(net::IPv4Addr addr) const noexcept {
+  const CountryCode* c = trie_.lookup(addr);
+  if (!c) return std::nullopt;
+  return *c;
+}
+
+}  // namespace dnsbs::netdb

@@ -1,0 +1,75 @@
+// Geolocation database: IP prefix -> ISO-3166-style country code.
+//
+// Stands in for the MaxMind GeoLiteCity lookups of paper §III-C ("unique
+// countries ... We determine country from the IP using MaxMind").  The
+// simulator allocates /8s to regions so that, as in the real Internet, the
+// high octet carries geographic signal — which is exactly what the paper's
+// global-entropy feature exploits.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/ipv4.hpp"
+#include "net/prefix_trie.hpp"
+
+namespace dnsbs::netdb {
+
+/// Two-letter country code, stored compactly.
+class CountryCode {
+ public:
+  constexpr CountryCode() noexcept : a_('?'), b_('?') {}
+  constexpr CountryCode(char a, char b) noexcept : a_(a), b_(b) {}
+
+  static std::optional<CountryCode> parse(std::string_view s) noexcept {
+    if (s.size() != 2) return std::nullopt;
+    return CountryCode(s[0], s[1]);
+  }
+
+  std::string to_string() const { return std::string{a_, b_}; }
+  constexpr std::uint16_t packed() const noexcept {
+    return static_cast<std::uint16_t>((static_cast<unsigned char>(a_) << 8) |
+                                      static_cast<unsigned char>(b_));
+  }
+
+  constexpr bool operator==(const CountryCode&) const noexcept = default;
+
+ private:
+  char a_, b_;
+};
+
+/// Region grouping used by the synthetic allocator (root-server siting in
+/// the paper is continental: B-Root US-only, M-Root Asia/NA/EU).
+enum class Region { kNorthAmerica, kSouthAmerica, kEurope, kAsia, kOceania, kAfrica };
+
+/// The regions and member countries the synthetic Internet uses.
+struct CountryInfo {
+  CountryCode code;
+  Region region;
+  double weight;  ///< relative share of address space / activity
+};
+const std::vector<CountryInfo>& world_countries();
+
+class GeoDb {
+ public:
+  void add(const net::Prefix& prefix, CountryCode country);
+
+  std::optional<CountryCode> lookup(net::IPv4Addr addr) const noexcept;
+
+  std::size_t prefix_count() const noexcept { return trie_.size(); }
+
+ private:
+  net::PrefixTrie<CountryCode> trie_;
+};
+
+}  // namespace dnsbs::netdb
+
+template <>
+struct std::hash<dnsbs::netdb::CountryCode> {
+  std::size_t operator()(const dnsbs::netdb::CountryCode& c) const noexcept {
+    return c.packed();
+  }
+};

@@ -1,0 +1,62 @@
+#include "sim/authority.hpp"
+
+namespace dnsbs::sim {
+
+bool Authority::covers(net::IPv4Addr originator, const netdb::GeoDb& geo) const {
+  switch (config_.level) {
+    case AuthorityLevel::kRoot:
+      return true;
+    case AuthorityLevel::kNational: {
+      if (!config_.country) return false;
+      const auto cc = geo.lookup(originator);
+      return cc && *cc == *config_.country;
+    }
+    case AuthorityLevel::kFinal:
+      return config_.zone && config_.zone->contains(originator);
+  }
+  return false;
+}
+
+void Authority::offer(const dns::QueryRecord& record, const ResolveOutcome& outcome,
+                      netdb::Region querier_region, const netdb::GeoDb& geo,
+                      double& selection_roll) {
+  ++offered_;
+  if (outcome.served_from_cache) return;
+  // A minimizing resolver reveals only the zone labels above the final
+  // authority: the query happens, but this vantage cannot attribute it.
+  if (outcome.qname_minimized && config_.level != AuthorityLevel::kFinal) return;
+  if (!covers(record.originator, geo)) return;
+
+  bool on_path = false;
+  switch (config_.level) {
+    case AuthorityLevel::kFinal:
+      on_path = outcome.reached_final;
+      break;
+    case AuthorityLevel::kNational:
+      on_path = outcome.reached_national;
+      break;
+    case AuthorityLevel::kRoot: {
+      if (!outcome.reached_root) break;
+      // Root selection: each root identity owns a band of the shared
+      // uniform roll; at most one identity matches.
+      const double band = config_.root_selection[static_cast<std::size_t>(querier_region)];
+      if (selection_roll < band) {
+        on_path = true;
+        selection_roll = 2.0;  // consumed: no other root sees this query
+      } else {
+        selection_roll -= band;
+      }
+      break;
+    }
+  }
+  if (!on_path) return;
+
+  // Deterministic 1:N sampling, as M-Root's long-term collection policy.
+  const bool sampled_in = (sample_counter_++ % config_.sample_1_in) == 0;
+  if (!sampled_in) return;
+
+  records_.push_back(record);
+  ++observed_;
+}
+
+}  // namespace dnsbs::sim

@@ -1,0 +1,79 @@
+// Authority observers: the vantage points where backscatter is recorded.
+//
+// A scenario instantiates one or more authorities — root identities
+// (B-Root, M-Root), a national ccTLD-level server (JP-DNS), or the final
+// authority for a /24 (the controlled experiments of §IV-D).  The traffic
+// engine offers every resolver lookup to every authority; each authority
+// decides whether it is on the resolution path (coverage + hierarchy
+// level + root selection) and logs a QueryRecord, applying deterministic
+// 1:N sampling where configured (M-sampled).
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dns/query_log.hpp"
+#include "netdb/geo_db.hpp"
+#include "sim/resolver.hpp"
+
+namespace dnsbs::sim {
+
+enum class AuthorityLevel : std::uint8_t { kRoot, kNational, kFinal };
+
+struct AuthorityConfig {
+  std::string name = "authority";
+  AuthorityLevel level = AuthorityLevel::kRoot;
+
+  /// National: only originators geolocated to this country are covered.
+  std::optional<netdb::CountryCode> country;
+
+  /// Final: only originators inside this prefix are covered.
+  std::optional<net::Prefix> zone;
+
+  /// Root: probability that a resolver in each region directs its root
+  /// query to *this* root identity (13 identities share the load, with
+  /// topological bias — B-Root is US-only, M-Root is strong in Asia).
+  /// Indexed by netdb::Region.
+  std::array<double, 6> root_selection = {0.077, 0.077, 0.077, 0.077, 0.077, 0.077};
+
+  /// Keep 1 of every N queries (deterministic); 1 = unsampled.
+  std::uint32_t sample_1_in = 1;
+};
+
+class Authority {
+ public:
+  explicit Authority(AuthorityConfig config) : config_(std::move(config)) {}
+
+  /// Offers one resolved lookup; logs it if this authority was on the
+  /// resolution path.  `selection_roll` is a uniform [0,1) draw shared by
+  /// all root authorities of the scenario so that at most one root
+  /// identity observes a given root query (the engine passes the same
+  /// roll to every root and each subtracts its own selection band).
+  void offer(const dns::QueryRecord& record, const ResolveOutcome& outcome,
+             netdb::Region querier_region, const netdb::GeoDb& geo,
+             double& selection_roll);
+
+  const std::vector<dns::QueryRecord>& records() const noexcept { return records_; }
+  std::vector<dns::QueryRecord> take_records() noexcept { return std::move(records_); }
+  const AuthorityConfig& config() const noexcept { return config_; }
+
+  std::uint64_t offered() const noexcept { return offered_; }
+  std::uint64_t observed() const noexcept { return observed_; }
+
+  /// Drops buffered records (e.g. between weekly windows) without
+  /// resetting the sampling phase.
+  void clear_records() { records_.clear(); }
+
+ private:
+  bool covers(net::IPv4Addr originator, const netdb::GeoDb& geo) const;
+
+  AuthorityConfig config_;
+  std::vector<dns::QueryRecord> records_;
+  std::uint64_t offered_ = 0;
+  std::uint64_t observed_ = 0;
+  std::uint64_t sample_counter_ = 0;
+};
+
+}  // namespace dnsbs::sim

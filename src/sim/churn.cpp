@@ -1,0 +1,84 @@
+#include "sim/churn.hpp"
+
+#include <algorithm>
+
+namespace dnsbs::sim {
+
+namespace {
+
+double mean_lifetime_days(const OriginatorSpec& spec, const ChurnConfig& config,
+                          util::Rng& rng) {
+  if (spec.cls == core::AppClass::kScan) {
+    return rng.chance(config.scan_core_fraction) ? config.scan_core_mean_days
+                                                 : config.malicious_mean_days;
+  }
+  if (core::is_malicious(spec.cls)) return config.malicious_mean_days;
+  return config.benign_mean_days;
+}
+
+}  // namespace
+
+std::vector<OriginatorSpec> apply_churn(std::vector<OriginatorSpec> base,
+                                        const ChurnConfig& config,
+                                        const AddressPlan& plan,
+                                        std::span<const VulnerabilityEvent> events,
+                                        util::Rng& rng) {
+  std::vector<OriginatorSpec> out;
+  out.reserve(base.size() * 2);
+
+  for (OriginatorSpec& spec : base) {
+    // The initial population is in steady state: lifetimes began before
+    // the observation window, so the first death is a residual draw
+    // (memorylessness makes that another exponential).
+    util::SimTime t = util::SimTime::seconds(0);
+    OriginatorSpec current = spec;
+    while (t < config.horizon) {
+      const double life_days = rng.exponential(1.0 / mean_lifetime_days(current, config, rng));
+      const util::SimTime death =
+          t + util::SimTime::seconds(static_cast<std::int64_t>(life_days * 86400.0));
+      current.start = t;
+      current.end = std::min(death, config.horizon);
+      out.push_back(current);
+      if (death >= config.horizon || !rng.chance(config.replacement_probability)) break;
+      // Replacement: same class, fresh behaviour.  Scanning infrastructure
+      // is often re-provisioned inside the same network, so half of scan
+      // replacements stay in the predecessor's /24 — this is what keeps
+      // the paper's "block that scans continuously" (Fig. 14) alive.
+      const net::IPv4Addr previous = current.address;
+      current = make_spec(current.cls, plan, rng, 1.0);
+      if (current.cls == core::AppClass::kScan && rng.chance(0.5)) {
+        current.address = net::Prefix(previous, 24).at(1 + rng.below(254));
+      }
+      t = death;
+    }
+  }
+
+  // Vulnerability-driven scanning waves: a burst that ramps in and decays.
+  // Disclosure scanning often arrives as teams — blocks of parallel
+  // workers (the paper's Fig. 14 top line is a Heartbleed-era block).
+  for (const VulnerabilityEvent& event : events) {
+    net::Prefix team_block(net::IPv4Addr(0), 0);
+    bool have_team = false;
+    for (std::size_t i = 0; i < event.extra_scanners; ++i) {
+      OriginatorSpec spec = make_spec(core::AppClass::kScan, plan, rng, 1.0);
+      if (have_team && rng.chance(0.5)) {
+        spec.address = team_block.at(1 + rng.below(254));
+      } else if (rng.chance(0.3)) {
+        team_block = net::Prefix(spec.address, 24);
+        have_team = true;
+      }
+      spec.port = event.port;
+      // Staggered starts within the ramp; lifetimes a few weeks.
+      spec.start = event.start + util::SimTime::seconds(static_cast<std::int64_t>(
+                                     rng.uniform() * event.ramp_duration.secs_f()));
+      const double life_days = 5.0 + rng.exponential(1.0 / 21.0);
+      spec.end = std::min(
+          spec.start + util::SimTime::seconds(static_cast<std::int64_t>(life_days * 86400.0)),
+          config.horizon);
+      out.push_back(spec);
+    }
+  }
+  return out;
+}
+
+}  // namespace dnsbs::sim

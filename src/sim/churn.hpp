@@ -1,0 +1,50 @@
+// Population churn over long horizons (paper §V, §VI-C).
+//
+// Who performs an activity changes over time: benign services are stable
+// for months, while spam and scan hosts turn over in weeks as they are
+// blacklisted and replaced.  ChurnModel stamps activity windows onto a
+// base population and spawns same-class replacements when originators
+// die, keeping class populations roughly stationary; vulnerability events
+// (Heartbleed) inject bursts of extra scanners.
+#pragma once
+
+#include <vector>
+
+#include "sim/originator.hpp"
+
+namespace dnsbs::sim {
+
+struct ChurnConfig {
+  util::SimTime horizon = util::SimTime::days(270);
+  /// Exponential mean lifetimes.  Benign ~10 months (slow decay, as in
+  /// Fig. 5); malicious ~1 month (Fig. 6: 50% gone a month after curation).
+  double benign_mean_days = 300.0;
+  double malicious_mean_days = 32.0;
+  /// Fraction of scanners that are long-lived "core" scanners (the steady
+  /// ssh-scanning background of Fig. 13).
+  double scan_core_fraction = 0.35;
+  double scan_core_mean_days = 400.0;
+  /// Dead originators are replaced by fresh ones of the same class with
+  /// this probability (keeps populations stationary as in Fig. 11).
+  double replacement_probability = 0.95;
+};
+
+/// A security disclosure that triggers a scanning wave (Fig. 11's
+/// Heartbleed bump: a >25% rise over the steady background for weeks).
+struct VulnerabilityEvent {
+  util::SimTime start{};
+  util::SimTime ramp_duration = util::SimTime::days(14);
+  std::size_t extra_scanners = 0;
+  std::uint16_t port = 443;
+};
+
+/// Expands a base population into a churned population over the horizon:
+/// every spec gets a start/end window; replacements and event scanners are
+/// appended.  Deterministic under `rng`.
+std::vector<OriginatorSpec> apply_churn(std::vector<OriginatorSpec> base,
+                                        const ChurnConfig& config,
+                                        const AddressPlan& plan,
+                                        std::span<const VulnerabilityEvent> events,
+                                        util::Rng& rng);
+
+}  // namespace dnsbs::sim

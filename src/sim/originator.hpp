@@ -1,0 +1,112 @@
+// Originator behaviour models: the network-wide activities the sensor is
+// built to detect (paper §III-D's twelve application classes).
+//
+// Every originator is a single IP address with a class-specific way of
+// choosing targets (random addresses for scanners, mail servers for spam,
+// end users for CDNs, ...), a heavy-tailed activity rate, a diurnality,
+// and an activity window (for the churn studies of §V).  The traffic
+// engine turns these specs into timed target touches.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/taxonomy.hpp"
+#include "sim/querier_population.hpp"
+#include "util/time.hpp"
+
+namespace dnsbs::sim {
+
+/// How an originator picks its targets.
+enum class TargetStrategy : std::uint8_t {
+  kRandomAddress,  ///< uniform over allocated space (scanners)
+  kMailServers,    ///< Zipf over the mail-server population (mail, spam)
+  kEndUsers,       ///< residential/mobile hosts (ad-tracker, cdn, cloud, update)
+  kMobileUsers,    ///< mobile pools only (push notification services)
+  kAllHosts,       ///< any allocated host (ntp serves clients of every kind)
+  kWebServers,     ///< web servers (crawlers)
+  kDnsServers,     ///< nameservers (class dns)
+  kPeers,          ///< residential peers (p2p)
+};
+
+struct OriginatorSpec {
+  net::IPv4Addr address;
+  core::AppClass cls = core::AppClass::kScan;
+  TrafficKind kind = TrafficKind::kScanProbe;
+  TargetStrategy strategy = TargetStrategy::kRandomAddress;
+  double touches_per_hour = 10.0;
+  double diurnal_strength = 0.0;   ///< 0 flat .. 1 strongly diurnal
+  double diurnal_peak_hour = 12.0; ///< local peak, virtual hours
+  /// Fraction of targets drawn from the originator's home region (CDN
+  /// selection, regional mailing lists); the rest are global.
+  double regional_bias = 0.0;
+  netdb::Region home_region = netdb::Region::kNorthAmerica;
+  util::SimTime start{};
+  util::SimTime end = util::SimTime::days(36500);
+  std::uint16_t port = 0;  ///< for scanners: the probed port (metadata)
+};
+
+/// Per-class population knobs; the scenario sets counts and rate scales.
+struct ClassProfile {
+  std::size_t count = 0;
+  double rate_scale = 1.0;        ///< multiplies the class's base rate
+  double in_country_fraction = 0; ///< placed inside the scenario's country
+};
+
+/// Probability that a scan originator is actually the seed of a
+/// coordinated *team*: several additional scanners in the same /24 with
+/// the same target port (paper §VI-B / Fig. 14's parallelized scanning
+/// blocks).
+inline constexpr double kScanTeamProbability = 0.18;
+
+struct OriginatorPopulationConfig {
+  std::array<ClassProfile, core::kAppClassCount> classes{};
+  /// Country of interest for national-authority scenarios; originators
+  /// are placed there with each class's in_country_fraction.
+  netdb::CountryCode focus_country{'u', 's'};
+};
+
+/// Builds a population of originator specs against an address plan.
+std::vector<OriginatorSpec> make_population(const AddressPlan& plan,
+                                            const OriginatorPopulationConfig& config,
+                                            util::Rng& rng);
+
+/// Builds one spec of the given class with the class's default behaviour
+/// (rates, kinds, diurnality); used by make_population and by tests.
+OriginatorSpec make_spec(core::AppClass cls, const AddressPlan& plan, util::Rng& rng,
+                         double rate_scale);
+
+/// Week-scale behavioural drift (paper §V-A/B: "exactly what they do
+/// tends to change more rapidly" than who does it).  Deterministic per
+/// (originator, week): a lognormal-ish activity-rate factor in roughly
+/// [0.6, 1.6].  Drives feature evolution so that a classifier trained
+/// once goes stale, as in Figure 7.
+double weekly_rate_drift(const OriginatorSpec& spec, std::int64_t week) noexcept;
+
+/// Picks one target for a spec.  `qpop` supplies server populations.
+/// `now` lets target selection drift week to week (campaign rotation).
+class TargetPicker {
+ public:
+  TargetPicker(const AddressPlan& plan, const QuerierPopulation& qpop);
+
+  net::IPv4Addr pick(const OriginatorSpec& spec, util::SimTime now,
+                     util::Rng& rng) const;
+
+ private:
+  net::IPv4Addr pick_end_user(const OriginatorSpec& spec, bool use_region,
+                              util::Rng& rng) const;
+
+  const AddressPlan& plan_;
+  const QuerierPopulation& qpop_;
+  util::ZipfSampler mail_zipf_;
+  util::ZipfSampler web_zipf_;
+  std::array<std::vector<std::size_t>, 6> user_sites_by_region_{};
+  std::vector<std::size_t> user_sites_;
+  std::vector<std::size_t> mobile_sites_;
+  std::unordered_map<netdb::CountryCode, std::vector<std::size_t>> user_sites_by_country_;
+  std::unordered_map<netdb::CountryCode, std::vector<net::IPv4Addr>>
+      mail_servers_by_country_;
+};
+
+}  // namespace dnsbs::sim

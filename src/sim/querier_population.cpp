@@ -1,0 +1,164 @@
+#include "sim/querier_population.hpp"
+
+namespace dnsbs::sim {
+
+const char* to_string(TrafficKind k) noexcept {
+  switch (k) {
+    case TrafficKind::kSmtp: return "smtp";
+    case TrafficKind::kScanProbe: return "scan-probe";
+    case TrafficKind::kWebFetch: return "web-fetch";
+    case TrafficKind::kCrawlVisit: return "crawl-visit";
+    case TrafficKind::kDnsTraffic: return "dns";
+    case TrafficKind::kNtpTraffic: return "ntp";
+    case TrafficKind::kP2pTraffic: return "p2p";
+  }
+  return "?";
+}
+
+QuerierPopulation::QuerierPopulation(const NamingModel& naming,
+                                     QuerierPopulationConfig config, std::uint64_t seed)
+    : naming_(naming), config_(config) {
+  // Precompute server populations from the plan's site layout (the role
+  // map is deterministic, so this is a pure index of the synthetic world).
+  util::Rng rng = util::Rng::stream(seed, 0x9096);
+  const AddressPlan& plan = naming_.plan();
+  for (const Site& site : plan.sites()) {
+    switch (site.type) {
+      case SiteType::kCorporate:
+        mail_servers_.push_back(site.prefix.at(2));
+        web_servers_.push_back(site.prefix.at(5));
+        dns_servers_.push_back(site.prefix.at(4));
+        break;
+      case SiteType::kUniversity:
+        mail_servers_.push_back(site.prefix.at(2));
+        web_servers_.push_back(site.prefix.at(3));
+        dns_servers_.push_back(site.prefix.at(1));
+        break;
+      case SiteType::kHosting:
+        mail_servers_.push_back(site.prefix.at(2));
+        // Sample the tenant mix for servers with useful roles.
+        for (int probe = 0; probe < 12; ++probe) {
+          const net::IPv4Addr host = site.prefix.at(3 + rng.below(252));
+          switch (naming_.role_of(host)) {
+            case HostRole::kWebServer: web_servers_.push_back(host); break;
+            case HostRole::kOpenResolver: open_resolvers_.push_back(host); break;
+            case HostRole::kMailServer: mail_servers_.push_back(host); break;
+            default: break;
+          }
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  // Guarantee at least one open resolver exists even in tiny plans.
+  if (open_resolvers_.empty() && !plan.sites().empty()) {
+    open_resolvers_.push_back(plan.sites().front().prefix.at(250));
+  }
+}
+
+net::IPv4Addr QuerierPopulation::site_resolver(const Site& site) const noexcept {
+  switch (site.type) {
+    case SiteType::kResidential:
+    case SiteType::kMobile:
+      return site.prefix.at(1);  // ISP pool resolver
+    case SiteType::kCorporate:
+      return site.prefix.at(4);
+    case SiteType::kUniversity:
+    case SiteType::kHosting:
+      return site.prefix.at(1);
+  }
+  return site.prefix.at(1);
+}
+
+net::IPv4Addr QuerierPopulation::pick_open_resolver(util::Rng& rng) const noexcept {
+  return open_resolvers_[rng.below(open_resolvers_.size())];
+}
+
+std::vector<Lookup> QuerierPopulation::lookups_for(net::IPv4Addr target, TrafficKind kind,
+                                                   util::Rng& rng) const {
+  std::vector<Lookup> out;
+  const Site* site = naming_.plan().site_of(target);
+  if (!site) return out;
+  const auto type_idx = static_cast<std::size_t>(site->type);
+  const net::IPv4Addr resolver = site_resolver(*site);
+
+  // Resolution path for a host that wants the originator's name: usually
+  // through the site/ISP resolver, sometimes self-recursing, sometimes a
+  // public resolver.
+  const auto via = [&](net::IPv4Addr host) -> net::IPv4Addr {
+    if (rng.chance(config_.open_resolver_prob)) return pick_open_resolver(rng);
+    if (rng.chance(config_.self_resolving_host_prob)) return host;
+    return resolver;
+  };
+
+  switch (kind) {
+    case TrafficKind::kSmtp: {
+      // The MTA itself checks the sender; MTAs mostly run their own
+      // recursion (which is why mail names dominate spam backscatter).
+      if (rng.chance(config_.smtp_lookup_prob)) {
+        out.push_back(Lookup{rng.chance(0.70) ? target : resolver});
+      }
+      if (site->type == SiteType::kCorporate && rng.chance(config_.antispam_extra_prob)) {
+        const net::IPv4Addr appliance = site->prefix.at(3);
+        out.push_back(Lookup{rng.chance(0.5) ? appliance : resolver});
+      }
+      break;
+    }
+    case TrafficKind::kScanProbe: {
+      if (!rng.chance(config_.scan_log_prob[type_idx])) break;
+      switch (site->type) {
+        case SiteType::kCorporate:
+        case SiteType::kUniversity: {
+          // Perimeter firewall logs the probe.
+          const net::IPv4Addr fw =
+              site->type == SiteType::kCorporate ? site->prefix.at(1) : site->prefix.at(4);
+          out.push_back(Lookup{rng.chance(0.45) ? fw : resolver});
+          break;
+        }
+        case SiteType::kResidential:
+        case SiteType::kMobile: {
+          // CPE or host logging, almost always via the ISP resolver.
+          out.push_back(Lookup{via(target)});
+          break;
+        }
+        case SiteType::kHosting: {
+          // Servers log ssh/http probes; many run local recursion.
+          out.push_back(Lookup{rng.chance(0.55) ? target : resolver});
+          break;
+        }
+      }
+      break;
+    }
+    case TrafficKind::kWebFetch:
+    case TrafficKind::kNtpTraffic: {
+      // Target-initiated traffic: logging middleboxes near the client.
+      if (!rng.chance(config_.web_log_prob[type_idx])) break;
+      if (site->type == SiteType::kCorporate) {
+        out.push_back(Lookup{rng.chance(0.5) ? site->prefix.at(1) : resolver});
+      } else {
+        out.push_back(Lookup{via(target)});
+      }
+      break;
+    }
+    case TrafficKind::kCrawlVisit: {
+      if (!rng.chance(config_.crawl_log_prob)) break;
+      // The web server resolves visitors for its access logs.
+      out.push_back(Lookup{rng.chance(0.5) ? target : resolver});
+      break;
+    }
+    case TrafficKind::kDnsTraffic: {
+      if (!rng.chance(0.30)) break;
+      out.push_back(Lookup{rng.chance(0.6) ? target : resolver});
+      break;
+    }
+    case TrafficKind::kP2pTraffic: {
+      if (!rng.chance(config_.scan_log_prob[type_idx] * 0.8)) break;
+      out.push_back(Lookup{via(target)});
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace dnsbs::sim

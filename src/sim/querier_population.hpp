@@ -1,0 +1,90 @@
+// Querier behaviour: who issues the reverse DNS lookup when network-wide
+// activity touches a target (paper §II "At the Target").
+//
+// A scan probe against a corporate network is logged by the firewall; mail
+// delivery triggers the MTA's sender check (and sometimes an anti-spam
+// appliance); content fetched by a home user may be logged by the ISP's
+// middleboxes.  Each of those actors resolves through some recursive
+// resolver — and the *resolver* is the address the authority sees.  This
+// module turns (target, traffic kind) into the set of querier addresses
+// whose lookups the resolver simulation should execute.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/naming.hpp"
+#include "util/rng.hpp"
+
+namespace dnsbs::sim {
+
+/// The application traffic that reaches (or is pulled by) a target.
+enum class TrafficKind : std::uint8_t {
+  kSmtp,       ///< mail delivery (classes mail, spam)
+  kScanProbe,  ///< unsolicited probe (class scan, misbehaving p2p)
+  kWebFetch,   ///< target-initiated content fetch (ad-tracker, cdn, cloud, update, push)
+  kCrawlVisit, ///< originator fetches from the target's web server (crawler)
+  kDnsTraffic, ///< originator is a large DNS server talking to targets
+  kNtpTraffic, ///< originator serves NTP to the target
+  kP2pTraffic, ///< peer-to-peer exchange with the target
+};
+
+const char* to_string(TrafficKind k) noexcept;
+
+/// One reverse lookup that will be executed by a recursive resolver.
+struct Lookup {
+  net::IPv4Addr querier;  ///< resolver address visible at the authority
+};
+
+struct QuerierPopulationConfig {
+  /// Probability that a touch triggers any reverse lookup at all, per site
+  /// type (residential, corporate, hosting, university, mobile).  These
+  /// are deliberately small for pools (most home targets never look up a
+  /// scanner) and larger for managed networks.
+  std::array<double, kSiteTypeCount> scan_log_prob = {0.08, 0.30, 0.35, 0.30, 0.05};
+  std::array<double, kSiteTypeCount> web_log_prob = {0.12, 0.25, 0.10, 0.20, 0.10};
+  double smtp_lookup_prob = 0.92;     ///< MTAs almost always check senders
+  double antispam_extra_prob = 0.35;  ///< second lookup by anti-spam middlebox
+  double crawl_log_prob = 0.40;
+  double open_resolver_prob = 0.07;   ///< client uses a public resolver
+  double self_resolving_host_prob = 0.30;  ///< host/CPE runs its own recursion
+};
+
+class QuerierPopulation {
+ public:
+  QuerierPopulation(const NamingModel& naming, QuerierPopulationConfig config,
+                    std::uint64_t seed);
+
+  /// The reverse lookups triggered when `kind` traffic touches `target`.
+  /// Returns zero, one, or two lookups.
+  std::vector<Lookup> lookups_for(net::IPv4Addr target, TrafficKind kind,
+                                  util::Rng& rng) const;
+
+  /// Mail-server addresses usable as SMTP targets (one per corporate /
+  /// university / hosting site); originator models draw spam/mail targets
+  /// from this population.
+  const std::vector<net::IPv4Addr>& mail_servers() const noexcept { return mail_servers_; }
+
+  /// Web servers (crawl targets).
+  const std::vector<net::IPv4Addr>& web_servers() const noexcept { return web_servers_; }
+
+  /// Authoritative-DNS-ish servers (targets for class dns).
+  const std::vector<net::IPv4Addr>& dns_servers() const noexcept { return dns_servers_; }
+
+  const std::vector<net::IPv4Addr>& open_resolvers() const noexcept {
+    return open_resolvers_;
+  }
+
+ private:
+  net::IPv4Addr site_resolver(const Site& site) const noexcept;
+  net::IPv4Addr pick_open_resolver(util::Rng& rng) const noexcept;
+
+  const NamingModel& naming_;
+  QuerierPopulationConfig config_;
+  std::vector<net::IPv4Addr> mail_servers_;
+  std::vector<net::IPv4Addr> web_servers_;
+  std::vector<net::IPv4Addr> dns_servers_;
+  std::vector<net::IPv4Addr> open_resolvers_;
+};
+
+}  // namespace dnsbs::sim

@@ -1,0 +1,117 @@
+#include "sim/resolver.hpp"
+
+namespace dnsbs::sim {
+
+ResolverSim::ResolverSim(const NamingModel& naming, ResolverSimConfig config,
+                         std::uint64_t seed)
+    : naming_(naming), config_(config), rng_(util::Rng::stream(seed, 0x2e50)) {}
+
+ResolverBusyness ResolverSim::busyness_of(net::IPv4Addr querier) const {
+  switch (naming_.role_of(querier)) {
+    case HostRole::kIspResolver:
+    case HostRole::kOpenResolver:
+      return ResolverBusyness::kBusy;
+    case HostRole::kSiteResolver:
+    case HostRole::kMailServer:
+      // MTAs resolve senders continuously; their caches stay warm, which
+      // is why spam backscatter attenuates harder toward the root than
+      // scan or CDN backscatter (paper Tables VII vs VIII).
+      return ResolverBusyness::kSmall;
+    default:
+      return ResolverBusyness::kSelf;
+  }
+}
+
+ResolveOutcome ResolverSim::resolve(net::IPv4Addr querier, net::IPv4Addr originator,
+                                    util::SimTime now) {
+  ResolveOutcome outcome;
+  auto [it, created] = caches_.try_emplace(
+      querier, dns::CacheSim(config_.max_cache_entries_per_resolver));
+  dns::CacheSim& cache = it->second;
+
+  const dns::DnsName qname = dns::reverse_name(originator);
+
+  // TTL violators re-resolve on every trigger; stable per querier.
+  const std::uint64_t vhash =
+      (static_cast<std::uint64_t>(querier.value()) * 0x9e3779b97f4a7c15ULL) >> 11;
+  const bool violator =
+      static_cast<double>(vhash) * 0x1.0p-53 < config_.ttl_violator_fraction;
+  const std::uint64_t qhash =
+      (static_cast<std::uint64_t>(querier.value()) * 0xbf58476d1ce4e5b9ULL) >> 11;
+  outcome.qname_minimized =
+      static_cast<double>(qhash) * 0x1.0p-53 < config_.qname_min_fraction;
+
+  // 1. The answer itself.
+  const dns::CacheResult ptr_hit =
+      violator ? dns::CacheResult::kMiss : cache.lookup(qname, dns::QType::kPTR, now);
+  if (ptr_hit != dns::CacheResult::kMiss) {
+    outcome.served_from_cache = true;
+    outcome.rcode = ptr_hit == dns::CacheResult::kHitNegative ? dns::RCode::kNXDomain
+                                                              : dns::RCode::kNoError;
+    return outcome;
+  }
+
+  // 2. Walk the delegation chain bottom-up: whichever NS entries are cold
+  //    determine which authorities hear this query.
+  const dns::DnsName zone24 = dns::reverse_zone(originator, dns::ReverseZoneLevel::kSlash24);
+  const bool zone24_cold =
+      cache.lookup(zone24, dns::QType::kNS, now) == dns::CacheResult::kMiss;
+  if (zone24_cold || violator) {
+    outcome.reached_national = true;
+    cache.insert_positive(zone24, dns::QType::kNS, config_.ns_ttl_slash24, now);
+
+    const dns::DnsName zone8 = dns::reverse_zone(originator, dns::ReverseZoneLevel::kSlash8);
+    if (cache.lookup(zone8, dns::QType::kNS, now) == dns::CacheResult::kMiss) {
+      // Background traffic (which we do not simulate) keeps the top of the
+      // reverse tree warm for real resolvers; apply the busyness model.
+      double warm = config_.warm8_self;
+      switch (busyness_of(querier)) {
+        case ResolverBusyness::kBusy: warm = config_.warm8_busy; break;
+        case ResolverBusyness::kSmall: warm = config_.warm8_small; break;
+        case ResolverBusyness::kSelf: warm = config_.warm8_self; break;
+      }
+      if (!rng_.chance(warm)) outcome.reached_root = true;
+      cache.insert_positive(zone8, dns::QType::kNS, config_.ns_ttl_slash8, now);
+    }
+  }
+
+  // 3. Final authority answers (or fails).
+  outcome.reached_final = true;
+  const core::QuerierInfo identity = naming_.resolve(originator);
+  switch (identity.status) {
+    case core::ResolveStatus::kOk: {
+      outcome.rcode = dns::RCode::kNoError;
+      std::uint32_t ttl = naming_.ptr_ttl(originator);
+      if (config_.ptr_ttl_hint) {
+        if (const auto hint = config_.ptr_ttl_hint(originator)) ttl = *hint;
+      }
+      cache.insert_positive(qname, dns::QType::kPTR, ttl, now);
+      break;
+    }
+    case core::ResolveStatus::kNxDomain:
+      outcome.rcode = dns::RCode::kNXDomain;
+      cache.insert_negative(qname, dns::QType::kPTR, naming_.negative_ttl(originator), now);
+      break;
+    case core::ResolveStatus::kUnreachable:
+      outcome.rcode = dns::RCode::kServFail;
+      cache.insert_negative(qname, dns::QType::kPTR, config_.servfail_ttl, now);
+      break;
+  }
+  return outcome;
+}
+
+dns::CacheSim::Stats ResolverSim::total_stats() const {
+  dns::CacheSim::Stats total;
+  for (const auto& [addr, cache] : caches_) {
+    const auto& s = cache.stats();
+    total.lookups += s.lookups;
+    total.hits_positive += s.hits_positive;
+    total.hits_negative += s.hits_negative;
+    total.misses += s.misses;
+    total.inserts += s.inserts;
+    total.expired_evictions += s.expired_evictions;
+  }
+  return total;
+}
+
+}  // namespace dnsbs::sim

@@ -1,0 +1,104 @@
+// Recursive-resolver simulation: the caching layer between queriers and
+// authorities (paper §II "At the Authority", §IV-D).
+//
+// Each distinct querier address runs (or is) a recursive resolver with its
+// own cache.  A reverse lookup walks the delegation chain of the
+// in-addr.arpa tree:
+//
+//   PTR cached?                -> no query leaves the resolver
+//   /24-zone NS cached?        -> query goes straight to the final
+//                                 authority; national server sees nothing
+//   /8-zone NS cached?         -> the root never hears about it
+//
+// Upper-zone NS records are shared across all originators in the same /8,
+// and in the real Internet they are kept warm by background traffic we do
+// not simulate; a busyness-dependent warm probability stands in for that
+// background (documented in DESIGN.md).  The /24-zone and PTR caches are
+// simulated exactly, TTL by TTL.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+#include "dns/cache.hpp"
+#include "dns/reverse.hpp"
+#include "sim/naming.hpp"
+#include "util/rng.hpp"
+
+namespace dnsbs::sim {
+
+/// How aggressively a resolver's upper-zone cache is kept warm by traffic
+/// outside our simulation.
+enum class ResolverBusyness : std::uint8_t {
+  kBusy,   ///< large ISP / public resolver: upper zones essentially always warm
+  kSmall,  ///< site resolver: usually warm
+  kSelf,   ///< a host doing its own recursion: frequently cold
+};
+
+struct ResolverSimConfig {
+  std::uint32_t ns_ttl_slash8 = 172800;  ///< 2 days (delegation TTL near the root)
+  std::uint32_t ns_ttl_slash24 = 86400;  ///< 1 day (final-zone delegation TTL)
+  std::uint32_t servfail_ttl = 300;      ///< unreachable-authority retry damping
+  /// Optional per-address PTR-TTL override; lets scenarios give CDN and
+  /// ad-tracker addresses the short cache lifetimes their operators use
+  /// (paper §VI-B: trackers "use DNS records with short cache lifetimes").
+  std::function<std::optional<std::uint32_t>(net::IPv4Addr)> ptr_ttl_hint;
+  /// P(/8-zone NS already warm) on a cache miss, by busyness.  Real
+  /// resolvers are warmer still; these values compress the hierarchy's
+  /// attenuation so root-level footprints stay measurable at simulation
+  /// scale while preserving final >> national >> root ordering.
+  double warm8_busy = 0.97;
+  double warm8_small = 0.85;
+  double warm8_self = 0.45;
+  /// Bound on tracked resolvers (0 = unbounded); protects long runs.
+  std::size_t max_cache_entries_per_resolver = 0;
+  /// Fraction of queriers that ignore DNS TTLs and re-query every trigger
+  /// (paper §III-C: "queriers that do not follow DNS timeout rules" are
+  /// why the 30 s dedup window exists).
+  double ttl_violator_fraction = 0.12;
+  /// Fraction of resolvers deploying QNAME minimization (RFC 7816).  The
+  /// paper's §VII anticipates this countermeasure: minimizing resolvers
+  /// only reveal the zone labels to upper authorities, so the originator
+  /// is not recoverable above the final authority.
+  double qname_min_fraction = 0.0;
+};
+
+/// What one lookup did, as seen by each level of the hierarchy.
+struct ResolveOutcome {
+  bool served_from_cache = false;  ///< PTR/negative hit: invisible everywhere
+  bool reached_final = false;      ///< final authority answered (always true on miss)
+  bool reached_national = false;   ///< /24-zone delegation had to be fetched
+  bool reached_root = false;       ///< /8-zone delegation had to be fetched
+  /// QNAME minimization: upper authorities saw only zone labels, so they
+  /// cannot attribute the query to an originator (the full QNAME is still
+  /// visible at the final authority).
+  bool qname_minimized = false;
+  dns::RCode rcode = dns::RCode::kNoError;
+};
+
+class ResolverSim {
+ public:
+  ResolverSim(const NamingModel& naming, ResolverSimConfig config, std::uint64_t seed);
+
+  /// Executes one reverse lookup of `originator` by resolver `querier` at
+  /// virtual time `now`.
+  ResolveOutcome resolve(net::IPv4Addr querier, net::IPv4Addr originator,
+                         util::SimTime now);
+
+  std::size_t resolver_count() const noexcept { return caches_.size(); }
+
+  /// Aggregated cache statistics across all resolvers.
+  dns::CacheSim::Stats total_stats() const;
+
+  ResolverBusyness busyness_of(net::IPv4Addr querier) const;
+
+ private:
+  const NamingModel& naming_;
+  ResolverSimConfig config_;
+  util::Rng rng_;
+  std::unordered_map<net::IPv4Addr, dns::CacheSim> caches_;
+};
+
+}  // namespace dnsbs::sim

@@ -1,0 +1,208 @@
+#include "sim/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace dnsbs::sim {
+
+Scenario::Scenario(ScenarioConfig config) : config_(std::move(config)) {
+  plan_ = std::make_unique<AddressPlan>(
+      AddressPlan::generate(config_.plan, config_.seed));
+  naming_ = std::make_unique<NamingModel>(*plan_, config_.naming, config_.seed);
+  queriers_ =
+      std::make_unique<QuerierPopulation>(*naming_, config_.queriers, config_.seed);
+
+  util::Rng rng = util::Rng::stream(config_.seed, 0x5ce0);
+  population_ = make_population(*plan_, config_.originators, rng);
+  if (config_.churn_enabled) {
+    config_.churn.horizon = config_.duration;
+    population_ = apply_churn(std::move(population_), config_.churn, *plan_,
+                              config_.events, rng);
+  }
+  for (const OriginatorSpec& spec : population_) {
+    const auto [it, inserted] = truth_.try_emplace(spec.address, spec.cls);
+    if (!inserted && it->second != spec.cls) {
+      util::log_debug("scenario",
+                      util::format("address %s reused across classes",
+                                   spec.address.to_string().c_str()));
+      it->second = spec.cls;
+    }
+  }
+
+  authorities_.reserve(config_.authorities.size());
+  for (const AuthorityConfig& ac : config_.authorities) authorities_.emplace_back(ac);
+
+  // Short-TTL operators: CDN selection and ad tracking rely on low DNS
+  // cache lifetimes, which is what makes those classes' query rates high
+  // per querier (paper §VI-B).  The hint consults the known population.
+  ResolverSimConfig resolver_config = config_.resolver;
+  resolver_config.ptr_ttl_hint =
+      [this](net::IPv4Addr addr) -> std::optional<std::uint32_t> {
+    const auto it = truth_.find(addr);
+    if (it == truth_.end()) return std::nullopt;
+    switch (it->second) {
+      case core::AppClass::kAdTracker: return 60;
+      case core::AppClass::kCdn: return 120;
+      case core::AppClass::kCloud: return 300;
+      default: return std::nullopt;
+    }
+  };
+
+  engine_ = std::make_unique<TrafficEngine>(*plan_, *naming_, *queriers_,
+                                            resolver_config, config_.seed);
+  for (Authority& a : authorities_) engine_->add_authority(&a);
+}
+
+void Scenario::run_window(util::SimTime t0, util::SimTime t1) {
+  engine_->run(population_, t0, t1);
+}
+
+std::vector<const OriginatorSpec*> Scenario::active_in(util::SimTime t0,
+                                                       util::SimTime t1) const {
+  std::vector<const OriginatorSpec*> out;
+  for (const OriginatorSpec& spec : population_) {
+    if (spec.start < t1 && spec.end > t0) out.push_back(&spec);
+  }
+  return out;
+}
+
+namespace {
+
+std::size_t scaled(std::size_t n, double scale) {
+  return std::max<std::size_t>(1, static_cast<std::size_t>(std::llround(n * scale)));
+}
+
+/// Class counts shaped like the paper's Table V mixes: spam most numerous,
+/// then scan/p2p/mail, with a few big infrastructure services.
+void set_counts(OriginatorPopulationConfig& oc, double scale, bool national) {
+  using core::AppClass;
+  const auto set = [&oc, scale](AppClass c, std::size_t count, double rate_scale,
+                                double in_country) {
+    auto& p = oc.classes[static_cast<std::size_t>(c)];
+    p.count = scaled(count, scale);
+    p.rate_scale = rate_scale;
+    p.in_country_fraction = in_country;
+  };
+  const double home = national ? 0.85 : 0.0;
+  set(AppClass::kAdTracker, 16, 1.0, home);
+  set(AppClass::kCdn, 40, 1.0, national ? 0.4 : 0.0);  // CDNs mostly use foreign space
+  set(AppClass::kCloud, 24, 1.0, home * 0.6);
+  set(AppClass::kCrawler, 60, 1.0, home * 0.5);
+  set(AppClass::kDns, 40, 1.0, home);
+  set(AppClass::kMail, 130, 1.0, home);
+  set(AppClass::kNtp, 20, 1.0, home);
+  set(AppClass::kP2p, 160, 1.0, home);
+  set(AppClass::kPush, 24, 1.0, home * 0.6);
+  set(AppClass::kScan, 120, 1.0, home);
+  set(AppClass::kSpam, 420, 1.0, home);
+  set(AppClass::kUpdate, 6, 1.0, home);
+}
+
+ScenarioConfig base_config(std::uint64_t seed, double scale) {
+  ScenarioConfig sc;
+  sc.seed = seed;
+  sc.plan.sites = scaled(16000, std::sqrt(scale));  // world shrinks slower than traffic
+  sc.plan.total_slash8 = 96;
+  return sc;
+}
+
+}  // namespace
+
+AuthorityConfig b_root_authority() {
+  AuthorityConfig ac;
+  ac.name = "B-Root";
+  ac.level = AuthorityLevel::kRoot;
+  // Single US site: strongly preferred by North-American resolvers, but
+  // root selection is latency-noisy and every region sends B a share.
+  ac.root_selection = {/*NA*/ 0.30, /*SA*/ 0.15, /*EU*/ 0.10, /*Asia*/ 0.08,
+                       /*Oceania*/ 0.10, /*Africa*/ 0.08};
+  return ac;
+}
+
+AuthorityConfig m_root_authority(std::uint32_t sample_1_in) {
+  AuthorityConfig ac;
+  ac.name = "M-Root";
+  ac.level = AuthorityLevel::kRoot;
+  // Anycast in Asia, North America, Europe: strong in Asia.
+  ac.root_selection = {/*NA*/ 0.12, /*SA*/ 0.06, /*EU*/ 0.18, /*Asia*/ 0.34,
+                       /*Oceania*/ 0.10, /*Africa*/ 0.06};
+  ac.sample_1_in = sample_1_in;
+  return ac;
+}
+
+AuthorityConfig national_authority(netdb::CountryCode cc) {
+  AuthorityConfig ac;
+  ac.name = "ccTLD-" + cc.to_string();
+  ac.level = AuthorityLevel::kNational;
+  ac.country = cc;
+  return ac;
+}
+
+ScenarioConfig jp_ditl_config(std::uint64_t seed, double scale) {
+  ScenarioConfig sc = base_config(seed, scale);
+  sc.name = "JP-ditl";
+  sc.duration = util::SimTime::hours(50);
+  sc.originators.focus_country = netdb::CountryCode('j', 'p');
+  set_counts(sc.originators, scale, /*national=*/true);
+  sc.authorities.push_back(national_authority(netdb::CountryCode('j', 'p')));
+  // Keep the roots around too: comparing views is a first-class use case.
+  sc.authorities.push_back(b_root_authority());
+  sc.authorities.push_back(m_root_authority());
+  return sc;
+}
+
+ScenarioConfig b_post_ditl_config(std::uint64_t seed, double scale) {
+  ScenarioConfig sc = base_config(seed, scale);
+  sc.name = "B-post-ditl";
+  sc.duration = util::SimTime::hours(36);
+  set_counts(sc.originators, scale * 1.6, /*national=*/false);  // global population
+  sc.authorities.push_back(b_root_authority());
+  return sc;
+}
+
+ScenarioConfig m_ditl_config(std::uint64_t seed, double scale) {
+  ScenarioConfig sc = base_config(seed, scale);
+  sc.name = "M-ditl";
+  sc.duration = util::SimTime::hours(50);
+  set_counts(sc.originators, scale * 1.6, /*national=*/false);
+  sc.authorities.push_back(m_root_authority());
+  return sc;
+}
+
+ScenarioConfig m_sampled_config(std::uint64_t seed, std::size_t weeks, double scale) {
+  ScenarioConfig sc = base_config(seed, scale);
+  sc.name = "M-sampled";
+  sc.duration = util::SimTime::weeks(static_cast<std::int64_t>(weeks));
+  set_counts(sc.originators, scale * 1.6, /*national=*/false);
+  sc.authorities.push_back(m_root_authority(/*sample_1_in=*/10));
+  // Long-horizon root observation with 1:10 sampling needs the hierarchy
+  // attenuation compressed further or weekly footprints fall below the
+  // analyzability floor (DESIGN.md discusses the scaling).
+  sc.resolver.warm8_busy = 0.50;
+  sc.resolver.warm8_small = 0.30;
+  sc.resolver.warm8_self = 0.10;
+  sc.churn_enabled = true;
+  // A Heartbleed-like disclosure two months in (Fig. 11's April bump).
+  VulnerabilityEvent heartbleed;
+  heartbleed.start = util::SimTime::weeks(7);
+  heartbleed.ramp_duration = util::SimTime::days(10);
+  heartbleed.extra_scanners = scaled(300, scale);
+  heartbleed.port = 443;
+  if (sc.duration > heartbleed.start) sc.events.push_back(heartbleed);
+  return sc;
+}
+
+ScenarioConfig b_multi_year_config(std::uint64_t seed, std::size_t weeks, double scale) {
+  ScenarioConfig sc = base_config(seed, scale);
+  sc.name = "B-multi-year";
+  sc.duration = util::SimTime::weeks(static_cast<std::int64_t>(weeks));
+  set_counts(sc.originators, scale * 1.6, /*national=*/false);
+  sc.authorities.push_back(b_root_authority());
+  sc.churn_enabled = true;
+  return sc;
+}
+
+}  // namespace dnsbs::sim

@@ -1,0 +1,115 @@
+#include "sim/traffic_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dnsbs::sim {
+
+namespace {
+
+/// Diurnal rate modulation: 1 + s*cos(2*pi*(h-peak)/24), normalized so the
+/// mean over a day stays the configured rate.
+double diurnal_factor(const OriginatorSpec& spec, util::SimTime t) noexcept {
+  if (spec.diurnal_strength <= 0.0) return 1.0;
+  const double h = t.hour_of_day();
+  return 1.0 + spec.diurnal_strength *
+                   std::cos(2.0 * 3.141592653589793 * (h - spec.diurnal_peak_hour) / 24.0);
+}
+
+struct Event {
+  std::int64_t time_secs;
+  std::uint32_t spec_index;
+};
+
+}  // namespace
+
+TrafficEngine::TrafficEngine(const AddressPlan& plan, const NamingModel& naming,
+                             const QuerierPopulation& qpop,
+                             ResolverSimConfig resolver_config, std::uint64_t seed)
+    : plan_(plan),
+      naming_(naming),
+      qpop_(qpop),
+      resolvers_(naming, resolver_config, seed),
+      picker_(plan, qpop),
+      rng_(util::Rng::stream(seed, 0xe4614e)) {}
+
+void TrafficEngine::run(std::span<const OriginatorSpec> population, util::SimTime t0,
+                        util::SimTime t1) {
+  // Generate arrivals per originator (thinned Poisson for diurnality),
+  // then globally time-order so shared cache state evolves realistically.
+  std::vector<Event> events;
+  for (std::uint32_t idx = 0; idx < population.size(); ++idx) {
+    const OriginatorSpec& spec = population[idx];
+    const util::SimTime begin = std::max(t0, spec.start);
+    const util::SimTime end = std::min(t1, spec.end);
+    if (begin >= end) continue;
+    // Peak envelope covers both the diurnal swing and the weekly
+    // behavioural drift (max factor e^0.5).
+    constexpr double kMaxDrift = 1.6487212707;
+    const double peak_rate_per_sec =
+        spec.touches_per_hour * (1.0 + spec.diurnal_strength) * kMaxDrift / 3600.0;
+    if (peak_rate_per_sec <= 0.0) continue;
+    double t = begin.secs_f();
+    const double t_end = end.secs_f();
+    while (true) {
+      t += rng_.exponential(peak_rate_per_sec);
+      if (t >= t_end) break;
+      const util::SimTime now = util::SimTime::seconds(static_cast<std::int64_t>(t));
+      // Thinning: accept with prob rate(now)/peak, where rate folds in
+      // the diurnal cycle and this week's drift factor.
+      const double accept = diurnal_factor(spec, now) /
+                            (1.0 + spec.diurnal_strength) *
+                            weekly_rate_drift(spec, now.week_index()) / kMaxDrift;
+      if (rng_.chance(accept)) {
+        events.push_back(Event{now.secs(), idx});
+      }
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Event& a, const Event& b) { return a.time_secs < b.time_secs; });
+
+  for (const Event& ev : events) {
+    process_touch(population[ev.spec_index], util::SimTime::seconds(ev.time_secs));
+  }
+}
+
+void TrafficEngine::process_touch(const OriginatorSpec& spec, util::SimTime now) {
+  ++stats_.touches;
+  const net::IPv4Addr target = picker_.pick(spec, now, rng_);
+  if (observer_) observer_->on_touch(now, spec, target);
+
+  const Site* site = plan_.site_of(target);
+  if (!site) {
+    ++stats_.touches_dead_space;
+    return;
+  }
+
+  const auto lookups = qpop_.lookups_for(target, spec.kind, rng_);
+  for (const Lookup& lookup : lookups) {
+    ++stats_.lookups;
+    const ResolveOutcome outcome = resolvers_.resolve(lookup.querier, spec.address, now);
+    if (outcome.served_from_cache) {
+      ++stats_.cache_hits;
+      continue;
+    }
+    if (outcome.reached_final) ++stats_.final_queries;
+    if (outcome.reached_national) ++stats_.national_queries;
+    if (outcome.reached_root) ++stats_.root_queries;
+
+    dns::QueryRecord record;
+    record.time = now;
+    record.querier = lookup.querier;
+    record.originator = spec.address;
+    record.rcode = outcome.rcode;
+
+    const Site* querier_site = plan_.site_of(lookup.querier);
+    const netdb::Region region =
+        querier_site ? querier_site->region : netdb::Region::kNorthAmerica;
+    double selection_roll = rng_.uniform();
+    for (Authority* authority : authorities_) {
+      authority->offer(record, outcome, region, plan_.geo_db(), selection_roll);
+    }
+  }
+}
+
+}  // namespace dnsbs::sim

@@ -1,0 +1,74 @@
+// The event loop of the synthetic Internet.
+//
+// Turns originator specs into a time-ordered stream of target touches,
+// asks the querier population who looks up the originator, pushes each
+// lookup through the per-resolver cache simulation, and offers the
+// resulting query to every configured authority.  A raw-traffic observer
+// hook lets darknets (labeling::Darknet) watch the same packets the
+// sensor only sees indirectly — the basis of the paper's ground-truth
+// validation (Appendix A).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/authority.hpp"
+#include "sim/originator.hpp"
+#include "sim/resolver.hpp"
+
+namespace dnsbs::sim {
+
+/// Sees every application-level touch, before any DNS effects.
+class TrafficObserver {
+ public:
+  virtual ~TrafficObserver() = default;
+  virtual void on_touch(util::SimTime time, const OriginatorSpec& originator,
+                        net::IPv4Addr target) = 0;
+};
+
+struct EngineStats {
+  std::uint64_t touches = 0;
+  std::uint64_t touches_dead_space = 0;  ///< target outside any allocated site
+  std::uint64_t lookups = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t final_queries = 0;
+  std::uint64_t national_queries = 0;
+  std::uint64_t root_queries = 0;
+};
+
+class TrafficEngine {
+ public:
+  TrafficEngine(const AddressPlan& plan, const NamingModel& naming,
+                const QuerierPopulation& qpop, ResolverSimConfig resolver_config,
+                std::uint64_t seed);
+
+  /// Authorities observing this engine's traffic (not owned).
+  void add_authority(Authority* authority) { authorities_.push_back(authority); }
+
+  /// Raw traffic tap (not owned); optional.
+  void set_traffic_observer(TrafficObserver* observer) { observer_ = observer; }
+
+  /// Simulates [t0, t1).  Can be called repeatedly with increasing
+  /// windows; resolver caches persist across calls (so TTL state carries
+  /// from one day to the next, as it must for the long-term studies).
+  void run(std::span<const OriginatorSpec> population, util::SimTime t0, util::SimTime t1);
+
+  const EngineStats& stats() const noexcept { return stats_; }
+  const ResolverSim& resolvers() const noexcept { return resolvers_; }
+
+ private:
+  void process_touch(const OriginatorSpec& spec, util::SimTime now);
+
+  const AddressPlan& plan_;
+  const NamingModel& naming_;
+  const QuerierPopulation& qpop_;
+  ResolverSim resolvers_;
+  TargetPicker picker_;
+  std::vector<Authority*> authorities_;
+  TrafficObserver* observer_ = nullptr;
+  util::Rng rng_;
+  EngineStats stats_;
+};
+
+}  // namespace dnsbs::sim

@@ -1,0 +1,32 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace dnsbs::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char* level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?????";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level.store(level, std::memory_order_relaxed); }
+
+LogLevel log_level() noexcept { return g_level.load(std::memory_order_relaxed); }
+
+void log(LogLevel level, const std::string& tag, const std::string& message) {
+  if (level < g_level.load(std::memory_order_relaxed)) return;
+  std::fprintf(stderr, "%s [%s] %s\n", level_name(level), tag.c_str(), message.c_str());
+}
+
+}  // namespace dnsbs::util

@@ -1,0 +1,31 @@
+// Minimal leveled logging.  The library itself stays quiet at Info by
+// default; the simulator and benches raise verbosity when diagnosing.
+#pragma once
+
+#include <string>
+
+namespace dnsbs::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global threshold; messages below it are dropped.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Writes "LEVEL [tag] message" to stderr if enabled.
+void log(LogLevel level, const std::string& tag, const std::string& message);
+
+inline void log_debug(const std::string& tag, const std::string& msg) {
+  log(LogLevel::kDebug, tag, msg);
+}
+inline void log_info(const std::string& tag, const std::string& msg) {
+  log(LogLevel::kInfo, tag, msg);
+}
+inline void log_warn(const std::string& tag, const std::string& msg) {
+  log(LogLevel::kWarn, tag, msg);
+}
+inline void log_error(const std::string& tag, const std::string& msg) {
+  log(LogLevel::kError, tag, msg);
+}
+
+}  // namespace dnsbs::util

@@ -1,0 +1,97 @@
+#include "util/rng.hpp"
+
+#include <unordered_set>
+
+namespace dnsbs::util {
+
+std::uint64_t Rng::below(std::uint64_t bound) noexcept {
+  // Lemire's method: multiply-shift with rejection of the biased low range.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+  auto l = static_cast<std::uint64_t>(m);
+  if (l < bound) {
+    const std::uint64_t t = (0 - bound) % bound;
+    while (l < t) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::uint64_t Rng::poisson(double lambda) noexcept {
+  if (lambda <= 0.0) return 0;
+  if (lambda < 64.0) {
+    // Knuth: multiply uniforms until product drops below exp(-lambda).
+    const double limit = std::exp(-lambda);
+    double product = uniform();
+    std::uint64_t count = 0;
+    while (product > limit) {
+      product *= uniform();
+      ++count;
+    }
+    return count;
+  }
+  // Normal approximation with continuity correction; adequate for rate
+  // modelling at the event counts the simulator uses.
+  const double v = normal(lambda, std::sqrt(lambda));
+  return v <= 0.0 ? 0 : static_cast<std::uint64_t>(v + 0.5);
+}
+
+std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) noexcept {
+  if (k >= n) {
+    std::vector<std::size_t> all(n);
+    for (std::size_t i = 0; i < n; ++i) all[i] = i;
+    shuffle(all);
+    return all;
+  }
+  if (k * 3 >= n) {
+    // Dense case: partial Fisher–Yates over an index vector.
+    std::vector<std::size_t> all(n);
+    for (std::size_t i = 0; i < n; ++i) all[i] = i;
+    for (std::size_t i = 0; i < k; ++i) {
+      std::swap(all[i], all[i + below(n - i)]);
+    }
+    all.resize(k);
+    return all;
+  }
+  // Sparse case: rejection sampling into a set.
+  std::unordered_set<std::size_t> chosen;
+  std::vector<std::size_t> out;
+  out.reserve(k);
+  while (out.size() < k) {
+    const std::size_t idx = below(n);
+    if (chosen.insert(idx).second) out.push_back(idx);
+  }
+  return out;
+}
+
+std::size_t weighted_pick(Rng& rng, std::span<const double> weights) noexcept {
+  double total = 0.0;
+  for (const double w : weights) total += w;
+  double r = rng.uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r < 0.0) return i;
+  }
+  return weights.empty() ? 0 : weights.size() - 1;
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) {
+  cdf_.reserve(n);
+  double acc = 0.0;
+  for (std::size_t rank = 1; rank <= n; ++rank) {
+    acc += 1.0 / std::pow(static_cast<double>(rank), s);
+    cdf_.push_back(acc);
+  }
+  for (double& c : cdf_) c /= acc;
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const noexcept {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it == cdf_.end() ? cdf_.size() - 1 : it - cdf_.begin());
+}
+
+}  // namespace dnsbs::util

@@ -1,0 +1,173 @@
+// Deterministic random number generation for the simulator and ML substrate.
+//
+// All stochastic components of dnsbs take an explicit seed so that every
+// experiment is reproducible run-to-run and machine-to-machine.  We provide
+// our own engine (xoshiro256**) rather than std::mt19937 because the standard
+// distributions are not guaranteed to produce identical streams across
+// standard-library implementations; everything here is fully specified.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+#include <algorithm>
+#include <cmath>
+#include <span>
+
+namespace dnsbs::util {
+
+/// SplitMix64: used to seed the main engine and to derive independent
+/// sub-streams from a master seed (seed + stream-id hashing).
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: fast, high-quality 64-bit PRNG (Blackman & Vigna).
+/// Satisfies the C++ UniformRandomBitGenerator requirements.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from a 64-bit seed via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x5eedc0ffee150defULL) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  /// Derives an independent stream: same master seed + distinct stream id
+  /// yields a statistically independent generator.
+  static Rng stream(std::uint64_t seed, std::uint64_t stream_id) noexcept {
+    SplitMix64 sm(seed ^ (0x9e3779b97f4a7c15ULL * (stream_id + 1)));
+    return Rng(sm.next());
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~std::uint64_t{0}; }
+
+  std::uint64_t operator()() noexcept { return next(); }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  /// Uses Lemire's nearly-divisionless method for unbiased results.
+  std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept { return lo + (hi - lo) * uniform(); }
+
+  /// Bernoulli trial.
+  bool chance(double p) noexcept { return uniform() < p; }
+
+  /// Exponentially distributed variate with the given rate (1/mean).
+  double exponential(double rate) noexcept {
+    return -std::log1p(-uniform()) / rate;
+  }
+
+  /// Standard normal via Box–Muller (single value, no caching: determinism
+  /// over micro-efficiency).
+  double normal() noexcept {
+    double u1 = 0.0;
+    while (u1 <= 0.0) u1 = uniform();
+    const double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  double normal(double mean, double stddev) noexcept { return mean + stddev * normal(); }
+
+  /// Poisson variate (Knuth for small lambda, normal approximation above 64).
+  std::uint64_t poisson(double lambda) noexcept;
+
+  /// Geometric number of failures before first success; p in (0, 1].
+  std::uint64_t geometric(double p) noexcept {
+    if (p >= 1.0) return 0;
+    return static_cast<std::uint64_t>(std::log1p(-uniform()) / std::log1p(-p));
+  }
+
+  /// Pareto (power-law) variate with scale xm > 0 and shape alpha > 0.
+  /// Heavy-tailed: used for footprint and activity size distributions.
+  double pareto(double xm, double alpha) noexcept {
+    double u = 0.0;
+    while (u <= 0.0) u = uniform();
+    return xm / std::pow(u, 1.0 / alpha);
+  }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::span<T> items) noexcept {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::swap(items[i - 1], items[below(i)]);
+    }
+  }
+
+  template <typename T>
+  void shuffle(std::vector<T>& items) noexcept {
+    shuffle(std::span<T>(items));
+  }
+
+  /// Picks one element uniformly. Container must be non-empty.
+  template <typename T>
+  const T& pick(const std::vector<T>& items) noexcept {
+    return items[below(items.size())];
+  }
+
+  /// Samples k distinct indices from [0, n) (k <= n), in random order.
+  std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k) noexcept;
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4]{};
+};
+
+/// Samples an index from a discrete weight vector (weights >= 0, sum > 0).
+std::size_t weighted_pick(Rng& rng, std::span<const double> weights) noexcept;
+
+/// Zipf sampler over ranks 1..n with exponent s, using precomputed CDF.
+/// Models heavy-tailed popularity (e.g., which targets a mailing list hits).
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s);
+
+  /// Returns a rank in [0, n).
+  std::size_t sample(Rng& rng) const noexcept;
+
+  std::size_t size() const noexcept { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace dnsbs::util

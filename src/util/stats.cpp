@@ -1,0 +1,161 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dnsbs::util {
+
+double mean(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) noexcept {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (const double x : xs) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) noexcept { return std::sqrt(variance(xs)); }
+
+double quantile(std::vector<double> xs, double q) noexcept {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  if (q <= 0.0) return xs.front();
+  if (q >= 1.0) return xs.back();
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= xs.size()) return xs.back();
+  return xs[lo] * (1.0 - frac) + xs[lo + 1] * frac;
+}
+
+BoxStats box_stats(std::vector<double> xs) noexcept {
+  BoxStats b;
+  if (xs.empty()) return b;
+  std::sort(xs.begin(), xs.end());
+  const auto at = [&xs](double q) {
+    const double pos = q * static_cast<double>(xs.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const double frac = pos - static_cast<double>(lo);
+    if (lo + 1 >= xs.size()) return xs.back();
+    return xs[lo] * (1.0 - frac) + xs[lo + 1] * frac;
+  };
+  b.min = xs.front();
+  b.max = xs.back();
+  b.p10 = at(0.10);
+  b.p25 = at(0.25);
+  b.p50 = at(0.50);
+  b.p75 = at(0.75);
+  b.p90 = at(0.90);
+  b.n = xs.size();
+  return b;
+}
+
+double shannon_entropy(std::span<const std::size_t> counts) noexcept {
+  std::size_t total = 0;
+  for (const std::size_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  double h = 0.0;
+  for (const std::size_t c : counts) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / static_cast<double>(total);
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+double normalized_entropy(std::span<const std::size_t> counts) noexcept {
+  std::size_t nonzero = 0;
+  for (const std::size_t c : counts) {
+    if (c > 0) ++nonzero;
+  }
+  if (nonzero < 2) return 0.0;
+  return shannon_entropy(counts) / std::log2(static_cast<double>(nonzero));
+}
+
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys) noexcept {
+  LinearFit f;
+  const std::size_t n = std::min(xs.size(), ys.size());
+  if (n < 2) return f;
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+    syy += ys[i] * ys[i];
+  }
+  const double dn = static_cast<double>(n);
+  const double denom = dn * sxx - sx * sx;
+  if (denom == 0.0) return f;
+  f.slope = (dn * sxy - sx * sy) / denom;
+  f.intercept = (sy - f.slope * sx) / dn;
+  const double ss_tot = syy - sy * sy / dn;
+  if (ss_tot > 0.0) {
+    double ss_res = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double e = ys[i] - (f.intercept + f.slope * xs[i]);
+      ss_res += e * e;
+    }
+    f.r2 = 1.0 - ss_res / ss_tot;
+  }
+  return f;
+}
+
+PowerLawFit power_law_fit(std::span<const double> xs, std::span<const double> ys) noexcept {
+  std::vector<double> lx, ly;
+  const std::size_t n = std::min(xs.size(), ys.size());
+  lx.reserve(n);
+  ly.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (xs[i] > 0.0 && ys[i] > 0.0) {
+      lx.push_back(std::log(xs[i]));
+      ly.push_back(std::log(ys[i]));
+    }
+  }
+  const LinearFit f = linear_fit(lx, ly);
+  PowerLawFit p;
+  p.c = std::exp(f.intercept);
+  p.alpha = f.slope;
+  p.r2 = f.r2;
+  return p;
+}
+
+std::vector<std::pair<double, double>> ccdf(std::vector<double> xs) {
+  std::vector<std::pair<double, double>> out;
+  if (xs.empty()) return out;
+  std::sort(xs.begin(), xs.end());
+  const double n = static_cast<double>(xs.size());
+  for (std::size_t i = 0; i < xs.size();) {
+    std::size_t j = i;
+    while (j < xs.size() && xs[j] == xs[i]) ++j;
+    out.emplace_back(xs[i], static_cast<double>(xs.size() - i) / n);
+    i = j;
+  }
+  return out;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(bins == 0 ? 1 : bins)),
+      counts_(bins == 0 ? 1 : bins, 0) {}
+
+void Histogram::add(double x, std::size_t n) noexcept {
+  std::size_t idx;
+  if (x < lo_) {
+    idx = 0;
+  } else {
+    const double offset = (x - lo_) / width_;
+    idx = offset >= static_cast<double>(counts_.size())
+              ? counts_.size() - 1
+              : static_cast<std::size_t>(offset);
+  }
+  counts_[idx] += n;
+  total_ += n;
+}
+
+}  // namespace dnsbs::util

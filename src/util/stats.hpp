@@ -1,0 +1,108 @@
+// Descriptive statistics used by the feature extractors and the benchmark
+// harness: moments, quantiles, Shannon entropy, histograms, and the
+// log-log linear fit used to reproduce the paper's Figure 4 power law.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+namespace dnsbs::util {
+
+double mean(std::span<const double> xs) noexcept;
+double variance(std::span<const double> xs) noexcept;  // population variance
+double stddev(std::span<const double> xs) noexcept;
+
+/// Linear-interpolated quantile; q in [0, 1].  Sorts a copy.
+double quantile(std::vector<double> xs, double q) noexcept;
+
+/// Five-number summary plus 10th/90th percentiles, as used by the paper's
+/// footprint box plots (Figure 12, whiskers at 10%/90%).
+struct BoxStats {
+  double p10 = 0, p25 = 0, p50 = 0, p75 = 0, p90 = 0;
+  double min = 0, max = 0;
+  std::size_t n = 0;
+};
+BoxStats box_stats(std::vector<double> xs) noexcept;
+
+/// Shannon entropy (bits) of a discrete distribution given by counts.
+/// Zero counts are ignored.  Empty input yields 0.
+double shannon_entropy(std::span<const std::size_t> counts) noexcept;
+
+/// Entropy normalized by log2(k) where k = number of non-zero bins, so the
+/// result is in [0, 1]; 1 means uniform spread.  Matches the paper's use of
+/// entropy as a spatial-diversity score.
+double normalized_entropy(std::span<const std::size_t> counts) noexcept;
+
+/// Counts occurrences of arbitrary keys, then exposes the count vector.
+template <typename Key>
+class Counter {
+ public:
+  void add(const Key& k, std::size_t n = 1) { counts_[k] += n; }
+
+  std::size_t distinct() const noexcept { return counts_.size(); }
+
+  std::size_t total() const noexcept {
+    std::size_t t = 0;
+    for (const auto& [k, v] : counts_) t += v;
+    return t;
+  }
+
+  std::vector<std::size_t> values() const {
+    std::vector<std::size_t> out;
+    out.reserve(counts_.size());
+    for (const auto& [k, v] : counts_) out.push_back(v);
+    return out;
+  }
+
+  const std::unordered_map<Key, std::size_t>& map() const noexcept { return counts_; }
+
+ private:
+  std::unordered_map<Key, std::size_t> counts_;
+};
+
+/// Least-squares fit y = a + b*x.  Returns {a, b}.
+struct LinearFit {
+  double intercept = 0;
+  double slope = 0;
+  double r2 = 0;
+};
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys) noexcept;
+
+/// Power-law fit y = c * x^alpha via regression in log-log space.
+/// Only positive (x, y) pairs participate.  Reproduces the "power of 0.71"
+/// fit of Figure 4.
+struct PowerLawFit {
+  double c = 0;      ///< multiplicative constant
+  double alpha = 0;  ///< exponent
+  double r2 = 0;     ///< goodness of fit in log-log space
+};
+PowerLawFit power_law_fit(std::span<const double> xs, std::span<const double> ys) noexcept;
+
+/// Complementary-CDF points (x, fraction >= x) of a sample, for log-log
+/// footprint plots (Figure 9).
+std::vector<std::pair<double, double>> ccdf(std::vector<double> xs);
+
+/// Fixed-width histogram over [lo, hi) with `bins` buckets; out-of-range
+/// values clamp to the first/last bucket.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x, std::size_t n = 1) noexcept;
+  std::size_t bucket_count() const noexcept { return counts_.size(); }
+  std::size_t count(std::size_t bucket) const noexcept { return counts_[bucket]; }
+  double bucket_low(std::size_t bucket) const noexcept { return lo_ + width_ * static_cast<double>(bucket); }
+  std::size_t total() const noexcept { return total_; }
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace dnsbs::util

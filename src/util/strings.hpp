@@ -1,0 +1,42 @@
+// Small string utilities shared across the library.  DNS names and feature
+// keyword matching are case-insensitive and dot-structured, so most helpers
+// here deal with lowercase ASCII and '.'-separated labels.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+#include <cstdint>
+
+namespace dnsbs::util {
+
+/// Splits `s` on `sep`, keeping empty fields.  "a..b" -> {"a", "", "b"}.
+std::vector<std::string_view> split(std::string_view s, char sep);
+
+/// Joins parts with `sep`.
+std::string join(const std::vector<std::string_view>& parts, char sep);
+std::string join(const std::vector<std::string>& parts, char sep);
+
+/// ASCII lowercase copy.
+std::string to_lower(std::string_view s);
+
+/// True if `s` contains `needle` (both assumed lowercase by callers that care).
+bool contains(std::string_view s, std::string_view needle) noexcept;
+
+bool starts_with(std::string_view s, std::string_view prefix) noexcept;
+bool ends_with(std::string_view s, std::string_view suffix) noexcept;
+
+/// Strips leading and trailing whitespace.
+std::string_view trim(std::string_view s) noexcept;
+
+/// True if every char is an ASCII digit (and s non-empty).
+bool all_digits(std::string_view s) noexcept;
+
+/// Parses a non-negative integer; returns false on any non-digit or overflow.
+bool parse_u64(std::string_view s, std::uint64_t& out) noexcept;
+
+/// printf-style formatting into std::string (type-checked by the compiler).
+__attribute__((format(printf, 1, 2)))
+std::string format(const char* fmt, ...);
+
+}  // namespace dnsbs::util

@@ -1,0 +1,95 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <ostream>
+
+#include "util/strings.hpp"
+
+namespace dnsbs::util {
+
+TableWriter& TableWriter::columns(std::vector<std::string> names) {
+  header_ = std::move(names);
+  return *this;
+}
+
+TableWriter& TableWriter::row(std::vector<std::string> cells) {
+  assert(header_.empty() || cells.size() == header_.size());
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string TableWriter::to_ascii() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  const auto widen = [&widths](const std::vector<std::string>& cells) {
+    if (widths.size() < cells.size()) widths.resize(cells.size(), 0);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      widths[i] = std::max(widths[i], cells[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  std::string out;
+  if (!title_.empty()) {
+    out += "== " + title_ + " ==\n";
+  }
+  const auto emit = [&out, &widths](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i) out += "  ";
+      out += cells[i];
+      out.append(widths[i] - cells[i].size(), ' ');
+    }
+    out += '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < widths.size(); ++i) total += widths[i] + (i ? 2 : 0);
+    out.append(total, '-');
+    out += '\n';
+  }
+  for (const auto& r : rows_) emit(r);
+  return out;
+}
+
+std::string TableWriter::to_csv() const {
+  const auto escape = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string quoted = "\"";
+    for (const char c : cell) {
+      if (c == '"') quoted += '"';
+      quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+  };
+  std::string out;
+  const auto emit = [&out, &escape](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i) out += ',';
+      out += escape(cells[i]);
+    }
+    out += '\n';
+  };
+  if (!header_.empty()) emit(header_);
+  for (const auto& r : rows_) emit(r);
+  return out;
+}
+
+void TableWriter::print(std::ostream& os) const { os << to_ascii() << '\n'; }
+
+std::string fixed(double v, int digits) { return format("%.*f", digits, v); }
+
+std::string with_commas(std::uint64_t v) {
+  std::string digits = std::to_string(v);
+  std::string out;
+  const std::size_t n = digits.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i > 0 && (n - i) % 3 == 0) out += ',';
+    out += digits[i];
+  }
+  return out;
+}
+
+}  // namespace dnsbs::util

@@ -1,0 +1,53 @@
+// Tabular output for the benchmark harness.  Every bench binary prints the
+// rows/series of one paper table or figure; TableWriter renders aligned
+// ASCII (human-readable) and optionally CSV for downstream plotting.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dnsbs::util {
+
+class TableWriter {
+ public:
+  explicit TableWriter(std::string title = {}) : title_(std::move(title)) {}
+
+  /// Sets the header row; call before adding rows.
+  TableWriter& columns(std::vector<std::string> names);
+
+  /// Adds one row; must match the column count.
+  TableWriter& row(std::vector<std::string> cells);
+
+  /// Convenience for mixed cells built with util::format.
+  TableWriter& rowf(std::initializer_list<std::string> cells) {
+    return row(std::vector<std::string>(cells));
+  }
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Renders an aligned ASCII table.
+  std::string to_ascii() const;
+
+  /// Renders RFC-4180-ish CSV (quotes cells containing comma/quote/newline).
+  std::string to_csv() const;
+
+  /// Prints the ASCII form to the stream with a trailing newline.
+  void print(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` decimals ("0.785" style used in tables).
+std::string fixed(double v, int digits = 2);
+
+/// Formats counts with thousands separators for readability ("47,201").
+std::string with_commas(std::uint64_t v);
+
+}  // namespace dnsbs::util

@@ -1,0 +1,15 @@
+#include "util/time.hpp"
+
+#include "util/strings.hpp"
+
+namespace dnsbs::util {
+
+std::string SimTime::to_string() const {
+  const std::int64_t day = day_index();
+  const std::int64_t s = ((secs_ % 86400) + 86400) % 86400;
+  return format("d%lld %02lld:%02lld:%02lld", static_cast<long long>(day),
+                static_cast<long long>(s / 3600), static_cast<long long>((s / 60) % 60),
+                static_cast<long long>(s % 60));
+}
+
+}  // namespace dnsbs::util

@@ -1,0 +1,57 @@
+// Simulated time.  The traffic engine runs on a virtual clock measured in
+// seconds since a scenario epoch; these types give that clock structure
+// (minutes/hours/days/weeks) and printable calendar-ish formatting without
+// dragging in timezone machinery.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <string>
+
+namespace dnsbs::util {
+
+/// Seconds of virtual time since the scenario epoch.
+/// A thin strong-typedef over int64 so durations and instants don't mix
+/// freely with raw integers in interfaces.
+class SimTime {
+ public:
+  constexpr SimTime() noexcept = default;
+  explicit constexpr SimTime(std::int64_t seconds) noexcept : secs_(seconds) {}
+
+  static constexpr SimTime seconds(std::int64_t s) noexcept { return SimTime(s); }
+  static constexpr SimTime minutes(std::int64_t m) noexcept { return SimTime(m * 60); }
+  static constexpr SimTime hours(std::int64_t h) noexcept { return SimTime(h * 3600); }
+  static constexpr SimTime days(std::int64_t d) noexcept { return SimTime(d * 86400); }
+  static constexpr SimTime weeks(std::int64_t w) noexcept { return SimTime(w * 604800); }
+
+  constexpr std::int64_t secs() const noexcept { return secs_; }
+  constexpr double secs_f() const noexcept { return static_cast<double>(secs_); }
+  constexpr std::int64_t minute_index() const noexcept { return secs_ / 60; }
+  constexpr std::int64_t ten_minute_index() const noexcept { return secs_ / 600; }
+  constexpr std::int64_t hour_index() const noexcept { return secs_ / 3600; }
+  constexpr std::int64_t day_index() const noexcept { return secs_ / 86400; }
+  constexpr std::int64_t week_index() const noexcept { return secs_ / 604800; }
+
+  /// Hour of (virtual) day in [0, 24); used by diurnal activity models.
+  constexpr double hour_of_day() const noexcept {
+    const std::int64_t s = ((secs_ % 86400) + 86400) % 86400;
+    return static_cast<double>(s) / 3600.0;
+  }
+
+  constexpr auto operator<=>(const SimTime&) const noexcept = default;
+
+  constexpr SimTime operator+(SimTime d) const noexcept { return SimTime(secs_ + d.secs_); }
+  constexpr SimTime operator-(SimTime d) const noexcept { return SimTime(secs_ - d.secs_); }
+  constexpr SimTime& operator+=(SimTime d) noexcept {
+    secs_ += d.secs_;
+    return *this;
+  }
+
+  /// "d3 07:15:02"-style rendering for logs and bench output.
+  std::string to_string() const;
+
+ private:
+  std::int64_t secs_ = 0;
+};
+
+}  // namespace dnsbs::util

@@ -1,0 +1,129 @@
+// Property tests over randomly generated window series: analysis
+// invariants that must hold for any classification history.
+#include <gtest/gtest.h>
+
+#include "analysis/churn_analysis.hpp"
+#include "analysis/consistency.hpp"
+#include "analysis/footprint.hpp"
+#include "analysis/teams.hpp"
+#include "util/rng.hpp"
+
+namespace dnsbs::analysis {
+namespace {
+
+std::vector<WindowResult> random_windows(util::Rng& rng, std::size_t n_windows,
+                                         std::size_t population) {
+  std::vector<WindowResult> windows(n_windows);
+  for (std::size_t w = 0; w < n_windows; ++w) {
+    windows[w].index = w;
+    for (std::size_t o = 0; o < population; ++o) {
+      if (!rng.chance(0.6)) continue;  // appears this window?
+      const net::IPv4Addr addr(static_cast<std::uint32_t>(o * 7919 + 17));
+      windows[w].classes[addr] =
+          static_cast<core::AppClass>(rng.below(core::kAppClassCount));
+      windows[w].footprints[addr] = 10 + rng.below(200);
+    }
+  }
+  return windows;
+}
+
+class ChurnProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChurnProperty, ConservationAcrossConsecutiveWindows) {
+  util::Rng rng(GetParam());
+  const auto windows = random_windows(rng, 8, 60);
+  for (const core::AppClass cls :
+       {core::AppClass::kScan, core::AppClass::kSpam, core::AppClass::kMail}) {
+    const auto churn = weekly_churn(windows, cls);
+    ASSERT_EQ(churn.size(), windows.size());
+    for (std::size_t w = 1; w < churn.size(); ++w) {
+      // present(w) = fresh + continuing; present(w-1) = continuing + departing.
+      const std::size_t prev_present = churn[w - 1].fresh + churn[w - 1].continuing;
+      EXPECT_EQ(prev_present, churn[w].continuing + churn[w].departing)
+          << "class " << static_cast<int>(cls) << " window " << w;
+    }
+    const double turnover = mean_turnover(churn);
+    EXPECT_GE(turnover, 0.0);
+    EXPECT_LE(turnover, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChurnProperty, ::testing::Values(1u, 2u, 3u, 4u));
+
+class ConsistencyProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ConsistencyProperty, RatiosInValidRangeAndThresholdMonotone) {
+  util::Rng rng(GetParam());
+  const auto windows = random_windows(rng, 10, 80);
+  std::size_t previous_eligible = SIZE_MAX;
+  for (const std::size_t q : {10UL, 50UL, 120UL}) {
+    ConsistencyConfig cfg;
+    cfg.min_footprint = q;
+    cfg.min_appearances = 3;
+    const auto ratios = consistency_ratios(windows, cfg);
+    EXPECT_LE(ratios.size(), previous_eligible);
+    previous_eligible = ratios.size();
+    for (const double r : ratios) {
+      // With 12 classes, a plurality over >=3 windows is at least 1/12
+      // of the windows but never more than all of them.
+      EXPECT_GT(r, 0.0);
+      EXPECT_LE(r, 1.0);
+    }
+    EXPECT_GE(majority_fraction(ratios), 0.0);
+    EXPECT_LE(majority_fraction(ratios), 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConsistencyProperty, ::testing::Values(5u, 6u, 7u));
+
+class TeamsProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TeamsProperty, BlockCountsBoundedByMembership) {
+  util::Rng rng(GetParam());
+  const auto windows = random_windows(rng, 6, 120);
+  const auto blocks = blocks_of_class(windows, core::AppClass::kScan, 1);
+  for (const auto& block : blocks) {
+    EXPECT_GE(block.originators, 1u);
+    EXPECT_GE(block.distinct_classes, 1u);
+    EXPECT_LE(block.distinct_classes, core::kAppClassCount);
+    // Trajectory never exceeds the block's total membership.
+    const auto series = block_trajectory(windows, block.slash24, core::AppClass::kScan);
+    for (const std::size_t count : series) EXPECT_LE(count, block.originators);
+  }
+  // Sorted by originator count descending.
+  for (std::size_t i = 1; i < blocks.size(); ++i) {
+    EXPECT_GE(blocks[i - 1].originators, blocks[i].originators);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TeamsProperty, ::testing::Values(8u, 9u));
+
+TEST(FootprintProperty, CcdfIsMonotoneDecreasing) {
+  util::Rng rng(11);
+  std::vector<core::FeatureVector> features(300);
+  for (auto& fv : features) fv.footprint = 20 + rng.below(5000);
+  const auto points = footprint_ccdf(features);
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_GT(points[i].first, points[i - 1].first);
+    EXPECT_LT(points[i].second, points[i - 1].second + 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(points.front().second, 1.0);
+}
+
+TEST(FootprintProperty, MixFractionsSumToOne) {
+  util::Rng rng(12);
+  std::vector<core::ClassifiedOriginator> classified(200);
+  for (auto& c : classified) {
+    c.predicted = static_cast<core::AppClass>(rng.below(core::kAppClassCount));
+  }
+  for (const std::size_t n : {10UL, 100UL, 500UL}) {
+    const ClassMix mix = class_mix_top_n(classified, n);
+    double sum = 0;
+    for (const double f : mix.fraction) sum += f;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+    EXPECT_EQ(mix.total, std::min(n, classified.size()));
+  }
+}
+
+}  // namespace
+}  // namespace dnsbs::analysis

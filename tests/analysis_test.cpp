@@ -1,0 +1,228 @@
+// Footprint, time-series, churn, teams, consistency, and diurnal analyses.
+#include <gtest/gtest.h>
+
+#include "analysis/churn_analysis.hpp"
+#include "analysis/consistency.hpp"
+#include "analysis/diurnal.hpp"
+#include "analysis/footprint.hpp"
+#include "analysis/teams.hpp"
+#include "analysis/timeseries.hpp"
+
+namespace dnsbs::analysis {
+namespace {
+
+using net::IPv4Addr;
+
+IPv4Addr ip(std::uint32_t v) { return IPv4Addr(v); }
+
+TEST(Footprint, CcdfFromFeatures) {
+  std::vector<core::FeatureVector> features(4);
+  features[0].footprint = 100;
+  features[1].footprint = 50;
+  features[2].footprint = 50;
+  features[3].footprint = 20;
+  const auto points = footprint_ccdf(features);
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_DOUBLE_EQ(points[0].first, 20.0);
+  EXPECT_DOUBLE_EQ(points[0].second, 1.0);
+  EXPECT_DOUBLE_EQ(points[2].first, 100.0);
+  EXPECT_DOUBLE_EQ(points[2].second, 0.25);
+}
+
+std::vector<core::ClassifiedOriginator> classified_fixture() {
+  std::vector<core::ClassifiedOriginator> out(6);
+  const core::AppClass classes[] = {core::AppClass::kSpam, core::AppClass::kSpam,
+                                    core::AppClass::kScan, core::AppClass::kMail,
+                                    core::AppClass::kSpam, core::AppClass::kCdn};
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i].predicted = classes[i];
+    out[i].features.footprint = 100 - i;
+  }
+  return out;
+}
+
+TEST(Footprint, TopNMix) {
+  const auto classified = classified_fixture();
+  const ClassMix top3 = class_mix_top_n(classified, 3);
+  EXPECT_EQ(top3.total, 3u);
+  EXPECT_NEAR(top3.fraction[static_cast<std::size_t>(core::AppClass::kSpam)], 2.0 / 3, 1e-12);
+  EXPECT_NEAR(top3.fraction[static_cast<std::size_t>(core::AppClass::kScan)], 1.0 / 3, 1e-12);
+  const ClassMix all = class_mix_top_n(classified, 100);
+  EXPECT_EQ(all.total, 6u);
+}
+
+TEST(Footprint, ClassCounts) {
+  const auto counts = class_counts(classified_fixture());
+  EXPECT_EQ(counts[static_cast<std::size_t>(core::AppClass::kSpam)], 3u);
+  EXPECT_EQ(counts[static_cast<std::size_t>(core::AppClass::kCdn)], 1u);
+}
+
+std::vector<WindowResult> windows_fixture() {
+  // Three windows; scanner 1 persists, scanner 2 departs, scanner 3 joins.
+  std::vector<WindowResult> windows(3);
+  for (std::size_t w = 0; w < 3; ++w) {
+    windows[w].index = w;
+    windows[w].start = util::SimTime::weeks(static_cast<std::int64_t>(w));
+    windows[w].end = util::SimTime::weeks(static_cast<std::int64_t>(w + 1));
+  }
+  const auto add = [&](std::size_t w, std::uint32_t addr, core::AppClass cls,
+                       std::size_t footprint) {
+    windows[w].classes[ip(addr)] = cls;
+    windows[w].footprints[ip(addr)] = footprint;
+  };
+  add(0, 1, core::AppClass::kScan, 30);
+  add(0, 2, core::AppClass::kScan, 40);
+  add(0, 10, core::AppClass::kSpam, 100);
+  add(1, 1, core::AppClass::kScan, 35);
+  add(1, 10, core::AppClass::kSpam, 90);
+  add(2, 1, core::AppClass::kScan, 25);
+  add(2, 3, core::AppClass::kScan, 60);
+  add(2, 10, core::AppClass::kScan, 80);  // spammer reclassified as scan
+  return windows;
+}
+
+TEST(TimeSeries, WindowClassCounts) {
+  const auto windows = windows_fixture();
+  const auto counts = window_class_counts(windows[0]);
+  EXPECT_EQ(counts[static_cast<std::size_t>(core::AppClass::kScan)], 2u);
+  EXPECT_EQ(counts[static_cast<std::size_t>(core::AppClass::kSpam)], 1u);
+}
+
+TEST(TimeSeries, ClassFootprintBox) {
+  const auto windows = windows_fixture();
+  const auto box = class_footprint_box(windows[0], core::AppClass::kScan);
+  EXPECT_EQ(box.n, 2u);
+  EXPECT_DOUBLE_EQ(box.min, 30.0);
+  EXPECT_DOUBLE_EQ(box.max, 40.0);
+}
+
+TEST(TimeSeries, FootprintTrajectory) {
+  const auto windows = windows_fixture();
+  EXPECT_EQ(footprint_trajectory(windows, ip(1)),
+            (std::vector<std::size_t>{30, 35, 25}));
+  EXPECT_EQ(footprint_trajectory(windows, ip(2)),
+            (std::vector<std::size_t>{40, 0, 0}));
+}
+
+TEST(TimeSeries, PersistentOriginatorsRankedByAppearances) {
+  const auto windows = windows_fixture();
+  const auto ranked = persistent_originators(windows, core::AppClass::kScan, 1);
+  ASSERT_GE(ranked.size(), 3u);
+  EXPECT_EQ(ranked[0], ip(1));  // appears in all three windows
+  const auto strict = persistent_originators(windows, core::AppClass::kScan, 3);
+  ASSERT_EQ(strict.size(), 1u);
+  EXPECT_EQ(strict[0], ip(1));
+}
+
+TEST(ChurnAnalysis, NewContinuingDeparting) {
+  const auto windows = windows_fixture();
+  const auto churn = weekly_churn(windows, core::AppClass::kScan);
+  ASSERT_EQ(churn.size(), 3u);
+  EXPECT_EQ(churn[0].fresh, 2u);
+  EXPECT_EQ(churn[0].continuing, 0u);
+  EXPECT_EQ(churn[1].fresh, 0u);
+  EXPECT_EQ(churn[1].continuing, 1u);
+  EXPECT_EQ(churn[1].departing, 1u);  // scanner 2 left
+  EXPECT_EQ(churn[2].fresh, 2u);      // scanner 3 and reclassified 10
+  EXPECT_EQ(churn[2].continuing, 1u);
+}
+
+TEST(ChurnAnalysis, MeanTurnover) {
+  const auto windows = windows_fixture();
+  const auto churn = weekly_churn(windows, core::AppClass::kScan);
+  // Window 1: 0/1 fresh; window 2: 2/3 fresh; mean = 1/3.
+  EXPECT_NEAR(mean_turnover(churn), (0.0 + 2.0 / 3.0) / 2.0, 1e-12);
+}
+
+TEST(Teams, BlocksOfClassAggregatesAcrossWindows) {
+  std::vector<WindowResult> windows(1);
+  // 5 scanners in 10.0.0.0/24, 2 in 10.0.1.0/24, plus one spam in block 1.
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    windows[0].classes[ip(0x0a000000u + i)] = core::AppClass::kScan;
+  }
+  windows[0].classes[ip(0x0a000100u)] = core::AppClass::kScan;
+  windows[0].classes[ip(0x0a000101u)] = core::AppClass::kScan;
+  windows[0].classes[ip(0x0a000102u)] = core::AppClass::kSpam;
+
+  const auto blocks = blocks_of_class(windows, core::AppClass::kScan, 4);
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0].originators, 5u);
+  EXPECT_EQ(blocks[0].distinct_classes, 1u);
+
+  const auto smaller = blocks_of_class(windows, core::AppClass::kScan, 2);
+  ASSERT_EQ(smaller.size(), 2u);
+  EXPECT_EQ(smaller[1].distinct_classes, 2u);  // scan + spam in block 1
+}
+
+TEST(Teams, BlockTrajectory) {
+  auto windows = windows_fixture();
+  const auto series =
+      block_trajectory(windows, ip(1).slash24(), core::AppClass::kScan);
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_EQ(series[0], 2u);  // scanners 1 and 2 share the /24
+}
+
+TEST(Consistency, StableOriginatorHasRatioOne) {
+  const auto windows = windows_fixture();
+  ConsistencyConfig cfg;
+  cfg.min_footprint = 20;
+  cfg.min_appearances = 3;
+  const auto ratios = consistency_ratios(windows, cfg);
+  ASSERT_EQ(ratios.size(), 2u);  // originators 1 (3x scan) and 10 (2 spam + 1 scan)
+  double lo = std::min(ratios[0], ratios[1]);
+  double hi = std::max(ratios[0], ratios[1]);
+  EXPECT_NEAR(hi, 1.0, 1e-12);
+  EXPECT_NEAR(lo, 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(majority_fraction(ratios), 1.0);
+}
+
+TEST(Consistency, FootprintThresholdFilters) {
+  const auto windows = windows_fixture();
+  ConsistencyConfig cfg;
+  cfg.min_footprint = 90;  // only originator 10's first two windows qualify
+  cfg.min_appearances = 2;
+  const auto ratios = consistency_ratios(windows, cfg);
+  ASSERT_EQ(ratios.size(), 1u);
+  EXPECT_NEAR(ratios[0], 1.0, 1e-12);  // both qualifying windows say spam
+}
+
+TEST(Diurnal, PerMinuteCountsUniqueQueriers) {
+  std::vector<dns::QueryRecord> records;
+  const auto rec = [](std::int64_t secs, std::uint32_t querier) {
+    return dns::QueryRecord{util::SimTime::seconds(secs), ip(querier), ip(0xdead),
+                            dns::RCode::kNoError};
+  };
+  records.push_back(rec(10, 1));
+  records.push_back(rec(20, 1));   // same querier, same minute
+  records.push_back(rec(30, 2));
+  records.push_back(rec(70, 3));   // next minute
+  records.push_back(rec(70, 99));  // different originator -> ignored
+  records.back().originator = ip(0xbeef);
+
+  const auto series = per_minute_queriers(records, ip(0xdead), util::SimTime::seconds(0),
+                                          util::SimTime::seconds(180));
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_EQ(series[0], 2u);
+  EXPECT_EQ(series[1], 1u);
+  EXPECT_EQ(series[2], 0u);
+}
+
+TEST(Diurnal, HourlyProfileAndScore) {
+  // 48 hours of per-minute data: active 9:00-17:00 only.
+  std::vector<std::size_t> per_minute(48 * 60, 0);
+  for (std::size_t m = 0; m < per_minute.size(); ++m) {
+    const std::size_t hour = (m / 60) % 24;
+    if (hour >= 9 && hour < 17) per_minute[m] = 10;
+  }
+  const auto hourly = hourly_profile(per_minute);
+  ASSERT_EQ(hourly.size(), 24u);
+  EXPECT_DOUBLE_EQ(hourly[12], 10.0);
+  EXPECT_DOUBLE_EQ(hourly[3], 0.0);
+  EXPECT_DOUBLE_EQ(diurnality(hourly), 1.0);
+
+  const std::vector<double> flat(24, 5.0);
+  EXPECT_DOUBLE_EQ(diurnality(flat), 0.0);
+}
+
+}  // namespace
+}  // namespace dnsbs::analysis

@@ -1,0 +1,132 @@
+// Querier-name classification: the paper's keyword rules, leftmost-label
+// precedence, and first-rule-wins tie-breaking (§III-C).
+#include "core/static_features.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dnsbs::core {
+namespace {
+
+QuerierCategory classify(const char* name) {
+  return classify_querier_name(*dns::DnsName::parse(name));
+}
+
+TEST(StaticFeatures, PaperExamples) {
+  // From §III-C directly.
+  EXPECT_EQ(classify("home1-2-3-4.example.com"), QuerierCategory::kHome);
+  EXPECT_EQ(classify("mail.example.com"), QuerierCategory::kMail);
+  EXPECT_EQ(classify("ns.example.com"), QuerierCategory::kNs);
+  EXPECT_EQ(classify("firewall.example.com"), QuerierCategory::kFw);
+  EXPECT_EQ(classify("spam.example.com"), QuerierCategory::kAntispam);
+  EXPECT_EQ(classify("www.example.com"), QuerierCategory::kWww);
+  EXPECT_EQ(classify("ntp.example.com"), QuerierCategory::kNtp);
+}
+
+TEST(StaticFeatures, FirstRuleWinsWithinLabel) {
+  // "Thus both mail.ns.example.com and mail-ns.example.com are mail."
+  EXPECT_EQ(classify("mail.ns.example.com"), QuerierCategory::kMail);
+  EXPECT_EQ(classify("mail-ns.example.com"), QuerierCategory::kMail);
+}
+
+TEST(StaticFeatures, LeftmostLabelFavored) {
+  // mail.google.com is both google and mail; leftmost component wins.
+  EXPECT_EQ(classify("mail.google.com"), QuerierCategory::kMail);
+  EXPECT_EQ(classify("server1.google.com"), QuerierCategory::kGoogle);
+}
+
+TEST(StaticFeatures, HomeKeywords) {
+  for (const char* name :
+       {"cpe-11-22-33-44.isp.net", "dsl-static-99.example.de", "dynamic-1-2-3-4.big.jp",
+        "pool-7-8-9-0.carrier.us", "customer.acme.br", "fiber99.example.fr",
+        "flets-a.example.jp", "user-42.example.pl", "host1-2-3-4.example.ru",
+        "cable-modem-3.example.ca"}) {
+    EXPECT_EQ(classify(name), QuerierCategory::kHome) << name;
+  }
+}
+
+TEST(StaticFeatures, MailKeywords) {
+  for (const char* name :
+       {"mx1.example.com", "smtp-out.example.org", "mta7.example.com",
+        "zimbra.example.ac.jp", "lists.example.edu", "newsletter.shop.example",
+        "imap.example.com", "correo.example.es", "poczta.example.pl"}) {
+    EXPECT_EQ(classify(name), QuerierCategory::kMail) << name;
+  }
+}
+
+TEST(StaticFeatures, SendIsPrefixOnly) {
+  EXPECT_EQ(classify("send42.example.com"), QuerierCategory::kMail);
+  EXPECT_EQ(classify("sendgrid-like.example.com"), QuerierCategory::kMail);
+  // "resend" must NOT match the send* prefix rule.
+  EXPECT_EQ(classify("resend.example.com"), QuerierCategory::kOther);
+}
+
+TEST(StaticFeatures, NsKeywords) {
+  for (const char* name : {"dns1.example.com", "cns.example.jp", "cache3.isp.example",
+                           "ns0.example.org", "name.example.com"}) {
+    EXPECT_EQ(classify(name), QuerierCategory::kNs) << name;
+  }
+}
+
+TEST(StaticFeatures, FirewallAndAntispam) {
+  EXPECT_EQ(classify("fw1.example.com"), QuerierCategory::kFw);
+  EXPECT_EQ(classify("gw-wall.example.com"), QuerierCategory::kFw);
+  EXPECT_EQ(classify("ironport.example.com"), QuerierCategory::kAntispam);
+  EXPECT_EQ(classify("spam-filter.example.com"), QuerierCategory::kAntispam);
+}
+
+TEST(StaticFeatures, ProviderSuffixes) {
+  EXPECT_EQ(classify("a23-1.deploy.akamai.com"), QuerierCategory::kCdn);
+  EXPECT_EQ(classify("edge7.edgecast.com"), QuerierCategory::kCdn);
+  EXPECT_EQ(classify("x.cdnetworks.com"), QuerierCategory::kCdn);
+  EXPECT_EQ(classify("ec2-1-2-3-4.compute.amazonaws.com"), QuerierCategory::kAws);
+  EXPECT_EQ(classify("vm3.cloudapp.azure.com"), QuerierCategory::kMs);
+  EXPECT_EQ(classify("crawl-1-2-3-4.googlebot.com"), QuerierCategory::kGoogle);
+}
+
+TEST(StaticFeatures, ComponentBoundariesRespected) {
+  // Keywords must be delimited by non-letters: no match inside words.
+  EXPECT_EQ(classify("chromecast.example.com"), QuerierCategory::kOther);  // not "home"
+  EXPECT_EQ(classify("appliance.example.com"), QuerierCategory::kOther);   // not "ap"
+  EXPECT_EQ(classify("imax.example.com"), QuerierCategory::kOther);        // not "imap"
+  EXPECT_EQ(classify("answer.example.com"), QuerierCategory::kOther);      // not "ns"
+}
+
+TEST(StaticFeatures, DigitsAndHyphensDelimit) {
+  EXPECT_EQ(classify("ns3.example.com"), QuerierCategory::kNs);
+  EXPECT_EQ(classify("mail2-out.example.com"), QuerierCategory::kMail);
+  EXPECT_EQ(classify("ip-10-2-3-4.example.com"), QuerierCategory::kHome);
+}
+
+TEST(StaticFeatures, PopPrefersHomeByRuleOrder) {
+  // "pop" appears in both the home and mail keyword lists in the paper;
+  // first rule (home) wins.
+  EXPECT_EQ(classify("pop3.example.com"), QuerierCategory::kHome);
+}
+
+TEST(StaticFeatures, NoMatchIsOther) {
+  EXPECT_EQ(classify("zzz.example.com"), QuerierCategory::kOther);
+  EXPECT_EQ(classify("server.example.org"), QuerierCategory::kOther);
+}
+
+TEST(StaticFeatures, ClassifyQuerierFoldsFailures) {
+  QuerierInfo nx;
+  nx.status = ResolveStatus::kNxDomain;
+  EXPECT_EQ(classify_querier(nx), QuerierCategory::kNxDomain);
+  QuerierInfo un;
+  un.status = ResolveStatus::kUnreachable;
+  EXPECT_EQ(classify_querier(un), QuerierCategory::kUnreach);
+  QuerierInfo ok;
+  ok.status = ResolveStatus::kOk;
+  ok.name = *dns::DnsName::parse("mail.example.com");
+  EXPECT_EQ(classify_querier(ok), QuerierCategory::kMail);
+}
+
+TEST(StaticFeatures, NamesTableMatchesEnumOrder) {
+  const auto names = static_feature_names();
+  EXPECT_EQ(names[0], "home");
+  EXPECT_EQ(names[static_cast<std::size_t>(QuerierCategory::kNxDomain)], "nxdomain");
+  EXPECT_EQ(names.size(), kQuerierCategoryCount);
+}
+
+}  // namespace
+}  // namespace dnsbs::core

@@ -1,0 +1,118 @@
+#include "dns/cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dnsbs::dns {
+namespace {
+
+using util::SimTime;
+
+const DnsName kName = *DnsName::parse("4.3.2.1.in-addr.arpa");
+
+TEST(CacheSim, MissOnEmpty) {
+  CacheSim cache;
+  EXPECT_EQ(cache.lookup(kName, QType::kPTR, SimTime::seconds(0)), CacheResult::kMiss);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(CacheSim, PositiveHitUntilTtl) {
+  CacheSim cache;
+  cache.insert_positive(kName, QType::kPTR, 100, SimTime::seconds(0));
+  EXPECT_EQ(cache.lookup(kName, QType::kPTR, SimTime::seconds(99)),
+            CacheResult::kHitPositive);
+  EXPECT_EQ(cache.lookup(kName, QType::kPTR, SimTime::seconds(100)), CacheResult::kMiss);
+  // Expired entry was evicted lazily.
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().expired_evictions, 1u);
+}
+
+TEST(CacheSim, NegativeCaching) {
+  CacheSim cache;
+  cache.insert_negative(kName, QType::kPTR, 60, SimTime::seconds(0));
+  EXPECT_EQ(cache.lookup(kName, QType::kPTR, SimTime::seconds(30)),
+            CacheResult::kHitNegative);
+  EXPECT_EQ(cache.lookup(kName, QType::kPTR, SimTime::seconds(61)), CacheResult::kMiss);
+}
+
+TEST(CacheSim, ZeroTtlNeverStored) {
+  CacheSim cache;
+  cache.insert_positive(kName, QType::kPTR, 0, SimTime::seconds(0));
+  cache.insert_negative(kName, QType::kPTR, 0, SimTime::seconds(0));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.lookup(kName, QType::kPTR, SimTime::seconds(0)), CacheResult::kMiss);
+}
+
+TEST(CacheSim, TypeIsPartOfKey) {
+  CacheSim cache;
+  cache.insert_positive(kName, QType::kPTR, 100, SimTime::seconds(0));
+  EXPECT_EQ(cache.lookup(kName, QType::kNS, SimTime::seconds(1)), CacheResult::kMiss);
+  EXPECT_EQ(cache.lookup(kName, QType::kPTR, SimTime::seconds(1)),
+            CacheResult::kHitPositive);
+}
+
+TEST(CacheSim, ReinsertExtendsLifetime) {
+  CacheSim cache;
+  cache.insert_positive(kName, QType::kPTR, 10, SimTime::seconds(0));
+  cache.insert_positive(kName, QType::kPTR, 100, SimTime::seconds(5));
+  EXPECT_EQ(cache.lookup(kName, QType::kPTR, SimTime::seconds(50)),
+            CacheResult::kHitPositive);
+}
+
+TEST(CacheSim, NegativeOverridesPositive) {
+  CacheSim cache;
+  cache.insert_positive(kName, QType::kPTR, 100, SimTime::seconds(0));
+  cache.insert_negative(kName, QType::kPTR, 100, SimTime::seconds(1));
+  EXPECT_EQ(cache.lookup(kName, QType::kPTR, SimTime::seconds(2)),
+            CacheResult::kHitNegative);
+}
+
+TEST(CacheSim, BoundedEvictsClosestToExpiry) {
+  CacheSim cache(2);
+  const DnsName n1 = *DnsName::parse("1.example.com");
+  const DnsName n2 = *DnsName::parse("2.example.com");
+  const DnsName n3 = *DnsName::parse("3.example.com");
+  cache.insert_positive(n1, QType::kPTR, 10, SimTime::seconds(0));   // expires 10
+  cache.insert_positive(n2, QType::kPTR, 100, SimTime::seconds(0));  // expires 100
+  cache.insert_positive(n3, QType::kPTR, 50, SimTime::seconds(0));   // evicts n1
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.lookup(n1, QType::kPTR, SimTime::seconds(1)), CacheResult::kMiss);
+  EXPECT_EQ(cache.lookup(n2, QType::kPTR, SimTime::seconds(1)), CacheResult::kHitPositive);
+  EXPECT_EQ(cache.lookup(n3, QType::kPTR, SimTime::seconds(1)), CacheResult::kHitPositive);
+}
+
+TEST(CacheSim, BoundedPrefersPurgingExpired) {
+  CacheSim cache(2);
+  const DnsName n1 = *DnsName::parse("1.example.com");
+  const DnsName n2 = *DnsName::parse("2.example.com");
+  const DnsName n3 = *DnsName::parse("3.example.com");
+  cache.insert_positive(n1, QType::kPTR, 5, SimTime::seconds(0));
+  cache.insert_positive(n2, QType::kPTR, 1000, SimTime::seconds(0));
+  // n1 is already expired at t=10; insertion should purge it, keeping n2.
+  cache.insert_positive(n3, QType::kPTR, 1000, SimTime::seconds(10));
+  EXPECT_EQ(cache.lookup(n2, QType::kPTR, SimTime::seconds(11)), CacheResult::kHitPositive);
+  EXPECT_EQ(cache.lookup(n3, QType::kPTR, SimTime::seconds(11)), CacheResult::kHitPositive);
+}
+
+TEST(CacheSim, ClearEmptiesEverything) {
+  CacheSim cache;
+  cache.insert_positive(kName, QType::kPTR, 100, SimTime::seconds(0));
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.lookup(kName, QType::kPTR, SimTime::seconds(1)), CacheResult::kMiss);
+}
+
+TEST(CacheSim, StatsAccumulate) {
+  CacheSim cache;
+  cache.insert_positive(kName, QType::kPTR, 100, SimTime::seconds(0));
+  cache.lookup(kName, QType::kPTR, SimTime::seconds(1));
+  cache.lookup(kName, QType::kPTR, SimTime::seconds(2));
+  cache.lookup(*DnsName::parse("other.example.com"), QType::kPTR, SimTime::seconds(3));
+  const auto& s = cache.stats();
+  EXPECT_EQ(s.lookups, 3u);
+  EXPECT_EQ(s.hits_positive, 2u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.inserts, 1u);
+}
+
+}  // namespace
+}  // namespace dnsbs::dns

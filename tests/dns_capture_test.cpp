@@ -1,0 +1,114 @@
+// Packet-capture ingestion: only well-formed reverse queries become
+// backscatter records.
+#include "dns/capture.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dns/reverse.hpp"
+
+namespace dnsbs::dns {
+namespace {
+
+using net::IPv4Addr;
+
+const IPv4Addr kSource = *IPv4Addr::parse("192.0.2.53");
+const IPv4Addr kOriginator = *IPv4Addr::parse("1.2.3.4");
+
+TEST(Capture, AcceptsWellFormedPtrQuery) {
+  CaptureStats stats;
+  const auto wire = make_ptr_query_packet(7, kOriginator);
+  const auto record =
+      record_from_packet(wire, util::SimTime::seconds(100), kSource, stats);
+  ASSERT_TRUE(record);
+  EXPECT_EQ(record->originator, kOriginator);
+  EXPECT_EQ(record->querier, kSource);
+  EXPECT_EQ(record->time.secs(), 100);
+  EXPECT_EQ(stats.accepted, 1u);
+  EXPECT_EQ(stats.packets, 1u);
+}
+
+TEST(Capture, RejectsResponses) {
+  CaptureStats stats;
+  const Message query = Message::ptr_query(7, kOriginator);
+  const auto wire = encode(Message::response_to(query, RCode::kNoError));
+  EXPECT_FALSE(record_from_packet(wire, util::SimTime::seconds(0), kSource, stats));
+  EXPECT_EQ(stats.responses, 1u);
+}
+
+TEST(Capture, RejectsForwardQueries) {
+  CaptureStats stats;
+  Message m;
+  m.id = 9;
+  m.recursion_desired = true;
+  m.questions.push_back(Question{*DnsName::parse("www.example.com"), QType::kA,
+                                 QClass::kIN});
+  EXPECT_FALSE(
+      record_from_packet(encode(m), util::SimTime::seconds(0), kSource, stats));
+  EXPECT_EQ(stats.non_ptr, 1u);
+}
+
+TEST(Capture, RejectsPtrOutsideReverseTree) {
+  CaptureStats stats;
+  Message m;
+  m.questions.push_back(Question{*DnsName::parse("4.3.2.1.ip6.arpa"), QType::kPTR,
+                                 QClass::kIN});
+  EXPECT_FALSE(
+      record_from_packet(encode(m), util::SimTime::seconds(0), kSource, stats));
+  EXPECT_EQ(stats.non_reverse_name, 1u);
+}
+
+TEST(Capture, RejectsZoneLevelPtrQueries) {
+  // A QNAME-minimized query for the /24 zone has no originator.
+  CaptureStats stats;
+  Message m;
+  m.questions.push_back(Question{*DnsName::parse("3.2.1.in-addr.arpa"), QType::kPTR,
+                                 QClass::kIN});
+  EXPECT_FALSE(
+      record_from_packet(encode(m), util::SimTime::seconds(0), kSource, stats));
+  EXPECT_EQ(stats.non_reverse_name, 1u);
+}
+
+TEST(Capture, RejectsMalformedBytes) {
+  CaptureStats stats;
+  const std::vector<std::uint8_t> junk = {0xde, 0xad, 0xbe, 0xef};
+  EXPECT_FALSE(record_from_packet(junk, util::SimTime::seconds(0), kSource, stats));
+  EXPECT_EQ(stats.malformed, 1u);
+}
+
+TEST(Capture, RejectsMultiQuestionPackets) {
+  CaptureStats stats;
+  Message m = Message::ptr_query(1, kOriginator);
+  m.questions.push_back(m.questions.front());
+  EXPECT_FALSE(
+      record_from_packet(encode(m), util::SimTime::seconds(0), kSource, stats));
+  EXPECT_EQ(stats.malformed, 1u);
+}
+
+TEST(Capture, StatsAccumulateAcrossPackets) {
+  CaptureStats stats;
+  const auto good = make_ptr_query_packet(1, kOriginator);
+  for (int i = 0; i < 3; ++i) {
+    record_from_packet(good, util::SimTime::seconds(i), kSource, stats);
+  }
+  const std::vector<std::uint8_t> junk = {1};
+  record_from_packet(junk, util::SimTime::seconds(9), kSource, stats);
+  EXPECT_EQ(stats.packets, 4u);
+  EXPECT_EQ(stats.accepted, 3u);
+  EXPECT_EQ(stats.malformed, 1u);
+}
+
+// Property: capture(encode(ptr_query(x))) recovers x for arbitrary
+// addresses.
+TEST(Capture, RoundTripsArbitraryAddresses) {
+  CaptureStats stats;
+  for (std::uint32_t v : {0u, 1u, 0x01020304u, 0x7f000001u, 0xfffffffeu, 0xffffffffu}) {
+    const IPv4Addr addr(v);
+    const auto record = record_from_packet(make_ptr_query_packet(2, addr),
+                                           util::SimTime::seconds(0), kSource, stats);
+    ASSERT_TRUE(record) << addr.to_string();
+    EXPECT_EQ(record->originator, addr);
+  }
+}
+
+}  // namespace
+}  // namespace dnsbs::dns

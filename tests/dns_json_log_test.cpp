@@ -1,0 +1,115 @@
+#include "dns/json_log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/rng.hpp"
+
+namespace dnsbs::dns {
+namespace {
+
+QueryRecord sample() {
+  return QueryRecord{util::SimTime::seconds(12345),
+                     *net::IPv4Addr::parse("192.168.0.3"),
+                     *net::IPv4Addr::parse("1.2.3.4"), RCode::kNXDomain};
+}
+
+TEST(JsonLog, SerializesSchema) {
+  EXPECT_EQ(to_json(sample()),
+            R"({"t":12345,"q":"192.168.0.3","o":"1.2.3.4","rc":"NXDOMAIN"})");
+}
+
+TEST(JsonLog, RoundTrips) {
+  const QueryRecord r = sample();
+  const auto parsed = from_json(to_json(r));
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(*parsed, r);
+}
+
+TEST(JsonLog, FieldOrderIrrelevant) {
+  const auto parsed =
+      from_json(R"({"rc":"NOERROR","o":"1.2.3.4","t":7,"q":"10.0.0.1"})");
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->time.secs(), 7);
+  EXPECT_EQ(parsed->rcode, RCode::kNoError);
+}
+
+TEST(JsonLog, ToleratesUnknownFieldsAndWhitespace) {
+  const auto parsed = from_json(
+      R"(  { "t": 9 , "q":"10.0.0.1", "extra": "ignore me", "o":"1.2.3.4", "rc":"SERVFAIL", "n": 42 } )");
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->rcode, RCode::kServFail);
+}
+
+TEST(JsonLog, RejectsMalformed) {
+  for (const char* bad : {
+           "",                                                   // empty
+           "not json",                                           // no object
+           "{",                                                  // truncated
+           R"({"t":1,"q":"10.0.0.1","o":"1.2.3.4"})",            // missing rc
+           R"({"t":"x","q":"10.0.0.1","o":"1.2.3.4","rc":"NOERROR"})",  // bad t
+           R"({"t":1,"q":"999.0.0.1","o":"1.2.3.4","rc":"NOERROR"})",   // bad ip
+           R"({"t":1,"q":"10.0.0.1","o":"1.2.3.4","rc":"WHAT"})",       // bad rc
+           R"({"t":1,"q":"10.0.0.1","o":"1.2.3.4","rc":"NOERROR")",     // no close
+           R"({"t":1 "q":"10.0.0.1","o":"1.2.3.4","rc":"NOERROR"})",    // no comma
+       }) {
+    EXPECT_FALSE(from_json(bad)) << bad;
+  }
+}
+
+TEST(JsonLog, EscapeHandling) {
+  // A hand-written line with escapes in an ignored field still parses.
+  const auto parsed = from_json(
+      R"({"note":"quote \" slash \\ nl \n","t":1,"q":"10.0.0.1","o":"1.2.3.4","rc":"NOERROR"})");
+  ASSERT_TRUE(parsed);
+}
+
+TEST(JsonLog, WriterReaderRoundTrip) {
+  std::stringstream buffer;
+  JsonLogWriter writer(buffer);
+  util::Rng rng(3);
+  std::vector<QueryRecord> records;
+  for (int i = 0; i < 200; ++i) {
+    QueryRecord r;
+    r.time = util::SimTime::seconds(i);
+    r.querier = net::IPv4Addr(static_cast<std::uint32_t>(rng.next()));
+    r.originator = net::IPv4Addr(static_cast<std::uint32_t>(rng.next()));
+    r.rcode = rng.chance(0.2) ? RCode::kNXDomain : RCode::kNoError;
+    records.push_back(r);
+    writer.write(r);
+  }
+  EXPECT_EQ(writer.count(), 200u);
+
+  JsonLogReader reader(buffer);
+  for (const auto& expected : records) {
+    const auto got = reader.next();
+    ASSERT_TRUE(got);
+    EXPECT_EQ(*got, expected);
+  }
+  EXPECT_FALSE(reader.next());
+  EXPECT_EQ(reader.skipped(), 0u);
+}
+
+TEST(JsonLog, ReaderSkipsGarbage) {
+  std::stringstream buffer;
+  buffer << "garbage\n" << to_json(sample()) << "\n{broken\n";
+  JsonLogReader reader(buffer);
+  const auto got = reader.next();
+  ASSERT_TRUE(got);
+  EXPECT_EQ(*got, sample());
+  EXPECT_FALSE(reader.next());
+  EXPECT_EQ(reader.skipped(), 2u);
+}
+
+TEST(JsonLog, InteroperatesWithTextLog) {
+  // Same record through both formats yields the same tuple.
+  const QueryRecord r = sample();
+  const auto via_text = parse_record(serialize(r));
+  const auto via_json = from_json(to_json(r));
+  ASSERT_TRUE(via_text && via_json);
+  EXPECT_EQ(*via_text, *via_json);
+}
+
+}  // namespace
+}  // namespace dnsbs::dns

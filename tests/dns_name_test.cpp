@@ -1,0 +1,110 @@
+#include "dns/name.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace dnsbs::dns {
+namespace {
+
+TEST(DnsName, ParseBasics) {
+  const auto n = DnsName::parse("Mail.Example.COM");
+  ASSERT_TRUE(n);
+  EXPECT_EQ(n->label_count(), 3u);
+  EXPECT_EQ(n->label(0), "mail");  // lowercased
+  EXPECT_EQ(n->label(2), "com");
+  EXPECT_EQ(n->to_string(), "mail.example.com");
+  EXPECT_EQ(n->host_label(), "mail");
+}
+
+TEST(DnsName, ParseRoot) {
+  const auto root = DnsName::parse(".");
+  ASSERT_TRUE(root);
+  EXPECT_TRUE(root->is_root());
+  EXPECT_EQ(root->to_string(), ".");
+}
+
+TEST(DnsName, TrailingDotAccepted) {
+  const auto n = DnsName::parse("example.com.");
+  ASSERT_TRUE(n);
+  EXPECT_EQ(n->label_count(), 2u);
+}
+
+TEST(DnsName, ParseRejectsMalformed) {
+  EXPECT_FALSE(DnsName::parse(""));
+  EXPECT_FALSE(DnsName::parse(".."));
+  EXPECT_FALSE(DnsName::parse("a..b"));
+  EXPECT_FALSE(DnsName::parse("bad name.com"));
+  EXPECT_FALSE(DnsName::parse("exa mple"));
+  // Label longer than 63 bytes.
+  EXPECT_FALSE(DnsName::parse(std::string(64, 'a') + ".com"));
+  EXPECT_TRUE(DnsName::parse(std::string(63, 'a') + ".com"));
+}
+
+TEST(DnsName, ParseRejectsOversizeName) {
+  // Build a name over 255 wire bytes from 60-byte labels.
+  std::string big;
+  for (int i = 0; i < 5; ++i) {
+    if (i) big += '.';
+    big += std::string(60, 'x');
+  }
+  EXPECT_FALSE(DnsName::parse(big));
+}
+
+TEST(DnsName, UnderscoreAndHyphenAllowed) {
+  EXPECT_TRUE(DnsName::parse("_dmarc.example.com"));
+  EXPECT_TRUE(DnsName::parse("home1-2-3-4.isp.jp"));
+}
+
+TEST(DnsName, EndsIn) {
+  const auto n = *DnsName::parse("a.b.example.com");
+  EXPECT_TRUE(n.ends_in(*DnsName::parse("example.com")));
+  EXPECT_TRUE(n.ends_in(*DnsName::parse("com")));
+  EXPECT_TRUE(n.ends_in(n));
+  EXPECT_TRUE(n.ends_in(DnsName{}));  // root suffixes everything
+  EXPECT_FALSE(n.ends_in(*DnsName::parse("b.example.org")));
+  EXPECT_FALSE(DnsName{}.ends_in(n));
+}
+
+TEST(DnsName, ParentAndChild) {
+  const auto n = *DnsName::parse("mail.example.com");
+  EXPECT_EQ(n.parent().to_string(), "example.com");
+  EXPECT_EQ(n.parent().parent().to_string(), "com");
+  EXPECT_TRUE(n.parent().parent().parent().is_root());
+  EXPECT_TRUE(DnsName{}.parent().is_root());
+  EXPECT_EQ(DnsName{}.child("arpa").child("in-addr").to_string(), "in-addr.arpa");
+}
+
+TEST(DnsName, WireLength) {
+  EXPECT_EQ(DnsName{}.wire_length(), 1u);
+  EXPECT_EQ(DnsName::parse("a.bc")->wire_length(), 1u + 2 + 3);
+}
+
+TEST(DnsName, CaseInsensitiveEquality) {
+  EXPECT_EQ(*DnsName::parse("WWW.Example.COM"), *DnsName::parse("www.example.com"));
+}
+
+TEST(DnsName, HashConsistentWithEquality) {
+  std::unordered_set<DnsName> set;
+  set.insert(*DnsName::parse("a.example.com"));
+  set.insert(*DnsName::parse("A.EXAMPLE.COM"));
+  EXPECT_EQ(set.size(), 1u);
+  set.insert(*DnsName::parse("b.example.com"));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(DnsName, HashDistinguishesLabelBoundaries) {
+  // "ab.c" and "a.bc" must hash (and compare) differently.
+  const auto x = *DnsName::parse("ab.c");
+  const auto y = *DnsName::parse("a.bc");
+  EXPECT_NE(x, y);
+  EXPECT_NE(std::hash<DnsName>{}(x), std::hash<DnsName>{}(y));
+}
+
+TEST(DnsName, FromLabelsLowercases) {
+  const auto n = DnsName::from_labels({"MAIL", "Example", "com"});
+  EXPECT_EQ(n.to_string(), "mail.example.com");
+}
+
+}  // namespace
+}  // namespace dnsbs::dns

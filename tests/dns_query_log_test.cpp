@@ -1,0 +1,79 @@
+#include "dns/query_log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace dnsbs::dns {
+namespace {
+
+QueryRecord sample() {
+  return QueryRecord{util::SimTime::seconds(12345),
+                     *net::IPv4Addr::parse("192.168.0.3"),
+                     *net::IPv4Addr::parse("1.2.3.4"), RCode::kNoError};
+}
+
+TEST(QueryLog, SerializeFormat) {
+  EXPECT_EQ(serialize(sample()), "12345\t192.168.0.3\t1.2.3.4\tNOERROR");
+}
+
+TEST(QueryLog, ParseRoundTrip) {
+  const QueryRecord r = sample();
+  const auto parsed = parse_record(serialize(r));
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(*parsed, r);
+}
+
+TEST(QueryLog, ParseAllRcodes) {
+  for (const RCode rc : {RCode::kNoError, RCode::kNXDomain, RCode::kServFail,
+                         RCode::kFormErr, RCode::kNotImp, RCode::kRefused}) {
+    QueryRecord r = sample();
+    r.rcode = rc;
+    const auto parsed = parse_record(serialize(r));
+    ASSERT_TRUE(parsed);
+    EXPECT_EQ(parsed->rcode, rc);
+  }
+}
+
+TEST(QueryLog, ParseRejectsMalformed) {
+  EXPECT_FALSE(parse_record(""));
+  EXPECT_FALSE(parse_record("12345\t192.168.0.3\t1.2.3.4"));          // missing field
+  EXPECT_FALSE(parse_record("x\t192.168.0.3\t1.2.3.4\tNOERROR"));     // bad time
+  EXPECT_FALSE(parse_record("1\t999.168.0.3\t1.2.3.4\tNOERROR"));     // bad ip
+  EXPECT_FALSE(parse_record("1\t192.168.0.3\t1.2.3.4\tWHAT"));        // bad rcode
+}
+
+TEST(QueryLog, WriterReaderRoundTrip) {
+  std::stringstream buffer;
+  QueryLogWriter writer(buffer);
+  QueryRecord a = sample();
+  QueryRecord b = sample();
+  b.time = util::SimTime::seconds(99999);
+  b.rcode = RCode::kNXDomain;
+  writer.write(a);
+  writer.write(b);
+  EXPECT_EQ(writer.count(), 2u);
+
+  QueryLogReader reader(buffer);
+  const auto ra = reader.next();
+  const auto rb = reader.next();
+  ASSERT_TRUE(ra && rb);
+  EXPECT_EQ(*ra, a);
+  EXPECT_EQ(*rb, b);
+  EXPECT_FALSE(reader.next());
+  EXPECT_EQ(reader.skipped(), 0u);
+}
+
+TEST(QueryLog, ReaderSkipsGarbageLines) {
+  std::stringstream buffer;
+  buffer << "not a record\n"
+         << serialize(sample()) << "\n"
+         << "\n"
+         << "also garbage\tx\ty\tz\n";
+  const auto records = read_all(buffer);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0], sample());
+}
+
+}  // namespace
+}  // namespace dnsbs::dns

@@ -1,0 +1,63 @@
+#include "dns/reverse.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dnsbs::dns {
+namespace {
+
+using net::IPv4Addr;
+
+TEST(Reverse, BuildsPtrName) {
+  const auto name = reverse_name(IPv4Addr::from_octets(1, 2, 3, 4));
+  EXPECT_EQ(name.to_string(), "4.3.2.1.in-addr.arpa");
+}
+
+TEST(Reverse, RoundTrips) {
+  const IPv4Addr a = IPv4Addr::from_octets(203, 0, 113, 77);
+  const auto back = address_from_reverse(reverse_name(a));
+  ASSERT_TRUE(back);
+  EXPECT_EQ(*back, a);
+}
+
+TEST(Reverse, RejectsNonReverseNames) {
+  EXPECT_FALSE(address_from_reverse(*DnsName::parse("www.example.com")));
+  EXPECT_FALSE(address_from_reverse(*DnsName::parse("4.3.2.1.ip6.arpa")));
+  // Too few labels (a zone, not a full PTR name).
+  EXPECT_FALSE(address_from_reverse(*DnsName::parse("3.2.1.in-addr.arpa")));
+  // Octet out of range.
+  EXPECT_FALSE(address_from_reverse(*DnsName::parse("4.3.2.256.in-addr.arpa")));
+  EXPECT_FALSE(address_from_reverse(*DnsName::parse("4.3.2.x.in-addr.arpa")));
+}
+
+TEST(Reverse, IsReverseName) {
+  EXPECT_TRUE(is_reverse_name(*DnsName::parse("1.in-addr.arpa")));
+  EXPECT_TRUE(is_reverse_name(reverse_name(IPv4Addr(0))));
+  EXPECT_FALSE(is_reverse_name(*DnsName::parse("in-addr.arpa.example.com")));
+}
+
+TEST(Reverse, ZoneNamesPerLevel) {
+  const IPv4Addr a = IPv4Addr::from_octets(10, 20, 30, 40);
+  EXPECT_EQ(reverse_zone(a, ReverseZoneLevel::kRoot).to_string(), "in-addr.arpa");
+  EXPECT_EQ(reverse_zone(a, ReverseZoneLevel::kSlash8).to_string(), "10.in-addr.arpa");
+  EXPECT_EQ(reverse_zone(a, ReverseZoneLevel::kSlash16).to_string(), "20.10.in-addr.arpa");
+  EXPECT_EQ(reverse_zone(a, ReverseZoneLevel::kSlash24).to_string(),
+            "30.20.10.in-addr.arpa");
+}
+
+TEST(Reverse, ZonePrefixes) {
+  const IPv4Addr a = IPv4Addr::from_octets(10, 20, 30, 40);
+  EXPECT_EQ(zone_prefix(a, ReverseZoneLevel::kSlash8).to_string(), "10.0.0.0/8");
+  EXPECT_EQ(zone_prefix(a, ReverseZoneLevel::kSlash24).to_string(), "10.20.30.0/24");
+  EXPECT_EQ(zone_prefix(a, ReverseZoneLevel::kRoot).length(), 0);
+}
+
+TEST(Reverse, AllOctetValuesRoundTrip) {
+  for (int v : {0, 1, 9, 10, 99, 100, 199, 200, 255}) {
+    const IPv4Addr a = IPv4Addr::from_octets(static_cast<std::uint8_t>(v), 0, 255,
+                                             static_cast<std::uint8_t>(255 - v));
+    EXPECT_EQ(*address_from_reverse(reverse_name(a)), a);
+  }
+}
+
+}  // namespace
+}  // namespace dnsbs::dns

@@ -1,0 +1,137 @@
+// Property tests for the wire codec: random well-formed messages always
+// round-trip, and random byte corruption never crashes the decoder.
+#include <gtest/gtest.h>
+
+#include "dns/reverse.hpp"
+#include "dns/wire.hpp"
+#include "util/rng.hpp"
+
+namespace dnsbs::dns {
+namespace {
+
+DnsName random_name(util::Rng& rng) {
+  static const char* kLabels[] = {"mail", "ns1", "example", "com", "jp", "net",
+                                  "a",    "xyz", "host-7",  "_srv"};
+  const std::size_t depth = 1 + rng.below(5);
+  DnsName name;
+  for (std::size_t i = 0; i < depth; ++i) {
+    name = DnsName::parse(std::string(kLabels[rng.below(std::size(kLabels))]) +
+                          (name.is_root() ? "" : "." + name.to_string()))
+               .value_or(name);
+  }
+  return name.is_root() ? *DnsName::parse("example.com") : name;
+}
+
+ResourceRecord random_rr(util::Rng& rng) {
+  ResourceRecord rr;
+  rr.name = random_name(rng);
+  rr.ttl = static_cast<std::uint32_t>(rng.below(86400));
+  switch (rng.below(3)) {
+    case 0:
+      rr.rtype = QType::kA;
+      rr.rdata.value = net::IPv4Addr(static_cast<std::uint32_t>(rng.next()));
+      break;
+    case 1:
+      rr.rtype = QType::kPTR;
+      rr.rdata.value = random_name(rng);
+      break;
+    default: {
+      rr.rtype = QType::kTXT;
+      std::vector<std::uint8_t> raw(rng.below(32));
+      for (auto& b : raw) b = static_cast<std::uint8_t>(rng.below(256));
+      rr.rdata.value = std::move(raw);
+      break;
+    }
+  }
+  return rr;
+}
+
+Message random_message(util::Rng& rng) {
+  Message m;
+  m.id = static_cast<std::uint16_t>(rng.next());
+  m.is_response = rng.chance(0.5);
+  m.opcode = static_cast<std::uint8_t>(rng.below(3));
+  m.authoritative = rng.chance(0.3);
+  m.recursion_desired = rng.chance(0.7);
+  m.recursion_available = rng.chance(0.5);
+  m.rcode = static_cast<RCode>(rng.below(6));
+  const std::size_t questions = rng.below(3);
+  for (std::size_t i = 0; i < questions; ++i) {
+    Question q;
+    q.name = random_name(rng);
+    q.qtype = rng.chance(0.5) ? QType::kPTR : QType::kA;
+    m.questions.push_back(std::move(q));
+  }
+  const std::size_t answers = rng.below(4);
+  for (std::size_t i = 0; i < answers; ++i) m.answers.push_back(random_rr(rng));
+  const std::size_t auth = rng.below(2);
+  for (std::size_t i = 0; i < auth; ++i) m.authorities.push_back(random_rr(rng));
+  return m;
+}
+
+class WireRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WireRoundTrip, RandomMessagesEncodeDecodeExactly) {
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    const Message m = random_message(rng);
+    const auto wire = encode(m);
+    const auto decoded = decode(wire);
+    ASSERT_TRUE(decoded) << "trial " << trial;
+    EXPECT_EQ(*decoded, m) << "trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WireRoundTrip, ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+class WireFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WireFuzz, CorruptedBytesNeverCrashAndOftenReject) {
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 300; ++trial) {
+    const Message m = random_message(rng);
+    auto wire = encode(m);
+    // Mutate 1-4 random bytes.
+    const std::size_t mutations = 1 + rng.below(4);
+    for (std::size_t k = 0; k < mutations && !wire.empty(); ++k) {
+      wire[rng.below(wire.size())] = static_cast<std::uint8_t>(rng.below(256));
+    }
+    const auto decoded = decode(wire);  // must not crash / UB
+    if (decoded) {
+      // If it decoded, re-encoding must also succeed (no poisoned state).
+      EXPECT_FALSE(encode(*decoded).empty());
+    }
+  }
+}
+
+TEST_P(WireFuzz, RandomGarbageNeverCrashes) {
+  util::Rng rng(GetParam() ^ 0xf00d);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<std::uint8_t> junk(rng.below(120));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.below(256));
+    (void)decode(junk);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WireFuzz, ::testing::Values(11u, 12u, 13u));
+
+// Reverse codec property: every IPv4 value round-trips through the PTR
+// name, and the name always sits under in-addr.arpa.
+class ReverseRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ReverseRoundTrip, RandomAddresses) {
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 2000; ++trial) {
+    const net::IPv4Addr addr(static_cast<std::uint32_t>(rng.next()));
+    const DnsName name = reverse_name(addr);
+    EXPECT_TRUE(is_reverse_name(name));
+    const auto back = address_from_reverse(name);
+    ASSERT_TRUE(back);
+    EXPECT_EQ(*back, addr);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReverseRoundTrip, ::testing::Values(21u, 22u));
+
+}  // namespace
+}  // namespace dnsbs::dns

@@ -1,0 +1,155 @@
+#include "dns/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dns/reverse.hpp"
+
+namespace dnsbs::dns {
+namespace {
+
+using net::IPv4Addr;
+
+Message sample_query() {
+  return Message::ptr_query(0x1234, IPv4Addr::from_octets(1, 2, 3, 4));
+}
+
+TEST(Wire, PtrQueryShape) {
+  const Message q = sample_query();
+  EXPECT_EQ(q.id, 0x1234);
+  EXPECT_FALSE(q.is_response);
+  EXPECT_TRUE(q.recursion_desired);
+  ASSERT_EQ(q.questions.size(), 1u);
+  EXPECT_EQ(q.questions[0].qtype, QType::kPTR);
+  EXPECT_EQ(q.questions[0].name.to_string(), "4.3.2.1.in-addr.arpa");
+}
+
+TEST(Wire, QueryRoundTrip) {
+  const Message q = sample_query();
+  const auto wire = encode(q);
+  const auto decoded = decode(wire);
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(*decoded, q);
+}
+
+TEST(Wire, ResponseRoundTripWithPtrAnswer) {
+  const Message q = sample_query();
+  ResourceRecord rr;
+  rr.name = q.questions[0].name;
+  rr.rtype = QType::kPTR;
+  rr.ttl = 3600;
+  rr.rdata.value = *DnsName::parse("spam.bad.jp");
+  const Message r = Message::response_to(q, RCode::kNoError, {rr});
+  const auto decoded = decode(encode(r));
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(*decoded, r);
+  EXPECT_TRUE(decoded->is_response);
+  ASSERT_EQ(decoded->answers.size(), 1u);
+  EXPECT_EQ(std::get<DnsName>(decoded->answers[0].rdata.value).to_string(), "spam.bad.jp");
+}
+
+TEST(Wire, NxDomainResponse) {
+  const Message r = Message::response_to(sample_query(), RCode::kNXDomain);
+  const auto decoded = decode(encode(r));
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->rcode, RCode::kNXDomain);
+  EXPECT_TRUE(decoded->answers.empty());
+}
+
+TEST(Wire, ARecordRoundTrip) {
+  Message m;
+  m.id = 7;
+  m.is_response = true;
+  ResourceRecord rr;
+  rr.name = *DnsName::parse("a.example.com");
+  rr.rtype = QType::kA;
+  rr.ttl = 60;
+  rr.rdata.value = IPv4Addr::from_octets(192, 0, 2, 1);
+  m.answers.push_back(rr);
+  const auto decoded = decode(encode(m));
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(std::get<IPv4Addr>(decoded->answers[0].rdata.value),
+            IPv4Addr::from_octets(192, 0, 2, 1));
+}
+
+TEST(Wire, OpaqueRdataRoundTrip) {
+  Message m;
+  m.is_response = true;
+  ResourceRecord rr;
+  rr.name = *DnsName::parse("t.example.com");
+  rr.rtype = QType::kTXT;
+  rr.ttl = 1;
+  rr.rdata.value = std::vector<std::uint8_t>{0x03, 'a', 'b', 'c'};
+  m.answers.push_back(rr);
+  const auto decoded = decode(encode(m));
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(*decoded, m);
+}
+
+TEST(Wire, CompressionShrinksRepeatedNames) {
+  Message m;
+  m.is_response = true;
+  Question q;
+  q.name = *DnsName::parse("very-long-label-here.example.com");
+  q.qtype = QType::kPTR;
+  m.questions.push_back(q);
+  ResourceRecord rr;
+  rr.name = q.name;  // same name again: should compress to a pointer
+  rr.rtype = QType::kPTR;
+  rr.rdata.value = *DnsName::parse("target.example.com");  // shares suffix
+  m.answers.push_back(rr);
+
+  const auto wire = encode(m);
+  // Without compression the name would repeat in full (34 bytes); with
+  // pointers the second occurrence is 2 bytes.
+  EXPECT_LT(wire.size(), 12u + 38u + 4u + 38u + 10u + 20u);
+  const auto decoded = decode(wire);
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(*decoded, m);
+}
+
+TEST(Wire, DecodeRejectsTruncation) {
+  const auto wire = encode(sample_query());
+  for (std::size_t cut = 1; cut < wire.size(); ++cut) {
+    std::vector<std::uint8_t> partial(wire.begin(), wire.begin() + cut);
+    EXPECT_FALSE(decode(partial)) << "cut=" << cut;
+  }
+}
+
+TEST(Wire, DecodeRejectsPointerLoop) {
+  // Header + a name that is a pointer to itself at offset 12.
+  std::vector<std::uint8_t> wire = {0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0,
+                                    0xc0, 12, 0, 12, 0, 1};
+  EXPECT_FALSE(decode(wire));
+}
+
+TEST(Wire, DecodeRejectsForwardPointer) {
+  std::vector<std::uint8_t> wire = {0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0,
+                                    0xc0, 20, 0, 12, 0, 1};
+  EXPECT_FALSE(decode(wire));
+}
+
+TEST(Wire, DecodeEmptyInput) { EXPECT_FALSE(decode(nullptr, 0)); }
+
+TEST(Wire, FlagsRoundTrip) {
+  Message m;
+  m.id = 0xffff;
+  m.is_response = true;
+  m.opcode = 2;
+  m.authoritative = true;
+  m.truncated = true;
+  m.recursion_desired = true;
+  m.recursion_available = true;
+  m.rcode = RCode::kRefused;
+  const auto decoded = decode(encode(m));
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(*decoded, m);
+}
+
+TEST(Wire, ToStringHelpers) {
+  EXPECT_STREQ(to_string(QType::kPTR), "PTR");
+  EXPECT_STREQ(to_string(RCode::kNXDomain), "NXDOMAIN");
+  EXPECT_STREQ(to_string(RCode::kServFail), "SERVFAIL");
+}
+
+}  // namespace
+}  // namespace dnsbs::dns

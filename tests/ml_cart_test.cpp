@@ -1,0 +1,143 @@
+#include "ml/cart.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace dnsbs::ml {
+namespace {
+
+/// Linearly separable 2-class data with one informative feature.
+Dataset separable(std::size_t n_per_class, std::uint64_t seed) {
+  Dataset d({"informative", "noise"}, {"neg", "pos"});
+  util::Rng rng(seed);
+  for (std::size_t i = 0; i < n_per_class; ++i) {
+    d.add({rng.uniform(0.0, 0.4), rng.uniform()}, 0);
+    d.add({rng.uniform(0.6, 1.0), rng.uniform()}, 1);
+  }
+  return d;
+}
+
+TEST(CartTree, LearnsSeparableData) {
+  const Dataset d = separable(50, 1);
+  CartTree tree;
+  tree.fit(d);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    EXPECT_EQ(tree.predict(d.row(i)), d.label(i));
+  }
+  const std::vector<double> lo = {0.1, 0.5};
+  const std::vector<double> hi = {0.9, 0.5};
+  EXPECT_EQ(tree.predict(lo), 0u);
+  EXPECT_EQ(tree.predict(hi), 1u);
+}
+
+TEST(CartTree, SingleClassPredictsThatClass) {
+  Dataset d({"x"}, {"only", "unused"});
+  d.add({1.0}, 0);
+  d.add({2.0}, 0);
+  CartTree tree;
+  tree.fit(d);
+  EXPECT_EQ(tree.node_count(), 1u);
+  const std::vector<double> q = {5.0};
+  EXPECT_EQ(tree.predict(q), 0u);
+}
+
+TEST(CartTree, EmptyFitIsSafe) {
+  Dataset d({"x"}, {"a"});
+  CartTree tree;
+  tree.fit(d);
+  const std::vector<double> q = {0.0};
+  EXPECT_EQ(tree.predict(q), 0u);
+}
+
+TEST(CartTree, RespectsMaxDepth) {
+  const Dataset d = separable(100, 2);
+  CartConfig cfg;
+  cfg.max_depth = 1;
+  CartTree tree(cfg);
+  tree.fit(d);
+  EXPECT_LE(tree.depth(), 1u);
+  EXPECT_LE(tree.node_count(), 3u);
+}
+
+TEST(CartTree, MinSamplesLeafLimitsGrowth) {
+  const Dataset d = separable(100, 3);
+  CartConfig a_cfg;
+  a_cfg.min_samples_leaf = 1;
+  CartConfig b_cfg;
+  b_cfg.min_samples_leaf = 40;
+  CartTree a(a_cfg), b(b_cfg);
+  a.fit(d);
+  b.fit(d);
+  EXPECT_GE(a.node_count(), b.node_count());
+}
+
+TEST(CartTree, GiniImportanceFindsInformativeFeature) {
+  const Dataset d = separable(200, 4);
+  CartTree tree;
+  tree.fit(d);
+  const auto& imp = tree.gini_importance();
+  ASSERT_EQ(imp.size(), 2u);
+  EXPECT_GT(imp[0], imp[1] * 5.0);
+}
+
+TEST(CartTree, BandPatternNeedsTwoSplits) {
+  // Class "on" is a band 0.3 < x < 0.7: one threshold cannot separate it,
+  // two nested splits on the same feature can.
+  Dataset d({"x"}, {"off", "on"});
+  for (int i = 0; i < 100; ++i) {
+    const double x = i / 100.0;
+    d.add({x}, (x > 0.3 && x < 0.7) ? 1u : 0u);
+  }
+  CartTree tree;
+  tree.fit(d);
+  EXPECT_GE(tree.depth(), 2u);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    if (tree.predict(d.row(i)) == d.label(i)) ++correct;
+  }
+  EXPECT_EQ(correct, d.size());
+}
+
+TEST(CartTree, FitIndicesUsesOnlySelectedRows) {
+  Dataset d({"x"}, {"a", "b"});
+  d.add({0.0}, 0);
+  d.add({1.0}, 1);
+  d.add({2.0}, 1);
+  const std::vector<std::size_t> only_class_a = {0, 0, 0};
+  CartTree tree;
+  tree.fit_indices(d, only_class_a);
+  const std::vector<double> q = {2.0};
+  EXPECT_EQ(tree.predict(q), 0u);
+}
+
+TEST(CartTree, RefitReplacesModel) {
+  Dataset d1({"x"}, {"a", "b"});
+  d1.add({0.0}, 0);
+  d1.add({1.0}, 1);
+  Dataset d2({"x"}, {"a", "b"});
+  d2.add({0.0}, 1);
+  d2.add({1.0}, 0);
+  CartTree tree;
+  tree.fit(d1);
+  const std::vector<double> q = {0.0};
+  EXPECT_EQ(tree.predict(q), 0u);
+  tree.fit(d2);
+  EXPECT_EQ(tree.predict(q), 1u);
+}
+
+TEST(CartTree, DeterministicGivenSeed) {
+  const Dataset d = separable(100, 5);
+  CartConfig cfg;
+  cfg.max_features = 1;
+  cfg.seed = 99;
+  CartTree a(cfg), b(cfg);
+  a.fit(d);
+  b.fit(d);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    EXPECT_EQ(a.predict(d.row(i)), b.predict(d.row(i)));
+  }
+}
+
+}  // namespace
+}  // namespace dnsbs::ml

@@ -1,0 +1,98 @@
+#include "ml/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace dnsbs::ml {
+namespace {
+
+Dataset two_feature_dataset() {
+  Dataset d({"f0", "f1"}, {"a", "b", "c"});
+  d.add({0.0, 1.0}, 0);
+  d.add({1.0, 2.0}, 1);
+  d.add({2.0, 3.0}, 1);
+  d.add({3.0, 4.0}, 2);
+  return d;
+}
+
+TEST(Dataset, BasicAccessors) {
+  const Dataset d = two_feature_dataset();
+  EXPECT_EQ(d.size(), 4u);
+  EXPECT_EQ(d.feature_count(), 2u);
+  EXPECT_EQ(d.class_count(), 3u);
+  EXPECT_EQ(d.label(1), 1u);
+  EXPECT_DOUBLE_EQ(d.row(2)[0], 2.0);
+  EXPECT_DOUBLE_EQ(d.row(2)[1], 3.0);
+}
+
+TEST(Dataset, AddValidatesShape) {
+  Dataset d({"f0"}, {"a"});
+  EXPECT_THROW(d.add({1.0, 2.0}, 0), std::invalid_argument);
+  EXPECT_THROW(d.add({1.0}, 5), std::invalid_argument);
+}
+
+TEST(Dataset, ClassCounts) {
+  const auto counts = two_feature_dataset().class_counts();
+  EXPECT_EQ(counts, (std::vector<std::size_t>{1, 2, 1}));
+}
+
+TEST(Dataset, SubsetPreservesRows) {
+  const Dataset d = two_feature_dataset();
+  const std::vector<std::size_t> idx = {3, 0};
+  const Dataset s = d.subset(idx);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.label(0), 2u);
+  EXPECT_DOUBLE_EQ(s.row(0)[1], 4.0);
+  EXPECT_EQ(s.label(1), 0u);
+}
+
+TEST(Dataset, StratifiedSplitCoversAllRows) {
+  Dataset d({"x"}, {"a", "b"});
+  for (int i = 0; i < 50; ++i) d.add({static_cast<double>(i)}, i % 2);
+  util::Rng rng(3);
+  const auto [train, test] = d.stratified_split(rng, 0.6);
+  EXPECT_EQ(train.size() + test.size(), d.size());
+  std::set<std::size_t> all(train.begin(), train.end());
+  all.insert(test.begin(), test.end());
+  EXPECT_EQ(all.size(), d.size());
+}
+
+TEST(Dataset, StratifiedSplitKeepsClassShares) {
+  Dataset d({"x"}, {"a", "b"});
+  for (int i = 0; i < 100; ++i) d.add({0.0}, i < 80 ? 0 : 1);
+  util::Rng rng(5);
+  const auto [train, test] = d.stratified_split(rng, 0.6);
+  std::size_t train_b = 0;
+  for (const auto i : train) {
+    if (d.label(i) == 1) ++train_b;
+  }
+  EXPECT_EQ(train_b, 12u);  // 60% of 20
+}
+
+TEST(Dataset, StratifiedSplitSmallClassesOnBothSides) {
+  Dataset d({"x"}, {"a", "b"});
+  d.add({0.0}, 0);
+  d.add({1.0}, 0);
+  d.add({2.0}, 1);
+  d.add({3.0}, 1);
+  util::Rng rng(7);
+  const auto [train, test] = d.stratified_split(rng, 0.9);
+  // With 2 examples per class, both sides must get one of each.
+  EXPECT_EQ(train.size(), 2u);
+  EXPECT_EQ(test.size(), 2u);
+}
+
+TEST(Dataset, WithFeaturesProjects) {
+  const Dataset d = two_feature_dataset();
+  const std::vector<std::size_t> cols = {1};
+  const Dataset p = d.with_features(cols);
+  EXPECT_EQ(p.feature_count(), 1u);
+  EXPECT_EQ(p.feature_names()[0], "f1");
+  EXPECT_EQ(p.size(), d.size());
+  EXPECT_DOUBLE_EQ(p.row(3)[0], 4.0);
+  EXPECT_EQ(p.label(3), 2u);
+}
+
+}  // namespace
+}  // namespace dnsbs::ml

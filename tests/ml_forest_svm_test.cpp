@@ -1,0 +1,161 @@
+// Random Forest and kernel SVM behaviour on controlled data.
+#include <gtest/gtest.h>
+
+#include "ml/forest.hpp"
+#include "ml/svm.hpp"
+#include "util/rng.hpp"
+
+namespace dnsbs::ml {
+namespace {
+
+/// Three Gaussian-ish blobs in 2D.
+Dataset blobs(std::size_t per_class, std::uint64_t seed, double spread = 0.08) {
+  Dataset d({"x", "y"}, {"a", "b", "c"});
+  util::Rng rng(seed);
+  const double centers[3][2] = {{0.2, 0.2}, {0.8, 0.2}, {0.5, 0.9}};
+  for (std::size_t k = 0; k < 3; ++k) {
+    for (std::size_t i = 0; i < per_class; ++i) {
+      d.add({centers[k][0] + rng.normal(0, spread), centers[k][1] + rng.normal(0, spread)},
+            k);
+    }
+  }
+  return d;
+}
+
+double accuracy_on(const Classifier& model, const Dataset& d) {
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    if (model.predict(d.row(i)) == d.label(i)) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(d.size());
+}
+
+TEST(RandomForest, SeparatesBlobs) {
+  const Dataset train = blobs(60, 1);
+  const Dataset test = blobs(30, 2);
+  ForestConfig cfg;
+  cfg.n_trees = 40;
+  RandomForest rf(cfg);
+  rf.fit(train);
+  EXPECT_EQ(rf.tree_count(), 40u);
+  EXPECT_GT(accuracy_on(rf, test), 0.95);
+}
+
+TEST(RandomForest, DeterministicGivenSeed) {
+  const Dataset d = blobs(40, 3);
+  ForestConfig cfg;
+  cfg.n_trees = 15;
+  cfg.seed = 77;
+  RandomForest a(cfg), b(cfg);
+  a.fit(d);
+  b.fit(d);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    EXPECT_EQ(a.predict(d.row(i)), b.predict(d.row(i)));
+  }
+}
+
+TEST(RandomForest, DifferentSeedsDifferSomewhere) {
+  const Dataset d = blobs(25, 4, 0.25);  // noisy: boundaries differ
+  ForestConfig a_cfg;
+  a_cfg.n_trees = 5;
+  a_cfg.seed = 1;
+  ForestConfig b_cfg = a_cfg;
+  b_cfg.seed = 2;
+  RandomForest a(a_cfg), b(b_cfg);
+  a.fit(d);
+  b.fit(d);
+  util::Rng rng(5);
+  bool any_diff = false;
+  for (int probe = 0; probe < 400 && !any_diff; ++probe) {
+    const std::vector<double> q = {rng.uniform(), rng.uniform()};
+    any_diff = a.predict(q) != b.predict(q);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RandomForest, GiniImportanceSumsTo100) {
+  Dataset d({"useful", "junk"}, {"a", "b"});
+  util::Rng rng(6);
+  for (int i = 0; i < 100; ++i) {
+    d.add({rng.uniform(0.0, 0.4), rng.uniform()}, 0);
+    d.add({rng.uniform(0.6, 1.0), rng.uniform()}, 1);
+  }
+  ForestConfig cfg;
+  cfg.n_trees = 30;
+  RandomForest rf(cfg);
+  rf.fit(d);
+  const auto imp = rf.gini_importance();
+  ASSERT_EQ(imp.size(), 2u);
+  EXPECT_NEAR(imp[0] + imp[1], 100.0, 1e-6);
+  EXPECT_GT(imp[0], 80.0);
+}
+
+TEST(RandomForest, EmptyFitPredictsZero) {
+  Dataset d({"x"}, {"a", "b"});
+  RandomForest rf;
+  rf.fit(d);
+  const std::vector<double> q = {0.5};
+  EXPECT_EQ(rf.predict(q), 0u);
+}
+
+TEST(StandardScaler, CentersAndScales) {
+  Dataset d({"x", "y"}, {"a"});
+  d.add({10.0, 1.0}, 0);
+  d.add({20.0, 1.0}, 0);
+  d.add({30.0, 1.0}, 0);
+  StandardScaler scaler;
+  scaler.fit(d);
+  const auto t = scaler.transform(d.row(1));
+  EXPECT_NEAR(t[0], 0.0, 1e-9);             // mean row maps to 0
+  const auto lo = scaler.transform(d.row(0));
+  EXPECT_NEAR(lo[0], -1.224744871, 1e-6);   // (10-20)/std
+  // Constant column: no scaling blow-up.
+  EXPECT_NEAR(t[1], 0.0, 1e-9);
+}
+
+TEST(KernelSvm, SeparatesBlobs) {
+  const Dataset train = blobs(40, 7);
+  const Dataset test = blobs(20, 8);
+  KernelSvm svm;
+  svm.fit(train);
+  EXPECT_GT(svm.support_vector_count(), 0u);
+  EXPECT_GT(accuracy_on(svm, test), 0.9);
+}
+
+TEST(KernelSvm, SolvesNonLinearRings) {
+  // Inner disc vs outer ring: linearly inseparable, RBF solves it.
+  Dataset d({"x", "y"}, {"inner", "outer"});
+  util::Rng rng(9);
+  for (int i = 0; i < 120; ++i) {
+    const double angle = rng.uniform(0.0, 6.28318);
+    const double r_in = rng.uniform(0.0, 0.3);
+    const double r_out = rng.uniform(0.7, 1.0);
+    d.add({r_in * std::cos(angle), r_in * std::sin(angle)}, 0);
+    d.add({r_out * std::cos(angle), r_out * std::sin(angle)}, 1);
+  }
+  KernelSvm svm;
+  svm.fit(d);
+  EXPECT_GT(accuracy_on(svm, d), 0.95);
+}
+
+TEST(KernelSvm, HandlesMissingClasses) {
+  // Class "c" has no examples; one-vs-one must skip it gracefully.
+  Dataset d({"x"}, {"a", "b", "c"});
+  util::Rng rng(10);
+  for (int i = 0; i < 30; ++i) {
+    d.add({rng.uniform(0.0, 0.4)}, 0);
+    d.add({rng.uniform(0.6, 1.0)}, 1);
+  }
+  KernelSvm svm;
+  svm.fit(d);
+  const std::vector<double> q = {0.1};
+  EXPECT_EQ(svm.predict(q), 0u);
+}
+
+TEST(KernelSvm, NamesAreStable) {
+  EXPECT_EQ(KernelSvm().name(), "SVM");
+  EXPECT_EQ(RandomForest().name(), "RF");
+}
+
+}  // namespace
+}  // namespace dnsbs::ml

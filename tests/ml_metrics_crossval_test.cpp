@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "ml/cart.hpp"
+#include "ml/crossval.hpp"
+#include "ml/forest.hpp"
+#include "ml/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace dnsbs::ml {
+namespace {
+
+TEST(ConfusionMatrix, CellsAndDerived) {
+  ConfusionMatrix cm(3);
+  cm.add(0, 0);
+  cm.add(0, 1);
+  cm.add(1, 1);
+  cm.add(2, 1);
+  EXPECT_EQ(cm.total(), 4u);
+  EXPECT_EQ(cm.correct(), 2u);
+  EXPECT_EQ(cm.true_positives(1), 1u);
+  EXPECT_EQ(cm.false_positives(1), 2u);  // 0->1 and 2->1
+  EXPECT_EQ(cm.false_negatives(0), 1u);
+  EXPECT_EQ(cm.support(0), 2u);
+  EXPECT_EQ(cm.support(2), 1u);
+}
+
+TEST(ConfusionMatrix, OutOfRangeIgnored) {
+  ConfusionMatrix cm(2);
+  cm.add(5, 0);
+  cm.add(0, 5);
+  EXPECT_EQ(cm.total(), 0u);
+}
+
+TEST(Metrics, PerfectClassifier) {
+  ConfusionMatrix cm(2);
+  for (int i = 0; i < 10; ++i) cm.add(i % 2, i % 2);
+  const Metrics m = compute_metrics(cm);
+  EXPECT_DOUBLE_EQ(m.accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+  EXPECT_DOUBLE_EQ(m.f1, 1.0);
+}
+
+TEST(Metrics, KnownMixedCase) {
+  // Class 0: tp=8, fn=2; class 1: tp=6, fn=4; predictions cross over.
+  ConfusionMatrix cm(2);
+  for (int i = 0; i < 8; ++i) cm.add(0, 0);
+  for (int i = 0; i < 2; ++i) cm.add(0, 1);
+  for (int i = 0; i < 6; ++i) cm.add(1, 1);
+  for (int i = 0; i < 4; ++i) cm.add(1, 0);
+  const Metrics m = compute_metrics(cm);
+  EXPECT_NEAR(m.accuracy, 14.0 / 20.0, 1e-12);
+  // precision_0 = 8/12, precision_1 = 6/8; macro = 0.708333...
+  EXPECT_NEAR(m.precision, (8.0 / 12.0 + 6.0 / 8.0) / 2.0, 1e-12);
+  EXPECT_NEAR(m.recall, (0.8 + 0.6) / 2.0, 1e-12);
+}
+
+TEST(Metrics, AbsentClassesExcludedFromMacro) {
+  ConfusionMatrix cm(5);  // classes 2..4 never appear
+  cm.add(0, 0);
+  cm.add(1, 1);
+  const Metrics m = compute_metrics(cm);
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.f1, 1.0);
+}
+
+TEST(Metrics, EmptyMatrixIsZero) {
+  const Metrics m = compute_metrics(ConfusionMatrix(3));
+  EXPECT_EQ(m.accuracy, 0.0);
+  EXPECT_EQ(m.f1, 0.0);
+}
+
+TEST(Metrics, ConfusionHelperBuilds) {
+  const std::vector<std::size_t> truth = {0, 1, 1};
+  const std::vector<std::size_t> pred = {0, 1, 0};
+  const auto cm = confusion(truth, pred, 2);
+  EXPECT_EQ(cm.correct(), 2u);
+  EXPECT_EQ(cm.total(), 3u);
+}
+
+TEST(Metrics, SummarizeMeanAndStddev) {
+  std::vector<Metrics> runs(2);
+  runs[0].accuracy = 0.6;
+  runs[1].accuracy = 0.8;
+  const MetricSummary s = summarize(runs);
+  EXPECT_EQ(s.runs, 2u);
+  EXPECT_NEAR(s.mean.accuracy, 0.7, 1e-12);
+  EXPECT_NEAR(s.stddev.accuracy, 0.1, 1e-12);
+}
+
+TEST(Metrics, ConfusionToString) {
+  ConfusionMatrix cm(2);
+  cm.add(0, 1);
+  const std::vector<std::string> names = {"aa", "bb"};
+  const std::string s = cm.to_string(names);
+  EXPECT_NE(s.find("aa"), std::string::npos);
+  EXPECT_NE(s.find("bb"), std::string::npos);
+}
+
+Dataset easy_data(std::uint64_t seed) {
+  Dataset d({"x"}, {"lo", "hi"});
+  util::Rng rng(seed);
+  for (int i = 0; i < 80; ++i) {
+    d.add({rng.uniform(0.0, 0.45)}, 0);
+    d.add({rng.uniform(0.55, 1.0)}, 1);
+  }
+  return d;
+}
+
+TEST(CrossVal, HighAccuracyOnEasyData) {
+  const Dataset d = easy_data(11);
+  CrossValConfig cfg;
+  cfg.repetitions = 10;
+  const MetricSummary s = cross_validate(
+      d,
+      [](std::uint64_t seed) {
+        CartConfig cc;
+        cc.seed = seed;
+        return std::unique_ptr<Classifier>(std::make_unique<CartTree>(cc));
+      },
+      cfg);
+  EXPECT_EQ(s.runs, 10u);
+  EXPECT_GT(s.mean.accuracy, 0.95);
+  EXPECT_LT(s.stddev.accuracy, 0.1);
+}
+
+TEST(CrossVal, DeterministicForFixedSeed) {
+  const Dataset d = easy_data(12);
+  CrossValConfig cfg;
+  cfg.repetitions = 5;
+  cfg.seed = 321;
+  const auto factory = [](std::uint64_t seed) {
+    ForestConfig fc;
+    fc.n_trees = 10;
+    fc.seed = seed;
+    return std::unique_ptr<Classifier>(std::make_unique<RandomForest>(fc));
+  };
+  const MetricSummary a = cross_validate(d, factory, cfg);
+  const MetricSummary b = cross_validate(d, factory, cfg);
+  EXPECT_DOUBLE_EQ(a.mean.f1, b.mean.f1);
+  EXPECT_DOUBLE_EQ(a.stddev.accuracy, b.stddev.accuracy);
+}
+
+TEST(VotingClassifier, MajorityWinsAndNameReflectsBase) {
+  const Dataset d = easy_data(13);
+  VotingClassifier voter(
+      [](std::uint64_t seed) {
+        ForestConfig fc;
+        fc.n_trees = 5;
+        fc.seed = seed;
+        return std::unique_ptr<Classifier>(std::make_unique<RandomForest>(fc));
+      },
+      5, 42);
+  voter.fit(d);
+  EXPECT_EQ(voter.name(), "Voting(RF)");
+  const std::vector<double> lo = {0.1};
+  const std::vector<double> hi = {0.9};
+  EXPECT_EQ(voter.predict(lo), 0u);
+  EXPECT_EQ(voter.predict(hi), 1u);
+}
+
+}  // namespace
+}  // namespace dnsbs::ml

@@ -1,0 +1,109 @@
+#include "net/ipv4.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace dnsbs::net {
+namespace {
+
+TEST(IPv4Addr, OctetsAndValue) {
+  const IPv4Addr a = IPv4Addr::from_octets(192, 168, 1, 42);
+  EXPECT_EQ(a.value(), 0xc0a8012au);
+  EXPECT_EQ(a.octet(0), 192);
+  EXPECT_EQ(a.octet(1), 168);
+  EXPECT_EQ(a.octet(2), 1);
+  EXPECT_EQ(a.octet(3), 42);
+}
+
+TEST(IPv4Addr, PrefixBuckets) {
+  const IPv4Addr a = IPv4Addr::from_octets(10, 20, 30, 40);
+  EXPECT_EQ(a.slash8(), 10u);
+  EXPECT_EQ(a.slash16(), (10u << 8) | 20u);
+  EXPECT_EQ(a.slash24(), (10u << 16) | (20u << 8) | 30u);
+}
+
+TEST(IPv4Addr, ParseValid) {
+  const auto a = IPv4Addr::parse("1.2.3.4");
+  ASSERT_TRUE(a);
+  EXPECT_EQ(*a, IPv4Addr::from_octets(1, 2, 3, 4));
+  EXPECT_EQ(IPv4Addr::parse("0.0.0.0")->value(), 0u);
+  EXPECT_EQ(IPv4Addr::parse("255.255.255.255")->value(), 0xffffffffu);
+}
+
+TEST(IPv4Addr, ParseRejectsMalformed) {
+  for (const char* bad : {"", "1.2.3", "1.2.3.4.5", "256.1.1.1", "1.2.3.4x", "a.b.c.d",
+                          "1..2.3", "-1.2.3.4", "0001.2.3.4", "1.2.3.04x"}) {
+    EXPECT_FALSE(IPv4Addr::parse(bad)) << bad;
+  }
+}
+
+TEST(IPv4Addr, RoundTripsToString) {
+  const IPv4Addr a = IPv4Addr::from_octets(203, 0, 113, 7);
+  EXPECT_EQ(a.to_string(), "203.0.113.7");
+  EXPECT_EQ(*IPv4Addr::parse(a.to_string()), a);
+}
+
+TEST(IPv4Addr, Ordering) {
+  EXPECT_LT(IPv4Addr::from_octets(1, 0, 0, 0), IPv4Addr::from_octets(2, 0, 0, 0));
+}
+
+TEST(IPv4Addr, HashDistinguishes) {
+  std::unordered_set<IPv4Addr> set;
+  for (std::uint32_t i = 0; i < 1000; ++i) set.insert(IPv4Addr(i * 7919));
+  EXPECT_EQ(set.size(), 1000u);
+}
+
+TEST(Prefix, CanonicalizesHostBits) {
+  const Prefix p(IPv4Addr::from_octets(10, 1, 2, 200), 24);
+  EXPECT_EQ(p.address(), IPv4Addr::from_octets(10, 1, 2, 0));
+  EXPECT_EQ(p.length(), 24);
+}
+
+TEST(Prefix, Contains) {
+  const Prefix p(IPv4Addr::from_octets(10, 1, 0, 0), 16);
+  EXPECT_TRUE(p.contains(IPv4Addr::from_octets(10, 1, 200, 3)));
+  EXPECT_FALSE(p.contains(IPv4Addr::from_octets(10, 2, 0, 0)));
+}
+
+TEST(Prefix, ContainsPrefix) {
+  const Prefix p16(IPv4Addr::from_octets(10, 1, 0, 0), 16);
+  const Prefix p24(IPv4Addr::from_octets(10, 1, 7, 0), 24);
+  EXPECT_TRUE(p16.contains(p24));
+  EXPECT_FALSE(p24.contains(p16));
+  EXPECT_TRUE(p16.contains(p16));
+}
+
+TEST(Prefix, DefaultRouteContainsEverything) {
+  const Prefix any(IPv4Addr(0), 0);
+  EXPECT_TRUE(any.contains(IPv4Addr::from_octets(255, 255, 255, 255)));
+  EXPECT_TRUE(any.contains(IPv4Addr(0)));
+  EXPECT_EQ(any.size(), 1ULL << 32);
+}
+
+TEST(Prefix, SizeAndAt) {
+  const Prefix p(IPv4Addr::from_octets(192, 0, 2, 0), 24);
+  EXPECT_EQ(p.size(), 256u);
+  EXPECT_EQ(p.at(0), IPv4Addr::from_octets(192, 0, 2, 0));
+  EXPECT_EQ(p.at(255), IPv4Addr::from_octets(192, 0, 2, 255));
+}
+
+TEST(Prefix, ParseAndToString) {
+  const auto p = Prefix::parse("10.0.0.0/8");
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->to_string(), "10.0.0.0/8");
+  EXPECT_FALSE(Prefix::parse("10.0.0.0"));
+  EXPECT_FALSE(Prefix::parse("10.0.0.0/33"));
+  EXPECT_FALSE(Prefix::parse("bad/8"));
+  // Host bits canonicalize on parse.
+  EXPECT_EQ(Prefix::parse("10.1.2.3/8")->address(), IPv4Addr::from_octets(10, 0, 0, 0));
+}
+
+TEST(Prefix, SlashZeroMaskIsZero) {
+  const Prefix any(IPv4Addr::from_octets(9, 9, 9, 9), 0);
+  EXPECT_EQ(any.mask(), 0u);
+  EXPECT_EQ(any.address().value(), 0u);
+}
+
+}  // namespace
+}  // namespace dnsbs::net

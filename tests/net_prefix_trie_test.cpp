@@ -1,0 +1,133 @@
+#include "net/prefix_trie.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace dnsbs::net {
+namespace {
+
+Prefix pfx(const char* text) { return *Prefix::parse(text); }
+IPv4Addr ip(const char* text) { return *IPv4Addr::parse(text); }
+
+TEST(PrefixTrie, EmptyLookupIsNull) {
+  PrefixTrie<int> trie;
+  EXPECT_EQ(trie.lookup(ip("1.2.3.4")), nullptr);
+  EXPECT_TRUE(trie.empty());
+}
+
+TEST(PrefixTrie, ExactAndLpm) {
+  PrefixTrie<std::string> trie;
+  EXPECT_TRUE(trie.insert(pfx("10.0.0.0/8"), "eight"));
+  EXPECT_TRUE(trie.insert(pfx("10.1.0.0/16"), "sixteen"));
+  EXPECT_TRUE(trie.insert(pfx("10.1.2.0/24"), "twentyfour"));
+
+  EXPECT_EQ(*trie.lookup(ip("10.9.9.9")), "eight");
+  EXPECT_EQ(*trie.lookup(ip("10.1.9.9")), "sixteen");
+  EXPECT_EQ(*trie.lookup(ip("10.1.2.9")), "twentyfour");
+  EXPECT_EQ(trie.lookup(ip("11.0.0.1")), nullptr);
+}
+
+TEST(PrefixTrie, InsertReplaceReturnsFalse) {
+  PrefixTrie<int> trie;
+  EXPECT_TRUE(trie.insert(pfx("10.0.0.0/8"), 1));
+  EXPECT_FALSE(trie.insert(pfx("10.0.0.0/8"), 2));
+  EXPECT_EQ(*trie.lookup(ip("10.0.0.1")), 2);
+  EXPECT_EQ(trie.size(), 1u);
+}
+
+TEST(PrefixTrie, DefaultRoute) {
+  PrefixTrie<int> trie;
+  trie.insert(pfx("0.0.0.0/0"), 7);
+  EXPECT_EQ(*trie.lookup(ip("200.1.2.3")), 7);
+  trie.insert(pfx("200.0.0.0/8"), 8);
+  EXPECT_EQ(*trie.lookup(ip("200.1.2.3")), 8);
+  EXPECT_EQ(*trie.lookup(ip("9.9.9.9")), 7);
+}
+
+TEST(PrefixTrie, HostRoutes) {
+  PrefixTrie<int> trie;
+  trie.insert(pfx("1.2.3.4/32"), 99);
+  EXPECT_EQ(*trie.lookup(ip("1.2.3.4")), 99);
+  EXPECT_EQ(trie.lookup(ip("1.2.3.5")), nullptr);
+}
+
+TEST(PrefixTrie, FindExactIgnoresCovering) {
+  PrefixTrie<int> trie;
+  trie.insert(pfx("10.0.0.0/8"), 1);
+  EXPECT_EQ(trie.find_exact(pfx("10.1.0.0/16")), nullptr);
+  EXPECT_EQ(*trie.find_exact(pfx("10.0.0.0/8")), 1);
+}
+
+TEST(PrefixTrie, EraseExposesShorterPrefix) {
+  PrefixTrie<int> trie;
+  trie.insert(pfx("10.0.0.0/8"), 1);
+  trie.insert(pfx("10.1.0.0/16"), 2);
+  EXPECT_TRUE(trie.erase(pfx("10.1.0.0/16")));
+  EXPECT_EQ(*trie.lookup(ip("10.1.2.3")), 1);
+  EXPECT_FALSE(trie.erase(pfx("10.1.0.0/16")));
+  EXPECT_EQ(trie.size(), 1u);
+}
+
+TEST(PrefixTrie, ForEachVisitsAllInAddressOrder) {
+  PrefixTrie<int> trie;
+  trie.insert(pfx("20.0.0.0/8"), 1);
+  trie.insert(pfx("10.0.0.0/8"), 2);
+  trie.insert(pfx("10.5.0.0/16"), 3);
+  std::vector<std::string> seen;
+  trie.for_each([&seen](const Prefix& p, int) { seen.push_back(p.to_string()); });
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], "10.0.0.0/8");
+  EXPECT_EQ(seen[1], "10.5.0.0/16");
+  EXPECT_EQ(seen[2], "20.0.0.0/8");
+}
+
+// Property test: trie LPM agrees with a brute-force reference over random
+// prefixes and probes.
+TEST(PrefixTrie, MatchesBruteForceReference) {
+  util::Rng rng(2024);
+  PrefixTrie<std::uint32_t> trie;
+  std::vector<std::pair<Prefix, std::uint32_t>> reference;
+  for (int i = 0; i < 500; ++i) {
+    const auto addr = IPv4Addr(static_cast<std::uint32_t>(rng.next()));
+    const int len = static_cast<int>(rng.below(33));
+    const Prefix p(addr, len);
+    const auto value = static_cast<std::uint32_t>(i);
+    bool replaced = false;
+    for (auto& [rp, rv] : reference) {
+      if (rp == p) {
+        rv = value;
+        replaced = true;
+        break;
+      }
+    }
+    if (!replaced) reference.emplace_back(p, value);
+    trie.insert(p, value);
+  }
+  EXPECT_EQ(trie.size(), reference.size());
+
+  for (int probe = 0; probe < 2000; ++probe) {
+    const auto addr = IPv4Addr(static_cast<std::uint32_t>(rng.next()));
+    const std::uint32_t* got = trie.lookup(addr);
+    // Brute force: longest prefix containing addr.
+    const std::pair<Prefix, std::uint32_t>* best = nullptr;
+    for (const auto& entry : reference) {
+      if (entry.first.contains(addr) &&
+          (!best || entry.first.length() > best->first.length())) {
+        best = &entry;
+      }
+    }
+    if (best == nullptr) {
+      EXPECT_EQ(got, nullptr);
+    } else {
+      ASSERT_NE(got, nullptr);
+      EXPECT_EQ(*got, best->second);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dnsbs::net

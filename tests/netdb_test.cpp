@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include "netdb/as_db.hpp"
+#include "netdb/geo_db.hpp"
+
+namespace dnsbs::netdb {
+namespace {
+
+TEST(AsDb, LongestPrefixWins) {
+  AsDb db;
+  db.add(*net::Prefix::parse("10.0.0.0/8"), 100, "big-isp");
+  db.add(*net::Prefix::parse("10.5.0.0/16"), 200, "customer");
+  EXPECT_EQ(db.lookup(*net::IPv4Addr::parse("10.5.1.1")), 200u);
+  EXPECT_EQ(db.lookup(*net::IPv4Addr::parse("10.6.1.1")), 100u);
+  EXPECT_FALSE(db.lookup(*net::IPv4Addr::parse("11.0.0.1")));
+  EXPECT_EQ(db.prefix_count(), 2u);
+  EXPECT_EQ(db.as_count(), 2u);
+}
+
+TEST(AsDb, NameLookup) {
+  AsDb db;
+  db.add(*net::Prefix::parse("10.0.0.0/8"), 100, "big-isp");
+  db.add(*net::Prefix::parse("11.0.0.0/8"), 100);  // no rename on re-add
+  ASSERT_NE(db.name_of(100), nullptr);
+  EXPECT_EQ(*db.name_of(100), "big-isp");
+  EXPECT_EQ(db.name_of(999), nullptr);
+}
+
+TEST(GeoDb, LookupAndMiss) {
+  GeoDb db;
+  db.add(*net::Prefix::parse("10.0.0.0/8"), CountryCode('j', 'p'));
+  const auto hit = db.lookup(*net::IPv4Addr::parse("10.1.2.3"));
+  ASSERT_TRUE(hit);
+  EXPECT_EQ(hit->to_string(), "jp");
+  EXPECT_FALSE(db.lookup(*net::IPv4Addr::parse("99.0.0.1")));
+}
+
+TEST(CountryCode, ParseAndPack) {
+  const auto cc = CountryCode::parse("us");
+  ASSERT_TRUE(cc);
+  EXPECT_EQ(cc->to_string(), "us");
+  EXPECT_FALSE(CountryCode::parse("usa"));
+  EXPECT_FALSE(CountryCode::parse(""));
+  EXPECT_EQ(CountryCode('a', 'b'), CountryCode('a', 'b'));
+  EXPECT_NE(CountryCode('a', 'b').packed(), CountryCode('b', 'a').packed());
+}
+
+TEST(WorldCountries, NonEmptyAndWeighted) {
+  const auto& countries = world_countries();
+  EXPECT_GT(countries.size(), 20u);
+  bool has_jp = false;
+  for (const auto& c : countries) {
+    EXPECT_GT(c.weight, 0.0);
+    if (c.code == CountryCode('j', 'p')) {
+      has_jp = true;
+      EXPECT_EQ(c.region, Region::kAsia);
+    }
+  }
+  EXPECT_TRUE(has_jp);
+}
+
+}  // namespace
+}  // namespace dnsbs::netdb

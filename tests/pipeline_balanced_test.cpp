@@ -1,0 +1,158 @@
+// WindowedPipeline (the §V-F operational loop) and the balanced-bootstrap
+// Random Forest option.
+#include <gtest/gtest.h>
+
+#include "analysis/pipeline.hpp"
+#include "labeling/curator.hpp"
+#include "ml/crossval.hpp"
+#include "sim/scenario.hpp"
+
+namespace dnsbs {
+namespace {
+
+TEST(WindowedPipeline, RetrainsAndClassifiesPerWindow) {
+  sim::ScenarioConfig cfg = sim::b_multi_year_config(421, 5, 0.07);
+  sim::Scenario scenario(std::move(cfg));
+  labeling::Darknet darknet(labeling::default_darknet_prefixes());
+  scenario.engine().set_traffic_observer(&darknet);
+
+  analysis::WindowedPipelineConfig pc;
+  pc.sensor.min_queriers = 10;
+  pc.forest.n_trees = 40;
+  analysis::WindowedPipeline pipeline(pc, scenario.plan().as_db(),
+                                      scenario.plan().geo_db(), scenario.naming());
+
+  // Window 0: no labels yet -> no model, empty classification.
+  scenario.run_window(util::SimTime::weeks(0), util::SimTime::weeks(1));
+  const auto& w0 =
+      pipeline.process_window(scenario.authority(0).records(), util::SimTime::weeks(0),
+                              util::SimTime::weeks(1));
+  scenario.authority(0).clear_records();
+  EXPECT_FALSE(pipeline.has_model());
+  EXPECT_TRUE(w0.classes.empty());
+  ASSERT_FALSE(pipeline.observations().empty());
+  EXPECT_FALSE(pipeline.observations()[0].features.empty());
+
+  // Curate from window 0's observation, then process more windows.
+  util::Rng rng(5);
+  const auto blacklist = labeling::BlacklistSet::build(scenario.population(), {}, rng);
+  labeling::Curator curator(scenario, blacklist, darknet, {}, 6);
+  pipeline.set_labels(curator.curate(pipeline.observations()[0].features));
+  ASSERT_GT(pipeline.labels().size(), 20u);
+
+  for (int w = 1; w < 5; ++w) {
+    scenario.run_window(util::SimTime::weeks(w), util::SimTime::weeks(w + 1));
+    const auto& result = pipeline.process_window(
+        scenario.authority(0).records(), util::SimTime::weeks(w),
+        util::SimTime::weeks(w + 1));
+    scenario.authority(0).clear_records();
+    EXPECT_EQ(result.index, static_cast<std::size_t>(w));
+    EXPECT_FALSE(result.classes.empty());
+    // Every classified originator carries its footprint.
+    for (const auto& [addr, cls] : result.classes) {
+      EXPECT_TRUE(result.footprints.contains(addr));
+    }
+  }
+  EXPECT_TRUE(pipeline.has_model());
+  EXPECT_EQ(pipeline.results().size(), 5u);
+
+  // Classification quality: most verdicts match injected truth.
+  std::size_t checked = 0, correct = 0;
+  for (const auto& [addr, cls] : pipeline.results().back().classes) {
+    const auto it = scenario.truth().find(addr);
+    if (it == scenario.truth().end()) continue;
+    ++checked;
+    correct += it->second == cls;
+  }
+  ASSERT_GT(checked, 10u);
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(checked), 0.6);
+}
+
+TEST(BalancedForest, LiftsMacroMetricsOnSkewedData) {
+  // 2 features, 4 classes; class 0 has 200 examples, the rest 6 each.
+  ml::Dataset data({"x", "y"}, {"big", "s1", "s2", "s3"});
+  util::Rng rng(7);
+  const double centers[4][2] = {{0.2, 0.2}, {0.8, 0.25}, {0.5, 0.8}, {0.85, 0.8}};
+  const std::size_t counts[4] = {200, 6, 6, 6};
+  for (std::size_t c = 0; c < 4; ++c) {
+    for (std::size_t i = 0; i < counts[c]; ++i) {
+      data.add({centers[c][0] + rng.normal(0, 0.13), centers[c][1] + rng.normal(0, 0.13)},
+               c);
+    }
+  }
+  const auto macro_f1 = [&](bool balanced) {
+    ml::CrossValConfig cv;
+    cv.repetitions = 10;
+    cv.seed = 99;
+    const auto summary = ml::cross_validate(
+        data,
+        [balanced](std::uint64_t seed) {
+          ml::ForestConfig fc;
+          fc.n_trees = 60;
+          fc.seed = seed;
+          fc.balanced_bootstrap = balanced;
+          return std::unique_ptr<ml::Classifier>(
+              std::make_unique<ml::RandomForest>(fc));
+        },
+        cv);
+    return summary.mean.f1;
+  };
+  const double plain = macro_f1(false);
+  const double balanced = macro_f1(true);
+  EXPECT_GT(balanced + 0.02, plain);  // at least comparable, usually better
+}
+
+TEST(BalancedForest, StillDeterministicAndValid) {
+  ml::Dataset data({"x"}, {"a", "b"});
+  util::Rng rng(8);
+  for (int i = 0; i < 40; ++i) {
+    data.add({rng.uniform(0.0, 0.45)}, 0);
+    data.add({rng.uniform(0.55, 1.0)}, 1);
+  }
+  ml::ForestConfig fc;
+  fc.n_trees = 20;
+  fc.seed = 5;
+  fc.balanced_bootstrap = true;
+  ml::RandomForest a(fc), b(fc);
+  a.fit(data);
+  b.fit(data);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(a.predict(data.row(i)), b.predict(data.row(i)));
+    EXPECT_LT(a.predict(data.row(i)), 2u);
+  }
+}
+
+TEST(ScanTeams, PopulationContainsSameBlockScanners) {
+  const sim::AddressPlan plan =
+      sim::AddressPlan::generate({.total_slash8 = 40, .sites = 1000}, 17);
+  util::Rng rng(18);
+  sim::OriginatorPopulationConfig cfg;
+  cfg.classes[static_cast<std::size_t>(core::AppClass::kScan)].count = 80;
+  const auto population = sim::make_population(plan, cfg, rng);
+  ASSERT_GE(population.size(), 80u);
+
+  std::unordered_map<std::uint32_t, std::size_t> per_block;
+  for (const auto& spec : population) ++per_block[spec.address.slash24()];
+  std::size_t team_blocks = 0;
+  for (const auto& [block, members] : per_block) {
+    if (members >= 3) ++team_blocks;
+  }
+  EXPECT_GT(team_blocks, 3u);  // ~18% of 80 seeds spawn teams
+
+  // Team members share the seed's port.
+  for (const auto& [block, members] : per_block) {
+    if (members < 3) continue;
+    std::uint16_t port = 0xffff;
+    for (const auto& spec : population) {
+      if (spec.address.slash24() != block) continue;
+      if (port == 0xffff) {
+        port = spec.port;
+      } else {
+        EXPECT_EQ(spec.port, port);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dnsbs

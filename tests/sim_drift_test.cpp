@@ -1,0 +1,69 @@
+// Weekly behavioural drift: deterministic, bounded, and actually varying.
+#include <gtest/gtest.h>
+
+#include "sim/originator.hpp"
+
+namespace dnsbs::sim {
+namespace {
+
+OriginatorSpec spec_at(std::uint32_t addr) {
+  OriginatorSpec spec;
+  spec.address = net::IPv4Addr(addr);
+  return spec;
+}
+
+TEST(WeeklyDrift, DeterministicPerOriginatorWeek) {
+  const auto spec = spec_at(0x0a010203);
+  for (std::int64_t week = 0; week < 20; ++week) {
+    EXPECT_DOUBLE_EQ(weekly_rate_drift(spec, week), weekly_rate_drift(spec, week));
+  }
+}
+
+TEST(WeeklyDrift, BoundedMultiplicativeFactor) {
+  // exp(+-0.5): factors in [0.606, 1.649].
+  util::Rng rng(1);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const auto spec = spec_at(static_cast<std::uint32_t>(rng.next()));
+    const double f = weekly_rate_drift(spec, static_cast<std::int64_t>(rng.below(200)));
+    EXPECT_GE(f, 0.6065);
+    EXPECT_LE(f, 1.6488);
+  }
+}
+
+TEST(WeeklyDrift, VariesAcrossWeeks) {
+  const auto spec = spec_at(0x0a010203);
+  double lo = 10, hi = 0;
+  for (std::int64_t week = 0; week < 50; ++week) {
+    const double f = weekly_rate_drift(spec, week);
+    lo = std::min(lo, f);
+    hi = std::max(hi, f);
+  }
+  EXPECT_LT(lo, 0.8);
+  EXPECT_GT(hi, 1.25);
+}
+
+TEST(WeeklyDrift, VariesAcrossOriginators) {
+  double lo = 10, hi = 0;
+  for (std::uint32_t addr = 1; addr <= 200; ++addr) {
+    const double f = weekly_rate_drift(spec_at(addr << 8), 3);
+    lo = std::min(lo, f);
+    hi = std::max(hi, f);
+  }
+  EXPECT_LT(lo, 0.8);
+  EXPECT_GT(hi, 1.25);
+}
+
+TEST(WeeklyDrift, MeanNearOne) {
+  // The drift is a multiplicative perturbation, not a systematic bias.
+  util::Rng rng(2);
+  double sum = 0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    const auto spec = spec_at(static_cast<std::uint32_t>(rng.next()));
+    sum += weekly_rate_drift(spec, static_cast<std::int64_t>(rng.below(100)));
+  }
+  EXPECT_NEAR(sum / kDraws, 1.04, 0.05);  // E[exp(U(-.5,.5))] ~ 1.042
+}
+
+}  // namespace
+}  // namespace dnsbs::sim

@@ -1,0 +1,264 @@
+// Resolver cache hierarchy and authority observation rules.
+#include <gtest/gtest.h>
+
+#include "sim/authority.hpp"
+#include "sim/scenario.hpp"
+
+namespace dnsbs::sim {
+namespace {
+
+class ResolverTest : public ::testing::Test {
+ protected:
+  ResolverTest()
+      : plan_(AddressPlan::generate(plan_config(), 1)),
+        naming_(plan_, NamingConfig{}, 1) {}
+
+  static AddressPlanConfig plan_config() {
+    AddressPlanConfig cfg;
+    cfg.total_slash8 = 40;
+    cfg.sites = 800;
+    return cfg;
+  }
+
+  /// A querier that is an ISP resolver (busy, warm upper cache).
+  net::IPv4Addr busy_resolver() const {
+    for (const std::size_t idx : plan_.sites_of_type(SiteType::kResidential)) {
+      return plan_.sites()[idx].prefix.at(1);
+    }
+    return plan_.sites()[0].prefix.at(1);
+  }
+
+  /// An originator address that has a PTR record.
+  net::IPv4Addr named_originator() const {
+    util::Rng rng(5);
+    for (int i = 0; i < 1000; ++i) {
+      const net::IPv4Addr a = plan_.random_host(rng);
+      if (naming_.has_reverse(a)) return a;
+    }
+    return plan_.sites()[0].prefix.at(2);
+  }
+
+  net::IPv4Addr nameless_originator() const {
+    util::Rng rng(6);
+    for (int i = 0; i < 5000; ++i) {
+      const net::IPv4Addr a = plan_.random_host(rng);
+      if (!naming_.has_reverse(a) &&
+          naming_.resolve(a).status == core::ResolveStatus::kNxDomain) {
+        return a;
+      }
+    }
+    ADD_FAILURE() << "no nameless host found";
+    return plan_.sites()[0].prefix.at(3);
+  }
+
+  AddressPlan plan_;
+  NamingModel naming_;
+};
+
+TEST_F(ResolverTest, PtrCachingSuppressesRepeatLookups) {
+  ResolverSim sim(naming_, ResolverSimConfig{}, 1);
+  const net::IPv4Addr querier = busy_resolver();
+  const net::IPv4Addr originator = named_originator();
+
+  const auto first = sim.resolve(querier, originator, util::SimTime::seconds(0));
+  EXPECT_FALSE(first.served_from_cache);
+  EXPECT_TRUE(first.reached_final);
+  EXPECT_EQ(first.rcode, dns::RCode::kNoError);
+
+  const auto second = sim.resolve(querier, originator, util::SimTime::seconds(5));
+  EXPECT_TRUE(second.served_from_cache);
+  EXPECT_FALSE(second.reached_final);
+
+  // After the PTR TTL passes, the resolver must re-query.
+  const auto later = sim.resolve(
+      querier, originator,
+      util::SimTime::seconds(naming_.ptr_ttl(originator) + 10));
+  EXPECT_FALSE(later.served_from_cache);
+}
+
+TEST_F(ResolverTest, NegativeCachingForNamelessOriginators) {
+  ResolverSim sim(naming_, ResolverSimConfig{}, 2);
+  const net::IPv4Addr querier = busy_resolver();
+  const net::IPv4Addr originator = nameless_originator();
+
+  const auto first = sim.resolve(querier, originator, util::SimTime::seconds(0));
+  EXPECT_EQ(first.rcode, dns::RCode::kNXDomain);
+  const auto second = sim.resolve(querier, originator, util::SimTime::seconds(3));
+  EXPECT_TRUE(second.served_from_cache);
+  EXPECT_EQ(second.rcode, dns::RCode::kNXDomain);
+}
+
+TEST_F(ResolverTest, NationalSeenOncePerSlash24PerTtl) {
+  ResolverSimConfig cfg;
+  ResolverSim sim(naming_, cfg, 3);
+  const net::IPv4Addr querier = busy_resolver();
+  const net::IPv4Addr o1 = named_originator();
+  // Another originator in the same /24.
+  const net::IPv4Addr o2(o1.value() ^ 1);
+
+  const auto first = sim.resolve(querier, o1, util::SimTime::seconds(0));
+  EXPECT_TRUE(first.reached_national);
+  // Same /24 zone NS is now cached: the national server is skipped.
+  const auto sibling = sim.resolve(querier, o2, util::SimTime::seconds(10));
+  EXPECT_FALSE(sibling.reached_national);
+  EXPECT_TRUE(sibling.reached_final);
+}
+
+TEST_F(ResolverTest, HierarchyOrderingOverManyLookups) {
+  ResolverSim sim(naming_, ResolverSimConfig{}, 4);
+  util::Rng rng(7);
+  std::size_t finals = 0, nationals = 0, roots = 0;
+  for (int i = 0; i < 3000; ++i) {
+    const net::IPv4Addr querier = plan_.random_host(rng);
+    const net::IPv4Addr originator = plan_.random_host(rng);
+    const auto outcome = sim.resolve(querier, originator, util::SimTime::seconds(i));
+    finals += outcome.reached_final;
+    nationals += outcome.reached_national;
+    roots += outcome.reached_root;
+  }
+  EXPECT_GT(finals, 0u);
+  EXPECT_GE(finals, nationals);
+  EXPECT_GT(nationals, roots);  // caching attenuates up the hierarchy
+  EXPECT_GT(roots, 0u);
+}
+
+TEST_F(ResolverTest, BusynessDependsOnRole) {
+  ResolverSim sim(naming_, ResolverSimConfig{}, 5);
+  EXPECT_EQ(sim.busyness_of(busy_resolver()), ResolverBusyness::kBusy);
+}
+
+TEST_F(ResolverTest, StatsAggregate) {
+  ResolverSim sim(naming_, ResolverSimConfig{}, 6);
+  const net::IPv4Addr querier = busy_resolver();
+  const net::IPv4Addr originator = named_originator();
+  sim.resolve(querier, originator, util::SimTime::seconds(0));
+  sim.resolve(querier, originator, util::SimTime::seconds(1));
+  const auto stats = sim.total_stats();
+  EXPECT_GT(stats.lookups, 0u);
+  EXPECT_GT(stats.hits_positive + stats.hits_negative, 0u);
+  EXPECT_EQ(sim.resolver_count(), 1u);
+}
+
+// ---- Authority ----
+
+dns::QueryRecord record_for(net::IPv4Addr querier, net::IPv4Addr originator) {
+  return dns::QueryRecord{util::SimTime::seconds(0), querier, originator,
+                          dns::RCode::kNoError};
+}
+
+TEST(Authority, NationalCoversOnlyItsCountry) {
+  netdb::GeoDb geo;
+  geo.add(*net::Prefix::parse("10.0.0.0/8"), netdb::CountryCode('j', 'p'));
+  geo.add(*net::Prefix::parse("20.0.0.0/8"), netdb::CountryCode('u', 's'));
+
+  Authority national(national_authority(netdb::CountryCode('j', 'p')));
+  ResolveOutcome outcome;
+  outcome.reached_final = true;
+  outcome.reached_national = true;
+
+  double roll = 0.0;
+  national.offer(record_for(*net::IPv4Addr::parse("20.1.1.1"),
+                            *net::IPv4Addr::parse("10.1.1.1")),
+                 outcome, netdb::Region::kAsia, geo, roll);
+  EXPECT_EQ(national.records().size(), 1u);
+
+  roll = 0.0;
+  national.offer(record_for(*net::IPv4Addr::parse("10.1.1.1"),
+                            *net::IPv4Addr::parse("20.1.1.1")),
+                 outcome, netdb::Region::kAsia, geo, roll);
+  EXPECT_EQ(national.records().size(), 1u);  // us originator filtered out
+}
+
+TEST(Authority, NationalIgnoresCachedPaths) {
+  netdb::GeoDb geo;
+  geo.add(*net::Prefix::parse("10.0.0.0/8"), netdb::CountryCode('j', 'p'));
+  Authority national(national_authority(netdb::CountryCode('j', 'p')));
+  ResolveOutcome outcome;
+  outcome.reached_final = true;
+  outcome.reached_national = false;  // /24 NS was cached
+  double roll = 0.0;
+  national.offer(record_for(*net::IPv4Addr::parse("10.2.2.2"),
+                            *net::IPv4Addr::parse("10.1.1.1")),
+                 outcome, netdb::Region::kAsia, geo, roll);
+  EXPECT_TRUE(national.records().empty());
+}
+
+TEST(Authority, FinalZoneFilter) {
+  netdb::GeoDb geo;
+  AuthorityConfig cfg;
+  cfg.name = "final";
+  cfg.level = AuthorityLevel::kFinal;
+  cfg.zone = *net::Prefix::parse("10.1.2.0/24");
+  Authority final_auth(cfg);
+  ResolveOutcome outcome;
+  outcome.reached_final = true;
+  double roll = 0.0;
+  final_auth.offer(record_for(*net::IPv4Addr::parse("20.0.0.1"),
+                              *net::IPv4Addr::parse("10.1.2.3")),
+                   outcome, netdb::Region::kEurope, geo, roll);
+  final_auth.offer(record_for(*net::IPv4Addr::parse("20.0.0.1"),
+                              *net::IPv4Addr::parse("10.1.3.3")),
+                   outcome, netdb::Region::kEurope, geo, roll);
+  EXPECT_EQ(final_auth.records().size(), 1u);
+}
+
+TEST(Authority, RootSelectionConsumesSharedRoll) {
+  netdb::GeoDb geo;
+  Authority b(b_root_authority());
+  Authority m(m_root_authority());
+  ResolveOutcome outcome;
+  outcome.reached_final = true;
+  outcome.reached_root = true;
+  const auto record = record_for(*net::IPv4Addr::parse("20.0.0.1"),
+                                 *net::IPv4Addr::parse("10.1.2.3"));
+  // Roll inside B's NA band: B observes, M must not.
+  double roll = 0.05;
+  b.offer(record, outcome, netdb::Region::kNorthAmerica, geo, roll);
+  m.offer(record, outcome, netdb::Region::kNorthAmerica, geo, roll);
+  EXPECT_EQ(b.records().size(), 1u);
+  EXPECT_EQ(m.records().size(), 0u);
+
+  // Roll past both bands: neither observes (one of the other 11 roots).
+  roll = 0.99;
+  b.offer(record, outcome, netdb::Region::kNorthAmerica, geo, roll);
+  m.offer(record, outcome, netdb::Region::kNorthAmerica, geo, roll);
+  EXPECT_EQ(b.records().size(), 1u);
+  EXPECT_EQ(m.records().size(), 0u);
+}
+
+TEST(Authority, RootIgnoresNonRootPaths) {
+  netdb::GeoDb geo;
+  Authority m(m_root_authority());
+  ResolveOutcome outcome;
+  outcome.reached_final = true;
+  outcome.reached_root = false;
+  double roll = 0.0;
+  m.offer(record_for(*net::IPv4Addr::parse("20.0.0.1"),
+                     *net::IPv4Addr::parse("10.1.2.3")),
+          outcome, netdb::Region::kAsia, geo, roll);
+  EXPECT_TRUE(m.records().empty());
+}
+
+class SamplingTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(SamplingTest, DeterministicOneInN) {
+  const std::uint32_t n = GetParam();
+  netdb::GeoDb geo;
+  Authority m(m_root_authority(n));
+  ResolveOutcome outcome;
+  outcome.reached_final = true;
+  outcome.reached_root = true;
+  constexpr int kOffers = 1200;
+  for (int i = 0; i < kOffers; ++i) {
+    double roll = 0.0;  // always inside M's band
+    m.offer(record_for(*net::IPv4Addr::parse("20.0.0.1"),
+                       *net::IPv4Addr::parse("10.1.2.3")),
+            outcome, netdb::Region::kAsia, geo, roll);
+  }
+  EXPECT_EQ(m.records().size(), static_cast<std::size_t>(kOffers / n));
+}
+
+INSTANTIATE_TEST_SUITE_P(SampleRates, SamplingTest, ::testing::Values(1u, 2u, 10u, 100u));
+
+}  // namespace
+}  // namespace dnsbs::sim

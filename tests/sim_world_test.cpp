@@ -1,0 +1,226 @@
+// Address plan, naming model, and querier population invariants.
+#include <gtest/gtest.h>
+
+#include "core/static_features.hpp"
+#include "sim/querier_population.hpp"
+
+namespace dnsbs::sim {
+namespace {
+
+AddressPlanConfig small_plan() {
+  AddressPlanConfig cfg;
+  cfg.total_slash8 = 48;
+  cfg.sites = 1500;
+  return cfg;
+}
+
+class WorldTest : public ::testing::Test {
+ protected:
+  WorldTest()
+      : plan_(AddressPlan::generate(small_plan(), 42)),
+        naming_(plan_, NamingConfig{}, 42),
+        qpop_(naming_, QuerierPopulationConfig{}, 42) {}
+
+  AddressPlan plan_;
+  NamingModel naming_;
+  QuerierPopulation qpop_;
+};
+
+TEST_F(WorldTest, PlanHasRequestedShape) {
+  EXPECT_EQ(plan_.sites().size(), 1500u);
+  EXPECT_GT(plan_.ases().size(), 40u);
+  EXPECT_GT(plan_.as_db().prefix_count(), 0u);
+  EXPECT_GT(plan_.geo_db().prefix_count(), 0u);
+}
+
+TEST_F(WorldTest, EverySiteResolvableInDatabases) {
+  for (const Site& site : plan_.sites()) {
+    const net::IPv4Addr host = site.prefix.at(10);
+    const auto asn = plan_.as_db().lookup(host);
+    ASSERT_TRUE(asn) << site.prefix.to_string();
+    EXPECT_EQ(*asn, site.asn);
+    const auto cc = plan_.geo_db().lookup(host);
+    ASSERT_TRUE(cc);
+    EXPECT_EQ(*cc, site.country);
+  }
+}
+
+TEST_F(WorldTest, SitesNeverOverlapDarknet) {
+  for (const Site& site : plan_.sites()) {
+    for (const auto& dark : darknet_prefixes()) {
+      EXPECT_FALSE(dark.contains(site.prefix)) << site.prefix.to_string();
+    }
+  }
+}
+
+TEST_F(WorldTest, SiteOfRoundTrips) {
+  util::Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const net::IPv4Addr host = plan_.random_host(rng);
+    const Site* site = plan_.site_of(host);
+    ASSERT_NE(site, nullptr);
+    EXPECT_TRUE(site->prefix.contains(host));
+  }
+  EXPECT_EQ(plan_.site_of(net::IPv4Addr::from_octets(127, 1, 1, 1)), nullptr);
+}
+
+TEST_F(WorldTest, GenerateIsDeterministic) {
+  const AddressPlan again = AddressPlan::generate(small_plan(), 42);
+  ASSERT_EQ(again.sites().size(), plan_.sites().size());
+  for (std::size_t i = 0; i < plan_.sites().size(); ++i) {
+    EXPECT_EQ(again.sites()[i].prefix, plan_.sites()[i].prefix);
+    EXPECT_EQ(again.sites()[i].asn, plan_.sites()[i].asn);
+  }
+}
+
+TEST_F(WorldTest, DifferentSeedsDifferentPlans) {
+  const AddressPlan other = AddressPlan::generate(small_plan(), 43);
+  bool any_diff = other.sites().size() != plan_.sites().size();
+  for (std::size_t i = 0; !any_diff && i < plan_.sites().size(); ++i) {
+    any_diff = other.sites()[i].prefix != plan_.sites()[i].prefix;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST_F(WorldTest, CountryFilteringWorks) {
+  const auto jp = plan_.sites_in_country(netdb::CountryCode('j', 'p'));
+  EXPECT_GT(jp.size(), 0u);
+  for (const std::size_t idx : jp) {
+    EXPECT_EQ(plan_.sites()[idx].country, netdb::CountryCode('j', 'p'));
+  }
+}
+
+TEST_F(WorldTest, SiteTypeIndexConsistent) {
+  for (std::size_t t = 0; t < kSiteTypeCount; ++t) {
+    for (const std::size_t idx : plan_.sites_of_type(static_cast<SiteType>(t))) {
+      EXPECT_EQ(plan_.sites()[idx].type, static_cast<SiteType>(t));
+    }
+  }
+}
+
+TEST_F(WorldTest, NamingIsDeterministic) {
+  util::Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    const net::IPv4Addr host = plan_.random_host(rng);
+    const auto a = naming_.resolve(host);
+    const auto b = naming_.resolve(host);
+    EXPECT_EQ(a.status, b.status);
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(naming_.role_of(host), naming_.role_of(host));
+  }
+}
+
+TEST_F(WorldTest, RolesYieldExpectedQuerierCategories) {
+  using core::QuerierCategory;
+  // Walk corporate sites: fixed low-host roles must classify correctly.
+  int checked = 0;
+  for (const std::size_t idx : plan_.sites_of_type(SiteType::kCorporate)) {
+    const Site& site = plan_.sites()[idx];
+    const auto check = [&](std::uint64_t host, QuerierCategory expected) {
+      const auto info = naming_.resolve(site.prefix.at(host));
+      ASSERT_EQ(info.status, core::ResolveStatus::kOk);
+      EXPECT_EQ(core::classify_querier(info), expected)
+          << info.name.to_string() << " at " << site.prefix.at(host).to_string();
+    };
+    check(1, QuerierCategory::kFw);
+    check(2, QuerierCategory::kMail);
+    check(3, QuerierCategory::kAntispam);
+    check(5, QuerierCategory::kWww);
+    check(6, QuerierCategory::kNtp);
+    if (++checked >= 20) break;
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST_F(WorldTest, HomeHostsClassifyHomeOrFail) {
+  using core::QuerierCategory;
+  util::Rng rng(11);
+  int named_home = 0, total = 0;
+  for (int i = 0; i < 300; ++i) {
+    const net::IPv4Addr host = plan_.random_host(rng, SiteType::kResidential);
+    if (naming_.role_of(host) != HostRole::kHomeHost) continue;
+    ++total;
+    const auto category = core::classify_querier(naming_.resolve(host));
+    if (category == QuerierCategory::kHome) ++named_home;
+    EXPECT_TRUE(category == QuerierCategory::kHome ||
+                category == QuerierCategory::kNxDomain ||
+                category == QuerierCategory::kUnreach)
+        << static_cast<int>(category);
+  }
+  ASSERT_GT(total, 50);
+  EXPECT_GT(named_home, total / 2);
+}
+
+TEST_F(WorldTest, NxDomainFractionInPaperRange) {
+  // The paper observes 14-19% of queriers lacking reverse names; our pool
+  // hosts should land in a band around that.
+  util::Rng rng(13);
+  int nx = 0, total = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const net::IPv4Addr host = plan_.random_host(rng);
+    ++total;
+    if (naming_.resolve(host).status == core::ResolveStatus::kNxDomain) ++nx;
+  }
+  const double frac = static_cast<double>(nx) / total;
+  EXPECT_GT(frac, 0.05);
+  EXPECT_LT(frac, 0.30);
+}
+
+TEST_F(WorldTest, PtrTtlStablePerSlash24) {
+  const net::IPv4Addr a = plan_.sites()[0].prefix.at(10);
+  const net::IPv4Addr b = plan_.sites()[0].prefix.at(200);
+  EXPECT_EQ(naming_.ptr_ttl(a), naming_.ptr_ttl(b));
+  EXPECT_GT(naming_.ptr_ttl(a), 0u);
+  EXPECT_GT(naming_.negative_ttl(a), 0u);
+}
+
+TEST_F(WorldTest, ServerPopulationsPopulated) {
+  EXPECT_GT(qpop_.mail_servers().size(), 100u);
+  EXPECT_GT(qpop_.web_servers().size(), 100u);
+  EXPECT_GT(qpop_.dns_servers().size(), 50u);
+  EXPECT_FALSE(qpop_.open_resolvers().empty());
+}
+
+TEST_F(WorldTest, MailServersAreInAllocatedSpace) {
+  for (std::size_t i = 0; i < std::min<std::size_t>(qpop_.mail_servers().size(), 100); ++i) {
+    EXPECT_NE(plan_.site_of(qpop_.mail_servers()[i]), nullptr);
+  }
+}
+
+TEST_F(WorldTest, SmtpTouchesTriggerMailLookups) {
+  util::Rng rng(17);
+  std::size_t lookups = 0, trials = 0;
+  for (const net::IPv4Addr target : qpop_.mail_servers()) {
+    if (++trials > 300) break;
+    lookups += qpop_.lookups_for(target, TrafficKind::kSmtp, rng).size();
+  }
+  // SMTP nearly always checks the sender (plus occasional antispam box).
+  EXPECT_GT(lookups, trials * 8 / 10);
+}
+
+TEST_F(WorldTest, ScanLookupsAreRarer) {
+  util::Rng rng(19);
+  std::size_t lookups = 0;
+  constexpr int kTrials = 600;
+  for (int i = 0; i < kTrials; ++i) {
+    const net::IPv4Addr target = plan_.random_host(rng, SiteType::kResidential);
+    lookups += qpop_.lookups_for(target, TrafficKind::kScanProbe, rng).size();
+  }
+  EXPECT_GT(lookups, 0u);
+  EXPECT_LT(lookups, kTrials / 4);  // residential scan logging ~8%
+}
+
+TEST_F(WorldTest, LookupsComeFromPlausibleQueriers) {
+  util::Rng rng(23);
+  for (int i = 0; i < 200; ++i) {
+    const net::IPv4Addr target = plan_.random_host(rng);
+    for (const auto& lookup :
+         qpop_.lookups_for(target, TrafficKind::kScanProbe, rng)) {
+      EXPECT_NE(plan_.site_of(lookup.querier), nullptr)
+          << lookup.querier.to_string();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dnsbs::sim

@@ -1,0 +1,173 @@
+// Unit tests for the training-over-time strategy evaluators on synthetic
+// window observations (no simulator in the loop: windows are fabricated,
+// so each strategy's mechanics can be checked precisely).
+#include <gtest/gtest.h>
+
+#include "labeling/strategies.hpp"
+#include "util/rng.hpp"
+
+namespace dnsbs::labeling {
+namespace {
+
+using net::IPv4Addr;
+
+/// Builds a window where each labeled originator appears with a feature
+/// vector characteristic of its class (class c -> statics[c] high), plus
+/// optional feature noise.
+WindowObservation make_window(const std::vector<std::pair<std::uint32_t, core::AppClass>>&
+                                  members,
+                              double noise, std::uint64_t seed) {
+  util::Rng rng(seed);
+  WindowObservation window;
+  for (const auto& [addr, cls] : members) {
+    core::FeatureVector fv;
+    fv.originator = IPv4Addr(addr);
+    fv.footprint = 50;
+    // Deterministic per-class signature on two static dims + noise.
+    const auto c = static_cast<std::size_t>(cls);
+    fv.statics[c % core::kQuerierCategoryCount] = 0.8 + rng.normal(0, noise);
+    fv.dynamics[0] = static_cast<double>(c) + rng.normal(0, noise * 4);
+    window.features.push_back(std::move(fv));
+  }
+  return window;
+}
+
+std::vector<std::pair<std::uint32_t, core::AppClass>> standard_members() {
+  std::vector<std::pair<std::uint32_t, core::AppClass>> members;
+  std::uint32_t addr = 1;
+  for (const core::AppClass cls :
+       {core::AppClass::kSpam, core::AppClass::kScan, core::AppClass::kMail}) {
+    for (int i = 0; i < 8; ++i) members.emplace_back(addr++, cls);
+  }
+  return members;
+}
+
+GroundTruth labels_for(const std::vector<std::pair<std::uint32_t, core::AppClass>>&
+                           members) {
+  GroundTruth gt;
+  for (const auto& [addr, cls] : members) gt.add(IPv4Addr(addr), cls);
+  return gt;
+}
+
+TEST(TrainOnce, PerfectOnStableWorld) {
+  const auto members = standard_members();
+  const auto labels = labels_for(members);
+  std::vector<WindowObservation> windows;
+  for (int w = 0; w < 4; ++w) windows.push_back(make_window(members, 0.01, w));
+  const auto points = evaluate_train_once(windows, 0, labels);
+  ASSERT_EQ(points.size(), 4u);
+  for (const auto& p : points) {
+    EXPECT_TRUE(p.trained);
+    EXPECT_GT(p.f1, 0.95) << "window " << p.window;
+    EXPECT_EQ(p.examples, members.size());
+  }
+}
+
+TEST(TrainOnce, UntrainableWhenLabelsMissing) {
+  std::vector<WindowObservation> windows(3);
+  const GroundTruth empty;
+  const auto points = evaluate_train_once(windows, 0, empty);
+  ASSERT_EQ(points.size(), 3u);
+  for (const auto& p : points) EXPECT_FALSE(p.trained);
+}
+
+TEST(TrainOnce, CurationWindowOutOfRangeIsEmpty) {
+  std::vector<WindowObservation> windows(2);
+  const auto points = evaluate_train_once(windows, 9, GroundTruth{});
+  EXPECT_TRUE(points.empty());
+}
+
+TEST(TrainOnce, DegradesWhenFeaturesShift) {
+  const auto members = standard_members();
+  const auto labels = labels_for(members);
+  std::vector<WindowObservation> windows;
+  windows.push_back(make_window(members, 0.01, 1));
+  // Later window: the class signatures move (features permuted).
+  WindowObservation shifted = make_window(members, 0.01, 2);
+  for (auto& fv : shifted.features) {
+    std::rotate(fv.statics.begin(), fv.statics.begin() + 3, fv.statics.end());
+    fv.dynamics[0] += 7.0;
+  }
+  windows.push_back(std::move(shifted));
+  const auto points = evaluate_train_once(windows, 0, labels);
+  EXPECT_GT(points[0].f1, 0.95);
+  EXPECT_LT(points[1].f1, points[0].f1 - 0.2);
+}
+
+TEST(TrainDaily, TracksShiftingFeatures) {
+  const auto members = standard_members();
+  const auto labels = labels_for(members);
+  std::vector<WindowObservation> windows;
+  for (int w = 0; w < 3; ++w) {
+    WindowObservation window = make_window(members, 0.01, 10 + w);
+    // Different shift every window; retraining must absorb it.
+    for (auto& fv : window.features) fv.dynamics[0] += w * 5.0;
+    windows.push_back(std::move(window));
+  }
+  const auto points = evaluate_train_daily(windows, labels);
+  for (const auto& p : points) {
+    EXPECT_TRUE(p.trained);
+    EXPECT_GT(p.f1, 0.95) << "window " << p.window;
+  }
+}
+
+TEST(TrainDaily, UntrainedWindowsReportExamples) {
+  const auto members = standard_members();
+  const auto labels = labels_for(members);
+  std::vector<WindowObservation> windows;
+  windows.push_back(make_window(members, 0.01, 5));
+  windows.push_back(WindowObservation{});  // nothing re-appears
+  const auto points = evaluate_train_daily(windows, labels);
+  EXPECT_TRUE(points[0].trained);
+  EXPECT_FALSE(points[1].trained);
+  EXPECT_EQ(points[1].examples, 0u);
+}
+
+TEST(AutoGrow, PerfectClassifierSustains) {
+  const auto members = standard_members();
+  const auto labels = labels_for(members);
+  std::unordered_map<IPv4Addr, core::AppClass> truth;
+  for (const auto& [addr, cls] : members) truth[IPv4Addr(addr)] = cls;
+  std::vector<WindowObservation> windows;
+  for (int w = 0; w < 5; ++w) windows.push_back(make_window(members, 0.01, 20 + w));
+  const auto points = evaluate_auto_grow(windows, 0, labels, {}, &truth);
+  // With near-zero noise, grown labels stay correct.
+  for (std::size_t w = 1; w < points.size(); ++w) {
+    EXPECT_LT(points[w].label_error, 0.05) << "window " << w;
+    EXPECT_GT(points[w].f1, 0.9) << "window " << w;
+  }
+}
+
+TEST(AutoGrow, NoisyWorldAccumulatesLabelError) {
+  const auto members = standard_members();
+  const auto labels = labels_for(members);
+  std::unordered_map<IPv4Addr, core::AppClass> truth;
+  for (const auto& [addr, cls] : members) truth[IPv4Addr(addr)] = cls;
+  std::vector<WindowObservation> windows;
+  for (int w = 0; w < 8; ++w) {
+    windows.push_back(make_window(members, 0.5, 40 + w));  // heavy feature noise
+  }
+  const auto points = evaluate_auto_grow(windows, 0, labels, {}, &truth);
+  // Error after several growth steps exceeds the first grown window's.
+  double early = -1, late = -1;
+  for (const auto& p : points) {
+    if (p.window == 1) early = p.label_error;
+    if (p.window == 7) late = p.label_error;
+  }
+  ASSERT_GE(early, 0.0);
+  EXPECT_GT(late, early);
+}
+
+TEST(ReappearingCounts, CountsPerClass) {
+  const auto members = standard_members();
+  const auto labels = labels_for(members);
+  const auto window = make_window(members, 0.01, 3);
+  const auto counts = reappearing_counts(window, labels);
+  EXPECT_EQ(counts[static_cast<std::size_t>(core::AppClass::kSpam)], 8u);
+  EXPECT_EQ(counts[static_cast<std::size_t>(core::AppClass::kScan)], 8u);
+  EXPECT_EQ(counts[static_cast<std::size_t>(core::AppClass::kMail)], 8u);
+  EXPECT_EQ(counts[static_cast<std::size_t>(core::AppClass::kCdn)], 0u);
+}
+
+}  // namespace
+}  // namespace dnsbs::labeling

@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string_view>
+
+#include "core/taxonomy.hpp"
+#include "util/log.hpp"
+
+namespace dnsbs {
+namespace {
+
+TEST(Taxonomy, AllClassesRoundTripThroughNames) {
+  for (const core::AppClass c : core::all_app_classes()) {
+    const auto parsed = core::app_class_from_string(core::to_string(c));
+    ASSERT_TRUE(parsed) << core::to_string(c);
+    EXPECT_EQ(*parsed, c);
+  }
+  EXPECT_FALSE(core::app_class_from_string("not-a-class"));
+  EXPECT_FALSE(core::app_class_from_string(""));
+}
+
+TEST(Taxonomy, EnumOrderMatchesAllClassesTable) {
+  const auto& all = core::all_app_classes();
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(static_cast<std::size_t>(all[i]), i);
+  }
+  EXPECT_EQ(all.size(), core::kAppClassCount);
+}
+
+TEST(Taxonomy, MaliciousnessMatchesPaper) {
+  EXPECT_TRUE(core::is_malicious(core::AppClass::kScan));
+  EXPECT_TRUE(core::is_malicious(core::AppClass::kSpam));
+  for (const core::AppClass c : core::all_app_classes()) {
+    if (c != core::AppClass::kScan && c != core::AppClass::kSpam) {
+      EXPECT_FALSE(core::is_malicious(c)) << core::to_string(c);
+    }
+  }
+}
+
+TEST(Taxonomy, QuerierCategoryNamesDistinct) {
+  std::set<std::string_view> names;
+  for (std::size_t i = 0; i < core::kQuerierCategoryCount; ++i) {
+    names.insert(core::to_string(static_cast<core::QuerierCategory>(i)));
+  }
+  EXPECT_EQ(names.size(), core::kQuerierCategoryCount);
+}
+
+TEST(Log, LevelThresholdRoundTrips) {
+  const util::LogLevel before = util::log_level();
+  util::set_log_level(util::LogLevel::kDebug);
+  EXPECT_EQ(util::log_level(), util::LogLevel::kDebug);
+  util::set_log_level(util::LogLevel::kOff);
+  EXPECT_EQ(util::log_level(), util::LogLevel::kOff);
+  // Logging below threshold must be a no-op (no crash, no output path).
+  util::log_debug("test", "suppressed");
+  util::log_error("test", "also suppressed at kOff");
+  util::set_log_level(before);
+}
+
+}  // namespace
+}  // namespace dnsbs

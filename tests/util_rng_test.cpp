@@ -1,0 +1,218 @@
+// RNG determinism, range, and distribution sanity.
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+namespace dnsbs::util {
+namespace {
+
+TEST(SplitMix64, DeterministicSequence) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiffer) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, StreamsAreIndependent) {
+  Rng a = Rng::stream(5, 0);
+  Rng b = Rng::stream(5, 1);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, BelowOneAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(11);
+  constexpr std::uint64_t kBuckets = 10;
+  constexpr int kDraws = 100000;
+  std::array<int, kBuckets> counts{};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.below(kBuckets)];
+  for (const int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, kDraws / kBuckets * 0.1);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(13);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(17);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+  Rng rng(19);
+  double sum = 0.0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.01);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(23);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(29);
+  double sum = 0.0;
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.02);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(31);
+  double sum = 0.0, sumsq = 0.0;
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = rng.normal(10.0, 3.0);
+    sum += x;
+    sumsq += x * x;
+  }
+  const double mean = sum / kDraws;
+  const double var = sumsq / kDraws - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(var, 9.0, 0.3);
+}
+
+TEST(Rng, PoissonSmallLambdaMean) {
+  Rng rng(37);
+  std::uint64_t total = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) total += rng.poisson(3.5);
+  EXPECT_NEAR(static_cast<double>(total) / kDraws, 3.5, 0.1);
+}
+
+TEST(Rng, PoissonLargeLambdaMean) {
+  Rng rng(41);
+  std::uint64_t total = 0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) total += rng.poisson(200.0);
+  EXPECT_NEAR(static_cast<double>(total) / kDraws, 200.0, 2.0);
+}
+
+TEST(Rng, PoissonZeroLambda) {
+  Rng rng(43);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, ParetoRespectsScale) {
+  Rng rng(47);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(rng.pareto(5.0, 1.5), 5.0);
+  }
+}
+
+TEST(Rng, ParetoIsHeavyTailed) {
+  Rng rng(53);
+  int above_10x = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (rng.pareto(1.0, 1.0) > 10.0) ++above_10x;
+  }
+  // For alpha=1, P(X > 10) = 0.1.
+  EXPECT_NEAR(above_10x, kDraws / 10, kDraws / 100);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(59);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, SampleIndicesDistinctAndInRange) {
+  Rng rng(61);
+  for (std::size_t n : {5UL, 100UL, 1000UL}) {
+    for (std::size_t k : {0UL, 1UL, 3UL, n / 2, n}) {
+      const auto sample = rng.sample_indices(n, k);
+      EXPECT_EQ(sample.size(), std::min(n, k));
+      std::set<std::size_t> distinct(sample.begin(), sample.end());
+      EXPECT_EQ(distinct.size(), sample.size());
+      for (const auto idx : sample) EXPECT_LT(idx, n);
+    }
+  }
+}
+
+TEST(WeightedPick, HonorsWeights) {
+  Rng rng(67);
+  const std::vector<double> weights = {1.0, 0.0, 3.0};
+  std::array<int, 3> counts{};
+  constexpr int kDraws = 40000;
+  for (int i = 0; i < kDraws; ++i) ++counts[weighted_pick(rng, weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(counts[0], kDraws / 4, kDraws / 40);
+  EXPECT_NEAR(counts[2], 3 * kDraws / 4, kDraws / 40);
+}
+
+TEST(ZipfSampler, RankZeroMostPopular) {
+  Rng rng(71);
+  ZipfSampler zipf(100, 1.0);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[zipf.sample(rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[99]);
+}
+
+TEST(ZipfSampler, SingleElement) {
+  Rng rng(73);
+  ZipfSampler zipf(1, 1.2);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.sample(rng), 0u);
+}
+
+}  // namespace
+}  // namespace dnsbs::util

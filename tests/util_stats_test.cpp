@@ -1,0 +1,154 @@
+// Descriptive statistics: moments, quantiles, entropy, fits, CCDF.
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace dnsbs::util {
+namespace {
+
+TEST(Moments, EmptyInputIsZero) {
+  EXPECT_EQ(mean({}), 0.0);
+  EXPECT_EQ(variance({}), 0.0);
+  EXPECT_EQ(stddev({}), 0.0);
+}
+
+TEST(Moments, KnownValues) {
+  const std::vector<double> xs = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  EXPECT_DOUBLE_EQ(variance(xs), 4.0);
+  EXPECT_DOUBLE_EQ(stddev(xs), 2.0);
+}
+
+TEST(Quantile, EdgesAndMedian) {
+  const std::vector<double> xs = {5, 1, 3, 2, 4};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 3.0);
+}
+
+TEST(Quantile, Interpolates) {
+  const std::vector<double> xs = {0, 10};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.75), 7.5);
+}
+
+TEST(Quantile, EmptyIsZero) { EXPECT_EQ(quantile({}, 0.5), 0.0); }
+
+TEST(BoxStats, OrderedFields) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) xs.push_back(i);
+  const BoxStats b = box_stats(xs);
+  EXPECT_EQ(b.n, 100u);
+  EXPECT_DOUBLE_EQ(b.min, 1.0);
+  EXPECT_DOUBLE_EQ(b.max, 100.0);
+  EXPECT_LT(b.p10, b.p25);
+  EXPECT_LT(b.p25, b.p50);
+  EXPECT_LT(b.p50, b.p75);
+  EXPECT_LT(b.p75, b.p90);
+  EXPECT_NEAR(b.p50, 50.5, 0.01);
+}
+
+TEST(Entropy, UniformIsLogN) {
+  const std::vector<std::size_t> counts = {10, 10, 10, 10};
+  EXPECT_NEAR(shannon_entropy(counts), 2.0, 1e-12);
+  EXPECT_NEAR(normalized_entropy(counts), 1.0, 1e-12);
+}
+
+TEST(Entropy, SingleBucketIsZero) {
+  const std::vector<std::size_t> counts = {42};
+  EXPECT_EQ(shannon_entropy(counts), 0.0);
+  EXPECT_EQ(normalized_entropy(counts), 0.0);
+}
+
+TEST(Entropy, ZeroCountsIgnored) {
+  const std::vector<std::size_t> a = {5, 0, 5, 0};
+  const std::vector<std::size_t> b = {5, 5};
+  EXPECT_DOUBLE_EQ(shannon_entropy(a), shannon_entropy(b));
+  EXPECT_DOUBLE_EQ(normalized_entropy(a), normalized_entropy(b));
+}
+
+TEST(Entropy, SkewLowersNormalizedEntropy) {
+  const std::vector<std::size_t> skewed = {97, 1, 1, 1};
+  EXPECT_LT(normalized_entropy(skewed), 0.5);
+  EXPECT_GT(normalized_entropy(skewed), 0.0);
+}
+
+TEST(Counter, CountsAndTotals) {
+  Counter<int> c;
+  c.add(1);
+  c.add(1);
+  c.add(2, 3);
+  EXPECT_EQ(c.distinct(), 2u);
+  EXPECT_EQ(c.total(), 5u);
+  auto values = c.values();
+  std::sort(values.begin(), values.end());
+  EXPECT_EQ(values, (std::vector<std::size_t>{2, 3}));
+}
+
+TEST(LinearFit, ExactLine) {
+  const std::vector<double> xs = {1, 2, 3, 4};
+  const std::vector<double> ys = {3, 5, 7, 9};  // y = 1 + 2x
+  const LinearFit f = linear_fit(xs, ys);
+  EXPECT_NEAR(f.intercept, 1.0, 1e-9);
+  EXPECT_NEAR(f.slope, 2.0, 1e-9);
+  EXPECT_NEAR(f.r2, 1.0, 1e-9);
+}
+
+TEST(LinearFit, DegenerateInputs) {
+  EXPECT_EQ(linear_fit({}, {}).slope, 0.0);
+  const std::vector<double> one = {1.0};
+  EXPECT_EQ(linear_fit(one, one).slope, 0.0);
+}
+
+TEST(PowerLawFit, RecoversExponent) {
+  std::vector<double> xs, ys;
+  for (double x = 1; x <= 1000; x *= 2) {
+    xs.push_back(x);
+    ys.push_back(2.5 * std::pow(x, 0.71));
+  }
+  const PowerLawFit f = power_law_fit(xs, ys);
+  EXPECT_NEAR(f.alpha, 0.71, 1e-6);
+  EXPECT_NEAR(f.c, 2.5, 1e-6);
+  EXPECT_NEAR(f.r2, 1.0, 1e-9);
+}
+
+TEST(PowerLawFit, IgnoresNonPositive) {
+  const std::vector<double> xs = {0, -1, 1, 10, 100};
+  const std::vector<double> ys = {5, 5, 1, 10, 100};
+  const PowerLawFit f = power_law_fit(xs, ys);
+  EXPECT_NEAR(f.alpha, 1.0, 1e-9);
+}
+
+TEST(Ccdf, StepsAtDistinctValues) {
+  const auto points = ccdf({1, 1, 2, 4});
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_DOUBLE_EQ(points[0].first, 1.0);
+  EXPECT_DOUBLE_EQ(points[0].second, 1.0);
+  EXPECT_DOUBLE_EQ(points[1].first, 2.0);
+  EXPECT_DOUBLE_EQ(points[1].second, 0.5);
+  EXPECT_DOUBLE_EQ(points[2].first, 4.0);
+  EXPECT_DOUBLE_EQ(points[2].second, 0.25);
+}
+
+TEST(Ccdf, EmptyInput) { EXPECT_TRUE(ccdf({}).empty()); }
+
+TEST(Histogram, BucketsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);    // bucket 0
+  h.add(9.9);    // bucket 4
+  h.add(-3.0);   // clamps to 0
+  h.add(100.0);  // clamps to 4
+  h.add(4.0);    // bucket 2
+  EXPECT_EQ(h.bucket_count(), 5u);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(2), 1u);
+  EXPECT_EQ(h.count(4), 2u);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_DOUBLE_EQ(h.bucket_low(2), 4.0);
+}
+
+}  // namespace
+}  // namespace dnsbs::util

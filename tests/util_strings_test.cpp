@@ -1,0 +1,87 @@
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dnsbs::util {
+namespace {
+
+TEST(Split, BasicAndEmptyFields) {
+  const auto parts = split("a.b.c", '.');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+
+  const auto with_empty = split("a..b", '.');
+  ASSERT_EQ(with_empty.size(), 3u);
+  EXPECT_EQ(with_empty[1], "");
+
+  const auto empty = split("", '.');
+  ASSERT_EQ(empty.size(), 1u);
+  EXPECT_EQ(empty[0], "");
+}
+
+TEST(Split, LeadingTrailingSeparators) {
+  const auto parts = split(".a.", '.');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[1], "a");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(Join, RoundTripsSplit) {
+  const std::string s = "mail.example.com";
+  EXPECT_EQ(join(split(s, '.'), '.'), s);
+}
+
+TEST(ToLower, MixedCase) {
+  EXPECT_EQ(to_lower("MaIl.EXAMPLE.Com"), "mail.example.com");
+  EXPECT_EQ(to_lower(""), "");
+  EXPECT_EQ(to_lower("123-abc"), "123-abc");
+}
+
+TEST(Contains, Basics) {
+  EXPECT_TRUE(contains("firewall", "wall"));
+  EXPECT_FALSE(contains("wall", "firewall"));
+  EXPECT_TRUE(contains("x", ""));
+}
+
+TEST(StartsEndsWith, Basics) {
+  EXPECT_TRUE(starts_with("sendmail", "send"));
+  EXPECT_FALSE(starts_with("resend", "send"));
+  EXPECT_TRUE(ends_with("mail.example.com", ".com"));
+  EXPECT_FALSE(ends_with("com", ".com"));
+}
+
+TEST(Trim, Whitespace) {
+  EXPECT_EQ(trim("  abc \t\n"), "abc");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("a b"), "a b");
+}
+
+TEST(AllDigits, Cases) {
+  EXPECT_TRUE(all_digits("0123"));
+  EXPECT_FALSE(all_digits(""));
+  EXPECT_FALSE(all_digits("12a"));
+  EXPECT_FALSE(all_digits("-1"));
+}
+
+TEST(ParseU64, ValidAndInvalid) {
+  std::uint64_t v = 0;
+  EXPECT_TRUE(parse_u64("0", v));
+  EXPECT_EQ(v, 0u);
+  EXPECT_TRUE(parse_u64("18446744073709551615", v));
+  EXPECT_EQ(v, UINT64_MAX);
+  EXPECT_FALSE(parse_u64("18446744073709551616", v));  // overflow
+  EXPECT_FALSE(parse_u64("", v));
+  EXPECT_FALSE(parse_u64("12x", v));
+}
+
+TEST(Format, PrintfStyle) {
+  EXPECT_EQ(format("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(format("%.3f", 1.5), "1.500");
+  EXPECT_EQ(format("empty"), "empty");
+}
+
+}  // namespace
+}  // namespace dnsbs::util

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/table.hpp"
+#include "util/time.hpp"
+
+namespace dnsbs::util {
+namespace {
+
+TEST(SimTime, UnitConstructors) {
+  EXPECT_EQ(SimTime::minutes(2).secs(), 120);
+  EXPECT_EQ(SimTime::hours(1).secs(), 3600);
+  EXPECT_EQ(SimTime::days(1).secs(), 86400);
+  EXPECT_EQ(SimTime::weeks(1).secs(), 604800);
+}
+
+TEST(SimTime, Indices) {
+  const SimTime t = SimTime::seconds(86400 + 3600 * 2 + 601);
+  EXPECT_EQ(t.day_index(), 1);
+  EXPECT_EQ(t.hour_index(), 26);
+  EXPECT_EQ(t.ten_minute_index(), (86400 + 7200 + 601) / 600);
+  EXPECT_EQ(t.minute_index(), (86400 + 7200 + 601) / 60);
+}
+
+TEST(SimTime, HourOfDayWraps) {
+  EXPECT_DOUBLE_EQ(SimTime::hours(25).hour_of_day(), 1.0);
+  EXPECT_DOUBLE_EQ(SimTime::seconds(0).hour_of_day(), 0.0);
+}
+
+TEST(SimTime, Arithmetic) {
+  SimTime t = SimTime::hours(1);
+  t += SimTime::minutes(30);
+  EXPECT_EQ(t.secs(), 5400);
+  EXPECT_EQ((t - SimTime::minutes(30)).secs(), 3600);
+  EXPECT_LT(SimTime::seconds(1), SimTime::seconds(2));
+}
+
+TEST(SimTime, ToString) {
+  EXPECT_EQ(SimTime::seconds(86400 + 3725).to_string(), "d1 01:02:05");
+}
+
+TEST(TableWriter, AsciiAlignment) {
+  TableWriter t("demo");
+  t.columns({"name", "value"});
+  t.row({"a", "1"});
+  t.row({"longer", "22"});
+  const std::string out = t.to_ascii();
+  EXPECT_NE(out.find("== demo =="), std::string::npos);
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TableWriter, CsvEscaping) {
+  TableWriter t;
+  t.columns({"a", "b"});
+  t.row({"x,y", "quo\"te"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(csv.find("\"quo\"\"te\""), std::string::npos);
+}
+
+TEST(TableWriter, PrintsToStream) {
+  TableWriter t;
+  t.columns({"c"});
+  t.row({"v"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_FALSE(os.str().empty());
+}
+
+TEST(Fixed, Digits) {
+  EXPECT_EQ(fixed(0.785, 2), "0.79");
+  EXPECT_EQ(fixed(1.0, 3), "1.000");
+}
+
+TEST(WithCommas, Grouping) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(with_commas(1000), "1,000");
+  EXPECT_EQ(with_commas(47201), "47,201");
+  EXPECT_EQ(with_commas(1234567890), "1,234,567,890");
+}
+
+}  // namespace
+}  // namespace dnsbs::util

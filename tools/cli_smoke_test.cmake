@@ -1,0 +1,29 @@
+# Runs dnsbs_cli generate + analyze and asserts the pipeline round-trips.
+set(LOG ${WORKDIR}/smoke.log)
+set(CSV ${WORKDIR}/smoke.csv)
+execute_process(
+  COMMAND ${CLI} generate --out ${LOG} --scale 0.05 --seed 11
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "generate failed: ${rc}\n${out}\n${err}")
+endif()
+if(NOT EXISTS ${LOG})
+  message(FATAL_ERROR "generate did not write ${LOG}")
+endif()
+execute_process(
+  COMMAND ${CLI} analyze --log ${LOG} --scale 0.05 --seed 11 --csv ${CSV}
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "analyze failed: ${rc}\n${out}\n${err}")
+endif()
+if(NOT out MATCHES "interesting originators total")
+  message(FATAL_ERROR "analyze output missing summary:\n${out}")
+endif()
+if(NOT EXISTS ${CSV})
+  message(FATAL_ERROR "analyze did not write ${CSV}")
+endif()
+file(STRINGS ${CSV} csv_lines LIMIT_COUNT 2)
+list(GET csv_lines 0 header)
+if(NOT header MATCHES "originator,footprint,home,mail")
+  message(FATAL_ERROR "unexpected CSV header: ${header}")
+endif()

@@ -1,0 +1,227 @@
+// dnsbs_cli — command-line front end for the backscatter sensor.
+//
+//   dnsbs_cli generate  --out FILE [--scenario jp|b|m] [--scale S] [--seed N]
+//       Simulate a world and write the authority's reverse-query log.
+//
+//   dnsbs_cli analyze   --log FILE [--scenario jp|b|m] [--scale S] [--seed N]
+//                       [--min-queriers Q] [--top K] [--csv FILE]
+//       Replay a query log through the sensor; print the top originators
+//       and optionally dump all feature vectors as CSV.
+//
+//   dnsbs_cli classify  [--scenario jp|b|m] [--scale S] [--seed N] [--top K]
+//       Full pipeline: simulate, curate labels, train RF, classify.
+//
+// `analyze` resolves querier names through the synthetic world, so the
+// (scenario, scale, seed) triple must match the one used by `generate`.
+// A production build would wire a real resolver client and whois/GeoIP
+// databases into the same Sensor constructor.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/sensor.hpp"
+#include "labeling/curator.hpp"
+#include "ml/forest.hpp"
+#include "sim/scenario.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace dnsbs;
+
+struct Options {
+  std::string command;
+  std::string scenario = "jp";
+  double scale = 0.15;
+  std::uint64_t seed = 1;
+  std::string log_path;
+  std::string out_path;
+  std::string csv_path;
+  std::size_t min_queriers = 20;
+  std::size_t top = 20;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: dnsbs_cli <generate|analyze|classify> [options]\n"
+               "  --scenario jp|b|m   vantage preset (default jp)\n"
+               "  --scale S           world scale (default 0.15)\n"
+               "  --seed N            world seed (default 1)\n"
+               "  --out FILE          (generate) log output path\n"
+               "  --log FILE          (analyze) log input path\n"
+               "  --csv FILE          (analyze) feature-vector CSV output\n"
+               "  --min-queriers Q    sensor floor (default 20)\n"
+               "  --top K             rows to print (default 20)\n");
+  return 2;
+}
+
+bool parse(int argc, char** argv, Options& opt) {
+  if (argc < 2) return false;
+  opt.command = argv[1];
+  for (int i = 2; i + 1 < argc; i += 2) {
+    const std::string flag = argv[i];
+    const char* value = argv[i + 1];
+    if (flag == "--scenario") {
+      opt.scenario = value;
+    } else if (flag == "--scale") {
+      opt.scale = std::atof(value);
+    } else if (flag == "--seed") {
+      opt.seed = std::strtoull(value, nullptr, 10);
+    } else if (flag == "--out") {
+      opt.out_path = value;
+    } else if (flag == "--log") {
+      opt.log_path = value;
+    } else if (flag == "--csv") {
+      opt.csv_path = value;
+    } else if (flag == "--min-queriers") {
+      opt.min_queriers = std::strtoull(value, nullptr, 10);
+    } else if (flag == "--top") {
+      opt.top = std::strtoull(value, nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+sim::ScenarioConfig config_for(const Options& opt) {
+  if (opt.scenario == "b") return sim::b_post_ditl_config(opt.seed, opt.scale);
+  if (opt.scenario == "m") return sim::m_ditl_config(opt.seed, opt.scale);
+  return sim::jp_ditl_config(opt.seed, opt.scale);
+}
+
+int cmd_generate(const Options& opt) {
+  if (opt.out_path.empty()) {
+    std::fprintf(stderr, "generate requires --out FILE\n");
+    return 2;
+  }
+  sim::Scenario scenario(config_for(opt));
+  std::fprintf(stderr, "simulating %s (scale %.2f, seed %llu)...\n",
+               scenario.config().name.c_str(), opt.scale,
+               static_cast<unsigned long long>(opt.seed));
+  scenario.run();
+  std::ofstream out(opt.out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", opt.out_path.c_str());
+    return 1;
+  }
+  dns::QueryLogWriter writer(out);
+  for (const auto& record : scenario.authority(0).records()) writer.write(record);
+  std::fprintf(stderr, "wrote %zu records from %s to %s\n", writer.count(),
+               scenario.authority(0).config().name.c_str(), opt.out_path.c_str());
+  return 0;
+}
+
+int cmd_analyze(const Options& opt) {
+  if (opt.log_path.empty()) {
+    std::fprintf(stderr, "analyze requires --log FILE\n");
+    return 2;
+  }
+  sim::Scenario scenario(config_for(opt));  // world only; no traffic run
+  std::ifstream in(opt.log_path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", opt.log_path.c_str());
+    return 1;
+  }
+  core::SensorConfig sensor_config;
+  sensor_config.min_queriers = opt.min_queriers;
+  core::Sensor sensor(sensor_config, scenario.plan().as_db(), scenario.plan().geo_db(),
+                      scenario.naming());
+  dns::QueryLogReader reader(in);
+  std::size_t n = 0;
+  while (auto record = reader.next()) {
+    sensor.ingest(*record);
+    ++n;
+  }
+  std::fprintf(stderr, "replayed %zu records (%zu skipped)\n", n, reader.skipped());
+  const auto features = sensor.extract_features();
+
+  util::TableWriter table("top originators by footprint");
+  table.columns({"rank", "originator", "queriers", "mail", "ns", "home", "nxdomain"});
+  for (std::size_t i = 0; i < features.size() && i < opt.top; ++i) {
+    const auto& fv = features[i];
+    const auto s = [&fv](core::QuerierCategory c) {
+      return util::fixed(fv.statics[static_cast<std::size_t>(c)], 2);
+    };
+    table.row({std::to_string(i + 1), fv.originator.to_string(),
+               std::to_string(fv.footprint), s(core::QuerierCategory::kMail),
+               s(core::QuerierCategory::kNs), s(core::QuerierCategory::kHome),
+               s(core::QuerierCategory::kNxDomain)});
+  }
+  table.print(std::cout);
+  std::printf("%zu interesting originators total\n", features.size());
+
+  if (!opt.csv_path.empty()) {
+    std::ofstream csv(opt.csv_path);
+    util::TableWriter all;
+    std::vector<std::string> header = {"originator", "footprint"};
+    for (const auto& name : core::feature_names()) header.push_back(name);
+    all.columns(header);
+    for (const auto& fv : features) {
+      std::vector<std::string> row = {fv.originator.to_string(),
+                                      std::to_string(fv.footprint)};
+      for (const double v : fv.row()) row.push_back(util::fixed(v, 6));
+      all.row(std::move(row));
+    }
+    csv << all.to_csv();
+    std::fprintf(stderr, "wrote %zu feature vectors to %s\n", features.size(),
+                 opt.csv_path.c_str());
+  }
+  return 0;
+}
+
+int cmd_classify(const Options& opt) {
+  sim::Scenario scenario(config_for(opt));
+  labeling::Darknet darknet(labeling::default_darknet_prefixes());
+  scenario.engine().set_traffic_observer(&darknet);
+  std::fprintf(stderr, "simulating %s...\n", scenario.config().name.c_str());
+  scenario.run();
+
+  core::SensorConfig sensor_config;
+  sensor_config.min_queriers = opt.min_queriers;
+  core::Sensor sensor(sensor_config, scenario.plan().as_db(), scenario.plan().geo_db(),
+                      scenario.naming());
+  sensor.ingest_all(scenario.authority(0).records());
+  const auto features = sensor.extract_features();
+
+  util::Rng rng(opt.seed ^ 0xb1ac);
+  const auto blacklist = labeling::BlacklistSet::build(scenario.population(), {}, rng);
+  labeling::Curator curator(scenario, blacklist, darknet, {}, opt.seed ^ 0xc);
+  const auto labels = curator.curate(features);
+  const auto [data, used] = labels.join(features);
+  std::fprintf(stderr, "trained on %zu curated examples\n", data.size());
+
+  ml::ForestConfig fc;
+  fc.n_trees = 100;
+  fc.seed = opt.seed;
+  ml::RandomForest model(fc);
+  model.fit(data);
+  const auto classified = core::classify_all(features, model);
+
+  util::TableWriter table("classified originators");
+  table.columns({"rank", "originator", "queriers", "class", "darknet", "blacklisted"});
+  for (std::size_t i = 0; i < classified.size() && i < opt.top; ++i) {
+    const auto& c = classified[i];
+    table.row({std::to_string(i + 1), c.features.originator.to_string(),
+               std::to_string(c.features.footprint),
+               std::string(core::to_string(c.predicted)),
+               std::to_string(darknet.addresses_hit_by(c.features.originator)),
+               blacklist.listed(c.features.originator) ? "yes" : "no"});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse(argc, argv, opt)) return usage();
+  if (opt.command == "generate") return cmd_generate(opt);
+  if (opt.command == "analyze") return cmd_analyze(opt);
+  if (opt.command == "classify") return cmd_classify(opt);
+  return usage();
+}

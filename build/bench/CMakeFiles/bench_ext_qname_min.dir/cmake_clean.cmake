@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_qname_min.dir/bench_ext_qname_min.cpp.o"
+  "CMakeFiles/bench_ext_qname_min.dir/bench_ext_qname_min.cpp.o.d"
+  "bench_ext_qname_min"
+  "bench_ext_qname_min.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_qname_min.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_verified_growth.dir/bench_ext_verified_growth.cpp.o"
+  "CMakeFiles/bench_ext_verified_growth.dir/bench_ext_verified_growth.cpp.o.d"
+  "bench_ext_verified_growth"
+  "bench_ext_verified_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_verified_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_training_strategies.dir/bench_fig07_training_strategies.cpp.o"
+  "CMakeFiles/bench_fig07_training_strategies.dir/bench_fig07_training_strategies.cpp.o.d"
+  "bench_fig07_training_strategies"
+  "bench_fig07_training_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_training_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

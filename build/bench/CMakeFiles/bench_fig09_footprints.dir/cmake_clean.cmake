@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_footprints.dir/bench_fig09_footprints.cpp.o"
+  "CMakeFiles/bench_fig09_footprints.dir/bench_fig09_footprints.cpp.o.d"
+  "bench_fig09_footprints"
+  "bench_fig09_footprints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_footprints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_footprint_boxplot.dir/bench_fig12_footprint_boxplot.cpp.o"
+  "CMakeFiles/bench_fig12_footprint_boxplot.dir/bench_fig12_footprint_boxplot.cpp.o.d"
+  "bench_fig12_footprint_boxplot"
+  "bench_fig12_footprint_boxplot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_footprint_boxplot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_example_scanners.dir/bench_fig13_example_scanners.cpp.o"
+  "CMakeFiles/bench_fig13_example_scanners.dir/bench_fig13_example_scanners.cpp.o.d"
+  "bench_fig13_example_scanners"
+  "bench_fig13_example_scanners.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_example_scanners.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

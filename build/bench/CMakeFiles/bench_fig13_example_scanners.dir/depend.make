@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig13_example_scanners.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_churn.dir/bench_fig15_churn.cpp.o"
+  "CMakeFiles/bench_fig15_churn.dir/bench_fig15_churn.cpp.o.d"
+  "bench_fig15_churn"
+  "bench_fig15_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

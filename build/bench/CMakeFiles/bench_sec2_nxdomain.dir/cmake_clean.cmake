@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec2_nxdomain.dir/bench_sec2_nxdomain.cpp.o"
+  "CMakeFiles/bench_sec2_nxdomain.dir/bench_sec2_nxdomain.cpp.o.d"
+  "bench_sec2_nxdomain"
+  "bench_sec2_nxdomain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec2_nxdomain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

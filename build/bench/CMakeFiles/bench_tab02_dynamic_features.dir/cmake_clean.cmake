@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab02_dynamic_features.dir/bench_tab02_dynamic_features.cpp.o"
+  "CMakeFiles/bench_tab02_dynamic_features.dir/bench_tab02_dynamic_features.cpp.o.d"
+  "bench_tab02_dynamic_features"
+  "bench_tab02_dynamic_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab02_dynamic_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab05_class_sizes.dir/bench_tab05_class_sizes.cpp.o"
+  "CMakeFiles/bench_tab05_class_sizes.dir/bench_tab05_class_sizes.cpp.o.d"
+  "bench_tab05_class_sizes"
+  "bench_tab05_class_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab05_class_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab06_groundtruth.dir/bench_tab06_groundtruth.cpp.o"
+  "CMakeFiles/bench_tab06_groundtruth.dir/bench_tab06_groundtruth.cpp.o.d"
+  "bench_tab06_groundtruth"
+  "bench_tab06_groundtruth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab06_groundtruth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

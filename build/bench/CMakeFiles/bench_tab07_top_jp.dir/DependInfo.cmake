@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_tab07_top_jp.cpp" "bench/CMakeFiles/bench_tab07_top_jp.dir/bench_tab07_top_jp.cpp.o" "gcc" "bench/CMakeFiles/bench_tab07_top_jp.dir/bench_tab07_top_jp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/dnsbs_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dnsbs_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dnsbs_labeling.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dnsbs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dnsbs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dnsbs_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dnsbs_netdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dnsbs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dnsbs_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dnsbs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

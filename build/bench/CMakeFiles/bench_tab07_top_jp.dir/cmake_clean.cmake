@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab07_top_jp.dir/bench_tab07_top_jp.cpp.o"
+  "CMakeFiles/bench_tab07_top_jp.dir/bench_tab07_top_jp.cpp.o.d"
+  "bench_tab07_top_jp"
+  "bench_tab07_top_jp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab07_top_jp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab08_top_m.dir/bench_tab08_top_m.cpp.o"
+  "CMakeFiles/bench_tab08_top_m.dir/bench_tab08_top_m.cpp.o.d"
+  "bench_tab08_top_m"
+  "bench_tab08_top_m.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab08_top_m.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

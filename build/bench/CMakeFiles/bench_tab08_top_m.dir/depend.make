@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_tab08_top_m.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsbs_bench_common.dir/common.cpp.o"
+  "CMakeFiles/dnsbs_bench_common.dir/common.cpp.o.d"
+  "libdnsbs_bench_common.a"
+  "libdnsbs_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsbs_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

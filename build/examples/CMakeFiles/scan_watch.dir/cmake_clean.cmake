@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scan_watch.dir/scan_watch.cpp.o"
+  "CMakeFiles/scan_watch.dir/scan_watch.cpp.o.d"
+  "scan_watch"
+  "scan_watch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scan_watch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

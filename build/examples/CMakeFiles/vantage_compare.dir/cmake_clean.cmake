@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vantage_compare.dir/vantage_compare.cpp.o"
+  "CMakeFiles/vantage_compare.dir/vantage_compare.cpp.o.d"
+  "vantage_compare"
+  "vantage_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vantage_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

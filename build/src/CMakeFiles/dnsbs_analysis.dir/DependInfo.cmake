@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/churn_analysis.cpp" "src/CMakeFiles/dnsbs_analysis.dir/analysis/churn_analysis.cpp.o" "gcc" "src/CMakeFiles/dnsbs_analysis.dir/analysis/churn_analysis.cpp.o.d"
+  "/root/repo/src/analysis/consistency.cpp" "src/CMakeFiles/dnsbs_analysis.dir/analysis/consistency.cpp.o" "gcc" "src/CMakeFiles/dnsbs_analysis.dir/analysis/consistency.cpp.o.d"
+  "/root/repo/src/analysis/diurnal.cpp" "src/CMakeFiles/dnsbs_analysis.dir/analysis/diurnal.cpp.o" "gcc" "src/CMakeFiles/dnsbs_analysis.dir/analysis/diurnal.cpp.o.d"
+  "/root/repo/src/analysis/footprint.cpp" "src/CMakeFiles/dnsbs_analysis.dir/analysis/footprint.cpp.o" "gcc" "src/CMakeFiles/dnsbs_analysis.dir/analysis/footprint.cpp.o.d"
+  "/root/repo/src/analysis/pipeline.cpp" "src/CMakeFiles/dnsbs_analysis.dir/analysis/pipeline.cpp.o" "gcc" "src/CMakeFiles/dnsbs_analysis.dir/analysis/pipeline.cpp.o.d"
+  "/root/repo/src/analysis/teams.cpp" "src/CMakeFiles/dnsbs_analysis.dir/analysis/teams.cpp.o" "gcc" "src/CMakeFiles/dnsbs_analysis.dir/analysis/teams.cpp.o.d"
+  "/root/repo/src/analysis/timeseries.cpp" "src/CMakeFiles/dnsbs_analysis.dir/analysis/timeseries.cpp.o" "gcc" "src/CMakeFiles/dnsbs_analysis.dir/analysis/timeseries.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dnsbs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dnsbs_labeling.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dnsbs_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dnsbs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dnsbs_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dnsbs_netdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dnsbs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dnsbs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsbs_analysis.dir/analysis/churn_analysis.cpp.o"
+  "CMakeFiles/dnsbs_analysis.dir/analysis/churn_analysis.cpp.o.d"
+  "CMakeFiles/dnsbs_analysis.dir/analysis/consistency.cpp.o"
+  "CMakeFiles/dnsbs_analysis.dir/analysis/consistency.cpp.o.d"
+  "CMakeFiles/dnsbs_analysis.dir/analysis/diurnal.cpp.o"
+  "CMakeFiles/dnsbs_analysis.dir/analysis/diurnal.cpp.o.d"
+  "CMakeFiles/dnsbs_analysis.dir/analysis/footprint.cpp.o"
+  "CMakeFiles/dnsbs_analysis.dir/analysis/footprint.cpp.o.d"
+  "CMakeFiles/dnsbs_analysis.dir/analysis/pipeline.cpp.o"
+  "CMakeFiles/dnsbs_analysis.dir/analysis/pipeline.cpp.o.d"
+  "CMakeFiles/dnsbs_analysis.dir/analysis/teams.cpp.o"
+  "CMakeFiles/dnsbs_analysis.dir/analysis/teams.cpp.o.d"
+  "CMakeFiles/dnsbs_analysis.dir/analysis/timeseries.cpp.o"
+  "CMakeFiles/dnsbs_analysis.dir/analysis/timeseries.cpp.o.d"
+  "libdnsbs_analysis.a"
+  "libdnsbs_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsbs_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/aggregate.cpp" "src/CMakeFiles/dnsbs_core.dir/core/aggregate.cpp.o" "gcc" "src/CMakeFiles/dnsbs_core.dir/core/aggregate.cpp.o.d"
+  "/root/repo/src/core/dedup.cpp" "src/CMakeFiles/dnsbs_core.dir/core/dedup.cpp.o" "gcc" "src/CMakeFiles/dnsbs_core.dir/core/dedup.cpp.o.d"
+  "/root/repo/src/core/dynamic_features.cpp" "src/CMakeFiles/dnsbs_core.dir/core/dynamic_features.cpp.o" "gcc" "src/CMakeFiles/dnsbs_core.dir/core/dynamic_features.cpp.o.d"
+  "/root/repo/src/core/feature_vector.cpp" "src/CMakeFiles/dnsbs_core.dir/core/feature_vector.cpp.o" "gcc" "src/CMakeFiles/dnsbs_core.dir/core/feature_vector.cpp.o.d"
+  "/root/repo/src/core/sensor.cpp" "src/CMakeFiles/dnsbs_core.dir/core/sensor.cpp.o" "gcc" "src/CMakeFiles/dnsbs_core.dir/core/sensor.cpp.o.d"
+  "/root/repo/src/core/static_features.cpp" "src/CMakeFiles/dnsbs_core.dir/core/static_features.cpp.o" "gcc" "src/CMakeFiles/dnsbs_core.dir/core/static_features.cpp.o.d"
+  "/root/repo/src/core/taxonomy.cpp" "src/CMakeFiles/dnsbs_core.dir/core/taxonomy.cpp.o" "gcc" "src/CMakeFiles/dnsbs_core.dir/core/taxonomy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dnsbs_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dnsbs_netdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dnsbs_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dnsbs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dnsbs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsbs_core.dir/core/aggregate.cpp.o"
+  "CMakeFiles/dnsbs_core.dir/core/aggregate.cpp.o.d"
+  "CMakeFiles/dnsbs_core.dir/core/dedup.cpp.o"
+  "CMakeFiles/dnsbs_core.dir/core/dedup.cpp.o.d"
+  "CMakeFiles/dnsbs_core.dir/core/dynamic_features.cpp.o"
+  "CMakeFiles/dnsbs_core.dir/core/dynamic_features.cpp.o.d"
+  "CMakeFiles/dnsbs_core.dir/core/feature_vector.cpp.o"
+  "CMakeFiles/dnsbs_core.dir/core/feature_vector.cpp.o.d"
+  "CMakeFiles/dnsbs_core.dir/core/sensor.cpp.o"
+  "CMakeFiles/dnsbs_core.dir/core/sensor.cpp.o.d"
+  "CMakeFiles/dnsbs_core.dir/core/static_features.cpp.o"
+  "CMakeFiles/dnsbs_core.dir/core/static_features.cpp.o.d"
+  "CMakeFiles/dnsbs_core.dir/core/taxonomy.cpp.o"
+  "CMakeFiles/dnsbs_core.dir/core/taxonomy.cpp.o.d"
+  "libdnsbs_core.a"
+  "libdnsbs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsbs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

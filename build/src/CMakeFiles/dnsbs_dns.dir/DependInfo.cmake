@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dns/cache.cpp" "src/CMakeFiles/dnsbs_dns.dir/dns/cache.cpp.o" "gcc" "src/CMakeFiles/dnsbs_dns.dir/dns/cache.cpp.o.d"
+  "/root/repo/src/dns/capture.cpp" "src/CMakeFiles/dnsbs_dns.dir/dns/capture.cpp.o" "gcc" "src/CMakeFiles/dnsbs_dns.dir/dns/capture.cpp.o.d"
+  "/root/repo/src/dns/json_log.cpp" "src/CMakeFiles/dnsbs_dns.dir/dns/json_log.cpp.o" "gcc" "src/CMakeFiles/dnsbs_dns.dir/dns/json_log.cpp.o.d"
+  "/root/repo/src/dns/name.cpp" "src/CMakeFiles/dnsbs_dns.dir/dns/name.cpp.o" "gcc" "src/CMakeFiles/dnsbs_dns.dir/dns/name.cpp.o.d"
+  "/root/repo/src/dns/query_log.cpp" "src/CMakeFiles/dnsbs_dns.dir/dns/query_log.cpp.o" "gcc" "src/CMakeFiles/dnsbs_dns.dir/dns/query_log.cpp.o.d"
+  "/root/repo/src/dns/reverse.cpp" "src/CMakeFiles/dnsbs_dns.dir/dns/reverse.cpp.o" "gcc" "src/CMakeFiles/dnsbs_dns.dir/dns/reverse.cpp.o.d"
+  "/root/repo/src/dns/wire.cpp" "src/CMakeFiles/dnsbs_dns.dir/dns/wire.cpp.o" "gcc" "src/CMakeFiles/dnsbs_dns.dir/dns/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dnsbs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dnsbs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsbs_dns.dir/dns/cache.cpp.o"
+  "CMakeFiles/dnsbs_dns.dir/dns/cache.cpp.o.d"
+  "CMakeFiles/dnsbs_dns.dir/dns/capture.cpp.o"
+  "CMakeFiles/dnsbs_dns.dir/dns/capture.cpp.o.d"
+  "CMakeFiles/dnsbs_dns.dir/dns/json_log.cpp.o"
+  "CMakeFiles/dnsbs_dns.dir/dns/json_log.cpp.o.d"
+  "CMakeFiles/dnsbs_dns.dir/dns/name.cpp.o"
+  "CMakeFiles/dnsbs_dns.dir/dns/name.cpp.o.d"
+  "CMakeFiles/dnsbs_dns.dir/dns/query_log.cpp.o"
+  "CMakeFiles/dnsbs_dns.dir/dns/query_log.cpp.o.d"
+  "CMakeFiles/dnsbs_dns.dir/dns/reverse.cpp.o"
+  "CMakeFiles/dnsbs_dns.dir/dns/reverse.cpp.o.d"
+  "CMakeFiles/dnsbs_dns.dir/dns/wire.cpp.o"
+  "CMakeFiles/dnsbs_dns.dir/dns/wire.cpp.o.d"
+  "libdnsbs_dns.a"
+  "libdnsbs_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsbs_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

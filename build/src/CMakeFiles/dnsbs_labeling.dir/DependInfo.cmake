@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/labeling/blacklist.cpp" "src/CMakeFiles/dnsbs_labeling.dir/labeling/blacklist.cpp.o" "gcc" "src/CMakeFiles/dnsbs_labeling.dir/labeling/blacklist.cpp.o.d"
+  "/root/repo/src/labeling/curator.cpp" "src/CMakeFiles/dnsbs_labeling.dir/labeling/curator.cpp.o" "gcc" "src/CMakeFiles/dnsbs_labeling.dir/labeling/curator.cpp.o.d"
+  "/root/repo/src/labeling/darknet.cpp" "src/CMakeFiles/dnsbs_labeling.dir/labeling/darknet.cpp.o" "gcc" "src/CMakeFiles/dnsbs_labeling.dir/labeling/darknet.cpp.o.d"
+  "/root/repo/src/labeling/ground_truth.cpp" "src/CMakeFiles/dnsbs_labeling.dir/labeling/ground_truth.cpp.o" "gcc" "src/CMakeFiles/dnsbs_labeling.dir/labeling/ground_truth.cpp.o.d"
+  "/root/repo/src/labeling/strategies.cpp" "src/CMakeFiles/dnsbs_labeling.dir/labeling/strategies.cpp.o" "gcc" "src/CMakeFiles/dnsbs_labeling.dir/labeling/strategies.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dnsbs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dnsbs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dnsbs_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dnsbs_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dnsbs_netdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dnsbs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dnsbs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

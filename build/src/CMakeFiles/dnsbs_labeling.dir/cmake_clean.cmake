@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsbs_labeling.dir/labeling/blacklist.cpp.o"
+  "CMakeFiles/dnsbs_labeling.dir/labeling/blacklist.cpp.o.d"
+  "CMakeFiles/dnsbs_labeling.dir/labeling/curator.cpp.o"
+  "CMakeFiles/dnsbs_labeling.dir/labeling/curator.cpp.o.d"
+  "CMakeFiles/dnsbs_labeling.dir/labeling/darknet.cpp.o"
+  "CMakeFiles/dnsbs_labeling.dir/labeling/darknet.cpp.o.d"
+  "CMakeFiles/dnsbs_labeling.dir/labeling/ground_truth.cpp.o"
+  "CMakeFiles/dnsbs_labeling.dir/labeling/ground_truth.cpp.o.d"
+  "CMakeFiles/dnsbs_labeling.dir/labeling/strategies.cpp.o"
+  "CMakeFiles/dnsbs_labeling.dir/labeling/strategies.cpp.o.d"
+  "libdnsbs_labeling.a"
+  "libdnsbs_labeling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsbs_labeling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/cart.cpp" "src/CMakeFiles/dnsbs_ml.dir/ml/cart.cpp.o" "gcc" "src/CMakeFiles/dnsbs_ml.dir/ml/cart.cpp.o.d"
+  "/root/repo/src/ml/crossval.cpp" "src/CMakeFiles/dnsbs_ml.dir/ml/crossval.cpp.o" "gcc" "src/CMakeFiles/dnsbs_ml.dir/ml/crossval.cpp.o.d"
+  "/root/repo/src/ml/dataset.cpp" "src/CMakeFiles/dnsbs_ml.dir/ml/dataset.cpp.o" "gcc" "src/CMakeFiles/dnsbs_ml.dir/ml/dataset.cpp.o.d"
+  "/root/repo/src/ml/forest.cpp" "src/CMakeFiles/dnsbs_ml.dir/ml/forest.cpp.o" "gcc" "src/CMakeFiles/dnsbs_ml.dir/ml/forest.cpp.o.d"
+  "/root/repo/src/ml/metrics.cpp" "src/CMakeFiles/dnsbs_ml.dir/ml/metrics.cpp.o" "gcc" "src/CMakeFiles/dnsbs_ml.dir/ml/metrics.cpp.o.d"
+  "/root/repo/src/ml/svm.cpp" "src/CMakeFiles/dnsbs_ml.dir/ml/svm.cpp.o" "gcc" "src/CMakeFiles/dnsbs_ml.dir/ml/svm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dnsbs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsbs_ml.dir/ml/cart.cpp.o"
+  "CMakeFiles/dnsbs_ml.dir/ml/cart.cpp.o.d"
+  "CMakeFiles/dnsbs_ml.dir/ml/crossval.cpp.o"
+  "CMakeFiles/dnsbs_ml.dir/ml/crossval.cpp.o.d"
+  "CMakeFiles/dnsbs_ml.dir/ml/dataset.cpp.o"
+  "CMakeFiles/dnsbs_ml.dir/ml/dataset.cpp.o.d"
+  "CMakeFiles/dnsbs_ml.dir/ml/forest.cpp.o"
+  "CMakeFiles/dnsbs_ml.dir/ml/forest.cpp.o.d"
+  "CMakeFiles/dnsbs_ml.dir/ml/metrics.cpp.o"
+  "CMakeFiles/dnsbs_ml.dir/ml/metrics.cpp.o.d"
+  "CMakeFiles/dnsbs_ml.dir/ml/svm.cpp.o"
+  "CMakeFiles/dnsbs_ml.dir/ml/svm.cpp.o.d"
+  "libdnsbs_ml.a"
+  "libdnsbs_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsbs_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

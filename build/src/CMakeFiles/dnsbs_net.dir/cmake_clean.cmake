@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsbs_net.dir/net/ipv4.cpp.o"
+  "CMakeFiles/dnsbs_net.dir/net/ipv4.cpp.o.d"
+  "CMakeFiles/dnsbs_net.dir/net/prefix_trie.cpp.o"
+  "CMakeFiles/dnsbs_net.dir/net/prefix_trie.cpp.o.d"
+  "libdnsbs_net.a"
+  "libdnsbs_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsbs_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdnsbs_net.a"
+)

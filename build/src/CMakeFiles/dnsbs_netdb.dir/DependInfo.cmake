@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netdb/as_db.cpp" "src/CMakeFiles/dnsbs_netdb.dir/netdb/as_db.cpp.o" "gcc" "src/CMakeFiles/dnsbs_netdb.dir/netdb/as_db.cpp.o.d"
+  "/root/repo/src/netdb/geo_db.cpp" "src/CMakeFiles/dnsbs_netdb.dir/netdb/geo_db.cpp.o" "gcc" "src/CMakeFiles/dnsbs_netdb.dir/netdb/geo_db.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dnsbs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dnsbs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsbs_netdb.dir/netdb/as_db.cpp.o"
+  "CMakeFiles/dnsbs_netdb.dir/netdb/as_db.cpp.o.d"
+  "CMakeFiles/dnsbs_netdb.dir/netdb/geo_db.cpp.o"
+  "CMakeFiles/dnsbs_netdb.dir/netdb/geo_db.cpp.o.d"
+  "libdnsbs_netdb.a"
+  "libdnsbs_netdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsbs_netdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

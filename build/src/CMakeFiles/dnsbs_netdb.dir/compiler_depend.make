@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dnsbs_netdb.
+# This may be replaced when dependencies are built.

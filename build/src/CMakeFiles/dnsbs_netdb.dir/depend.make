@@ -1,0 +1,2 @@
+# Empty dependencies file for dnsbs_netdb.
+# This may be replaced when dependencies are built.

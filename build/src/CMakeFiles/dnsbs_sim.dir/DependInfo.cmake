@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/address_plan.cpp" "src/CMakeFiles/dnsbs_sim.dir/sim/address_plan.cpp.o" "gcc" "src/CMakeFiles/dnsbs_sim.dir/sim/address_plan.cpp.o.d"
+  "/root/repo/src/sim/authority.cpp" "src/CMakeFiles/dnsbs_sim.dir/sim/authority.cpp.o" "gcc" "src/CMakeFiles/dnsbs_sim.dir/sim/authority.cpp.o.d"
+  "/root/repo/src/sim/churn.cpp" "src/CMakeFiles/dnsbs_sim.dir/sim/churn.cpp.o" "gcc" "src/CMakeFiles/dnsbs_sim.dir/sim/churn.cpp.o.d"
+  "/root/repo/src/sim/naming.cpp" "src/CMakeFiles/dnsbs_sim.dir/sim/naming.cpp.o" "gcc" "src/CMakeFiles/dnsbs_sim.dir/sim/naming.cpp.o.d"
+  "/root/repo/src/sim/originator.cpp" "src/CMakeFiles/dnsbs_sim.dir/sim/originator.cpp.o" "gcc" "src/CMakeFiles/dnsbs_sim.dir/sim/originator.cpp.o.d"
+  "/root/repo/src/sim/querier_population.cpp" "src/CMakeFiles/dnsbs_sim.dir/sim/querier_population.cpp.o" "gcc" "src/CMakeFiles/dnsbs_sim.dir/sim/querier_population.cpp.o.d"
+  "/root/repo/src/sim/resolver.cpp" "src/CMakeFiles/dnsbs_sim.dir/sim/resolver.cpp.o" "gcc" "src/CMakeFiles/dnsbs_sim.dir/sim/resolver.cpp.o.d"
+  "/root/repo/src/sim/scenario.cpp" "src/CMakeFiles/dnsbs_sim.dir/sim/scenario.cpp.o" "gcc" "src/CMakeFiles/dnsbs_sim.dir/sim/scenario.cpp.o.d"
+  "/root/repo/src/sim/traffic_engine.cpp" "src/CMakeFiles/dnsbs_sim.dir/sim/traffic_engine.cpp.o" "gcc" "src/CMakeFiles/dnsbs_sim.dir/sim/traffic_engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dnsbs_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dnsbs_netdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dnsbs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dnsbs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

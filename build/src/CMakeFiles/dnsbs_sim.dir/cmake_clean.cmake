@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsbs_sim.dir/sim/address_plan.cpp.o"
+  "CMakeFiles/dnsbs_sim.dir/sim/address_plan.cpp.o.d"
+  "CMakeFiles/dnsbs_sim.dir/sim/authority.cpp.o"
+  "CMakeFiles/dnsbs_sim.dir/sim/authority.cpp.o.d"
+  "CMakeFiles/dnsbs_sim.dir/sim/churn.cpp.o"
+  "CMakeFiles/dnsbs_sim.dir/sim/churn.cpp.o.d"
+  "CMakeFiles/dnsbs_sim.dir/sim/naming.cpp.o"
+  "CMakeFiles/dnsbs_sim.dir/sim/naming.cpp.o.d"
+  "CMakeFiles/dnsbs_sim.dir/sim/originator.cpp.o"
+  "CMakeFiles/dnsbs_sim.dir/sim/originator.cpp.o.d"
+  "CMakeFiles/dnsbs_sim.dir/sim/querier_population.cpp.o"
+  "CMakeFiles/dnsbs_sim.dir/sim/querier_population.cpp.o.d"
+  "CMakeFiles/dnsbs_sim.dir/sim/resolver.cpp.o"
+  "CMakeFiles/dnsbs_sim.dir/sim/resolver.cpp.o.d"
+  "CMakeFiles/dnsbs_sim.dir/sim/scenario.cpp.o"
+  "CMakeFiles/dnsbs_sim.dir/sim/scenario.cpp.o.d"
+  "CMakeFiles/dnsbs_sim.dir/sim/traffic_engine.cpp.o"
+  "CMakeFiles/dnsbs_sim.dir/sim/traffic_engine.cpp.o.d"
+  "libdnsbs_sim.a"
+  "libdnsbs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsbs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

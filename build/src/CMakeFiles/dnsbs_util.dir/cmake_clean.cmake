@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsbs_util.dir/util/log.cpp.o"
+  "CMakeFiles/dnsbs_util.dir/util/log.cpp.o.d"
+  "CMakeFiles/dnsbs_util.dir/util/rng.cpp.o"
+  "CMakeFiles/dnsbs_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/dnsbs_util.dir/util/stats.cpp.o"
+  "CMakeFiles/dnsbs_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/dnsbs_util.dir/util/strings.cpp.o"
+  "CMakeFiles/dnsbs_util.dir/util/strings.cpp.o.d"
+  "CMakeFiles/dnsbs_util.dir/util/table.cpp.o"
+  "CMakeFiles/dnsbs_util.dir/util/table.cpp.o.d"
+  "CMakeFiles/dnsbs_util.dir/util/time.cpp.o"
+  "CMakeFiles/dnsbs_util.dir/util/time.cpp.o.d"
+  "libdnsbs_util.a"
+  "libdnsbs_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsbs_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dns_cache_test.cpp" "tests/CMakeFiles/dns_test.dir/dns_cache_test.cpp.o" "gcc" "tests/CMakeFiles/dns_test.dir/dns_cache_test.cpp.o.d"
+  "/root/repo/tests/dns_capture_test.cpp" "tests/CMakeFiles/dns_test.dir/dns_capture_test.cpp.o" "gcc" "tests/CMakeFiles/dns_test.dir/dns_capture_test.cpp.o.d"
+  "/root/repo/tests/dns_json_log_test.cpp" "tests/CMakeFiles/dns_test.dir/dns_json_log_test.cpp.o" "gcc" "tests/CMakeFiles/dns_test.dir/dns_json_log_test.cpp.o.d"
+  "/root/repo/tests/dns_name_test.cpp" "tests/CMakeFiles/dns_test.dir/dns_name_test.cpp.o" "gcc" "tests/CMakeFiles/dns_test.dir/dns_name_test.cpp.o.d"
+  "/root/repo/tests/dns_query_log_test.cpp" "tests/CMakeFiles/dns_test.dir/dns_query_log_test.cpp.o" "gcc" "tests/CMakeFiles/dns_test.dir/dns_query_log_test.cpp.o.d"
+  "/root/repo/tests/dns_reverse_test.cpp" "tests/CMakeFiles/dns_test.dir/dns_reverse_test.cpp.o" "gcc" "tests/CMakeFiles/dns_test.dir/dns_reverse_test.cpp.o.d"
+  "/root/repo/tests/dns_wire_property_test.cpp" "tests/CMakeFiles/dns_test.dir/dns_wire_property_test.cpp.o" "gcc" "tests/CMakeFiles/dns_test.dir/dns_wire_property_test.cpp.o.d"
+  "/root/repo/tests/dns_wire_test.cpp" "tests/CMakeFiles/dns_test.dir/dns_wire_test.cpp.o" "gcc" "tests/CMakeFiles/dns_test.dir/dns_wire_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dnsbs_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dnsbs_labeling.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dnsbs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dnsbs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dnsbs_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dnsbs_netdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dnsbs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dnsbs_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dnsbs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dns_test.dir/dns_cache_test.cpp.o"
+  "CMakeFiles/dns_test.dir/dns_cache_test.cpp.o.d"
+  "CMakeFiles/dns_test.dir/dns_capture_test.cpp.o"
+  "CMakeFiles/dns_test.dir/dns_capture_test.cpp.o.d"
+  "CMakeFiles/dns_test.dir/dns_json_log_test.cpp.o"
+  "CMakeFiles/dns_test.dir/dns_json_log_test.cpp.o.d"
+  "CMakeFiles/dns_test.dir/dns_name_test.cpp.o"
+  "CMakeFiles/dns_test.dir/dns_name_test.cpp.o.d"
+  "CMakeFiles/dns_test.dir/dns_query_log_test.cpp.o"
+  "CMakeFiles/dns_test.dir/dns_query_log_test.cpp.o.d"
+  "CMakeFiles/dns_test.dir/dns_reverse_test.cpp.o"
+  "CMakeFiles/dns_test.dir/dns_reverse_test.cpp.o.d"
+  "CMakeFiles/dns_test.dir/dns_wire_property_test.cpp.o"
+  "CMakeFiles/dns_test.dir/dns_wire_property_test.cpp.o.d"
+  "CMakeFiles/dns_test.dir/dns_wire_test.cpp.o"
+  "CMakeFiles/dns_test.dir/dns_wire_test.cpp.o.d"
+  "dns_test"
+  "dns_test.pdb"
+  "dns_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dns_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_test.dir/ml_cart_test.cpp.o"
+  "CMakeFiles/ml_test.dir/ml_cart_test.cpp.o.d"
+  "CMakeFiles/ml_test.dir/ml_dataset_test.cpp.o"
+  "CMakeFiles/ml_test.dir/ml_dataset_test.cpp.o.d"
+  "CMakeFiles/ml_test.dir/ml_forest_svm_test.cpp.o"
+  "CMakeFiles/ml_test.dir/ml_forest_svm_test.cpp.o.d"
+  "CMakeFiles/ml_test.dir/ml_metrics_crossval_test.cpp.o"
+  "CMakeFiles/ml_test.dir/ml_metrics_crossval_test.cpp.o.d"
+  "CMakeFiles/ml_test.dir/ml_property_test.cpp.o"
+  "CMakeFiles/ml_test.dir/ml_property_test.cpp.o.d"
+  "ml_test"
+  "ml_test.pdb"
+  "ml_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

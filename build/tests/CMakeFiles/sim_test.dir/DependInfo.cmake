@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim_drift_test.cpp" "tests/CMakeFiles/sim_test.dir/sim_drift_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim_drift_test.cpp.o.d"
+  "/root/repo/tests/sim_engine_scenario_test.cpp" "tests/CMakeFiles/sim_test.dir/sim_engine_scenario_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim_engine_scenario_test.cpp.o.d"
+  "/root/repo/tests/sim_resolver_authority_test.cpp" "tests/CMakeFiles/sim_test.dir/sim_resolver_authority_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim_resolver_authority_test.cpp.o.d"
+  "/root/repo/tests/sim_world_test.cpp" "tests/CMakeFiles/sim_test.dir/sim_world_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim_world_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dnsbs_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dnsbs_labeling.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dnsbs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dnsbs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dnsbs_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dnsbs_netdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dnsbs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dnsbs_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dnsbs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsbs_cli.dir/dnsbs_cli.cpp.o"
+  "CMakeFiles/dnsbs_cli.dir/dnsbs_cli.cpp.o.d"
+  "dnsbs_cli"
+  "dnsbs_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsbs_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

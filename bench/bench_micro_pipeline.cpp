@@ -9,6 +9,7 @@
 #include "ml/forest.hpp"
 #include "net/prefix_trie.hpp"
 #include "sim/scenario.hpp"
+#include "util/parallel.hpp"
 
 namespace dnsbs {
 namespace {
@@ -120,6 +121,72 @@ void BM_QuerierNameClassification(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_QuerierNameClassification);
+
+void BM_AggregatorIngest(benchmark::State& state) {
+  // Aggregation hot loop in isolation (no dedup): exercises the
+  // SplitMix64-finalized IPv4 hash and the size-hint reserve.
+  const auto& records = world().records;
+  for (auto _ : state) {
+    core::OriginatorAggregator agg;
+    agg.reserve(records.size() / 8);
+    for (const auto& r : records) agg.add(r);
+    benchmark::DoNotOptimize(agg.originator_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(records.size()));
+}
+BENCHMARK(BM_AggregatorIngest);
+
+void BM_SensorIngestSharded(benchmark::State& state) {
+  // Sharded bulk ingest at 1/2/4 threads; identical output per shard count.
+  auto& w = world();
+  core::SensorConfig cfg;
+  cfg.threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    core::Sensor sensor(cfg, w.scenario.plan().as_db(), w.scenario.plan().geo_db(),
+                        w.scenario.naming());
+    sensor.ingest_all(w.records);
+    benchmark::DoNotOptimize(sensor.aggregator().originator_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(w.records.size()));
+}
+BENCHMARK(BM_SensorIngestSharded)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_ExtractFeaturesThreads(benchmark::State& state) {
+  auto& w = world();
+  core::SensorConfig cfg;
+  cfg.threads = static_cast<std::size_t>(state.range(0));
+  core::Sensor sensor(cfg, w.scenario.plan().as_db(), w.scenario.plan().geo_db(),
+                      w.scenario.naming());
+  sensor.ingest_all(w.records);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sensor.extract_features());
+  }
+}
+BENCHMARK(BM_ExtractFeaturesThreads)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_RandomForestFitThreads(benchmark::State& state) {
+  ml::Dataset data = core::make_dataset();
+  util::Rng rng(3);
+  for (int i = 0; i < 400; ++i) {
+    std::vector<double> row(core::kFeatureCount);
+    for (auto& v : row) v = rng.uniform();
+    data.add(std::move(row), rng.below(core::kAppClassCount));
+  }
+  util::set_thread_count(static_cast<std::size_t>(state.range(0)));
+  ml::ForestConfig cfg;
+  cfg.n_trees = 100;
+  for (auto _ : state) {
+    ml::RandomForest rf(cfg);
+    rf.fit(data);
+    benchmark::DoNotOptimize(rf.tree_count());
+  }
+  util::set_thread_count(0);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(cfg.n_trees));
+}
+BENCHMARK(BM_RandomForestFitThreads)->Arg(1)->Arg(2)->Arg(4);
 
 void BM_RandomForestPredict(benchmark::State& state) {
   // Train once on a small synthetic set; measure prediction latency.

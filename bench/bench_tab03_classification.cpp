@@ -3,10 +3,17 @@
 // repeated 60/40 cross-validation protocol.
 #include "common.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <functional>
 #include <iostream>
+#include <thread>
 
+#include "analysis/pipeline.hpp"
 #include "ml/cart.hpp"
 #include "ml/svm.hpp"
+#include "util/parallel.hpp"
 
 namespace dnsbs::bench {
 namespace {
@@ -81,7 +88,199 @@ DatasetRun build(const char* name, sim::ScenarioConfig config, std::size_t autho
   return DatasetRun{name, std::move(data)};
 }
 
+// ---------------------------------------------------------------------------
+// `--parallel` mode: the deterministic-parallelism baseline.  Sweeps thread
+// counts over (a) Random Forest training on a real curated dataset and
+// (b) end-to-end window processing (ingest -> features -> retrain ->
+// classify), checks that every thread count reproduces the serial output
+// exactly, and emits a machine-readable BENCH_parallel.json so the perf
+// trajectory across PRs has a seedable baseline.
+// ---------------------------------------------------------------------------
+
+double time_best_of(int reps, const std::function<void()>& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const std::chrono::duration<double> dt = std::chrono::steady_clock::now() - t0;
+    best = std::min(best, dt.count());
+  }
+  return best;
+}
+
+std::vector<std::size_t> sweep_thread_counts() {
+  std::vector<std::size_t> counts = {1, 2, 4};
+  const std::size_t n = util::configured_thread_count();
+  if (n > 4) counts.push_back(n);
+  return counts;
+}
+
+struct SweepPoint {
+  std::size_t threads;
+  double seconds;
+  double rate;  ///< trees/s or records/s
+};
+
+void print_sweep(const char* what, const char* rate_name,
+                 const std::vector<SweepPoint>& points, bool identical) {
+  std::printf("%s (output identical across thread counts: %s)\n", what,
+              identical ? "yes" : "NO - DETERMINISM VIOLATION");
+  for (const auto& p : points) {
+    std::printf("  threads=%zu  %.3fs  %s=%.0f  speedup=%.2fx\n", p.threads, p.seconds,
+                rate_name, p.rate, points.front().seconds / p.seconds);
+  }
+}
+
+void write_sweep_json(std::ostream& os, const char* name, const char* rate_name,
+                      const std::vector<SweepPoint>& points, bool identical) {
+  os << "  \"" << name << "\": {\n    \"identical_output\": "
+     << (identical ? "true" : "false") << ",\n    \"sweep\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& p = points[i];
+    os << "      {\"threads\": " << p.threads << ", \"seconds\": " << p.seconds
+       << ", \"" << rate_name << "\": " << p.rate
+       << ", \"speedup\": " << points.front().seconds / p.seconds << "}"
+       << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  os << "    ]\n  }";
+}
+
+int run_parallel_baseline(std::uint64_t seed, double scale, const std::string& json_path) {
+  print_header("Parallel execution baseline: RF training + windowed pipeline",
+               "perf baseline for the deterministic parallel layer",
+               "serial output is the reference; every thread count must "
+               "reproduce it byte-for-byte.");
+  const auto thread_counts = sweep_thread_counts();
+
+  // --- (a) Random Forest training on a curated backscatter dataset. -------
+  WorldRun world = run_world(sim::jp_ditl_config(seed, scale));
+  const auto labels = curate(world, 0, seed ^ 0xc0de);
+  auto [data, used] = labels.join(world.features[0]);
+  std::printf("RF dataset: %zu labeled examples, %zu features\n", data.size(),
+              data.feature_count());
+
+  ml::ForestConfig fc;
+  fc.n_trees = 200;
+  fc.seed = seed;
+
+  util::set_thread_count(1);
+  ml::RandomForest reference(fc);
+  reference.fit(data);
+  const auto reference_pred = reference.predict_all(data);
+  const auto reference_imp = reference.gini_importance();
+
+  std::vector<SweepPoint> rf_points;
+  bool rf_identical = true;
+  for (const std::size_t t : thread_counts) {
+    util::set_thread_count(t);
+    const double secs = time_best_of(3, [&] {
+      ml::RandomForest rf(fc);
+      rf.fit(data);
+    });
+    ml::RandomForest check(fc);
+    check.fit(data);
+    rf_identical = rf_identical && check.predict_all(data) == reference_pred &&
+                   check.gini_importance() == reference_imp;
+    rf_points.push_back({t, secs, static_cast<double>(fc.n_trees) / secs});
+  }
+  print_sweep("RF training", "trees/s", rf_points, rf_identical);
+
+  // --- (b) End-to-end window processing. ----------------------------------
+  // Pre-run the simulator once; the timed region is the sensor + ML side.
+  const std::size_t weeks = 4;
+  sim::Scenario scenario(sim::b_multi_year_config(seed + 1, weeks, scale));
+  labeling::Darknet darknet(labeling::default_darknet_prefixes());
+  scenario.engine().set_traffic_observer(&darknet);
+  std::vector<std::vector<dns::QueryRecord>> window_records;
+  std::size_t total_records = 0;
+  for (std::size_t w = 0; w < weeks; ++w) {
+    scenario.run_window(util::SimTime::weeks(static_cast<std::int64_t>(w)),
+                        util::SimTime::weeks(static_cast<std::int64_t>(w + 1)));
+    window_records.push_back(scenario.authority(0).records());
+    scenario.authority(0).clear_records();
+    total_records += window_records.back().size();
+  }
+  std::printf("\nwindow workload: %zu windows, %zu records\n", weeks, total_records);
+
+  analysis::WindowedPipelineConfig pc;
+  pc.sensor.min_queriers = 10;
+  pc.forest.n_trees = 100;
+  pc.seed = seed;
+
+  // Curate labels once, from a serial sensor pass over window 0.
+  util::set_thread_count(1);
+  labeling::GroundTruth window_labels;
+  {
+    core::Sensor sensor(pc.sensor, scenario.plan().as_db(), scenario.plan().geo_db(),
+                        scenario.naming());
+    sensor.ingest_all(window_records[0]);
+    util::Rng rng = util::Rng::stream(seed, 0xb1ac);
+    const auto blacklist = labeling::BlacklistSet::build(scenario.population(), {}, rng);
+    labeling::Curator curator(scenario, blacklist, darknet, {}, seed ^ 0xc0de);
+    window_labels = curator.curate(sensor.extract_features());
+  }
+  std::printf("window labels: %zu\n", window_labels.size());
+
+  const auto run_windows = [&](bool overlapped) {
+    analysis::WindowedPipeline pipeline(pc, scenario.plan().as_db(),
+                                        scenario.plan().geo_db(), scenario.naming());
+    pipeline.set_labels(window_labels);
+    for (std::size_t w = 0; w < weeks; ++w) {
+      const auto t0 = util::SimTime::weeks(static_cast<std::int64_t>(w));
+      const auto t1 = util::SimTime::weeks(static_cast<std::int64_t>(w + 1));
+      if (overlapped) {
+        pipeline.enqueue_window(window_records[w], t0, t1);
+      } else {
+        pipeline.process_window(window_records[w], t0, t1);
+      }
+    }
+    pipeline.finish();
+    return pipeline.results();
+  };
+
+  util::set_thread_count(1);
+  const auto reference_results = run_windows(false);
+
+  std::vector<SweepPoint> win_points;
+  bool win_identical = true;
+  for (const std::size_t t : thread_counts) {
+    util::set_thread_count(t);
+    const bool overlapped = t > 1;
+    const double secs = time_best_of(2, [&] { run_windows(overlapped); });
+    const auto check = run_windows(overlapped);
+    bool same = check.size() == reference_results.size();
+    for (std::size_t w = 0; same && w < check.size(); ++w) {
+      same = check[w].classes == reference_results[w].classes &&
+             check[w].footprints == reference_results[w].footprints;
+    }
+    win_identical = win_identical && same;
+    win_points.push_back({t, secs, static_cast<double>(total_records) / secs});
+  }
+  print_sweep("window pipeline", "records/s", win_points, win_identical);
+  util::set_thread_count(0);
+
+  std::ofstream json(json_path);
+  json << "{\n  \"bench\": \"parallel_baseline\",\n  \"seed\": " << seed
+       << ",\n  \"scale\": " << scale
+       << ",\n  \"hardware_threads\": " << std::thread::hardware_concurrency()
+       << ",\n  \"rf_examples\": " << data.size()
+       << ",\n  \"rf_trees\": " << fc.n_trees
+       << ",\n  \"window_count\": " << weeks
+       << ",\n  \"window_records\": " << total_records << ",\n";
+  write_sweep_json(json, "rf_training", "trees_per_s", rf_points, rf_identical);
+  json << ",\n";
+  write_sweep_json(json, "window_pipeline", "records_per_s", win_points, win_identical);
+  json << "\n}\n";
+  std::printf("\nwrote %s\n", json_path.c_str());
+  return rf_identical && win_identical ? 0 : 1;
+}
+
 int run(int argc, char** argv) {
+  if (arg_flag(argc, argv, "--parallel")) {
+    return run_parallel_baseline(
+        arg_seed(argc, argv, 7), arg_scale(argc, argv, 0.25),
+        arg_str(argc, argv, "--json", "BENCH_parallel.json"));
+  }
   print_header("Table III: validating classification against labeled ground truth",
                "Fukuda & Heidemann, IMC'15 / TON'17, Table III",
                "mean (stddev) over repeated random 60%/40% splits; RF should "

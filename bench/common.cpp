@@ -25,6 +25,18 @@ std::uint64_t arg_seed(int argc, char** argv, std::uint64_t fallback) {
   return v ? std::strtoull(v, nullptr, 10) : fallback;
 }
 
+bool arg_flag(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return true;
+  }
+  return false;
+}
+
+std::string arg_str(int argc, char** argv, const char* name, std::string fallback) {
+  const char* v = find_arg(argc, argv, name);
+  return v ? std::string(v) : fallback;
+}
+
 WorldRun run_world(sim::ScenarioConfig config, core::SensorConfig sensor_config) {
   WorldRun world;
   const std::uint64_t seed = config.seed;

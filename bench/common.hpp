@@ -27,6 +27,12 @@ double arg_scale(int argc, char** argv, double fallback);
 /// Optional `--seed N`.
 std::uint64_t arg_seed(int argc, char** argv, std::uint64_t fallback);
 
+/// True when the bare flag (e.g. `--parallel`) is present.
+bool arg_flag(int argc, char** argv, const char* name);
+
+/// Optional string argument (e.g. `--json PATH`).
+std::string arg_str(int argc, char** argv, const char* name, std::string fallback);
+
 /// A fully-run scenario with per-authority sensor output.
 struct WorldRun {
   std::unique_ptr<sim::Scenario> scenario;

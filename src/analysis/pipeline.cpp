@@ -7,10 +7,26 @@ WindowedPipeline::WindowedPipeline(WindowedPipelineConfig config,
                                    const core::QuerierResolver& resolver)
     : config_(config), as_db_(as_db), geo_db_(geo_db), resolver_(resolver) {}
 
-const WindowResult& WindowedPipeline::process_window(
-    std::span<const dns::QueryRecord> records, util::SimTime start, util::SimTime end) {
+WindowedPipeline::~WindowedPipeline() {
+  // Swallow a pending exception: it already surfaced (or will) via the
+  // finish() the caller owed us; destruction must not throw.
+  if (pending_.valid()) {
+    try {
+      pending_.get();
+    } catch (...) {
+    }
+  }
+}
+
+void WindowedPipeline::finish() {
+  if (pending_.valid()) pending_.get();
+}
+
+void WindowedPipeline::enqueue_window(std::span<const dns::QueryRecord> records,
+                                      util::SimTime start, util::SimTime end) {
   // 1. Sensor pass over this window only (fresh caches/aggregates: the
-  //    paper's per-interval feature vectors).
+  //    paper's per-interval feature vectors).  Runs in the calling thread,
+  //    overlapping the previous window's train+classify task.
   core::Sensor sensor(config_.sensor, as_db_, geo_db_, resolver_);
   sensor.ingest_all(records);
 
@@ -19,8 +35,31 @@ const WindowResult& WindowedPipeline::process_window(
   observation.end = end;
   observation.features = sensor.extract_features();
 
-  // 2. Retrain on the labeled examples re-appearing in this window, when
-  //    there are enough of them; else keep yesterday's boundary (§V-C).
+  // 2. Join the previous window before touching shared state: train and
+  //    classify steps must run strictly in window order (the model carries
+  //    over when a window is too thin to retrain).
+  finish();
+
+  const std::size_t index = results_.size();
+  observations_.push_back(std::move(observation));
+  WindowResult result;
+  result.index = index;
+  result.start = start;
+  result.end = end;
+  results_.push_back(std::move(result));
+
+  // 3. Retrain + classify on a background task; the caller is free to
+  //    ingest the next window meanwhile.  The task only touches
+  //    observations_[index], results_[index], labels_ (read) and model_ —
+  //    none of which step 1 of the next enqueue reads or moves.
+  pending_ = std::async(std::launch::async, [this, index] { train_and_classify(index); });
+}
+
+void WindowedPipeline::train_and_classify(std::size_t index) {
+  const labeling::WindowObservation& observation = observations_[index];
+
+  // Retrain on the labeled examples re-appearing in this window, when
+  // there are enough of them; else keep yesterday's boundary (§V-C).
   auto [train, used] = labels_.join(observation.features);
   std::size_t populated = 0;
   for (const std::size_t c : train.class_counts()) {
@@ -28,16 +67,13 @@ const WindowResult& WindowedPipeline::process_window(
   }
   if (populated >= config_.min_classes) {
     ml::ForestConfig fc = config_.forest;
-    fc.seed = config_.seed ^ (0x9e3779b97f4a7c15ULL * (results_.size() + 1));
+    fc.seed = config_.seed ^ (0x9e3779b97f4a7c15ULL * (index + 1));
     model_ = std::make_unique<ml::RandomForest>(fc);
     model_->fit(train);
   }
 
-  // 3. Classify everything detected.
-  WindowResult result;
-  result.index = results_.size();
-  result.start = start;
-  result.end = end;
+  // Classify everything detected.
+  WindowResult& result = results_[index];
   if (model_) {
     for (const auto& fv : observation.features) {
       result.classes[fv.originator] =
@@ -45,8 +81,12 @@ const WindowResult& WindowedPipeline::process_window(
       result.footprints[fv.originator] = fv.footprint;
     }
   }
-  observations_.push_back(std::move(observation));
-  results_.push_back(std::move(result));
+}
+
+const WindowResult& WindowedPipeline::process_window(
+    std::span<const dns::QueryRecord> records, util::SimTime start, util::SimTime end) {
+  enqueue_window(records, start, end);
+  finish();
   return results_.back();
 }
 

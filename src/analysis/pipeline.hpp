@@ -9,6 +9,7 @@
 // window so operators and the longitudinal benches share one code path.
 #pragma once
 
+#include <future>
 #include <memory>
 #include <span>
 #include <vector>
@@ -35,31 +36,62 @@ class WindowedPipeline {
  public:
   WindowedPipeline(WindowedPipelineConfig config, const netdb::AsDb& as_db,
                    const netdb::GeoDb& geo_db, const core::QuerierResolver& resolver);
+  ~WindowedPipeline();
 
   /// Installs (or replaces) the curated labeled set; typically called
   /// once after the first curation and again at re-curation dates.
-  void set_labels(labeling::GroundTruth labels) { labels_ = std::move(labels); }
+  /// Joins any in-flight window first.
+  void set_labels(labeling::GroundTruth labels) {
+    finish();
+    labels_ = std::move(labels);
+  }
   const labeling::GroundTruth& labels() const noexcept { return labels_; }
 
   /// Processes one window's query records: sensor pass, optional retrain
   /// on re-appearing labeled examples, classification of every detected
   /// originator.  Returns the window's result (also retained internally).
+  /// Equivalent to enqueue_window() + finish().
   const WindowResult& process_window(std::span<const dns::QueryRecord> records,
                                      util::SimTime start, util::SimTime end);
 
-  /// All windows processed so far, in order.
-  const std::vector<WindowResult>& results() const noexcept { return results_; }
+  /// Pipelined variant: runs this window's sensor pass in the calling
+  /// thread while the *previous* window's retrain + classification still
+  /// runs on a background task, then hands this window to the background
+  /// task chain.  Train/classify steps execute strictly in window order,
+  /// so results are byte-identical to repeated process_window() calls.
+  /// Call finish() (or any accessor that implies it) before reading
+  /// results of the last enqueued window.
+  void enqueue_window(std::span<const dns::QueryRecord> records, util::SimTime start,
+                      util::SimTime end);
+
+  /// Joins the in-flight window, if any; rethrows its exception.
+  void finish();
+
+  /// All windows processed so far, in order.  Joins in-flight work.
+  const std::vector<WindowResult>& results() {
+    finish();
+    return results_;
+  }
 
   /// The per-window sensor observations (feature vectors), kept for
-  /// strategy evaluation and re-curation.
-  const std::vector<labeling::WindowObservation>& observations() const noexcept {
+  /// strategy evaluation and re-curation.  Joins in-flight work.
+  const std::vector<labeling::WindowObservation>& observations() {
+    finish();
     return observations_;
   }
 
   /// True if a usable model exists (training has succeeded at least once).
-  bool has_model() const noexcept { return model_ != nullptr; }
+  /// Joins in-flight work (the model is trained on the background task).
+  bool has_model() {
+    finish();
+    return model_ != nullptr;
+  }
 
  private:
+  /// Retrain-if-possible + classify for window `index`; runs on the
+  /// background task chain, strictly in window order.
+  void train_and_classify(std::size_t index);
+
   WindowedPipelineConfig config_;
   const netdb::AsDb& as_db_;
   const netdb::GeoDb& geo_db_;
@@ -68,6 +100,9 @@ class WindowedPipeline {
   std::unique_ptr<ml::RandomForest> model_;
   std::vector<WindowResult> results_;
   std::vector<labeling::WindowObservation> observations_;
+  /// The previous window's train+classify task; joined before the next
+  /// window mutates shared state.
+  std::future<void> pending_;
 };
 
 }  // namespace dnsbs::analysis

@@ -40,6 +40,19 @@ class OriginatorAggregator {
 
   void add(const dns::QueryRecord& record);
 
+  /// Pre-sizes the aggregates map for an expected originator count so a
+  /// bulk ingest does not rehash repeatedly.
+  void reserve(std::size_t expected_originators) {
+    aggregates_.reserve(expected_originators);
+  }
+
+  /// Folds another aggregator (same period width) into this one.  Used by
+  /// the sharded ingest path: shards are disjoint by originator, so
+  /// per-originator state moves over unchanged; interval-wide period sets
+  /// union.  The merged result is identical to having ingested every
+  /// record serially.
+  void merge_from(OriginatorAggregator&& other);
+
   std::size_t originator_count() const noexcept { return aggregates_.size(); }
 
   /// Distinct 10-minute periods observed across the whole interval

@@ -1,5 +1,7 @@
 #include "core/dedup.hpp"
 
+#include <algorithm>
+
 namespace dnsbs::core {
 
 bool Deduplicator::admit(const dns::QueryRecord& record) {
@@ -17,11 +19,38 @@ bool Deduplicator::admit(const dns::QueryRecord& record) {
   pass ? ++admitted_ : ++suppressed_;
   // Periodically drop stale entries so long runs don't accumulate state
   // for queriers that went quiet.
-  if (record.time - last_prune_ > window_ + window_) {
-    prune(record.time);
-    last_prune_ = record.time;
-  }
+  catch_up_prune(record.time);
   return pass;
+}
+
+void Deduplicator::catch_up_prune(util::SimTime now) {
+  // Prunes trigger on fixed 2*window boundaries of the virtual clock, not
+  // on stream-relative gaps: the retained entry set is then a function of
+  // the record times alone, so shard-local subsequences converge to the
+  // same state as a serial pass (the stale entries a missed boundary would
+  // have dropped are caught up at the shard's next boundary or by the
+  // sensor's final catch_up_prune).
+  const std::int64_t stride = 2 * window_.secs();
+  if (stride <= 0) return;
+  const std::int64_t interval = now.secs() / stride;
+  if (interval > last_prune_interval_) {
+    prune(util::SimTime::seconds(interval * stride));
+    last_prune_interval_ = interval;
+  }
+}
+
+void Deduplicator::merge_from(Deduplicator&& other) {
+  last_seen_.reserve(last_seen_.size() + other.last_seen_.size());
+  for (const auto& [key, time] : other.last_seen_) {
+    auto [it, inserted] = last_seen_.try_emplace(key, time);
+    if (!inserted) it->second = std::max(it->second, time);
+  }
+  admitted_ += other.admitted_;
+  suppressed_ += other.suppressed_;
+  last_prune_interval_ = std::max(last_prune_interval_, other.last_prune_interval_);
+  other.last_seen_.clear();
+  other.admitted_ = 0;
+  other.suppressed_ = 0;
 }
 
 void Deduplicator::prune(util::SimTime now) {

@@ -26,6 +26,18 @@ class Deduplicator {
   /// (querier, originator) pair within the window).
   bool admit(const dns::QueryRecord& record);
 
+  /// Folds another deduplicator's state (same window) into this one.
+  /// Used by the sharded ingest path: shards are disjoint by originator,
+  /// so (querier, originator) pair entries never collide and the merged
+  /// window state matches a serial ingest.
+  void merge_from(Deduplicator&& other);
+
+  /// Applies any prune the clock has reached by `now`.  admit() calls this
+  /// with every record time; a sharded ingest calls it on each shard with
+  /// the batch's final time so the merged window state retains exactly the
+  /// entries a serial pass over the same (time-ordered) records would.
+  void catch_up_prune(util::SimTime now);
+
   std::uint64_t admitted() const noexcept { return admitted_; }
   std::uint64_t suppressed() const noexcept { return suppressed_; }
 
@@ -49,7 +61,7 @@ class Deduplicator {
 
   util::SimTime window_;
   std::unordered_map<PairKey, util::SimTime, PairHash> last_seen_;
-  util::SimTime last_prune_{};
+  std::int64_t last_prune_interval_ = 0;
   std::uint64_t admitted_ = 0;
   std::uint64_t suppressed_ = 0;
 };

@@ -1,6 +1,16 @@
 #include "core/sensor.hpp"
 
+#include <algorithm>
+
+#include "util/parallel.hpp"
+
 namespace dnsbs::core {
+namespace {
+
+/// Below this batch size the shard bookkeeping costs more than it saves.
+constexpr std::size_t kMinShardedBatch = 4096;
+
+}  // namespace
 
 Sensor::Sensor(SensorConfig config, const netdb::AsDb& as_db, const netdb::GeoDb& geo_db,
                const QuerierResolver& resolver)
@@ -15,35 +25,103 @@ void Sensor::ingest(const dns::QueryRecord& record) {
   if (dedup_.admit(record)) aggregator_.add(record);
 }
 
+void Sensor::ingest_all(std::span<const dns::QueryRecord> records) {
+  const std::size_t threads =
+      config_.threads != 0 ? config_.threads : util::configured_thread_count();
+  // Sharding assumes no pre-existing window state (a pair first seen via
+  // ingest() must keep suppressing sharded records), so only a fresh
+  // sensor takes the parallel path.
+  const bool fresh = dedup_.state_size() == 0 && aggregator_.originator_count() == 0;
+  if (threads <= 1 || records.size() < kMinShardedBatch || !fresh ||
+      util::in_parallel_region()) {
+    aggregator_.reserve(records.size() / 8);
+    for (const auto& r : records) ingest(r);
+    return;
+  }
+
+  // Partition record indices by originator shard.  All records of one
+  // originator (hence of one dedup pair) land in one shard, in their
+  // original relative order, so per-shard dedup decisions match serial.
+  const std::size_t shards = threads;
+  const std::hash<net::IPv4Addr> hasher;
+  std::vector<std::vector<std::uint32_t>> buckets(shards);
+  for (auto& b : buckets) b.reserve(records.size() / shards + 16);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    buckets[hasher(records[i].originator) % shards].push_back(
+        static_cast<std::uint32_t>(i));
+  }
+
+  struct Shard {
+    Deduplicator dedup;
+    OriginatorAggregator agg;
+    Shard(util::SimTime window, util::SimTime period) : dedup(window), agg(period) {}
+  };
+  std::vector<Shard> shard_state;
+  shard_state.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    shard_state.emplace_back(config_.dedup_window, config_.persistence_period);
+  }
+
+  // Shards see only a subsequence of the clock, so each one finishes by
+  // pruning up to the batch's final time; the merged dedup state then
+  // retains exactly the entries a serial pass would (records are assumed
+  // time-ordered, as dedup semantics already require).
+  util::SimTime batch_end{};
+  for (const auto& r : records) batch_end = std::max(batch_end, r.time);
+
+  util::parallel_for(
+      shards,
+      [&](std::size_t s) {
+        Shard& shard = shard_state[s];
+        shard.agg.reserve(buckets[s].size() / 8);
+        for (const std::uint32_t idx : buckets[s]) {
+          const dns::QueryRecord& r = records[idx];
+          if (shard.dedup.admit(r)) shard.agg.add(r);
+        }
+        shard.dedup.catch_up_prune(batch_end);
+      },
+      threads);
+
+  // Ordered merge (shard 0..W-1) back into the sensor's own state, so
+  // later ingest() calls continue from the same window state as serial.
+  for (Shard& shard : shard_state) {
+    dedup_.merge_from(std::move(shard.dedup));
+    aggregator_.merge_from(std::move(shard.agg));
+  }
+}
+
 std::vector<FeatureVector> Sensor::extract_features() const {
   const auto interesting =
       aggregator_.select_interesting(config_.min_queriers, config_.top_n);
   const DynamicFeatureExtractor dyn(as_db_, geo_db_, aggregator_);
 
-  std::vector<FeatureVector> out;
-  out.reserve(interesting.size());
-  for (const OriginatorAggregate* agg : interesting) {
-    FeatureVector fv;
-    fv.originator = agg->originator;
-    fv.footprint = agg->unique_queriers();
-    fv.statics = compute_static_features(*agg, resolver_);
-    fv.dynamics = dyn.extract(*agg);
-    out.push_back(std::move(fv));
-  }
-  return out;
+  // Per-originator extraction is pure (resolver and databases are
+  // read-only), so rows compute in parallel; ordering follows the
+  // footprint-sorted `interesting` list either way.
+  return util::parallel_map(
+      interesting.size(),
+      [&](std::size_t i) {
+        const OriginatorAggregate* agg = interesting[i];
+        FeatureVector fv;
+        fv.originator = agg->originator;
+        fv.footprint = agg->unique_queriers();
+        fv.statics = compute_static_features(*agg, resolver_);
+        fv.dynamics = dyn.extract(*agg);
+        return fv;
+      },
+      config_.threads);
 }
 
 std::vector<ClassifiedOriginator> classify_all(std::span<const FeatureVector> features,
                                                const ml::Classifier& model) {
-  std::vector<ClassifiedOriginator> out;
-  out.reserve(features.size());
-  for (const auto& fv : features) {
+  // Classifier::predict is const and stateless across calls, so rows
+  // classify in parallel with row-ordered results.
+  return util::parallel_map(features.size(), [&](std::size_t i) {
     ClassifiedOriginator c;
-    c.features = fv;
-    c.predicted = static_cast<AppClass>(model.predict(fv.row()));
-    out.push_back(std::move(c));
-  }
-  return out;
+    c.features = features[i];
+    c.predicted = static_cast<AppClass>(model.predict(features[i].row()));
+    return c;
+  });
 }
 
 }  // namespace dnsbs::core

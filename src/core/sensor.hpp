@@ -26,6 +26,10 @@ struct SensorConfig {
   util::SimTime dedup_window = util::SimTime::seconds(30);
   /// Persistence bucket (paper: 10 minutes).
   util::SimTime persistence_period = util::SimTime::minutes(10);
+  /// Worker threads for bulk ingest and feature extraction; 0 defers to
+  /// util::configured_thread_count() (the DNSBS_THREADS knob).  Output is
+  /// byte-identical for every setting.
+  std::size_t threads = 0;
 };
 
 class Sensor {
@@ -37,9 +41,12 @@ class Sensor {
   /// time-ordered, as they do from a capture point).
   void ingest(const dns::QueryRecord& record);
 
-  void ingest_all(std::span<const dns::QueryRecord> records) {
-    for (const auto& r : records) ingest(r);
-  }
+  /// Bulk ingest.  On a fresh sensor with multiple threads configured,
+  /// records are sharded by hash(originator) so dedup + aggregation run
+  /// per-shard in parallel and merge afterwards; every (querier,
+  /// originator) pair lives in exactly one shard, so the result is
+  /// identical to serial ingestion.
+  void ingest_all(std::span<const dns::QueryRecord> records);
 
   /// Selects interesting originators and computes their feature vectors,
   /// ordered by footprint descending.  Call once ingestion is complete.

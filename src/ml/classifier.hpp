@@ -27,8 +27,10 @@ class Classifier {
   /// Human-readable algorithm name ("CART", "RF", "SVM").
   virtual std::string name() const = 0;
 
-  /// Predicts a batch.
-  std::vector<std::size_t> predict_all(const Dataset& data) const {
+  /// Predicts a batch, ordered by row.  The default is the serial loop;
+  /// models whose predict() is safe to call concurrently (RF) override
+  /// this with a data-parallel version.
+  virtual std::vector<std::size_t> predict_all(const Dataset& data) const {
     std::vector<std::size_t> out;
     out.reserve(data.size());
     for (std::size_t i = 0; i < data.size(); ++i) out.push_back(predict(data.row(i)));

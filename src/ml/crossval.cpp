@@ -1,30 +1,43 @@
 #include "ml/crossval.hpp"
 
+#include <optional>
 #include <vector>
 
+#include "ml/forest.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 
 namespace dnsbs::ml {
 
 MetricSummary cross_validate(const Dataset& data, const ModelFactory& factory,
                              const CrossValConfig& config) {
-  util::Rng rng(config.seed);
+  // Every repetition derives its split RNG and model seed from
+  // (config.seed, rep) alone, so reps are independent work items and the
+  // summary is byte-identical for any thread count.
+  const auto per_rep = util::parallel_map(
+      config.repetitions, [&](std::size_t rep) -> std::optional<Metrics> {
+        util::Rng rng = util::Rng::stream(config.seed, 0xc5a1 + rep);
+        const auto [train_idx, test_idx] =
+            data.stratified_split(rng, config.train_fraction);
+        const Dataset train = data.subset(train_idx);
+        const Dataset test = data.subset(test_idx);
+        if (train.empty() || test.empty()) return std::nullopt;
+
+        auto model = factory(config.seed * 1000003ULL + rep);
+        model->fit(train);
+
+        ConfusionMatrix cm(data.class_count());
+        const auto predicted = model->predict_all(test);
+        for (std::size_t i = 0; i < test.size(); ++i) {
+          cm.add(test.label(i), predicted[i]);
+        }
+        return compute_metrics(cm);
+      });
+
   std::vector<Metrics> runs;
-  runs.reserve(config.repetitions);
-  for (std::size_t rep = 0; rep < config.repetitions; ++rep) {
-    const auto [train_idx, test_idx] = data.stratified_split(rng, config.train_fraction);
-    const Dataset train = data.subset(train_idx);
-    const Dataset test = data.subset(test_idx);
-    if (train.empty() || test.empty()) continue;
-
-    auto model = factory(config.seed * 1000003ULL + rep);
-    model->fit(train);
-
-    ConfusionMatrix cm(data.class_count());
-    for (std::size_t i = 0; i < test.size(); ++i) {
-      cm.add(test.label(i), model->predict(test.row(i)));
-    }
-    runs.push_back(compute_metrics(cm));
+  runs.reserve(per_rep.size());
+  for (const auto& m : per_rep) {
+    if (m) runs.push_back(*m);
   }
   return summarize(runs);
 }
@@ -33,13 +46,13 @@ VotingClassifier::VotingClassifier(ModelFactory factory, std::size_t votes, std:
     : factory_(std::move(factory)), votes_(votes == 0 ? 1 : votes), seed_(seed) {}
 
 void VotingClassifier::fit(const Dataset& train) {
-  members_.clear();
   class_count_ = train.class_count();
-  for (std::size_t v = 0; v < votes_; ++v) {
+  // Members are seeded independently, so they train as parallel work items.
+  members_ = util::parallel_map(votes_, [&](std::size_t v) {
     auto member = factory_(seed_ ^ (0x9e3779b97f4a7c15ULL * (v + 1)));
     member->fit(train);
-    members_.push_back(std::move(member));
-  }
+    return member;
+  });
 }
 
 std::size_t VotingClassifier::predict(std::span<const double> features) const {
@@ -48,11 +61,12 @@ std::size_t VotingClassifier::predict(std::span<const double> features) const {
     const std::size_t y = member->predict(features);
     if (y < tally.size()) ++tally[y];
   }
-  std::size_t best = 0;
-  for (std::size_t k = 1; k < tally.size(); ++k) {
-    if (tally[k] > tally[best]) best = k;
-  }
-  return best;
+  return majority_vote(tally);
+}
+
+std::vector<std::size_t> VotingClassifier::predict_all(const Dataset& data) const {
+  return util::parallel_map(data.size(),
+                            [&](std::size_t i) { return predict(data.row(i)); });
 }
 
 std::string VotingClassifier::name() const {

@@ -37,6 +37,7 @@ class VotingClassifier final : public Classifier {
 
   void fit(const Dataset& train) override;
   std::size_t predict(std::span<const double> features) const override;
+  std::vector<std::size_t> predict_all(const Dataset& data) const override;
   std::string name() const override;
 
  private:

@@ -1,15 +1,28 @@
 #include "ml/forest.hpp"
 
+#include <cassert>
 #include <cmath>
 
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 
 namespace dnsbs::ml {
+
+std::size_t majority_vote(std::span<const std::size_t> votes) noexcept {
+  std::size_t best = 0;
+  for (std::size_t k = 1; k < votes.size(); ++k) {
+    // Strict > keeps ties on the lower class index: deterministic and
+    // consistent with the paper's majority-vote description (§III-D).
+    if (votes[k] > votes[best]) best = k;
+  }
+  return best;
+}
 
 void RandomForest::fit(const Dataset& train) {
   trees_.clear();
   class_count_ = train.class_count();
   feature_count_ = train.feature_count();
+  if (train.empty() || config_.n_trees == 0) return;
   const std::size_t max_features =
       config_.max_features != 0
           ? config_.max_features
@@ -17,7 +30,8 @@ void RandomForest::fit(const Dataset& train) {
                 1, static_cast<std::size_t>(
                        std::sqrt(static_cast<double>(train.feature_count()))));
 
-  // For the balanced bootstrap: index examples by class.
+  // For the balanced bootstrap: index examples by class (shared, read-only
+  // across the per-tree workers).
   std::vector<std::vector<std::size_t>> by_class;
   if (config_.balanced_bootstrap) {
     by_class.resize(train.class_count());
@@ -27,10 +41,10 @@ void RandomForest::fit(const Dataset& train) {
     std::erase_if(by_class, [](const auto& members) { return members.empty(); });
   }
 
-  util::Rng boot_rng = util::Rng::stream(config_.seed, 0xb007);
-  trees_.reserve(config_.n_trees);
-  std::vector<std::size_t> sample(train.size());
-  for (std::size_t t = 0; t < config_.n_trees; ++t) {
+  // Each tree derives both its bootstrap stream and its split seed from
+  // (config seed, tree index) alone, so trees are independent work items
+  // and the forest is byte-identical however they are scheduled.
+  trees_ = util::parallel_map(config_.n_trees, [&](std::size_t t) {
     CartConfig cc;
     cc.max_depth = config_.max_depth;
     cc.min_samples_leaf = config_.min_samples_leaf;
@@ -38,6 +52,8 @@ void RandomForest::fit(const Dataset& train) {
     cc.seed = util::SplitMix64(config_.seed ^ (t * 0x9e3779b97f4a7c15ULL + 1)).next();
     CartTree tree(cc);
     // Bootstrap: n draws with replacement (optionally class-balanced).
+    util::Rng boot_rng = util::Rng::stream(config_.seed, 0xb007 + t);
+    std::vector<std::size_t> sample(train.size());
     if (config_.balanced_bootstrap && !by_class.empty()) {
       for (auto& s : sample) {
         const auto& members = by_class[boot_rng.below(by_class.size())];
@@ -47,8 +63,8 @@ void RandomForest::fit(const Dataset& train) {
       for (auto& s : sample) s = boot_rng.below(train.size());
     }
     tree.fit_indices(train, sample);
-    trees_.push_back(std::move(tree));
-  }
+    return tree;
+  });
 }
 
 std::size_t RandomForest::predict(std::span<const double> features) const {
@@ -56,13 +72,18 @@ std::size_t RandomForest::predict(std::span<const double> features) const {
   std::vector<std::size_t> votes(class_count_ == 0 ? 1 : class_count_, 0);
   for (const auto& tree : trees_) {
     const std::size_t y = tree.predict(features);
+    // A tree predicting a class the forest was not trained on means the
+    // model is corrupted (stale trees_ vs class_count_); fail loudly in
+    // debug builds instead of silently dropping the vote.
+    assert(y < votes.size() && "RandomForest: tree vote outside class range");
     if (y < votes.size()) ++votes[y];
   }
-  std::size_t best = 0;
-  for (std::size_t k = 1; k < votes.size(); ++k) {
-    if (votes[k] > votes[best]) best = k;
-  }
-  return best;
+  return majority_vote(votes);
+}
+
+std::vector<std::size_t> RandomForest::predict_all(const Dataset& data) const {
+  return util::parallel_map(data.size(),
+                            [&](std::size_t i) { return predict(data.row(i)); });
 }
 
 std::vector<double> RandomForest::gini_importance() const {

@@ -12,6 +12,12 @@
 
 namespace dnsbs::ml {
 
+/// Index of the winning class in a tally; ties break toward the lower
+/// class index (deterministic, matches the paper's §III-D majority vote).
+/// Shared by RandomForest and VotingClassifier so both tie-break the same
+/// way.
+std::size_t majority_vote(std::span<const std::size_t> votes) noexcept;
+
 struct ForestConfig {
   std::size_t n_trees = 100;
   std::size_t max_depth = 24;
@@ -30,8 +36,13 @@ class RandomForest final : public Classifier {
  public:
   explicit RandomForest(ForestConfig config = {}) : config_(config) {}
 
+  /// Trains the per-tree bootstraps concurrently: every tree derives its
+  /// bootstrap stream and split seed from (seed, tree index), so the
+  /// resulting forest is byte-identical for any thread count.
   void fit(const Dataset& train) override;
   std::size_t predict(std::span<const double> features) const override;
+  /// Batched prediction: rows are voted in parallel, results ordered by row.
+  std::vector<std::size_t> predict_all(const Dataset& data) const override;
   std::string name() const override { return "RF"; }
 
   /// Mean of per-tree Gini importances, normalized to sum to 100 (so the

@@ -108,9 +108,15 @@ class Prefix {
 template <>
 struct std::hash<dnsbs::net::IPv4Addr> {
   std::size_t operator()(const dnsbs::net::IPv4Addr& a) const noexcept {
-    // Fibonacci hash of the 32-bit value; addresses are clustered so a
-    // multiplicative mix matters for unordered_map behaviour.
-    return static_cast<std::size_t>(a.value() * 0x9e3779b97f4a7c15ULL >> 16);
+    // SplitMix64 finalizer: full avalanche, so the clustered address
+    // ranges the simulator allocates (and real scanners occupy) spread
+    // evenly across unordered_map buckets, and shard assignment
+    // (hash % W) stays balanced.  The single multiply used previously
+    // left the low bits of adjacent addresses correlated.
+    std::uint64_t z = a.value() + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(z ^ (z >> 31));
   }
 };
 

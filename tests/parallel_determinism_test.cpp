@@ -1,0 +1,215 @@
+// The determinism contract under parallel execution (DESIGN.md §6):
+// serial and N-thread runs of the forest, the sensor, cross-validation,
+// and the windowed pipeline must produce byte-identical outputs for a
+// fixed seed.
+#include <gtest/gtest.h>
+
+#include "analysis/pipeline.hpp"
+#include "core/sensor.hpp"
+#include "labeling/curator.hpp"
+#include "ml/crossval.hpp"
+#include "ml/forest.hpp"
+#include "sim/scenario.hpp"
+#include "util/parallel.hpp"
+
+namespace dnsbs {
+namespace {
+
+constexpr std::uint64_t kSeeds[] = {3, 71, 20140415};
+
+ml::Dataset noisy_blobs(std::uint64_t seed) {
+  ml::Dataset d({"x", "y"}, {"a", "b", "c"});
+  util::Rng rng(seed);
+  const double centers[3][2] = {{0.2, 0.2}, {0.8, 0.2}, {0.5, 0.9}};
+  for (std::size_t k = 0; k < 3; ++k) {
+    for (std::size_t i = 0; i < 50; ++i) {
+      d.add({centers[k][0] + rng.normal(0, 0.2), centers[k][1] + rng.normal(0, 0.2)}, k);
+    }
+  }
+  return d;
+}
+
+/// Restores the global thread override even when an assertion fails.
+struct ThreadCountGuard {
+  ~ThreadCountGuard() { util::set_thread_count(0); }
+};
+
+TEST(ParallelDeterminism, ForestFitAndPredictMatchSerial) {
+  ThreadCountGuard guard;
+  for (const std::uint64_t seed : kSeeds) {
+    const ml::Dataset train = noisy_blobs(seed);
+    const ml::Dataset probe = noisy_blobs(seed ^ 0xabcd);
+
+    ml::ForestConfig fc;
+    fc.n_trees = 30;
+    fc.seed = seed;
+
+    util::set_thread_count(1);
+    ml::RandomForest serial(fc);
+    serial.fit(train);
+    const auto serial_pred = serial.predict_all(probe);
+    const auto serial_imp = serial.gini_importance();
+
+    for (const std::size_t threads : {2, 4}) {
+      util::set_thread_count(threads);
+      ml::RandomForest parallel(fc);
+      parallel.fit(train);
+      EXPECT_EQ(parallel.predict_all(probe), serial_pred)
+          << "seed=" << seed << " threads=" << threads;
+      EXPECT_EQ(parallel.gini_importance(), serial_imp)
+          << "seed=" << seed << " threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelDeterminism, CrossValidationMatchesSerial) {
+  ThreadCountGuard guard;
+  for (const std::uint64_t seed : kSeeds) {
+    const ml::Dataset d = noisy_blobs(seed);
+    ml::CrossValConfig cv;
+    cv.repetitions = 8;
+    cv.seed = seed;
+    const auto factory = [](std::uint64_t s) {
+      ml::ForestConfig fc;
+      fc.n_trees = 10;
+      fc.seed = s;
+      return std::unique_ptr<ml::Classifier>(std::make_unique<ml::RandomForest>(fc));
+    };
+
+    util::set_thread_count(1);
+    const ml::MetricSummary serial = ml::cross_validate(d, factory, cv);
+    util::set_thread_count(4);
+    const ml::MetricSummary parallel = ml::cross_validate(d, factory, cv);
+
+    EXPECT_EQ(serial.runs, parallel.runs);
+    EXPECT_DOUBLE_EQ(serial.mean.accuracy, parallel.mean.accuracy) << "seed=" << seed;
+    EXPECT_DOUBLE_EQ(serial.mean.f1, parallel.mean.f1) << "seed=" << seed;
+    EXPECT_DOUBLE_EQ(serial.stddev.accuracy, parallel.stddev.accuracy);
+    EXPECT_DOUBLE_EQ(serial.stddev.f1, parallel.stddev.f1);
+  }
+}
+
+void expect_identical_features(const std::vector<core::FeatureVector>& a,
+                               const std::vector<core::FeatureVector>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].originator, b[i].originator) << "row " << i;
+    EXPECT_EQ(a[i].footprint, b[i].footprint) << "row " << i;
+    // Exact equality, not near: the parallel path must be byte-identical.
+    EXPECT_EQ(a[i].row(), b[i].row()) << "row " << i;
+  }
+}
+
+TEST(ParallelDeterminism, SensorShardedIngestAndExtractMatchSerial) {
+  for (const std::uint64_t seed : kSeeds) {
+    sim::Scenario scenario(sim::jp_ditl_config(seed, 0.05));
+    scenario.run();
+    const auto& records = scenario.authority(0).records();
+    ASSERT_GT(records.size(), 4096u)
+        << "world too small to exercise the sharded ingest path";
+
+    const auto run_with = [&](std::size_t threads) {
+      core::SensorConfig sc;
+      sc.threads = threads;
+      core::Sensor sensor(sc, scenario.plan().as_db(), scenario.plan().geo_db(),
+                          scenario.naming());
+      sensor.ingest_all(records);
+      return sensor;
+    };
+
+    const core::Sensor serial = run_with(1);
+    const auto serial_features = serial.extract_features();
+    ASSERT_FALSE(serial_features.empty());
+
+    for (const std::size_t threads : {2, 4}) {
+      const core::Sensor parallel = run_with(threads);
+      EXPECT_EQ(parallel.dedup().admitted(), serial.dedup().admitted());
+      EXPECT_EQ(parallel.dedup().suppressed(), serial.dedup().suppressed());
+      EXPECT_EQ(parallel.aggregator().originator_count(),
+                serial.aggregator().originator_count());
+      EXPECT_EQ(parallel.aggregator().total_periods(),
+                serial.aggregator().total_periods());
+      expect_identical_features(serial_features, parallel.extract_features());
+    }
+  }
+}
+
+TEST(ParallelDeterminism, ShardedIngestKeepsServingLaterSerialIngest) {
+  // After a sharded bulk ingest, single-record ingest() must continue from
+  // the same dedup window state a serial run would have.
+  sim::Scenario scenario(sim::jp_ditl_config(9, 0.05));
+  scenario.run();
+  const auto& records = scenario.authority(0).records();
+  ASSERT_GT(records.size(), 5000u);
+  const std::span<const dns::QueryRecord> bulk(records.data(), 5000);
+
+  core::SensorConfig serial_cfg;
+  serial_cfg.threads = 1;
+  core::Sensor serial(serial_cfg, scenario.plan().as_db(), scenario.plan().geo_db(),
+                      scenario.naming());
+  core::SensorConfig sharded_cfg;
+  sharded_cfg.threads = 4;
+  core::Sensor sharded(sharded_cfg, scenario.plan().as_db(), scenario.plan().geo_db(),
+                       scenario.naming());
+
+  serial.ingest_all(bulk);
+  sharded.ingest_all(bulk);
+  // Replay a slice of the bulk records immediately: duplicates within the
+  // window must be suppressed identically by both sensors.
+  for (std::size_t i = 4000; i < 5000; ++i) {
+    serial.ingest(records[i]);
+    sharded.ingest(records[i]);
+  }
+  EXPECT_EQ(serial.dedup().admitted(), sharded.dedup().admitted());
+  EXPECT_EQ(serial.dedup().suppressed(), sharded.dedup().suppressed());
+  expect_identical_features(serial.extract_features(), sharded.extract_features());
+}
+
+TEST(ParallelDeterminism, WindowedPipelineOverlapMatchesSequential) {
+  const auto run_pipeline = [](bool overlapped) {
+    sim::Scenario scenario(sim::b_multi_year_config(421, 4, 0.07));
+    labeling::Darknet darknet(labeling::default_darknet_prefixes());
+    scenario.engine().set_traffic_observer(&darknet);
+
+    analysis::WindowedPipelineConfig pc;
+    pc.sensor.min_queriers = 10;
+    pc.forest.n_trees = 30;
+    analysis::WindowedPipeline pipeline(pc, scenario.plan().as_db(),
+                                        scenario.plan().geo_db(), scenario.naming());
+
+    scenario.run_window(util::SimTime::weeks(0), util::SimTime::weeks(1));
+    pipeline.process_window(scenario.authority(0).records(), util::SimTime::weeks(0),
+                            util::SimTime::weeks(1));
+    scenario.authority(0).clear_records();
+
+    util::Rng rng(5);
+    const auto blacklist = labeling::BlacklistSet::build(scenario.population(), {}, rng);
+    labeling::Curator curator(scenario, blacklist, darknet, {}, 6);
+    pipeline.set_labels(curator.curate(pipeline.observations()[0].features));
+
+    for (int w = 1; w < 4; ++w) {
+      scenario.run_window(util::SimTime::weeks(w), util::SimTime::weeks(w + 1));
+      if (overlapped) {
+        pipeline.enqueue_window(scenario.authority(0).records(), util::SimTime::weeks(w),
+                                util::SimTime::weeks(w + 1));
+      } else {
+        pipeline.process_window(scenario.authority(0).records(), util::SimTime::weeks(w),
+                                util::SimTime::weeks(w + 1));
+      }
+      scenario.authority(0).clear_records();
+    }
+    pipeline.finish();
+    return pipeline.results();
+  };
+
+  const auto sequential = run_pipeline(false);
+  const auto overlapped = run_pipeline(true);
+  ASSERT_EQ(sequential.size(), overlapped.size());
+  for (std::size_t w = 0; w < sequential.size(); ++w) {
+    EXPECT_EQ(sequential[w].classes, overlapped[w].classes) << "window " << w;
+    EXPECT_EQ(sequential[w].footprints, overlapped[w].footprints) << "window " << w;
+  }
+}
+
+}  // namespace
+}  // namespace dnsbs

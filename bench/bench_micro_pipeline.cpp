@@ -9,6 +9,7 @@
 #include "ml/forest.hpp"
 #include "net/prefix_trie.hpp"
 #include "sim/scenario.hpp"
+#include "util/fuzz.hpp"
 #include "util/parallel.hpp"
 
 namespace dnsbs {
@@ -62,6 +63,26 @@ void BM_WireEncodeDecode(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_WireEncodeDecode);
+
+void BM_WireDecodeMutated(benchmark::State& state) {
+  // Rejection throughput on corrupted traffic: a capture point under a
+  // junk flood spends its cycles in decode's failure paths, so malformed
+  // packets must be rejected at least as fast as clean ones parse.
+  util::ByteMutator mutator(42);
+  std::vector<std::vector<std::uint8_t>> corpus;
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    auto wire = dns::encode(dns::Message::ptr_query(static_cast<std::uint16_t>(i),
+                                                    net::IPv4Addr(0x0a000000u + i)));
+    mutator.mutate_n(wire, 3);
+    corpus.push_back(std::move(wire));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dns::decode(corpus[i++ & 255]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WireDecodeMutated);
 
 void BM_DedupIngest(benchmark::State& state) {
   const auto& records = world().records;

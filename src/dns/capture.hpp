@@ -25,6 +25,14 @@ struct CaptureStats {
   std::uint64_t non_ptr = 0;          ///< forward or non-PTR queries
   std::uint64_t non_reverse_name = 0; ///< PTR outside in-addr.arpa or partial
   std::uint64_t accepted = 0;
+
+  /// True iff every packet was classified into exactly one bucket — the
+  /// counters partition `packets`.  The fuzz harness asserts this after
+  /// feeding mutated traffic, so a future classification path that forgets
+  /// (or double-counts) a bucket is caught immediately.
+  bool consistent() const noexcept {
+    return packets == malformed + responses + non_ptr + non_reverse_name + accepted;
+  }
 };
 
 /// Extracts a backscatter record from one DNS packet payload.

@@ -1,6 +1,7 @@
 #include "dns/query_log.hpp"
 
 #include <istream>
+#include <limits>
 #include <ostream>
 
 #include "util/strings.hpp"
@@ -30,6 +31,11 @@ std::optional<QueryRecord> parse_record(std::string_view line) {
   if (fields.size() != 4) return std::nullopt;
   std::uint64_t secs = 0;
   if (!util::parse_u64(util::trim(fields[0]), secs)) return std::nullopt;
+  // SimTime is signed; a timestamp past INT64_MAX would wrap negative and
+  // run the dedup/aggregation clock backwards, so the line is malformed.
+  if (secs > static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max())) {
+    return std::nullopt;
+  }
   const auto querier = net::IPv4Addr::parse(util::trim(fields[1]));
   const auto originator = net::IPv4Addr::parse(util::trim(fields[2]));
   const auto rcode = rcode_from_string(util::trim(fields[3]));

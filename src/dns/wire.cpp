@@ -58,6 +58,13 @@ Message Message::response_to(const Message& query, RCode rcode,
 
 namespace {
 
+// RFC 1035 wire limits, enforced on both encode and decode.
+constexpr std::size_t kMaxLabelLen = 63;        // §2.3.4: label octets
+constexpr std::size_t kMaxNameWire = 255;       // §2.3.4: whole-name octets
+constexpr std::size_t kMaxPointerOffset = 0x3fff;  // §4.1.4: 14-bit offset
+constexpr std::size_t kMaxSectionCount = 0xffff;   // header counts are u16
+constexpr std::size_t kMaxRdataLen = 0xffff;       // RDLENGTH is u16
+
 // ---- encoding ----
 
 class Encoder {
@@ -82,26 +89,39 @@ class Encoder {
   std::size_t size() const noexcept { return out_.size(); }
 
   /// Emits a name with compression: the longest previously-emitted suffix
-  /// is replaced by a pointer (RFC 1035 §4.1.4).
-  void name(const DnsName& n) {
+  /// is replaced by a pointer (RFC 1035 §4.1.4).  Returns false — emitting
+  /// nothing usable — for names the wire format cannot represent: empty or
+  /// > 63-byte labels, or > 255 octets total.  (DnsName::parse enforces
+  /// these, but from_labels and decoded-then-edited names do not.)
+  bool name(const DnsName& n) {
     const auto& labels = n.labels();
+    std::size_t wire_len = 1;  // root byte
+    for (const auto& label : labels) {
+      if (label.empty() || label.size() > kMaxLabelLen) return false;
+      wire_len += 1 + label.size();
+    }
+    if (wire_len > kMaxNameWire) return false;
     for (std::size_t i = 0; i < labels.size(); ++i) {
-      // The suffix starting at label i, as a key for the offset map.
+      // The suffix starting at label i, keyed in wire form (length-prefixed
+      // labels) so {"a","b"} and the single label "a.b" cannot alias.
       std::string key;
       for (std::size_t j = i; j < labels.size(); ++j) {
-        key += labels[j];
-        key += '.';
+        key.push_back(static_cast<char>(labels[j].size()));
+        key.append(labels[j]);
       }
       const auto it = suffix_offsets_.find(key);
-      if (it != suffix_offsets_.end() && it->second < 0x3fff) {
+      if (it != suffix_offsets_.end() && it->second <= kMaxPointerOffset) {
         u16(static_cast<std::uint16_t>(0xc000 | it->second));
-        return;
+        return true;
       }
-      if (out_.size() < 0x3fff) suffix_offsets_.emplace(std::move(key), out_.size());
+      if (out_.size() <= kMaxPointerOffset) {
+        suffix_offsets_.emplace(std::move(key), out_.size());
+      }
       u8(static_cast<std::uint8_t>(labels[i].size()));
       for (const char c : labels[i]) out_.push_back(static_cast<std::uint8_t>(c));
     }
     u8(0);  // root
+    return true;
   }
 
  private:
@@ -109,8 +129,8 @@ class Encoder {
   std::unordered_map<std::string, std::size_t> suffix_offsets_;
 };
 
-void encode_rr(Encoder& enc, const ResourceRecord& rr) {
-  enc.name(rr.name);
+bool encode_rr(Encoder& enc, const ResourceRecord& rr) {
+  if (!enc.name(rr.name)) return false;
   enc.u16(static_cast<std::uint16_t>(rr.rtype));
   enc.u16(static_cast<std::uint16_t>(rr.rclass));
   enc.u32(rr.ttl);
@@ -120,12 +140,15 @@ void encode_rr(Encoder& enc, const ResourceRecord& rr) {
   if (const auto* addr = std::get_if<net::IPv4Addr>(&rr.rdata.value)) {
     enc.u32(addr->value());
   } else if (const auto* nm = std::get_if<DnsName>(&rr.rdata.value)) {
-    enc.name(*nm);
+    if (!enc.name(*nm)) return false;
   } else {
     const auto& raw = std::get<std::vector<std::uint8_t>>(rr.rdata.value);
     for (const std::uint8_t b : raw) enc.u8(b);
   }
-  enc.patch_u16(rdlength_at, static_cast<std::uint16_t>(enc.size() - rdata_start));
+  const std::size_t rdata_len = enc.size() - rdata_start;
+  if (rdata_len > kMaxRdataLen) return false;  // would truncate in the u16 field
+  enc.patch_u16(rdlength_at, static_cast<std::uint16_t>(rdata_len));
+  return true;
 }
 
 // ---- decoding ----
@@ -166,6 +189,7 @@ class Decoder {
     std::size_t jumps = 0;
     bool jumped = false;
     std::size_t after_first_pointer = 0;
+    std::size_t wire_len = 1;  // root byte
     while (true) {
       if (cursor >= size_) return false;
       const std::uint8_t len = data_[cursor];
@@ -186,12 +210,27 @@ class Decoder {
       ++cursor;
       if (len == 0) break;
       if (cursor + len > size_) return false;
+      // RFC 1035 §2.3.4 total-name cap; chasing pointers must not let an
+      // adversarially-compressed packet expand past what any legal name
+      // occupies on the wire.
+      wire_len += 1 + static_cast<std::size_t>(len);
+      if (wire_len > kMaxNameWire) return false;
       labels.emplace_back(reinterpret_cast<const char*>(data_ + cursor), len);
       cursor += len;
-      if (labels.size() > 127) return false;
     }
     pos_ = jumped ? after_first_pointer : cursor;
     out = DnsName::from_labels(std::move(labels));
+    return true;
+  }
+
+  /// Reads `n` raw bytes.  Bounds are checked before any allocation, so a
+  /// claimed length the packet does not actually hold can never drive a
+  /// speculative multi-kilobyte allocation.
+  bool bytes(std::size_t n, std::vector<std::uint8_t>& out) {
+    if (n > size_ - pos_) return false;
+    out.reserve(n);
+    out.assign(data_ + pos_, data_ + pos_ + n);
+    pos_ += n;
     return true;
   }
 
@@ -227,10 +266,8 @@ bool decode_rr(Decoder& dec, ResourceRecord& rr) {
       return true;
     }
     default: {
-      std::vector<std::uint8_t> raw(rdlength);
-      for (auto& b : raw) {
-        if (!dec.u8(b)) return false;
-      }
+      std::vector<std::uint8_t> raw;
+      if (!dec.bytes(rdlength, raw)) return false;
       rr.rdata.value = std::move(raw);
       return true;
     }
@@ -239,7 +276,14 @@ bool decode_rr(Decoder& dec, ResourceRecord& rr) {
 
 }  // namespace
 
-std::vector<std::uint8_t> encode(const Message& msg) {
+std::optional<std::vector<std::uint8_t>> try_encode(const Message& msg) {
+  // Header counts are 16-bit; an oversize section would silently encode a
+  // corrupt header, so it is rejected up front.
+  if (msg.questions.size() > kMaxSectionCount || msg.answers.size() > kMaxSectionCount ||
+      msg.authorities.size() > kMaxSectionCount ||
+      msg.additionals.size() > kMaxSectionCount) {
+    return std::nullopt;
+  }
   Encoder enc;
   enc.u16(msg.id);
   std::uint16_t flags = 0;
@@ -256,14 +300,24 @@ std::vector<std::uint8_t> encode(const Message& msg) {
   enc.u16(static_cast<std::uint16_t>(msg.authorities.size()));
   enc.u16(static_cast<std::uint16_t>(msg.additionals.size()));
   for (const auto& q : msg.questions) {
-    enc.name(q.name);
+    if (!enc.name(q.name)) return std::nullopt;
     enc.u16(static_cast<std::uint16_t>(q.qtype));
     enc.u16(static_cast<std::uint16_t>(q.qclass));
   }
-  for (const auto& rr : msg.answers) encode_rr(enc, rr);
-  for (const auto& rr : msg.authorities) encode_rr(enc, rr);
-  for (const auto& rr : msg.additionals) encode_rr(enc, rr);
+  for (const auto& rr : msg.answers) {
+    if (!encode_rr(enc, rr)) return std::nullopt;
+  }
+  for (const auto& rr : msg.authorities) {
+    if (!encode_rr(enc, rr)) return std::nullopt;
+  }
+  for (const auto& rr : msg.additionals) {
+    if (!encode_rr(enc, rr)) return std::nullopt;
+  }
   return enc.take();
+}
+
+std::vector<std::uint8_t> encode(const Message& msg) {
+  return try_encode(msg).value_or(std::vector<std::uint8_t>{});
 }
 
 std::optional<Message> decode(const std::uint8_t* data, std::size_t size) {

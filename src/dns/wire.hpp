@@ -96,6 +96,16 @@ struct Message {
 };
 
 /// Encodes a message; applies name compression across all sections.
+/// Returns nullopt for messages the wire format cannot represent: a label
+/// over 63 bytes or empty, a name over 255 octets, a section with more
+/// than 65535 entries, or RDATA over 65535 bytes.  (Such messages cannot
+/// come from decode(); they arise from hand-built DnsName::from_labels
+/// values or oversized sections.)
+std::optional<std::vector<std::uint8_t>> try_encode(const Message& msg);
+
+/// As try_encode, but returns an empty vector on unencodable input (any
+/// valid encoding is at least the 12 header bytes, so empty is
+/// unambiguous).  Kept for call sites that encode known-valid messages.
 std::vector<std::uint8_t> encode(const Message& msg);
 
 /// Decodes a message; nullopt on malformed input (truncation, bad pointer,

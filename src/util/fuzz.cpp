@@ -1,0 +1,106 @@
+#include "util/fuzz.hpp"
+
+#include <string>
+
+namespace dnsbs::util {
+
+const char* to_string(MutationKind k) noexcept {
+  switch (k) {
+    case MutationKind::kTruncate: return "truncate";
+    case MutationKind::kBitFlip: return "bitflip";
+    case MutationKind::kByteSet: return "byteset";
+    case MutationKind::kPointerRewrite: return "ptr";
+    case MutationKind::kCountInflate: return "count";
+    case MutationKind::kSpanSplice: return "splice";
+  }
+  return "mutation?";
+}
+
+Mutation ByteMutator::mutate(std::vector<std::uint8_t>& buf) {
+  // Empty buffers admit only growth.
+  const MutationKind kind = buf.empty()
+                                ? MutationKind::kSpanSplice
+                                : static_cast<MutationKind>(rng_.below(6));
+  Mutation m{kind, 0};
+  switch (kind) {
+    case MutationKind::kTruncate: {
+      buf.resize(rng_.below(buf.size() + 1));
+      m.offset = buf.size();
+      break;
+    }
+    case MutationKind::kBitFlip: {
+      m.offset = rng_.below(buf.size());
+      buf[m.offset] ^= static_cast<std::uint8_t>(1u << rng_.below(8));
+      break;
+    }
+    case MutationKind::kByteSet: {
+      m.offset = rng_.below(buf.size());
+      buf[m.offset] = static_cast<std::uint8_t>(rng_.below(256));
+      break;
+    }
+    case MutationKind::kPointerRewrite: {
+      // Plant a compression pointer somewhere: 0xc0|hi, lo.  Half the
+      // time the target is a small offset (plausibly inside the header or
+      // question), otherwise anywhere in the 14-bit range — forward
+      // pointers, self pointers, and pointer chains all fall out.
+      m.offset = rng_.below(buf.size());
+      const std::size_t target =
+          rng_.chance(0.5) ? rng_.below(64) : rng_.below(0x4000);
+      buf[m.offset] = static_cast<std::uint8_t>(0xc0 | (target >> 8));
+      if (m.offset + 1 < buf.size()) {
+        buf[m.offset + 1] = static_cast<std::uint8_t>(target & 0xff);
+      }
+      break;
+    }
+    case MutationKind::kCountInflate: {
+      // The four section counts sit at header offsets 4/6/8/10.  Write a
+      // large big-endian count so decode loops see far more records than
+      // the body holds.
+      const std::size_t field = 4 + 2 * rng_.below(4);
+      m.offset = field;
+      const std::uint16_t count = static_cast<std::uint16_t>(0xff00 | rng_.below(256));
+      if (field < buf.size()) buf[field] = static_cast<std::uint8_t>(count >> 8);
+      if (field + 1 < buf.size()) buf[field + 1] = static_cast<std::uint8_t>(count);
+      break;
+    }
+    case MutationKind::kSpanSplice: {
+      // Re-insert a copy of an existing span (or a fresh random run when
+      // the buffer is empty) at a random position; duplicated records and
+      // repeated name fragments come from here.
+      const std::size_t span = 1 + rng_.below(16);
+      std::vector<std::uint8_t> copy(span);
+      if (buf.empty()) {
+        for (auto& b : copy) b = static_cast<std::uint8_t>(rng_.below(256));
+      } else {
+        const std::size_t from = rng_.below(buf.size());
+        for (std::size_t i = 0; i < span; ++i) copy[i] = buf[(from + i) % buf.size()];
+      }
+      m.offset = rng_.below(buf.size() + 1);
+      buf.insert(buf.begin() + static_cast<std::ptrdiff_t>(m.offset), copy.begin(),
+                 copy.end());
+      break;
+    }
+  }
+  return m;
+}
+
+std::vector<Mutation> ByteMutator::mutate_n(std::vector<std::uint8_t>& buf,
+                                            std::size_t n) {
+  std::vector<Mutation> trace;
+  trace.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) trace.push_back(mutate(buf));
+  return trace;
+}
+
+std::string describe(const std::vector<Mutation>& trace) {
+  std::string out;
+  for (const Mutation& m : trace) {
+    if (!out.empty()) out.push_back(' ');
+    out.append(to_string(m.kind));
+    out.push_back('@');
+    out.append(std::to_string(m.offset));
+  }
+  return out;
+}
+
+}  // namespace dnsbs::util

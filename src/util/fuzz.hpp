@@ -1,0 +1,112 @@
+// Deterministic fuzzing and fault-injection primitives.
+//
+// Two families, both fully seeded so every failure is replayable from a
+// (seed, iteration) pair alone:
+//
+//  * ByteMutator — byte-level corruption of a wire buffer.  Generic
+//    mutations (truncation, bit flips, byte rewrites, span splices) plus
+//    two DNS-wire-shaped ones: planting a compression pointer (0xc0-
+//    prefixed two-byte sequence) and inflating a big-endian 16-bit header
+//    count.  The mutator itself knows nothing about the codec; the DNS
+//    shaping is just in which byte patterns it likes to write, so the
+//    type lives in util and the decode-side invariants live in tests/fuzz.
+//
+//  * Stream fault primitives — drop / duplicate / swap-adjacent over any
+//    record vector, for ingest-level fault injection.  They are templates
+//    with caller-supplied predicates because only the caller knows which
+//    faults the pipeline's semantics promise to absorb (e.g. dropping a
+//    record that deduplication would have suppressed anyway).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace dnsbs::util {
+
+enum class MutationKind : std::uint8_t {
+  kTruncate,        ///< cut the buffer to a shorter length
+  kBitFlip,         ///< flip one bit of one byte
+  kByteSet,         ///< overwrite one byte with a random value
+  kPointerRewrite,  ///< plant a DNS compression pointer (0xc0|hi, lo)
+  kCountInflate,    ///< overwrite a header count field with a huge value
+  kSpanSplice,      ///< insert a copy of a random span at a random offset
+};
+
+const char* to_string(MutationKind k) noexcept;
+
+/// One applied mutation, for replayable failure reports.
+struct Mutation {
+  MutationKind kind = MutationKind::kBitFlip;
+  std::size_t offset = 0;  ///< where the buffer was touched (post-op for truncate)
+};
+
+/// Seeded wire-buffer mutator.  Identical seeds produce identical mutation
+/// streams on every platform (xoshiro256**, no std distributions).
+class ByteMutator {
+ public:
+  explicit ByteMutator(std::uint64_t seed) : rng_(seed) {}
+
+  /// Applies one random mutation in place and reports what it did.
+  /// Empty buffers only grow (splice); the result may be any length.
+  Mutation mutate(std::vector<std::uint8_t>& buf);
+
+  /// Applies `n` mutations in sequence; returns the trace for diagnostics.
+  std::vector<Mutation> mutate_n(std::vector<std::uint8_t>& buf, std::size_t n);
+
+ private:
+  Rng rng_;
+};
+
+/// Renders a mutation trace as "kind@offset kind@offset ..." for test
+/// failure messages.
+std::string describe(const std::vector<Mutation>& trace);
+
+// ---- stream fault injection ----
+
+/// Duplicates each element with probability `p`, the copy immediately
+/// following the original (a querier re-sending inside the dedup window).
+template <typename T>
+std::vector<T> duplicate_some(const std::vector<T>& in, double p, Rng& rng) {
+  std::vector<T> out;
+  out.reserve(in.size() * 2);
+  for (const T& item : in) {
+    out.push_back(item);
+    if (rng.chance(p)) out.push_back(item);
+  }
+  return out;
+}
+
+/// Drops element i with probability `p` when `droppable(i)` holds (e.g.
+/// records the pipeline would have suppressed anyway).
+template <typename T, typename Pred>
+std::vector<T> drop_if(const std::vector<T>& in, Pred droppable, double p, Rng& rng) {
+  std::vector<T> out;
+  out.reserve(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    if (droppable(i) && rng.chance(p)) continue;
+    out.push_back(in[i]);
+  }
+  return out;
+}
+
+/// Swaps adjacent elements (i, i+1) with probability `p` when
+/// `swappable(i)` holds; a swapped pair is not considered again, so swaps
+/// never chain an element more than one position.
+template <typename T, typename Pred>
+std::vector<T> swap_adjacent_if(const std::vector<T>& in, Pred swappable, double p,
+                                Rng& rng) {
+  std::vector<T> out = in;
+  for (std::size_t i = 0; i + 1 < out.size(); ++i) {
+    if (swappable(i) && rng.chance(p)) {
+      std::swap(out[i], out[i + 1]);
+      ++i;  // do not re-swap the element we just moved
+    }
+  }
+  return out;
+}
+
+}  // namespace dnsbs::util

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
 
 namespace dnsbs::dns {
@@ -73,6 +74,17 @@ TEST(QueryLog, ReaderSkipsGarbageLines) {
   const auto records = read_all(buffer);
   ASSERT_EQ(records.size(), 1u);
   EXPECT_EQ(records[0], sample());
+}
+
+// Regression: timestamps above INT64_MAX used to wrap negative through
+// the unchecked u64 -> i64 cast, running the pipeline clock backwards.
+TEST(QueryLog, ParseRejectsTimestampPastInt64Max) {
+  EXPECT_FALSE(parse_record("18446744073709551615\t10.0.0.1\t1.2.3.4\tNOERROR"));
+  EXPECT_FALSE(parse_record("9223372036854775808\t10.0.0.1\t1.2.3.4\tNOERROR"));
+  // The greatest representable instant still parses.
+  const auto max_ok = parse_record("9223372036854775807\t10.0.0.1\t1.2.3.4\tNOERROR");
+  ASSERT_TRUE(max_ok);
+  EXPECT_EQ(max_ok->time.secs(), std::numeric_limits<std::int64_t>::max());
 }
 
 }  // namespace

@@ -133,5 +133,181 @@ TEST_P(ReverseRoundTrip, RandomAddresses) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ReverseRoundTrip, ::testing::Values(21u, 22u));
 
+// ---- adversarial corpus: hand-crafted packets the wild actually sends ----
+
+// A name whose first byte is a compression pointer to itself must be
+// rejected by the backwards-only rule, not chased forever.
+TEST(WireAdversarial, PointerToSelfRejected) {
+  const std::vector<std::uint8_t> wire = {0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0,
+                                          0xc0, 12,  // pointer to offset 12: itself
+                                          0, 12, 0, 1};
+  EXPECT_FALSE(decode(wire));
+}
+
+// An A record whose rdlength claims 4 bytes while the packet holds 2 must
+// be rejected, not read past the buffer.
+TEST(WireAdversarial, ARecordRdlengthOverrunRejected) {
+  const std::vector<std::uint8_t> wire = {
+      0, 1, 0x80, 0, 0, 0, 0, 1, 0, 0, 0, 0,  // header: response, an=1
+      0,                                       // RR name: root
+      0, 1, 0, 1,                              // type A, class IN
+      0, 0, 0, 60,                             // ttl
+      0, 4,                                    // rdlength = 4 ...
+      1, 2};                                   // ... but only 2 bytes follow
+  EXPECT_FALSE(decode(wire));
+}
+
+// A CNAME whose compressed rdata name decodes past the record boundary
+// (consumed != rdlength) must be rejected.
+TEST(WireAdversarial, CompressedNameCrossingCnameBoundaryRejected) {
+  const std::vector<std::uint8_t> wire = {
+      0, 1, 0x80, 0, 0, 1, 0, 1, 0, 0, 0, 0,  // header: qd=1, an=1
+      1, 'a', 0,                               // question name "a" at offset 12
+      0, 1, 0, 1,                              // qtype A, qclass IN
+      0,                                       // RR name: root
+      0, 5, 0, 1,                              // type CNAME, class IN
+      0, 0, 0, 60,                             // ttl
+      0, 2,                                    // rdlength = 2 ...
+      3, 'f', 'o', 'o', 0xc0, 12};             // ... but the name takes 6 bytes
+  EXPECT_FALSE(decode(wire));
+}
+
+// ---- regressions for the defects fixed in the robustness pass ----
+// Each of these fails against the pre-fix codec.
+
+// Labels over 63 bytes used to be silently truncated by the uint8_t cast
+// (a 64-byte label emitted length 64 ... which reads as the label bytes
+// shifted by one).  They are now rejected at encode time.
+TEST(WireRegression, OversizeLabelRejectedAtEncode) {
+  Message m;
+  m.questions.push_back(Question{
+      .name = DnsName::from_labels({std::string(64, 'x'), "example", "com"}),
+      .qtype = QType::kA,
+      .qclass = QClass::kIN});
+  EXPECT_FALSE(try_encode(m));
+  EXPECT_TRUE(encode(m).empty());
+}
+
+// Names over 255 wire octets are rejected by both codec directions.
+TEST(WireRegression, OversizeNameRejectedBothWays) {
+  std::vector<std::string> labels(5, std::string(60, 'y'));  // 5*61+1 = 306
+  Message m;
+  m.questions.push_back(
+      Question{.name = DnsName::from_labels(labels), .qtype = QType::kA});
+  EXPECT_FALSE(try_encode(m));
+
+  // Decode side: craft a wire name of five 60-byte labels inline.
+  std::vector<std::uint8_t> wire = {0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0};
+  for (int i = 0; i < 5; ++i) {
+    wire.push_back(60);
+    for (int j = 0; j < 60; ++j) wire.push_back('y');
+  }
+  wire.push_back(0);
+  wire.insert(wire.end(), {0, 1, 0, 1});  // qtype/qclass
+  EXPECT_FALSE(decode(wire));
+}
+
+// Empty labels (impossible in wire form: a zero length byte terminates
+// the name) used to encode as a premature terminator.
+TEST(WireRegression, EmptyLabelRejectedAtEncode) {
+  Message m;
+  m.questions.push_back(
+      Question{.name = DnsName::from_labels({"a", "", "com"}), .qtype = QType::kA});
+  EXPECT_FALSE(try_encode(m));
+}
+
+// The compression guards were off by one: offset 0x3fff is the *last*
+// representable pointer target and must be usable.  Pad the first answer's
+// TXT rdata so the second answer's name starts exactly at 0x3fff, then
+// repeat that name: the third occurrence must compress to a pointer whose
+// wire form is 0xff 0xff, and the whole message must still round-trip.
+TEST(WireRegression, CompressionPointerToOffset0x3fffExactly) {
+  // Layout: header(12) + RR1[name(1) + fixed(10) + rdata(N)] ; RR2 name
+  // starts at 23 + N == 0x3fff  =>  N = 16360.
+  Message m;
+  m.is_response = true;
+  ResourceRecord pad;
+  pad.name = DnsName{};  // root: encodes as a single 0x00
+  pad.rtype = QType::kTXT;
+  pad.rdata.value = std::vector<std::uint8_t>(16360, 0xab);
+  m.answers.push_back(std::move(pad));
+
+  ResourceRecord first;
+  first.name = *DnsName::parse("tag.example");
+  first.rtype = QType::kA;
+  first.rdata.value = net::IPv4Addr::from_octets(192, 0, 2, 7);
+  m.answers.push_back(first);
+
+  ResourceRecord second = first;  // same owner name: must compress
+  second.rdata.value = net::IPv4Addr::from_octets(192, 0, 2, 8);
+  m.answers.push_back(std::move(second));
+
+  const auto wire = try_encode(m);
+  ASSERT_TRUE(wire);
+  // RR2's name was recorded at 0x3fff; RR2 occupies name(13) + 14 bytes,
+  // so RR3's name — the pointer — sits at 0x3fff + 27.
+  const std::size_t ptr_at = 0x3fff + 27;
+  ASSERT_GT(wire->size(), ptr_at + 1);
+  EXPECT_EQ((*wire)[ptr_at], 0xff);      // 0xc0 | (0x3fff >> 8)
+  EXPECT_EQ((*wire)[ptr_at + 1], 0xff);  // 0x3fff & 0xff
+  const auto decoded = decode(*wire);
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(*decoded, m);
+}
+
+// Section sizes above 65535 used to truncate mod 2^16 in the header,
+// producing a silently corrupt message; they are now rejected.
+TEST(WireRegression, OversizeSectionRejected) {
+  Message m;
+  m.is_response = true;
+  ResourceRecord rr;
+  rr.name = DnsName{};
+  rr.rtype = QType::kA;
+  rr.rdata.value = net::IPv4Addr(0x01020304);
+  m.answers.assign(65536, rr);
+  EXPECT_FALSE(try_encode(m));
+  EXPECT_TRUE(encode(m).empty());
+  m.answers.resize(65535);  // exactly at the cap: fine
+  EXPECT_TRUE(try_encode(m));
+}
+
+// RDATA over 65535 bytes cannot be described by the u16 RDLENGTH field;
+// the old code patched a truncated length in.
+TEST(WireRegression, OversizeRdataRejected) {
+  Message m;
+  m.is_response = true;
+  ResourceRecord rr;
+  rr.name = DnsName{};
+  rr.rtype = QType::kTXT;
+  rr.rdata.value = std::vector<std::uint8_t>(65536, 0x42);
+  m.answers.push_back(std::move(rr));
+  EXPECT_FALSE(try_encode(m));
+}
+
+// A label containing a '.' (constructible via from_labels, or arriving
+// from a decoded packet — wire labels are arbitrary bytes) used to alias
+// the multi-label suffix with the same dotted spelling in the compression
+// map, so {"a","b"} could be emitted as a pointer to the single label
+// "a.b": a silent mis-encode.  Wire-form keys keep them distinct.
+TEST(WireRegression, DottedLabelDoesNotAliasCompressedSuffix) {
+  Message m;
+  m.is_response = true;
+  ResourceRecord rr1;
+  rr1.name = DnsName::from_labels({"a", "b"});
+  rr1.rtype = QType::kA;
+  rr1.rdata.value = net::IPv4Addr(1);
+  m.answers.push_back(std::move(rr1));
+  ResourceRecord rr2;
+  rr2.name = DnsName::from_labels({"a.b"});  // one 3-byte label
+  rr2.rtype = QType::kA;
+  rr2.rdata.value = net::IPv4Addr(2);
+  m.answers.push_back(std::move(rr2));
+  const auto decoded = decode(encode(m));
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(*decoded, m);
+  EXPECT_EQ(decoded->answers[0].name.label_count(), 2u);
+  EXPECT_EQ(decoded->answers[1].name.label_count(), 1u);
+}
+
 }  // namespace
 }  // namespace dnsbs::dns

@@ -1,0 +1,26 @@
+// libFuzzer entry point for the DNS wire codec (built only with
+// -DDNSBS_FUZZER=ON, which requires Clang).  The seeded gtest harness in
+// wire_fuzz_test.cpp is the deterministic CI gate; this target is for
+// open-ended coverage-guided exploration:
+//
+//   cmake -B build-fuzz -DDNSBS_FUZZER=ON \
+//         -DCMAKE_CXX_COMPILER=clang++ -DDNSBS_SANITIZE=address,undefined
+//   cmake --build build-fuzz --target dns_wire_fuzzer
+//   ./build-fuzz/tests/fuzz/dns_wire_fuzzer -max_len=4096 corpus/
+//
+// The invariant mirrors the gtest harness: decode must not crash, and any
+// message it accepts must re-encode and round-trip bit-exactly.
+#include <cstddef>
+#include <cstdint>
+
+#include "dns/wire.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  const auto msg = dnsbs::dns::decode(data, size);
+  if (!msg) return 0;
+  const auto wire = dnsbs::dns::try_encode(*msg);
+  if (!wire) __builtin_trap();  // decoder emitted an unencodable message
+  const auto again = dnsbs::dns::decode(*wire);
+  if (!again || !(*again == *msg)) __builtin_trap();  // lost canonical form
+  return 0;
+}

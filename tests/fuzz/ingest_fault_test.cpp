@@ -1,0 +1,243 @@
+// Ingest-level fault injection (tentpole, second half): the decode->ingest
+// pipeline must converge to identical Sensor state when the query stream
+// suffers the faults the paper's capture points see in practice —
+// duplicated records (queriers ignoring DNS timeout rules), dropped
+// records that deduplication would have suppressed anyway, and local
+// reordering of unrelated records.  Also: text-level log corruption must
+// be skipped line-for-line, never poisoning neighbouring records.
+//
+// All faults are seeded through util::Rng so failures replay exactly.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/sensor.hpp"
+#include "dns/query_log.hpp"
+#include "util/fuzz.hpp"
+
+namespace dnsbs::core {
+namespace {
+
+using dns::QueryRecord;
+using dns::RCode;
+using net::IPv4Addr;
+using util::SimTime;
+
+class NullResolver final : public QuerierResolver {
+ public:
+  QuerierInfo resolve(net::IPv4Addr querier) const override {
+    QuerierInfo info;
+    if (querier.octet(3) % 2 == 0) {
+      info.status = ResolveStatus::kOk;
+      info.name = *dns::DnsName::parse("host.example.com");
+    } else {
+      info.status = ResolveStatus::kNxDomain;
+    }
+    return info;
+  }
+};
+
+/// Deterministic base stream: `originators` targets, each probed by a
+/// querier population over a few hours, time-ordered, with some natural
+/// within-window duplicates baked in (marked in `is_window_dup`).
+struct Stream {
+  std::vector<QueryRecord> records;
+  std::vector<bool> is_window_dup;  ///< dedup would suppress records[i]
+};
+
+Stream make_stream(std::uint64_t seed, std::size_t originators, std::size_t queriers) {
+  util::Rng rng(seed);
+  Stream s;
+  std::int64_t t = 0;
+  for (int round = 0; round < 40; ++round) {
+    for (std::size_t o = 0; o < originators; ++o) {
+      for (std::size_t q = 0; q < queriers; ++q) {
+        if (!rng.chance(0.35)) continue;
+        // Advance the clock only half the time so plenty of adjacent
+        // records share a timestamp (the reorder test swaps those).  The
+        // stream stays monotone: dedup's convergence guarantees — and
+        // therefore these tests' strict-identity assertions — are scoped
+        // to time-ordered streams.
+        if (rng.chance(0.5)) t += 1 + static_cast<std::int64_t>(rng.below(4));
+        const QueryRecord r{SimTime::seconds(t),
+                            IPv4Addr::from_octets(10, 0, static_cast<std::uint8_t>(q / 256),
+                                                  static_cast<std::uint8_t>(q % 256)),
+                            IPv4Addr::from_octets(192, 168, 0, static_cast<std::uint8_t>(o)),
+                            RCode::kNoError};
+        s.records.push_back(r);
+        s.is_window_dup.push_back(false);
+        // Sometimes the querier immediately retries: a true window dup
+        // (well inside the 30 s suppression window).
+        if (rng.chance(0.2)) {
+          QueryRecord dup = r;
+          dup.time = dup.time + SimTime::seconds(static_cast<std::int64_t>(rng.below(10)));
+          s.records.push_back(dup);
+          s.is_window_dup.push_back(true);
+          t = dup.time.secs();  // keep the stream monotone past the retry
+        }
+      }
+    }
+  }
+  return s;
+}
+
+/// Canonical view of everything ingestion-derived state feeds downstream:
+/// per-originator footprint, totals, activity span, and persistence
+/// periods, sorted for comparison.
+struct AggSnapshot {
+  struct Row {
+    std::uint32_t originator;
+    std::size_t footprint;
+    std::uint64_t total;
+    std::int64_t first, last;
+    std::size_t periods;
+    auto operator<=>(const Row&) const = default;
+  };
+  std::vector<Row> rows;
+  std::size_t total_periods = 0;
+  bool operator==(const AggSnapshot&) const = default;
+};
+
+AggSnapshot snapshot(const Sensor& sensor) {
+  AggSnapshot snap;
+  for (const auto& [addr, agg] : sensor.aggregator().aggregates()) {
+    snap.rows.push_back({addr.value(), agg.unique_queriers(), agg.total_queries,
+                         agg.first_seen.secs(), agg.last_seen.secs(),
+                         agg.periods.size()});
+  }
+  std::sort(snap.rows.begin(), snap.rows.end());
+  snap.total_periods = sensor.aggregator().total_periods();
+  return snap;
+}
+
+SensorConfig small_config() {
+  SensorConfig cfg;
+  cfg.min_queriers = 5;
+  cfg.top_n = 0;
+  return cfg;
+}
+
+Sensor ingest(const std::vector<QueryRecord>& records, const netdb::AsDb& as_db,
+              const netdb::GeoDb& geo_db, const QuerierResolver& resolver) {
+  Sensor sensor(small_config(), as_db, geo_db, resolver);
+  for (const auto& r : records) sensor.ingest(r);
+  return sensor;
+}
+
+class IngestFault : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  netdb::AsDb as_db_;
+  netdb::GeoDb geo_db_;
+  NullResolver resolver_;
+};
+
+TEST_P(IngestFault, DuplicatedRecordsConvergeIdentically) {
+  const Stream s = make_stream(GetParam(), 12, 40);
+  util::Rng rng(GetParam() ^ 1);
+  // Every injected copy lands at the same timestamp as its original, so
+  // dedup must absorb all of them.
+  const auto faulted = util::duplicate_some(s.records, 0.3, rng);
+  ASSERT_GT(faulted.size(), s.records.size());
+  const Sensor clean = ingest(s.records, as_db_, geo_db_, resolver_);
+  const Sensor dirty = ingest(faulted, as_db_, geo_db_, resolver_);
+  EXPECT_EQ(snapshot(clean), snapshot(dirty));
+}
+
+TEST_P(IngestFault, DroppingWindowDuplicatesConvergesIdentically) {
+  const Stream s = make_stream(GetParam(), 12, 40);
+  util::Rng rng(GetParam() ^ 2);
+  const auto faulted = util::drop_if(
+      s.records, [&](std::size_t i) { return s.is_window_dup[i]; }, 0.5, rng);
+  ASSERT_LT(faulted.size(), s.records.size());
+  const Sensor clean = ingest(s.records, as_db_, geo_db_, resolver_);
+  const Sensor dirty = ingest(faulted, as_db_, geo_db_, resolver_);
+  EXPECT_EQ(snapshot(clean), snapshot(dirty));
+}
+
+TEST_P(IngestFault, ReorderingUnrelatedRecordsConvergesIdentically) {
+  const Stream s = make_stream(GetParam(), 12, 40);
+  util::Rng rng(GetParam() ^ 3);
+  // Swapping same-timestamp adjacent records of *different* (querier,
+  // originator) pairs models capture-point jitter; dedup decisions are
+  // per-pair and the virtual clock is unchanged, so state must converge.
+  // Same-pair swaps are excluded (reordering a pair's own retries
+  // legitimately changes which copy wins), as are cross-time swaps (they
+  // would break the time-ordering the dedup contract requires).
+  const auto swappable = [&](std::size_t i) {
+    return s.records[i].time == s.records[i + 1].time &&
+           (s.records[i].querier != s.records[i + 1].querier ||
+            s.records[i].originator != s.records[i + 1].originator);
+  };
+  const auto faulted = util::swap_adjacent_if(s.records, swappable, 0.4, rng);
+  ASSERT_NE(faulted, s.records);
+  const Sensor clean = ingest(s.records, as_db_, geo_db_, resolver_);
+  const Sensor dirty = ingest(faulted, as_db_, geo_db_, resolver_);
+  EXPECT_EQ(snapshot(clean), snapshot(dirty));
+}
+
+TEST_P(IngestFault, AllFaultsCombinedStillConverge) {
+  const Stream s = make_stream(GetParam(), 10, 30);
+  util::Rng rng(GetParam() ^ 4);
+  auto faulted = util::duplicate_some(s.records, 0.2, rng);
+  const auto swappable = [&](std::size_t i) {
+    return faulted[i].time == faulted[i + 1].time &&
+           (faulted[i].querier != faulted[i + 1].querier ||
+            faulted[i].originator != faulted[i + 1].originator);
+  };
+  faulted = util::swap_adjacent_if(faulted, swappable, 0.3, rng);
+  const Sensor clean = ingest(s.records, as_db_, geo_db_, resolver_);
+  const Sensor dirty = ingest(faulted, as_db_, geo_db_, resolver_);
+  EXPECT_EQ(snapshot(clean), snapshot(dirty));
+
+  // And the sharded bulk path over the faulted stream matches too.
+  Sensor bulk(small_config(), as_db_, geo_db_, resolver_);
+  bulk.ingest_all(faulted);
+  EXPECT_EQ(snapshot(clean), snapshot(bulk));
+}
+
+TEST_P(IngestFault, CorruptedLogLinesAreSkippedLineForLine) {
+  const Stream s = make_stream(GetParam(), 8, 25);
+  std::ostringstream os;
+  dns::QueryLogWriter writer(os);
+  for (const auto& r : s.records) writer.write(r);
+
+  // Replace a deterministic subset of lines with tab-free garbage; every
+  // other line must parse untouched.
+  util::Rng rng(GetParam() ^ 5);
+  std::istringstream split(os.str());
+  std::ostringstream corrupted;
+  std::string line;
+  std::size_t kept = 0, smashed = 0;
+  std::vector<QueryRecord> surviving;
+  std::size_t index = 0;
+  while (std::getline(split, line)) {
+    if (rng.chance(0.15)) {
+      corrupted << "@@corrupt-" << index << "@@\n";
+      ++smashed;
+    } else {
+      corrupted << line << '\n';
+      surviving.push_back(s.records[index]);
+      ++kept;
+    }
+    ++index;
+  }
+  ASSERT_GT(smashed, 0u);
+
+  std::istringstream is(corrupted.str());
+  dns::QueryLogReader reader(is);
+  std::vector<QueryRecord> parsed;
+  while (auto r = reader.next()) parsed.push_back(*r);
+  EXPECT_EQ(reader.skipped(), smashed);
+  ASSERT_EQ(parsed.size(), kept);
+  EXPECT_EQ(parsed, surviving);
+
+  const Sensor from_log = ingest(parsed, as_db_, geo_db_, resolver_);
+  const Sensor direct = ingest(surviving, as_db_, geo_db_, resolver_);
+  EXPECT_EQ(snapshot(from_log), snapshot(direct));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IngestFault, ::testing::Values(7u, 8u, 9u));
+
+}  // namespace
+}  // namespace dnsbs::core

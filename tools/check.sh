@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# One-command robustness gate: build with ASan+UBSan and run the test
+# suite, including the seeded fuzz corpus (ctest label "fuzz").
+#
+#   tools/check.sh             # full tier-1 suite under ASan+UBSan
+#   tools/check.sh -L fuzz     # only the fuzz/fault-injection harness
+#   tools/check.sh -L parallel # (use tools/check.sh TSAN=1 ... for TSan)
+#
+# Extra arguments are passed straight to ctest.  Environment knobs:
+#   BUILD_DIR  build tree (default: <repo>/build-asan, or build-tsan)
+#   TSAN=1     swap address,undefined for thread (the two are exclusive)
+#   JOBS       parallelism (default: nproc)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+JOBS="${JOBS:-$(nproc)}"
+
+if [[ "${TSAN:-0}" == "1" ]]; then
+  SANITIZE="thread"
+  BUILD="${BUILD_DIR:-$ROOT/build-tsan}"
+else
+  SANITIZE="address,undefined"
+  BUILD="${BUILD_DIR:-$ROOT/build-asan}"
+fi
+
+# halt_on_error so a sanitizer report fails the test instead of scrolling
+# past; detect_leaks stays on by default under ASan.
+export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:strict_string_checks=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
+
+GEN=()
+command -v ninja >/dev/null 2>&1 && GEN=(-G Ninja)
+
+cmake -B "$BUILD" -S "$ROOT" "${GEN[@]}" -DDNSBS_SANITIZE="$SANITIZE" >/dev/null
+cmake --build "$BUILD" -j"$JOBS"
+ctest --test-dir "$BUILD" --output-on-failure -j"$JOBS" "$@"

@@ -1,0 +1,257 @@
+// End-to-end throughput benchmark of the hot ingest path (PERF gate).
+//
+// Measures, on a seeded synthetic workload:
+//   * parse_record lines/sec        (text log -> QueryRecord)
+//   * ingest_all records/sec        (dedup + per-originator aggregation)
+//   * extract_features vectors/sec  (static + dynamic features)
+//   * dedup window-state size/bytes and peak RSS
+//
+// Modes:
+//   bench_perf_pipeline --json BENCH_perf.json     write machine-readable results
+//   bench_perf_pipeline --check BENCH_perf.json    fail (exit 1) if live throughput
+//                                                  drops >10% below the committed
+//                                                  numbers (tools/check.sh PERF=1)
+//   bench_perf_pipeline --smoke                    tiny world, quick sanity run
+//                                                  (ctest label "perf")
+//   --baseline OLD.json                            with --json: also record the
+//                                                  old numbers and the measured
+//                                                  speedup on each axis
+//
+// Times are best-of --repeat (default 3) so scheduler noise shrinks the
+// committed baseline instead of inflating it.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common.hpp"
+#include "core/sensor.hpp"
+#include "dns/query_log.hpp"
+#include "sim/scenario.hpp"
+#include "util/strings.hpp"
+
+namespace dnsbs::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Peak resident set in kB from /proc/self/status (0 where unsupported).
+long peak_rss_kb() {
+#ifdef __linux__
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    long kb = 0;
+    if (std::sscanf(line.c_str(), "VmHWM: %ld kB", &kb) == 1) return kb;
+  }
+#endif
+  return 0;
+}
+
+/// Extracts `"key": <number>` from a JSON text (flat schema, no escapes).
+double json_number(const std::string& text, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t pos = text.find(needle);
+  if (pos == std::string::npos) return 0.0;
+  return std::atof(text.c_str() + pos + needle.size());
+}
+
+struct Results {
+  std::size_t records = 0;
+  std::size_t lines_bytes = 0;
+  std::size_t interesting = 0;
+  std::size_t dedup_state_entries = 0;
+  std::uint64_t admitted = 0;
+  double parse_lines_per_s = 0;
+  double ingest_records_per_s = 0;
+  double features_per_s = 0;
+  double end_to_end_records_per_s = 0;
+};
+
+template <typename Fn>
+double best_of(int repeat, std::size_t items, Fn&& fn) {
+  double best = 0.0;
+  for (int r = 0; r < repeat; ++r) {
+    const auto t0 = Clock::now();
+    fn();
+    const double rate = static_cast<double>(items) / seconds_since(t0);
+    best = std::max(best, rate);
+  }
+  return best;
+}
+
+int run(int argc, char** argv) {
+  const bool smoke = arg_flag(argc, argv, "--smoke");
+  const double scale = arg_scale(argc, argv, smoke ? 0.02 : 0.25);
+  const std::uint64_t seed = arg_seed(argc, argv, 7);
+  const int repeat =
+      smoke ? 1 : std::max(1, std::atoi(arg_str(argc, argv, "--repeat", "3").c_str()));
+  const std::size_t threads = static_cast<std::size_t>(
+      std::atoi(arg_str(argc, argv, "--threads", "1").c_str()));
+  const std::string json_path = arg_str(argc, argv, "--json", "");
+  const std::string check_path = arg_str(argc, argv, "--check", "");
+  const std::string baseline_path = arg_str(argc, argv, "--baseline", "");
+
+  print_header("perf_pipeline",
+               "§III sensor throughput (parse -> dedup -> aggregate -> features)",
+               util::format("scale=%.3f seed=%llu threads=%zu repeat=%d", scale,
+                            static_cast<unsigned long long>(seed), threads, repeat));
+
+  sim::Scenario scenario(sim::jp_ditl_config(seed, scale));
+  scenario.run();
+  const auto& records = scenario.authority(0).records();
+
+  Results res;
+  res.records = records.size();
+
+  // --- parse: serialize once, then measure text -> QueryRecord ----------
+  std::string log_text;
+  log_text.reserve(records.size() * 32);
+  for (const auto& r : records) {
+    log_text += dns::serialize(r);
+    log_text += '\n';
+  }
+  res.lines_bytes = log_text.size();
+  res.parse_lines_per_s = best_of(repeat, records.size(), [&] {
+    std::istringstream is(log_text);
+    dns::QueryLogReader reader(is);
+    std::size_t n = 0;
+    while (reader.next()) ++n;
+    if (n != records.size()) std::abort();  // parse must be lossless here
+  });
+
+  // --- ingest: dedup + aggregation --------------------------------------
+  core::SensorConfig cfg;
+  cfg.threads = threads;
+  const auto make_sensor = [&] {
+    return core::Sensor(cfg, scenario.plan().as_db(), scenario.plan().geo_db(),
+                        scenario.naming());
+  };
+  res.ingest_records_per_s = best_of(repeat, records.size(), [&] {
+    auto sensor = make_sensor();
+    sensor.ingest_all(records);
+  });
+
+  // --- features: resolver classification + dynamic features -------------
+  auto sensor = make_sensor();
+  sensor.ingest_all(records);
+  res.dedup_state_entries = sensor.dedup().state_size();
+  res.admitted = sensor.dedup().admitted();
+  const auto features = sensor.extract_features();
+  res.interesting = features.size();
+  if (res.interesting != 0) {
+    res.features_per_s = best_of(repeat, res.interesting, [&] {
+      if (sensor.extract_features().size() != res.interesting) std::abort();
+    });
+  }
+
+  // --- end to end: fresh sensor, ingest + extract -----------------------
+  res.end_to_end_records_per_s = best_of(repeat, records.size(), [&] {
+    auto s = make_sensor();
+    s.ingest_all(records);
+    if (s.extract_features().size() != res.interesting) std::abort();
+  });
+
+  const long rss_kb = peak_rss_kb();
+
+  std::printf("records            %zu (%zu interesting originators)\n", res.records,
+              res.interesting);
+  std::printf("parse              %.0f lines/s\n", res.parse_lines_per_s);
+  std::printf("ingest             %.0f records/s\n", res.ingest_records_per_s);
+  std::printf("extract_features   %.0f vectors/s\n", res.features_per_s);
+  std::printf("end-to-end         %.0f records/s\n", res.end_to_end_records_per_s);
+  std::printf("dedup state        %zu entries (admitted %llu)\n", res.dedup_state_entries,
+              static_cast<unsigned long long>(res.admitted));
+  std::printf("peak RSS           %ld kB\n", rss_kb);
+
+  if (!json_path.empty()) {
+    std::ofstream os(json_path);
+    os << "{\n"
+       << "  \"bench\": \"perf_pipeline\",\n"
+       << "  \"seed\": " << seed << ",\n"
+       << "  \"scale\": " << scale << ",\n"
+       << "  \"threads\": " << threads << ",\n"
+       << "  \"records\": " << res.records << ",\n"
+       << "  \"interesting\": " << res.interesting << ",\n"
+       << "  \"parse_lines_per_s\": " << res.parse_lines_per_s << ",\n"
+       << "  \"ingest_records_per_s\": " << res.ingest_records_per_s << ",\n"
+       << "  \"features_per_s\": " << res.features_per_s << ",\n"
+       << "  \"end_to_end_records_per_s\": " << res.end_to_end_records_per_s << ",\n"
+       << "  \"dedup_state_entries\": " << res.dedup_state_entries << ",\n"
+       << "  \"peak_rss_kb\": " << rss_kb;
+    if (!baseline_path.empty()) {
+      std::ifstream bis(baseline_path);
+      std::stringstream bbuf;
+      bbuf << bis.rdbuf();
+      const std::string base = bbuf.str();
+      const struct {
+        const char* key;
+        double live;
+      } axes[] = {
+          {"parse_lines_per_s", res.parse_lines_per_s},
+          {"ingest_records_per_s", res.ingest_records_per_s},
+          {"features_per_s", res.features_per_s},
+          {"end_to_end_records_per_s", res.end_to_end_records_per_s},
+      };
+      for (const auto& axis : axes) {
+        const double before = json_number(base, axis.key);
+        os << ",\n  \"baseline_" << axis.key << "\": " << before;
+        if (before > 0.0) {
+          os << ",\n  \"speedup_" << axis.key << "\": " << axis.live / before;
+          std::printf("speedup %-26s %.2fx (%.0f -> %.0f)\n", axis.key,
+                      axis.live / before, before, axis.live);
+        }
+      }
+    }
+    os << "\n}\n";
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
+
+  if (!check_path.empty()) {
+    std::ifstream is(check_path);
+    if (!is) {
+      std::fprintf(stderr, "check: cannot read %s\n", check_path.c_str());
+      return 1;
+    }
+    std::stringstream buffer;
+    buffer << is.rdbuf();
+    const std::string committed = buffer.str();
+    // >10% below the committed number on any throughput axis fails the gate.
+    const struct {
+      const char* key;
+      double live;
+    } axes[] = {
+        {"parse_lines_per_s", res.parse_lines_per_s},
+        {"ingest_records_per_s", res.ingest_records_per_s},
+        {"features_per_s", res.features_per_s},
+        {"end_to_end_records_per_s", res.end_to_end_records_per_s},
+    };
+    bool ok = true;
+    for (const auto& axis : axes) {
+      const double want = json_number(committed, axis.key);
+      if (want <= 0.0) continue;
+      const double ratio = axis.live / want;
+      std::printf("check %-26s %12.0f vs committed %12.0f  (%.2fx)%s\n", axis.key,
+                  axis.live, want, ratio, ratio < 0.9 ? "  REGRESSION" : "");
+      if (ratio < 0.9) ok = false;
+    }
+    if (!ok) {
+      std::fprintf(stderr, "\nperf check FAILED: >10%% regression vs %s\n",
+                   check_path.c_str());
+      return 1;
+    }
+    std::printf("\nperf check passed (within 10%% of %s)\n", check_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace dnsbs::bench
+
+int main(int argc, char** argv) { return dnsbs::bench::run(argc, argv); }

@@ -8,23 +8,28 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "dns/query_log.hpp"
 #include "net/ipv4.hpp"
+#include "util/flat_hash.hpp"
 #include "util/time.hpp"
 
 namespace dnsbs::core {
 
 /// Everything the feature extractors need to know about one originator.
+///
+/// The containers are flat-hash (util::FlatMap/FlatSet): all records of
+/// one originator are ingested by one shard in stream order, so the slot
+/// layout — and with it the iteration order every feature reduction sees —
+/// is identical between serial and sharded ingest (merge moves the
+/// per-originator state wholesale).
 struct OriginatorAggregate {
   net::IPv4Addr originator;
   /// Query count per unique querier (after dedup).
-  std::unordered_map<net::IPv4Addr, std::uint32_t> querier_queries;
+  util::FlatMap<net::IPv4Addr, std::uint32_t> querier_queries;
   /// Distinct 10-minute periods in which the originator appeared.
-  std::unordered_set<std::int64_t> periods;
+  util::FlatSet<std::int64_t> periods;
   util::SimTime first_seen{};
   util::SimTime last_seen{};
   std::uint64_t total_queries = 0;
@@ -59,7 +64,7 @@ class OriginatorAggregator {
   /// (denominator for the persistence feature).
   std::size_t total_periods() const noexcept { return all_periods_.size(); }
 
-  const std::unordered_map<net::IPv4Addr, OriginatorAggregate>& aggregates() const noexcept {
+  const util::FlatMap<net::IPv4Addr, OriginatorAggregate>& aggregates() const noexcept {
     return aggregates_;
   }
 
@@ -72,8 +77,8 @@ class OriginatorAggregator {
 
  private:
   util::SimTime period_;
-  std::unordered_map<net::IPv4Addr, OriginatorAggregate> aggregates_;
-  std::unordered_set<std::int64_t> all_periods_;
+  util::FlatMap<net::IPv4Addr, OriginatorAggregate> aggregates_;
+  util::FlatSet<std::int64_t> all_periods_;
 };
 
 }  // namespace dnsbs::core

@@ -5,8 +5,8 @@
 namespace dnsbs::core {
 
 bool Deduplicator::admit(const dns::QueryRecord& record) {
-  const PairKey key{(static_cast<std::uint64_t>(record.querier.value()) << 32) |
-                    record.originator.value()};
+  const std::uint64_t key = (static_cast<std::uint64_t>(record.querier.value()) << 32) |
+                            record.originator.value();
   const auto [it, inserted] = last_seen_.try_emplace(key, record.time);
   bool pass = true;
   if (!inserted) {
@@ -14,13 +14,24 @@ bool Deduplicator::admit(const dns::QueryRecord& record) {
       pass = false;
     } else {
       it->second = record.time;
+      queue_expiry(key, record.time);
     }
+  } else {
+    queue_expiry(key, record.time);
   }
   pass ? ++admitted_ : ++suppressed_;
   // Periodically drop stale entries so long runs don't accumulate state
   // for queriers that went quiet.
   catch_up_prune(record.time);
   return pass;
+}
+
+void Deduplicator::queue_expiry(std::uint64_t key, util::SimTime time) {
+  if (window_.secs() <= 0) return;  // no pruning without a window
+  // Clamp below the drained frontier: a backdated write lands in the next
+  // drainable bucket and the exact re-check at drain time decides.
+  const std::int64_t bucket = std::max(bucket_of(time), next_drain_);
+  expiry_[bucket].push_back(key);
 }
 
 void Deduplicator::catch_up_prune(util::SimTime now) {
@@ -40,25 +51,54 @@ void Deduplicator::catch_up_prune(util::SimTime now) {
 }
 
 void Deduplicator::merge_from(Deduplicator&& other) {
-  last_seen_.reserve(last_seen_.size() + other.last_seen_.size());
-  for (const auto& [key, time] : other.last_seen_) {
-    auto [it, inserted] = last_seen_.try_emplace(key, time);
-    if (!inserted) it->second = std::max(it->second, time);
-  }
+  last_seen_.merge_from(std::move(other.last_seen_),
+                        [](util::SimTime& mine, util::SimTime&& theirs) {
+                          mine = std::max(mine, theirs);
+                        });
+  expiry_.merge_from(std::move(other.expiry_),
+                     [](std::vector<std::uint64_t>& mine,
+                        std::vector<std::uint64_t>&& theirs) {
+                       mine.insert(mine.end(), theirs.begin(), theirs.end());
+                     });
+  next_drain_ = std::max(next_drain_, other.next_drain_);
   admitted_ += other.admitted_;
   suppressed_ += other.suppressed_;
   last_prune_interval_ = std::max(last_prune_interval_, other.last_prune_interval_);
-  other.last_seen_.clear();
+  other.next_drain_ = 0;
   other.admitted_ = 0;
   other.suppressed_ = 0;
 }
 
 void Deduplicator::prune(util::SimTime now) {
-  for (auto it = last_seen_.begin(); it != last_seen_.end();) {
-    if (now - it->second >= window_) {
-      it = last_seen_.erase(it);
-    } else {
-      ++it;
+  // Retention rule (unchanged): keep iff now - time < window, i.e. drop
+  // time <= now - window.  `now` is a 2*window boundary, so the cutoff is
+  // a multiple of window and every bucket up to cutoff/window is entirely
+  // expired: draining exactly those buckets reproduces the full-walk
+  // result without touching live entries.
+  const std::int64_t w = window_.secs();
+  const std::int64_t cutoff_bucket = (now.secs() - w) / w;
+
+  // Collect the drained buckets first: live-but-refreshed keys re-queue
+  // into later buckets while we iterate.
+  std::vector<std::pair<std::int64_t, std::vector<std::uint64_t>>> drained;
+  for (auto& [bucket, keys] : expiry_) {
+    if (bucket <= cutoff_bucket) drained.emplace_back(bucket, std::move(keys));
+  }
+  for (const auto& [bucket, keys] : drained) expiry_.erase(bucket);
+  next_drain_ = std::max(next_drain_, cutoff_bucket + 1);
+
+  for (auto& [bucket, keys] : drained) {
+    for (const std::uint64_t key : keys) {
+      const auto* entry = last_seen_.find(key);
+      if (entry == nullptr) continue;  // already erased via an earlier queue slot
+      if (now - entry->second >= window_) {
+        last_seen_.erase(key);
+      } else {
+        // Refreshed since this queue entry was written; its newer queue
+        // slot may itself have been drained in this same pass, so re-queue
+        // under the (clamped) bucket of its current time.
+        queue_expiry(key, entry->second);
+      }
     }
   }
 }

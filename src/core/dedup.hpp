@@ -6,13 +6,21 @@
 // record through iff the same (querier, originator) pair has not been seen
 // within the window.  Records are expected in (roughly) time order; the
 // window state is pruned as time advances to bound memory.
+//
+// Pruning is amortized via bucketed expiry: every write of an entry's
+// last-seen time also queues its key under the time's window-width bucket.
+// A prune drains only the buckets that are entirely past the cutoff and
+// re-checks each queued key against the live map, so the retained entry
+// set is byte-identical to the old full-map walk while prune work is
+// O(keys written) amortized instead of O(state) per boundary.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
-#include <unordered_map>
+#include <vector>
 
 #include "dns/query_log.hpp"
+#include "util/flat_hash.hpp"
 #include "util/time.hpp"
 
 namespace dnsbs::core {
@@ -45,22 +53,32 @@ class Deduplicator {
   std::size_t state_size() const noexcept { return last_seen_.size(); }
 
  private:
-  struct PairKey {
-    std::uint64_t packed;
-    bool operator==(const PairKey&) const = default;
-  };
-  struct PairHash {
-    std::size_t operator()(const PairKey& k) const noexcept {
-      std::uint64_t z = k.packed + 0x9e3779b97f4a7c15ULL;
-      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-      return static_cast<std::size_t>(z ^ (z >> 31));
+  struct SplitMixHash {
+    std::size_t operator()(std::uint64_t k) const noexcept {
+      return static_cast<std::size_t>(k);  // FlatMap applies the SplitMix64 mix
     }
   };
 
   void prune(util::SimTime now);
 
+  /// Queues `key` for expiry under the bucket of its (just written) time.
+  void queue_expiry(std::uint64_t key, util::SimTime time);
+
+  /// Bucket index covering `t`: ceil(t / window).  Bucket b holds times in
+  /// ((b-1)*w, b*w]; prune cutoffs are multiples of w, so a bucket is
+  /// either entirely expired or entirely live at every boundary.
+  std::int64_t bucket_of(util::SimTime t) const noexcept {
+    const std::int64_t w = window_.secs();
+    return (t.secs() + w - 1) / w;
+  }
+
   util::SimTime window_;
-  std::unordered_map<PairKey, util::SimTime, PairHash> last_seen_;
+  util::FlatMap<std::uint64_t, util::SimTime, SplitMixHash> last_seen_;
+  /// bucket index -> keys last written with a time in that bucket.
+  util::FlatMap<std::int64_t, std::vector<std::uint64_t>> expiry_;
+  /// Lowest bucket index not yet drained; late writes clamp to it so a
+  /// backdated entry still expires at the next boundary.
+  std::int64_t next_drain_ = 0;
   std::int64_t last_prune_interval_ = 0;
   std::uint64_t admitted_ = 0;
   std::uint64_t suppressed_ = 0;

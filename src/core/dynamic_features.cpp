@@ -1,7 +1,5 @@
 #include "core/dynamic_features.hpp"
 
-#include <unordered_set>
-
 #include "util/stats.hpp"
 
 namespace dnsbs::core {
@@ -16,16 +14,51 @@ DynamicFeatureExtractor::DynamicFeatureExtractor(const netdb::AsDb& as_db,
                                                  const netdb::GeoDb& geo_db,
                                                  const OriginatorAggregator& interval)
     : as_db_(as_db), geo_db_(geo_db), interval_periods_(interval.total_periods()) {
-  std::unordered_set<netdb::Asn> ases;
-  std::unordered_set<netdb::CountryCode> countries;
+  // One pass over the interval learns the AS/country normalizers and, as a
+  // side effect, memoizes every unique querier's AS and country: queriers
+  // shared by many originator footprints cost one trie lookup instead of
+  // one per membership when extract() runs.
+  util::FlatSet<netdb::Asn> ases;
+  util::FlatSet<netdb::CountryCode> countries;
   for (const auto& [originator, agg] : interval.aggregates()) {
+    geo_cache_.reserve(geo_cache_.size() + agg.querier_queries.size() / 2);
     for (const auto& [querier, count] : agg.querier_queries) {
-      if (const auto asn = as_db_.lookup(querier)) ases.insert(*asn);
-      if (const auto cc = geo_db_.lookup(querier)) countries.insert(*cc);
+      const auto [slot, inserted] = geo_cache_.try_emplace(querier);
+      if (inserted) {
+        QuerierGeo& geo = slot->second;
+        if (const auto asn = as_db_.lookup(querier)) {
+          geo.asn = *asn;
+          geo.has_asn = true;
+        }
+        if (const auto cc = geo_db_.lookup(querier)) {
+          geo.cc = *cc;
+          geo.has_cc = true;
+        }
+      }
+      const QuerierGeo& geo = slot->second;
+      if (geo.has_asn) ases.insert(geo.asn);
+      if (geo.has_cc) countries.insert(geo.cc);
     }
   }
   interval_as_count_ = ases.size();
   interval_country_count_ = countries.size();
+}
+
+DynamicFeatureExtractor::QuerierGeo DynamicFeatureExtractor::lookup_geo(
+    net::IPv4Addr querier) const {
+  if (const auto* cached = geo_cache_.find(querier)) return cached->second;
+  // Not part of the interval the extractor was built over (callers mixing
+  // aggregators); fall back to the databases.
+  QuerierGeo geo;
+  if (const auto asn = as_db_.lookup(querier)) {
+    geo.asn = *asn;
+    geo.has_asn = true;
+  }
+  if (const auto cc = geo_db_.lookup(querier)) {
+    geo.cc = *cc;
+    geo.has_cc = true;
+  }
+  return geo;
 }
 
 DynamicFeatures DynamicFeatureExtractor::extract(const OriginatorAggregate& agg) const {
@@ -41,18 +74,25 @@ DynamicFeatures DynamicFeatureExtractor::extract(const OriginatorAggregate& agg)
           ? 0.0
           : static_cast<double>(agg.periods.size()) / static_cast<double>(interval_periods_);
 
-  util::Counter<std::uint32_t> slash24s;
-  util::Counter<std::uint32_t> slash8s;
-  std::unordered_set<netdb::Asn> ases;
-  std::unordered_set<netdb::CountryCode> countries;
+  util::FlatMap<std::uint32_t, std::size_t> slash24s;
+  util::FlatMap<std::uint32_t, std::size_t> slash8s;
+  util::FlatSet<netdb::Asn> ases;
+  util::FlatSet<netdb::CountryCode> countries;
   for (const auto& [querier, count] : agg.querier_queries) {
-    slash24s.add(querier.slash24());
-    slash8s.add(querier.slash8());
-    if (const auto asn = as_db_.lookup(querier)) ases.insert(*asn);
-    if (const auto cc = geo_db_.lookup(querier)) countries.insert(*cc);
+    ++slash24s[querier.slash24()];
+    ++slash8s[querier.slash8()];
+    const QuerierGeo geo = lookup_geo(querier);
+    if (geo.has_asn) ases.insert(geo.asn);
+    if (geo.has_cc) countries.insert(geo.cc);
   }
-  const auto local_counts = slash24s.values();
-  const auto global_counts = slash8s.values();
+  const auto bucket_counts = [](const util::FlatMap<std::uint32_t, std::size_t>& m) {
+    std::vector<std::size_t> out;
+    out.reserve(m.size());
+    for (const auto& [bucket, n] : m) out.push_back(n);
+    return out;
+  };
+  const auto local_counts = bucket_counts(slash24s);
+  const auto global_counts = bucket_counts(slash8s);
   f[static_cast<std::size_t>(DynamicFeature::kLocalEntropy)] =
       util::normalized_entropy(local_counts);
   f[static_cast<std::size_t>(DynamicFeature::kGlobalEntropy)] =

@@ -24,6 +24,7 @@
 #include "core/aggregate.hpp"
 #include "netdb/as_db.hpp"
 #include "netdb/geo_db.hpp"
+#include "util/flat_hash.hpp"
 
 namespace dnsbs::core {
 
@@ -46,7 +47,9 @@ std::array<std::string_view, kDynamicFeatureCount> dynamic_feature_names() noexc
 
 /// Extracts dynamic features for originators of one measurement interval.
 /// Construction takes a first pass over all aggregates to learn the
-/// interval-wide AS and country populations used as normalizers.
+/// interval-wide AS and country populations used as normalizers; the same
+/// pass memoizes each unique querier's AS/country so extract() never
+/// repeats a prefix-trie lookup for a querier shared by many originators.
 class DynamicFeatureExtractor {
  public:
   DynamicFeatureExtractor(const netdb::AsDb& as_db, const netdb::GeoDb& geo_db,
@@ -58,8 +61,19 @@ class DynamicFeatureExtractor {
   std::size_t interval_country_count() const noexcept { return interval_country_count_; }
 
  private:
+  /// Memoized querier identity: AS and country, resolved once per interval.
+  struct QuerierGeo {
+    netdb::Asn asn{};
+    netdb::CountryCode cc{};
+    bool has_asn = false;
+    bool has_cc = false;
+  };
+
+  QuerierGeo lookup_geo(net::IPv4Addr querier) const;
+
   const netdb::AsDb& as_db_;
   const netdb::GeoDb& geo_db_;
+  util::FlatMap<net::IPv4Addr, QuerierGeo> geo_cache_;
   std::size_t interval_as_count_;
   std::size_t interval_country_count_;
   std::size_t interval_periods_;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/dynamic_features.hpp"
+#include "core/querier_cache.hpp"
 #include "core/static_features.hpp"
 #include "ml/dataset.hpp"
 #include "net/ipv4.hpp"
@@ -39,5 +40,11 @@ ml::Dataset make_dataset();
 /// Computes static features from an aggregate via a resolver.
 StaticFeatures compute_static_features(const OriginatorAggregate& agg,
                                        const QuerierResolver& resolver);
+
+/// Computes static features via the per-interval classification cache so a
+/// querier shared by many footprints is resolved only once (the hot path —
+/// Sensor::extract_features uses this overload).
+StaticFeatures compute_static_features(const OriginatorAggregate& agg,
+                                       const QuerierClassificationCache& cache);
 
 }  // namespace dnsbs::core

@@ -1,0 +1,42 @@
+#include "core/querier_cache.hpp"
+
+#include <vector>
+
+#include "core/aggregate.hpp"
+#include "util/parallel.hpp"
+
+namespace dnsbs::core {
+
+void QuerierClassificationCache::build(
+    std::span<const OriginatorAggregate* const> aggregates, std::size_t threads) {
+  // Deterministic unique-querier list: first-seen order over the (already
+  // footprint-sorted) aggregate list.
+  std::vector<net::IPv4Addr> unique;
+  util::FlatSet<net::IPv4Addr> seen;
+  for (const OriginatorAggregate* agg : aggregates) {
+    seen.reserve(seen.size() + agg->querier_queries.size());
+    for (const auto& [querier, count] : agg->querier_queries) {
+      if (seen.insert(querier)) unique.push_back(querier);
+    }
+  }
+
+  // Resolution + keyword classification is pure, so unique queriers fan
+  // out across the worker pool; results land index-ordered.
+  const std::vector<QuerierCategory> classified = util::parallel_map(
+      unique.size(),
+      [&](std::size_t i) { return classify_querier(base_.resolve(unique[i])); },
+      threads);
+
+  categories_.clear();
+  categories_.reserve(unique.size());
+  for (std::size_t i = 0; i < unique.size(); ++i) {
+    categories_.try_emplace(unique[i], classified[i]);
+  }
+}
+
+QuerierCategory QuerierClassificationCache::category(net::IPv4Addr querier) const {
+  if (const auto* cached = categories_.find(querier)) return cached->second;
+  return classify_querier(base_.resolve(querier));
+}
+
+}  // namespace dnsbs::core

@@ -1,0 +1,55 @@
+// Per-interval querier-identity memoization.
+//
+// Static features need each querier's reverse name resolved and
+// keyword-classified (paper §III-C).  A querier — a recursive resolver —
+// typically appears in MANY originators' footprints, so resolving per
+// (originator, querier) membership repeats the same reverse lookup and
+// keyword scan hundreds of times per interval.  QuerierClassificationCache
+// resolves and classifies each unique querier exactly once per interval:
+// build() collects the unique queriers across the selected aggregates,
+// classifies them in parallel (the resolver is shared read-only state),
+// and freezes the result into a flat map that the per-originator feature
+// loops — running concurrently on the PR 1 worker pool — read without
+// synchronization.
+//
+// Invalidation rule: the cache is scoped to one measurement interval (one
+// Sensor::extract_features call).  Reverse names drift across intervals
+// (dynamic pools, re-delegation), so a fresh interval builds a fresh cache;
+// nothing is carried over.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "core/static_features.hpp"
+#include "net/ipv4.hpp"
+#include "util/flat_hash.hpp"
+
+namespace dnsbs::core {
+
+struct OriginatorAggregate;
+
+class QuerierClassificationCache {
+ public:
+  explicit QuerierClassificationCache(const QuerierResolver& base) : base_(base) {}
+
+  /// Resolves + classifies every unique querier appearing across
+  /// `aggregates`, each exactly once, fanning out over `threads` workers
+  /// (0 = configured).  Call once per interval before the feature loops.
+  void build(std::span<const OriginatorAggregate* const> aggregates,
+             std::size_t threads = 0);
+
+  /// The cached category; falls back to a direct resolve for queriers
+  /// outside the built set (callers mixing aggregates).  Safe to call
+  /// concurrently after build().
+  QuerierCategory category(net::IPv4Addr querier) const;
+
+  /// Unique queriers classified by build().
+  std::size_t size() const noexcept { return categories_.size(); }
+
+ private:
+  const QuerierResolver& base_;
+  util::FlatMap<net::IPv4Addr, QuerierCategory> categories_;
+};
+
+}  // namespace dnsbs::core

@@ -95,8 +95,13 @@ std::vector<FeatureVector> Sensor::extract_features() const {
       aggregator_.select_interesting(config_.min_queriers, config_.top_n);
   const DynamicFeatureExtractor dyn(as_db_, geo_db_, aggregator_);
 
-  // Per-originator extraction is pure (resolver and databases are
-  // read-only), so rows compute in parallel; ordering follows the
+  // Per-interval memoization: each unique querier is resolved and
+  // keyword-classified exactly once, not once per footprint membership.
+  QuerierClassificationCache cache(resolver_);
+  cache.build(interesting, config_.threads);
+
+  // Per-originator extraction is pure (cache and databases are read-only
+  // after build), so rows compute in parallel; ordering follows the
   // footprint-sorted `interesting` list either way.
   return util::parallel_map(
       interesting.size(),
@@ -105,7 +110,7 @@ std::vector<FeatureVector> Sensor::extract_features() const {
         FeatureVector fv;
         fv.originator = agg->originator;
         fv.footprint = agg->unique_queriers();
-        fv.statics = compute_static_features(*agg, resolver_);
+        fv.statics = compute_static_features(*agg, cache);
         fv.dynamics = dyn.extract(*agg);
         return fv;
       },

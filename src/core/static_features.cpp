@@ -18,13 +18,17 @@ struct KeywordRule {
 /// Rules in paper order; within a label the first matching rule wins.
 const std::vector<KeywordRule>& keyword_rules() {
   static const std::vector<KeywordRule> kRules = {
+      // The paper lists "pop" under both home and mail; here it appears only
+      // under home (pop = point-of-presence, an access-network term).  Under
+      // first-match-wins a second "pop" entry in the mail rule would be dead
+      // code: the home rule always claims the label first.
       {QuerierCategory::kHome,
        {"ap", "cable", "cpe", "customer", "dsl", "dynamic", "fiber", "flets", "home", "host",
         "ip", "net", "pool", "pop", "retail", "user"},
        false},
       {QuerierCategory::kMail,
        {"mail", "mx", "smtp", "post", "correo", "poczta", "send", "lists", "newsletter",
-        "zimbra", "mta", "pop", "imap"},
+        "zimbra", "mta", "imap"},
        false},
       {QuerierCategory::kNs, {"cns", "dns", "ns", "cache", "resolv", "name"}, false},
       {QuerierCategory::kFw, {"firewall", "wall", "fw"}, false},

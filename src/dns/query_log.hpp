@@ -61,6 +61,7 @@ class QueryLogReader {
 
  private:
   std::istream& is_;
+  std::string line_;  ///< reused across records: one allocation per reader
   std::size_t skipped_ = 0;
 };
 

@@ -5,14 +5,27 @@
 namespace dnsbs::net {
 
 std::optional<IPv4Addr> IPv4Addr::parse(std::string_view text) noexcept {
-  const auto parts = util::split(text, '.');
-  if (parts.size() != 4) return std::nullopt;
+  // Single forward scan, no intermediate field vector: this sits on the
+  // log-replay hot path (three address parses per record line).
+  // Accepts exactly 4 dot-separated runs of 1-3 digits, each <= 255.
   std::uint32_t value = 0;
-  for (const auto part : parts) {
-    std::uint64_t octet = 0;
-    if (!util::parse_u64(part, octet) || octet > 255 || part.size() > 3) return std::nullopt;
-    value = (value << 8) | static_cast<std::uint32_t>(octet);
+  std::size_t pos = 0;
+  for (int field = 0; field < 4; ++field) {
+    if (field > 0) {
+      if (pos >= text.size() || text[pos] != '.') return std::nullopt;
+      ++pos;
+    }
+    const std::size_t start = pos;
+    std::uint32_t octet = 0;
+    while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') {
+      if (pos - start == 3) return std::nullopt;  // >3 digits
+      octet = octet * 10 + static_cast<std::uint32_t>(text[pos] - '0');
+      ++pos;
+    }
+    if (pos == start || octet > 255) return std::nullopt;
+    value = (value << 8) | octet;
   }
+  if (pos != text.size()) return std::nullopt;  // trailing garbage
   return IPv4Addr(value);
 }
 

@@ -1,0 +1,328 @@
+// Header-only open-addressing hash containers for the hot ingest path.
+//
+// The sensor's inner loops (dedup window, per-originator querier
+// histograms, period sets) used to run on node-based std::unordered_map:
+// one heap allocation and a pointer chase per insert.  FlatMap/FlatSet
+// store entries inline in a power-of-two slot array with linear probing,
+// so inserts are allocation-free until growth and lookups touch one cache
+// line in the common case.
+//
+// Determinism contract (DESIGN.md "Performance: data layout & caching"):
+// the slot layout — and therefore iteration order — is a pure function of
+// the sequence of insert/erase/reserve operations and the hash function.
+// There is no per-process salt.  Two runs (or two threads' shards) that
+// perform the same operation sequence iterate in the same order, which is
+// what lets floating-point reductions over these containers stay
+// byte-identical between serial and sharded execution.  Iteration order is
+// NOT sorted and not insertion order; output paths that need a canonical
+// order use for_each_sorted() / sorted_keys() below.
+//
+// Deletion uses the classic linear-probing backward-shift algorithm
+// (no tombstones), so erase-heavy workloads (the dedup window prune) do
+// not degrade probe lengths over time.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace dnsbs::util {
+
+namespace flat_detail {
+
+/// SplitMix64 finalizer: turns any 64-bit value (including the identity
+/// std::hash of integral keys) into a well-avalanched index.  This is the
+/// same mix net::IPv4Addr's std::hash uses, so address keys get mixed
+/// twice — harmless, and keys without a strong hash stay safe.
+inline std::uint64_t mix64(std::uint64_t z) noexcept {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+inline std::size_t next_pow2(std::size_t n) noexcept {
+  std::size_t c = 1;
+  while (c < n) c <<= 1;
+  return c;
+}
+
+}  // namespace flat_detail
+
+/// Open-addressing hash map: power-of-two capacity, SplitMix64-mixed
+/// hashing, linear probing, backward-shift deletion.  Values must be
+/// default-constructible and movable.  Grows at 3/4 load.
+///
+/// Iterators are invalidated by any insert or erase.  find() returns a
+/// pointer to the slot's std::pair<K, V> (nullptr when absent), which
+/// doubles as the "iterator" for the try_emplace result.
+template <typename K, typename V, typename Hash = std::hash<K>>
+class FlatMap {
+ public:
+  using value_type = std::pair<K, V>;
+
+  FlatMap() = default;
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  /// Pre-sizes so `expected` entries fit without growth.
+  void reserve(std::size_t expected) {
+    if (expected == 0) return;
+    const std::size_t want = flat_detail::next_pow2(expected + expected / 2 + 1);
+    if (want > slots_.size()) rehash(want);
+  }
+
+  void clear() noexcept {
+    slots_.clear();
+    used_.clear();
+    size_ = 0;
+  }
+
+  V& operator[](const K& key) { return try_emplace(key).first->second; }
+
+  /// Inserts (key, V(args...)) if absent; returns {slot, inserted}.
+  /// Arguments are only consumed when an insert actually happens.
+  template <typename KeyArg, typename... Args>
+  std::pair<value_type*, bool> try_emplace(KeyArg&& key, Args&&... args) {
+    grow_if_needed();
+    std::size_t i = home(key);
+    while (used_[i]) {
+      if (slots_[i].first == key) return {&slots_[i], false};
+      i = (i + 1) & mask();
+    }
+    slots_[i].first = K(std::forward<KeyArg>(key));
+    slots_[i].second = V(std::forward<Args>(args)...);
+    used_[i] = 1;
+    ++size_;
+    return {&slots_[i], true};
+  }
+
+  value_type* find(const K& key) noexcept {
+    const std::size_t i = find_index(key);
+    return i == npos ? nullptr : &slots_[i];
+  }
+  const value_type* find(const K& key) const noexcept {
+    const std::size_t i = find_index(key);
+    return i == npos ? nullptr : &slots_[i];
+  }
+
+  bool contains(const K& key) const noexcept { return find_index(key) != npos; }
+
+  const V& at(const K& key) const {
+    const std::size_t i = find_index(key);
+    if (i == npos) throw std::out_of_range("FlatMap::at: key not found");
+    return slots_[i].second;
+  }
+  V& at(const K& key) {
+    const std::size_t i = find_index(key);
+    if (i == npos) throw std::out_of_range("FlatMap::at: key not found");
+    return slots_[i].second;
+  }
+
+  /// Backward-shift deletion: closes the probe gap instead of leaving a
+  /// tombstone, so heavy prune cycles don't inflate probe lengths.
+  bool erase(const K& key) noexcept {
+    std::size_t i = find_index(key);
+    if (i == npos) return false;
+    used_[i] = 0;
+    slots_[i] = value_type{};
+    --size_;
+    std::size_t j = i;
+    while (true) {
+      j = (j + 1) & mask();
+      if (!used_[j]) break;
+      const std::size_t h = home(slots_[j].first);
+      // Entry at j may move into the gap at i iff its home precedes the
+      // gap in cyclic probe order: (j - h) mod cap >= (j - i) mod cap.
+      if (((j - h) & mask()) >= ((j - i) & mask())) {
+        slots_[i] = std::move(slots_[j]);
+        used_[i] = 1;
+        used_[j] = 0;
+        slots_[j] = value_type{};
+        i = j;
+      }
+    }
+    return true;
+  }
+
+  /// Moves every entry of `other` into this map; on key collision,
+  /// combine(existing_value, moved_incoming_value) decides the outcome.
+  /// `other` is left empty.
+  template <typename Combine>
+  void merge_from(FlatMap&& other, Combine&& combine) {
+    reserve(size_ + other.size_);
+    for (auto& kv : other) {
+      auto [slot, inserted] = try_emplace(std::move(kv.first), std::move(kv.second));
+      if (!inserted) combine(slot->second, std::move(kv.second));
+    }
+    other.clear();
+  }
+
+  /// merge_from keeping the existing value on collision.
+  void merge_from(FlatMap&& other) {
+    merge_from(std::move(other), [](V&, V&&) {});
+  }
+
+  template <bool Const>
+  class Iter {
+   public:
+    using Parent = std::conditional_t<Const, const FlatMap, FlatMap>;
+    using reference = std::conditional_t<Const, const value_type&, value_type&>;
+    using pointer = std::conditional_t<Const, const value_type*, value_type*>;
+
+    Iter(Parent* m, std::size_t i) : m_(m), i_(i) { skip(); }
+
+    reference operator*() const { return m_->slots_[i_]; }
+    pointer operator->() const { return &m_->slots_[i_]; }
+    Iter& operator++() {
+      ++i_;
+      skip();
+      return *this;
+    }
+    bool operator==(const Iter& o) const { return i_ == o.i_; }
+    bool operator!=(const Iter& o) const { return i_ != o.i_; }
+
+   private:
+    void skip() {
+      while (i_ < m_->slots_.size() && !m_->used_[i_]) ++i_;
+    }
+    Parent* m_;
+    std::size_t i_;
+  };
+
+  using iterator = Iter<false>;
+  using const_iterator = Iter<true>;
+
+  iterator begin() noexcept { return iterator(this, 0); }
+  iterator end() noexcept { return iterator(this, slots_.size()); }
+  const_iterator begin() const noexcept { return const_iterator(this, 0); }
+  const_iterator end() const noexcept { return const_iterator(this, slots_.size()); }
+
+  /// Slots currently allocated (diagnostic; 0 before the first insert).
+  std::size_t capacity() const noexcept { return slots_.size(); }
+
+ private:
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  std::size_t mask() const noexcept { return slots_.size() - 1; }
+
+  std::size_t home(const K& key) const noexcept {
+    return static_cast<std::size_t>(flat_detail::mix64(
+               static_cast<std::uint64_t>(Hash{}(key)))) &
+           mask();
+  }
+
+  std::size_t find_index(const K& key) const noexcept {
+    if (slots_.empty()) return npos;
+    std::size_t i = home(key);
+    while (used_[i]) {
+      if (slots_[i].first == key) return i;
+      i = (i + 1) & mask();
+    }
+    return npos;
+  }
+
+  void grow_if_needed() {
+    if (slots_.empty()) {
+      rehash(16);
+    } else if ((size_ + 1) * 4 > slots_.size() * 3) {
+      rehash(slots_.size() * 2);
+    }
+  }
+
+  void rehash(std::size_t new_cap) {
+    std::vector<value_type> old_slots = std::move(slots_);
+    std::vector<std::uint8_t> old_used = std::move(used_);
+    slots_.assign(new_cap, value_type{});
+    used_.assign(new_cap, 0);
+    for (std::size_t s = 0; s < old_slots.size(); ++s) {
+      if (!old_used[s]) continue;
+      std::size_t i = home(old_slots[s].first);
+      while (used_[i]) i = (i + 1) & mask();
+      slots_[i] = std::move(old_slots[s]);
+      used_[i] = 1;
+    }
+  }
+
+  std::vector<value_type> slots_;
+  std::vector<std::uint8_t> used_;
+  std::size_t size_ = 0;
+};
+
+/// Open-addressing hash set with the same layout/determinism properties
+/// as FlatMap.
+template <typename K, typename Hash = std::hash<K>>
+class FlatSet {
+  struct Empty {};
+
+ public:
+  std::size_t size() const noexcept { return map_.size(); }
+  bool empty() const noexcept { return map_.empty(); }
+  void reserve(std::size_t expected) { map_.reserve(expected); }
+  void clear() noexcept { map_.clear(); }
+
+  /// True if the key was newly inserted.
+  bool insert(const K& key) { return map_.try_emplace(key).second; }
+
+  template <typename It>
+  void insert(It first, It last) {
+    for (; first != last; ++first) insert(*first);
+  }
+
+  bool contains(const K& key) const noexcept { return map_.contains(key); }
+  bool erase(const K& key) noexcept { return map_.erase(key); }
+
+  void merge_from(FlatSet&& other) { map_.merge_from(std::move(other.map_)); }
+
+  class const_iterator {
+   public:
+    using Inner = typename FlatMap<K, Empty, Hash>::const_iterator;
+    explicit const_iterator(Inner it) : it_(it) {}
+    const K& operator*() const { return it_->first; }
+    const_iterator& operator++() {
+      ++it_;
+      return *this;
+    }
+    bool operator==(const const_iterator& o) const { return it_ == o.it_; }
+    bool operator!=(const const_iterator& o) const { return it_ != o.it_; }
+
+   private:
+    Inner it_;
+  };
+
+  const_iterator begin() const noexcept { return const_iterator(map_.begin()); }
+  const_iterator end() const noexcept { return const_iterator(map_.end()); }
+
+ private:
+  FlatMap<K, Empty, Hash> map_;
+};
+
+/// Deterministic ordered iteration for output paths: visits (key, value)
+/// in ascending key order regardless of slot layout.
+template <typename K, typename V, typename H, typename Fn>
+void for_each_sorted(const FlatMap<K, V, H>& map, Fn&& fn) {
+  std::vector<const typename FlatMap<K, V, H>::value_type*> entries;
+  entries.reserve(map.size());
+  for (const auto& kv : map) entries.push_back(&kv);
+  std::sort(entries.begin(), entries.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+  for (const auto* kv : entries) fn(kv->first, kv->second);
+}
+
+/// Keys of a FlatSet in ascending order.
+template <typename K, typename H>
+std::vector<K> sorted_keys(const FlatSet<K, H>& set) {
+  std::vector<K> keys;
+  keys.reserve(set.size());
+  for (const K& k : set) keys.push_back(k);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+}  // namespace dnsbs::util

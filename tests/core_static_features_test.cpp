@@ -98,9 +98,16 @@ TEST(StaticFeatures, DigitsAndHyphensDelimit) {
 }
 
 TEST(StaticFeatures, PopPrefersHomeByRuleOrder) {
-  // "pop" appears in both the home and mail keyword lists in the paper;
-  // first rule (home) wins.
+  // "pop" appears in both the home and mail keyword lists in the paper, but
+  // under first-match-wins the mail entry is unreachable, so the table keeps
+  // it only under home (pop = point-of-presence).  This pins the precedence:
+  // a pop label is home, even in otherwise mail-looking names.
   EXPECT_EQ(classify("pop3.example.com"), QuerierCategory::kHome);
+  EXPECT_EQ(classify("pop.example.com"), QuerierCategory::kHome);
+  EXPECT_EQ(classify("pop-smtp7.example.com"), QuerierCategory::kHome);
+  // Other mail keywords are unaffected by the removal of the dead entry.
+  EXPECT_EQ(classify("smtp-pop-gw.example.com"), QuerierCategory::kHome);
+  EXPECT_EQ(classify("smtp-gw.example.com"), QuerierCategory::kMail);
 }
 
 TEST(StaticFeatures, NoMatchIsOther) {

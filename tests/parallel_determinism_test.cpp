@@ -134,6 +134,50 @@ TEST(ParallelDeterminism, SensorShardedIngestAndExtractMatchSerial) {
   }
 }
 
+TEST(ParallelDeterminism, ShardedIngestKeepsFlatMapLayoutIdentical) {
+  // Stronger than value equality: the FlatMap slot layout (iteration
+  // order) of every originator's querier histogram must match serial,
+  // because entropy reductions sum in iteration order and must stay
+  // byte-identical.  Each originator's map is built inside exactly one
+  // shard from the same record subsequence, then moved wholesale on
+  // merge, so the layouts coincide.
+  sim::Scenario scenario(sim::jp_ditl_config(71, 0.05));
+  scenario.run();
+  const auto& records = scenario.authority(0).records();
+  ASSERT_GT(records.size(), 4096u);
+
+  const auto run_with = [&](std::size_t threads) {
+    core::SensorConfig sc;
+    sc.threads = threads;
+    core::Sensor sensor(sc, scenario.plan().as_db(), scenario.plan().geo_db(),
+                        scenario.naming());
+    sensor.ingest_all(records);
+    return sensor;
+  };
+
+  const core::Sensor serial = run_with(1);
+  const core::Sensor sharded = run_with(4);
+  const auto& serial_aggs = serial.aggregator().aggregates();
+  const auto& sharded_aggs = sharded.aggregator().aggregates();
+  ASSERT_EQ(serial_aggs.size(), sharded_aggs.size());
+
+  std::size_t compared = 0;
+  for (const auto& [originator, agg] : serial_aggs) {
+    const auto* other = sharded_aggs.find(originator);
+    ASSERT_NE(other, nullptr) << originator.to_string();
+    ASSERT_EQ(agg.querier_queries.size(), other->second.querier_queries.size());
+    auto it_a = agg.querier_queries.begin();
+    auto it_b = other->second.querier_queries.begin();
+    for (; it_a != agg.querier_queries.end(); ++it_a, ++it_b) {
+      ASSERT_EQ(it_a->first, it_b->first)
+          << "slot order diverged for " << originator.to_string();
+      ASSERT_EQ(it_a->second, it_b->second);
+    }
+    ++compared;
+  }
+  EXPECT_EQ(compared, serial_aggs.size());
+}
+
 TEST(ParallelDeterminism, ShardedIngestKeepsServingLaterSerialIngest) {
   // After a sharded bulk ingest, single-record ingest() must continue from
   // the same dedup window state a serial run would have.

@@ -5,15 +5,28 @@
 #   tools/check.sh             # full tier-1 suite under ASan+UBSan
 #   tools/check.sh -L fuzz     # only the fuzz/fault-injection harness
 #   tools/check.sh -L parallel # (use tools/check.sh TSAN=1 ... for TSan)
+#   PERF=1 tools/check.sh      # Release build + throughput regression gate
 #
 # Extra arguments are passed straight to ctest.  Environment knobs:
-#   BUILD_DIR  build tree (default: <repo>/build-asan, or build-tsan)
+#   BUILD_DIR  build tree (default: <repo>/build-asan, build-tsan, build-perf)
 #   TSAN=1     swap address,undefined for thread (the two are exclusive)
+#   PERF=1     skip sanitizers: Release build, run bench_perf_pipeline
+#              against the committed BENCH_perf.json baseline and fail on a
+#              >10% throughput regression on any axis
 #   JOBS       parallelism (default: nproc)
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 JOBS="${JOBS:-$(nproc)}"
+
+if [[ "${PERF:-0}" == "1" ]]; then
+  BUILD="${BUILD_DIR:-$ROOT/build-perf}"
+  GEN=()
+  command -v ninja >/dev/null 2>&1 && GEN=(-G Ninja)
+  cmake -B "$BUILD" -S "$ROOT" "${GEN[@]}" -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake --build "$BUILD" -j"$JOBS" --target bench_perf_pipeline
+  exec "$BUILD/bench/bench_perf_pipeline" --check "$ROOT/BENCH_perf.json" "$@"
+fi
 
 if [[ "${TSAN:-0}" == "1" ]]; then
   SANITIZE="thread"

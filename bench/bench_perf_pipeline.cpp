@@ -30,6 +30,7 @@
 #include "core/sensor.hpp"
 #include "dns/query_log.hpp"
 #include "sim/scenario.hpp"
+#include "util/metrics.hpp"
 #include "util/strings.hpp"
 
 namespace dnsbs::bench {
@@ -184,7 +185,11 @@ int run(int argc, char** argv) {
        << "  \"features_per_s\": " << res.features_per_s << ",\n"
        << "  \"end_to_end_records_per_s\": " << res.end_to_end_records_per_s << ",\n"
        << "  \"dedup_state_entries\": " << res.dedup_state_entries << ",\n"
-       << "  \"peak_rss_kb\": " << rss_kb;
+       << "  \"peak_rss_kb\": " << rss_kb << ",\n"
+       // Full registry snapshot (counters, gauges, span histograms) so a
+       // committed bench JSON doubles as an observability fixture.  Empty
+       // metrics array under -DDNSBS_METRICS=OFF.
+       << "  \"metrics\": " << util::metrics_snapshot().to_json();
     if (!baseline_path.empty()) {
       std::ifstream bis(baseline_path);
       std::stringstream bbuf;

@@ -1,11 +1,27 @@
 #include "analysis/pipeline.hpp"
 
+#include "util/log.hpp"
+#include "util/metrics.hpp"
+#include "util/strings.hpp"
+
 namespace dnsbs::analysis {
+
+namespace {
+// Window/retrain/classified totals are deterministic: the train chain runs
+// strictly in window order whatever the thread count.
+util::MetricCounter& g_windows = util::metrics_counter("dnsbs.pipeline.windows");
+util::MetricCounter& g_retrains = util::metrics_counter("dnsbs.pipeline.retrains");
+util::MetricCounter& g_classified = util::metrics_counter("dnsbs.pipeline.classified");
+}  // namespace
 
 WindowedPipeline::WindowedPipeline(WindowedPipelineConfig config,
                                    const netdb::AsDb& as_db, const netdb::GeoDb& geo_db,
                                    const core::QuerierResolver& resolver)
-    : config_(config), as_db_(as_db), geo_db_(geo_db), resolver_(resolver) {}
+    : config_(config),
+      as_db_(as_db),
+      geo_db_(geo_db),
+      resolver_(resolver),
+      last_metrics_(util::metrics_snapshot()) {}
 
 WindowedPipeline::~WindowedPipeline() {
   // Swallow a pending exception: it already surfaced (or will) via the
@@ -24,6 +40,8 @@ void WindowedPipeline::finish() {
 
 void WindowedPipeline::enqueue_window(std::span<const dns::QueryRecord> records,
                                       util::SimTime start, util::SimTime end) {
+  DNSBS_SPAN("pipeline.window");
+  g_windows.inc();
   // 1. Sensor pass over this window only (fresh caches/aggregates: the
   //    paper's per-interval feature vectors).  Runs in the calling thread,
   //    overlapping the previous window's train+classify task.
@@ -56,6 +74,7 @@ void WindowedPipeline::enqueue_window(std::span<const dns::QueryRecord> records,
 }
 
 void WindowedPipeline::train_and_classify(std::size_t index) {
+  DNSBS_SPAN("pipeline.train");
   const labeling::WindowObservation& observation = observations_[index];
 
   // Retrain on the labeled examples re-appearing in this window, when
@@ -65,7 +84,9 @@ void WindowedPipeline::train_and_classify(std::size_t index) {
   for (const std::size_t c : train.class_counts()) {
     if (c >= config_.min_per_class) ++populated;
   }
-  if (populated >= config_.min_classes) {
+  const bool retrained = populated >= config_.min_classes;
+  if (retrained) {
+    g_retrains.inc();
     ml::ForestConfig fc = config_.forest;
     fc.seed = config_.seed ^ (0x9e3779b97f4a7c15ULL * (index + 1));
     model_ = std::make_unique<ml::RandomForest>(fc);
@@ -81,6 +102,24 @@ void WindowedPipeline::train_and_classify(std::size_t index) {
       result.footprints[fv.originator] = fv.footprint;
     }
   }
+  g_classified.add(result.classes.size());
+
+  // Window boundary: attribute the registry delta since the previous
+  // boundary to this window (this task chain runs strictly in window
+  // order) and emit one telemetry line per interval.
+  util::MetricsSnapshot now = util::metrics_snapshot();
+  result.metrics_delta = util::MetricsSnapshot::delta(last_metrics_, now);
+  last_metrics_ = std::move(now);
+  util::log_info(
+      "pipeline",
+      util::format("window %zu [%lld, %lld): records=%lld interesting=%lld "
+                   "classified=%zu retrained=%s",
+                   index, static_cast<long long>(result.start.secs()),
+                   static_cast<long long>(result.end.secs()),
+                   static_cast<long long>(result.metrics_delta.scalar("dnsbs.sensor.records")),
+                   static_cast<long long>(
+                       result.metrics_delta.scalar("dnsbs.sensor.interesting")),
+                   result.classes.size(), retrained ? "yes" : "no"));
 }
 
 const WindowResult& WindowedPipeline::process_window(

@@ -96,6 +96,9 @@ class WindowedPipeline {
   const netdb::AsDb& as_db_;
   const netdb::GeoDb& geo_db_;
   const core::QuerierResolver& resolver_;
+  /// Registry state at the last window boundary; each finished window's
+  /// metrics_delta is measured against it (on the ordered train task).
+  util::MetricsSnapshot last_metrics_;
   labeling::GroundTruth labels_;
   std::unique_ptr<ml::RandomForest> model_;
   std::vector<WindowResult> results_;

@@ -8,6 +8,7 @@
 
 #include "core/taxonomy.hpp"
 #include "net/ipv4.hpp"
+#include "util/metrics.hpp"
 #include "util/time.hpp"
 
 namespace dnsbs::analysis {
@@ -20,6 +21,12 @@ struct WindowResult {
   std::unordered_map<net::IPv4Addr, core::AppClass> classes;
   /// Footprint (unique queriers) per detected originator.
   std::unordered_map<net::IPv4Addr, std::size_t> footprints;
+  /// Registry delta attributed to this window (records ingested, rows
+  /// extracted, retrains, ...).  Exact when windows run through
+  /// process_window(); under enqueue_window() pipelining the next window's
+  /// sensor pass overlaps this window's train task, so boundary
+  /// attribution is approximate (totals across windows still add up).
+  util::MetricsSnapshot metrics_delta;
 };
 
 }  // namespace dnsbs::analysis

@@ -2,12 +2,24 @@
 
 #include <algorithm>
 
+#include "util/metrics.hpp"
+
 namespace dnsbs::core {
+
+namespace {
+// originators_created counts first sightings only (cold branch of add();
+// the per-record path stays registry-free) and is deterministic: the set
+// of distinct originators doesn't depend on sharding.  merges counts
+// merge_from calls, which only happen on the sharded path — sched.
+util::MetricCounter& g_created = util::metrics_counter("dnsbs.aggregate.originators_created");
+util::MetricCounter& g_merges = util::metrics_counter("dnsbs.aggregate.merges", /*sched=*/true);
+}  // namespace
 
 void OriginatorAggregator::add(const dns::QueryRecord& record) {
   auto [it, inserted] = aggregates_.try_emplace(record.originator);
   OriginatorAggregate& agg = it->second;
   if (inserted) {
+    g_created.inc();
     agg.originator = record.originator;
     agg.first_seen = record.time;
     agg.last_seen = record.time;
@@ -23,6 +35,7 @@ void OriginatorAggregator::add(const dns::QueryRecord& record) {
 }
 
 void OriginatorAggregator::merge_from(OriginatorAggregator&& other) {
+  g_merges.inc();
   // Sharded ingest keys shards by originator, so the common case moves
   // each per-originator aggregate over wholesale — preserving its flat
   // container layout, hence the iteration order feature reductions see.

@@ -2,7 +2,22 @@
 
 #include <algorithm>
 
+#include "util/metrics.hpp"
+
 namespace dnsbs::core {
+
+namespace {
+// Prune cadence depends on how records are sharded (each shard crosses
+// clock boundaries on its own subsequence), so these are sched series —
+// outside the determinism contract.  The *retained entry set* stays
+// byte-identical; only the work done to get there varies.  admitted/
+// suppressed are deterministic and published by the Sensor in bulk.
+util::MetricCounter& g_prunes = util::metrics_counter("dnsbs.dedup.prunes", /*sched=*/true);
+util::MetricCounter& g_drains =
+    util::metrics_counter("dnsbs.dedup.bucket_drains", /*sched=*/true);
+util::MetricCounter& g_expired = util::metrics_counter("dnsbs.dedup.expired", /*sched=*/true);
+util::MetricCounter& g_requeued = util::metrics_counter("dnsbs.dedup.requeued", /*sched=*/true);
+}  // namespace
 
 bool Deduplicator::admit(const dns::QueryRecord& record) {
   const std::uint64_t key = (static_cast<std::uint64_t>(record.querier.value()) << 32) |
@@ -87,20 +102,28 @@ void Deduplicator::prune(util::SimTime now) {
   for (const auto& [bucket, keys] : drained) expiry_.erase(bucket);
   next_drain_ = std::max(next_drain_, cutoff_bucket + 1);
 
+  g_prunes.inc();
+  g_drains.add(drained.size());
+  std::uint64_t expired = 0;
+  std::uint64_t requeued = 0;
   for (auto& [bucket, keys] : drained) {
     for (const std::uint64_t key : keys) {
       const auto* entry = last_seen_.find(key);
       if (entry == nullptr) continue;  // already erased via an earlier queue slot
       if (now - entry->second >= window_) {
         last_seen_.erase(key);
+        ++expired;
       } else {
         // Refreshed since this queue entry was written; its newer queue
         // slot may itself have been drained in this same pass, so re-queue
         // under the (clamped) bucket of its current time.
         queue_expiry(key, entry->second);
+        ++requeued;
       }
     }
   }
+  g_expired.add(expired);
+  g_requeued.add(requeued);
 }
 
 }  // namespace dnsbs::core

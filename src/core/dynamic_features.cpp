@@ -1,8 +1,20 @@
 #include "core/dynamic_features.hpp"
 
+#include "util/metrics.hpp"
 #include "util/stats.hpp"
 
 namespace dnsbs::core {
+
+namespace {
+// Geo memoization telemetry: entries/build are per-interval (cold);
+// fallbacks count lookup_geo() misses outside the built interval — rare by
+// construction, so the miss branch can afford a registry bump while the
+// hit path stays registry-free.
+util::MetricCounter& g_geo_builds = util::metrics_counter("dnsbs.cache.geo.builds");
+util::MetricCounter& g_geo_entries = util::metrics_counter("dnsbs.cache.geo.entries");
+util::MetricCounter& g_geo_fallbacks = util::metrics_counter("dnsbs.cache.geo.fallbacks");
+util::MetricHistogram& g_geo_build_ns = util::metrics_histogram("dnsbs.cache.geo.build_ns");
+}  // namespace
 
 std::array<std::string_view, kDynamicFeatureCount> dynamic_feature_names() noexcept {
   return {"queries_per_querier", "persistence",       "local_entropy",
@@ -14,6 +26,7 @@ DynamicFeatureExtractor::DynamicFeatureExtractor(const netdb::AsDb& as_db,
                                                  const netdb::GeoDb& geo_db,
                                                  const OriginatorAggregator& interval)
     : as_db_(as_db), geo_db_(geo_db), interval_periods_(interval.total_periods()) {
+  const std::uint64_t t0 = util::metrics_now_ns();
   // One pass over the interval learns the AS/country normalizers and, as a
   // side effect, memoizes every unique querier's AS and country: queriers
   // shared by many originator footprints cost one trie lookup instead of
@@ -42,6 +55,9 @@ DynamicFeatureExtractor::DynamicFeatureExtractor(const netdb::AsDb& as_db,
   }
   interval_as_count_ = ases.size();
   interval_country_count_ = countries.size();
+  g_geo_builds.inc();
+  g_geo_entries.add(geo_cache_.size());
+  g_geo_build_ns.record(util::metrics_now_ns() - t0);
 }
 
 DynamicFeatureExtractor::QuerierGeo DynamicFeatureExtractor::lookup_geo(
@@ -49,6 +65,7 @@ DynamicFeatureExtractor::QuerierGeo DynamicFeatureExtractor::lookup_geo(
   if (const auto* cached = geo_cache_.find(querier)) return cached->second;
   // Not part of the interval the extractor was built over (callers mixing
   // aggregators); fall back to the databases.
+  g_geo_fallbacks.inc();
   QuerierGeo geo;
   if (const auto asn = as_db_.lookup(querier)) {
     geo.asn = *asn;

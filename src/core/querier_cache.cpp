@@ -3,12 +3,27 @@
 #include <vector>
 
 #include "core/aggregate.hpp"
+#include "util/metrics.hpp"
 #include "util/parallel.hpp"
 
 namespace dnsbs::core {
 
+namespace {
+// builds/entries are per-interval (cold); fallbacks count category() calls
+// that missed the built set — a hot-loop branch, but rare by construction
+// (only callers mixing aggregates hit it), so the bump is affordable and
+// a growing value is itself the signal the cache is being bypassed.
+// Lookups are NOT counted per call: the feature extractor publishes the
+// batched total (sum of footprints) instead.
+util::MetricCounter& g_builds = util::metrics_counter("dnsbs.cache.querier.builds");
+util::MetricCounter& g_entries = util::metrics_counter("dnsbs.cache.querier.entries");
+util::MetricCounter& g_fallbacks = util::metrics_counter("dnsbs.cache.querier.fallbacks");
+util::MetricHistogram& g_build_ns = util::metrics_histogram("dnsbs.cache.querier.build_ns");
+}  // namespace
+
 void QuerierClassificationCache::build(
     std::span<const OriginatorAggregate* const> aggregates, std::size_t threads) {
+  const std::uint64_t t0 = util::metrics_now_ns();
   // Deterministic unique-querier list: first-seen order over the (already
   // footprint-sorted) aggregate list.
   std::vector<net::IPv4Addr> unique;
@@ -32,10 +47,14 @@ void QuerierClassificationCache::build(
   for (std::size_t i = 0; i < unique.size(); ++i) {
     categories_.try_emplace(unique[i], classified[i]);
   }
+  g_builds.inc();
+  g_entries.add(unique.size());
+  g_build_ns.record(util::metrics_now_ns() - t0);
 }
 
 QuerierCategory QuerierClassificationCache::category(net::IPv4Addr querier) const {
   if (const auto* cached = categories_.find(querier)) return cached->second;
+  g_fallbacks.inc();
   return classify_querier(base_.resolve(querier));
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/metrics.hpp"
 #include "util/parallel.hpp"
 
 namespace dnsbs::core {
@@ -9,6 +10,25 @@ namespace {
 
 /// Below this batch size the shard bookkeeping costs more than it saves.
 constexpr std::size_t kMinShardedBatch = 4096;
+
+// Deterministic series: record/admit/suppress totals, selected rows and
+// batched cache-lookup counts are functions of the input alone.  Whether a
+// batch took the sharded path depends on DNSBS_THREADS, so sharded_batches
+// is sched.  Gauges are set at publish points from the sensor's own state,
+// which the sharded-ingest contract keeps byte-identical to serial.
+util::MetricCounter& g_records = util::metrics_counter("dnsbs.sensor.records");
+util::MetricCounter& g_batches = util::metrics_counter("dnsbs.sensor.batches");
+util::MetricCounter& g_sharded =
+    util::metrics_counter("dnsbs.sensor.sharded_batches", /*sched=*/true);
+util::MetricCounter& g_interesting = util::metrics_counter("dnsbs.sensor.interesting");
+util::MetricCounter& g_admitted = util::metrics_counter("dnsbs.dedup.admitted");
+util::MetricCounter& g_suppressed = util::metrics_counter("dnsbs.dedup.suppressed");
+util::MetricCounter& g_feature_rows = util::metrics_counter("dnsbs.features.rows");
+util::MetricCounter& g_querier_lookups = util::metrics_counter("dnsbs.cache.querier.lookups");
+util::MetricCounter& g_predictions = util::metrics_counter("dnsbs.sensor.classified");
+util::MetricGauge& g_live_keys = util::metrics_gauge("dnsbs.dedup.live_keys");
+util::MetricGauge& g_originators = util::metrics_gauge("dnsbs.aggregate.originators");
+util::MetricGauge& g_periods = util::metrics_gauge("dnsbs.aggregate.periods");
 
 }  // namespace
 
@@ -25,7 +45,26 @@ void Sensor::ingest(const dns::QueryRecord& record) {
   if (dedup_.admit(record)) aggregator_.add(record);
 }
 
+void Sensor::publish_metrics() const {
+  g_admitted.add(dedup_.admitted() - published_admitted_);
+  g_suppressed.add(dedup_.suppressed() - published_suppressed_);
+  g_records.add((dedup_.admitted() - published_admitted_) +
+                (dedup_.suppressed() - published_suppressed_));
+  published_admitted_ = dedup_.admitted();
+  published_suppressed_ = dedup_.suppressed();
+  g_live_keys.set(static_cast<std::int64_t>(dedup_.state_size()));
+  g_originators.set(static_cast<std::int64_t>(aggregator_.originator_count()));
+  g_periods.set(static_cast<std::int64_t>(aggregator_.total_periods()));
+}
+
+util::MetricsSnapshot Sensor::snapshot_metrics() const {
+  publish_metrics();
+  return util::metrics_snapshot();
+}
+
 void Sensor::ingest_all(std::span<const dns::QueryRecord> records) {
+  DNSBS_SPAN("sensor.ingest");
+  g_batches.inc();
   const std::size_t threads =
       config_.threads != 0 ? config_.threads : util::configured_thread_count();
   // Sharding assumes no pre-existing window state (a pair first seen via
@@ -36,8 +75,10 @@ void Sensor::ingest_all(std::span<const dns::QueryRecord> records) {
       util::in_parallel_region()) {
     aggregator_.reserve(records.size() / 8);
     for (const auto& r : records) ingest(r);
+    publish_metrics();
     return;
   }
+  g_sharded.inc();
 
   // Partition record indices by originator shard.  All records of one
   // originator (hence of one dedup pair) land in one shard, in their
@@ -88,11 +129,21 @@ void Sensor::ingest_all(std::span<const dns::QueryRecord> records) {
     dedup_.merge_from(std::move(shard.dedup));
     aggregator_.merge_from(std::move(shard.agg));
   }
+  publish_metrics();
 }
 
 std::vector<FeatureVector> Sensor::extract_features() const {
+  DNSBS_SPAN("sensor.extract");
   const auto interesting =
       aggregator_.select_interesting(config_.min_queriers, config_.top_n);
+  g_interesting.add(interesting.size());
+  g_feature_rows.add(interesting.size());
+  // The querier cache serves one lookup per (originator, querier)
+  // membership; published as the batched sum of footprints instead of a
+  // per-lookup bump in the row loop.
+  std::uint64_t lookups = 0;
+  for (const OriginatorAggregate* agg : interesting) lookups += agg->unique_queriers();
+  g_querier_lookups.add(lookups);
   const DynamicFeatureExtractor dyn(as_db_, geo_db_, aggregator_);
 
   // Per-interval memoization: each unique querier is resolved and
@@ -119,6 +170,8 @@ std::vector<FeatureVector> Sensor::extract_features() const {
 
 std::vector<ClassifiedOriginator> classify_all(std::span<const FeatureVector> features,
                                                const ml::Classifier& model) {
+  DNSBS_SPAN("sensor.classify");
+  g_predictions.add(features.size());
   // Classifier::predict is const and stateless across calls, so rows
   // classify in parallel with row-ordered results.
   return util::parallel_map(features.size(), [&](std::size_t i) {

@@ -14,6 +14,7 @@
 #include "core/dedup.hpp"
 #include "core/feature_vector.hpp"
 #include "ml/classifier.hpp"
+#include "util/metrics.hpp"
 
 namespace dnsbs::core {
 
@@ -52,17 +53,31 @@ class Sensor {
   /// ordered by footprint descending.  Call once ingestion is complete.
   std::vector<FeatureVector> extract_features() const;
 
+  /// Publishes this sensor's pending tallies (dedup admitted/suppressed,
+  /// aggregate gauges) to the process-wide registry, then snapshots it.
+  /// The per-record ingest path deliberately never touches the registry —
+  /// counts are reconciled here and at the end of ingest_all — so the
+  /// snapshot is current as of the call, at zero hot-path cost.
+  util::MetricsSnapshot snapshot_metrics() const;
+
   const OriginatorAggregator& aggregator() const noexcept { return aggregator_; }
   const Deduplicator& dedup() const noexcept { return dedup_; }
   const SensorConfig& config() const noexcept { return config_; }
 
  private:
+  /// Pushes tallies accumulated since the last publish into the registry
+  /// (idempotent; const because snapshot_metrics() is a read operation
+  /// from the caller's perspective).
+  void publish_metrics() const;
+
   SensorConfig config_;
   const netdb::AsDb& as_db_;
   const netdb::GeoDb& geo_db_;
   const QuerierResolver& resolver_;
   Deduplicator dedup_;
   OriginatorAggregator aggregator_;
+  mutable std::uint64_t published_admitted_ = 0;
+  mutable std::uint64_t published_suppressed_ = 0;
 };
 
 /// A feature vector plus the model's verdict.

@@ -1,6 +1,32 @@
 #include "dns/cache.hpp"
 
+#include "util/metrics.hpp"
+
 namespace dnsbs::dns {
+
+namespace {
+// Registry mirror of CacheSim::Stats, summed over every simulated resolver
+// cache.  Lookups only touch the local struct; deltas are published on
+// destruction (or explicit publish_metrics()).
+util::MetricCounter& g_lookups = util::metrics_counter("dnsbs.cache.dns.lookups");
+util::MetricCounter& g_hits_pos = util::metrics_counter("dnsbs.cache.dns.hits_positive");
+util::MetricCounter& g_hits_neg = util::metrics_counter("dnsbs.cache.dns.hits_negative");
+util::MetricCounter& g_misses = util::metrics_counter("dnsbs.cache.dns.misses");
+util::MetricCounter& g_inserts = util::metrics_counter("dnsbs.cache.dns.inserts");
+util::MetricCounter& g_expired = util::metrics_counter("dnsbs.cache.dns.expired_evictions");
+}  // namespace
+
+CacheSim::~CacheSim() { publish_metrics(); }
+
+void CacheSim::publish_metrics() noexcept {
+  g_lookups.add(stats_.lookups - published_.lookups);
+  g_hits_pos.add(stats_.hits_positive - published_.hits_positive);
+  g_hits_neg.add(stats_.hits_negative - published_.hits_negative);
+  g_misses.add(stats_.misses - published_.misses);
+  g_inserts.add(stats_.inserts - published_.inserts);
+  g_expired.add(stats_.expired_evictions - published_.expired_evictions);
+  published_ = stats_;
+}
 
 CacheResult CacheSim::lookup(const DnsName& name, QType type, util::SimTime now) {
   ++stats_.lookups;

@@ -54,8 +54,15 @@ class CacheSim {
   /// MINIMUM-derived negative TTL).
   void insert_negative(const DnsName& name, QType type, std::uint32_t ttl, util::SimTime now);
 
+  ~CacheSim();
+
   std::size_t size() const noexcept { return entries_.size(); }
   const Stats& stats() const noexcept { return stats_; }
+
+  /// Publishes the stats accumulated since the last publish to the
+  /// process-wide registry (dnsbs.cache.dns.*).  Idempotent; also runs on
+  /// destruction, so per-lookup paths never touch the registry.
+  void publish_metrics() noexcept;
 
   /// Drops every entry (resolver restart).
   void clear() noexcept { entries_.clear(); }
@@ -83,6 +90,7 @@ class CacheSim {
   std::size_t max_entries_;
   std::unordered_map<Key, Entry, KeyHash> entries_;
   Stats stats_;
+  Stats published_;  ///< high-water mark of what publish_metrics() exported
 };
 
 }  // namespace dnsbs::dns

@@ -1,37 +1,58 @@
 #include "dns/capture.hpp"
 
 #include "dns/reverse.hpp"
+#include "util/metrics.hpp"
 
 namespace dnsbs::dns {
+
+namespace {
+// Registry mirror of CaptureStats (see the struct comment): same names,
+// same partition invariant, summed across every capture stream in the
+// process.  Classification of a packet stream is order-independent, so
+// these are deterministic series.
+util::MetricCounter& g_packets = util::metrics_counter("dnsbs.capture.packets");
+util::MetricCounter& g_malformed = util::metrics_counter("dnsbs.capture.malformed");
+util::MetricCounter& g_responses = util::metrics_counter("dnsbs.capture.responses");
+util::MetricCounter& g_non_ptr = util::metrics_counter("dnsbs.capture.non_ptr");
+util::MetricCounter& g_non_reverse = util::metrics_counter("dnsbs.capture.non_reverse_name");
+util::MetricCounter& g_accepted = util::metrics_counter("dnsbs.capture.accepted");
+}  // namespace
 
 std::optional<QueryRecord> record_from_packet(std::span<const std::uint8_t> payload,
                                               util::SimTime time, net::IPv4Addr source,
                                               CaptureStats& stats) {
   ++stats.packets;
+  g_packets.inc();
   const auto message = decode(payload.data(), payload.size());
   if (!message) {
     ++stats.malformed;
+    g_malformed.inc();
     return std::nullopt;
   }
   if (message->is_response) {
     ++stats.responses;
+    g_responses.inc();
     return std::nullopt;
   }
   if (message->opcode != 0 || message->questions.size() != 1) {
     ++stats.malformed;
+    g_malformed.inc();
     return std::nullopt;
   }
   const Question& q = message->questions.front();
   if (q.qtype != QType::kPTR || q.qclass != QClass::kIN) {
     ++stats.non_ptr;
+    g_non_ptr.inc();
     return std::nullopt;
   }
   const auto originator = address_from_reverse(q.name);
   if (!originator) {
     ++stats.non_reverse_name;
+    g_non_reverse.inc();
     return std::nullopt;
   }
   ++stats.accepted;
+  g_accepted.inc();
   // The response outcome is unknown at query time; NOERROR is recorded
   // and may be refined by matching responses in a fuller capture stack.
   return QueryRecord{time, source, *originator, RCode::kNoError};

@@ -18,6 +18,12 @@
 
 namespace dnsbs::dns {
 
+/// Per-capture classification tallies.  This is a thin caller-local view:
+/// the canonical series live in the process-wide metrics registry as
+/// dnsbs.capture.{packets,malformed,responses,non_ptr,non_reverse_name,
+/// accepted}, which record_from_packet bumps in lockstep with this struct.
+/// Keep the struct for cheap per-stream accounting (one capture point per
+/// stats object) where the global registry would conflate streams.
 struct CaptureStats {
   std::uint64_t packets = 0;
   std::uint64_t malformed = 0;        ///< undecodable wire data
@@ -26,10 +32,12 @@ struct CaptureStats {
   std::uint64_t non_reverse_name = 0; ///< PTR outside in-addr.arpa or partial
   std::uint64_t accepted = 0;
 
-  /// True iff every packet was classified into exactly one bucket — the
-  /// counters partition `packets`.  The fuzz harness asserts this after
-  /// feeding mutated traffic, so a future classification path that forgets
-  /// (or double-counts) a bucket is caught immediately.
+  /// Partition invariant: every packet lands in exactly one outcome
+  /// bucket, so `packets` equals the sum of the five buckets — never less
+  /// (a dropped classification) and never more (a double count).  The fuzz
+  /// harness asserts this after feeding mutated traffic, so a future
+  /// classification path that forgets (or double-counts) a bucket is
+  /// caught immediately.
   bool consistent() const noexcept {
     return packets == malformed + responses + non_ptr + non_reverse_name + accepted;
   }

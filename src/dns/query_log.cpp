@@ -5,11 +5,24 @@
 #include <limits>
 #include <ostream>
 
+#include "util/metrics.hpp"
 #include "util/strings.hpp"
 
 namespace dnsbs::dns {
 
 namespace {
+
+// Parse failures, by reason.  Only the (rare) error paths touch the
+// registry per call; the hot accepted path is tallied in bulk by
+// QueryLogReader.  Parsing one input is order-independent, so these are
+// deterministic series.
+util::MetricCounter& g_err_structure = util::metrics_counter("dnsbs.parse.err_structure");
+util::MetricCounter& g_err_time = util::metrics_counter("dnsbs.parse.err_time");
+util::MetricCounter& g_err_addr = util::metrics_counter("dnsbs.parse.err_addr");
+util::MetricCounter& g_err_rcode = util::metrics_counter("dnsbs.parse.err_rcode");
+util::MetricCounter& g_lines = util::metrics_counter("dnsbs.parse.lines");
+util::MetricCounter& g_records = util::metrics_counter("dnsbs.parse.records");
+
 std::optional<RCode> rcode_from_string(std::string_view s) noexcept {
   if (s == "NOERROR") return RCode::kNoError;
   if (s == "NXDOMAIN") return RCode::kNXDomain;
@@ -32,12 +45,15 @@ std::optional<QueryRecord> parse_record(std::string_view line) {
   // Semantics match the old util::split-based parser exactly: exactly 4
   // tab-separated fields, each tolerating surrounding whitespace.
   const std::size_t t0 = line.find('\t');
-  if (t0 == std::string_view::npos) return std::nullopt;
+  if (t0 == std::string_view::npos) return g_err_structure.inc(), std::nullopt;
   const std::size_t t1 = line.find('\t', t0 + 1);
-  if (t1 == std::string_view::npos) return std::nullopt;
+  if (t1 == std::string_view::npos) return g_err_structure.inc(), std::nullopt;
   const std::size_t t2 = line.find('\t', t1 + 1);
-  if (t2 == std::string_view::npos) return std::nullopt;
-  if (line.find('\t', t2 + 1) != std::string_view::npos) return std::nullopt;
+  if (t2 == std::string_view::npos) return g_err_structure.inc(), std::nullopt;
+  if (line.find('\t', t2 + 1) != std::string_view::npos) {
+    g_err_structure.inc();
+    return std::nullopt;
+  }
 
   const std::string_view secs_field = util::trim(line.substr(0, t0));
   std::uint64_t secs = 0;
@@ -45,18 +61,21 @@ std::optional<QueryRecord> parse_record(std::string_view line) {
       std::from_chars(secs_field.data(), secs_field.data() + secs_field.size(), secs);
   if (ec != std::errc{} || end != secs_field.data() + secs_field.size() ||
       secs_field.empty()) {
+    g_err_time.inc();
     return std::nullopt;
   }
   // SimTime is signed; a timestamp past INT64_MAX would wrap negative and
   // run the dedup/aggregation clock backwards, so the line is malformed.
   if (secs > static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max())) {
+    g_err_time.inc();
     return std::nullopt;
   }
   const auto querier = net::IPv4Addr::parse(util::trim(line.substr(t0 + 1, t1 - t0 - 1)));
   const auto originator =
       net::IPv4Addr::parse(util::trim(line.substr(t1 + 1, t2 - t1 - 1)));
+  if (!querier || !originator) return g_err_addr.inc(), std::nullopt;
   const auto rcode = rcode_from_string(util::trim(line.substr(t2 + 1)));
-  if (!querier || !originator || !rcode) return std::nullopt;
+  if (!rcode) return g_err_rcode.inc(), std::nullopt;
   return QueryRecord{util::SimTime::seconds(static_cast<std::int64_t>(secs)), *querier,
                      *originator, *rcode};
 }
@@ -66,12 +85,26 @@ void QueryLogWriter::write(const QueryRecord& record) {
   ++count_;
 }
 
+QueryLogReader::~QueryLogReader() { publish_metrics(); }
+
+void QueryLogReader::publish_metrics() {
+  g_lines.add(lines_ - published_lines_);
+  g_records.add(records_ - published_records_);
+  published_lines_ = lines_;
+  published_records_ = records_;
+}
+
 std::optional<QueryRecord> QueryLogReader::next() {
   while (std::getline(is_, line_)) {
+    ++lines_;
     if (line_.empty()) continue;
-    if (auto record = parse_record(line_)) return record;
+    if (auto record = parse_record(line_)) {
+      ++records_;
+      return record;
+    }
     ++skipped_;
   }
+  publish_metrics();
   return std::nullopt;
 }
 

@@ -50,9 +50,15 @@ class QueryLogWriter {
 
 /// Reads records from a text log; malformed lines are counted and skipped
 /// (real logs contain garbage; the pipeline must not fall over).
+///
+/// Telemetry: line/record tallies are kept locally (no atomics on the
+/// per-line path) and published to dnsbs.parse.{lines,records} when the
+/// stream ends, and again — idempotently — on destruction, so abandoned
+/// readers still report what they consumed.
 class QueryLogReader {
  public:
   explicit QueryLogReader(std::istream& is) : is_(is) {}
+  ~QueryLogReader();
 
   /// Returns the next record or nullopt at end of stream.
   std::optional<QueryRecord> next();
@@ -60,9 +66,15 @@ class QueryLogReader {
   std::size_t skipped() const noexcept { return skipped_; }
 
  private:
+  void publish_metrics();
+
   std::istream& is_;
   std::string line_;  ///< reused across records: one allocation per reader
   std::size_t skipped_ = 0;
+  std::size_t lines_ = 0;
+  std::size_t records_ = 0;
+  std::size_t published_lines_ = 0;
+  std::size_t published_records_ = 0;
 };
 
 /// Convenience: parses a whole log; malformed lines are skipped.

@@ -4,9 +4,16 @@
 #include <cassert>
 #include <numeric>
 
+#include "util/metrics.hpp"
+
 namespace dnsbs::ml {
 
 namespace {
+
+// Per-tree shape telemetry: deterministic (trees derive from their config
+// seed alone), bumped once per fit — never inside the recursive build.
+util::MetricCounter& g_cart_fits = util::metrics_counter("dnsbs.ml.cart_fits");
+util::MetricCounter& g_cart_nodes = util::metrics_counter("dnsbs.ml.cart_nodes");
 
 double gini_from_counts(std::span<const std::size_t> counts, std::size_t total) noexcept {
   if (total == 0) return 0.0;
@@ -43,9 +50,13 @@ void CartTree::fit_indices(const Dataset& train, std::span<const std::size_t> in
   std::vector<std::size_t> rows(indices.begin(), indices.end());
   if (rows.empty()) {
     nodes_.push_back(Node{});  // degenerate leaf predicting class 0
+    g_cart_fits.inc();
+    g_cart_nodes.add(nodes_.size());
     return;
   }
   build(train, rows, 0, rows.size(), 0, rng);
+  g_cart_fits.inc();
+  g_cart_nodes.add(nodes_.size());
 }
 
 std::uint32_t CartTree::build(const Dataset& train, std::vector<std::size_t>& rows,

@@ -3,10 +3,20 @@
 #include <cassert>
 #include <cmath>
 
+#include "util/metrics.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
 
 namespace dnsbs::ml {
+
+namespace {
+// Model-shape series are deterministic: trees derive from (seed, index)
+// alone, so fits/trees/predictions are functions of the inputs regardless
+// of how tree training is scheduled.
+util::MetricCounter& g_fits = util::metrics_counter("dnsbs.ml.forest_fits");
+util::MetricCounter& g_trees = util::metrics_counter("dnsbs.ml.trees_trained");
+util::MetricCounter& g_predictions = util::metrics_counter("dnsbs.ml.predictions");
+}  // namespace
 
 std::size_t majority_vote(std::span<const std::size_t> votes) noexcept {
   std::size_t best = 0;
@@ -19,6 +29,8 @@ std::size_t majority_vote(std::span<const std::size_t> votes) noexcept {
 }
 
 void RandomForest::fit(const Dataset& train) {
+  DNSBS_SPAN("ml.fit");
+  g_fits.inc();
   trees_.clear();
   class_count_ = train.class_count();
   feature_count_ = train.feature_count();
@@ -65,9 +77,11 @@ void RandomForest::fit(const Dataset& train) {
     tree.fit_indices(train, sample);
     return tree;
   });
+  g_trees.add(trees_.size());
 }
 
 std::size_t RandomForest::predict(std::span<const double> features) const {
+  g_predictions.inc();
   if (trees_.empty()) return 0;
   std::vector<std::size_t> votes(class_count_ == 0 ? 1 : class_count_, 0);
   for (const auto& tree : trees_) {
@@ -82,6 +96,7 @@ std::size_t RandomForest::predict(std::span<const double> features) const {
 }
 
 std::vector<std::size_t> RandomForest::predict_all(const Dataset& data) const {
+  DNSBS_SPAN("ml.predict_all");
   return util::parallel_map(data.size(),
                             [&](std::size_t i) { return predict(data.row(i)); });
 }

@@ -3,9 +3,17 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace dnsbs::ml {
+
+namespace {
+// SMO training is seed-deterministic; fit/predict totals are functions of
+// the call sequence alone.
+util::MetricCounter& g_svm_fits = util::metrics_counter("dnsbs.ml.svm_fits");
+util::MetricCounter& g_svm_predictions = util::metrics_counter("dnsbs.ml.svm_predictions");
+}  // namespace
 
 void StandardScaler::fit(const Dataset& data) {
   const std::size_t f = data.feature_count();
@@ -135,6 +143,8 @@ SmoResult solve_smo(const std::vector<std::vector<double>>& x, const std::vector
 }  // namespace
 
 void KernelSvm::fit(const Dataset& train) {
+  DNSBS_SPAN("ml.svm_fit");
+  g_svm_fits.inc();
   models_.clear();
   class_count_ = train.class_count();
   scaler_.fit(train);
@@ -191,6 +201,7 @@ double KernelSvm::decision(const BinaryModel& m, std::span<const double> scaled)
 }
 
 std::size_t KernelSvm::predict(std::span<const double> features) const {
+  g_svm_predictions.inc();
   if (models_.empty()) return 0;
   const std::vector<double> scaled = scaler_.transform(features);
   std::vector<std::size_t> votes(class_count_, 0);

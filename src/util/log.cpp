@@ -2,11 +2,20 @@
 
 #include <atomic>
 #include <cstdio>
+#include <mutex>
+#include <utility>
 
 namespace dnsbs::util {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+// The sink is cold state guarded by one mutex; the same mutex serializes
+// sink invocations so capturing sinks need no locking of their own.
+std::mutex g_sink_mutex;
+LogSink g_sink;  // empty = stderr default
+
+thread_local std::string tls_thread_name;
 
 const char* level_name(LogLevel level) noexcept {
   switch (level) {
@@ -24,9 +33,40 @@ void set_log_level(LogLevel level) noexcept { g_level.store(level, std::memory_o
 
 LogLevel log_level() noexcept { return g_level.load(std::memory_order_relaxed); }
 
+void set_thread_name(std::string name) { tls_thread_name = std::move(name); }
+
+const std::string& thread_name() {
+  if (tls_thread_name.empty()) {
+    static std::atomic<unsigned> next{0};
+    tls_thread_name = "t" + std::to_string(next.fetch_add(1, std::memory_order_relaxed));
+  }
+  return tls_thread_name;
+}
+
+void set_log_sink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  g_sink = std::move(sink);
+}
+
 void log(LogLevel level, const std::string& tag, const std::string& message) {
   if (level < g_level.load(std::memory_order_relaxed)) return;
-  std::fprintf(stderr, "%s [%s] %s\n", level_name(level), tag.c_str(), message.c_str());
+  const std::string& who = thread_name();
+  std::string line;
+  line.reserve(16 + who.size() + tag.size() + message.size());
+  line += level_name(level);
+  line += " [";
+  line += who;
+  line += "] [";
+  line += tag;
+  line += "] ";
+  line += message;
+  line += '\n';
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  if (g_sink) {
+    g_sink(level, line);
+  } else {
+    std::fwrite(line.data(), 1, line.size(), stderr);
+  }
 }
 
 }  // namespace dnsbs::util

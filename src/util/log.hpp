@@ -1,8 +1,17 @@
 // Minimal leveled logging.  The library itself stays quiet at Info by
 // default; the simulator and benches raise verbosity when diagnosing.
+//
+// Each message is composed into one string ("LEVEL [thread] [tag] msg\n")
+// on the calling thread — no printf-style varargs, no vsnprintf — and
+// handed to the sink in a single call, so lines from concurrent workers
+// never interleave mid-line.  Worker threads are attributable: the pool
+// names its workers (util::set_thread_name), unnamed threads get a stable
+// "t<N>" id on first log.
 #pragma once
 
+#include <functional>
 #include <string>
+#include <string_view>
 
 namespace dnsbs::util {
 
@@ -12,7 +21,21 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 void set_log_level(LogLevel level) noexcept;
 LogLevel log_level() noexcept;
 
-/// Writes "LEVEL [tag] message" to stderr if enabled.
+/// Names the calling thread for log attribution ("worker-3").  Empty
+/// restores the default "t<N>" id.
+void set_thread_name(std::string name);
+
+/// The calling thread's log name (assigned lazily for unnamed threads).
+const std::string& thread_name();
+
+/// Receives every fully formatted line (including the trailing newline)
+/// that passes the level threshold.  Replaces the stderr default; tests
+/// install a capturing sink.  Pass nullptr to restore stderr.  The sink is
+/// invoked under a mutex, so it needs no synchronization of its own.
+using LogSink = std::function<void(LogLevel, std::string_view line)>;
+void set_log_sink(LogSink sink);
+
+/// Writes "LEVEL [thread] [tag] message" to the sink if enabled.
 void log(LogLevel level, const std::string& tag, const std::string& message);
 
 inline void log_debug(const std::string& tag, const std::string& msg) {

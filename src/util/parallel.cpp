@@ -6,8 +6,20 @@
 #include <stdexcept>
 #include <string>
 
+#include "util/log.hpp"
+#include "util/metrics.hpp"
+
 namespace dnsbs::util {
 namespace {
+
+// Scheduler-shaped telemetry (sched: excluded from the determinism
+// contract).  jobs/tasks count every parallel_for, pooled or inline;
+// dispatches counts only jobs that actually reached the worker pool.
+MetricCounter& g_jobs = metrics_counter("dnsbs.threadpool.jobs", /*sched=*/true);
+MetricCounter& g_tasks = metrics_counter("dnsbs.threadpool.tasks", /*sched=*/true);
+MetricCounter& g_dispatches = metrics_counter("dnsbs.threadpool.pool_dispatches", /*sched=*/true);
+MetricHistogram& g_queue_wait = metrics_histogram("dnsbs.threadpool.queue_wait_ns");
+MetricHistogram& g_busy = metrics_histogram("dnsbs.threadpool.busy_ns");
 
 thread_local bool tls_in_parallel_region = false;
 thread_local const ThreadPool* tls_worker_pool = nullptr;
@@ -62,6 +74,12 @@ std::size_t detail::resolve_threads(std::size_t requested) noexcept {
   return requested != 0 ? requested : configured_thread_count();
 }
 
+void detail::note_parallel(std::size_t n, bool pooled) noexcept {
+  g_jobs.inc();
+  g_tasks.add(n);
+  if (pooled) g_dispatches.inc();
+}
+
 ThreadPool::ThreadPool(std::size_t threads) {
   std::size_t n = threads != 0 ? threads : configured_thread_count();
   if (n == 0) n = 1;
@@ -90,6 +108,7 @@ void ThreadPool::run_slot(std::size_t slot) {
   const std::size_t begin = slot * n / w;
   const std::size_t end = (slot + 1) * n / w;
   if (begin >= end) return;
+  const std::uint64_t t0 = metrics_now_ns();
   try {
     RegionGuard region;
     PoolMarkGuard mark(this);
@@ -97,18 +116,25 @@ void ThreadPool::run_slot(std::size_t slot) {
   } catch (...) {
     slots_[slot].error = std::current_exception();
   }
+  g_busy.record(metrics_now_ns() - t0);
 }
 
 void ThreadPool::worker_loop(std::size_t slot) {
   tls_worker_pool = this;
+  set_thread_name("worker-" + std::to_string(slot));
   std::uint64_t seen = 0;
   for (;;) {
+    std::uint64_t submitted_ns = 0;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       wake_.wait(lock, [&] { return stop_ || generation_ != seen; });
       if (stop_) return;
       seen = generation_;
+      submitted_ns = submit_ns_;
     }
+    // Time from job submission to this worker picking it up: the queue
+    // wait operators watch for oversubscription.
+    g_queue_wait.record(metrics_now_ns() - submitted_ns);
     run_slot(slot);
     {
       std::lock_guard<std::mutex> lock(mutex_);
@@ -142,6 +168,7 @@ void ThreadPool::for_each_index(std::size_t n,
     job_slots_ = w;
     job_fn_ = &fn;
     pending_ = workers_.size();
+    submit_ns_ = metrics_now_ns();
     ++generation_;
   }
   wake_.notify_all();

@@ -25,6 +25,7 @@
 // override > DNSBS_THREADS environment variable > hardware concurrency.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -35,6 +36,8 @@
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "util/metrics.hpp"
 
 namespace dnsbs::util {
 
@@ -94,6 +97,7 @@ class ThreadPool {
   std::size_t job_slots_ = 0;
   const std::function<void(std::size_t)>* job_fn_ = nullptr;
   std::uint64_t generation_ = 0;
+  std::uint64_t submit_ns_ = 0;  // job submission time (queue-wait telemetry)
   std::size_t pending_ = 0;
   bool stop_ = false;
 
@@ -115,6 +119,12 @@ void serial_for(std::size_t n, Fn&& fn) {
 
 std::size_t resolve_threads(std::size_t requested) noexcept;
 
+/// Telemetry for one parallel_for call (n items, pooled or inline).  The
+/// threadpool layer is scheduler-shaped by nature — whether a call takes
+/// the pooled or inline path can depend on DNSBS_THREADS — so its series
+/// are registered sched and sit outside the determinism contract.
+void note_parallel(std::size_t n, bool pooled) noexcept;
+
 }  // namespace detail
 
 /// Runs fn(i) for i in [0, n) across up to `threads` slots of the shared
@@ -125,9 +135,11 @@ template <typename Fn>
 void parallel_for(std::size_t n, Fn&& fn, std::size_t threads = 0) {
   const std::size_t use = detail::resolve_threads(threads);
   if (use <= 1 || n < 2 || in_parallel_region()) {
+    detail::note_parallel(n, false);
     detail::serial_for(n, fn);
     return;
   }
+  detail::note_parallel(n, true);
   const std::function<void(std::size_t)> wrapped = std::ref(fn);
   ThreadPool::shared().for_each_index(n, wrapped, use);
 }

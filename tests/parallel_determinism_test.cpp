@@ -10,6 +10,7 @@
 #include "ml/crossval.hpp"
 #include "ml/forest.hpp"
 #include "sim/scenario.hpp"
+#include "util/metrics.hpp"
 #include "util/parallel.hpp"
 
 namespace dnsbs {
@@ -207,6 +208,50 @@ TEST(ParallelDeterminism, ShardedIngestKeepsServingLaterSerialIngest) {
   EXPECT_EQ(serial.dedup().admitted(), sharded.dedup().admitted());
   EXPECT_EQ(serial.dedup().suppressed(), sharded.dedup().suppressed());
   expect_identical_features(serial.extract_features(), sharded.extract_features());
+}
+
+TEST(ParallelDeterminism, MetricCountersMatchSerial) {
+  // The determinism contract extends to telemetry: every counter and gauge
+  // registered without the `sched` flag must read byte-identical for any
+  // thread count on the same input (DESIGN.md "Observability").
+#if !DNSBS_METRICS_ENABLED
+  GTEST_SKIP() << "built with -DDNSBS_METRICS=OFF";
+#else
+  ThreadCountGuard guard;
+  sim::Scenario scenario(sim::jp_ditl_config(71, 0.05));
+  scenario.run();
+  const auto& records = scenario.authority(0).records();
+  ASSERT_GT(records.size(), 4096u);
+
+  const auto run_with = [&](std::size_t threads) {
+    util::set_thread_count(threads);
+    util::metrics_reset();
+    {
+      core::SensorConfig sc;
+      sc.threads = threads;
+      core::Sensor sensor(sc, scenario.plan().as_db(), scenario.plan().geo_db(),
+                          scenario.naming());
+      sensor.ingest_all(records);
+      const auto features = sensor.extract_features();
+      EXPECT_FALSE(features.empty());
+    }
+    return util::metrics_snapshot().deterministic_view();
+  };
+
+  const util::MetricsSnapshot serial = run_with(1);
+  ASSERT_FALSE(serial.values.empty());
+  EXPECT_GT(serial.scalar("dnsbs.dedup.admitted"), 0);
+  EXPECT_GT(serial.scalar("dnsbs.features.rows"), 0);
+
+  for (const std::size_t threads : {2, 4}) {
+    const util::MetricsSnapshot parallel = run_with(threads);
+    ASSERT_EQ(parallel.values.size(), serial.values.size()) << "threads=" << threads;
+    for (std::size_t i = 0; i < serial.values.size(); ++i) {
+      EXPECT_EQ(parallel.values[i], serial.values[i])
+          << serial.values[i].name << " diverged at threads=" << threads;
+    }
+  }
+#endif
 }
 
 TEST(ParallelDeterminism, WindowedPipelineOverlapMatchesSequential) {

@@ -1,0 +1,282 @@
+// util::metrics registry: bucket math, sharded counters, snapshot
+// ordering/delta semantics, serializers, spans, and the reworked logger
+// (single-string composition + thread names + pluggable sink).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/log.hpp"
+#include "util/metrics.hpp"
+
+namespace dnsbs::util {
+namespace {
+
+// ---- histogram bucket layout (pure math, valid in OFF builds too) -------
+
+TEST(MetricsHistogramBuckets, BoundaryValues) {
+  EXPECT_EQ(histogram_bucket_index(0), 0u);
+  EXPECT_EQ(histogram_bucket_index(1), 1u);
+  EXPECT_EQ(histogram_bucket_index(2), 2u);
+  EXPECT_EQ(histogram_bucket_index(3), 2u);
+  EXPECT_EQ(histogram_bucket_index(4), 3u);
+  EXPECT_EQ(histogram_bucket_index(1023), 10u);
+  EXPECT_EQ(histogram_bucket_index(1024), 11u);
+  EXPECT_EQ(histogram_bucket_index(~std::uint64_t{0}), kHistogramBuckets - 1);
+}
+
+TEST(MetricsHistogramBuckets, UpperBoundsRoundTrip) {
+  EXPECT_EQ(histogram_bucket_upper(0), 0u);
+  EXPECT_EQ(histogram_bucket_upper(1), 1u);
+  EXPECT_EQ(histogram_bucket_upper(10), 1023u);
+  EXPECT_EQ(histogram_bucket_upper(kHistogramBuckets - 1), ~std::uint64_t{0});
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    EXPECT_EQ(histogram_bucket_index(histogram_bucket_upper(i)), i) << "bucket " << i;
+  }
+  // The first value past a bucket's upper bound lands in the next bucket.
+  for (std::size_t i = 0; i + 2 < kHistogramBuckets; ++i) {
+    EXPECT_EQ(histogram_bucket_index(histogram_bucket_upper(i) + 1), i + 1)
+        << "bucket " << i;
+  }
+}
+
+// ---- registry primitives (need the instrumentation compiled in) ----------
+
+TEST(MetricsRegistry, CounterSumsAcrossThreads) {
+#if !DNSBS_METRICS_ENABLED
+  GTEST_SKIP() << "built with -DDNSBS_METRICS=OFF";
+#else
+  MetricCounter& c = metrics_counter("test.metrics.sharded_counter");
+  c.reset();
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kAddsPerThread = 10000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kAddsPerThread; ++i) c.inc();
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c.value(), kThreads * kAddsPerThread);
+#endif
+}
+
+TEST(MetricsRegistry, SameNameReturnsSameObject) {
+  EXPECT_EQ(&metrics_counter("test.metrics.alias"), &metrics_counter("test.metrics.alias"));
+  EXPECT_EQ(&metrics_gauge("test.metrics.galias"), &metrics_gauge("test.metrics.galias"));
+  EXPECT_EQ(&metrics_histogram("test.metrics.halias"),
+            &metrics_histogram("test.metrics.halias"));
+}
+
+TEST(MetricsRegistry, GaugeSetAndAdd) {
+#if !DNSBS_METRICS_ENABLED
+  GTEST_SKIP() << "built with -DDNSBS_METRICS=OFF";
+#else
+  MetricGauge& g = metrics_gauge("test.metrics.gauge");
+  g.set(42);
+  EXPECT_EQ(g.value(), 42);
+  g.add(-50);
+  EXPECT_EQ(g.value(), -8);
+  g.reset();
+  EXPECT_EQ(g.value(), 0);
+#endif
+}
+
+TEST(MetricsRegistry, HistogramRecordsCountSumBuckets) {
+#if !DNSBS_METRICS_ENABLED
+  GTEST_SKIP() << "built with -DDNSBS_METRICS=OFF";
+#else
+  MetricHistogram& h = metrics_histogram("test.metrics.hist");
+  h.reset();
+  h.record(0);
+  h.record(0);
+  h.record(5);     // bit_width 3 -> bucket 3
+  h.record(1023);  // bucket 10
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 1028u);
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(3), 1u);
+  EXPECT_EQ(h.bucket(10), 1u);
+  EXPECT_EQ(h.bucket(11), 0u);
+#endif
+}
+
+TEST(MetricsRegistry, SnapshotIsSortedAndFindable) {
+#if !DNSBS_METRICS_ENABLED
+  GTEST_SKIP() << "built with -DDNSBS_METRICS=OFF";
+#else
+  metrics_counter("test.metrics.zz").add(3);
+  metrics_counter("test.metrics.aa").add(7);
+  const MetricsSnapshot snap = metrics_snapshot();
+  ASSERT_GE(snap.values.size(), 2u);
+  for (std::size_t i = 1; i < snap.values.size(); ++i) {
+    EXPECT_LT(snap.values[i - 1].name, snap.values[i].name);
+  }
+  const MetricValue* aa = snap.find("test.metrics.aa");
+  ASSERT_NE(aa, nullptr);
+  EXPECT_EQ(aa->kind, MetricKind::kCounter);
+  EXPECT_GE(snap.scalar("test.metrics.aa"), 7);
+  EXPECT_EQ(snap.find("test.metrics.never_registered"), nullptr);
+  EXPECT_EQ(snap.scalar("test.metrics.never_registered"), 0);
+#endif
+}
+
+TEST(MetricsRegistry, ResetZeroesInPlace) {
+#if !DNSBS_METRICS_ENABLED
+  GTEST_SKIP() << "built with -DDNSBS_METRICS=OFF";
+#else
+  MetricCounter& c = metrics_counter("test.metrics.reset_me");
+  c.add(9);
+  ASSERT_GT(c.value(), 0u);
+  metrics_reset();
+  EXPECT_EQ(c.value(), 0u);  // handle stays valid, value zeroed
+  c.inc();
+  EXPECT_EQ(c.value(), 1u);
+#endif
+}
+
+TEST(MetricsSpans, NestedSpansRecordSlashJoinedPath) {
+#if !DNSBS_METRICS_ENABLED
+  GTEST_SKIP() << "built with -DDNSBS_METRICS=OFF";
+#else
+  metrics_histogram("dnsbs.span.span_outer").reset();
+  metrics_histogram("dnsbs.span.span_outer/span_inner").reset();
+  {
+    DNSBS_SPAN("span_outer");
+    DNSBS_SPAN("span_inner");
+  }
+  const MetricsSnapshot snap = metrics_snapshot();
+  const MetricValue* outer = snap.find("dnsbs.span.span_outer");
+  const MetricValue* inner = snap.find("dnsbs.span.span_outer/span_inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->kind, MetricKind::kHistogram);
+  EXPECT_EQ(outer->count, 1u);
+  EXPECT_EQ(inner->count, 1u);
+#endif
+}
+
+// ---- snapshot algebra & serializers (always compiled) --------------------
+
+MetricValue make_counter(std::string name, std::uint64_t v, bool sched = false) {
+  MetricValue m;
+  m.name = std::move(name);
+  m.kind = MetricKind::kCounter;
+  m.sched = sched;
+  m.count = v;
+  return m;
+}
+
+MetricValue make_gauge(std::string name, std::int64_t v) {
+  MetricValue m;
+  m.name = std::move(name);
+  m.kind = MetricKind::kGauge;
+  m.gauge = v;
+  return m;
+}
+
+MetricValue make_histogram(std::string name) {
+  MetricValue m;
+  m.name = std::move(name);
+  m.kind = MetricKind::kHistogram;
+  m.buckets.assign(kHistogramBuckets, 0);
+  m.buckets[0] = 2;  // two zero-valued samples
+  m.buckets[3] = 1;  // one sample in [4, 7]
+  m.count = 3;
+  m.sum = 5;
+  return m;
+}
+
+TEST(MetricsSnapshotAlgebra, DeterministicViewDropsSchedAndHistograms) {
+  MetricsSnapshot snap;
+  snap.values = {make_counter("a.det", 1), make_counter("b.sched", 2, /*sched=*/true),
+                 make_gauge("c.gauge", 3), make_histogram("d.hist")};
+  const MetricsSnapshot det = snap.deterministic_view();
+  ASSERT_EQ(det.values.size(), 2u);
+  EXPECT_EQ(det.values[0].name, "a.det");
+  EXPECT_EQ(det.values[1].name, "c.gauge");
+}
+
+TEST(MetricsSnapshotAlgebra, DeltaSubtractsCountersKeepsGauges) {
+  MetricsSnapshot before;
+  before.values = {make_counter("a.count", 10), make_gauge("b.gauge", 100)};
+  MetricsSnapshot after;
+  after.values = {make_counter("a.count", 25), make_gauge("b.gauge", 7),
+                  make_counter("c.fresh", 4)};
+  const MetricsSnapshot d = MetricsSnapshot::delta(before, after);
+  EXPECT_EQ(d.scalar("a.count"), 15);  // counters: after - before
+  EXPECT_EQ(d.scalar("b.gauge"), 7);   // gauges are levels: keep `after`
+  EXPECT_EQ(d.scalar("c.fresh"), 4);   // new series pass through
+
+  // A reset between snapshots (after < before) clamps at 0, never wraps.
+  const MetricsSnapshot clamped = MetricsSnapshot::delta(after, before);
+  EXPECT_EQ(clamped.scalar("a.count"), 0);
+}
+
+TEST(MetricsSerialization, JsonShape) {
+  MetricsSnapshot snap;
+  snap.values = {make_counter("a.counter", 7), make_gauge("b.gauge", -3),
+                 make_histogram("c.hist")};
+  const std::string json = snap.to_json();
+  EXPECT_NE(json.find("\"name\": \"a.counter\", \"kind\": \"counter\", \"value\": 7"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"name\": \"b.gauge\", \"kind\": \"gauge\", \"value\": -3"),
+            std::string::npos)
+      << json;
+  // Sparse [upper_bound, count] bucket pairs: value 0 -> bound 0, bucket 3
+  // covers [4, 7] -> bound 7.
+  EXPECT_NE(json.find("\"count\": 3, \"sum\": 5, \"buckets\": [[0, 2], [7, 1]]"),
+            std::string::npos)
+      << json;
+}
+
+TEST(MetricsSerialization, PrometheusShape) {
+  MetricsSnapshot snap;
+  snap.values = {make_counter("dnsbs.parse.lines", 42), make_histogram("c.hist_ns")};
+  const std::string prom = snap.to_prometheus();
+  EXPECT_NE(prom.find("# TYPE dnsbs_parse_lines counter\ndnsbs_parse_lines 42\n"),
+            std::string::npos)
+      << prom;
+  // Histogram buckets are cumulative and close with +Inf/_sum/_count.
+  EXPECT_NE(prom.find("c_hist_ns_bucket{le=\"0\"} 2\n"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("c_hist_ns_bucket{le=\"7\"} 3\n"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("c_hist_ns_bucket{le=\"+Inf\"} 3\n"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("c_hist_ns_sum 5\n"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("c_hist_ns_count 3\n"), std::string::npos) << prom;
+}
+
+// ---- logger rework -------------------------------------------------------
+
+TEST(LogSink, ComposedLineCarriesLevelThreadAndTag) {
+  std::vector<std::string> lines;
+  set_log_sink([&lines](LogLevel, std::string_view line) { lines.emplace_back(line); });
+  const LogLevel old_level = log_level();
+  set_log_level(LogLevel::kInfo);
+  set_thread_name("metrics-test");
+
+  log_info("unit", "hello metrics");
+  log_debug("unit", "below threshold");  // kDebug < kInfo: dropped
+
+  set_log_level(old_level);
+  set_log_sink(nullptr);
+  set_thread_name("");
+
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "INFO  [metrics-test] [unit] hello metrics\n");
+}
+
+TEST(LogSink, UnnamedThreadsGetStableIds) {
+  std::string first;
+  std::string second;
+  std::thread([&first] { first = thread_name(); }).join();
+  std::thread([&second] { second = thread_name(); }).join();
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first[0], 't');
+  EXPECT_NE(first, second);  // ids are per-thread, never recycled mid-run
+}
+
+}  // namespace
+}  // namespace dnsbs::util

@@ -1,6 +1,9 @@
-# Runs dnsbs_cli generate + analyze and asserts the pipeline round-trips.
+# Runs dnsbs_cli generate + analyze + stats and asserts the pipeline
+# round-trips and the observability surfaces emit sane output.
 set(LOG ${WORKDIR}/smoke.log)
 set(CSV ${WORKDIR}/smoke.csv)
+set(METRICS ${WORKDIR}/smoke_metrics.json)
+set(PROM ${WORKDIR}/smoke_metrics.prom)
 execute_process(
   COMMAND ${CLI} generate --out ${LOG} --scale 0.05 --seed 11
   RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
@@ -12,6 +15,7 @@ if(NOT EXISTS ${LOG})
 endif()
 execute_process(
   COMMAND ${CLI} analyze --log ${LOG} --scale 0.05 --seed 11 --csv ${CSV}
+          --metrics-out ${METRICS}
   RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
 if(NOT rc EQUAL 0)
   message(FATAL_ERROR "analyze failed: ${rc}\n${out}\n${err}")
@@ -26,4 +30,46 @@ file(STRINGS ${CSV} csv_lines LIMIT_COUNT 2)
 list(GET csv_lines 0 header)
 if(NOT header MATCHES "originator,footprint,home,mail")
   message(FATAL_ERROR "unexpected CSV header: ${header}")
+endif()
+
+# Metrics snapshot: valid-looking JSON naming every instrumented layer.
+# With -DDNSBS_METRICS=OFF the file is an empty metrics array; the layer
+# checks only apply when the build compiled the instrumentation in.
+if(NOT EXISTS ${METRICS})
+  message(FATAL_ERROR "analyze did not write ${METRICS}")
+endif()
+file(READ ${METRICS} metrics_json)
+if(NOT metrics_json MATCHES "\"metrics\": \\[")
+  message(FATAL_ERROR "metrics output is not the expected JSON shape:\n${metrics_json}")
+endif()
+if(NOT METRICS_OFF)
+  foreach(layer parse dedup aggregate cache threadpool ml sensor features)
+    if(NOT metrics_json MATCHES "dnsbs\\.${layer}\\.")
+      message(FATAL_ERROR "metrics JSON missing layer ${layer}:\n${metrics_json}")
+    endif()
+  endforeach()
+  # At least one parse counter must be non-zero (the log was just read).
+  if(NOT metrics_json MATCHES "\"name\": \"dnsbs\\.parse\\.lines\", \"kind\": \"counter\", \"value\": [1-9]")
+    message(FATAL_ERROR "dnsbs.parse.lines is zero after a replay:\n${metrics_json}")
+  endif()
+endif()
+
+# Prometheus exposition via the stats subcommand.
+execute_process(
+  COMMAND ${CLI} stats --log ${LOG} --scale 0.05 --seed 11 --metrics-out ${PROM}
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "stats failed: ${rc}\n${out}\n${err}")
+endif()
+if(NOT out MATCHES "pipeline metrics")
+  message(FATAL_ERROR "stats output missing metrics table:\n${out}")
+endif()
+if(NOT EXISTS ${PROM})
+  message(FATAL_ERROR "stats did not write ${PROM}")
+endif()
+if(NOT METRICS_OFF)
+  file(READ ${PROM} prom_text)
+  if(NOT prom_text MATCHES "# TYPE dnsbs_parse_lines counter")
+    message(FATAL_ERROR "prometheus output missing TYPE line:\n${prom_text}")
+  endif()
 endif()

@@ -11,6 +11,14 @@
 //   dnsbs_cli classify  [--scenario jp|b|m] [--scale S] [--seed N] [--top K]
 //       Full pipeline: simulate, curate labels, train RF, classify.
 //
+//   dnsbs_cli stats     [--log FILE] [--scenario jp|b|m] [--scale S] [--seed N]
+//       Run the pipeline (replaying --log, or simulating when absent) and
+//       pretty-print the metrics registry: counters, gauges, span times.
+//
+// Every subcommand accepts --metrics-out FILE to dump the final metrics
+// snapshot; a path ending in ".prom" selects Prometheus text exposition,
+// anything else gets JSON.
+//
 // `analyze` resolves querier names through the synthetic world, so the
 // (scenario, scale, seed) triple must match the one used by `generate`.
 // A production build would wire a real resolver client and whois/GeoIP
@@ -19,12 +27,14 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "core/sensor.hpp"
 #include "labeling/curator.hpp"
 #include "ml/forest.hpp"
 #include "sim/scenario.hpp"
+#include "util/metrics.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -39,22 +49,40 @@ struct Options {
   std::string log_path;
   std::string out_path;
   std::string csv_path;
+  std::string metrics_out;
   std::size_t min_queriers = 20;
   std::size_t top = 20;
 };
 
 int usage() {
   std::fprintf(stderr,
-               "usage: dnsbs_cli <generate|analyze|classify> [options]\n"
+               "usage: dnsbs_cli <generate|analyze|classify|stats> [options]\n"
                "  --scenario jp|b|m   vantage preset (default jp)\n"
                "  --scale S           world scale (default 0.15)\n"
                "  --seed N            world seed (default 1)\n"
                "  --out FILE          (generate) log output path\n"
-               "  --log FILE          (analyze) log input path\n"
+               "  --log FILE          (analyze/stats) log input path\n"
                "  --csv FILE          (analyze) feature-vector CSV output\n"
+               "  --metrics-out FILE  metrics snapshot (.prom = Prometheus, else JSON)\n"
                "  --min-queriers Q    sensor floor (default 20)\n"
                "  --top K             rows to print (default 20)\n");
   return 2;
+}
+
+/// Dumps the end-of-run metrics snapshot for any subcommand.  Returns
+/// false (and complains) when the file cannot be written.
+bool write_metrics(const std::string& path) {
+  if (path.empty()) return true;
+  const util::MetricsSnapshot snapshot = util::metrics_snapshot();
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  const bool prometheus = path.size() >= 5 && path.compare(path.size() - 5, 5, ".prom") == 0;
+  out << (prometheus ? snapshot.to_prometheus() : snapshot.to_json());
+  std::fprintf(stderr, "wrote %zu metrics to %s\n", snapshot.values.size(), path.c_str());
+  return static_cast<bool>(out);
 }
 
 bool parse(int argc, char** argv, Options& opt) {
@@ -75,6 +103,8 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.log_path = value;
     } else if (flag == "--csv") {
       opt.csv_path = value;
+    } else if (flag == "--metrics-out") {
+      opt.metrics_out = value;
     } else if (flag == "--min-queriers") {
       opt.min_queriers = std::strtoull(value, nullptr, 10);
     } else if (flag == "--top") {
@@ -130,26 +160,53 @@ int cmd_analyze(const Options& opt) {
   sensor_config.min_queriers = opt.min_queriers;
   core::Sensor sensor(sensor_config, scenario.plan().as_db(), scenario.plan().geo_db(),
                       scenario.naming());
-  dns::QueryLogReader reader(in);
-  std::size_t n = 0;
-  while (auto record = reader.next()) {
-    sensor.ingest(*record);
-    ++n;
+  std::size_t skipped = 0;
+  std::vector<dns::QueryRecord> records;
+  {
+    dns::QueryLogReader reader(in);
+    while (auto record = reader.next()) records.push_back(*record);
+    skipped = reader.skipped();
   }
-  std::fprintf(stderr, "replayed %zu records (%zu skipped)\n", n, reader.skipped());
+  sensor.ingest_all(records);
+  std::fprintf(stderr, "replayed %zu records (%zu skipped)\n", records.size(), skipped);
   const auto features = sensor.extract_features();
 
+  // Train a forest on the world's ground truth restricted to detected
+  // originators (truth is built when the world is constructed, so no
+  // traffic run is needed) and attach a predicted class per row.
+  labeling::GroundTruth truth;
+  for (const auto& fv : features) {
+    const auto it = scenario.truth().find(fv.originator);
+    if (it != scenario.truth().end()) truth.add(it->first, it->second);
+  }
+  const auto [train, used] = truth.join(features);
+  std::unique_ptr<ml::RandomForest> model;
+  if (!train.empty()) {
+    ml::ForestConfig fc;
+    fc.n_trees = 50;
+    fc.seed = opt.seed;
+    model = std::make_unique<ml::RandomForest>(fc);
+    model->fit(train);
+    std::fprintf(stderr, "trained forest on %zu truth-labeled originators\n",
+                 train.size());
+  }
+
   util::TableWriter table("top originators by footprint");
-  table.columns({"rank", "originator", "queriers", "mail", "ns", "home", "nxdomain"});
+  table.columns(
+      {"rank", "originator", "queriers", "class", "mail", "ns", "home", "nxdomain"});
   for (std::size_t i = 0; i < features.size() && i < opt.top; ++i) {
     const auto& fv = features[i];
     const auto s = [&fv](core::QuerierCategory c) {
       return util::fixed(fv.statics[static_cast<std::size_t>(c)], 2);
     };
+    const std::string predicted =
+        model ? std::string(core::to_string(
+                    static_cast<core::AppClass>(model->predict(fv.row()))))
+              : std::string("-");
     table.row({std::to_string(i + 1), fv.originator.to_string(),
-               std::to_string(fv.footprint), s(core::QuerierCategory::kMail),
-               s(core::QuerierCategory::kNs), s(core::QuerierCategory::kHome),
-               s(core::QuerierCategory::kNxDomain)});
+               std::to_string(fv.footprint), predicted,
+               s(core::QuerierCategory::kMail), s(core::QuerierCategory::kNs),
+               s(core::QuerierCategory::kHome), s(core::QuerierCategory::kNxDomain)});
   }
   table.print(std::cout);
   std::printf("%zu interesting originators total\n", features.size());
@@ -215,13 +272,83 @@ int cmd_classify(const Options& opt) {
   return 0;
 }
 
+/// Renders one snapshot as a human table: counters/gauges with raw values,
+/// histograms (spans, queue waits) with count + mean.
+void print_metrics_table(const util::MetricsSnapshot& snapshot) {
+  util::TableWriter table("pipeline metrics");
+  table.columns({"metric", "kind", "value", "mean", "det"});
+  for (const auto& v : snapshot.values) {
+    std::string kind;
+    std::string value;
+    std::string mean = "-";
+    switch (v.kind) {
+      case util::MetricKind::kCounter:
+        kind = "counter";
+        value = util::with_commas(v.count);
+        break;
+      case util::MetricKind::kGauge:
+        kind = "gauge";
+        value = std::to_string(v.gauge);
+        break;
+      case util::MetricKind::kHistogram:
+        kind = "histogram";
+        value = util::with_commas(v.count);
+        if (v.count > 0) {
+          mean = util::fixed(static_cast<double>(v.sum) / static_cast<double>(v.count) /
+                                 1e6,
+                             3) +
+                 " ms";
+        }
+        break;
+    }
+    // Histograms are duration-valued and sched series depend on the
+    // thread count; only the rest is covered by the determinism contract.
+    const bool det = v.kind != util::MetricKind::kHistogram && !v.sched;
+    table.row({v.name, kind, value, mean, det ? "yes" : "no"});
+  }
+  table.print(std::cout);
+}
+
+int cmd_stats(const Options& opt) {
+  sim::Scenario scenario(config_for(opt));
+  core::SensorConfig sensor_config;
+  sensor_config.min_queriers = opt.min_queriers;
+  core::Sensor sensor(sensor_config, scenario.plan().as_db(), scenario.plan().geo_db(),
+                      scenario.naming());
+
+  if (!opt.log_path.empty()) {
+    std::ifstream in(opt.log_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot read %s\n", opt.log_path.c_str());
+      return 1;
+    }
+    const auto records = dns::read_all(in);
+    sensor.ingest_all(records);
+  } else {
+    std::fprintf(stderr, "no --log: simulating %s (scale %.2f, seed %llu)...\n",
+                 scenario.config().name.c_str(), opt.scale,
+                 static_cast<unsigned long long>(opt.seed));
+    scenario.run();
+    sensor.ingest_all(scenario.authority(0).records());
+  }
+  const auto features = sensor.extract_features();
+  std::fprintf(stderr, "%zu interesting originators\n", features.size());
+
+  print_metrics_table(sensor.snapshot_metrics());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Options opt;
   if (!parse(argc, argv, opt)) return usage();
-  if (opt.command == "generate") return cmd_generate(opt);
-  if (opt.command == "analyze") return cmd_analyze(opt);
-  if (opt.command == "classify") return cmd_classify(opt);
-  return usage();
+  int rc = -1;
+  if (opt.command == "generate") rc = cmd_generate(opt);
+  else if (opt.command == "analyze") rc = cmd_analyze(opt);
+  else if (opt.command == "classify") rc = cmd_classify(opt);
+  else if (opt.command == "stats") rc = cmd_stats(opt);
+  else return usage();
+  if (rc == 0 && !write_metrics(opt.metrics_out)) rc = 1;
+  return rc;
 }

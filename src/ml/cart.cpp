@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "util/metrics.hpp"
+#include "util/parallel.hpp"
 
 namespace dnsbs::ml {
 
@@ -14,6 +15,10 @@ namespace {
 // seed alone), bumped once per fit — never inside the recursive build.
 util::MetricCounter& g_cart_fits = util::metrics_counter("dnsbs.ml.cart_fits");
 util::MetricCounter& g_cart_nodes = util::metrics_counter("dnsbs.ml.cart_nodes");
+// Candidate split positions (distinct-value boundaries) evaluated across
+// the whole fit; a pure function of (data, seed, config), so non-sched.
+util::MetricCounter& g_split_candidates =
+    util::metrics_counter("dnsbs.ml.split_candidates");
 
 double gini_from_counts(std::span<const std::size_t> counts, std::size_t total) noexcept {
   if (total == 0) return 0.0;
@@ -35,6 +40,25 @@ std::uint32_t majority(std::span<const std::size_t> counts) noexcept {
 
 }  // namespace
 
+Presort::Presort(const Dataset& data)
+    : rows_(data.size()), features_(data.feature_count()) {
+  order_.resize(rows_ * features_);
+  // Columns are independent; sorting them in parallel is deterministic
+  // (each column's layout depends only on its own values).  Degrades to
+  // the serial loop inside an outer parallel region (e.g. crossval reps).
+  util::parallel_for(features_, [&](std::size_t f) {
+    std::uint32_t* col = order_.data() + f * rows_;
+    std::iota(col, col + rows_, std::uint32_t{0});
+    // Gather the column once so the sort compares contiguous doubles
+    // instead of striding through the row-major dataset.
+    std::vector<double> vals(rows_);
+    for (std::size_t r = 0; r < rows_; ++r) vals[r] = data.row(r)[f];
+    std::sort(col, col + rows_, [&](std::uint32_t a, std::uint32_t b) {
+      return vals[a] < vals[b] || (vals[a] == vals[b] && a < b);
+    });
+  });
+}
+
 void CartTree::fit(const Dataset& train) {
   std::vector<std::size_t> all(train.size());
   std::iota(all.begin(), all.end(), 0);
@@ -42,31 +66,90 @@ void CartTree::fit(const Dataset& train) {
 }
 
 void CartTree::fit_indices(const Dataset& train, std::span<const std::size_t> indices) {
+  std::vector<std::uint32_t> weights(train.size(), 0);
+  for (const std::size_t i : indices) {
+    assert(i < train.size());
+    ++weights[i];
+  }
+  const Presort presort(train);
+  fit_weights(train, presort, weights);
+}
+
+void CartTree::fit_weights(const Dataset& train, const Presort& presort,
+                           std::span<const std::uint32_t> weights) {
+  assert(weights.size() == train.size());
+  assert(presort.rows() == train.size() && presort.features() == train.feature_count());
   nodes_.clear();
   depth_ = 0;
   class_count_ = train.class_count();
   importance_.assign(train.feature_count(), 0.0);
   util::Rng rng(config_.seed);
-  std::vector<std::size_t> rows(indices.begin(), indices.end());
-  if (rows.empty()) {
+
+  // Rows present in this fit (weight > 0).
+  std::size_t present = 0;
+  for (std::size_t r = 0; r < weights.size(); ++r) {
+    if (weights[r] > 0) ++present;
+  }
+  if (present == 0) {
     nodes_.push_back(Node{});  // degenerate leaf predicting class 0
     g_cart_fits.inc();
     g_cart_nodes.add(nodes_.size());
     return;
   }
-  build(train, rows, 0, rows.size(), 0, rng);
+
+  const std::size_t d = train.feature_count();
+  if (d == 0) {
+    // No features to split on: the tree is one majority leaf.
+    std::vector<std::size_t> counts(class_count_, 0);
+    for (std::size_t r = 0; r < weights.size(); ++r) {
+      if (weights[r] > 0) counts[train.label(r)] += weights[r];
+    }
+    Node leaf;
+    leaf.label = majority(counts);
+    nodes_.push_back(leaf);
+    g_cart_fits.inc();
+    g_cart_nodes.add(nodes_.size());
+    return;
+  }
+
+  // Root columns: each feature's presorted order filtered to present
+  // rows.  The filter preserves sort order, so every node's segment stays
+  // value-sorted as the recursion partitions it.
+  std::vector<std::uint32_t> cols(d * present);
+  for (std::size_t f = 0; f < d; ++f) {
+    const auto src = presort.column(f);
+    std::uint32_t* out = cols.data() + f * present;
+    for (const std::uint32_t r : src) {
+      if (weights[r] > 0) *out++ = r;
+    }
+  }
+
+  std::vector<std::uint8_t> side(train.size(), 0);
+  std::vector<std::uint32_t> scratch(present);
+  BuildContext ctx{train, weights, cols, present, side, scratch, rng};
+  build(ctx, 0, present, 0);
   g_cart_fits.inc();
   g_cart_nodes.add(nodes_.size());
+  g_split_candidates.add(ctx.candidates);
 }
 
-std::uint32_t CartTree::build(const Dataset& train, std::vector<std::size_t>& rows,
-                              std::size_t begin, std::size_t end, std::size_t depth,
-                              util::Rng& rng) {
+std::uint32_t CartTree::build(BuildContext& ctx, std::size_t begin, std::size_t end,
+                              std::size_t depth) {
   depth_ = std::max(depth_, depth);
-  const std::size_t n = end - begin;
+  const Dataset& train = ctx.train;
+  const std::size_t stride = ctx.stride;
 
-  std::vector<std::size_t> counts(class_count_, 0);
-  for (std::size_t i = begin; i < end; ++i) ++counts[train.label(rows[i])];
+  // Weighted class counts of the node (all columns hold the same row set;
+  // column 0's segment is as good as any).
+  std::vector<std::size_t>& counts = ctx.counts;
+  counts.assign(class_count_, 0);
+  std::size_t n = 0;
+  for (std::size_t i = begin; i < end; ++i) {
+    const std::uint32_t r = ctx.cols[i];
+    const std::size_t w = ctx.weights[r];
+    counts[train.label(r)] += w;
+    n += w;
+  }
   const double node_gini = gini_from_counts(counts, n);
 
   const auto make_leaf = [&]() {
@@ -83,12 +166,12 @@ std::uint32_t CartTree::build(const Dataset& train, std::vector<std::size_t>& ro
 
   // Candidate features: all, or a random subset of max_features.
   const std::size_t f_total = train.feature_count();
-  std::vector<std::size_t> features;
+  std::vector<std::size_t>& features = ctx.features;
   if (config_.max_features == 0 || config_.max_features >= f_total) {
     features.resize(f_total);
     std::iota(features.begin(), features.end(), 0);
   } else {
-    features = rng.sample_indices(f_total, config_.max_features);
+    ctx.rng.sample_indices_into(f_total, config_.max_features, features);
   }
 
   struct Best {
@@ -97,27 +180,29 @@ std::uint32_t CartTree::build(const Dataset& train, std::vector<std::size_t>& ro
     double threshold = 0.0;
   } best;
 
-  // Scratch: (value, label) pairs sorted per candidate feature.
-  std::vector<std::pair<double, std::size_t>> sorted;
-  sorted.reserve(n);
-  std::vector<std::size_t> left_counts(class_count_);
+  std::vector<std::size_t>& left_counts = ctx.left_counts;
+  left_counts.resize(class_count_);
 
   for (const std::size_t f : features) {
-    sorted.clear();
-    for (std::size_t i = begin; i < end; ++i) {
-      sorted.emplace_back(train.row(rows[i])[f], train.label(rows[i]));
-    }
-    std::sort(sorted.begin(), sorted.end(),
-              [](const auto& a, const auto& b) { return a.first < b.first; });
-    if (sorted.front().first == sorted.back().first) continue;  // constant feature
+    const std::uint32_t* seg = ctx.cols.data() + f * stride;
+    // Constant feature across the node: no split position exists.
+    if (train.row(seg[begin])[f] == train.row(seg[end - 1])[f]) continue;
 
     std::fill(left_counts.begin(), left_counts.end(), 0);
     std::size_t n_left = 0;
-    // Sweep split positions between consecutive distinct values.
-    for (std::size_t i = 0; i + 1 < n; ++i) {
-      ++left_counts[sorted[i].second];
-      ++n_left;
-      if (sorted[i].first == sorted[i + 1].first) continue;
+    // Sweep split positions between consecutive distinct values: the
+    // segment is value-sorted, so a position's left side is a prefix.
+    double v = train.row(seg[begin])[f];
+    for (std::size_t i = begin; i + 1 < end; ++i) {
+      const std::uint32_t r = seg[i];
+      const std::size_t w = ctx.weights[r];
+      left_counts[train.label(r)] += w;
+      n_left += w;
+      const double v_next = train.row(seg[i + 1])[f];
+      if (v == v_next) continue;
+      ++ctx.candidates;
+      const double v_here = v;
+      v = v_next;
       const std::size_t n_right = n - n_left;
       if (n_left < config_.min_samples_leaf || n_right < config_.min_samples_leaf) continue;
 
@@ -135,21 +220,49 @@ std::uint32_t CartTree::build(const Dataset& train, std::vector<std::size_t>& ro
           static_cast<double>(n);
       const double decrease = node_gini - weighted;
       if (decrease > best.decrease) {
-        best = Best{decrease, f, (sorted[i].first + sorted[i + 1].first) / 2.0};
+        best = Best{decrease, f, (v_here + v_next) / 2.0};
       }
     }
   }
 
   if (best.decrease <= 1e-12) return make_leaf();
 
-  // Partition rows in place around the chosen threshold.
-  const auto mid_it =
-      std::partition(rows.begin() + static_cast<std::ptrdiff_t>(begin),
-                     rows.begin() + static_cast<std::ptrdiff_t>(end), [&](std::size_t r) {
-                       return train.row(r)[best.feature] <= best.threshold;
-                     });
-  const std::size_t mid = static_cast<std::size_t>(mid_it - rows.begin());
+  // Mark each row's side once (the winning feature's segment is sorted,
+  // so the comparison only flips once), then stable-partition every
+  // feature's segment so children inherit value-sorted segments.
+  const std::uint32_t* win = ctx.cols.data() + best.feature * stride;
+  std::size_t left_rows = 0;
+  for (std::size_t i = begin; i < end; ++i) {
+    const std::uint32_t r = win[i];
+    const bool goes_left = train.row(r)[best.feature] <= best.threshold;
+    ctx.side[r] = goes_left ? 1 : 0;
+    left_rows += goes_left ? 1 : 0;
+  }
+  const std::size_t mid = begin + left_rows;
   assert(mid > begin && mid < end);
+
+  // Branchless two-way stable partition: left rows compact in place
+  // (writes trail reads, so in-place is safe), right rows spill to scratch
+  // and are copied back behind them.  The side bits are near-random per
+  // row, so the unconditional-store form avoids a mispredicted branch per
+  // element — this loop touches every column at every node and dominates
+  // the fit once sorting is gone.
+  const std::uint8_t* side = ctx.side.data();
+  std::uint32_t* scratch = ctx.scratch.data();
+  for (std::size_t f = 0; f < f_total; ++f) {
+    std::uint32_t* seg = ctx.cols.data() + f * stride;
+    std::size_t out = begin;
+    std::size_t spill = 0;
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::uint32_t r = seg[i];
+      const std::uint8_t s = side[r];
+      seg[out] = r;
+      scratch[spill] = r;
+      out += s;
+      spill += static_cast<std::size_t>(1) - s;
+    }
+    std::copy(scratch, scratch + spill, seg + out);
+  }
 
   importance_[best.feature] += static_cast<double>(n) * best.decrease;
 
@@ -157,8 +270,8 @@ std::uint32_t CartTree::build(const Dataset& train, std::vector<std::size_t>& ro
   nodes_.push_back(Node{});  // reserve slot; children append after
   nodes_[self].feature = static_cast<std::int32_t>(best.feature);
   nodes_[self].threshold = best.threshold;
-  const std::uint32_t left = build(train, rows, begin, mid, depth + 1, rng);
-  const std::uint32_t right = build(train, rows, mid, end, depth + 1, rng);
+  const std::uint32_t left = build(ctx, begin, mid, depth + 1);
+  const std::uint32_t right = build(ctx, mid, end, depth + 1);
   nodes_[self].left = left;
   nodes_[self].right = right;
   return self;

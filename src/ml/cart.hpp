@@ -6,6 +6,17 @@
 // subsampling (max_features) so the forest can decorrelate trees, and
 // accumulates per-feature Gini importance — the quantity behind the
 // paper's Table IV "top discriminative features".
+//
+// Training fast path (DESIGN.md "ML training fast path"): instead of
+// re-sorting every candidate feature at every node, the per-feature
+// sorted row orders are computed once (`Presort`) and threaded through
+// the recursion by stable partitioning, so each level of the tree costs
+// O(d·n) instead of O(d·n log n).  Bootstrap samples are expressed as
+// per-row multiplicity weights over the shared presort, which is what
+// lets a Random Forest reuse one Presort across all of its trees.  The
+// split search is exactly equivalent to the per-node-sort formulation
+// (same thresholds, same trees; tests/ml_perf_test.cpp pins this against
+// a naive oracle).
 #pragma once
 
 #include <cstddef>
@@ -17,6 +28,30 @@
 #include "util/rng.hpp"
 
 namespace dnsbs::ml {
+
+/// Per-feature sorted row orders of a dataset: column f lists the row
+/// indices of `data` sorted ascending by feature f's value (ties by row
+/// index, so the layout is deterministic).  Computed once — O(d·n log n)
+/// — and shared read-only across any number of tree fits on the same
+/// dataset (the Random Forest builds one per fit for all its trees).
+class Presort {
+ public:
+  Presort() = default;
+  explicit Presort(const Dataset& data);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t features() const noexcept { return features_; }
+
+  /// Row indices of the dataset sorted by feature f (ascending value).
+  std::span<const std::uint32_t> column(std::size_t f) const noexcept {
+    return {order_.data() + f * rows_, rows_};
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t features_ = 0;
+  std::vector<std::uint32_t> order_;  // features_ columns of rows_ entries
+};
 
 struct CartConfig {
   std::size_t max_depth = 24;
@@ -37,8 +72,16 @@ class CartTree final : public Classifier {
   std::string name() const override { return "CART"; }
 
   /// Fits on a bootstrap sample given by row indices (duplicates allowed);
-  /// used by the Random Forest.
-  void fit_indices(const Dataset& train, std::span<const std::size_t> indices);
+  /// used by the Random Forest and the cross-validation fold path.
+  void fit_indices(const Dataset& train, std::span<const std::size_t> indices) override;
+
+  /// Fits on the multiset of rows where `weights[r]` is row r's
+  /// multiplicity (0 = absent), reusing a caller-owned Presort of `train`.
+  /// This is the forest's per-tree entry point: one shared Presort, one
+  /// cheap weight vector per bootstrap.  weights.size() must equal
+  /// train.size() and presort must have been built from `train`.
+  void fit_weights(const Dataset& train, const Presort& presort,
+                   std::span<const std::uint32_t> weights);
 
   /// Total Gini-impurity decrease attributed to each feature, weighted by
   /// node sample counts; unnormalized.
@@ -47,7 +90,6 @@ class CartTree final : public Classifier {
   std::size_t node_count() const noexcept { return nodes_.size(); }
   std::size_t depth() const noexcept { return depth_; }
 
- private:
   struct Node {
     // Interior: feature/threshold, children indices.  Leaf: label.
     std::int32_t feature = -1;  // -1 marks a leaf
@@ -57,8 +99,33 @@ class CartTree final : public Classifier {
     std::uint32_t label = 0;
   };
 
-  std::uint32_t build(const Dataset& train, std::vector<std::size_t>& rows, std::size_t begin,
-                      std::size_t end, std::size_t depth, util::Rng& rng);
+  /// Read-only view of the tree in build (preorder) layout.  Exists so the
+  /// equivalence tests can compare the presorted builder node-for-node
+  /// against a per-node-sort oracle; not part of the prediction API.
+  std::span<const Node> tree_nodes() const noexcept { return nodes_; }
+
+ private:
+  /// Per-fit working state for the presorted recursion: the partitionable
+  /// per-feature column segments plus shared scratch.
+  struct BuildContext {
+    const Dataset& train;
+    std::span<const std::uint32_t> weights;  ///< row multiplicities
+    std::vector<std::uint32_t>& cols;        ///< features() columns, stride rows
+    std::size_t stride = 0;                  ///< rows present at the root
+    std::vector<std::uint8_t>& side;         ///< per dataset-row split side
+    std::vector<std::uint32_t>& scratch;     ///< partition spill buffer
+    util::Rng& rng;
+    std::uint64_t candidates = 0;  ///< split positions evaluated (telemetry)
+    // Per-node scratch, hoisted out of the recursion.  Both are fully
+    // recomputed at node entry and never read after the recursive calls,
+    // so one buffer per fit is safe.
+    std::vector<std::size_t> counts;       ///< node class counts
+    std::vector<std::size_t> left_counts;  ///< sweep prefix class counts
+    std::vector<std::size_t> features;     ///< candidate feature subset
+  };
+
+  std::uint32_t build(BuildContext& ctx, std::size_t begin, std::size_t end,
+                      std::size_t depth);
 
   CartConfig config_;
   std::vector<Node> nodes_;

@@ -21,6 +21,14 @@ class Classifier {
   /// a second fit() discards the first model.
   virtual void fit(const Dataset& train) = 0;
 
+  /// Trains on the rows named by `indices` (duplicates allowed), exactly
+  /// as if fit() had been given `data.subset(indices)`.  The default does
+  /// just that; CART/RF/SVM override with zero-copy index-span paths so
+  /// cross-validation folds stop duplicating the dataset per repetition.
+  virtual void fit_indices(const Dataset& data, std::span<const std::size_t> indices) {
+    fit(data.subset(indices));
+  }
+
   /// Predicts the class index for one feature row.
   virtual std::size_t predict(std::span<const double> features) const = 0;
 
@@ -34,6 +42,16 @@ class Classifier {
     std::vector<std::size_t> out;
     out.reserve(data.size());
     for (std::size_t i = 0; i < data.size(); ++i) out.push_back(predict(data.row(i)));
+    return out;
+  }
+
+  /// Predicts the rows named by `indices`: out[k] corresponds to
+  /// data.row(indices[k]).  Fold evaluation without a test-set copy.
+  virtual std::vector<std::size_t> predict_indices(
+      const Dataset& data, std::span<const std::size_t> indices) const {
+    std::vector<std::size_t> out;
+    out.reserve(indices.size());
+    for (const std::size_t i : indices) out.push_back(predict(data.row(i)));
     return out;
   }
 };

@@ -19,17 +19,18 @@ MetricSummary cross_validate(const Dataset& data, const ModelFactory& factory,
         util::Rng rng = util::Rng::stream(config.seed, 0xc5a1 + rep);
         const auto [train_idx, test_idx] =
             data.stratified_split(rng, config.train_fraction);
-        const Dataset train = data.subset(train_idx);
-        const Dataset test = data.subset(test_idx);
-        if (train.empty() || test.empty()) return std::nullopt;
+        if (train_idx.empty() || test_idx.empty()) return std::nullopt;
 
+        // Folds are index spans over the shared dataset — no per-rep
+        // train/test copies (fit_indices/predict_indices are pinned
+        // byte-identical to fitting on a subset() copy).
         auto model = factory(config.seed * 1000003ULL + rep);
-        model->fit(train);
+        model->fit_indices(data, train_idx);
 
         ConfusionMatrix cm(data.class_count());
-        const auto predicted = model->predict_all(test);
-        for (std::size_t i = 0; i < test.size(); ++i) {
-          cm.add(test.label(i), predicted[i]);
+        const auto predicted = model->predict_indices(data, test_idx);
+        for (std::size_t k = 0; k < test_idx.size(); ++k) {
+          cm.add(data.label(test_idx[k]), predicted[k]);
         }
         return compute_metrics(cm);
       });
@@ -55,6 +56,16 @@ void VotingClassifier::fit(const Dataset& train) {
   });
 }
 
+void VotingClassifier::fit_indices(const Dataset& data,
+                                   std::span<const std::size_t> indices) {
+  class_count_ = data.class_count();
+  members_ = util::parallel_map(votes_, [&](std::size_t v) {
+    auto member = factory_(seed_ ^ (0x9e3779b97f4a7c15ULL * (v + 1)));
+    member->fit_indices(data, indices);
+    return member;
+  });
+}
+
 std::size_t VotingClassifier::predict(std::span<const double> features) const {
   std::vector<std::size_t> tally(class_count_ == 0 ? 1 : class_count_, 0);
   for (const auto& member : members_) {
@@ -67,6 +78,12 @@ std::size_t VotingClassifier::predict(std::span<const double> features) const {
 std::vector<std::size_t> VotingClassifier::predict_all(const Dataset& data) const {
   return util::parallel_map(data.size(),
                             [&](std::size_t i) { return predict(data.row(i)); });
+}
+
+std::vector<std::size_t> VotingClassifier::predict_indices(
+    const Dataset& data, std::span<const std::size_t> indices) const {
+  return util::parallel_map(
+      indices.size(), [&](std::size_t k) { return predict(data.row(indices[k])); });
 }
 
 std::string VotingClassifier::name() const {

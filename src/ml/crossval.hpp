@@ -36,8 +36,13 @@ class VotingClassifier final : public Classifier {
   VotingClassifier(ModelFactory factory, std::size_t votes, std::uint64_t seed);
 
   void fit(const Dataset& train) override;
+  /// Forwards the index span to every member's fit_indices, so a voting
+  /// ensemble in a cross-validation fold trains copy-free too.
+  void fit_indices(const Dataset& data, std::span<const std::size_t> indices) override;
   std::size_t predict(std::span<const double> features) const override;
   std::vector<std::size_t> predict_all(const Dataset& data) const override;
+  std::vector<std::size_t> predict_indices(
+      const Dataset& data, std::span<const std::size_t> indices) const override;
   std::string name() const override;
 
  private:

@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cmath>
+#include <numeric>
 
 #include "util/metrics.hpp"
 #include "util/parallel.hpp"
@@ -29,29 +30,40 @@ std::size_t majority_vote(std::span<const std::size_t> votes) noexcept {
 }
 
 void RandomForest::fit(const Dataset& train) {
+  std::vector<std::size_t> all(train.size());
+  std::iota(all.begin(), all.end(), 0);
+  fit_indices(train, all);
+}
+
+void RandomForest::fit_indices(const Dataset& data, std::span<const std::size_t> indices) {
   DNSBS_SPAN("ml.fit");
   g_fits.inc();
   trees_.clear();
-  class_count_ = train.class_count();
-  feature_count_ = train.feature_count();
-  if (train.empty() || config_.n_trees == 0) return;
+  class_count_ = data.class_count();
+  feature_count_ = data.feature_count();
+  if (indices.empty() || config_.n_trees == 0) return;
   const std::size_t max_features =
       config_.max_features != 0
           ? config_.max_features
           : std::max<std::size_t>(
                 1, static_cast<std::size_t>(
-                       std::sqrt(static_cast<double>(train.feature_count()))));
+                       std::sqrt(static_cast<double>(data.feature_count()))));
 
   // For the balanced bootstrap: index examples by class (shared, read-only
   // across the per-tree workers).
   std::vector<std::vector<std::size_t>> by_class;
   if (config_.balanced_bootstrap) {
-    by_class.resize(train.class_count());
-    for (std::size_t i = 0; i < train.size(); ++i) {
-      by_class[train.label(i)].push_back(i);
+    by_class.resize(data.class_count());
+    for (const std::size_t i : indices) {
+      by_class[data.label(i)].push_back(i);
     }
     std::erase_if(by_class, [](const auto& members) { return members.empty(); });
   }
+
+  // One presort of the whole dataset, shared read-only by every tree:
+  // sorting each feature column happens once per fit instead of per node
+  // per tree (DESIGN.md "ML training fast path").
+  const Presort presort(data);
 
   // Each tree derives both its bootstrap stream and its split seed from
   // (config seed, tree index) alone, so trees are independent work items
@@ -63,18 +75,21 @@ void RandomForest::fit(const Dataset& train) {
     cc.max_features = max_features;
     cc.seed = util::SplitMix64(config_.seed ^ (t * 0x9e3779b97f4a7c15ULL + 1)).next();
     CartTree tree(cc);
-    // Bootstrap: n draws with replacement (optionally class-balanced).
+    // Bootstrap: |indices| draws with replacement (optionally
+    // class-balanced), recorded as per-row multiplicities.
     util::Rng boot_rng = util::Rng::stream(config_.seed, 0xb007 + t);
-    std::vector<std::size_t> sample(train.size());
+    std::vector<std::uint32_t> weights(data.size(), 0);
     if (config_.balanced_bootstrap && !by_class.empty()) {
-      for (auto& s : sample) {
+      for (std::size_t k = 0; k < indices.size(); ++k) {
         const auto& members = by_class[boot_rng.below(by_class.size())];
-        s = members[boot_rng.below(members.size())];
+        ++weights[members[boot_rng.below(members.size())]];
       }
     } else {
-      for (auto& s : sample) s = boot_rng.below(train.size());
+      for (std::size_t k = 0; k < indices.size(); ++k) {
+        ++weights[indices[boot_rng.below(indices.size())]];
+      }
     }
-    tree.fit_indices(train, sample);
+    tree.fit_weights(data, presort, weights);
     return tree;
   });
   g_trees.add(trees_.size());
@@ -99,6 +114,13 @@ std::vector<std::size_t> RandomForest::predict_all(const Dataset& data) const {
   DNSBS_SPAN("ml.predict_all");
   return util::parallel_map(data.size(),
                             [&](std::size_t i) { return predict(data.row(i)); });
+}
+
+std::vector<std::size_t> RandomForest::predict_indices(
+    const Dataset& data, std::span<const std::size_t> indices) const {
+  DNSBS_SPAN("ml.predict_all");
+  return util::parallel_map(indices.size(),
+                            [&](std::size_t k) { return predict(data.row(indices[k])); });
 }
 
 std::vector<double> RandomForest::gini_importance() const {

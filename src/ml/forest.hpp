@@ -38,11 +38,18 @@ class RandomForest final : public Classifier {
 
   /// Trains the per-tree bootstraps concurrently: every tree derives its
   /// bootstrap stream and split seed from (seed, tree index), so the
-  /// resulting forest is byte-identical for any thread count.
+  /// resulting forest is byte-identical for any thread count.  All trees
+  /// share one Presort of the dataset; each bootstrap is a per-row
+  /// multiplicity weight vector over that shared layout.
   void fit(const Dataset& train) override;
+  /// Trains on the rows named by `indices` without copying them out —
+  /// byte-identical to fit(data.subset(indices)) (the crossval fast path).
+  void fit_indices(const Dataset& data, std::span<const std::size_t> indices) override;
   std::size_t predict(std::span<const double> features) const override;
   /// Batched prediction: rows are voted in parallel, results ordered by row.
   std::vector<std::size_t> predict_all(const Dataset& data) const override;
+  std::vector<std::size_t> predict_indices(
+      const Dataset& data, std::span<const std::size_t> indices) const override;
   std::string name() const override { return "RF"; }
 
   /// Mean of per-tree Gini importances, normalized to sum to 100 (so the

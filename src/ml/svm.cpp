@@ -1,18 +1,28 @@
 #include "ml/svm.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
+#include <numeric>
+#include <stdexcept>
 
 #include "util/metrics.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 
 namespace dnsbs::ml {
 
 namespace {
 // SMO training is seed-deterministic; fit/predict totals are functions of
-// the call sequence alone.
+// the call sequence alone.  The kernel-cache series are deterministic too:
+// the hit/miss sequence is a pure function of the SMO trajectory, which
+// depends only on (data, config, seed), never on scheduling.
 util::MetricCounter& g_svm_fits = util::metrics_counter("dnsbs.ml.svm_fits");
 util::MetricCounter& g_svm_predictions = util::metrics_counter("dnsbs.ml.svm_predictions");
+util::MetricCounter& g_kernel_hits =
+    util::metrics_counter("dnsbs.ml.svm_kernel_cache_hits");
+util::MetricCounter& g_kernel_misses =
+    util::metrics_counter("dnsbs.ml.svm_kernel_cache_misses");
 }  // namespace
 
 void StandardScaler::fit(const Dataset& data) {
@@ -39,11 +49,43 @@ void StandardScaler::fit(const Dataset& data) {
   }
 }
 
-std::vector<double> StandardScaler::transform(std::span<const double> row) const {
-  std::vector<double> out(row.size());
-  for (std::size_t j = 0; j < row.size() && j < means_.size(); ++j) {
+void StandardScaler::fit(const Dataset& data, std::span<const std::size_t> indices) {
+  const std::size_t f = data.feature_count();
+  means_.assign(f, 0.0);
+  inv_stds_.assign(f, 1.0);
+  if (indices.empty()) return;
+  for (const std::size_t i : indices) {
+    const auto row = data.row(i);
+    for (std::size_t j = 0; j < f; ++j) means_[j] += row[j];
+  }
+  for (double& m : means_) m /= static_cast<double>(indices.size());
+  std::vector<double> var(f, 0.0);
+  for (const std::size_t i : indices) {
+    const auto row = data.row(i);
+    for (std::size_t j = 0; j < f; ++j) {
+      const double d = row[j] - means_[j];
+      var[j] += d * d;
+    }
+  }
+  for (std::size_t j = 0; j < f; ++j) {
+    const double sd = std::sqrt(var[j] / static_cast<double>(indices.size()));
+    inv_stds_[j] = sd > 1e-12 ? 1.0 / sd : 1.0;
+  }
+}
+
+void StandardScaler::transform_into(std::span<const double> row,
+                                    std::span<double> out) const {
+  if (row.size() != means_.size() || out.size() != means_.size()) {
+    throw std::invalid_argument("StandardScaler::transform: feature count mismatch");
+  }
+  for (std::size_t j = 0; j < row.size(); ++j) {
     out[j] = (row[j] - means_[j]) * inv_stds_[j];
   }
+}
+
+std::vector<double> StandardScaler::transform(std::span<const double> row) const {
+  std::vector<double> out(row.size());
+  transform_into(row, out);
   return out;
 }
 
@@ -58,36 +100,135 @@ double rbf(std::span<const double> a, std::span<const double> b, double gamma) n
   return std::exp(-gamma * d2);
 }
 
+/// Bounded LRU cache over rows of the implicit kernel matrix of one
+/// binary subproblem.  Row i holds K(i, t) for all t; rows are computed
+/// on first touch and evicted least-recently-used, so memory stays at
+/// capacity x n doubles however big the subproblem.  Because kernel
+/// values are pure functions of the data, capacity changes recompute
+/// churn but never results.
+class KernelRowCache {
+ public:
+  KernelRowCache(std::span<const double> x, std::size_t n, std::size_t dim, double gamma,
+                 std::size_t capacity)
+      : x_(x),
+        n_(n),
+        dim_(dim),
+        gamma_(gamma),
+        cap_(std::max<std::size_t>(1, capacity == 0 ? n : std::min(capacity, n))) {
+    store_.resize(cap_ * n_);
+    slot_of_.assign(n_, -1);
+    owner_.assign(cap_, 0);
+    tick_of_.assign(cap_, 0);
+  }
+
+  std::span<const double> row(std::size_t i) {
+    ++tick_;
+    const std::int32_t cached = slot_of_[i];
+    if (cached >= 0) {
+      ++hits_;
+      tick_of_[static_cast<std::size_t>(cached)] = tick_;
+      return {store_.data() + static_cast<std::size_t>(cached) * n_, n_};
+    }
+    ++misses_;
+    std::size_t slot;
+    if (used_ < cap_) {
+      slot = used_++;
+    } else {
+      // Evict the least-recently-used slot (deterministic: ticks are a
+      // pure function of the access sequence).
+      slot = 0;
+      for (std::size_t s = 1; s < cap_; ++s) {
+        if (tick_of_[s] < tick_of_[slot]) slot = s;
+      }
+      slot_of_[owner_[slot]] = -1;
+    }
+    owner_[slot] = i;
+    slot_of_[i] = static_cast<std::int32_t>(slot);
+    tick_of_[slot] = tick_;
+    double* out = store_.data() + slot * n_;
+    const std::span<const double> xi{x_.data() + i * dim_, dim_};
+    for (std::size_t t = 0; t < n_; ++t) {
+      out[t] = rbf(xi, {x_.data() + t * dim_, dim_}, gamma_);
+    }
+    return {out, n_};
+  }
+
+  std::uint64_t hits() const noexcept { return hits_; }
+  std::uint64_t misses() const noexcept { return misses_; }
+
+ private:
+  std::span<const double> x_;  ///< subproblem rows, flat, n x dim
+  std::size_t n_;
+  std::size_t dim_;
+  double gamma_;
+  std::size_t cap_;
+  std::size_t used_ = 0;
+  std::uint64_t tick_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::vector<double> store_;          ///< cap_ rows of n_ kernel values
+  std::vector<std::int32_t> slot_of_;  ///< row -> slot, -1 when absent
+  std::vector<std::size_t> owner_;     ///< slot -> row
+  std::vector<std::uint64_t> tick_of_;
+};
+
 /// Simplified SMO (Platt 1998 as condensed in the CS229 notes): optimizes
 /// the dual over pairs of multipliers with a randomized second choice.
+///
+/// The fast path keeps the exact trajectory of the textbook formulation:
+///   * decision values f(i) sum only over the active (nonzero-alpha) set,
+///     ascending — bit-identical to the full scan that skips zero terms;
+///   * f values are memoized under a version stamp bumped on every
+///     successful update, so the convergence-confirming passes (max_passes
+///     full sweeps with no change) reuse instead of recompute;
+///   * kernel entries come from the LRU row cache above.
 struct SmoResult {
   std::vector<double> alpha;
   double bias = 0.0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
 };
 
-SmoResult solve_smo(const std::vector<std::vector<double>>& x, const std::vector<int>& y,
-                    const SvmConfig& cfg, double gamma, util::Rng& rng) {
-  const std::size_t n = x.size();
+SmoResult solve_smo(std::span<const double> x, std::size_t n, std::size_t dim,
+                    const std::vector<int>& y, const SvmConfig& cfg, double gamma,
+                    util::Rng& rng) {
   SmoResult res;
   res.alpha.assign(n, 0.0);
   if (n < 2) return res;
 
-  // Precompute the kernel matrix: ground-truth sets are hundreds of rows,
-  // so O(n^2) memory is the right trade for SMO's repeated accesses.
-  std::vector<double> K(n * n);
+  KernelRowCache cache(x, n, dim, gamma, cfg.kernel_cache_rows);
+  // Diagonal entries, computed once up front (every update step needs
+  // K(i,i) and K(j,j)).
+  std::vector<double> diag(n);
   for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = i; j < n; ++j) {
-      const double k = rbf(x[i], x[j], gamma);
-      K[i * n + j] = k;
-      K[j * n + i] = k;
-    }
+    const std::span<const double> xi{x.data() + i * dim, dim};
+    diag[i] = rbf(xi, xi, gamma);
   }
+
+  std::vector<std::size_t> active;  // indices with alpha != 0, ascending
+  std::vector<double> fval(n, 0.0);
+  std::vector<std::uint64_t> fstamp(n, 0);
+  std::uint64_t version = 1;
+
   const auto f = [&](std::size_t i) {
+    if (fstamp[i] == version) return fval[i];
     double s = res.bias;
-    for (std::size_t t = 0; t < n; ++t) {
-      if (res.alpha[t] != 0.0) s += res.alpha[t] * y[t] * K[t * n + i];
+    if (!active.empty()) {
+      const auto Ki = cache.row(i);
+      for (const std::size_t t : active) s += res.alpha[t] * y[t] * Ki[t];
     }
+    fval[i] = s;
+    fstamp[i] = version;
     return s;
+  };
+  const auto sync_active = [&](std::size_t i) {
+    const auto it = std::lower_bound(active.begin(), active.end(), i);
+    const bool present = it != active.end() && *it == i;
+    if (res.alpha[i] != 0.0) {
+      if (!present) active.insert(it, i);
+    } else if (present) {
+      active.erase(it);
+    }
   };
 
   std::size_t passes = 0;
@@ -114,7 +255,10 @@ SmoResult solve_smo(const std::vector<std::vector<double>>& x, const std::vector
         hi = std::min(cfg.C, ai_old + aj_old);
       }
       if (lo >= hi) continue;
-      const double eta = 2.0 * K[i * n + j] - K[i * n + i] - K[j * n + j];
+      const double Kij = cache.row(i)[j];
+      const double Kii = diag[i];
+      const double Kjj = diag[j];
+      const double eta = 2.0 * Kij - Kii - Kjj;
       if (eta >= 0.0) continue;
       double aj = aj_old - y[j] * (Ei - Ej) / eta;
       aj = std::clamp(aj, lo, hi);
@@ -122,10 +266,12 @@ SmoResult solve_smo(const std::vector<std::vector<double>>& x, const std::vector
       const double ai = ai_old + y[i] * y[j] * (aj_old - aj);
       res.alpha[i] = ai;
       res.alpha[j] = aj;
-      const double b1 = res.bias - Ei - y[i] * (ai - ai_old) * K[i * n + i] -
-                        y[j] * (aj - aj_old) * K[i * n + j];
-      const double b2 = res.bias - Ej - y[i] * (ai - ai_old) * K[i * n + j] -
-                        y[j] * (aj - aj_old) * K[j * n + j];
+      sync_active(i);
+      sync_active(j);
+      const double b1 = res.bias - Ei - y[i] * (ai - ai_old) * Kii -
+                        y[j] * (aj - aj_old) * Kij;
+      const double b2 = res.bias - Ej - y[i] * (ai - ai_old) * Kij -
+                        y[j] * (aj - aj_old) * Kjj;
       if (ai > 0.0 && ai < cfg.C) {
         res.bias = b1;
       } else if (aj > 0.0 && aj < cfg.C) {
@@ -133,77 +279,98 @@ SmoResult solve_smo(const std::vector<std::vector<double>>& x, const std::vector
       } else {
         res.bias = (b1 + b2) / 2.0;
       }
+      ++version;  // alphas/bias moved: cached decision values are stale
       ++changed;
     }
     passes = changed == 0 ? passes + 1 : 0;
   }
+  res.cache_hits = cache.hits();
+  res.cache_misses = cache.misses();
   return res;
 }
 
 }  // namespace
 
 void KernelSvm::fit(const Dataset& train) {
+  std::vector<std::size_t> all(train.size());
+  std::iota(all.begin(), all.end(), 0);
+  fit_indices(train, all);
+}
+
+void KernelSvm::fit_indices(const Dataset& data, std::span<const std::size_t> indices) {
   DNSBS_SPAN("ml.svm_fit");
   g_svm_fits.inc();
   models_.clear();
-  class_count_ = train.class_count();
-  scaler_.fit(train);
+  class_count_ = data.class_count();
+  dim_ = data.feature_count();
+  scaler_.fit(data, indices);
   gamma_ = config_.gamma > 0.0
                ? config_.gamma
-               : 1.0 / static_cast<double>(std::max<std::size_t>(1, train.feature_count()));
+               : 1.0 / static_cast<double>(std::max<std::size_t>(1, dim_));
 
-  // Scale all rows once, grouped by class.
+  // Scale the selected rows once into one contiguous buffer (position k
+  // holds row indices[k]), grouped by class.
+  const std::size_t dim = dim_;
+  std::vector<double> scaled(indices.size() * dim);
   std::vector<std::vector<std::size_t>> by_class(class_count_);
-  std::vector<std::vector<double>> scaled(train.size());
-  for (std::size_t i = 0; i < train.size(); ++i) {
-    scaled[i] = scaler_.transform(train.row(i));
-    by_class[train.label(i)].push_back(i);
+  for (std::size_t k = 0; k < indices.size(); ++k) {
+    scaler_.transform_into(data.row(indices[k]), {scaled.data() + k * dim, dim});
+    by_class[data.label(indices[k])].push_back(k);
   }
 
   util::Rng rng(config_.seed);
+  std::uint64_t hits = 0, misses = 0;
+  std::vector<double> xsub;  // subproblem rows, reused across class pairs
+  std::vector<int> y;
   // One-vs-one: a binary machine per unordered class pair that has data.
   for (std::size_t a = 0; a < class_count_; ++a) {
     for (std::size_t b = a + 1; b < class_count_; ++b) {
       if (by_class[a].empty() || by_class[b].empty()) continue;
-      std::vector<std::vector<double>> x;
-      std::vector<int> y;
-      x.reserve(by_class[a].size() + by_class[b].size());
-      for (const std::size_t i : by_class[a]) {
-        x.push_back(scaled[i]);
+      const std::size_t nsub = by_class[a].size() + by_class[b].size();
+      xsub.resize(nsub * dim);
+      y.clear();
+      y.reserve(nsub);
+      std::size_t at = 0;
+      for (const std::size_t k : by_class[a]) {
+        std::copy_n(scaled.data() + k * dim, dim, xsub.data() + at * dim);
         y.push_back(+1);
+        ++at;
       }
-      for (const std::size_t i : by_class[b]) {
-        x.push_back(scaled[i]);
+      for (const std::size_t k : by_class[b]) {
+        std::copy_n(scaled.data() + k * dim, dim, xsub.data() + at * dim);
         y.push_back(-1);
+        ++at;
       }
-      const SmoResult sol = solve_smo(x, y, config_, gamma_, rng);
+      const SmoResult sol = solve_smo(xsub, nsub, dim, y, config_, gamma_, rng);
+      hits += sol.cache_hits;
+      misses += sol.cache_misses;
       BinaryModel m;
       m.class_pos = a;
       m.class_neg = b;
       m.bias = sol.bias;
-      for (std::size_t i = 0; i < x.size(); ++i) {
+      for (std::size_t i = 0; i < nsub; ++i) {
         if (sol.alpha[i] > 1e-9) {
-          m.support.push_back(std::move(x[i]));
+          m.support.insert(m.support.end(), xsub.data() + i * dim,
+                           xsub.data() + (i + 1) * dim);
           m.alpha_y.push_back(sol.alpha[i] * y[i]);
         }
       }
       models_.push_back(std::move(m));
     }
   }
+  g_kernel_hits.add(hits);
+  g_kernel_misses.add(misses);
 }
 
 double KernelSvm::decision(const BinaryModel& m, std::span<const double> scaled) const {
   double s = m.bias;
-  for (std::size_t i = 0; i < m.support.size(); ++i) {
-    s += m.alpha_y[i] * rbf(m.support[i], scaled, gamma_);
+  for (std::size_t i = 0; i < m.alpha_y.size(); ++i) {
+    s += m.alpha_y[i] * rbf({m.support.data() + i * dim_, dim_}, scaled, gamma_);
   }
   return s;
 }
 
-std::size_t KernelSvm::predict(std::span<const double> features) const {
-  g_svm_predictions.inc();
-  if (models_.empty()) return 0;
-  const std::vector<double> scaled = scaler_.transform(features);
+std::size_t KernelSvm::vote(std::span<const double> scaled) const {
   std::vector<std::size_t> votes(class_count_, 0);
   for (const auto& m : models_) {
     ++votes[decision(m, scaled) >= 0.0 ? m.class_pos : m.class_neg];
@@ -215,9 +382,50 @@ std::size_t KernelSvm::predict(std::span<const double> features) const {
   return best;
 }
 
+std::size_t KernelSvm::predict(std::span<const double> features) const {
+  g_svm_predictions.inc();
+  if (models_.empty()) return 0;
+  // Per-thread scratch: single predictions stay allocation-free after the
+  // first call on each thread (predict may run concurrently under
+  // parallel_map, so the buffer cannot be a plain member).
+  thread_local std::vector<double> scratch;
+  scratch.resize(dim_);
+  scaler_.transform_into(features, scratch);
+  return vote(scratch);
+}
+
+std::vector<std::size_t> KernelSvm::predict_all(const Dataset& data) const {
+  DNSBS_SPAN("ml.svm_predict_all");
+  g_svm_predictions.add(data.size());
+  if (models_.empty()) return std::vector<std::size_t>(data.size(), 0);
+  const std::size_t dim = dim_;
+  std::vector<double> scaled(data.size() * dim);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    scaler_.transform_into(data.row(i), {scaled.data() + i * dim, dim});
+  }
+  return util::parallel_map(data.size(), [&](std::size_t i) {
+    return vote({scaled.data() + i * dim, dim});
+  });
+}
+
+std::vector<std::size_t> KernelSvm::predict_indices(
+    const Dataset& data, std::span<const std::size_t> indices) const {
+  DNSBS_SPAN("ml.svm_predict_all");
+  g_svm_predictions.add(indices.size());
+  if (models_.empty()) return std::vector<std::size_t>(indices.size(), 0);
+  const std::size_t dim = dim_;
+  std::vector<double> scaled(indices.size() * dim);
+  for (std::size_t k = 0; k < indices.size(); ++k) {
+    scaler_.transform_into(data.row(indices[k]), {scaled.data() + k * dim, dim});
+  }
+  return util::parallel_map(indices.size(), [&](std::size_t k) {
+    return vote({scaled.data() + k * dim, dim});
+  });
+}
+
 std::size_t KernelSvm::support_vector_count() const noexcept {
   std::size_t n = 0;
-  for (const auto& m : models_) n += m.support.size();
+  for (const auto& m : models_) n += m.alpha_y.size();
   return n;
 }
 

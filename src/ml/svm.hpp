@@ -3,6 +3,14 @@
 // (Scholkopf & Smola 2001).  Features are standardized internally since
 // the dynamic features live on very different scales than the static
 // fraction features.
+//
+// Training fast path (DESIGN.md "ML training fast path"): kernel rows are
+// produced by a bounded LRU cache instead of an eagerly materialized
+// n x n matrix, SMO keeps an active (nonzero-alpha) index set plus a
+// version-stamped decision-value cache so converged passes cost O(1) per
+// example, and all rows are scaled once into one contiguous buffer.  The
+// optimization trajectory is bit-identical to the uncached solver
+// (tests/ml_perf_test.cpp pins alphas against a naive oracle).
 #pragma once
 
 #include <cstddef>
@@ -20,6 +28,11 @@ struct SvmConfig {
   double tol = 1e-3;      ///< KKT violation tolerance
   std::size_t max_passes = 5;   ///< SMO passes without change before stop
   std::size_t max_iterations = 2000;  ///< hard cap per binary problem
+  /// Kernel-row LRU capacity per binary subproblem, in rows (each row is
+  /// n doubles).  0 = cache every row (equivalent to the full matrix,
+  /// computed lazily).  Capacity never changes the result, only memory
+  /// and recompute churn.
+  std::size_t kernel_cache_rows = 512;
   std::uint64_t seed = 1;
 };
 
@@ -27,8 +40,20 @@ struct SvmConfig {
 class StandardScaler {
  public:
   void fit(const Dataset& data);
+  /// Fits on the rows named by `indices` (the fold path): identical sums
+  /// to fitting on data.subset(indices).
+  void fit(const Dataset& data, std::span<const std::size_t> indices);
+
+  /// Scales one row.  The row width must match the fitted feature count;
+  /// a mismatched row is a caller bug and throws std::invalid_argument
+  /// (it used to be silently truncated to a half-scaled vector).
   std::vector<double> transform(std::span<const double> row) const;
+  /// Allocation-free variant: writes the scaled row into `out`
+  /// (out.size() == row.size() == fitted feature count).
+  void transform_into(std::span<const double> row, std::span<double> out) const;
+
   bool fitted() const noexcept { return !means_.empty(); }
+  std::size_t feature_count() const noexcept { return means_.size(); }
 
  private:
   std::vector<double> means_;
@@ -40,28 +65,40 @@ class KernelSvm final : public Classifier {
   explicit KernelSvm(SvmConfig config = {}) : config_(config) {}
 
   void fit(const Dataset& train) override;
+  /// Trains on the rows named by `indices` without copying them out —
+  /// byte-identical to fit(data.subset(indices)) (the crossval fast path).
+  void fit_indices(const Dataset& data, std::span<const std::size_t> indices) override;
   std::size_t predict(std::span<const double> features) const override;
+  /// Batched prediction: scales every row once into one contiguous buffer,
+  /// then votes rows in parallel (results ordered by row).
+  std::vector<std::size_t> predict_all(const Dataset& data) const override;
+  std::vector<std::size_t> predict_indices(
+      const Dataset& data, std::span<const std::size_t> indices) const override;
   std::string name() const override { return "SVM"; }
 
   std::size_t support_vector_count() const noexcept;
 
  private:
   /// One binary one-vs-one sub-problem: classes (pos, neg), dual weights
-  /// over its support vectors, and bias.
+  /// over its support vectors, and bias.  Support rows are stored in one
+  /// contiguous buffer (row k at [k*dim, (k+1)*dim)).
   struct BinaryModel {
     std::size_t class_pos = 0;
     std::size_t class_neg = 0;
-    std::vector<std::vector<double>> support;  ///< scaled feature rows
-    std::vector<double> alpha_y;               ///< alpha_i * y_i
+    std::vector<double> support;  ///< scaled rows, flat, support_count x dim
+    std::vector<double> alpha_y;  ///< alpha_i * y_i per support row
     double bias = 0.0;
   };
 
   double decision(const BinaryModel& m, std::span<const double> scaled) const;
+  /// One-vs-one vote over an already-scaled row.
+  std::size_t vote(std::span<const double> scaled) const;
 
   SvmConfig config_;
   StandardScaler scaler_;
   std::vector<BinaryModel> models_;
   std::size_t class_count_ = 0;
+  std::size_t dim_ = 0;  ///< feature count of the fitted model
   double gamma_ = 1.0;
 };
 

@@ -40,31 +40,54 @@ std::uint64_t Rng::poisson(double lambda) noexcept {
 }
 
 std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) noexcept {
+  std::vector<std::size_t> out;
+  sample_indices_into(n, k, out);
+  return out;
+}
+
+void Rng::sample_indices_into(std::size_t n, std::size_t k,
+                              std::vector<std::size_t>& out) noexcept {
+  out.clear();
   if (k >= n) {
-    std::vector<std::size_t> all(n);
-    for (std::size_t i = 0; i < n; ++i) all[i] = i;
-    shuffle(all);
-    return all;
+    out.resize(n);
+    for (std::size_t i = 0; i < n; ++i) out[i] = i;
+    shuffle(out);
+    return;
   }
   if (k * 3 >= n) {
     // Dense case: partial Fisher–Yates over an index vector.
-    std::vector<std::size_t> all(n);
-    for (std::size_t i = 0; i < n; ++i) all[i] = i;
+    out.resize(n);
+    for (std::size_t i = 0; i < n; ++i) out[i] = i;
     for (std::size_t i = 0; i < k; ++i) {
-      std::swap(all[i], all[i + below(n - i)]);
+      std::swap(out[i], out[i + below(n - i)]);
     }
-    all.resize(k);
-    return all;
+    out.resize(k);
+    return;
   }
-  // Sparse case: rejection sampling into a set.
-  std::unordered_set<std::size_t> chosen;
-  std::vector<std::size_t> out;
+  // Sparse case: rejection sampling.  For small k a linear duplicate scan
+  // over the picks so far beats a hash set by a wide margin (this runs
+  // per tree node in CART's max_features subsampling); the generator is
+  // consumed identically either way, so results match the set-based path.
   out.reserve(k);
+  if (k <= 64) {
+    while (out.size() < k) {
+      const std::size_t idx = below(n);
+      bool fresh = true;
+      for (const std::size_t seen : out) {
+        if (seen == idx) {
+          fresh = false;
+          break;
+        }
+      }
+      if (fresh) out.push_back(idx);
+    }
+    return;
+  }
+  std::unordered_set<std::size_t> chosen;
   while (out.size() < k) {
     const std::size_t idx = below(n);
     if (chosen.insert(idx).second) out.push_back(idx);
   }
-  return out;
 }
 
 std::size_t weighted_pick(Rng& rng, std::span<const double> weights) noexcept {

@@ -144,6 +144,12 @@ class Rng {
   /// Samples k distinct indices from [0, n) (k <= n), in random order.
   std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k) noexcept;
 
+  /// Allocation-friendly variant: writes the sample into `out` (cleared
+  /// first, capacity reused).  Consumes the generator identically to
+  /// sample_indices, so the two are interchangeable mid-stream.
+  void sample_indices_into(std::size_t n, std::size_t k,
+                           std::vector<std::size_t>& out) noexcept;
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));

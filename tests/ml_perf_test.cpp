@@ -1,0 +1,471 @@
+// Equivalence and determinism tests for the ML training fast path
+// (DESIGN.md "ML training fast path").  The presorted CART builder, the
+// shared-presort forest, the kernel/error-cached SMO, and the index-span
+// crossval routing are all performance rewrites that must not move a
+// single bit of output; these tests pin each of them against the slow
+// formulation they replaced.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "ml/cart.hpp"
+#include "ml/crossval.hpp"
+#include "ml/forest.hpp"
+#include "ml/svm.hpp"
+#include "util/metrics.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace dnsbs::ml {
+namespace {
+
+/// Restores the global thread override even when an assertion fails.
+struct ThreadCountGuard {
+  ~ThreadCountGuard() { util::set_thread_count(0); }
+};
+
+/// Random labeled dataset.  Feature 0 tracks the label (so trees have
+/// real structure); even features are quantized onto a coarse grid to
+/// force ties — the regime where a presorted builder could diverge from a
+/// per-node sort if tie handling were wrong.
+Dataset random_data(std::size_t n, std::size_t d, std::size_t classes,
+                    std::uint64_t seed) {
+  std::vector<std::string> fnames, cnames;
+  for (std::size_t f = 0; f < d; ++f) fnames.push_back("f" + std::to_string(f));
+  for (std::size_t c = 0; c < classes; ++c) cnames.push_back("c" + std::to_string(c));
+  Dataset data(std::move(fnames), std::move(cnames));
+  util::Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t label = rng.below(classes);
+    std::vector<double> row(d);
+    for (std::size_t f = 0; f < d; ++f) {
+      double v = rng.uniform() + (f == 0 ? static_cast<double>(label) : 0.0);
+      if (f % 2 == 0) v = std::floor(v * 8.0) / 8.0;  // coarse grid: many ties
+      row[f] = v;
+    }
+    data.add(std::move(row), label);
+  }
+  return data;
+}
+
+// ---------------------------------------------------------------------------
+// Per-node-sort CART oracle: the formulation the presorted builder
+// replaced.  Every expression (Gini algebra, threshold midpoint,
+// importance accumulation) is written exactly as in src/ml/cart.cpp so
+// equality assertions can demand bitwise-identical doubles.
+// ---------------------------------------------------------------------------
+struct NaiveCart {
+  const Dataset& data;
+  CartConfig cfg;
+  util::Rng rng;
+  std::vector<CartTree::Node> nodes;
+  std::vector<double> importance;
+  std::size_t depth = 0;
+
+  NaiveCart(const Dataset& d, CartConfig c)
+      : data(d), cfg(c), rng(c.seed), importance(d.feature_count(), 0.0) {}
+
+  static double gini_from_counts(const std::vector<std::size_t>& counts,
+                                 std::size_t total) {
+    if (total == 0) return 0.0;
+    double sum_sq = 0.0;
+    for (const std::size_t c : counts) {
+      const double p = static_cast<double>(c) / static_cast<double>(total);
+      sum_sq += p * p;
+    }
+    return 1.0 - sum_sq;
+  }
+
+  static std::uint32_t majority(const std::vector<std::size_t>& counts) {
+    std::size_t best = 0;
+    for (std::size_t k = 1; k < counts.size(); ++k) {
+      if (counts[k] > counts[best]) best = k;
+    }
+    return static_cast<std::uint32_t>(best);
+  }
+
+  std::uint32_t build(const std::vector<std::uint32_t>& rows, std::size_t d) {
+    depth = std::max(depth, d);
+    const std::size_t classes = data.class_count();
+    std::vector<std::size_t> counts(classes, 0);
+    for (const std::uint32_t r : rows) ++counts[data.label(r)];
+    const std::size_t n = rows.size();
+    const double node_gini = gini_from_counts(counts, n);
+
+    const auto make_leaf = [&]() {
+      CartTree::Node leaf;
+      leaf.feature = -1;
+      leaf.label = majority(counts);
+      nodes.push_back(leaf);
+      return static_cast<std::uint32_t>(nodes.size() - 1);
+    };
+    if (node_gini == 0.0 || n < cfg.min_samples_split || d >= cfg.max_depth) {
+      return make_leaf();
+    }
+
+    const std::size_t f_total = data.feature_count();
+    std::vector<std::size_t> features;
+    if (cfg.max_features == 0 || cfg.max_features >= f_total) {
+      features.resize(f_total);
+      std::iota(features.begin(), features.end(), 0);
+    } else {
+      features = rng.sample_indices(f_total, cfg.max_features);
+    }
+
+    struct Best {
+      double decrease = 0.0;
+      std::size_t feature = 0;
+      double threshold = 0.0;
+    } best;
+    std::vector<std::size_t> left_counts(classes);
+
+    for (const std::size_t f : features) {
+      // The slow path: sort this node's rows by the candidate feature.
+      std::vector<std::pair<double, std::uint32_t>> order;
+      order.reserve(n);
+      for (const std::uint32_t r : rows) order.emplace_back(data.row(r)[f], r);
+      std::sort(order.begin(), order.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      if (order.front().first == order.back().first) continue;
+
+      std::fill(left_counts.begin(), left_counts.end(), 0);
+      std::size_t n_left = 0;
+      double v = order.front().first;
+      for (std::size_t i = 0; i + 1 < n; ++i) {
+        ++left_counts[data.label(order[i].second)];
+        ++n_left;
+        const double v_next = order[i + 1].first;
+        if (v == v_next) continue;
+        const double v_here = v;
+        v = v_next;
+        const std::size_t n_right = n - n_left;
+        if (n_left < cfg.min_samples_leaf || n_right < cfg.min_samples_leaf) continue;
+
+        double left_sq = 0.0, right_sq = 0.0;
+        for (std::size_t k = 0; k < classes; ++k) {
+          const double cl = static_cast<double>(left_counts[k]);
+          const double cr = static_cast<double>(counts[k] - left_counts[k]);
+          left_sq += cl * cl;
+          right_sq += cr * cr;
+        }
+        const double gini_left = 1.0 - left_sq / (static_cast<double>(n_left) * n_left);
+        const double gini_right =
+            1.0 - right_sq / (static_cast<double>(n_right) * n_right);
+        const double weighted = (static_cast<double>(n_left) * gini_left +
+                                 static_cast<double>(n_right) * gini_right) /
+                                static_cast<double>(n);
+        const double decrease = node_gini - weighted;
+        if (decrease > best.decrease) {
+          best = Best{decrease, f, (v_here + v_next) / 2.0};
+        }
+      }
+    }
+
+    if (best.decrease <= 1e-12) return make_leaf();
+
+    std::vector<std::uint32_t> left_rows, right_rows;
+    for (const std::uint32_t r : rows) {
+      if (data.row(r)[best.feature] <= best.threshold) {
+        left_rows.push_back(r);
+      } else {
+        right_rows.push_back(r);
+      }
+    }
+    importance[best.feature] += static_cast<double>(n) * best.decrease;
+
+    const std::uint32_t self = static_cast<std::uint32_t>(nodes.size());
+    nodes.push_back(CartTree::Node{});
+    nodes[self].feature = static_cast<std::int32_t>(best.feature);
+    nodes[self].threshold = best.threshold;
+    const std::uint32_t left = build(left_rows, d + 1);
+    const std::uint32_t right = build(right_rows, d + 1);
+    nodes[self].left = left;
+    nodes[self].right = right;
+    return self;
+  }
+};
+
+void expect_same_tree(const CartTree& tree, const NaiveCart& oracle) {
+  ASSERT_EQ(tree.node_count(), oracle.nodes.size());
+  EXPECT_EQ(tree.depth(), oracle.depth);
+  const auto nodes = tree.tree_nodes();
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    EXPECT_EQ(nodes[i].feature, oracle.nodes[i].feature) << "node " << i;
+    EXPECT_EQ(nodes[i].threshold, oracle.nodes[i].threshold) << "node " << i;
+    EXPECT_EQ(nodes[i].left, oracle.nodes[i].left) << "node " << i;
+    EXPECT_EQ(nodes[i].right, oracle.nodes[i].right) << "node " << i;
+    EXPECT_EQ(nodes[i].label, oracle.nodes[i].label) << "node " << i;
+  }
+  const auto& imp = tree.gini_importance();
+  ASSERT_EQ(imp.size(), oracle.importance.size());
+  for (std::size_t f = 0; f < imp.size(); ++f) {
+    EXPECT_EQ(imp[f], oracle.importance[f]) << "importance of feature " << f;
+  }
+}
+
+TEST(CartOracle, PresortedBuilderMatchesPerNodeSort) {
+  for (const std::uint64_t seed : {3u, 17u, 99u}) {
+    const Dataset data = random_data(240, 7, 4, seed);
+
+    CartConfig cfg;
+    cfg.seed = seed;
+    CartTree tree(cfg);
+    tree.fit(data);
+
+    NaiveCart oracle(data, cfg);
+    std::vector<std::uint32_t> all(data.size());
+    std::iota(all.begin(), all.end(), 0);
+    oracle.build(all, 0);
+
+    expect_same_tree(tree, oracle);
+  }
+}
+
+TEST(CartOracle, MatchesUnderFeatureSubsamplingAndLeafLimits) {
+  // max_features exercises the RNG stream (the presorted builder must
+  // consume it in the same node order); leaf/depth limits exercise every
+  // early-out.
+  const Dataset data = random_data(300, 9, 5, 7);
+  CartConfig cfg;
+  cfg.seed = 41;
+  cfg.max_features = 3;
+  cfg.min_samples_leaf = 4;
+  cfg.min_samples_split = 10;
+  cfg.max_depth = 9;
+
+  CartTree tree(cfg);
+  tree.fit(data);
+
+  NaiveCart oracle(data, cfg);
+  std::vector<std::uint32_t> all(data.size());
+  std::iota(all.begin(), all.end(), 0);
+  oracle.build(all, 0);
+
+  expect_same_tree(tree, oracle);
+}
+
+TEST(CartOracle, FitIndicesWithDuplicatesMatchesPerNodeSort) {
+  // Bootstrap-style index multiset: the weighted presorted build must
+  // treat a row with multiplicity w exactly like w copies of that row.
+  const Dataset data = random_data(160, 6, 3, 11);
+  util::Rng pick(77);
+  std::vector<std::size_t> indices;
+  std::vector<std::uint32_t> rows;
+  for (std::size_t k = 0; k < data.size(); ++k) {
+    const std::size_t r = pick.below(data.size());
+    indices.push_back(r);
+    rows.push_back(static_cast<std::uint32_t>(r));
+  }
+
+  CartConfig cfg;
+  cfg.seed = 5;
+  cfg.max_features = 2;
+  CartTree tree(cfg);
+  tree.fit_indices(data, indices);
+
+  NaiveCart oracle(data, cfg);
+  oracle.build(rows, 0);
+
+  expect_same_tree(tree, oracle);
+}
+
+// ---------------------------------------------------------------------------
+// Index-span fast paths vs the copy-the-subset formulation.
+// ---------------------------------------------------------------------------
+
+std::vector<std::size_t> half_indices(const Dataset& data, std::uint64_t seed) {
+  std::vector<std::size_t> all(data.size());
+  std::iota(all.begin(), all.end(), 0);
+  util::Rng rng(seed);
+  rng.shuffle(all);
+  all.resize(data.size() / 2);
+  return all;
+}
+
+TEST(ForestEquivalence, FitIndicesMatchesSubsetFit) {
+  const Dataset data = random_data(260, 8, 4, 23);
+  const Dataset probe = random_data(90, 8, 4, 29);
+  const auto idx = half_indices(data, 31);
+
+  ForestConfig fc;
+  fc.n_trees = 20;
+  fc.seed = 9;
+
+  RandomForest by_index(fc);
+  by_index.fit_indices(data, idx);
+  RandomForest by_copy(fc);
+  by_copy.fit(data.subset(idx));
+
+  EXPECT_EQ(by_index.predict_all(probe), by_copy.predict_all(probe));
+  const auto imp_a = by_index.gini_importance();
+  const auto imp_b = by_copy.gini_importance();
+  ASSERT_EQ(imp_a.size(), imp_b.size());
+  for (std::size_t f = 0; f < imp_a.size(); ++f) EXPECT_EQ(imp_a[f], imp_b[f]);
+}
+
+TEST(SvmEquivalence, FitIndicesMatchesSubsetFit) {
+  const Dataset data = random_data(140, 5, 3, 43);
+  const Dataset probe = random_data(60, 5, 3, 47);
+  const auto idx = half_indices(data, 53);
+
+  SvmConfig sc;
+  sc.seed = 3;
+  KernelSvm by_index(sc);
+  by_index.fit_indices(data, idx);
+  KernelSvm by_copy(sc);
+  by_copy.fit(data.subset(idx));
+
+  EXPECT_EQ(by_index.support_vector_count(), by_copy.support_vector_count());
+  EXPECT_EQ(by_index.predict_all(probe), by_copy.predict_all(probe));
+}
+
+TEST(SvmEquivalence, KernelCacheCapacityNeverChangesTheModel) {
+  // A 2-row LRU thrashes constantly; capacity 0 caches every row.  Both
+  // must produce the same support set and the same predictions — the
+  // cache can only change recompute churn, never values.
+  const Dataset data = random_data(130, 6, 3, 61);
+  const Dataset probe = random_data(70, 6, 3, 67);
+
+  SvmConfig full;
+  full.seed = 13;
+  full.kernel_cache_rows = 0;
+  SvmConfig tiny = full;
+  tiny.kernel_cache_rows = 2;
+
+  KernelSvm svm_full(full);
+  svm_full.fit(data);
+  KernelSvm svm_tiny(tiny);
+  svm_tiny.fit(data);
+
+  EXPECT_EQ(svm_full.support_vector_count(), svm_tiny.support_vector_count());
+  EXPECT_EQ(svm_full.predict_all(data), svm_tiny.predict_all(data));
+  EXPECT_EQ(svm_full.predict_all(probe), svm_tiny.predict_all(probe));
+  for (std::size_t i = 0; i < probe.size(); ++i) {
+    EXPECT_EQ(svm_full.predict(probe.row(i)), svm_tiny.predict(probe.row(i)));
+  }
+}
+
+TEST(CrossvalEquivalence, IndexSpanPathMatchesSubsetPath) {
+  // A wrapper that deliberately hides the fast-path overrides: crossval
+  // then falls back to fit(data.subset(idx)) / per-row predict.  The
+  // summary must match the fast path bit for bit.
+  class SubsetPathForest final : public Classifier {
+   public:
+    explicit SubsetPathForest(ForestConfig fc) : inner_(fc) {}
+    void fit(const Dataset& train) override { inner_.fit(train); }
+    std::size_t predict(std::span<const double> features) const override {
+      return inner_.predict(features);
+    }
+    std::string name() const override { return inner_.name(); }
+
+   private:
+    RandomForest inner_;
+  };
+
+  const Dataset data = random_data(220, 7, 4, 71);
+  CrossValConfig cv;
+  cv.repetitions = 6;
+  cv.seed = 19;
+
+  const auto make_cfg = [](std::uint64_t seed) {
+    ForestConfig fc;
+    fc.n_trees = 12;
+    fc.seed = seed;
+    return fc;
+  };
+  const MetricSummary fast = cross_validate(
+      data,
+      [&](std::uint64_t seed) -> std::unique_ptr<Classifier> {
+        return std::make_unique<RandomForest>(make_cfg(seed));
+      },
+      cv);
+  const MetricSummary slow = cross_validate(
+      data,
+      [&](std::uint64_t seed) -> std::unique_ptr<Classifier> {
+        return std::make_unique<SubsetPathForest>(make_cfg(seed));
+      },
+      cv);
+
+  EXPECT_EQ(fast.runs, slow.runs);
+  EXPECT_EQ(fast.mean.accuracy, slow.mean.accuracy);
+  EXPECT_EQ(fast.mean.precision, slow.mean.precision);
+  EXPECT_EQ(fast.mean.recall, slow.mean.recall);
+  EXPECT_EQ(fast.mean.f1, slow.mean.f1);
+  EXPECT_EQ(fast.stddev.accuracy, slow.stddev.accuracy);
+  EXPECT_EQ(fast.stddev.f1, slow.stddev.f1);
+}
+
+// ---------------------------------------------------------------------------
+// Satellite guards: scaler width check, counter determinism.
+// ---------------------------------------------------------------------------
+
+TEST(StandardScalerGuard, TransformRejectsWidthMismatch) {
+  const Dataset data = random_data(40, 4, 2, 83);
+  StandardScaler scaler;
+  scaler.fit(data);
+  ASSERT_TRUE(scaler.fitted());
+  ASSERT_EQ(scaler.feature_count(), 4u);
+
+  const std::vector<double> narrow = {1.0, 2.0};
+  const std::vector<double> wide = {1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_THROW((void)scaler.transform(narrow), std::invalid_argument);
+  EXPECT_THROW((void)scaler.transform(wide), std::invalid_argument);
+
+  std::vector<double> out(3);
+  const std::vector<double> exact = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_THROW(scaler.transform_into(exact, out), std::invalid_argument);
+  EXPECT_NO_THROW((void)scaler.transform(exact));
+}
+
+TEST(MlCounters, TrainingCountersMatchSerialAcrossThreadCounts) {
+  // dnsbs.ml.split_candidates and the SVM kernel-cache series are
+  // registered without the sched flag, so they must read byte-identical
+  // for any thread count (DESIGN.md determinism contract).
+#if !DNSBS_METRICS_ENABLED
+  GTEST_SKIP() << "built with -DDNSBS_METRICS=OFF";
+#else
+  ThreadCountGuard guard;
+  const Dataset tree_data = random_data(200, 6, 3, 91);
+  const Dataset svm_data = random_data(90, 5, 3, 97);
+
+  const auto run_with = [&](std::size_t threads) {
+    util::set_thread_count(threads);
+    util::metrics_reset();
+    ForestConfig fc;
+    fc.n_trees = 12;
+    fc.seed = 2;
+    RandomForest rf(fc);
+    rf.fit(tree_data);
+    (void)rf.predict_all(tree_data);
+    SvmConfig sc;
+    sc.seed = 2;
+    sc.kernel_cache_rows = 8;
+    KernelSvm svm(sc);
+    svm.fit(svm_data);
+    (void)svm.predict_all(svm_data);
+    return util::metrics_snapshot().deterministic_view();
+  };
+
+  const util::MetricsSnapshot serial = run_with(1);
+  EXPECT_GT(serial.scalar("dnsbs.ml.split_candidates"), 0);
+  EXPECT_GT(serial.scalar("dnsbs.ml.svm_kernel_cache_hits"), 0);
+  EXPECT_GT(serial.scalar("dnsbs.ml.svm_kernel_cache_misses"), 0);
+
+  for (const std::size_t threads : {2, 4}) {
+    const util::MetricsSnapshot parallel = run_with(threads);
+    ASSERT_EQ(parallel.values.size(), serial.values.size()) << "threads=" << threads;
+    for (std::size_t i = 0; i < serial.values.size(); ++i) {
+      EXPECT_EQ(parallel.values[i], serial.values[i])
+          << serial.values[i].name << " diverged at threads=" << threads;
+    }
+  }
+#endif
+}
+
+}  // namespace
+}  // namespace dnsbs::ml

@@ -16,15 +16,28 @@
 //   --baseline OLD.json                            with --json: also record the
 //                                                  old numbers and the measured
 //                                                  speedup on each axis
+//   --features                                     feature-extraction scenario
+//                                                  instead of the end-to-end one:
+//                                                  high-footprint multi-window
+//                                                  workload with configurable
+//                                                  churn, measuring cold / churn /
+//                                                  warm extraction rates against
+//                                                  BENCH_perf_features.json
+//                                                  (knobs: --originators
+//                                                  --queriers --windows --churn)
 //
 // Times are best-of --repeat (default 3) so scheduler noise shrinks the
 // committed baseline instead of inflating it.
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <span>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "common.hpp"
 #include "core/sensor.hpp"
@@ -87,7 +100,264 @@ double best_of(int repeat, std::size_t items, Fn&& fn) {
   return best;
 }
 
+/// One throughput axis: a JSON key and the freshly measured rate.
+struct Axis {
+  const char* key;
+  double live;
+};
+
+/// --baseline: appends "baseline_<key>"/"speedup_<key>" entries for each
+/// axis to an open JSON object stream (caller closes the object).
+void append_baseline(std::ofstream& os, const std::string& baseline_path,
+                     std::span<const Axis> axes) {
+  std::ifstream bis(baseline_path);
+  std::stringstream bbuf;
+  bbuf << bis.rdbuf();
+  const std::string base = bbuf.str();
+  for (const auto& axis : axes) {
+    const double before = json_number(base, axis.key);
+    os << ",\n  \"baseline_" << axis.key << "\": " << before;
+    if (before > 0.0) {
+      os << ",\n  \"speedup_" << axis.key << "\": " << axis.live / before;
+      std::printf("speedup %-26s %.2fx (%.0f -> %.0f)\n", axis.key, axis.live / before,
+                  before, axis.live);
+    }
+  }
+}
+
+/// --check: >10% below the committed number on any axis fails the gate.
+/// Axes missing from the committed file (or <= 0) are skipped, so new
+/// axes can be introduced before their baseline is refreshed.
+int check_axes(const std::string& check_path, std::span<const Axis> axes) {
+  std::ifstream is(check_path);
+  if (!is) {
+    std::fprintf(stderr, "check: cannot read %s\n", check_path.c_str());
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << is.rdbuf();
+  const std::string committed = buffer.str();
+  bool ok = true;
+  for (const auto& axis : axes) {
+    const double want = json_number(committed, axis.key);
+    if (want <= 0.0) continue;
+    const double ratio = axis.live / want;
+    std::printf("check %-26s %12.0f vs committed %12.0f  (%.2fx)%s\n", axis.key,
+                axis.live, want, ratio, ratio < 0.9 ? "  REGRESSION" : "");
+    if (ratio < 0.9) ok = false;
+  }
+  if (!ok) {
+    std::fprintf(stderr, "\nperf check FAILED: >10%% regression vs %s\n",
+                 check_path.c_str());
+    return 1;
+  }
+  std::printf("\nperf check passed (within 10%% of %s)\n", check_path.c_str());
+  return 0;
+}
+
+/// Stable per-address resolver for the --features scenario: the querier
+/// category cycles with the low octet, and the four QuerierInfo values are
+/// prebuilt so resolve() itself is cheap — resolution cost is the
+/// interner's (paid once per querier), not the extraction loop's.
+class FeatureBenchResolver final : public core::QuerierResolver {
+ public:
+  FeatureBenchResolver() {
+    infos_[0].status = core::ResolveStatus::kOk;
+    infos_[0].name = *dns::DnsName::parse("mail.bench.example.com");
+    infos_[1].status = core::ResolveStatus::kOk;
+    infos_[1].name = *dns::DnsName::parse("ns1.bench.example.com");
+    infos_[2].status = core::ResolveStatus::kNxDomain;
+    infos_[3].status = core::ResolveStatus::kUnreachable;
+  }
+  core::QuerierInfo resolve(net::IPv4Addr querier) const override {
+    return infos_[querier.octet(3) % 4];
+  }
+
+ private:
+  std::array<core::QuerierInfo, 4> infos_{};
+};
+
+/// --features: the feature-extraction scenario behind the
+/// BENCH_perf_features.json gate.  A high-footprint multi-window workload
+/// built so the incremental engine's three regimes are each measured in
+/// isolation (ingest time is excluded from every timed region):
+///
+///   * cold:  window 0 seeds every originator, every persistence bucket
+///            and every AS/country the run will ever see; the first
+///            extraction computes all rows from scratch.
+///   * churn: each later window mutates a --churn fraction of originators
+///            with new queriers drawn from the existing address space and
+///            time range, so interval normalizers hold still and only the
+///            dirty rows recompute.
+///   * warm:  extraction with no ingest in between — the unchanged-sensor
+///            fast path returning the cached rows.
+int run_features(int argc, char** argv) {
+  const bool smoke = arg_flag(argc, argv, "--smoke");
+  const std::uint64_t seed = arg_seed(argc, argv, 7);
+  const int repeat =
+      smoke ? 1 : std::max(1, std::atoi(arg_str(argc, argv, "--repeat", "3").c_str()));
+  const std::size_t threads = static_cast<std::size_t>(
+      std::atoi(arg_str(argc, argv, "--threads", "1").c_str()));
+  const std::size_t originators = static_cast<std::size_t>(std::atoi(
+      arg_str(argc, argv, "--originators", smoke ? "60" : "600").c_str()));
+  const std::size_t queriers = static_cast<std::size_t>(
+      std::atoi(arg_str(argc, argv, "--queriers", smoke ? "48" : "400").c_str()));
+  const std::size_t windows = static_cast<std::size_t>(
+      std::atoi(arg_str(argc, argv, "--windows", smoke ? "3" : "6").c_str()));
+  const double churn = std::atof(arg_str(argc, argv, "--churn", "0.05").c_str());
+  const std::string json_path = arg_str(argc, argv, "--json", "");
+  const std::string check_path = arg_str(argc, argv, "--check", "");
+  const std::string baseline_path = arg_str(argc, argv, "--baseline", "");
+
+  print_header("perf_features",
+               "§III feature extraction (columnar SoA + incremental recompute)",
+               util::format("originators=%zu queriers=%zu windows=%zu churn=%.3f "
+                            "seed=%llu threads=%zu repeat=%d",
+                            originators, queriers, windows, churn,
+                            static_cast<unsigned long long>(seed), threads, repeat));
+
+  // Sixteen /16s, one AS and one country each; querier addresses hash into
+  // this space so window 0 already exposes every AS/CC the run uses.
+  netdb::AsDb as_db;
+  netdb::GeoDb geo_db;
+  for (int i = 0; i < 16; ++i) {
+    const auto prefix = *net::Prefix::parse(util::format("10.%d.0.0/16", i));
+    as_db.add(prefix, 100 + i, util::format("bench-as-%d", i));
+    geo_db.add(prefix, netdb::CountryCode(static_cast<char>('a' + i), 'q'));
+  }
+  const FeatureBenchResolver resolver;
+
+  // All timestamps live in [0, horizon) and window 0 sweeps the whole
+  // range, so later windows never mint a new persistence bucket (a new
+  // bucket would shift the interval normalizer and force every row to
+  // recompute — that regime is the cold axis, not the churn axis).
+  const std::uint64_t horizon = static_cast<std::uint64_t>(windows) * 3600;
+  const std::size_t space =
+      std::min<std::size_t>(originators * queriers, std::size_t{16} << 16);
+  const auto querier_addr = [&](std::size_t v) {
+    return net::IPv4Addr((10u << 24) | static_cast<std::uint32_t>(v % space));
+  };
+  const auto originator_addr = [](std::size_t o) {
+    return net::IPv4Addr((172u << 24) | static_cast<std::uint32_t>(o));
+  };
+  const auto by_time = [](const dns::QueryRecord& a, const dns::QueryRecord& b) {
+    return a.time < b.time;
+  };
+
+  std::vector<std::vector<dns::QueryRecord>> window_records(windows);
+  window_records[0].reserve(originators * queriers);
+  for (std::size_t o = 0; o < originators; ++o) {
+    for (std::size_t q = 0; q < queriers; ++q) {
+      const std::uint64_t t = (q * horizon) / queriers + (o % 37);
+      window_records[0].push_back({util::SimTime::seconds(static_cast<std::int64_t>(t)),
+                                   querier_addr(o * queriers + q), originator_addr(o),
+                                   dns::RCode::kNoError});
+    }
+  }
+  std::stable_sort(window_records[0].begin(), window_records[0].end(), by_time);
+  constexpr std::size_t kChurnQueriers = 8;
+  for (std::size_t w = 1; w < windows; ++w) {
+    auto& out = window_records[w];
+    for (std::size_t o = 0; o < originators; ++o) {
+      // Deterministic ~churn fraction per window, varied by the seed.
+      const std::uint64_t pick = ((o * 2654435761ull) ^ (w * 40503ull) ^ seed) % 1000;
+      if (static_cast<double>(pick) >= churn * 1000.0) continue;
+      for (std::size_t j = 0; j < kChurnQueriers; ++j) {
+        // A querier from another originator's base range: new to this
+        // originator (marking it dirty) yet inside the seen AS/CC space.
+        const std::size_t v =
+            o * queriers + (w + j + 1) * queriers + (o * 7 + w * 131 + j * 17) % queriers;
+        const std::uint64_t t = (o * 97 + j * 131 + w * 53) % horizon;
+        out.push_back({util::SimTime::seconds(static_cast<std::int64_t>(t)),
+                       querier_addr(v), originator_addr(o), dns::RCode::kNoError});
+      }
+    }
+    std::stable_sort(out.begin(), out.end(), by_time);
+  }
+
+  core::SensorConfig cfg;
+  cfg.threads = threads;
+  cfg.top_n = 0;  // keep every analyzable originator: rows == originators
+
+  double cold_best = 0.0, churn_best = 0.0, warm_best = 0.0;
+  std::size_t rows = 0;
+  constexpr int kWarmIters = 64;
+  for (int r = 0; r < repeat; ++r) {
+    core::Sensor sensor(cfg, as_db, geo_db, resolver);
+    sensor.ingest_all(window_records[0]);
+    auto t0 = Clock::now();
+    rows = sensor.extract_features().size();
+    cold_best = std::max(cold_best, static_cast<double>(rows) / seconds_since(t0));
+    if (rows != originators) std::abort();  // every originator must be analyzable
+
+    double churn_secs = 0.0;
+    std::size_t churn_rows = 0;
+    for (std::size_t w = 1; w < windows; ++w) {
+      sensor.ingest_all(window_records[w]);
+      t0 = Clock::now();
+      const std::size_t n = sensor.extract_features().size();
+      churn_secs += seconds_since(t0);
+      churn_rows += n;
+      if (n != rows) std::abort();
+    }
+    if (windows > 1) {
+      churn_best =
+          std::max(churn_best, static_cast<double>(churn_rows) / churn_secs);
+    }
+
+    t0 = Clock::now();
+    for (int i = 0; i < kWarmIters; ++i) {
+      if (sensor.extract_features().size() != rows) std::abort();
+    }
+    warm_best = std::max(warm_best, static_cast<double>(rows) * kWarmIters /
+                                        seconds_since(t0));
+  }
+
+  const long rss_kb = peak_rss_kb();
+  const auto snapshot = util::metrics_snapshot();
+  const Axis axes[] = {
+      {"features_cold_rows_per_s", cold_best},
+      {"features_churn_rows_per_s", churn_best},
+      {"features_warm_rows_per_s", warm_best},
+  };
+
+  std::printf("rows               %zu per extraction (%zu windows)\n", rows, windows);
+  std::printf("cold               %.0f rows/s\n", cold_best);
+  std::printf("churn              %.0f rows/s\n", churn_best);
+  std::printf("warm               %.0f rows/s\n", warm_best);
+  std::printf("reused/recomputed  %lld / %lld (queriers interned %lld)\n",
+              static_cast<long long>(snapshot.scalar("dnsbs.features.rows_reused")),
+              static_cast<long long>(snapshot.scalar("dnsbs.features.rows_recomputed")),
+              static_cast<long long>(snapshot.scalar("dnsbs.cache.interner.queriers")));
+  std::printf("peak RSS           %ld kB\n", rss_kb);
+
+  if (!json_path.empty()) {
+    std::ofstream os(json_path);
+    os << "{\n"
+       << "  \"bench\": \"perf_features\",\n"
+       << "  \"seed\": " << seed << ",\n"
+       << "  \"originators\": " << originators << ",\n"
+       << "  \"queriers\": " << queriers << ",\n"
+       << "  \"windows\": " << windows << ",\n"
+       << "  \"churn\": " << churn << ",\n"
+       << "  \"threads\": " << threads << ",\n"
+       << "  \"rows\": " << rows << ",\n"
+       << "  \"features_cold_rows_per_s\": " << cold_best << ",\n"
+       << "  \"features_churn_rows_per_s\": " << churn_best << ",\n"
+       << "  \"features_warm_rows_per_s\": " << warm_best << ",\n"
+       << "  \"peak_rss_kb\": " << rss_kb << ",\n"
+       << "  \"metrics\": " << snapshot.to_json();
+    if (!baseline_path.empty()) append_baseline(os, baseline_path, axes);
+    os << "\n}\n";
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
+
+  if (!check_path.empty()) return check_axes(check_path, axes);
+  return 0;
+}
+
 int run(int argc, char** argv) {
+  if (arg_flag(argc, argv, "--features")) return run_features(argc, argv);
   const bool smoke = arg_flag(argc, argv, "--smoke");
   const double scale = arg_scale(argc, argv, smoke ? 0.02 : 0.25);
   const std::uint64_t seed = arg_seed(argc, argv, 7);
@@ -160,6 +430,12 @@ int run(int argc, char** argv) {
   });
 
   const long rss_kb = peak_rss_kb();
+  const Axis axes[] = {
+      {"parse_lines_per_s", res.parse_lines_per_s},
+      {"ingest_records_per_s", res.ingest_records_per_s},
+      {"features_per_s", res.features_per_s},
+      {"end_to_end_records_per_s", res.end_to_end_records_per_s},
+  };
 
   std::printf("records            %zu (%zu interesting originators)\n", res.records,
               res.interesting);
@@ -190,69 +466,12 @@ int run(int argc, char** argv) {
        // committed bench JSON doubles as an observability fixture.  Empty
        // metrics array under -DDNSBS_METRICS=OFF.
        << "  \"metrics\": " << util::metrics_snapshot().to_json();
-    if (!baseline_path.empty()) {
-      std::ifstream bis(baseline_path);
-      std::stringstream bbuf;
-      bbuf << bis.rdbuf();
-      const std::string base = bbuf.str();
-      const struct {
-        const char* key;
-        double live;
-      } axes[] = {
-          {"parse_lines_per_s", res.parse_lines_per_s},
-          {"ingest_records_per_s", res.ingest_records_per_s},
-          {"features_per_s", res.features_per_s},
-          {"end_to_end_records_per_s", res.end_to_end_records_per_s},
-      };
-      for (const auto& axis : axes) {
-        const double before = json_number(base, axis.key);
-        os << ",\n  \"baseline_" << axis.key << "\": " << before;
-        if (before > 0.0) {
-          os << ",\n  \"speedup_" << axis.key << "\": " << axis.live / before;
-          std::printf("speedup %-26s %.2fx (%.0f -> %.0f)\n", axis.key,
-                      axis.live / before, before, axis.live);
-        }
-      }
-    }
+    if (!baseline_path.empty()) append_baseline(os, baseline_path, axes);
     os << "\n}\n";
     std::printf("\nwrote %s\n", json_path.c_str());
   }
 
-  if (!check_path.empty()) {
-    std::ifstream is(check_path);
-    if (!is) {
-      std::fprintf(stderr, "check: cannot read %s\n", check_path.c_str());
-      return 1;
-    }
-    std::stringstream buffer;
-    buffer << is.rdbuf();
-    const std::string committed = buffer.str();
-    // >10% below the committed number on any throughput axis fails the gate.
-    const struct {
-      const char* key;
-      double live;
-    } axes[] = {
-        {"parse_lines_per_s", res.parse_lines_per_s},
-        {"ingest_records_per_s", res.ingest_records_per_s},
-        {"features_per_s", res.features_per_s},
-        {"end_to_end_records_per_s", res.end_to_end_records_per_s},
-    };
-    bool ok = true;
-    for (const auto& axis : axes) {
-      const double want = json_number(committed, axis.key);
-      if (want <= 0.0) continue;
-      const double ratio = axis.live / want;
-      std::printf("check %-26s %12.0f vs committed %12.0f  (%.2fx)%s\n", axis.key,
-                  axis.live, want, ratio, ratio < 0.9 ? "  REGRESSION" : "");
-      if (ratio < 0.9) ok = false;
-    }
-    if (!ok) {
-      std::fprintf(stderr, "\nperf check FAILED: >10%% regression vs %s\n",
-                   check_path.c_str());
-      return 1;
-    }
-    std::printf("\nperf check passed (within 10%% of %s)\n", check_path.c_str());
-  }
+  if (!check_path.empty()) return check_axes(check_path, axes);
   return 0;
 }
 

@@ -21,7 +21,11 @@ WindowedPipeline::WindowedPipeline(WindowedPipelineConfig config,
       as_db_(as_db),
       geo_db_(geo_db),
       resolver_(resolver),
-      last_metrics_(util::metrics_snapshot()) {}
+      last_metrics_(util::metrics_snapshot()) {
+  if (config_.carry_forward) {
+    feature_cache_ = std::make_shared<core::FeatureExtractionCache>();
+  }
+}
 
 WindowedPipeline::~WindowedPipeline() {
   // Swallow a pending exception: it already surfaced (or will) via the
@@ -46,6 +50,7 @@ void WindowedPipeline::enqueue_window(std::span<const dns::QueryRecord> records,
   //    paper's per-interval feature vectors).  Runs in the calling thread,
   //    overlapping the previous window's train+classify task.
   core::Sensor sensor(config_.sensor, as_db_, geo_db_, resolver_);
+  if (feature_cache_) sensor.set_feature_cache(feature_cache_);
   sensor.ingest_all(records);
 
   labeling::WindowObservation observation;

@@ -30,6 +30,14 @@ struct WindowedPipelineConfig {
   std::size_t min_classes = 2;
   std::size_t min_per_class = 2;
   std::uint64_t seed = 1;
+  /// Share one feature-extraction cache across windows: querier identities
+  /// are resolved once for the whole run and originators whose flattened
+  /// querier histograms (and window normalizers) repeat reuse their prior
+  /// rows.  Rows stay byte-identical to independent per-window extraction
+  /// as long as the resolver and AS/geo databases are stable over the run
+  /// (the simulator's naming model is); disable when reverse names drift
+  /// between windows, e.g. live resolvers with changing PTR data.
+  bool carry_forward = true;
 };
 
 class WindowedPipeline {
@@ -99,6 +107,10 @@ class WindowedPipeline {
   /// Registry state at the last window boundary; each finished window's
   /// metrics_delta is measured against it (on the ordered train task).
   util::MetricsSnapshot last_metrics_;
+  /// Carry-forward extraction cache shared by every window's sensor (null
+  /// when config_.carry_forward is off).  Sensor passes run one at a time
+  /// on the calling thread, so the cache is never touched concurrently.
+  std::shared_ptr<core::FeatureExtractionCache> feature_cache_;
   labeling::GroundTruth labels_;
   std::unique_ptr<ml::RandomForest> model_;
   std::vector<WindowResult> results_;

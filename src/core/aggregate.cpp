@@ -29,6 +29,8 @@ void OriginatorAggregator::add(const dns::QueryRecord& record) {
   }
   ++agg.querier_queries[record.querier];
   ++agg.total_queries;
+  ++agg.mod_count;
+  ++mutation_count_;
   const std::int64_t period = record.time.secs() / period_.secs();
   agg.periods.insert(period);
   all_periods_.insert(period);
@@ -47,6 +49,7 @@ void OriginatorAggregator::merge_from(OriginatorAggregator&& other) {
         mine.first_seen = std::min(mine.first_seen, theirs.first_seen);
         mine.last_seen = std::max(mine.last_seen, theirs.last_seen);
         mine.total_queries += theirs.total_queries;
+        mine.mod_count += theirs.mod_count;
         for (const auto& [querier, count] : theirs.querier_queries) {
           mine.querier_queries[querier] += count;
         }
@@ -54,6 +57,8 @@ void OriginatorAggregator::merge_from(OriginatorAggregator&& other) {
       });
   all_periods_.insert(other.all_periods_.begin(), other.all_periods_.end());
   other.all_periods_.clear();
+  mutation_count_ += other.mutation_count_;
+  other.mutation_count_ = 0;
 }
 
 std::vector<const OriginatorAggregate*> OriginatorAggregator::select_interesting(

@@ -33,8 +33,16 @@ DynamicFeatureExtractor::DynamicFeatureExtractor(const netdb::AsDb& as_db,
   // one per membership when extract() runs.
   util::FlatSet<netdb::Asn> ases;
   util::FlatSet<netdb::CountryCode> countries;
+  // Reserve once from the summed footprints: queriers shared between
+  // originators make this an over-estimate, which costs idle slots but
+  // never a mid-build rehash (the old per-originator increments
+  // under-reserved and rehashed repeatedly on large intervals).
+  std::size_t total_footprint = 0;
   for (const auto& [originator, agg] : interval.aggregates()) {
-    geo_cache_.reserve(geo_cache_.size() + agg.querier_queries.size() / 2);
+    total_footprint += agg.querier_queries.size();
+  }
+  geo_cache_.reserve(total_footprint);
+  for (const auto& [originator, agg] : interval.aggregates()) {
     for (const auto& [querier, count] : agg.querier_queries) {
       const auto [slot, inserted] = geo_cache_.try_emplace(querier);
       if (inserted) {
@@ -102,18 +110,13 @@ DynamicFeatures DynamicFeatureExtractor::extract(const OriginatorAggregate& agg)
     if (geo.has_asn) ases.insert(geo.asn);
     if (geo.has_cc) countries.insert(geo.cc);
   }
-  const auto bucket_counts = [](const util::FlatMap<std::uint32_t, std::size_t>& m) {
-    std::vector<std::size_t> out;
-    out.reserve(m.size());
-    for (const auto& [bucket, n] : m) out.push_back(n);
-    return out;
-  };
-  const auto local_counts = bucket_counts(slash24s);
-  const auto global_counts = bucket_counts(slash8s);
+  // Entropy streams straight out of the bucket maps — no intermediate
+  // count-vector copy (the iterator form is bit-identical to the span one).
+  const auto count_of = [](const auto& kv) noexcept { return kv.second; };
   f[static_cast<std::size_t>(DynamicFeature::kLocalEntropy)] =
-      util::normalized_entropy(local_counts);
+      util::normalized_entropy(slash24s.begin(), slash24s.end(), count_of);
   f[static_cast<std::size_t>(DynamicFeature::kGlobalEntropy)] =
-      util::normalized_entropy(global_counts);
+      util::normalized_entropy(slash8s.begin(), slash8s.end(), count_of);
 
   f[static_cast<std::size_t>(DynamicFeature::kUniqueAs)] =
       interval_as_count_ == 0

@@ -1,0 +1,306 @@
+#include "core/feature_engine.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "util/parallel.hpp"
+#include "util/stats.hpp"
+
+namespace dnsbs::core {
+
+std::uint32_t FeatureExtractionCache::intern(net::IPv4Addr querier,
+                                             std::optional<netdb::Asn> asn,
+                                             std::optional<netdb::CountryCode> cc,
+                                             QuerierCategory category) {
+  const auto id = static_cast<std::uint32_t>(category_.size());
+  qid_.try_emplace(querier, id);
+  // Dense ids hand out the next integer on first sight; 0 is reserved for
+  // "no mapping" on the AS/CC axes (function arguments are evaluated
+  // before try_emplace runs, so size() is the pre-insert size).
+  std::uint32_t as = 0;
+  if (asn) {
+    as = as_ids_.try_emplace(*asn, static_cast<std::uint32_t>(as_ids_.size() + 1))
+             .first->second;
+  }
+  std::uint32_t ccid = 0;
+  if (cc) {
+    ccid = cc_ids_.try_emplace(cc->packed(), static_cast<std::uint32_t>(cc_ids_.size() + 1))
+               .first->second;
+  }
+  const std::uint32_t s24 =
+      s24_ids_.try_emplace(querier.slash24(), static_cast<std::uint32_t>(s24_ids_.size()))
+          .first->second;
+  as_id_.push_back(as);
+  cc_id_.push_back(ccid);
+  s24_id_.push_back(s24);
+  s8_.push_back(static_cast<std::uint8_t>(querier.slash8()));
+  category_.push_back(category);
+  return id;
+}
+
+void FeatureEngine::Scratch::ensure(std::size_t s24_n, std::size_t as_n, std::size_t cc_n) {
+  if (stamp24.size() < s24_n) {
+    stamp24.resize(s24_n, 0);
+    pos24.resize(s24_n, 0);
+  }
+  if (stamp8.empty()) {
+    stamp8.resize(256, 0);
+    pos8.resize(256, 0);
+  }
+  if (stamp_as.size() < as_n + 1) stamp_as.resize(as_n + 1, 0);
+  if (stamp_cc.size() < cc_n + 1) stamp_cc.resize(cc_n + 1, 0);
+}
+
+FeatureEngine::FeatureEngine(const netdb::AsDb& as_db, const netdb::GeoDb& geo_db,
+                             const QuerierResolver& resolver,
+                             std::shared_ptr<FeatureExtractionCache> cache)
+    : as_db_(as_db),
+      geo_db_(geo_db),
+      resolver_(resolver),
+      cache_(std::move(cache)),
+      token_(cache_->next_interval_token()) {}
+
+FeatureVector FeatureEngine::compute_row(const FeatureExtractionCache::RowEntry& entry,
+                                         net::IPv4Addr originator, Scratch& s) const {
+  const FeatureExtractionCache& cache = *cache_;
+  FeatureVector fv;
+  fv.originator = originator;
+  const std::size_t k = entry.qids.size();
+  fv.footprint = k;
+  if (k == 0) return fv;
+
+  // One streaming pass over the querier-id column gathers everything the
+  // eight dynamic features and fourteen static fractions need.  Bucket
+  // membership is epoch-stamped: a stale stamp means "first touch this
+  // row", so the scratch arrays never need clearing between rows.
+  std::array<std::uint32_t, kQuerierCategoryCount> category_counts{};
+  ++s.epoch;
+  s.counts24.clear();
+  s.counts8.clear();
+  std::size_t distinct_as = 0, distinct_cc = 0;
+  for (std::size_t m = 0; m < k; ++m) {
+    const std::uint32_t qid = entry.qids[m];
+    ++category_counts[static_cast<std::size_t>(cache.category(qid))];
+    const std::uint32_t b24 = cache.s24_id(qid);
+    if (s.stamp24[b24] != s.epoch) {
+      s.stamp24[b24] = s.epoch;
+      s.pos24[b24] = static_cast<std::uint32_t>(s.counts24.size());
+      s.counts24.push_back(1);
+    } else {
+      ++s.counts24[s.pos24[b24]];
+    }
+    const std::uint8_t b8 = cache.s8(qid);
+    if (s.stamp8[b8] != s.epoch) {
+      s.stamp8[b8] = s.epoch;
+      s.pos8[b8] = static_cast<std::uint32_t>(s.counts8.size());
+      s.counts8.push_back(1);
+    } else {
+      ++s.counts8[s.pos8[b8]];
+    }
+    const std::uint32_t as = cache.as_id(qid);
+    if (as != 0 && s.stamp_as[as] != s.epoch) {
+      s.stamp_as[as] = s.epoch;
+      ++distinct_as;
+    }
+    const std::uint32_t cc = cache.cc_id(qid);
+    if (cc != 0 && s.stamp_cc[cc] != s.epoch) {
+      s.stamp_cc[cc] = s.epoch;
+      ++distinct_cc;
+    }
+  }
+
+  const double queriers = static_cast<double>(k);
+  // Integer tallies divided once: identical to summing 1.0 per member and
+  // dividing (both are exact below 2^53), so rows match the reference
+  // tally_static_features path bit-for-bit.
+  for (std::size_t c = 0; c < kQuerierCategoryCount; ++c) {
+    fv.statics[c] = static_cast<double>(category_counts[c]) / queriers;
+  }
+  DynamicFeatures& f = fv.dynamics;
+  f[static_cast<std::size_t>(DynamicFeature::kQueriesPerQuerier)] =
+      static_cast<double>(entry.total_queries) / queriers;
+  f[static_cast<std::size_t>(DynamicFeature::kPersistence)] =
+      periods_norm_ == 0 ? 0.0
+                         : static_cast<double>(entry.period_count) /
+                               static_cast<double>(periods_norm_);
+  f[static_cast<std::size_t>(DynamicFeature::kLocalEntropy)] =
+      util::normalized_entropy(std::span<const std::size_t>(s.counts24));
+  f[static_cast<std::size_t>(DynamicFeature::kGlobalEntropy)] =
+      util::normalized_entropy(std::span<const std::size_t>(s.counts8));
+  f[static_cast<std::size_t>(DynamicFeature::kUniqueAs)] =
+      as_norm_ == 0 ? 0.0
+                    : static_cast<double>(distinct_as) / static_cast<double>(as_norm_);
+  f[static_cast<std::size_t>(DynamicFeature::kUniqueCountries)] =
+      cc_norm_ == 0 ? 0.0
+                    : static_cast<double>(distinct_cc) / static_cast<double>(cc_norm_);
+  f[static_cast<std::size_t>(DynamicFeature::kQueriersPerCountry)] =
+      static_cast<double>(distinct_cc) / queriers;
+  f[static_cast<std::size_t>(DynamicFeature::kQueriersPerAs)] =
+      static_cast<double>(distinct_as) / queriers;
+  return fv;
+}
+
+std::vector<FeatureVector> FeatureEngine::extract(
+    const OriginatorAggregator& interval,
+    std::span<const OriginatorAggregate* const> interesting, std::size_t threads,
+    FeatureExtractionStats* stats_out) {
+  FeatureExtractionCache& cache = *cache_;
+  FeatureExtractionStats stats;
+
+  // --- 1. Dirty scan: which aggregates changed since this engine last
+  // looked, and which of their queriers the interner hasn't met yet.
+  std::vector<const OriginatorAggregate*> dirty;
+  std::vector<net::IPv4Addr> pending;
+  util::FlatSet<net::IPv4Addr> pending_seen;
+  scanned_.reserve(interval.aggregates().size());
+  for (const auto& [addr, agg] : interval.aggregates()) {
+    auto [slot, inserted] = scanned_.try_emplace(addr, std::uint64_t{0});
+    if (!inserted && slot->second == agg.mod_count) continue;
+    slot->second = agg.mod_count;
+    dirty.push_back(&agg);
+    for (const auto& [querier, count] : agg.querier_queries) {
+      if (cache.id_of(querier) == FeatureExtractionCache::kNoId &&
+          pending_seen.insert(querier)) {
+        pending.push_back(querier);
+      }
+    }
+  }
+  stats.dirty_originators = dirty.size();
+
+  // --- 2. Resolve the unseen queriers in parallel (resolver and AS/geo
+  // databases are read-only), then intern serially in first-seen order so
+  // dense-id assignment is deterministic for every thread count.
+  struct Resolved {
+    std::optional<netdb::Asn> asn;
+    std::optional<netdb::CountryCode> cc;
+    QuerierCategory category = QuerierCategory::kOther;
+  };
+  const auto resolved = util::parallel_map(
+      pending.size(),
+      [&](std::size_t i) {
+        const net::IPv4Addr querier = pending[i];
+        Resolved r;
+        r.asn = as_db_.lookup(querier);
+        r.cc = geo_db_.lookup(querier);
+        r.category = classify_querier(resolver_.resolve(querier));
+        return r;
+      },
+      threads);
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    cache.intern(pending[i], resolved[i].asn, resolved[i].cc, resolved[i].category);
+  }
+  stats.queriers_interned = pending.size();
+
+  // --- 3. Fold the dirty aggregates into the interval normalizer sets.
+  // Aggregates only ever gain queriers, so the seen sets grow
+  // monotonically and rescanning a dirty aggregate is idempotent.
+  as_seen_.resize(cache.as_count() + 1, 0);
+  cc_seen_.resize(cache.cc_count() + 1, 0);
+  for (const OriginatorAggregate* agg : dirty) {
+    for (const auto& [querier, count] : agg->querier_queries) {
+      const std::uint32_t qid = cache.id_of(querier);
+      const std::uint32_t as = cache.as_id(qid);
+      if (as != 0 && !as_seen_[as]) {
+        as_seen_[as] = 1;
+        ++as_norm_;
+      }
+      const std::uint32_t cc = cache.cc_id(qid);
+      if (cc != 0 && !cc_seen_[cc]) {
+        cc_seen_[cc] = 1;
+        ++cc_norm_;
+      }
+    }
+  }
+  periods_norm_ = interval.total_periods();
+  const std::uint64_t norm_periods = periods_norm_;
+  const auto norm_as = static_cast<std::uint32_t>(as_norm_);
+  const auto norm_cc = static_cast<std::uint32_t>(cc_norm_);
+
+  // --- 4. Row phase.  Serial inserts freeze the row map's layout; the
+  // per-row reuse decision and any recomputation then run over disjoint
+  // entries in parallel contiguous chunks, one scratch buffer per chunk.
+  auto& rows = cache.rows();
+  rows.reserve(rows.size() + interesting.size());
+  for (const OriginatorAggregate* agg : interesting) rows.try_emplace(agg->originator);
+
+  const std::size_t n = interesting.size();
+  std::vector<FeatureVector> out(n);
+  const std::size_t slots = threads == 0 ? util::configured_thread_count() : threads;
+  const std::size_t chunks = std::clamp<std::size_t>(slots, 1, n == 0 ? 1 : n);
+  if (scratch_.size() < chunks) scratch_.resize(chunks);
+  std::vector<FeatureExtractionStats> chunk_stats(chunks);
+  util::parallel_for(
+      chunks,
+      [&](std::size_t c) {
+        Scratch& scratch = scratch_[c];
+        scratch.ensure(cache.s24_count(), cache.as_count(), cache.cc_count());
+        FeatureExtractionStats& cs = chunk_stats[c];
+        const std::size_t lo = c * n / chunks;
+        const std::size_t hi = (c + 1) * n / chunks;
+        for (std::size_t i = lo; i < hi; ++i) {
+          const OriginatorAggregate& agg = *interesting[i];
+          auto& entry = rows.find(agg.originator)->second;
+          const bool norms_match = entry.interval_token != 0 &&
+                                   entry.norm_periods == norm_periods &&
+                                   entry.norm_as == norm_as && entry.norm_cc == norm_cc;
+          bool row_valid;
+          if (entry.interval_token == token_ && entry.mod_count == agg.mod_count) {
+            // Our own stamp vouches for the columns: the aggregate is
+            // untouched since we last flattened it.  The row itself
+            // survives iff the interval normalizers also held still.
+            row_valid = norms_match;
+          } else {
+            // Foreign or stale stamp (another engine shares the cache, or
+            // the aggregate changed): trust nothing, compare the columns.
+            bool same = entry.interval_token != 0 &&
+                        entry.total_queries == agg.total_queries &&
+                        entry.period_count == agg.periods.size() &&
+                        entry.qids.size() == agg.querier_queries.size();
+            if (same) {
+              std::size_t m = 0;
+              for (const auto& [querier, count] : agg.querier_queries) {
+                if (entry.qids[m] != cache.id_of(querier) || entry.counts[m] != count) {
+                  same = false;
+                  break;
+                }
+                ++m;
+              }
+            }
+            if (!same) {
+              entry.qids.clear();
+              entry.counts.clear();
+              entry.qids.reserve(agg.querier_queries.size());
+              entry.counts.reserve(agg.querier_queries.size());
+              for (const auto& [querier, count] : agg.querier_queries) {
+                entry.qids.push_back(cache.id_of(querier));
+                entry.counts.push_back(count);
+              }
+              entry.total_queries = agg.total_queries;
+              entry.period_count = agg.periods.size();
+            }
+            row_valid = same && norms_match;
+          }
+          if (row_valid) {
+            ++cs.rows_reused;
+          } else {
+            entry.row = compute_row(entry, agg.originator, scratch);
+            ++cs.rows_recomputed;
+          }
+          entry.interval_token = token_;
+          entry.mod_count = agg.mod_count;
+          entry.norm_periods = norm_periods;
+          entry.norm_as = norm_as;
+          entry.norm_cc = norm_cc;
+          out[i] = entry.row;
+        }
+      },
+      threads);
+  for (const FeatureExtractionStats& cs : chunk_stats) {
+    stats.rows_reused += cs.rows_reused;
+    stats.rows_recomputed += cs.rows_recomputed;
+  }
+  if (stats_out != nullptr) *stats_out = stats;
+  return out;
+}
+
+}  // namespace dnsbs::core

@@ -24,7 +24,19 @@ util::MetricCounter& g_interesting = util::metrics_counter("dnsbs.sensor.interes
 util::MetricCounter& g_admitted = util::metrics_counter("dnsbs.dedup.admitted");
 util::MetricCounter& g_suppressed = util::metrics_counter("dnsbs.dedup.suppressed");
 util::MetricCounter& g_feature_rows = util::metrics_counter("dnsbs.features.rows");
-util::MetricCounter& g_querier_lookups = util::metrics_counter("dnsbs.cache.querier.lookups");
+// Incremental-extraction telemetry: reused/recomputed partition the
+// extracted rows, dirty_originators counts aggregates rescanned by the
+// engine's stamp check, interner.queriers counts first-sight resolutions.
+// All are pure functions of the input stream and extract-call sequence —
+// deterministic across DNSBS_THREADS.  extract_ns is wall-clock timing
+// (histograms sit outside the deterministic view by construction).
+util::MetricCounter& g_rows_reused = util::metrics_counter("dnsbs.features.rows_reused");
+util::MetricCounter& g_rows_recomputed =
+    util::metrics_counter("dnsbs.features.rows_recomputed");
+util::MetricCounter& g_dirty_originators =
+    util::metrics_counter("dnsbs.features.dirty_originators");
+util::MetricCounter& g_interned = util::metrics_counter("dnsbs.cache.interner.queriers");
+util::MetricHistogram& g_extract_ns = util::metrics_histogram("dnsbs.features.extract_ns");
 util::MetricCounter& g_predictions = util::metrics_counter("dnsbs.sensor.classified");
 util::MetricGauge& g_live_keys = util::metrics_gauge("dnsbs.dedup.live_keys");
 util::MetricGauge& g_originators = util::metrics_gauge("dnsbs.aggregate.originators");
@@ -132,40 +144,44 @@ void Sensor::ingest_all(std::span<const dns::QueryRecord> records) {
   publish_metrics();
 }
 
+void Sensor::set_feature_cache(std::shared_ptr<FeatureExtractionCache> cache) {
+  feature_cache_ = std::move(cache);
+  engine_.reset();
+  rows_cached_ = false;
+}
+
 std::vector<FeatureVector> Sensor::extract_features() const {
   DNSBS_SPAN("sensor.extract");
+  const std::uint64_t t0 = util::metrics_now_ns();
+  // Fast path: nothing was ingested since the last extraction, so the
+  // previous rows are exact (selection, normalizers and every aggregate
+  // are pure functions of the admitted record stream).
+  if (rows_cached_ && aggregator_.mutation_count() == rows_at_mutation_) {
+    g_interesting.add(cached_rows_.size());
+    g_feature_rows.add(cached_rows_.size());
+    g_rows_reused.add(cached_rows_.size());
+    g_extract_ns.record(util::metrics_now_ns() - t0);
+    return cached_rows_;
+  }
   const auto interesting =
       aggregator_.select_interesting(config_.min_queriers, config_.top_n);
   g_interesting.add(interesting.size());
   g_feature_rows.add(interesting.size());
-  // The querier cache serves one lookup per (originator, querier)
-  // membership; published as the batched sum of footprints instead of a
-  // per-lookup bump in the row loop.
-  std::uint64_t lookups = 0;
-  for (const OriginatorAggregate* agg : interesting) lookups += agg->unique_queriers();
-  g_querier_lookups.add(lookups);
-  const DynamicFeatureExtractor dyn(as_db_, geo_db_, aggregator_);
 
-  // Per-interval memoization: each unique querier is resolved and
-  // keyword-classified exactly once, not once per footprint membership.
-  QuerierClassificationCache cache(resolver_);
-  cache.build(interesting, config_.threads);
-
-  // Per-originator extraction is pure (cache and databases are read-only
-  // after build), so rows compute in parallel; ordering follows the
-  // footprint-sorted `interesting` list either way.
-  return util::parallel_map(
-      interesting.size(),
-      [&](std::size_t i) {
-        const OriginatorAggregate* agg = interesting[i];
-        FeatureVector fv;
-        fv.originator = agg->originator;
-        fv.footprint = agg->unique_queriers();
-        fv.statics = compute_static_features(*agg, cache);
-        fv.dynamics = dyn.extract(*agg);
-        return fv;
-      },
-      config_.threads);
+  if (!engine_) {
+    if (!feature_cache_) feature_cache_ = std::make_shared<FeatureExtractionCache>();
+    engine_ = std::make_unique<FeatureEngine>(as_db_, geo_db_, resolver_, feature_cache_);
+  }
+  FeatureExtractionStats stats;
+  cached_rows_ = engine_->extract(aggregator_, interesting, config_.threads, &stats);
+  rows_cached_ = true;
+  rows_at_mutation_ = aggregator_.mutation_count();
+  g_rows_reused.add(stats.rows_reused);
+  g_rows_recomputed.add(stats.rows_recomputed);
+  g_dirty_originators.add(stats.dirty_originators);
+  g_interned.add(stats.queriers_interned);
+  g_extract_ns.record(util::metrics_now_ns() - t0);
+  return cached_rows_;
 }
 
 std::vector<ClassifiedOriginator> classify_all(std::span<const FeatureVector> features,

@@ -12,6 +12,7 @@
 
 #include "core/aggregate.hpp"
 #include "core/dedup.hpp"
+#include "core/feature_engine.hpp"
 #include "core/feature_vector.hpp"
 #include "ml/classifier.hpp"
 #include "util/metrics.hpp"
@@ -50,8 +51,19 @@ class Sensor {
   void ingest_all(std::span<const dns::QueryRecord> records);
 
   /// Selects interesting originators and computes their feature vectors,
-  /// ordered by footprint descending.  Call once ingestion is complete.
+  /// ordered by footprint descending.  Incremental: repeated calls reuse
+  /// cached rows for originators whose aggregates (and the interval-wide
+  /// normalizers) haven't changed, byte-identical to a full recompute.
+  /// Logically const — the mutable extraction cache is an implementation
+  /// detail invisible in the returned rows.
   std::vector<FeatureVector> extract_features() const;
+
+  /// Installs a shared extraction cache (querier interner + carry-forward
+  /// rows), letting consecutive windows reuse resolved querier identities
+  /// and unchanged rows.  Call before the first extract_features().
+  /// Sharing assumes the resolver and AS/geo databases are stable for the
+  /// cache's lifetime (see feature_engine.hpp).
+  void set_feature_cache(std::shared_ptr<FeatureExtractionCache> cache);
 
   /// Publishes this sensor's pending tallies (dedup admitted/suppressed,
   /// aggregate gauges) to the process-wide registry, then snapshots it.
@@ -78,6 +90,13 @@ class Sensor {
   OriginatorAggregator aggregator_;
   mutable std::uint64_t published_admitted_ = 0;
   mutable std::uint64_t published_suppressed_ = 0;
+  // Incremental extraction state (lazily created; mutable because
+  // extract_features() is logically const).
+  mutable std::shared_ptr<FeatureExtractionCache> feature_cache_;
+  mutable std::unique_ptr<FeatureEngine> engine_;
+  mutable std::vector<FeatureVector> cached_rows_;
+  mutable std::uint64_t rows_at_mutation_ = 0;
+  mutable bool rows_cached_ = false;
 };
 
 /// A feature vector plus the model's verdict.

@@ -70,12 +70,8 @@ double shannon_entropy(std::span<const std::size_t> counts) noexcept {
 }
 
 double normalized_entropy(std::span<const std::size_t> counts) noexcept {
-  std::size_t nonzero = 0;
-  for (const std::size_t c : counts) {
-    if (c > 0) ++nonzero;
-  }
-  if (nonzero < 2) return 0.0;
-  return shannon_entropy(counts) / std::log2(static_cast<double>(nonzero));
+  return normalized_entropy(counts.begin(), counts.end(),
+                            [](std::size_t c) noexcept { return c; });
 }
 
 LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys) noexcept {

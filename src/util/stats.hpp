@@ -3,6 +3,7 @@
 // log-log linear fit used to reproduce the paper's Figure 4 power law.
 #pragma once
 
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <map>
@@ -36,6 +37,32 @@ double shannon_entropy(std::span<const std::size_t> counts) noexcept;
 /// result is in [0, 1]; 1 means uniform spread.  Matches the paper's use of
 /// entropy as a spatial-diversity score.
 double normalized_entropy(std::span<const std::size_t> counts) noexcept;
+
+/// Count-iterator form of normalized_entropy: streams the bucket counts
+/// straight out of any container (e.g. a FlatMap of bucket -> count) via
+/// `proj(*it)`, with no intermediate count-vector copy.  The pass order
+/// (non-zero bins, then total, then entropy) mirrors the span overload
+/// exactly, so both forms produce bit-identical results over the same
+/// count sequence.
+template <typename It, typename Proj>
+double normalized_entropy(It first, It last, Proj proj) noexcept {
+  std::size_t nonzero = 0;
+  for (It it = first; it != last; ++it) {
+    if (static_cast<std::size_t>(proj(*it)) > 0) ++nonzero;
+  }
+  if (nonzero < 2) return 0.0;
+  std::size_t total = 0;
+  for (It it = first; it != last; ++it) total += static_cast<std::size_t>(proj(*it));
+  if (total == 0) return 0.0;
+  double h = 0.0;
+  for (It it = first; it != last; ++it) {
+    const std::size_t c = static_cast<std::size_t>(proj(*it));
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / static_cast<double>(total);
+    h -= p * std::log2(p);
+  }
+  return h / std::log2(static_cast<double>(nonzero));
+}
 
 /// Counts occurrences of arbitrary keys, then exposes the count vector.
 template <typename Key>

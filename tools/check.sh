@@ -12,10 +12,11 @@
 # Extra arguments are passed straight to ctest.  Environment knobs:
 #   BUILD_DIR  build tree (default: <repo>/build-asan, build-tsan, build-perf)
 #   TSAN=1     swap address,undefined for thread (the two are exclusive)
-#   PERF=1     skip sanitizers: Release build, run bench_perf_pipeline and
-#              bench_ml against the committed BENCH_perf.json/BENCH_ml.json
-#              baselines and fail on a >10% throughput regression on any
-#              axis; then build with
+#   PERF=1     skip sanitizers: Release build, run bench_perf_pipeline (the
+#              end-to-end and --features scenarios) and bench_ml against the
+#              committed BENCH_perf.json / BENCH_perf_features.json /
+#              BENCH_ml.json baselines and fail on a >10% throughput
+#              regression on any axis; then build with
 #              -DDNSBS_METRICS=OFF and fail if the instrumented build's
 #              end-to-end throughput is <98% of the no-op build's
 #   METRICS=0  build with -DDNSBS_METRICS=OFF (metrics layer compiled to
@@ -37,6 +38,10 @@ if [[ "${PERF:-0}" == "1" ]]; then
   # best-of-5 rather than the default 3: the gate compares against a
   # committed baseline, so scheduler noise must shrink, not inflate
   "$BUILD/bench/bench_perf_pipeline" --check "$ROOT/BENCH_perf.json" --repeat 5 "$@"
+  # Feature-extraction gate: the columnar + incremental engine's cold /
+  # churn / warm axes against BENCH_perf_features.json, same >10% rule.
+  "$BUILD/bench/bench_perf_pipeline" --features \
+    --check "$ROOT/BENCH_perf_features.json" --repeat 5 "$@"
   # ML training gate: same >10% rule against the committed training/predict
   # throughput baseline (BENCH_ml.json, written by bench_ml --json).
   "$BUILD/bench/bench_ml" --check "$ROOT/BENCH_ml.json" --repeat 5 "$@"

@@ -1,5 +1,7 @@
 #include "analysis/pipeline.hpp"
 
+#include <stdexcept>
+
 #include "util/log.hpp"
 #include "util/metrics.hpp"
 #include "util/strings.hpp"
@@ -44,43 +46,73 @@ void WindowedPipeline::finish() {
 
 void WindowedPipeline::enqueue_window(std::span<const dns::QueryRecord> records,
                                       util::SimTime start, util::SimTime end) {
-  DNSBS_SPAN("pipeline.window");
-  g_windows.inc();
-  // 1. Sensor pass over this window only (fresh caches/aggregates: the
-  //    paper's per-interval feature vectors).  Runs in the calling thread,
-  //    overlapping the previous window's train+classify task.
+  // Sensor pass over this window only (fresh caches/aggregates: the
+  // paper's per-interval feature vectors).  Runs in the calling thread,
+  // overlapping the previous window's train+classify task.
   core::Sensor sensor(config_.sensor, as_db_, geo_db_, resolver_);
   if (feature_cache_) sensor.set_feature_cache(feature_cache_);
   sensor.ingest_all(records);
+  enqueue_sensor_window(sensor, start, end);
+}
 
+void WindowedPipeline::enqueue_sensor_window(core::Sensor& sensor, util::SimTime start,
+                                             util::SimTime end) {
+  DNSBS_SPAN("pipeline.window");
+  g_windows.inc();
+  // 1. Extract in the calling thread, then reconcile the sensor's pending
+  //    dedup/aggregate tallies into the registry: a streaming caller feeds
+  //    the sensor via per-record ingest(), which never publishes, and the
+  //    boundary snapshot on the train task must see this window's counts.
+  //    (Idempotent on the batch path — ingest_all already published.)
   labeling::WindowObservation observation;
   observation.start = start;
   observation.end = end;
   observation.features = sensor.extract_features();
+  sensor.publish_metrics();
 
   // 2. Join the previous window before touching shared state: train and
   //    classify steps must run strictly in window order (the model carries
   //    over when a window is too thin to retrain).
   finish();
 
-  const std::size_t index = results_.size();
+  // Bound memory for long-running (streaming) callers: drop the oldest
+  // retained windows; absolute indices keep counting via base_index_.
+  if (config_.history_limit != 0 && results_.size() >= config_.history_limit) {
+    const std::size_t drop = results_.size() - config_.history_limit + 1;
+    results_.erase(results_.begin(), results_.begin() + static_cast<std::ptrdiff_t>(drop));
+    observations_.erase(observations_.begin(),
+                        observations_.begin() + static_cast<std::ptrdiff_t>(drop));
+    base_index_ += drop;
+  }
+
+  const std::size_t position = results_.size();
   observations_.push_back(std::move(observation));
   WindowResult result;
-  result.index = index;
+  result.index = base_index_ + position;
   result.start = start;
   result.end = end;
   results_.push_back(std::move(result));
 
   // 3. Retrain + classify on a background task; the caller is free to
   //    ingest the next window meanwhile.  The task only touches
-  //    observations_[index], results_[index], labels_ (read) and model_ —
-  //    none of which step 1 of the next enqueue reads or moves.
-  pending_ = std::async(std::launch::async, [this, index] { train_and_classify(index); });
+  //    observations_[position], results_[position], labels_ (read) and
+  //    model_ — none of which step 1 of the next enqueue reads or moves.
+  pending_ =
+      std::async(std::launch::async, [this, position] { train_and_classify(position); });
 }
 
-void WindowedPipeline::train_and_classify(std::size_t index) {
+void WindowedPipeline::set_next_window_index(std::size_t index) {
+  finish();
+  if (!results_.empty()) {
+    throw std::logic_error("set_next_window_index: windows already enqueued");
+  }
+  base_index_ = index;
+}
+
+void WindowedPipeline::train_and_classify(std::size_t position) {
   DNSBS_SPAN("pipeline.train");
-  const labeling::WindowObservation& observation = observations_[index];
+  const labeling::WindowObservation& observation = observations_[position];
+  const std::size_t index = base_index_ + position;
 
   // Retrain on the labeled examples re-appearing in this window, when
   // there are enough of them; else keep yesterday's boundary (§V-C).
@@ -99,7 +131,7 @@ void WindowedPipeline::train_and_classify(std::size_t index) {
   }
 
   // Classify everything detected.
-  WindowResult& result = results_[index];
+  WindowResult& result = results_[position];
   if (model_) {
     for (const auto& fv : observation.features) {
       result.classes[fv.originator] =

@@ -38,6 +38,10 @@ struct WindowedPipelineConfig {
   /// (the simulator's naming model is); disable when reverse names drift
   /// between windows, e.g. live resolvers with changing PTR data.
   bool carry_forward = true;
+  /// Keep at most this many windows of results/observations in memory
+  /// (0 = unlimited).  Long-running daemons set this: WindowResult.index
+  /// stays absolute across trims, only the retained prefix is dropped.
+  std::size_t history_limit = 0;
 };
 
 class WindowedPipeline {
@@ -72,8 +76,51 @@ class WindowedPipeline {
   void enqueue_window(std::span<const dns::QueryRecord> records, util::SimTime start,
                       util::SimTime end);
 
+  /// Streaming variant: the caller owns a Sensor it has been feeding
+  /// record-by-record (the dnsbs_serve intake path) and hands it over at
+  /// the window boundary.  Extracts features and reconciles the sensor's
+  /// pending metric tallies in the calling thread, then submits the window
+  /// to the ordered train+classify chain exactly like enqueue_window().
+  /// The sensor should share feature_cache() if carry-forward matters; it
+  /// may be destroyed as soon as this returns.
+  void enqueue_sensor_window(core::Sensor& sensor, util::SimTime start, util::SimTime end);
+
   /// Joins the in-flight window, if any; rethrows its exception.
   void finish();
+
+  /// The carry-forward extraction cache (null when carry_forward is off).
+  /// Streaming callers attach it to their sensors before ingesting.
+  const std::shared_ptr<core::FeatureExtractionCache>& feature_cache() const noexcept {
+    return feature_cache_;
+  }
+
+  const WindowedPipelineConfig& config() const noexcept { return config_; }
+
+  /// Absolute index the next enqueued window will get.  Joins in-flight
+  /// work (the counter is shared with the train chain's bookkeeping).
+  std::size_t next_window_index() {
+    finish();
+    return base_index_ + results_.size();
+  }
+
+  /// Re-bases window numbering after a checkpoint restore so retrain seeds
+  /// and result indices continue the uninterrupted sequence.  Only valid
+  /// before the first window is enqueued (or after results were trimmed to
+  /// empty); asserts via std::logic_error otherwise.
+  void set_next_window_index(std::size_t index);
+
+  /// Registry snapshot at the last completed window boundary — the base
+  /// the next window's metrics_delta will be measured against.  Exposed
+  /// for checkpointing; set_boundary_metrics() restores it.  Both join
+  /// in-flight work.
+  const util::MetricsSnapshot& boundary_metrics() {
+    finish();
+    return last_metrics_;
+  }
+  void set_boundary_metrics(util::MetricsSnapshot snapshot) {
+    finish();
+    last_metrics_ = std::move(snapshot);
+  }
 
   /// All windows processed so far, in order.  Joins in-flight work.
   const std::vector<WindowResult>& results() {
@@ -96,9 +143,10 @@ class WindowedPipeline {
   }
 
  private:
-  /// Retrain-if-possible + classify for window `index`; runs on the
-  /// background task chain, strictly in window order.
-  void train_and_classify(std::size_t index);
+  /// Retrain-if-possible + classify for the window at vector `position`
+  /// (absolute index = base_index_ + position); runs on the background
+  /// task chain, strictly in window order.
+  void train_and_classify(std::size_t position);
 
   WindowedPipelineConfig config_;
   const netdb::AsDb& as_db_;
@@ -115,6 +163,9 @@ class WindowedPipeline {
   std::unique_ptr<ml::RandomForest> model_;
   std::vector<WindowResult> results_;
   std::vector<labeling::WindowObservation> observations_;
+  /// Absolute index of results_[0]; advanced by history trims and by
+  /// set_next_window_index() after a restore.
+  std::size_t base_index_ = 0;
   /// The previous window's train+classify task; joined before the next
   /// window mutates shared state.
   std::future<void> pending_;

@@ -1,0 +1,176 @@
+#include "analysis/streaming.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+#include "util/binio.hpp"
+#include "util/metrics.hpp"
+
+namespace dnsbs::analysis {
+
+namespace {
+
+constexpr char kMagic[8] = {'D', 'N', 'S', 'B', 'S', 'C', 'K', 'P'};
+constexpr std::uint32_t kVersion = 1;
+
+// All three are deterministic: window opens/closes and lateness are pure
+// functions of the record timestamp stream.
+util::MetricCounter& g_opened = util::metrics_counter("dnsbs.serve.windows_opened");
+util::MetricCounter& g_closed = util::metrics_counter("dnsbs.serve.windows_closed");
+util::MetricCounter& g_late = util::metrics_counter("dnsbs.serve.late_dropped");
+
+std::int64_t floor_div(std::int64_t a, std::int64_t b) {
+  std::int64_t q = a / b;
+  if (a % b != 0 && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+
+}  // namespace
+
+StreamingWindowDriver::StreamingWindowDriver(StreamingConfig config,
+                                             WindowedPipeline& pipeline,
+                                             const netdb::AsDb& as_db,
+                                             const netdb::GeoDb& geo_db,
+                                             const core::QuerierResolver& resolver)
+    : config_(config),
+      pipeline_(pipeline),
+      as_db_(as_db),
+      geo_db_(geo_db),
+      resolver_(resolver) {
+  // 0 or out-of-range hop means tumbling windows; a hop wider than the
+  // window would leave uncovered gaps in the stream.
+  if (config_.hop.secs() <= 0 || config_.hop > config_.window) {
+    config_.hop = config_.window;
+  }
+}
+
+std::unique_ptr<core::Sensor> StreamingWindowDriver::make_sensor() const {
+  auto sensor = std::make_unique<core::Sensor>(pipeline_.config().sensor, as_db_, geo_db_,
+                                               resolver_);
+  if (pipeline_.feature_cache()) sensor->set_feature_cache(pipeline_.feature_cache());
+  return sensor;
+}
+
+void StreamingWindowDriver::open_due_windows(util::SimTime t) {
+  while (next_start_ <= t) {
+    windows_.push_back(OpenWindow{next_start_, make_sensor()});
+    g_opened.inc();
+    next_start_ += config_.hop;
+  }
+}
+
+void StreamingWindowDriver::close_front() {
+  OpenWindow window = std::move(windows_.front());
+  windows_.pop_front();
+  pipeline_.enqueue_sensor_window(*window.sensor, window.start,
+                                  window.start + config_.window);
+  if (config_.synchronous) pipeline_.finish();
+  ++windows_closed_;
+  g_closed.inc();
+}
+
+void StreamingWindowDriver::offer(const dns::QueryRecord& record) {
+  const util::SimTime t = record.time;
+  if (!started_) {
+    started_ = true;
+    // Anchor the hop grid at epoch 0 so window boundaries are absolute —
+    // independent of when the capture happened to start.
+    next_start_ =
+        util::SimTime::seconds(floor_div(t.secs(), config_.hop.secs()) * config_.hop.secs());
+  }
+  stream_time_ = std::max(stream_time_, t);
+  // Open every window whose start the clock has reached, then close every
+  // window whose end has passed — in start order, so a traffic gap larger
+  // than a window still emits its (empty) windows in sequence.
+  open_due_windows(t);
+  while (!windows_.empty() && windows_.front().start + config_.window <= t) close_front();
+
+  bool covered = false;
+  for (OpenWindow& w : windows_) {
+    if (w.start <= t && t < w.start + config_.window) {
+      w.sensor->ingest(record);
+      covered = true;
+    }
+  }
+  // A record no open window covers arrived out of order, after its windows
+  // already closed (the forward path always has at least one cover).
+  if (!covered) {
+    ++late_records_;
+    g_late.inc();
+  }
+}
+
+void StreamingWindowDriver::flush() {
+  while (!windows_.empty()) close_front();
+}
+
+bool StreamingWindowDriver::save(std::ostream& out_stream) {
+  // Quiesce: join the train chain, then reconcile every open sensor's
+  // pending tallies into the registry so the snapshot written below
+  // matches the published watermarks serialized with each sensor.
+  pipeline_.finish();
+  for (OpenWindow& w : windows_) w.sensor->publish_metrics();
+
+  util::BinaryWriter out(out_stream);
+  out.bytes(kMagic, sizeof(kMagic));
+  out.u32(kVersion);
+  out.i64(config_.window.secs());
+  out.i64(config_.hop.secs());
+  out.u8(started_ ? 1 : 0);
+  out.i64(next_start_.secs());
+  out.i64(stream_time_.secs());
+  out.u64(windows_closed_);
+  out.u64(late_records_);
+  pipeline_.boundary_metrics().save(out);
+  const util::MetricsSnapshot registry = util::metrics_snapshot();
+  registry.save(out);
+  const auto& cache = pipeline_.feature_cache();
+  out.u8(cache ? 1 : 0);
+  if (cache) cache->save(out);
+  out.u64(windows_.size());
+  for (const OpenWindow& w : windows_) {
+    out.i64(w.start.secs());
+    w.sensor->save_state(out);
+  }
+  return out.ok();
+}
+
+bool StreamingWindowDriver::restore(std::istream& in_stream) {
+  util::BinaryReader in(in_stream);
+  char magic[8] = {};
+  if (!in.bytes(magic, sizeof(magic)) || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return false;
+  }
+  if (in.u32() != kVersion) return false;
+  if (in.i64() != config_.window.secs() || in.i64() != config_.hop.secs()) return false;
+  started_ = in.u8() != 0;
+  next_start_ = util::SimTime::seconds(in.i64());
+  stream_time_ = util::SimTime::seconds(in.i64());
+  windows_closed_ = in.u64();
+  late_records_ = in.u64();
+  util::MetricsSnapshot boundary;
+  util::MetricsSnapshot registry;
+  if (!boundary.load(in) || !registry.load(in)) return false;
+  const bool has_cache = in.u8() != 0;
+  if (!in.ok() || has_cache != (pipeline_.feature_cache() != nullptr)) return false;
+  if (has_cache && !pipeline_.feature_cache()->load(in)) return false;
+  const std::uint64_t open = in.u64();
+  if (!in.ok() || open > (std::uint64_t{1} << 20)) return false;
+  windows_.clear();
+  for (std::uint64_t i = 0; i < open; ++i) {
+    OpenWindow w{util::SimTime::seconds(in.i64()), make_sensor()};
+    if (!in.ok() || !w.sensor->load_state(in)) return false;
+    windows_.push_back(std::move(w));
+  }
+  // State validated: install the registry and window numbering.  The
+  // registry already contains the checkpoint-time tallies; the restored
+  // sensors' watermarks agree, so nothing double-publishes.
+  util::metrics_restore(registry);
+  pipeline_.set_boundary_metrics(std::move(boundary));
+  pipeline_.set_next_window_index(windows_closed_);
+  return in.ok();
+}
+
+}  // namespace dnsbs::analysis

@@ -1,0 +1,109 @@
+// Continuous windowed operation for the streaming daemon.
+//
+// The batch pipeline (analysis/pipeline.hpp) receives one window's records
+// as a span; a live capture point has no such luxury — packets arrive one
+// at a time and the window boundaries come from the packet timestamps.
+// StreamingWindowDriver turns a record-at-a-time stream into the same
+// per-window Sensor passes the batch path runs: it keeps a Sensor per open
+// window on a fixed hop grid, feeds every record to all covering windows,
+// and hands each window to the WindowedPipeline's ordered train+classify
+// chain when stream time passes its end.
+//
+// Clocking is stream time, not wall time: windows open and close as record
+// timestamps advance, so replaying a capture yields byte-identical results
+// regardless of replay speed — the property the checkpoint/restart
+// contract (save()/restore()) is tested against.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <memory>
+
+#include "analysis/pipeline.hpp"
+
+namespace dnsbs::analysis {
+
+struct StreamingConfig {
+  /// Window width in stream time (paper: a day or a week).
+  util::SimTime window = util::SimTime::seconds(86400);
+  /// Hop between window starts; 0 or == window means tumbling windows,
+  /// smaller values give overlapping (sliding) windows.  Must not exceed
+  /// the window width (gaps would silently drop records).
+  util::SimTime hop{};
+  /// Join the pipeline's train+classify task at every window close.  The
+  /// daemon runs synchronously: the registry snapshot a window's
+  /// metrics_delta is measured against must not race the next window's
+  /// publish.  Batch-style callers that diff results only at the end can
+  /// disable this to overlap train with ingest.
+  bool synchronous = true;
+};
+
+/// Drives a WindowedPipeline from a record-at-a-time stream.
+///
+/// The pipeline must be dedicated to this driver (window numbering is
+/// shared), and should be freshly constructed when restore() is used.
+/// Not thread-safe; the daemon calls it from its single drive thread.
+class StreamingWindowDriver {
+ public:
+  StreamingWindowDriver(StreamingConfig config, WindowedPipeline& pipeline,
+                        const netdb::AsDb& as_db, const netdb::GeoDb& geo_db,
+                        const core::QuerierResolver& resolver);
+
+  /// Feeds one deduplicatable record.  Advances the stream clock to the
+  /// record's time: opens every window whose start has been reached,
+  /// closes (extracts + enqueues) every window whose end has passed, then
+  /// ingests the record into each open window covering its timestamp.
+  /// A record older than every open window is counted late and dropped.
+  void offer(const dns::QueryRecord& record);
+
+  /// Closes all open windows in order (end of stream / operator flush).
+  /// Windows close at their natural grid ends even if the stream stopped
+  /// mid-window.
+  void flush();
+
+  /// Serializes the full resumable state: stream clock, per-open-window
+  /// sensor state (dedup + aggregates), the shared feature cache, the
+  /// pipeline's boundary snapshot and the whole metrics registry.  Joins
+  /// the pipeline's in-flight window and reconciles every open sensor's
+  /// pending tallies first, so the registry snapshot matches the sensor
+  /// watermarks being serialized.
+  bool save(std::ostream& out);
+
+  /// Restores state saved by save().  Must run on a freshly constructed
+  /// driver + pipeline pair (same configs) before any offer(); restores
+  /// the registry, so call it before other components publish.  Returns
+  /// false (state unspecified — discard the pair) on mismatch/corruption.
+  bool restore(std::istream& in);
+
+  std::size_t open_windows() const noexcept { return windows_.size(); }
+  std::uint64_t windows_closed() const noexcept { return windows_closed_; }
+  std::uint64_t late_records() const noexcept { return late_records_; }
+  /// Stream time of the most recent record offered (start value: 0).
+  util::SimTime stream_time() const noexcept { return stream_time_; }
+
+ private:
+  struct OpenWindow {
+    util::SimTime start;
+    std::unique_ptr<core::Sensor> sensor;
+  };
+
+  std::unique_ptr<core::Sensor> make_sensor() const;
+  void open_due_windows(util::SimTime t);
+  void close_front();
+
+  StreamingConfig config_;
+  WindowedPipeline& pipeline_;
+  const netdb::AsDb& as_db_;
+  const netdb::GeoDb& geo_db_;
+  const core::QuerierResolver& resolver_;
+  std::deque<OpenWindow> windows_;
+  bool started_ = false;
+  /// Start of the next window to open (hop grid, anchored at epoch 0).
+  util::SimTime next_start_{};
+  util::SimTime stream_time_{};
+  std::uint64_t windows_closed_ = 0;
+  std::uint64_t late_records_ = 0;
+};
+
+}  // namespace dnsbs::analysis

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/binio.hpp"
 #include "util/metrics.hpp"
 
 namespace dnsbs::core {
@@ -59,6 +60,89 @@ void OriginatorAggregator::merge_from(OriginatorAggregator&& other) {
   other.all_periods_.clear();
   mutation_count_ += other.mutation_count_;
   other.mutation_count_ = 0;
+}
+
+namespace {
+
+void save_period_set(util::BinaryWriter& out, const util::FlatSet<std::int64_t>& set) {
+  out.u64(set.capacity());
+  out.u64(set.size());
+  set.for_each_slot([&out](std::size_t slot, std::int64_t period) {
+    out.u64(slot);
+    out.i64(period);
+  });
+}
+
+bool load_period_set(util::BinaryReader& in, util::FlatSet<std::int64_t>& set) {
+  const std::uint64_t cap = in.u64();
+  const std::uint64_t n = in.u64();
+  if (!in.ok() || n > cap || !set.restore_layout(cap)) return false;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t slot = in.u64();
+    const std::int64_t period = in.i64();
+    if (!in.ok() || !set.place(slot, period)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void OriginatorAggregator::save(util::BinaryWriter& out) const {
+  out.i64(period_.secs());
+  out.u64(aggregates_.capacity());
+  out.u64(aggregates_.size());
+  aggregates_.for_each_slot(
+      [&out](std::size_t slot, net::IPv4Addr addr, const OriginatorAggregate& agg) {
+        out.u64(slot);
+        out.u32(addr.value());
+        out.u32(agg.originator.value());
+        out.i64(agg.first_seen.secs());
+        out.i64(agg.last_seen.secs());
+        out.u64(agg.total_queries);
+        out.u64(agg.mod_count);
+        out.u64(agg.querier_queries.capacity());
+        out.u64(agg.querier_queries.size());
+        agg.querier_queries.for_each_slot(
+            [&out](std::size_t qslot, net::IPv4Addr querier, std::uint32_t count) {
+              out.u64(qslot);
+              out.u32(querier.value());
+              out.u32(count);
+            });
+        save_period_set(out, agg.periods);
+      });
+  save_period_set(out, all_periods_);
+  out.u64(mutation_count_);
+}
+
+bool OriginatorAggregator::load(util::BinaryReader& in) {
+  if (in.i64() != period_.secs()) return false;
+  const std::uint64_t cap = in.u64();
+  const std::uint64_t n = in.u64();
+  if (!in.ok() || n > cap || !aggregates_.restore_layout(cap)) return false;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t slot = in.u64();
+    const net::IPv4Addr addr{in.u32()};
+    OriginatorAggregate agg;
+    agg.originator = net::IPv4Addr{in.u32()};
+    agg.first_seen = util::SimTime::seconds(in.i64());
+    agg.last_seen = util::SimTime::seconds(in.i64());
+    agg.total_queries = in.u64();
+    agg.mod_count = in.u64();
+    const std::uint64_t qcap = in.u64();
+    const std::uint64_t qn = in.u64();
+    if (!in.ok() || qn > qcap || !agg.querier_queries.restore_layout(qcap)) return false;
+    for (std::uint64_t q = 0; q < qn; ++q) {
+      const std::uint64_t qslot = in.u64();
+      const net::IPv4Addr querier{in.u32()};
+      const std::uint32_t count = in.u32();
+      if (!in.ok() || !agg.querier_queries.place(qslot, querier, count)) return false;
+    }
+    if (!load_period_set(in, agg.periods)) return false;
+    if (!aggregates_.place(slot, addr, std::move(agg))) return false;
+  }
+  if (!load_period_set(in, all_periods_)) return false;
+  mutation_count_ = in.u64();
+  return in.ok();
 }
 
 std::vector<const OriginatorAggregate*> OriginatorAggregator::select_interesting(

@@ -15,6 +15,11 @@
 #include "util/flat_hash.hpp"
 #include "util/time.hpp"
 
+namespace dnsbs::util {
+class BinaryReader;
+class BinaryWriter;
+}  // namespace dnsbs::util
+
 namespace dnsbs::core {
 
 /// Everything the feature extractors need to know about one originator.
@@ -87,6 +92,16 @@ class OriginatorAggregator {
   /// "interesting and analyzable" selection.
   std::vector<const OriginatorAggregate*> select_interesting(std::size_t min_queriers,
                                                              std::size_t top_n) const;
+
+  /// Checkpoint round-trip.  Every flat container — the aggregates map,
+  /// each aggregate's querier histogram and period set, and the interval
+  /// period set — serializes slot-exactly, because feature reductions
+  /// iterate them and their order must survive a restart for the daemon's
+  /// byte-identical-restart contract.  load() requires an aggregator
+  /// constructed with the same period width and returns false on a
+  /// mismatch or corrupt stream.
+  void save(util::BinaryWriter& out) const;
+  bool load(util::BinaryReader& in);
 
  private:
   util::SimTime period_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/binio.hpp"
 #include "util/metrics.hpp"
 
 namespace dnsbs::core {
@@ -82,6 +83,63 @@ void Deduplicator::merge_from(Deduplicator&& other) {
   other.next_drain_ = 0;
   other.admitted_ = 0;
   other.suppressed_ = 0;
+}
+
+void Deduplicator::save(util::BinaryWriter& out) const {
+  out.i64(window_.secs());
+  out.u64(last_seen_.capacity());
+  out.u64(last_seen_.size());
+  last_seen_.for_each_slot([&out](std::size_t slot, std::uint64_t key, util::SimTime t) {
+    out.u64(slot);
+    out.u64(key);
+    out.i64(t.secs());
+  });
+  out.u64(expiry_.capacity());
+  out.u64(expiry_.size());
+  expiry_.for_each_slot(
+      [&out](std::size_t slot, std::int64_t bucket, const std::vector<std::uint64_t>& keys) {
+        out.u64(slot);
+        out.i64(bucket);
+        out.u64(keys.size());
+        for (const std::uint64_t k : keys) out.u64(k);
+      });
+  out.i64(next_drain_);
+  out.i64(last_prune_interval_);
+  out.u64(admitted_);
+  out.u64(suppressed_);
+}
+
+bool Deduplicator::load(util::BinaryReader& in) {
+  if (in.i64() != window_.secs()) return false;
+  const std::uint64_t seen_cap = in.u64();
+  const std::uint64_t seen_n = in.u64();
+  if (!in.ok() || seen_n > seen_cap || !last_seen_.restore_layout(seen_cap)) return false;
+  for (std::uint64_t i = 0; i < seen_n; ++i) {
+    const std::uint64_t slot = in.u64();
+    const std::uint64_t key = in.u64();
+    const util::SimTime t = util::SimTime::seconds(in.i64());
+    if (!in.ok() || !last_seen_.place(slot, key, t)) return false;
+  }
+  const std::uint64_t exp_cap = in.u64();
+  const std::uint64_t exp_n = in.u64();
+  if (!in.ok() || exp_n > exp_cap || !expiry_.restore_layout(exp_cap)) return false;
+  for (std::uint64_t i = 0; i < exp_n; ++i) {
+    const std::uint64_t slot = in.u64();
+    const std::int64_t bucket = in.i64();
+    const std::uint64_t count = in.u64();
+    // Cap before reserving: a corrupt length must not become a huge
+    // allocation (the stream would fail on read anyway).
+    if (!in.ok() || count > (std::uint64_t{1} << 30)) return false;
+    std::vector<std::uint64_t> keys;
+    keys.reserve(count);
+    for (std::uint64_t k = 0; k < count; ++k) keys.push_back(in.u64());
+    if (!in.ok() || !expiry_.place(slot, bucket, std::move(keys))) return false;
+  }
+  next_drain_ = in.i64();
+  last_prune_interval_ = in.i64();
+  admitted_ = in.u64();
+  suppressed_ = in.u64();
+  return in.ok();
 }
 
 void Deduplicator::prune(util::SimTime now) {

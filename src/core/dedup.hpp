@@ -23,6 +23,11 @@
 #include "util/flat_hash.hpp"
 #include "util/time.hpp"
 
+namespace dnsbs::util {
+class BinaryReader;
+class BinaryWriter;
+}  // namespace dnsbs::util
+
 namespace dnsbs::core {
 
 class Deduplicator {
@@ -51,6 +56,15 @@ class Deduplicator {
 
   /// Entries currently tracked (diagnostic).
   std::size_t state_size() const noexcept { return last_seen_.size(); }
+
+  /// Checkpoint round-trip.  The last-seen and expiry maps serialize
+  /// slot-exactly (see FlatMap::for_each_slot): after load(), every future
+  /// admit/prune sequence evolves bit-for-bit like the uninterrupted
+  /// instance, which the daemon's byte-identical-restart contract needs.
+  /// load() requires a Deduplicator constructed with the same window and
+  /// fails (returns false) on a mismatch or corrupt stream.
+  void save(util::BinaryWriter& out) const;
+  bool load(util::BinaryReader& in);
 
  private:
   struct SplitMixHash {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 
+#include "util/binio.hpp"
 #include "util/parallel.hpp"
 #include "util/stats.hpp"
 
@@ -36,6 +37,137 @@ std::uint32_t FeatureExtractionCache::intern(net::IPv4Addr querier,
   s8_.push_back(static_cast<std::uint8_t>(querier.slash8()));
   category_.push_back(category);
   return id;
+}
+
+namespace {
+
+constexpr std::uint64_t kMaxLoadLen = std::uint64_t{1} << 30;
+
+template <typename K, typename WriteKey>
+void save_id_map(util::BinaryWriter& out, const util::FlatMap<K, std::uint32_t>& map,
+                 WriteKey&& write_key) {
+  out.u64(map.capacity());
+  out.u64(map.size());
+  map.for_each_slot([&](std::size_t slot, const K& key, std::uint32_t id) {
+    out.u64(slot);
+    write_key(key);
+    out.u32(id);
+  });
+}
+
+template <typename K, typename ReadKey>
+bool load_id_map(util::BinaryReader& in, util::FlatMap<K, std::uint32_t>& map,
+                 ReadKey&& read_key) {
+  const std::uint64_t cap = in.u64();
+  const std::uint64_t n = in.u64();
+  if (!in.ok() || n > cap || !map.restore_layout(cap)) return false;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t slot = in.u64();
+    const K key = read_key();
+    const std::uint32_t id = in.u32();
+    if (!in.ok() || !map.place(slot, key, id)) return false;
+  }
+  return true;
+}
+
+bool load_u32_column(util::BinaryReader& in, std::vector<std::uint32_t>& column,
+                     std::uint64_t n) {
+  column.clear();
+  column.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) column.push_back(in.u32());
+  return in.ok();
+}
+
+}  // namespace
+
+void FeatureExtractionCache::save(util::BinaryWriter& out) const {
+  out.u64(interval_serial_);
+  save_id_map(out, qid_, [&out](net::IPv4Addr q) { out.u32(q.value()); });
+  // Columns (parallel arrays indexed by querier id).
+  out.u64(category_.size());
+  for (std::size_t id = 0; id < category_.size(); ++id) {
+    out.u32(as_id_[id]);
+    out.u32(cc_id_[id]);
+    out.u32(s24_id_[id]);
+    out.u8(s8_[id]);
+    out.u8(static_cast<std::uint8_t>(category_[id]));
+  }
+  save_id_map(out, as_ids_, [&out](netdb::Asn a) { out.u32(a); });
+  save_id_map(out, cc_ids_, [&out](std::uint16_t c) { out.u16(c); });
+  save_id_map(out, s24_ids_, [&out](std::uint32_t s) { out.u32(s); });
+  out.u64(rows_.capacity());
+  out.u64(rows_.size());
+  rows_.for_each_slot([&out](std::size_t slot, net::IPv4Addr addr, const RowEntry& e) {
+    out.u64(slot);
+    out.u32(addr.value());
+    out.u64(e.interval_token);
+    out.u64(e.mod_count);
+    out.u64(e.total_queries);
+    out.u64(e.period_count);
+    out.u64(e.norm_periods);
+    out.u32(e.norm_as);
+    out.u32(e.norm_cc);
+    out.u64(e.qids.size());  // counts is parallel: same length
+    for (const std::uint32_t q : e.qids) out.u32(q);
+    for (const std::uint32_t c : e.counts) out.u32(c);
+    out.u32(e.row.originator.value());
+    out.u64(e.row.footprint);
+    for (const double v : e.row.statics) out.f64(v);
+    for (const double v : e.row.dynamics) out.f64(v);
+  });
+}
+
+bool FeatureExtractionCache::load(util::BinaryReader& in) {
+  interval_serial_ = in.u64();
+  if (!load_id_map(in, qid_, [&in] { return net::IPv4Addr{in.u32()}; })) return false;
+  const std::uint64_t queriers = in.u64();
+  if (!in.ok() || queriers > kMaxLoadLen) return false;
+  as_id_.clear();
+  cc_id_.clear();
+  s24_id_.clear();
+  s8_.clear();
+  category_.clear();
+  as_id_.reserve(queriers);
+  cc_id_.reserve(queriers);
+  s24_id_.reserve(queriers);
+  s8_.reserve(queriers);
+  category_.reserve(queriers);
+  for (std::uint64_t id = 0; id < queriers; ++id) {
+    as_id_.push_back(in.u32());
+    cc_id_.push_back(in.u32());
+    s24_id_.push_back(in.u32());
+    s8_.push_back(in.u8());
+    const std::uint8_t cat = in.u8();
+    if (cat >= kQuerierCategoryCount) return false;
+    category_.push_back(static_cast<QuerierCategory>(cat));
+  }
+  if (!load_id_map(in, as_ids_, [&in] { return netdb::Asn{in.u32()}; })) return false;
+  if (!load_id_map(in, cc_ids_, [&in] { return in.u16(); })) return false;
+  if (!load_id_map(in, s24_ids_, [&in] { return in.u32(); })) return false;
+  const std::uint64_t cap = in.u64();
+  const std::uint64_t n = in.u64();
+  if (!in.ok() || n > cap || !rows_.restore_layout(cap)) return false;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t slot = in.u64();
+    const net::IPv4Addr addr{in.u32()};
+    RowEntry e;
+    e.interval_token = in.u64();
+    e.mod_count = in.u64();
+    e.total_queries = in.u64();
+    e.period_count = in.u64();
+    e.norm_periods = in.u64();
+    e.norm_as = in.u32();
+    e.norm_cc = in.u32();
+    const std::uint64_t qn = in.u64();
+    if (!in.ok() || qn > kMaxLoadLen) return false;
+    if (!load_u32_column(in, e.qids, qn) || !load_u32_column(in, e.counts, qn)) return false;
+    e.row.originator = net::IPv4Addr{in.u32()};
+    e.row.footprint = in.u64();
+    for (double& v : e.row.statics) v = in.f64();
+    for (double& v : e.row.dynamics) v = in.f64();
+    if (!in.ok() || !rows_.place(slot, addr, std::move(e))) return false;
+  }
+  return in.ok();
 }
 
 void FeatureEngine::Scratch::ensure(std::size_t s24_n, std::size_t as_n, std::size_t cc_n) {

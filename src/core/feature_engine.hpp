@@ -49,6 +49,11 @@
 #include "core/aggregate.hpp"
 #include "core/feature_vector.hpp"
 
+namespace dnsbs::util {
+class BinaryReader;
+class BinaryWriter;
+}  // namespace dnsbs::util
+
 namespace dnsbs::core {
 
 /// Process-long columnar state: the querier interner plus the per
@@ -104,6 +109,14 @@ class FeatureExtractionCache {
                        std::optional<netdb::CountryCode> cc, QuerierCategory category);
 
   util::FlatMap<net::IPv4Addr, RowEntry>& rows() noexcept { return rows_; }
+
+  /// Checkpoint round-trip.  The interner maps and the row cache serialize
+  /// slot-exactly; doubles travel as raw bit patterns, so a restored cache
+  /// reproduces every reuse/recompute decision — and every cached row —
+  /// bit-for-bit.  load() replaces the cache's entire state and returns
+  /// false on a corrupt stream (state is then unspecified; discard it).
+  void save(util::BinaryWriter& out) const;
+  bool load(util::BinaryReader& in);
 
  private:
   util::FlatMap<net::IPv4Addr, std::uint32_t> qid_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/binio.hpp"
 #include "util/metrics.hpp"
 #include "util/parallel.hpp"
 
@@ -142,6 +143,30 @@ void Sensor::ingest_all(std::span<const dns::QueryRecord> records) {
     aggregator_.merge_from(std::move(shard.agg));
   }
   publish_metrics();
+}
+
+void Sensor::save_state(util::BinaryWriter& out) const {
+  // Pin the published watermarks first: after a restore the registry holds
+  // whatever the snapshot (taken alongside this state) says, so the
+  // restored sensor must consider exactly the serialized tallies already
+  // published.
+  publish_metrics();
+  dedup_.save(out);
+  aggregator_.save(out);
+}
+
+bool Sensor::load_state(util::BinaryReader& in) {
+  if (!dedup_.load(in) || !aggregator_.load(in)) return false;
+  // The uninterrupted process already published these counts; the registry
+  // snapshot restores them separately.  Re-publishing would double-count.
+  published_admitted_ = dedup_.admitted();
+  published_suppressed_ = dedup_.suppressed();
+  // Row cache and engine refer to pre-restore state; rebuild lazily.
+  engine_.reset();
+  cached_rows_.clear();
+  rows_cached_ = false;
+  rows_at_mutation_ = 0;
+  return true;
 }
 
 void Sensor::set_feature_cache(std::shared_ptr<FeatureExtractionCache> cache) {

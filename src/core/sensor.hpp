@@ -76,12 +76,29 @@ class Sensor {
   const Deduplicator& dedup() const noexcept { return dedup_; }
   const SensorConfig& config() const noexcept { return config_; }
 
- private:
+  /// Checkpoints the window state (dedup + aggregator) for a later
+  /// load_state() into a Sensor built with the same config.  Does NOT
+  /// serialize the extraction cache — the daemon checkpoints the shared
+  /// cache once, not per window.  Callers must publish_metrics() first if
+  /// registry deltas matter (save_state does it to pin the published
+  /// watermarks to the serialized tallies).
+  void save_state(util::BinaryWriter& out) const;
+
+  /// Restores dedup + aggregator state.  The published watermarks are set
+  /// to the restored tallies: the uninterrupted process already pushed
+  /// those counts to the registry, and the registry snapshot is restored
+  /// separately, so re-publishing them here would double-count.  Resets
+  /// the lazily-built engine so the next extract_features() stamps a fresh
+  /// interval token.  Returns false on config mismatch or corrupt stream.
+  bool load_state(util::BinaryReader& in);
+
   /// Pushes tallies accumulated since the last publish into the registry
   /// (idempotent; const because snapshot_metrics() is a read operation
-  /// from the caller's perspective).
+  /// from the caller's perspective).  Public so the streaming driver can
+  /// reconcile counts at window close without taking a full snapshot.
   void publish_metrics() const;
 
+ private:
   SensorConfig config_;
   const netdb::AsDb& as_db_;
   const netdb::GeoDb& geo_db_;

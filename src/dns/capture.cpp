@@ -13,6 +13,7 @@ namespace {
 util::MetricCounter& g_packets = util::metrics_counter("dnsbs.capture.packets");
 util::MetricCounter& g_malformed = util::metrics_counter("dnsbs.capture.malformed");
 util::MetricCounter& g_responses = util::metrics_counter("dnsbs.capture.responses");
+util::MetricCounter& g_rejected = util::metrics_counter("dnsbs.capture.rejected_query");
 util::MetricCounter& g_non_ptr = util::metrics_counter("dnsbs.capture.non_ptr");
 util::MetricCounter& g_non_reverse = util::metrics_counter("dnsbs.capture.non_reverse_name");
 util::MetricCounter& g_accepted = util::metrics_counter("dnsbs.capture.accepted");
@@ -35,8 +36,10 @@ std::optional<QueryRecord> record_from_packet(std::span<const std::uint8_t> payl
     return std::nullopt;
   }
   if (message->opcode != 0 || message->questions.size() != 1) {
-    ++stats.malformed;
-    g_malformed.inc();
+    // Decoded fine; the sensor's policy (plain QUERY, exactly one
+    // question) is what rejects it — not corruption.
+    ++stats.rejected_query;
+    g_rejected.inc();
     return std::nullopt;
   }
   const Question& q = message->questions.front();

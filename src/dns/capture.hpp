@@ -20,26 +20,31 @@ namespace dnsbs::dns {
 
 /// Per-capture classification tallies.  This is a thin caller-local view:
 /// the canonical series live in the process-wide metrics registry as
-/// dnsbs.capture.{packets,malformed,responses,non_ptr,non_reverse_name,
-/// accepted}, which record_from_packet bumps in lockstep with this struct.
-/// Keep the struct for cheap per-stream accounting (one capture point per
-/// stats object) where the global registry would conflate streams.
+/// dnsbs.capture.{packets,malformed,responses,rejected_query,non_ptr,
+/// non_reverse_name,accepted}, which record_from_packet bumps in lockstep
+/// with this struct.  Keep the struct for cheap per-stream accounting (one
+/// capture point per stats object) where the global registry would
+/// conflate streams.
 struct CaptureStats {
   std::uint64_t packets = 0;
   std::uint64_t malformed = 0;        ///< undecodable wire data
   std::uint64_t responses = 0;        ///< QR=1: not queries
+  std::uint64_t rejected_query = 0;   ///< decodable but opcode != QUERY or QDCOUNT != 1
   std::uint64_t non_ptr = 0;          ///< forward or non-PTR queries
   std::uint64_t non_reverse_name = 0; ///< PTR outside in-addr.arpa or partial
   std::uint64_t accepted = 0;
 
   /// Partition invariant: every packet lands in exactly one outcome
-  /// bucket, so `packets` equals the sum of the five buckets — never less
+  /// bucket, so `packets` equals the sum of the six buckets — never less
   /// (a dropped classification) and never more (a double count).  The fuzz
   /// harness asserts this after feeding mutated traffic, so a future
   /// classification path that forgets (or double-counts) a bucket is
-  /// caught immediately.
+  /// caught immediately.  `malformed` is reserved for wire data the codec
+  /// cannot decode; well-formed packets the sensor's policy declines
+  /// (non-QUERY opcodes, multi-question messages) land in rejected_query.
   bool consistent() const noexcept {
-    return packets == malformed + responses + non_ptr + non_reverse_name + accepted;
+    return packets == malformed + responses + rejected_query + non_ptr +
+                          non_reverse_name + accepted;
   }
 };
 

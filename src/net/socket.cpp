@@ -1,0 +1,226 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace dnsbs::net {
+
+namespace {
+
+bool fill_addr(std::string_view host, std::uint16_t port, sockaddr_in& out,
+               std::string* error) {
+  std::memset(&out, 0, sizeof(out));
+  out.sin_family = AF_INET;
+  out.sin_port = htons(port);
+  const std::string host_z(host);  // inet_pton needs a NUL terminator
+  if (inet_pton(AF_INET, host_z.c_str(), &out.sin_addr) != 1) {
+    if (error != nullptr) *error = "bad IPv4 address: " + host_z;
+    return false;
+  }
+  return true;
+}
+
+/// poll() for readability; true when a read won't block.
+bool wait_readable(int fd, int timeout_ms) {
+  pollfd p{fd, POLLIN, 0};
+  for (;;) {
+    const int rc = ::poll(&p, 1, timeout_ms);
+    if (rc > 0) return (p.revents & (POLLIN | POLLHUP | POLLERR)) != 0;
+    if (rc == 0) return false;  // timeout
+    if (errno != EINTR) return false;
+  }
+}
+
+std::uint16_t bound_port(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) return 0;
+  return ntohs(addr.sin_port);
+}
+
+}  // namespace
+
+Socket::~Socket() { close(); }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool UdpSocket::bind(std::string_view bind_addr, std::uint16_t port) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd_ < 0) {
+    error_ = std::strerror(errno);
+    return false;
+  }
+  // Absorb intake bursts in the kernel queue; best-effort (the kernel may
+  // clamp to rmem_max).
+  const int rcvbuf = 4 * 1024 * 1024;
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+  sockaddr_in addr{};
+  if (!fill_addr(bind_addr, port, addr, &error_)) {
+    close();
+    return false;
+  }
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    error_ = std::strerror(errno);
+    close();
+    return false;
+  }
+  return true;
+}
+
+std::uint16_t UdpSocket::local_port() const { return valid() ? bound_port(fd_) : 0; }
+
+bool UdpSocket::send_to(std::string_view host, std::uint16_t port, const void* data,
+                        std::size_t len) {
+  if (!valid()) {
+    close();
+    fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+    if (fd_ < 0) {
+      error_ = std::strerror(errno);
+      return false;
+    }
+  }
+  sockaddr_in addr{};
+  if (!fill_addr(host, port, addr, &error_)) return false;
+  const ssize_t sent = ::sendto(fd_, data, len, 0, reinterpret_cast<sockaddr*>(&addr),
+                                sizeof(addr));
+  if (sent != static_cast<ssize_t>(len)) {
+    error_ = std::strerror(errno);
+    return false;
+  }
+  return true;
+}
+
+std::optional<std::size_t> UdpSocket::recv_from(void* buf, std::size_t cap,
+                                                int timeout_ms, DatagramSource* source) {
+  if (!valid() || !wait_readable(fd_, timeout_ms)) return std::nullopt;
+  sockaddr_in from{};
+  socklen_t from_len = sizeof(from);
+  const ssize_t n =
+      ::recvfrom(fd_, buf, cap, 0, reinterpret_cast<sockaddr*>(&from), &from_len);
+  if (n < 0) {
+    error_ = std::strerror(errno);
+    return std::nullopt;
+  }
+  if (source != nullptr) {
+    source->addr = IPv4Addr(ntohl(from.sin_addr.s_addr));
+    source->port = ntohs(from.sin_port);
+  }
+  return static_cast<std::size_t>(n);
+}
+
+std::optional<TcpStream> TcpStream::connect(std::string_view host, std::uint16_t port,
+                                            int timeout_ms) {
+  (void)timeout_ms;  // loopback connects complete immediately; keep blocking
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return std::nullopt;
+  sockaddr_in addr{};
+  if (!fill_addr(host, port, addr, nullptr) ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  return TcpStream(fd);
+}
+
+bool TcpStream::write_all(const void* data, std::size_t len) {
+  const char* p = static_cast<const char*>(data);
+  std::size_t left = len;
+  while (left > 0) {
+    const ssize_t n = ::send(fd_, p, left, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool TcpStream::read_exact(void* buf, std::size_t len, int timeout_ms) {
+  char* p = static_cast<char*>(buf);
+  std::size_t left = len;
+  while (left > 0) {
+    if (!wait_readable(fd_, timeout_ms)) return false;
+    const ssize_t n = ::recv(fd_, p, left, 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;  // EOF or error
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::optional<std::string> TcpStream::read_line(int timeout_ms, std::size_t max_len) {
+  std::string line;
+  char c = 0;
+  while (line.size() < max_len) {
+    if (!read_exact(&c, 1, timeout_ms)) return std::nullopt;
+    if (c == '\n') {
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    line.push_back(c);
+  }
+  return std::nullopt;
+}
+
+bool TcpListener::listen(std::string_view bind_addr, std::uint16_t port, int backlog) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    error_ = std::strerror(errno);
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  if (!fill_addr(bind_addr, port, addr, &error_)) {
+    close();
+    return false;
+  }
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd_, backlog) != 0) {
+    error_ = std::strerror(errno);
+    close();
+    return false;
+  }
+  return true;
+}
+
+std::uint16_t TcpListener::local_port() const { return valid() ? bound_port(fd_) : 0; }
+
+std::optional<TcpStream> TcpListener::accept(int timeout_ms) {
+  if (!valid() || !wait_readable(fd_, timeout_ms)) return std::nullopt;
+  const int fd = ::accept(fd_, nullptr, nullptr);
+  if (fd < 0) {
+    error_ = std::strerror(errno);
+    return std::nullopt;
+  }
+  return TcpStream(fd);
+}
+
+}  // namespace dnsbs::net

@@ -1,0 +1,409 @@
+#include "serve/daemon.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ctime>
+#include <fstream>
+#include <sstream>
+
+#include "core/feature_vector.hpp"
+#include "dns/capture.hpp"
+#include "util/log.hpp"
+#include "util/metrics.hpp"
+#include "util/strings.hpp"
+
+namespace dnsbs::serve {
+
+namespace {
+
+// Socket-side and operational tallies depend on kernel scheduling and on
+// where restarts land, so they are sched series.  packets/bad_stamp count
+// the drive thread's in-order processing — pure functions of the stream —
+// and stay in the deterministic view.
+util::MetricCounter& g_udp =
+    util::metrics_counter("dnsbs.serve.udp_datagrams", /*sched=*/true);
+util::MetricCounter& g_frames =
+    util::metrics_counter("dnsbs.serve.tcp_frames", /*sched=*/true);
+util::MetricCounter& g_dropped =
+    util::metrics_counter("dnsbs.serve.queue_dropped", /*sched=*/true);
+util::MetricCounter& g_checkpoints =
+    util::metrics_counter("dnsbs.serve.checkpoints", /*sched=*/true);
+util::MetricCounter& g_control =
+    util::metrics_counter("dnsbs.serve.control_requests", /*sched=*/true);
+util::MetricCounter& g_packets = util::metrics_counter("dnsbs.serve.packets");
+util::MetricCounter& g_bad_stamp = util::metrics_counter("dnsbs.serve.bad_stamp");
+
+constexpr std::size_t kStampHeader = 12;  // 8B LE seconds + 4B LE querier
+constexpr std::size_t kMaxDatagram = 65535;
+constexpr int kPollMs = 100;
+
+std::uint64_t read_le64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint32_t read_le32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::string hex_double(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+}  // namespace
+
+ServeDaemon::ServeDaemon(ServeConfig config, const netdb::AsDb& as_db,
+                         const netdb::GeoDb& geo_db, const core::QuerierResolver& resolver)
+    : config_(std::move(config)),
+      as_db_(as_db),
+      geo_db_(geo_db),
+      resolver_(resolver),
+      queue_(config_.queue_capacity) {
+  pipeline_ = std::make_unique<analysis::WindowedPipeline>(config_.pipeline, as_db_,
+                                                           geo_db_, resolver_);
+  driver_ = std::make_unique<analysis::StreamingWindowDriver>(
+      config_.streaming, *pipeline_, as_db_, geo_db_, resolver_);
+}
+
+ServeDaemon::~ServeDaemon() {
+  request_stop();
+  wait();
+}
+
+bool ServeDaemon::start(std::string& error) {
+  if (started_) {
+    error = "daemon already started";
+    return false;
+  }
+  if (!udp_.bind(config_.bind, config_.udp_port)) {
+    error = "udp bind: " + udp_.last_error();
+    return false;
+  }
+  if (config_.tcp && !tcp_listener_.listen(config_.bind, config_.tcp_port)) {
+    error = "tcp listen: " + tcp_listener_.last_error();
+    return false;
+  }
+  if (!status_listener_.listen(config_.bind, config_.status_port)) {
+    error = "status listen: " + status_listener_.last_error();
+    return false;
+  }
+
+  if (config_.restore) {
+    std::ifstream in(config_.checkpoint_path, std::ios::binary);
+    if (!in || !driver_->restore(in)) {
+      error = "checkpoint restore failed: " + config_.checkpoint_path;
+      return false;
+    }
+    // The previous incarnation already wrote summaries for every window it
+    // closed; windows_out is append-mode, so pick up where it stopped.
+    summaries_written_ = driver_->windows_closed();
+    util::log_info("serve",
+                   util::format("restored checkpoint %s: %llu windows closed, "
+                                "%zu open, stream_time=%lld",
+                                config_.checkpoint_path.c_str(),
+                                static_cast<unsigned long long>(driver_->windows_closed()),
+                                driver_->open_windows(),
+                                static_cast<long long>(driver_->stream_time().secs())));
+  }
+  if (config_.checkpoint_every_secs > 0) {
+    next_cadence_checkpoint_ = driver_->stream_time().secs() + config_.checkpoint_every_secs;
+  }
+
+  if (!config_.ready_file.empty()) {
+    std::ofstream ready(config_.ready_file, std::ios::trunc);
+    ready << "udp=" << udp_port() << " tcp=" << tcp_port() << " status=" << status_port()
+          << "\n";
+  }
+  util::log_info("serve", util::format("listening udp=%u tcp=%u status=%u stamped=%s",
+                                       static_cast<unsigned>(udp_port()),
+                                       static_cast<unsigned>(tcp_port()),
+                                       static_cast<unsigned>(status_port()),
+                                       config_.stamped ? "yes" : "no"));
+
+  started_ = true;
+  udp_thread_ = std::thread([this] { udp_loop(); });
+  if (config_.tcp) tcp_thread_ = std::thread([this] { tcp_loop(); });
+  status_thread_ = std::thread([this] { status_loop(); });
+  drive_thread_ = std::thread([this] { drive_loop(); });
+  return true;
+}
+
+void ServeDaemon::request_stop() {
+  stop_.store(true);
+  queue_.close();
+}
+
+void ServeDaemon::wait() {
+  for (std::thread* t : {&udp_thread_, &tcp_thread_, &status_thread_, &drive_thread_}) {
+    if (t->joinable()) t->join();
+  }
+}
+
+void ServeDaemon::udp_loop() {
+  std::vector<std::uint8_t> buf(kMaxDatagram);
+  while (!stop_.load()) {
+    net::DatagramSource source;
+    const auto n = udp_.recv_from(buf.data(), buf.size(), kPollMs, &source);
+    if (!n) continue;
+    g_udp.inc();
+    RawPacket packet;
+    packet.bytes.assign(buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(*n));
+    packet.wall_secs = static_cast<std::int64_t>(::time(nullptr));
+    packet.source = source.addr;
+    if (!queue_.try_push(std::move(packet))) g_dropped.inc();
+  }
+}
+
+void ServeDaemon::tcp_loop() {
+  while (!stop_.load()) {
+    auto stream = tcp_listener_.accept(kPollMs);
+    if (!stream) continue;
+    tcp_active_.fetch_add(1);
+    serve_tcp_connection(std::move(*stream));
+    tcp_active_.fetch_sub(1);
+  }
+}
+
+void ServeDaemon::serve_tcp_connection(net::TcpStream stream) {
+  // Length-prefixed frames: u16 big-endian payload size, then the payload
+  // (same framing as DNS-over-TCP, RFC 1035 §4.2.2).  Blocking push: a
+  // full queue stalls the peer instead of dropping — replay is lossless.
+  while (!stop_.load()) {
+    std::uint8_t len_buf[2];
+    if (!stream.read_exact(len_buf, 2, kPollMs * 50)) return;  // EOF / idle peer
+    const std::size_t len = (static_cast<std::size_t>(len_buf[0]) << 8) | len_buf[1];
+    RawPacket packet;
+    packet.bytes.resize(len);
+    if (len > 0 && !stream.read_exact(packet.bytes.data(), len, kPollMs * 50)) return;
+    g_frames.inc();
+    packet.wall_secs = static_cast<std::int64_t>(::time(nullptr));
+    if (!queue_.push(std::move(packet))) return;
+  }
+}
+
+void ServeDaemon::status_loop() {
+  while (!stop_.load()) {
+    auto stream = status_listener_.accept(kPollMs);
+    if (!stream) continue;
+    // One command per line; connection stays open for more until the peer
+    // hangs up.
+    while (!stop_.load()) {
+      auto line = stream->read_line(kPollMs * 50);
+      if (!line) break;
+      g_control.inc();
+      auto request = std::make_unique<ControlRequest>();
+      request->command = *line;
+      auto reply = request->reply.get_future();
+      {
+        std::lock_guard<std::mutex> lock(control_mutex_);
+        control_requests_.push_back(std::move(request));
+      }
+      const std::string answer = reply.get() + "\n";
+      if (!stream->write_all(answer.data(), answer.size())) break;
+      if (*line == "SHUTDOWN") break;
+    }
+  }
+}
+
+void ServeDaemon::drive_loop() {
+  std::vector<RawPacket> batch;
+  while (true) {
+    service_control();
+    if (stop_.load()) break;
+    batch.clear();
+    const std::size_t n = queue_.pop_batch(batch, 256, 50);
+    for (const RawPacket& p : batch) process_packet(p);
+    if (n > 0) {
+      write_new_window_summaries();
+      if (config_.checkpoint_every_secs > 0 && !config_.checkpoint_path.empty() &&
+          driver_->stream_time().secs() >= next_cadence_checkpoint_) {
+        std::string why;
+        if (!write_checkpoint(why)) {
+          util::log_warn("serve", util::format("cadence checkpoint failed: %s",
+                                               why.c_str()));
+        }
+        next_cadence_checkpoint_ =
+            driver_->stream_time().secs() + config_.checkpoint_every_secs;
+      }
+    }
+  }
+  // Answer any control request that raced the stop flag so no client
+  // blocks on a dead promise.
+  service_control();
+}
+
+void ServeDaemon::process_packet(const RawPacket& packet) {
+  g_packets.inc();
+  std::span<const std::uint8_t> payload(packet.bytes);
+  util::SimTime time = util::SimTime::seconds(packet.wall_secs);
+  net::IPv4Addr querier = packet.source;
+  if (config_.stamped) {
+    if (payload.size() < kStampHeader) {
+      g_bad_stamp.inc();
+      return;
+    }
+    time = util::SimTime::seconds(static_cast<std::int64_t>(read_le64(payload.data())));
+    querier = net::IPv4Addr(read_le32(payload.data() + 8));
+    payload = payload.subspan(kStampHeader);
+  }
+  const auto record = dns::record_from_packet(payload, time, querier, capture_stats_);
+  if (record) driver_->offer(*record);
+}
+
+void ServeDaemon::service_control() {
+  std::vector<std::unique_ptr<ControlRequest>> pending;
+  {
+    std::lock_guard<std::mutex> lock(control_mutex_);
+    pending.swap(control_requests_);
+  }
+  for (auto& request : pending) {
+    request->reply.set_value(handle_control(request->command));
+  }
+}
+
+std::string ServeDaemon::handle_control(const std::string& command) {
+  if (command == "PING") return "PONG";
+  if (command == "STATS") return stats_json();
+  if (command == "FLUSH") {
+    drain_intake();
+    driver_->flush();
+    write_new_window_summaries();
+    return "OK flushed";
+  }
+  if (command == "CHECKPOINT") {
+    drain_intake();
+    std::string why;
+    if (!write_checkpoint(why)) return "ERR " + why;
+    return "OK " + config_.checkpoint_path;
+  }
+  if (command == "SHUTDOWN") {
+    // Stop WITHOUT flushing: open windows stay resumable from the last
+    // checkpoint (flushing here would emit windows the restarted process
+    // would then emit again).
+    request_stop();
+    return "OK shutting down";
+  }
+  return "ERR unknown command: " + command;
+}
+
+void ServeDaemon::drain_intake() {
+  // Quiesce the intake path so the checkpoint captures every record the
+  // senders consider delivered: keep processing while an intake
+  // connection is open or the queue is non-empty.  Bounded patience (5 s
+  // of silence) so a stuck peer cannot wedge the control socket.
+  std::vector<RawPacket> batch;
+  int idle_rounds = 0;
+  while (idle_rounds < 100) {
+    batch.clear();
+    const std::size_t n = queue_.pop_batch(batch, 256, 50);
+    for (const RawPacket& p : batch) process_packet(p);
+    if (n > 0) {
+      idle_rounds = 0;
+      continue;
+    }
+    if (tcp_active_.load() == 0 && queue_.size() == 0) break;
+    ++idle_rounds;
+  }
+  write_new_window_summaries();
+}
+
+bool ServeDaemon::write_checkpoint(std::string& why) {
+  if (config_.checkpoint_path.empty()) {
+    why = "no checkpoint path configured";
+    return false;
+  }
+  const std::string tmp = config_.checkpoint_path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out || !driver_->save(out)) {
+      why = "write failed: " + tmp;
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), config_.checkpoint_path.c_str()) != 0) {
+    why = "rename failed: " + config_.checkpoint_path;
+    return false;
+  }
+  g_checkpoints.inc();
+  util::log_info("serve", util::format("checkpoint written: %s (stream_time=%lld)",
+                                       config_.checkpoint_path.c_str(),
+                                       static_cast<long long>(
+                                           driver_->stream_time().secs())));
+  return true;
+}
+
+std::string ServeDaemon::stats_json() const {
+  // The control protocol is one line per reply, so the metrics dump (whose
+  // serializer pretty-prints) must be flattened before it ships.
+  std::string metrics = util::metrics_snapshot().to_json();
+  std::erase(metrics, '\n');
+  std::ostringstream out;
+  out << "{\"stream_time\":" << driver_->stream_time().secs()
+      << ",\"open_windows\":" << driver_->open_windows()
+      << ",\"windows_closed\":" << driver_->windows_closed()
+      << ",\"late_records\":" << driver_->late_records()
+      << ",\"queue_depth\":" << queue_.size() << ",\"capture\":{\"packets\":"
+      << capture_stats_.packets << ",\"accepted\":" << capture_stats_.accepted
+      << ",\"malformed\":" << capture_stats_.malformed
+      << ",\"responses\":" << capture_stats_.responses
+      << ",\"rejected_query\":" << capture_stats_.rejected_query
+      << ",\"non_ptr\":" << capture_stats_.non_ptr
+      << ",\"non_reverse_name\":" << capture_stats_.non_reverse_name
+      << "},\"metrics\":" << metrics << "}";
+  return out.str();
+}
+
+void ServeDaemon::write_new_window_summaries() {
+  if (config_.windows_out.empty()) {
+    summaries_written_ = driver_->windows_closed();
+    return;
+  }
+  if (driver_->windows_closed() <= summaries_written_) return;
+  const auto& results = pipeline_->results();
+  const auto& observations = pipeline_->observations();
+  std::ofstream out(config_.windows_out, std::ios::app);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const analysis::WindowResult& r = results[i];
+    if (r.index < summaries_written_) continue;
+    out << "window " << r.index << " start=" << r.start.secs() << " end=" << r.end.secs()
+        << "\n";
+    const auto& features = observations[i].features;
+    out << "features " << features.size() << "\n";
+    for (const core::FeatureVector& fv : features) {
+      out << "row " << fv.originator.to_string() << " footprint=" << fv.footprint;
+      for (const double v : fv.statics) out << ' ' << hex_double(v);
+      for (const double v : fv.dynamics) out << ' ' << hex_double(v);
+      out << "\n";
+    }
+    // unordered_map iteration order is not deterministic; sort by address.
+    std::vector<std::pair<net::IPv4Addr, core::AppClass>> classes(r.classes.begin(),
+                                                                  r.classes.end());
+    std::sort(classes.begin(), classes.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    out << "classes " << classes.size() << "\n";
+    const auto& names = core::app_class_names();
+    for (const auto& [addr, cls] : classes) {
+      const auto footprint = r.footprints.find(addr);
+      out << "class " << addr.to_string() << ' ' << names[static_cast<std::size_t>(cls)]
+          << " footprint=" << (footprint != r.footprints.end() ? footprint->second : 0)
+          << "\n";
+    }
+    const util::MetricsSnapshot det = r.metrics_delta.deterministic_view();
+    out << "metrics " << det.values.size() << "\n";
+    for (const util::MetricValue& v : det.values) {
+      out << "metric " << v.name << '='
+          << (v.kind == util::MetricKind::kGauge ? v.gauge
+                                                 : static_cast<std::int64_t>(v.count))
+          << "\n";
+    }
+    out << "end\n";
+    summaries_written_ = r.index + 1;
+  }
+}
+
+}  // namespace dnsbs::serve

@@ -1,0 +1,141 @@
+// The dnsbs_serve daemon: live DNS backscatter intake over real sockets.
+//
+// Layout (one process, four threads):
+//
+//   udp thread    recvfrom() -> RawPacket -> try_push (drop + count when full)
+//   tcp thread    accept(); length-prefixed frames -> blocking push (lossless)
+//   status thread accept(); line commands (STATS/CHECKPOINT/FLUSH/SHUTDOWN/PING)
+//                 forwarded to the drive thread, reply written back
+//   drive thread  pops packet batches, decodes via dns::record_from_packet,
+//                 offers records to the StreamingWindowDriver (which owns
+//                 window open/close against the WindowedPipeline), writes
+//                 window summaries, services control requests, checkpoints
+//
+// Determinism: everything that feeds deterministic metric series — packet
+// decode, dedup/aggregate ingest, window close — runs on the single drive
+// thread in arrival order, so a replayed stream produces byte-identical
+// windows.  Socket-side tallies (datagrams seen, queue drops, frames) are
+// sched-flagged: they depend on kernel timing, not on the stream.
+//
+// Timestamps: with `stamped` framing each payload carries its own stream
+// time and querier ([8B LE seconds][4B LE querier IPv4][DNS message]),
+// making replays self-clocking and loss-free over TCP — the mode the
+// checkpoint/restart byte-identity contract is verified in.  Without it,
+// the record time is the wall clock at receipt and the querier is the
+// datagram's source address (live capture mode; inherently not
+// replay-deterministic).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/streaming.hpp"
+#include "dns/capture.hpp"
+#include "net/socket.hpp"
+#include "serve/intake.hpp"
+
+namespace dnsbs::serve {
+
+struct ServeConfig {
+  std::string bind = "127.0.0.1";
+  std::uint16_t udp_port = 0;     ///< 0 = ephemeral
+  bool tcp = false;
+  std::uint16_t tcp_port = 0;     ///< 0 = ephemeral
+  std::uint16_t status_port = 0;  ///< control socket; 0 = ephemeral
+  bool stamped = false;           ///< replay framing (see header comment)
+  std::size_t queue_capacity = 65536;
+  analysis::StreamingConfig streaming;
+  analysis::WindowedPipelineConfig pipeline;
+  std::string checkpoint_path;     ///< target of CHECKPOINT (and cadence saves)
+  bool restore = false;            ///< load checkpoint_path before starting
+  std::int64_t checkpoint_every_secs = 0;  ///< stream-time cadence; 0 = manual only
+  std::string windows_out;         ///< append one summary block per closed window
+  std::string ready_file;          ///< written once listening: "udp=P tcp=P status=P"
+};
+
+class ServeDaemon {
+ public:
+  ServeDaemon(ServeConfig config, const netdb::AsDb& as_db, const netdb::GeoDb& geo_db,
+              const core::QuerierResolver& resolver);
+  ~ServeDaemon();
+
+  /// Binds every socket, restores the checkpoint when configured, then
+  /// spawns the threads.  False (with `error` set) leaves the daemon
+  /// stopped.
+  bool start(std::string& error);
+
+  /// Blocks until a SHUTDOWN command or request_stop() lands.
+  void wait();
+
+  /// Initiates shutdown from any thread: intake stops, the drive thread
+  /// finishes queued work and exits WITHOUT flushing open windows (a
+  /// checkpointed daemon must be resumable; use FLUSH first when final
+  /// windows are wanted).
+  void request_stop();
+
+  std::uint16_t udp_port() const { return udp_.local_port(); }
+  std::uint16_t tcp_port() const { return tcp_listener_.local_port(); }
+  std::uint16_t status_port() const { return status_listener_.local_port(); }
+
+  const analysis::StreamingWindowDriver* driver() const { return driver_.get(); }
+  analysis::WindowedPipeline* pipeline() { return pipeline_.get(); }
+
+ private:
+  struct RawPacket {
+    std::vector<std::uint8_t> bytes;
+    std::int64_t wall_secs = 0;
+    net::IPv4Addr source;
+  };
+  struct ControlRequest {
+    std::string command;
+    std::promise<std::string> reply;
+  };
+
+  void udp_loop();
+  void tcp_loop();
+  void serve_tcp_connection(net::TcpStream stream);
+  void status_loop();
+  void drive_loop();
+  void process_packet(const RawPacket& packet);
+  void service_control();
+  std::string handle_control(const std::string& command);
+  std::string stats_json() const;
+  bool write_checkpoint(std::string& why);
+  void drain_intake();
+  void write_new_window_summaries();
+
+  ServeConfig config_;
+  const netdb::AsDb& as_db_;
+  const netdb::GeoDb& geo_db_;
+  const core::QuerierResolver& resolver_;
+
+  std::unique_ptr<analysis::WindowedPipeline> pipeline_;
+  std::unique_ptr<analysis::StreamingWindowDriver> driver_;
+  BoundedQueue<RawPacket> queue_;
+
+  net::UdpSocket udp_;
+  net::TcpListener tcp_listener_;
+  net::TcpListener status_listener_;
+
+  std::atomic<bool> stop_{false};
+  std::atomic<int> tcp_active_{0};  ///< open intake connections (quiesce check)
+  std::mutex control_mutex_;
+  std::vector<std::unique_ptr<ControlRequest>> control_requests_;
+
+  std::thread udp_thread_;
+  std::thread tcp_thread_;
+  std::thread status_thread_;
+  std::thread drive_thread_;
+  bool started_ = false;
+
+  dns::CaptureStats capture_stats_;
+  std::uint64_t summaries_written_ = 0;
+  std::int64_t next_cadence_checkpoint_ = 0;
+};
+
+}  // namespace dnsbs::serve

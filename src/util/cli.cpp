@@ -1,0 +1,59 @@
+#include "util/cli.hpp"
+
+#include <charconv>
+#include <limits>
+
+namespace dnsbs::util {
+
+namespace {
+
+template <typename T>
+bool parse_full(std::string_view text, T& out, std::string* error) {
+  T value{};
+  const char* first = text.data();
+  const char* last = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec == std::errc::result_out_of_range) {
+    if (error != nullptr) *error = "out of range: '" + std::string(text) + "'";
+    return false;
+  }
+  if (ec != std::errc{} || text.empty()) {
+    if (error != nullptr) *error = "not a number: '" + std::string(text) + "'";
+    return false;
+  }
+  if (ptr != last) {
+    if (error != nullptr) {
+      *error = "trailing characters after number: '" + std::string(text) + "'";
+    }
+    return false;
+  }
+  out = value;
+  return true;
+}
+
+}  // namespace
+
+bool parse_u64(std::string_view text, std::uint64_t& out, std::string* error) {
+  return parse_full(text, out, error);
+}
+
+bool parse_i64(std::string_view text, std::int64_t& out, std::string* error) {
+  return parse_full(text, out, error);
+}
+
+bool parse_u16(std::string_view text, std::uint16_t& out, std::string* error) {
+  std::uint64_t wide = 0;
+  if (!parse_full(text, wide, error)) return false;
+  if (wide > std::numeric_limits<std::uint16_t>::max()) {
+    if (error != nullptr) *error = "out of range: '" + std::string(text) + "'";
+    return false;
+  }
+  out = static_cast<std::uint16_t>(wide);
+  return true;
+}
+
+bool parse_f64(std::string_view text, double& out, std::string* error) {
+  return parse_full(text, out, error);
+}
+
+}  // namespace dnsbs::util

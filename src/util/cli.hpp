@@ -1,0 +1,24 @@
+// Strict numeric parsing for command-line flags.
+//
+// The CLI used to run flag values through std::atof / std::strtoull, which
+// silently turn "abc" into 0 and "12x" into 12.  These helpers wrap
+// std::from_chars with full-consumption validation: the whole token must
+// parse, or the call fails with a message naming the offending text.  The
+// out-parameter is untouched on failure, so defaults survive.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace dnsbs::util {
+
+/// Each parser returns true and writes `out` iff `text` is entirely a
+/// valid number of the target type; otherwise `*error` (when non-null)
+/// receives a human-readable reason and `out` is left unchanged.
+bool parse_u64(std::string_view text, std::uint64_t& out, std::string* error = nullptr);
+bool parse_i64(std::string_view text, std::int64_t& out, std::string* error = nullptr);
+bool parse_u16(std::string_view text, std::uint16_t& out, std::string* error = nullptr);
+bool parse_f64(std::string_view text, double& out, std::string* error = nullptr);
+
+}  // namespace dnsbs::util

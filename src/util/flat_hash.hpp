@@ -207,6 +207,51 @@ class FlatMap {
   /// Slots currently allocated (diagnostic; 0 before the first insert).
   std::size_t capacity() const noexcept { return slots_.size(); }
 
+  // --- slot-exact checkpointing -------------------------------------------
+  //
+  // The determinism contract makes iteration order load-bearing: FP
+  // reductions over these containers are byte-identical only because the
+  // slot layout is.  Re-inserting entries in iteration order does NOT
+  // reproduce the layout (probe chains that wrapped past slot 0 re-insert
+  // without the earlier collisions that displaced them), so checkpoints
+  // serialize the physical slot array and restore it verbatim.
+
+  /// Visits every occupied slot as fn(slot_index, key, value), in slot
+  /// order.
+  template <typename Fn>
+  void for_each_slot(Fn&& fn) const {
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (used_[i]) fn(i, slots_[i].first, slots_[i].second);
+    }
+  }
+
+  /// Re-allocates the slot array at exactly `cap` (0 or a power of two
+  /// >= 16), empty.  Returns false on an invalid capacity.
+  bool restore_layout(std::size_t cap) {
+    // Any power-of-two capacity is reachable (reserve() can produce tables
+    // smaller than the growth path's 16-slot floor), so only reject
+    // non-power-of-two garbage.
+    if (cap != 0 && (cap & (cap - 1)) != 0) return false;
+    slots_.assign(cap, value_type{});
+    used_.assign(cap, 0);
+    size_ = 0;
+    return true;
+  }
+
+  /// Places an entry into slot `i` of a restore_layout()ed map.  The caller
+  /// replays slots captured by for_each_slot on an identical container, so
+  /// no probing happens here.  Returns false on an out-of-range or occupied
+  /// slot.
+  template <typename VArg>
+  bool place(std::size_t i, const K& key, VArg&& value) {
+    if (i >= slots_.size() || used_[i]) return false;
+    slots_[i].first = key;
+    slots_[i].second = V(std::forward<VArg>(value));
+    used_[i] = 1;
+    ++size_;
+    return true;
+  }
+
  private:
   static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 
@@ -279,6 +324,16 @@ class FlatSet {
   bool erase(const K& key) noexcept { return map_.erase(key); }
 
   void merge_from(FlatSet&& other) { map_.merge_from(std::move(other.map_)); }
+
+  std::size_t capacity() const noexcept { return map_.capacity(); }
+
+  /// Slot-exact checkpointing (see FlatMap): fn(slot_index, key).
+  template <typename Fn>
+  void for_each_slot(Fn&& fn) const {
+    map_.for_each_slot([&fn](std::size_t i, const K& key, const Empty&) { fn(i, key); });
+  }
+  bool restore_layout(std::size_t cap) { return map_.restore_layout(cap); }
+  bool place(std::size_t i, const K& key) { return map_.place(i, key, Empty{}); }
 
   class const_iterator {
    public:

@@ -39,7 +39,8 @@ TEST(CaptureIntegration, PacketPathMatchesLogPath) {
     captured.ingest(*recovered);
   }
   EXPECT_EQ(stats.accepted, records.size());
-  EXPECT_EQ(stats.malformed + stats.responses + stats.non_ptr + stats.non_reverse_name,
+  EXPECT_EQ(stats.malformed + stats.responses + stats.rejected_query + stats.non_ptr +
+                stats.non_reverse_name,
             0u);
 
   const auto captured_features = captured.extract_features();

@@ -76,12 +76,27 @@ TEST(Capture, RejectsMalformedBytes) {
 }
 
 TEST(Capture, RejectsMultiQuestionPackets) {
+  // Decodes fine, so the policy bucket takes it — `malformed` stays
+  // reserved for undecodable wire data.
   CaptureStats stats;
   Message m = Message::ptr_query(1, kOriginator);
   m.questions.push_back(m.questions.front());
   EXPECT_FALSE(
       record_from_packet(encode(m), util::SimTime::seconds(0), kSource, stats));
-  EXPECT_EQ(stats.malformed, 1u);
+  EXPECT_EQ(stats.rejected_query, 1u);
+  EXPECT_EQ(stats.malformed, 0u);
+  EXPECT_TRUE(stats.consistent());
+}
+
+TEST(Capture, RejectsNonQueryOpcodes) {
+  CaptureStats stats;
+  Message m = Message::ptr_query(1, kOriginator);
+  m.opcode = 2;  // STATUS: decodable, but not a plain query
+  EXPECT_FALSE(
+      record_from_packet(encode(m), util::SimTime::seconds(0), kSource, stats));
+  EXPECT_EQ(stats.rejected_query, 1u);
+  EXPECT_EQ(stats.malformed, 0u);
+  EXPECT_TRUE(stats.consistent());
 }
 
 TEST(Capture, StatsAccumulateAcrossPackets) {

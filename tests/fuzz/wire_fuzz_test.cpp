@@ -187,6 +187,11 @@ TEST_P(WireFuzz, CaptureClassifiesEveryMutatedPacketExactlyOnce) {
     ASSERT_TRUE(stats.consistent()) << "seed=" << GetParam() << " trial=" << trial;
   }
   EXPECT_EQ(stats.packets, 500u);
+  // Spell the six-way partition out (consistent() must agree with it):
+  // decodable-but-rejected queries have their own bucket, distinct from
+  // undecodable `malformed` bytes.
+  EXPECT_EQ(stats.packets, stats.malformed + stats.responses + stats.rejected_query +
+                               stats.non_ptr + stats.non_reverse_name + stats.accepted);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, WireFuzz,

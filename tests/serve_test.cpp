@@ -1,0 +1,768 @@
+// Streaming daemon stack: CLI parsing regressions, the bounded intake
+// queue, StreamingWindowDriver vs the batch pipeline as an oracle, the
+// checkpoint/restore byte-identity contract, and a loopback integration
+// run of the full ServeDaemon (sockets, stamped framing, control
+// protocol).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/streaming.hpp"
+#include "cli_options.hpp"
+#include "dns/capture.hpp"
+#include "labeling/ground_truth.hpp"
+#include "net/socket.hpp"
+#include "serve/daemon.hpp"
+#include "serve/intake.hpp"
+#include "util/binio.hpp"
+#include "util/fuzz.hpp"
+
+namespace dnsbs {
+namespace {
+
+using dns::QueryRecord;
+using dns::RCode;
+using net::IPv4Addr;
+using util::SimTime;
+
+// ---- CLI parsing regressions -------------------------------------------
+
+bool parse_args(std::vector<std::string> args, cli::Options& opt, std::string& error) {
+  std::vector<char*> argv;
+  argv.push_back(const_cast<char*>("dnsbs"));
+  for (std::string& a : args) argv.push_back(a.data());
+  return cli::parse(static_cast<int>(argv.size()), argv.data(), opt, error);
+}
+
+TEST(CliParse, TrailingFlagWithoutValueIsAnError) {
+  // Used to be silently ignored: `dnsbs serve --window` just dropped the
+  // flag and ran with the default.
+  cli::Options opt;
+  std::string error;
+  EXPECT_FALSE(parse_args({"serve", "--window"}, opt, error));
+  EXPECT_NE(error.find("flag requires a value: --window"), std::string::npos) << error;
+}
+
+TEST(CliParse, PartialNumericIsAnError) {
+  // Used to be truncated: atof/strtoull turned "12x" into 12.
+  cli::Options opt;
+  std::string error;
+  EXPECT_FALSE(parse_args({"serve", "--window", "12x"}, opt, error));
+  EXPECT_NE(error.find("--window"), std::string::npos) << error;
+  EXPECT_EQ(opt.window_secs, 86400) << "default must survive a failed parse";
+
+  EXPECT_FALSE(parse_args({"generate", "--scale", "abc"}, opt, error));
+  EXPECT_NE(error.find("--scale"), std::string::npos) << error;
+}
+
+TEST(CliParse, PortOutOfRangeIsAnError) {
+  cli::Options opt;
+  std::string error;
+  EXPECT_FALSE(parse_args({"serve", "--udp-port", "70000"}, opt, error));
+  EXPECT_FALSE(parse_args({"serve", "--udp-port", "-1"}, opt, error));
+  EXPECT_EQ(opt.udp_port, 0);
+}
+
+TEST(CliParse, UnknownFlagIsAnError) {
+  cli::Options opt;
+  std::string error;
+  EXPECT_FALSE(parse_args({"serve", "--no-such-flag", "1"}, opt, error));
+  EXPECT_NE(error.find("unknown flag: --no-such-flag"), std::string::npos) << error;
+}
+
+TEST(CliParse, FullServeCommandLine) {
+  cli::Options opt;
+  std::string error;
+  ASSERT_TRUE(parse_args({"serve", "--udp-port", "9000", "--tcp-port", "9001", "--stamped",
+                          "--window", "3600", "--hop", "600", "--checkpoint", "/tmp/ck",
+                          "--restore", "--queue", "128", "--windows-out", "/tmp/w"},
+                         opt, error))
+      << error;
+  EXPECT_EQ(opt.command, "serve");
+  EXPECT_EQ(opt.udp_port, 9000);
+  EXPECT_TRUE(opt.tcp) << "--tcp-port implies the TCP listener";
+  EXPECT_EQ(opt.tcp_port, 9001);
+  EXPECT_TRUE(opt.stamped);
+  EXPECT_EQ(opt.window_secs, 3600);
+  EXPECT_EQ(opt.hop_secs, 600);
+  EXPECT_EQ(opt.checkpoint_path, "/tmp/ck");
+  EXPECT_TRUE(opt.restore);
+  EXPECT_EQ(opt.queue_capacity, 128u);
+  EXPECT_EQ(opt.windows_out, "/tmp/w");
+}
+
+TEST(CliParse, StrictNumericHelpers) {
+  std::uint64_t u = 7;
+  std::string why;
+  EXPECT_TRUE(util::parse_u64("42", u, &why));
+  EXPECT_EQ(u, 42u);
+  EXPECT_FALSE(util::parse_u64("42z", u, &why));
+  EXPECT_EQ(u, 42u) << "out-parameter untouched on failure";
+  EXPECT_FALSE(util::parse_u64("", u, &why));
+  EXPECT_FALSE(util::parse_u64("99999999999999999999999", u, &why));
+
+  std::int64_t i = 0;
+  EXPECT_TRUE(util::parse_i64("-5", i, &why));
+  EXPECT_EQ(i, -5);
+
+  double d = 0;
+  EXPECT_TRUE(util::parse_f64("0.25", d, &why));
+  EXPECT_EQ(d, 0.25);
+  EXPECT_FALSE(util::parse_f64("0.25x", d, &why));
+}
+
+// ---- bounded intake queue ----------------------------------------------
+
+TEST(BoundedQueue, TryPushDropsWhenFull) {
+  serve::BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));  // full: UDP-style drop
+  std::vector<int> out;
+  EXPECT_EQ(q.pop_batch(out, 10, 0), 2u);
+  EXPECT_EQ(out, (std::vector<int>{1, 2}));
+}
+
+TEST(BoundedQueue, BlockingPushWaitsForSpace) {
+  serve::BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.try_push(1));
+  std::thread producer([&q] { EXPECT_TRUE(q.push(2)); });
+  std::vector<int> out;
+  // Drain one item; the blocked producer must then complete.
+  while (q.pop_batch(out, 1, 100) == 0) {
+  }
+  producer.join();
+  EXPECT_EQ(out.front(), 1);
+  out.clear();
+  EXPECT_EQ(q.pop_batch(out, 1, 1000), 1u);
+  EXPECT_EQ(out.front(), 2);
+}
+
+TEST(BoundedQueue, CloseRejectsProducersAndDrains) {
+  serve::BoundedQueue<int> q(4);
+  ASSERT_TRUE(q.try_push(1));
+  std::thread blocked([&q] {
+    serve::BoundedQueue<int> full(1);
+    EXPECT_TRUE(full.try_push(9));
+    full.close();
+    EXPECT_FALSE(full.push(10)) << "close() must wake and reject a blocked push";
+  });
+  blocked.join();
+  q.close();
+  EXPECT_FALSE(q.try_push(2));
+  EXPECT_FALSE(q.push(3));
+  std::vector<int> out;
+  EXPECT_EQ(q.pop_batch(out, 10, 0), 1u) << "consumer can drain after close";
+  EXPECT_EQ(q.pop_batch(out, 10, 0), 0u);
+}
+
+// ---- streaming driver fixtures -----------------------------------------
+
+IPv4Addr addr(int a, int b, int c, int d) {
+  return IPv4Addr((std::uint32_t(a) << 24) | (std::uint32_t(b) << 16) |
+                  (std::uint32_t(c) << 8) | std::uint32_t(d));
+}
+
+QueryRecord rec(std::int64_t secs, IPv4Addr querier, IPv4Addr originator) {
+  return QueryRecord{SimTime::seconds(secs), querier, originator, RCode::kNoError};
+}
+
+/// Category cycles with the querier's last octet; stable per address, as
+/// carry-forward requires.
+class CategoryResolver final : public core::QuerierResolver {
+ public:
+  core::QuerierInfo resolve(IPv4Addr querier) const override {
+    core::QuerierInfo info;
+    switch (querier.octet(3) % 4) {
+      case 0:
+        info.status = core::ResolveStatus::kOk;
+        info.name = *dns::DnsName::parse("mail.example.com");
+        break;
+      case 1:
+        info.status = core::ResolveStatus::kOk;
+        info.name = *dns::DnsName::parse("ns1.example.com");
+        break;
+      case 2:
+        info.status = core::ResolveStatus::kNxDomain;
+        break;
+      default:
+        info.status = core::ResolveStatus::kUnreachable;
+        break;
+    }
+    return info;
+  }
+};
+
+struct Dbs {
+  netdb::AsDb as_db;
+  netdb::GeoDb geo_db;
+  Dbs() {
+    as_db.add(*net::Prefix::parse("10.0.0.0/16"), 100, "as-a");
+    as_db.add(*net::Prefix::parse("10.1.0.0/16"), 200, "as-b");
+    as_db.add(*net::Prefix::parse("10.2.0.0/16"), 300, "as-c");
+    geo_db.add(*net::Prefix::parse("10.0.0.0/16"), netdb::CountryCode('j', 'p'));
+    geo_db.add(*net::Prefix::parse("10.1.0.0/16"), netdb::CountryCode('u', 's'));
+    geo_db.add(*net::Prefix::parse("10.2.0.0/16"), netdb::CountryCode('d', 'e'));
+  }
+};
+
+analysis::WindowedPipelineConfig pipeline_config() {
+  analysis::WindowedPipelineConfig pc;
+  pc.sensor.min_queriers = 4;
+  pc.forest.n_trees = 8;
+  pc.seed = 11;
+  return pc;
+}
+
+labeling::GroundTruth make_labels() {
+  labeling::GroundTruth labels;
+  labels.add(addr(192, 0, 2, 0), core::AppClass::kScan);
+  labels.add(addr(192, 0, 2, 1), core::AppClass::kScan);
+  labels.add(addr(192, 0, 2, 2), core::AppClass::kSpam);
+  labels.add(addr(192, 0, 2, 3), core::AppClass::kSpam);
+  return labels;
+}
+
+/// One 600-second block of traffic: 6 originators, footprints 4..9.
+void append_block(std::vector<QueryRecord>& out, std::int64_t start) {
+  for (int o = 0; o < 6; ++o) {
+    for (int q = 0; q < 4 + o; ++q) {
+      out.push_back(rec(start + q * 7 + o, addr(10, o % 3, q, (q * 3 + o) % 8),
+                        addr(192, 0, 2, o)));
+    }
+  }
+}
+
+/// Renders one window the way the daemon's --windows-out summaries do
+/// (hexfloat rows, address-sorted classes, deterministic metric view), so
+/// equality of the rendered strings is the byte-identity claim.
+std::string render_window(const analysis::WindowResult& r,
+                          const labeling::WindowObservation& obs, bool with_metrics) {
+  std::ostringstream out;
+  char buf[48];
+  out << "window " << r.index << " start=" << r.start.secs() << " end=" << r.end.secs()
+      << "\n";
+  out << "features " << obs.features.size() << "\n";
+  for (const core::FeatureVector& fv : obs.features) {
+    out << "row " << fv.originator.to_string() << " footprint=" << fv.footprint;
+    for (const double v : fv.statics) {
+      std::snprintf(buf, sizeof(buf), " %a", v);
+      out << buf;
+    }
+    for (const double v : fv.dynamics) {
+      std::snprintf(buf, sizeof(buf), " %a", v);
+      out << buf;
+    }
+    out << "\n";
+  }
+  std::vector<std::pair<IPv4Addr, core::AppClass>> classes(r.classes.begin(),
+                                                           r.classes.end());
+  std::sort(classes.begin(), classes.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  out << "classes " << classes.size() << "\n";
+  for (const auto& [originator, cls] : classes) {
+    const auto fp = r.footprints.find(originator);
+    out << "class " << originator.to_string() << ' ' << static_cast<int>(cls)
+        << " footprint=" << (fp != r.footprints.end() ? fp->second : 0) << "\n";
+  }
+  if (with_metrics) {
+    const util::MetricsSnapshot det = r.metrics_delta.deterministic_view();
+    for (const util::MetricValue& v : det.values) {
+      out << "metric " << v.name << '='
+          << (v.kind == util::MetricKind::kGauge ? v.gauge
+                                                 : static_cast<double>(v.count))
+          << "\n";
+    }
+  }
+  return out.str();
+}
+
+std::vector<std::string> render_all(analysis::WindowedPipeline& pipeline,
+                                    bool with_metrics) {
+  std::vector<std::string> rendered;
+  const auto& results = pipeline.results();
+  const auto& observations = pipeline.observations();
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    rendered.push_back(render_window(results[i], observations[i], with_metrics));
+  }
+  return rendered;
+}
+
+// ---- streaming driver vs batch pipeline (oracle) -----------------------
+
+TEST(StreamingDriver, TumblingWindowsMatchBatchPipeline) {
+  Dbs dbs;
+  const CategoryResolver resolver;
+  const SimTime window = SimTime::seconds(600);
+
+  // Traffic in windows 0, 1 and 3; window 2 is a silent gap the driver
+  // must still emit (empty) to keep indices and retrain seeds aligned.
+  std::vector<QueryRecord> records;
+  for (const std::int64_t w : {0, 1, 3}) append_block(records, w * 600);
+
+  analysis::WindowedPipeline batch(pipeline_config(), dbs.as_db, dbs.geo_db, resolver);
+  batch.set_labels(make_labels());
+  for (int w = 0; w < 4; ++w) {
+    std::vector<QueryRecord> in_window;
+    for (const QueryRecord& r : records) {
+      if (r.time.secs() >= w * 600 && r.time.secs() < (w + 1) * 600) {
+        in_window.push_back(r);
+      }
+    }
+    batch.process_window(in_window, SimTime::seconds(w * 600),
+                         SimTime::seconds((w + 1) * 600));
+  }
+
+  analysis::WindowedPipeline streamed(pipeline_config(), dbs.as_db, dbs.geo_db, resolver);
+  streamed.set_labels(make_labels());
+  analysis::StreamingConfig sc;
+  sc.window = window;
+  analysis::StreamingWindowDriver driver(sc, streamed, dbs.as_db, dbs.geo_db, resolver);
+  for (const QueryRecord& r : records) driver.offer(r);
+  driver.flush();
+
+  EXPECT_EQ(driver.windows_closed(), 4u);
+  EXPECT_EQ(driver.open_windows(), 0u);
+  EXPECT_EQ(driver.late_records(), 0u);
+
+  // Metric deltas legitimately differ (record-at-a-time vs bulk ingest
+  // counters), so the oracle compares windows without them.
+  const auto expect = render_all(batch, /*with_metrics=*/false);
+  const auto got = render_all(streamed, /*with_metrics=*/false);
+  ASSERT_EQ(got.size(), expect.size());
+  for (std::size_t i = 0; i < expect.size(); ++i) {
+    EXPECT_EQ(got[i], expect[i]) << "window " << i;
+  }
+  EXPECT_EQ(expect[1].find("classes 0\n"), std::string::npos)
+      << "model should be trained and classifying by window 1";
+}
+
+TEST(StreamingDriver, HoppingWindowsMatchBatchPipeline) {
+  Dbs dbs;
+  const CategoryResolver resolver;
+
+  std::vector<QueryRecord> records;
+  for (const std::int64_t w : {0, 1, 3}) append_block(records, w * 600);
+
+  // Overlapping windows: width 600, hop 300 -> every record lands in two
+  // windows, and the 900 and 1500 starts are empty or partial.
+  analysis::WindowedPipeline batch(pipeline_config(), dbs.as_db, dbs.geo_db, resolver);
+  batch.set_labels(make_labels());
+  for (std::int64_t start = 0; start <= 1800; start += 300) {
+    std::vector<QueryRecord> in_window;
+    for (const QueryRecord& r : records) {
+      if (r.time.secs() >= start && r.time.secs() < start + 600) in_window.push_back(r);
+    }
+    batch.process_window(in_window, SimTime::seconds(start), SimTime::seconds(start + 600));
+  }
+
+  analysis::WindowedPipeline streamed(pipeline_config(), dbs.as_db, dbs.geo_db, resolver);
+  streamed.set_labels(make_labels());
+  analysis::StreamingConfig sc;
+  sc.window = SimTime::seconds(600);
+  sc.hop = SimTime::seconds(300);
+  analysis::StreamingWindowDriver driver(sc, streamed, dbs.as_db, dbs.geo_db, resolver);
+  for (const QueryRecord& r : records) driver.offer(r);
+  driver.flush();
+
+  EXPECT_EQ(driver.windows_closed(), 7u);
+  const auto expect = render_all(batch, /*with_metrics=*/false);
+  const auto got = render_all(streamed, /*with_metrics=*/false);
+  ASSERT_EQ(got.size(), expect.size());
+  for (std::size_t i = 0; i < expect.size(); ++i) {
+    EXPECT_EQ(got[i], expect[i]) << "window " << i;
+  }
+}
+
+TEST(StreamingDriver, RecordOlderThanEveryOpenWindowIsLate) {
+  Dbs dbs;
+  const CategoryResolver resolver;
+  analysis::WindowedPipeline pipeline(pipeline_config(), dbs.as_db, dbs.geo_db, resolver);
+  analysis::StreamingConfig sc;
+  sc.window = SimTime::seconds(100);
+  analysis::StreamingWindowDriver driver(sc, pipeline, dbs.as_db, dbs.geo_db, resolver);
+
+  driver.offer(rec(0, addr(10, 0, 0, 1), addr(192, 0, 2, 0)));
+  driver.offer(rec(250, addr(10, 0, 0, 1), addr(192, 0, 2, 0)));  // closes w0, w1
+  EXPECT_EQ(driver.windows_closed(), 2u);
+  driver.offer(rec(50, addr(10, 0, 0, 2), addr(192, 0, 2, 0)));  // before w2's start
+  EXPECT_EQ(driver.late_records(), 1u);
+  driver.flush();
+  EXPECT_EQ(driver.windows_closed(), 3u);
+}
+
+// ---- checkpoint / restore ----------------------------------------------
+
+TEST(StreamingDriver, CheckpointRestoreIsByteIdentical) {
+  Dbs dbs;
+  const CategoryResolver resolver;
+  analysis::StreamingConfig sc;
+  sc.window = SimTime::seconds(600);
+
+  // Four contiguous windows of traffic; the checkpoint lands mid-window 2
+  // so the saved state carries a partially-filled sensor and live dedup
+  // entries, not just a window boundary.
+  std::vector<QueryRecord> records;
+  for (const std::int64_t w : {0, 1, 2, 3}) append_block(records, w * 600);
+  std::size_t split = 0;
+  while (split < records.size() && records[split].time.secs() < 1300) ++split;
+  ASSERT_GT(split, 0u);
+  ASSERT_LT(split, records.size());
+
+  // Run A: uninterrupted.
+  std::vector<std::string> expect;
+  {
+    analysis::WindowedPipeline pipeline(pipeline_config(), dbs.as_db, dbs.geo_db,
+                                        resolver);
+    pipeline.set_labels(make_labels());
+    analysis::StreamingWindowDriver driver(sc, pipeline, dbs.as_db, dbs.geo_db, resolver);
+    for (const QueryRecord& r : records) driver.offer(r);
+    driver.flush();
+    expect = render_all(pipeline, /*with_metrics=*/true);
+  }
+  ASSERT_EQ(expect.size(), 4u);
+
+  // Run B: same stream, killed mid-window-2 and restored into a fresh
+  // pipeline + driver pair.
+  std::stringstream checkpoint;
+  std::vector<std::string> got;
+  {
+    analysis::WindowedPipeline pipeline(pipeline_config(), dbs.as_db, dbs.geo_db,
+                                        resolver);
+    pipeline.set_labels(make_labels());
+    analysis::StreamingWindowDriver driver(sc, pipeline, dbs.as_db, dbs.geo_db, resolver);
+    for (std::size_t i = 0; i < split; ++i) driver.offer(records[i]);
+    EXPECT_EQ(driver.open_windows(), 1u) << "checkpoint should land mid-window";
+    ASSERT_TRUE(driver.save(checkpoint));
+    got = render_all(pipeline, /*with_metrics=*/true);  // windows closed pre-kill
+  }
+  {
+    analysis::WindowedPipeline pipeline(pipeline_config(), dbs.as_db, dbs.geo_db,
+                                        resolver);
+    pipeline.set_labels(make_labels());
+    analysis::StreamingWindowDriver driver(sc, pipeline, dbs.as_db, dbs.geo_db, resolver);
+    ASSERT_TRUE(driver.restore(checkpoint));
+    EXPECT_EQ(driver.windows_closed(), 2u);
+    EXPECT_EQ(driver.open_windows(), 1u);
+    for (std::size_t i = split; i < records.size(); ++i) driver.offer(records[i]);
+    driver.flush();
+    EXPECT_EQ(driver.windows_closed(), 4u);
+    for (std::string& s : render_all(pipeline, /*with_metrics=*/true)) {
+      got.push_back(std::move(s));
+    }
+  }
+
+  ASSERT_EQ(got.size(), expect.size());
+  for (std::size_t i = 0; i < expect.size(); ++i) {
+    EXPECT_EQ(got[i], expect[i]) << "window " << i
+                                 << " diverged across the checkpoint restart";
+  }
+}
+
+TEST(StreamingDriver, RestoreRejectsMismatchedConfig) {
+  Dbs dbs;
+  const CategoryResolver resolver;
+  analysis::StreamingConfig sc;
+  sc.window = SimTime::seconds(600);
+
+  std::stringstream checkpoint;
+  {
+    analysis::WindowedPipeline pipeline(pipeline_config(), dbs.as_db, dbs.geo_db,
+                                        resolver);
+    analysis::StreamingWindowDriver driver(sc, pipeline, dbs.as_db, dbs.geo_db, resolver);
+    driver.offer(rec(10, addr(10, 0, 0, 1), addr(192, 0, 2, 0)));
+    ASSERT_TRUE(driver.save(checkpoint));
+  }
+  {
+    analysis::WindowedPipeline pipeline(pipeline_config(), dbs.as_db, dbs.geo_db,
+                                        resolver);
+    analysis::StreamingConfig other = sc;
+    other.window = SimTime::seconds(300);
+    analysis::StreamingWindowDriver driver(other, pipeline, dbs.as_db, dbs.geo_db,
+                                           resolver);
+    EXPECT_FALSE(driver.restore(checkpoint));
+  }
+  {
+    analysis::WindowedPipeline pipeline(pipeline_config(), dbs.as_db, dbs.geo_db,
+                                        resolver);
+    analysis::StreamingWindowDriver driver(sc, pipeline, dbs.as_db, dbs.geo_db, resolver);
+    std::stringstream garbage("not a checkpoint at all");
+    EXPECT_FALSE(driver.restore(garbage));
+  }
+}
+
+// ---- component state roundtrips ----------------------------------------
+
+TEST(StateRoundtrip, DeduplicatorContinuesIdentically) {
+  core::Deduplicator a(SimTime::seconds(30));
+  for (int i = 0; i < 40; ++i) {
+    a.admit(rec(i * 3, addr(10, 0, 0, i % 5), addr(192, 0, 2, i % 7)));
+  }
+  std::stringstream state;
+  util::BinaryWriter writer(state);
+  a.save(writer);
+  ASSERT_TRUE(writer.ok());
+
+  core::Deduplicator b(SimTime::seconds(30));
+  util::BinaryReader reader(state);
+  ASSERT_TRUE(b.load(reader));
+  EXPECT_EQ(a.admitted(), b.admitted());
+  EXPECT_EQ(a.suppressed(), b.suppressed());
+  for (int i = 40; i < 90; ++i) {
+    const QueryRecord r = rec(i * 2, addr(10, 0, 0, i % 6), addr(192, 0, 2, i % 7));
+    EXPECT_EQ(a.admit(r), b.admit(r)) << "record " << i;
+  }
+  EXPECT_EQ(a.admitted(), b.admitted());
+  EXPECT_EQ(a.suppressed(), b.suppressed());
+  EXPECT_EQ(a.state_size(), b.state_size());
+}
+
+TEST(StateRoundtrip, AggregatorContinuesIdentically) {
+  core::OriginatorAggregator a;
+  for (int i = 0; i < 60; ++i) {
+    a.add(rec(i * 11, addr(10, 0, 0, i % 9), addr(192, 0, 2, i % 4)));
+  }
+  std::stringstream state;
+  util::BinaryWriter writer(state);
+  a.save(writer);
+  ASSERT_TRUE(writer.ok());
+
+  core::OriginatorAggregator b;
+  util::BinaryReader reader(state);
+  ASSERT_TRUE(b.load(reader));
+  for (int i = 60; i < 100; ++i) {
+    const QueryRecord r = rec(i * 11, addr(10, 0, 0, i % 9), addr(192, 0, 2, i % 4));
+    a.add(r);
+    b.add(r);
+  }
+  EXPECT_EQ(a.originator_count(), b.originator_count());
+  EXPECT_EQ(a.total_periods(), b.total_periods());
+  const auto tops_a = a.select_interesting(10, 0);
+  const auto tops_b = b.select_interesting(10, 0);
+  ASSERT_EQ(tops_a.size(), tops_b.size());
+  for (std::size_t i = 0; i < tops_a.size(); ++i) {
+    EXPECT_EQ(tops_a[i]->originator, tops_b[i]->originator);
+    EXPECT_EQ(tops_a[i]->unique_queriers(), tops_b[i]->unique_queriers());
+    EXPECT_EQ(tops_a[i]->total_queries, tops_b[i]->total_queries);
+    EXPECT_EQ(tops_a[i]->periods.size(), tops_b[i]->periods.size());
+  }
+}
+
+// ---- full daemon over loopback sockets ---------------------------------
+
+void append_be16(std::vector<std::uint8_t>& out, std::size_t v) {
+  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xff));
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+}
+
+/// Stamped payload: [8B LE seconds][4B LE querier IPv4][DNS message].
+std::vector<std::uint8_t> stamped_payload(std::int64_t secs, IPv4Addr querier,
+                                          const std::vector<std::uint8_t>& message) {
+  std::vector<std::uint8_t> out;
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>((static_cast<std::uint64_t>(secs) >> (8 * i)) &
+                                            0xff));
+  }
+  const std::uint32_t q = querier.value();
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>((q >> (8 * i)) & 0xff));
+  out.insert(out.end(), message.begin(), message.end());
+  return out;
+}
+
+TEST(ServeDaemon, LoopbackIntakeControlAndCheckpoint) {
+  Dbs dbs;
+  const CategoryResolver resolver;
+  const std::string dir = ::testing::TempDir();
+  const std::string windows_out = dir + "serve_windows.txt";
+  const std::string checkpoint = dir + "serve_checkpoint.bin";
+  std::remove(windows_out.c_str());
+  std::remove(checkpoint.c_str());
+
+  serve::ServeConfig cfg;
+  cfg.tcp = true;
+  cfg.stamped = true;
+  cfg.streaming.window = SimTime::seconds(100);
+  cfg.pipeline = pipeline_config();
+  cfg.pipeline.sensor.min_queriers = 3;
+  cfg.checkpoint_path = checkpoint;
+  cfg.windows_out = windows_out;
+
+  serve::ServeDaemon daemon(cfg, dbs.as_db, dbs.geo_db, resolver);
+  std::string error;
+  ASSERT_TRUE(daemon.start(error)) << error;
+  ASSERT_NE(daemon.udp_port(), 0);
+  ASSERT_NE(daemon.tcp_port(), 0);
+  ASSERT_NE(daemon.status_port(), 0);
+
+  // Replay three windows of stamped traffic over TCP (lossless framing).
+  std::uint64_t sent = 0;
+  {
+    auto stream = net::TcpStream::connect("127.0.0.1", daemon.tcp_port());
+    ASSERT_TRUE(stream.has_value());
+    std::vector<std::uint8_t> wire;
+    for (int w = 0; w < 3; ++w) {
+      for (int o = 0; o < 3; ++o) {
+        for (int q = 0; q < 4; ++q) {
+          const auto message = dns::make_ptr_query_packet(
+              static_cast<std::uint16_t>(sent & 0xffff), addr(192, 0, 2, o));
+          const auto payload =
+              stamped_payload(w * 100 + q, addr(10, 0, q, o), message);
+          wire.clear();
+          append_be16(wire, payload.size());
+          wire.insert(wire.end(), payload.begin(), payload.end());
+          ASSERT_TRUE(stream->write_all(wire.data(), wire.size()));
+          ++sent;
+        }
+      }
+    }
+    // Mutated junk with a valid stamp: must be counted, never crash, and
+    // never corrupt the partition invariant (fuzz suite covers the
+    // decoder; this exercises the live socket path).
+    util::ByteMutator mutator(2026);
+    for (int i = 0; i < 16; ++i) {
+      auto message = dns::make_ptr_query_packet(9999, addr(192, 0, 2, 9));
+      mutator.mutate_n(message, 3);
+      auto payload = stamped_payload(250 + i % 3, addr(10, 0, 9, 9), message);
+      if (payload.size() > 0xffff) payload.resize(0xffff);
+      wire.clear();
+      append_be16(wire, payload.size());
+      wire.insert(wire.end(), payload.begin(), payload.end());
+      ASSERT_TRUE(stream->write_all(wire.data(), wire.size()));
+    }
+  }  // intake connection closes -> FLUSH can quiesce immediately
+
+  // UDP junk: a stampless runt (bad_stamp) — lossy transport, so nothing
+  // downstream asserts on its arrival.
+  {
+    net::UdpSocket udp;
+    const std::uint8_t runt[3] = {1, 2, 3};
+    udp.send_to("127.0.0.1", daemon.udp_port(), runt, sizeof(runt));
+  }
+
+  auto control = net::TcpStream::connect("127.0.0.1", daemon.status_port());
+  ASSERT_TRUE(control.has_value());
+  const auto command = [&control](const std::string& cmd) -> std::string {
+    const std::string line = cmd + "\n";
+    EXPECT_TRUE(control->write_all(line.data(), line.size()));
+    auto reply = control->read_line(30000, std::size_t{1} << 20);  // STATS is long
+    EXPECT_TRUE(reply.has_value()) << cmd;
+    return reply.value_or("");
+  };
+
+  EXPECT_EQ(command("PING"), "PONG");
+  const std::string stats = command("STATS");
+  EXPECT_NE(stats.find("\"stream_time\""), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"capture\""), std::string::npos) << stats;
+  EXPECT_EQ(command("BOGUS"), "ERR unknown command: BOGUS");
+
+  EXPECT_EQ(command("FLUSH"), "OK flushed");
+  const std::string after = command("STATS");
+  EXPECT_NE(after.find("\"windows_closed\":3"), std::string::npos) << after;
+
+  EXPECT_EQ(command("CHECKPOINT"), "OK " + checkpoint);
+  EXPECT_EQ(command("SHUTDOWN"), "OK shutting down");
+  daemon.wait();
+
+  EXPECT_EQ(daemon.driver()->windows_closed(), 3u);
+  EXPECT_EQ(daemon.driver()->late_records(), 0u);
+
+  std::ifstream summaries(windows_out);
+  ASSERT_TRUE(summaries.good());
+  std::size_t window_blocks = 0, end_blocks = 0;
+  for (std::string line; std::getline(summaries, line);) {
+    if (line.rfind("window ", 0) == 0) ++window_blocks;
+    if (line == "end") ++end_blocks;
+  }
+  EXPECT_EQ(window_blocks, 3u);
+  EXPECT_EQ(end_blocks, 3u);
+
+  std::ifstream saved(checkpoint, std::ios::binary);
+  ASSERT_TRUE(saved.good());
+  saved.seekg(0, std::ios::end);
+  EXPECT_GT(saved.tellg(), 8) << "checkpoint file should hold real state";
+}
+
+TEST(ServeDaemon, RestoreFromCheckpointResumesNumbering) {
+  Dbs dbs;
+  const CategoryResolver resolver;
+  const std::string dir = ::testing::TempDir();
+  const std::string checkpoint = dir + "serve_resume.bin";
+  std::remove(checkpoint.c_str());
+
+  serve::ServeConfig cfg;
+  cfg.tcp = true;
+  cfg.stamped = true;
+  cfg.streaming.window = SimTime::seconds(100);
+  cfg.pipeline = pipeline_config();
+  cfg.pipeline.sensor.min_queriers = 3;
+  cfg.checkpoint_path = checkpoint;
+
+  const auto send_window = [&](std::uint16_t port, int w) {
+    auto stream = net::TcpStream::connect("127.0.0.1", port);
+    ASSERT_TRUE(stream.has_value());
+    std::vector<std::uint8_t> wire;
+    for (int o = 0; o < 3; ++o) {
+      for (int q = 0; q < 4; ++q) {
+        const auto message = dns::make_ptr_query_packet(
+            static_cast<std::uint16_t>((w * 16 + q) & 0xffff), addr(192, 0, 2, o));
+        const auto payload = stamped_payload(w * 100 + q, addr(10, 0, q, o), message);
+        wire.clear();
+        append_be16(wire, payload.size());
+        wire.insert(wire.end(), payload.begin(), payload.end());
+        ASSERT_TRUE(stream->write_all(wire.data(), wire.size()));
+      }
+    }
+  };
+
+  {
+    serve::ServeDaemon daemon(cfg, dbs.as_db, dbs.geo_db, resolver);
+    std::string error;
+    ASSERT_TRUE(daemon.start(error)) << error;
+    send_window(daemon.tcp_port(), 0);
+    send_window(daemon.tcp_port(), 1);
+    auto control = net::TcpStream::connect("127.0.0.1", daemon.status_port());
+    ASSERT_TRUE(control.has_value());
+    std::string line = "CHECKPOINT\n";
+    ASSERT_TRUE(control->write_all(line.data(), line.size()));
+    auto reply = control->read_line(30000);
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_EQ(*reply, "OK " + checkpoint);
+    line = "SHUTDOWN\n";
+    ASSERT_TRUE(control->write_all(line.data(), line.size()));
+    control->read_line(30000);
+    daemon.wait();
+    // Stream reached t=101..104 -> window 0 closed, window 1 still open.
+    EXPECT_EQ(daemon.driver()->windows_closed(), 1u);
+  }
+
+  serve::ServeConfig resumed = cfg;
+  resumed.restore = true;
+  serve::ServeDaemon daemon(resumed, dbs.as_db, dbs.geo_db, resolver);
+  std::string error;
+  ASSERT_TRUE(daemon.start(error)) << error;
+  EXPECT_EQ(daemon.driver()->windows_closed(), 1u);
+  EXPECT_EQ(daemon.driver()->open_windows(), 1u);
+  send_window(daemon.tcp_port(), 2);
+  auto control = net::TcpStream::connect("127.0.0.1", daemon.status_port());
+  ASSERT_TRUE(control.has_value());
+  std::string line = "FLUSH\n";
+  ASSERT_TRUE(control->write_all(line.data(), line.size()));
+  auto reply = control->read_line(30000);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(*reply, "OK flushed");
+  line = "SHUTDOWN\n";
+  ASSERT_TRUE(control->write_all(line.data(), line.size()));
+  control->read_line(30000);
+  daemon.wait();
+  EXPECT_EQ(daemon.driver()->windows_closed(), 3u);
+  EXPECT_EQ(daemon.pipeline()->results().back().index, 2u)
+      << "window numbering must continue across the restart";
+}
+
+}  // namespace
+}  // namespace dnsbs

@@ -8,6 +8,10 @@
 #   PERF=1 tools/check.sh      # Release build + throughput regression gate
 #                              # + metrics-overhead gate (ON within 2% of OFF)
 #   METRICS=0 tools/check.sh   # -DDNSBS_METRICS=OFF no-op build + full suite
+#   SERVE=1 tools/check.sh     # daemon smoke: replay a generated log into
+#                              # dnsbs_cli serve twice — once uninterrupted,
+#                              # once checkpoint+kill+restore mid-stream —
+#                              # and require byte-identical window summaries
 #
 # Extra arguments are passed straight to ctest.  Environment knobs:
 #   BUILD_DIR  build tree (default: <repo>/build-asan, build-tsan, build-perf)
@@ -81,6 +85,64 @@ if [[ "${METRICS:-1}" == "0" ]]; then
   cmake -B "$BUILD" -S "$ROOT" "${GEN[@]}" -DDNSBS_METRICS=OFF >/dev/null
   cmake --build "$BUILD" -j"$JOBS"
   exec ctest --test-dir "$BUILD" --output-on-failure -j"$JOBS" "$@"
+fi
+
+if [[ "${SERVE:-0}" == "1" ]]; then
+  # Daemon smoke: the checkpoint/restart byte-identity contract, end to
+  # end through real sockets.  One generated query log is replayed into
+  # dnsbs_cli serve twice — run A uninterrupted, run B checkpointed,
+  # SHUTDOWN mid-stream, restarted with --restore, then fed the rest —
+  # and the per-window summary files must be byte-identical.
+  BUILD="${BUILD_DIR:-$ROOT/build-serve}"
+  GEN=()
+  command -v ninja >/dev/null 2>&1 && GEN=(-G Ninja)
+  cmake -B "$BUILD" -S "$ROOT" "${GEN[@]}" -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake --build "$BUILD" -j"$JOBS" --target dnsbs_cli
+  CLI="$BUILD/tools/dnsbs_cli"
+  WORK="$(mktemp -d)"
+  # `|| true`: with set -e an empty `jobs -p` makes kill fail and abort
+  # the trap, which would both skip cleanup and turn a pass into exit 2.
+  trap 'kill $(jobs -p) 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+  WORLD=(--scenario jp --scale 0.05 --seed 7)
+  SERVE_ARGS=("${WORLD[@]}" --stamped --tcp-port 0 --window 3600 --min-queriers 5)
+  "$CLI" generate "${WORLD[@]}" --out "$WORK/query.log"
+  half=$(( $(wc -l < "$WORK/query.log") / 2 ))
+  head -n "$half" "$WORK/query.log" > "$WORK/first.log"
+  tail -n "+$((half + 1))" "$WORK/query.log" > "$WORK/second.log"
+
+  start_daemon() {  # start_daemon WINDOWS_OUT EXTRA_ARGS...
+    local windows_out="$1"; shift
+    rm -f "$WORK/ready"
+    "$CLI" serve "${SERVE_ARGS[@]}" --windows-out "$windows_out" \
+      --checkpoint "$WORK/ckpt.bin" --ready-file "$WORK/ready" "$@" &
+    DAEMON_PID=$!
+    for _ in $(seq 300); do [[ -s "$WORK/ready" ]] && break; sleep 0.1; done  # world build takes a while
+    [[ -s "$WORK/ready" ]] || { echo "daemon did not come up"; exit 1; }
+    TCP_PORT=$(sed 's/.*tcp=\([0-9]*\).*/\1/' "$WORK/ready")
+    STATUS_PORT=$(sed 's/.*status=\([0-9]*\).*/\1/' "$WORK/ready")
+  }
+  ctl() { "$CLI" ctl --to "127.0.0.1:$STATUS_PORT" --cmd "$1" >/dev/null; }
+
+  echo "serve smoke: run A (uninterrupted)"
+  start_daemon "$WORK/windows_a.txt"
+  "$CLI" sendlog --log "$WORK/query.log" --to "127.0.0.1:$TCP_PORT" --tcp
+  ctl flush; ctl shutdown; wait "$DAEMON_PID"
+
+  echo "serve smoke: run B (checkpoint + restart mid-stream)"
+  start_daemon "$WORK/windows_b.txt"
+  "$CLI" sendlog --log "$WORK/first.log" --to "127.0.0.1:$TCP_PORT" --tcp
+  ctl checkpoint; ctl shutdown; wait "$DAEMON_PID"
+  start_daemon "$WORK/windows_b.txt" --restore
+  "$CLI" sendlog --log "$WORK/second.log" --to "127.0.0.1:$TCP_PORT" --tcp
+  ctl flush; ctl shutdown; wait "$DAEMON_PID"
+
+  diff "$WORK/windows_a.txt" "$WORK/windows_b.txt" || {
+    echo "serve smoke FAILED: restarted run diverged from uninterrupted run"
+    exit 1
+  }
+  echo "serve smoke passed: $(grep -c '^window ' "$WORK/windows_a.txt") windows byte-identical across restart"
+  exit 0
 fi
 
 if [[ "${TSAN:-0}" == "1" ]]; then

@@ -1,0 +1,136 @@
+// dnsbs_cli option table and parser, split out of the binary so the test
+// suite can run regression tests against the real parse() (trailing flags
+// without values, malformed numerics) instead of a reimplementation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/cli.hpp"
+
+namespace dnsbs::cli {
+
+struct Options {
+  std::string command;
+  std::string scenario = "jp";
+  double scale = 0.15;
+  std::uint64_t seed = 1;
+  std::string log_path;
+  std::string out_path;
+  std::string csv_path;
+  std::string metrics_out;
+  std::uint64_t min_queriers = 20;
+  std::uint64_t top = 20;
+
+  // serve
+  std::string bind = "127.0.0.1";
+  std::uint16_t udp_port = 0;       ///< 0 = ephemeral
+  bool tcp = false;                 ///< also listen for DNS-over-TCP intake
+  std::uint16_t tcp_port = 0;       ///< 0 = ephemeral
+  std::uint16_t status_port = 0;    ///< 0 = ephemeral
+  bool stamped = false;             ///< replay framing: [secs][querier] prefix
+  std::uint64_t queue_capacity = 65536;
+  std::int64_t window_secs = 86400;
+  std::int64_t hop_secs = 0;        ///< 0 = tumbling (hop == window)
+  std::string checkpoint_path;
+  bool restore = false;             ///< load --checkpoint FILE at startup
+  std::int64_t checkpoint_every_secs = 0;  ///< stream-time cadence, 0 = manual
+  std::string windows_out;
+  std::string ready_file;
+
+  // sendlog / ctl
+  std::string to;                   ///< "host:port" target
+  std::string ctl_cmd = "stats";    ///< stats|checkpoint|flush|shutdown|ping
+};
+
+/// Parses argv[1..] into `opt`.  On failure returns false with a message
+/// in `error`; a trailing flag with no value and a numeric flag that does
+/// not fully parse are both hard errors (they used to be silently
+/// ignored / truncated).
+inline bool parse(int argc, char* const* argv, Options& opt, std::string& error) {
+  if (argc < 2) {
+    error = "missing command";
+    return false;
+  }
+  opt.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    // Boolean flags take no value.
+    if (flag == "--tcp") {
+      opt.tcp = true;
+      continue;
+    }
+    if (flag == "--stamped") {
+      opt.stamped = true;
+      continue;
+    }
+    if (flag == "--restore") {
+      opt.restore = true;
+      continue;
+    }
+    if (i + 1 >= argc) {
+      error = "flag requires a value: " + flag;
+      return false;
+    }
+    const std::string_view value = argv[++i];
+    std::string why;
+    bool ok = true;
+    if (flag == "--scenario") {
+      opt.scenario = value;
+    } else if (flag == "--scale") {
+      ok = util::parse_f64(value, opt.scale, &why);
+    } else if (flag == "--seed") {
+      ok = util::parse_u64(value, opt.seed, &why);
+    } else if (flag == "--out") {
+      opt.out_path = value;
+    } else if (flag == "--log") {
+      opt.log_path = value;
+    } else if (flag == "--csv") {
+      opt.csv_path = value;
+    } else if (flag == "--metrics-out") {
+      opt.metrics_out = value;
+    } else if (flag == "--min-queriers") {
+      ok = util::parse_u64(value, opt.min_queriers, &why);
+    } else if (flag == "--top") {
+      ok = util::parse_u64(value, opt.top, &why);
+    } else if (flag == "--bind") {
+      opt.bind = value;
+    } else if (flag == "--udp-port") {
+      ok = util::parse_u16(value, opt.udp_port, &why);
+    } else if (flag == "--tcp-port") {
+      ok = util::parse_u16(value, opt.tcp_port, &why);
+      opt.tcp = ok || opt.tcp;  // naming a port implies the listener
+    } else if (flag == "--status-port") {
+      ok = util::parse_u16(value, opt.status_port, &why);
+    } else if (flag == "--queue") {
+      ok = util::parse_u64(value, opt.queue_capacity, &why);
+    } else if (flag == "--window") {
+      ok = util::parse_i64(value, opt.window_secs, &why);
+    } else if (flag == "--hop") {
+      ok = util::parse_i64(value, opt.hop_secs, &why);
+    } else if (flag == "--checkpoint") {
+      opt.checkpoint_path = value;
+    } else if (flag == "--checkpoint-every") {
+      ok = util::parse_i64(value, opt.checkpoint_every_secs, &why);
+    } else if (flag == "--windows-out") {
+      opt.windows_out = value;
+    } else if (flag == "--ready-file") {
+      opt.ready_file = value;
+    } else if (flag == "--to") {
+      opt.to = value;
+    } else if (flag == "--cmd") {
+      opt.ctl_cmd = value;
+    } else {
+      error = "unknown flag: " + flag;
+      return false;
+    }
+    if (!ok) {
+      error = "flag " + flag + ": " + why;
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace dnsbs::cli

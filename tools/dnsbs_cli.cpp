@@ -15,14 +15,31 @@
 //       Run the pipeline (replaying --log, or simulating when absent) and
 //       pretty-print the metrics registry: counters, gauges, span times.
 //
+//   dnsbs_cli serve     [--bind A] [--udp-port P] [--tcp-port P] [--status-port P]
+//                       [--stamped] [--window SECS] [--hop SECS] [--queue N]
+//                       [--checkpoint FILE] [--restore] [--checkpoint-every SECS]
+//                       [--windows-out FILE] [--ready-file FILE]
+//       Long-running daemon: ingest DNS packets from UDP (and TCP with
+//       --tcp-port), window the stream, and answer STATS/CHECKPOINT/FLUSH/
+//       SHUTDOWN/PING on the status socket.  See DESIGN.md "Streaming
+//       intake".
+//
+//   dnsbs_cli sendlog   --log FILE --to HOST:PORT [--tcp]
+//       Replay a query log as stamped packets (the daemon's --stamped
+//       framing) over UDP datagrams or one TCP connection.
+//
+//   dnsbs_cli ctl       --to HOST:PORT [--cmd stats|checkpoint|flush|shutdown|ping]
+//       Send one control command to a running daemon and print the reply.
+//
 // Every subcommand accepts --metrics-out FILE to dump the final metrics
 // snapshot; a path ending in ".prom" selects Prometheus text exposition,
 // anything else gets JSON.
 //
-// `analyze` resolves querier names through the synthetic world, so the
-// (scenario, scale, seed) triple must match the one used by `generate`.
-// A production build would wire a real resolver client and whois/GeoIP
-// databases into the same Sensor constructor.
+// `analyze` and `serve` resolve querier names through the synthetic world,
+// so the (scenario, scale, seed) triple must match the one used by
+// `generate`.  A production build would wire a real resolver client and
+// whois/GeoIP databases into the same Sensor constructor.
+#include <cctype>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -30,9 +47,13 @@
 #include <memory>
 #include <string>
 
+#include "cli_options.hpp"
 #include "core/sensor.hpp"
+#include "dns/capture.hpp"
 #include "labeling/curator.hpp"
 #include "ml/forest.hpp"
+#include "net/socket.hpp"
+#include "serve/daemon.hpp"
 #include "sim/scenario.hpp"
 #include "util/metrics.hpp"
 #include "util/table.hpp"
@@ -41,31 +62,37 @@ namespace {
 
 using namespace dnsbs;
 
-struct Options {
-  std::string command;
-  std::string scenario = "jp";
-  double scale = 0.15;
-  std::uint64_t seed = 1;
-  std::string log_path;
-  std::string out_path;
-  std::string csv_path;
-  std::string metrics_out;
-  std::size_t min_queriers = 20;
-  std::size_t top = 20;
-};
-
 int usage() {
-  std::fprintf(stderr,
-               "usage: dnsbs_cli <generate|analyze|classify|stats> [options]\n"
-               "  --scenario jp|b|m   vantage preset (default jp)\n"
-               "  --scale S           world scale (default 0.15)\n"
-               "  --seed N            world seed (default 1)\n"
-               "  --out FILE          (generate) log output path\n"
-               "  --log FILE          (analyze/stats) log input path\n"
-               "  --csv FILE          (analyze) feature-vector CSV output\n"
-               "  --metrics-out FILE  metrics snapshot (.prom = Prometheus, else JSON)\n"
-               "  --min-queriers Q    sensor floor (default 20)\n"
-               "  --top K             rows to print (default 20)\n");
+  std::fprintf(
+      stderr,
+      "usage: dnsbs_cli <generate|analyze|classify|stats|serve|sendlog|ctl> [options]\n"
+      "  --scenario jp|b|m   vantage preset (default jp)\n"
+      "  --scale S           world scale (default 0.15)\n"
+      "  --seed N            world seed (default 1)\n"
+      "  --out FILE          (generate) log output path\n"
+      "  --log FILE          (analyze/stats/sendlog) log input path\n"
+      "  --csv FILE          (analyze) feature-vector CSV output\n"
+      "  --metrics-out FILE  metrics snapshot (.prom = Prometheus, else JSON)\n"
+      "  --min-queriers Q    sensor floor (default 20)\n"
+      "  --top K             rows to print (default 20)\n"
+      "serve:\n"
+      "  --bind A            listen address (default 127.0.0.1)\n"
+      "  --udp-port P        UDP intake port (default 0 = ephemeral)\n"
+      "  --tcp-port P        also listen for length-prefixed frames on TCP\n"
+      "  --status-port P     control socket port (default 0 = ephemeral)\n"
+      "  --stamped           payloads carry [8B secs][4B querier] replay stamps\n"
+      "  --window SECS       window width (default 86400)\n"
+      "  --hop SECS          hop between window starts (default = window)\n"
+      "  --queue N           intake queue capacity (default 65536)\n"
+      "  --checkpoint FILE   checkpoint target (CHECKPOINT command / cadence)\n"
+      "  --restore           load --checkpoint FILE before starting\n"
+      "  --checkpoint-every SECS  stream-time checkpoint cadence\n"
+      "  --windows-out FILE  append a summary block per closed window\n"
+      "  --ready-file FILE   write bound ports once listening\n"
+      "sendlog/ctl:\n"
+      "  --to HOST:PORT      target daemon\n"
+      "  --tcp               (sendlog) stream frames over TCP instead of UDP\n"
+      "  --cmd NAME          (ctl) stats|checkpoint|flush|shutdown|ping\n");
   return 2;
 }
 
@@ -85,45 +112,29 @@ bool write_metrics(const std::string& path) {
   return static_cast<bool>(out);
 }
 
-bool parse(int argc, char** argv, Options& opt) {
-  if (argc < 2) return false;
-  opt.command = argv[1];
-  for (int i = 2; i + 1 < argc; i += 2) {
-    const std::string flag = argv[i];
-    const char* value = argv[i + 1];
-    if (flag == "--scenario") {
-      opt.scenario = value;
-    } else if (flag == "--scale") {
-      opt.scale = std::atof(value);
-    } else if (flag == "--seed") {
-      opt.seed = std::strtoull(value, nullptr, 10);
-    } else if (flag == "--out") {
-      opt.out_path = value;
-    } else if (flag == "--log") {
-      opt.log_path = value;
-    } else if (flag == "--csv") {
-      opt.csv_path = value;
-    } else if (flag == "--metrics-out") {
-      opt.metrics_out = value;
-    } else if (flag == "--min-queriers") {
-      opt.min_queriers = std::strtoull(value, nullptr, 10);
-    } else if (flag == "--top") {
-      opt.top = std::strtoull(value, nullptr, 10);
-    } else {
-      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
-      return false;
-    }
+/// Splits "host:port"; false (with a complaint) on malformed input.
+bool split_target(const std::string& to, std::string& host, std::uint16_t& port) {
+  const auto colon = to.rfind(':');
+  if (colon == std::string::npos || colon == 0) {
+    std::fprintf(stderr, "--to wants HOST:PORT, got '%s'\n", to.c_str());
+    return false;
   }
+  std::string why;
+  if (!util::parse_u16(std::string_view(to).substr(colon + 1), port, &why)) {
+    std::fprintf(stderr, "--to port: %s\n", why.c_str());
+    return false;
+  }
+  host = to.substr(0, colon);
   return true;
 }
 
-sim::ScenarioConfig config_for(const Options& opt) {
+sim::ScenarioConfig config_for(const cli::Options& opt) {
   if (opt.scenario == "b") return sim::b_post_ditl_config(opt.seed, opt.scale);
   if (opt.scenario == "m") return sim::m_ditl_config(opt.seed, opt.scale);
   return sim::jp_ditl_config(opt.seed, opt.scale);
 }
 
-int cmd_generate(const Options& opt) {
+int cmd_generate(const cli::Options& opt) {
   if (opt.out_path.empty()) {
     std::fprintf(stderr, "generate requires --out FILE\n");
     return 2;
@@ -145,7 +156,7 @@ int cmd_generate(const Options& opt) {
   return 0;
 }
 
-int cmd_analyze(const Options& opt) {
+int cmd_analyze(const cli::Options& opt) {
   if (opt.log_path.empty()) {
     std::fprintf(stderr, "analyze requires --log FILE\n");
     return 2;
@@ -230,7 +241,7 @@ int cmd_analyze(const Options& opt) {
   return 0;
 }
 
-int cmd_classify(const Options& opt) {
+int cmd_classify(const cli::Options& opt) {
   sim::Scenario scenario(config_for(opt));
   labeling::Darknet darknet(labeling::default_darknet_prefixes());
   scenario.engine().set_traffic_observer(&darknet);
@@ -309,7 +320,7 @@ void print_metrics_table(const util::MetricsSnapshot& snapshot) {
   table.print(std::cout);
 }
 
-int cmd_stats(const Options& opt) {
+int cmd_stats(const cli::Options& opt) {
   sim::Scenario scenario(config_for(opt));
   core::SensorConfig sensor_config;
   sensor_config.min_queriers = opt.min_queriers;
@@ -338,16 +349,156 @@ int cmd_stats(const Options& opt) {
   return 0;
 }
 
+int cmd_serve(const cli::Options& opt) {
+  // The daemon resolves querier names through the synthetic world (same
+  // contract as `analyze`): build the world, skip the traffic run.
+  sim::Scenario scenario(config_for(opt));
+
+  serve::ServeConfig cfg;
+  cfg.bind = opt.bind;
+  cfg.udp_port = opt.udp_port;
+  cfg.tcp = opt.tcp;
+  cfg.tcp_port = opt.tcp_port;
+  cfg.status_port = opt.status_port;
+  cfg.stamped = opt.stamped;
+  cfg.queue_capacity = opt.queue_capacity;
+  cfg.streaming.window = util::SimTime::seconds(opt.window_secs);
+  cfg.streaming.hop = util::SimTime::seconds(opt.hop_secs);
+  cfg.pipeline.sensor.min_queriers = opt.min_queriers;
+  cfg.pipeline.seed = opt.seed;
+  // Summaries are written at window close; no need to hold history forever.
+  cfg.pipeline.history_limit = 64;
+  cfg.checkpoint_path = opt.checkpoint_path;
+  cfg.restore = opt.restore;
+  cfg.checkpoint_every_secs = opt.checkpoint_every_secs;
+  cfg.windows_out = opt.windows_out;
+  cfg.ready_file = opt.ready_file;
+
+  serve::ServeDaemon daemon(cfg, scenario.plan().as_db(), scenario.plan().geo_db(),
+                            scenario.naming());
+  std::string error;
+  if (!daemon.start(error)) {
+    std::fprintf(stderr, "serve: %s\n", error.c_str());
+    return 1;
+  }
+  daemon.wait();
+  std::fprintf(stderr, "serve: shut down after %llu windows\n",
+               static_cast<unsigned long long>(daemon.driver()->windows_closed()));
+  return 0;
+}
+
+int cmd_sendlog(const cli::Options& opt) {
+  if (opt.log_path.empty() || opt.to.empty()) {
+    std::fprintf(stderr, "sendlog requires --log FILE and --to HOST:PORT\n");
+    return 2;
+  }
+  std::string host;
+  std::uint16_t port = 0;
+  if (!split_target(opt.to, host, port)) return 2;
+  std::ifstream in(opt.log_path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", opt.log_path.c_str());
+    return 1;
+  }
+  const auto records = dns::read_all(in);
+
+  // Stamped framing (the daemon's --stamped mode): the record's own time
+  // and querier ride in front of a synthesized PTR query packet, so the
+  // receiver reconstructs the exact QueryRecord stream.
+  auto frame_for = [](const dns::QueryRecord& r, std::uint16_t id) {
+    std::vector<std::uint8_t> frame;
+    const auto packet = dns::make_ptr_query_packet(id, r.originator);
+    frame.reserve(12 + packet.size());
+    const auto secs = static_cast<std::uint64_t>(r.time.secs());
+    for (int i = 0; i < 8; ++i) frame.push_back(static_cast<std::uint8_t>(secs >> (8 * i)));
+    const std::uint32_t q = r.querier.value();
+    for (int i = 0; i < 4; ++i) frame.push_back(static_cast<std::uint8_t>(q >> (8 * i)));
+    frame.insert(frame.end(), packet.begin(), packet.end());
+    return frame;
+  };
+
+  std::size_t sent = 0;
+  if (opt.tcp) {
+    auto stream = net::TcpStream::connect(host, port);
+    if (!stream) {
+      std::fprintf(stderr, "cannot connect to %s\n", opt.to.c_str());
+      return 1;
+    }
+    for (const auto& r : records) {
+      const auto frame = frame_for(r, static_cast<std::uint16_t>(sent & 0xffff));
+      const std::uint8_t len[2] = {static_cast<std::uint8_t>(frame.size() >> 8),
+                                   static_cast<std::uint8_t>(frame.size() & 0xff)};
+      if (!stream->write_all(len, 2) || !stream->write_all(frame.data(), frame.size())) {
+        std::fprintf(stderr, "send failed after %zu records\n", sent);
+        return 1;
+      }
+      ++sent;
+    }
+  } else {
+    net::UdpSocket sock;
+    for (const auto& r : records) {
+      const auto frame = frame_for(r, static_cast<std::uint16_t>(sent & 0xffff));
+      if (!sock.send_to(host, port, frame.data(), frame.size())) {
+        std::fprintf(stderr, "send failed after %zu records: %s\n", sent,
+                     sock.last_error().c_str());
+        return 1;
+      }
+      ++sent;
+    }
+  }
+  std::fprintf(stderr, "sent %zu records to %s over %s\n", sent, opt.to.c_str(),
+               opt.tcp ? "tcp" : "udp");
+  return 0;
+}
+
+int cmd_ctl(const cli::Options& opt) {
+  if (opt.to.empty()) {
+    std::fprintf(stderr, "ctl requires --to HOST:PORT\n");
+    return 2;
+  }
+  std::string host;
+  std::uint16_t port = 0;
+  if (!split_target(opt.to, host, port)) return 2;
+  std::string command = opt.ctl_cmd;
+  for (char& c : command) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  auto stream = net::TcpStream::connect(host, port);
+  if (!stream) {
+    std::fprintf(stderr, "cannot connect to %s\n", opt.to.c_str());
+    return 1;
+  }
+  const std::string line = command + "\n";
+  if (!stream->write_all(line.data(), line.size())) {
+    std::fprintf(stderr, "send failed\n");
+    return 1;
+  }
+  // STATS replies carry the full metrics snapshot on one line; allow far
+  // more than the default line budget.
+  const auto reply = stream->read_line(30000, std::size_t{1} << 20);
+  if (!reply) {
+    std::fprintf(stderr, "no reply\n");
+    return 1;
+  }
+  std::printf("%s\n", reply->c_str());
+  return reply->rfind("ERR", 0) == 0 ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  Options opt;
-  if (!parse(argc, argv, opt)) return usage();
+  cli::Options opt;
+  std::string error;
+  if (!cli::parse(argc, argv, opt, error)) {
+    if (!error.empty()) std::fprintf(stderr, "dnsbs_cli: %s\n", error.c_str());
+    return usage();
+  }
   int rc = -1;
   if (opt.command == "generate") rc = cmd_generate(opt);
   else if (opt.command == "analyze") rc = cmd_analyze(opt);
   else if (opt.command == "classify") rc = cmd_classify(opt);
   else if (opt.command == "stats") rc = cmd_stats(opt);
+  else if (opt.command == "serve") rc = cmd_serve(opt);
+  else if (opt.command == "sendlog") rc = cmd_sendlog(opt);
+  else if (opt.command == "ctl") rc = cmd_ctl(opt);
   else return usage();
   if (rc == 0 && !write_metrics(opt.metrics_out)) rc = 1;
   return rc;

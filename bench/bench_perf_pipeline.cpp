@@ -25,24 +25,46 @@
 //                                                  BENCH_perf_features.json
 //                                                  (knobs: --originators
 //                                                  --queriers --windows --churn)
+//   --merge                                        federated N-sensor merge
+//                                                  scenario: shard-ingest a
+//                                                  1M+-originator synthetic
+//                                                  stream, export each shard's
+//                                                  state, import+merge into a
+//                                                  coordinator — once with
+//                                                  exact querier state, once
+//                                                  with sketches — comparing
+//                                                  merge throughput and peak
+//                                                  RSS against
+//                                                  BENCH_perf_merge.json
+//                                                  (knobs: --light --heavy
+//                                                  --heavy-queriers --shards)
 //
 // Times are best-of --repeat (default 3) so scheduler noise shrinks the
 // committed baseline instead of inflating it.
 #include <algorithm>
 #include <array>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
+#include <memory>
 #include <span>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#ifdef __linux__
+#include <unistd.h>
+#endif
+
 #include "common.hpp"
+#include "core/federation.hpp"
 #include "core/sensor.hpp"
 #include "dns/query_log.hpp"
 #include "sim/scenario.hpp"
+#include "util/binio.hpp"
 #include "util/metrics.hpp"
 #include "util/strings.hpp"
 
@@ -356,7 +378,312 @@ int run_features(int argc, char** argv) {
   return 0;
 }
 
+std::size_t arg_size(int argc, char** argv, const char* name, const char* fallback) {
+  return static_cast<std::size_t>(
+      std::strtoull(arg_str(argc, argv, name, fallback).c_str(), nullptr, 10));
+}
+
+/// The --merge children never extract features, so the resolver is never
+/// consulted; it exists only to satisfy the Sensor constructor.
+class NullResolver final : public core::QuerierResolver {
+ public:
+  core::QuerierInfo resolve(net::IPv4Addr) const override { return {}; }
+};
+
+unsigned long bench_pid() {
+#ifdef __linux__
+  return static_cast<unsigned long>(::getpid());
+#else
+  return 0;
+#endif
+}
+
+/// One --merge measurement: peak RSS (VmHWM) is process-monotonic, so the
+/// parent re-execs itself once per querier-state mode and each child runs
+/// the whole shard-ingest -> export -> destroy -> import+merge cycle in a
+/// fresh address space.
+///
+/// The workload is a bimodal originator population, streamed in time order
+/// (no materialized record buffer, so RSS measures sensor state):
+///   * --light originators with one querier each — the long tail that
+///     stays on exact histograms in both modes and bounds the fixed cost.
+///   * --heavy originators with --heavy-queriers distinct queriers each —
+///     the scanners whose exact histograms dominate memory and whose
+///     sketch form collapses to registers + a frozen sample.
+/// Timestamps advance linearly across 24 h so the dedup window prunes
+/// itself; every (querier, originator) pair is unique, so merged state is
+/// exactly checkable: originator_count == light + heavy and (exact mode)
+/// sum(unique_queriers) == light + heavy * heavy_queriers.
+int run_merge_child(const std::string& mode, int argc, char** argv) {
+  const std::size_t light = arg_size(argc, argv, "--light", "1000000");
+  const std::size_t heavy = arg_size(argc, argv, "--heavy", "10000");
+  const std::size_t heavy_queriers = arg_size(argc, argv, "--heavy-queriers", "12320");
+  const std::size_t shards = std::max<std::size_t>(1, arg_size(argc, argv, "--shards", "4"));
+  const int repeat =
+      std::max(1, std::atoi(arg_str(argc, argv, "--repeat", "1").c_str()));
+  const std::string out_path = arg_str(argc, argv, "--out", "");
+  const std::string tmp_dir = arg_str(
+      argc, argv, "--tmp", std::filesystem::temp_directory_path().string());
+
+  core::SensorConfig cfg;
+  cfg.threads = 1;
+  cfg.querier_state =
+      mode == "sketch" ? core::QuerierStateMode::kSketch : core::QuerierStateMode::kExact;
+
+  const netdb::AsDb as_db;
+  const netdb::GeoDb geo_db;
+  const NullResolver resolver;
+  std::vector<std::unique_ptr<core::Sensor>> sensors;
+  sensors.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    sensors.push_back(std::make_unique<core::Sensor>(cfg, as_db, geo_db, resolver));
+  }
+
+  // --- shard ingest (setup, untimed by the gate but reported) ------------
+  const std::size_t heavy_records = heavy * heavy_queriers;
+  const std::size_t total = light + heavy_records;
+  constexpr std::int64_t kHorizonSecs = 86400;
+  const auto t_ingest = Clock::now();
+  std::size_t li = 0, hj = 0;
+  for (std::size_t i = 0; i < total; ++i) {
+    dns::QueryRecord r;
+    r.time = util::SimTime::seconds(
+        static_cast<std::int64_t>(i) * kHorizonSecs / static_cast<std::int64_t>(total));
+    // Bresenham interleave: exactly `light` light records, evenly spread
+    // through the heavy stream so both populations span the full horizon.
+    if (hj >= heavy_records ||
+        (li < light && (i + 1) * light / total > i * light / total)) {
+      r.originator = net::IPv4Addr(0xC0000000u + static_cast<std::uint32_t>(li));
+      r.querier = net::IPv4Addr(0x0A000000u + static_cast<std::uint32_t>(li));
+      ++li;
+    } else {
+      r.originator =
+          net::IPv4Addr(0xD0000000u + static_cast<std::uint32_t>(hj / heavy_queriers));
+      r.querier = net::IPv4Addr(0x30000000u + static_cast<std::uint32_t>(hj));
+      ++hj;
+    }
+    sensors[core::federation_shard(r.originator, shards)]->ingest(r);
+  }
+  const double ingest_secs = seconds_since(t_ingest);
+
+  // --- export every shard, then free it before the merge ----------------
+  std::vector<std::string> paths;
+  std::uintmax_t state_bytes = 0;
+  for (std::size_t s = 0; s < shards; ++s) {
+    std::string path = tmp_dir + "/dnsbs_merge_" + mode + "_" +
+                       std::to_string(bench_pid()) + "_" + std::to_string(s) + ".state";
+    {
+      std::ofstream os(path, std::ios::binary);
+      util::BinaryWriter writer(os);
+      core::export_sensor_state(*sensors[s], writer);
+      os.flush();
+      if (!writer.ok() || !os) {
+        std::fprintf(stderr, "merge-child: cannot write %s\n", path.c_str());
+        return 1;
+      }
+    }
+    state_bytes += std::filesystem::file_size(path);
+    paths.push_back(std::move(path));
+    sensors[s].reset();
+  }
+
+  // --- timed region: import + merge all shard states --------------------
+  double best_rate = 0.0, merge_secs = 0.0;
+  std::size_t merged = 0, promoted = 0, sketch_bytes = 0;
+  double footprint_sum = 0.0;
+  for (int r = 0; r < repeat; ++r) {
+    core::Sensor coordinator(cfg, as_db, geo_db, resolver);
+    const auto t0 = Clock::now();
+    for (const auto& path : paths) {
+      std::ifstream is(path, std::ios::binary);
+      util::BinaryReader reader(is);
+      if (!core::import_sensor_state(reader, coordinator)) {
+        std::fprintf(stderr, "merge-child: import failed for %s\n", path.c_str());
+        return 1;
+      }
+    }
+    merge_secs = seconds_since(t0);
+    merged = coordinator.aggregator().originator_count();
+    if (merged != light + heavy) {
+      std::fprintf(stderr, "merge-child: merged %zu originators, want %zu\n", merged,
+                   light + heavy);
+      return 1;
+    }
+    best_rate = std::max(best_rate, static_cast<double>(merged) / merge_secs);
+    footprint_sum = 0.0;
+    for (const auto& [originator, agg] : coordinator.aggregator().aggregates()) {
+      footprint_sum += static_cast<double>(agg.unique_queriers());
+    }
+    promoted = coordinator.aggregator().promoted_count();
+    sketch_bytes = coordinator.aggregator().sketch_bytes();
+  }
+  for (const auto& path : paths) std::filesystem::remove(path);
+
+  const long rss_kb = peak_rss_kb();
+  std::printf("[%s] ingest             %.0f records/s (%zu records, %zu shards)\n",
+              mode.c_str(), static_cast<double>(total) / ingest_secs, total, shards);
+  std::printf("[%s] state files        %.1f MB\n", mode.c_str(),
+              static_cast<double>(state_bytes) / (1024.0 * 1024.0));
+  std::printf("[%s] merge              %.0f originators/s (%zu in %.2fs, %zu promoted)\n",
+              mode.c_str(), best_rate, merged, merge_secs, promoted);
+  std::printf("[%s] peak RSS           %ld kB\n", mode.c_str(), rss_kb);
+
+  if (!out_path.empty()) {
+    std::ofstream os(out_path);
+    os << "{\n"
+       << "  \"mode\": \"" << mode << "\",\n"
+       << "  \"records\": " << total << ",\n"
+       << "  \"ingest_records_per_s\": " << static_cast<double>(total) / ingest_secs
+       << ",\n"
+       << "  \"merge_originators_per_s\": " << best_rate << ",\n"
+       << "  \"merged_originators\": " << merged << ",\n"
+       << "  \"promoted\": " << promoted << ",\n"
+       << "  \"sketch_bytes\": " << sketch_bytes << ",\n"
+       << "  \"footprint_sum\": " << footprint_sum << ",\n"
+       << "  \"state_file_bytes\": " << state_bytes << ",\n"
+       << "  \"peak_rss_kb\": " << rss_kb << "\n"
+       << "}\n";
+    if (!os) {
+      std::fprintf(stderr, "merge-child: cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
+
+/// --merge parent: runs the exact and sketch children, cross-checks their
+/// merged cardinalities, and gates on merge throughput plus the RSS ratio
+/// (the tentpole claim: sketch state >= 4x smaller at 1M+ originators).
+int run_merge(int argc, char** argv, const char* self) {
+  const bool smoke = arg_flag(argc, argv, "--smoke");
+  const std::size_t light =
+      arg_size(argc, argv, "--light", smoke ? "30000" : "1000000");
+  const std::size_t heavy = arg_size(argc, argv, "--heavy", smoke ? "24" : "10000");
+  const std::size_t heavy_queriers =
+      arg_size(argc, argv, "--heavy-queriers", smoke ? "512" : "12320");
+  const std::size_t shards = arg_size(argc, argv, "--shards", smoke ? "2" : "4");
+  const int repeat =
+      std::max(1, std::atoi(arg_str(argc, argv, "--repeat", "1").c_str()));
+  const std::string json_path = arg_str(argc, argv, "--json", "");
+  const std::string check_path = arg_str(argc, argv, "--check", "");
+  const std::string baseline_path = arg_str(argc, argv, "--baseline", "");
+  const std::string tmp_dir = arg_str(
+      argc, argv, "--tmp", std::filesystem::temp_directory_path().string());
+
+  print_header("perf_merge",
+               "federated N-sensor merge (exact vs sketch querier state)",
+               util::format("light=%zu heavy=%zu heavy_queriers=%zu shards=%zu "
+                            "repeat=%d",
+                            light, heavy, heavy_queriers, shards, repeat));
+
+  struct ModeResult {
+    double rate = 0, rss_kb = 0, footprint_sum = 0, promoted = 0, ingest_rate = 0;
+    double state_bytes = 0;
+  };
+  ModeResult results[2];
+  const char* modes[2] = {"exact", "sketch"};
+  for (int m = 0; m < 2; ++m) {
+    const std::string out = tmp_dir + "/dnsbs_merge_" + modes[m] + "_" +
+                            std::to_string(bench_pid()) + ".json";
+    const std::string cmd = util::format(
+        "\"%s\" --merge-child %s --light %zu --heavy %zu --heavy-queriers %zu "
+        "--shards %zu --repeat %d --tmp \"%s\" --out \"%s\"",
+        self, modes[m], light, heavy, heavy_queriers, shards, repeat,
+        tmp_dir.c_str(), out.c_str());
+    std::fflush(stdout);  // children share the terminal; keep output ordered
+    if (std::system(cmd.c_str()) != 0) {
+      std::fprintf(stderr, "merge: %s child failed\n", modes[m]);
+      return 1;
+    }
+    std::ifstream is(out);
+    std::stringstream buffer;
+    buffer << is.rdbuf();
+    const std::string child = buffer.str();
+    std::filesystem::remove(out);
+    results[m].rate = json_number(child, "merge_originators_per_s");
+    results[m].rss_kb = json_number(child, "peak_rss_kb");
+    results[m].footprint_sum = json_number(child, "footprint_sum");
+    results[m].promoted = json_number(child, "promoted");
+    results[m].ingest_rate = json_number(child, "ingest_records_per_s");
+    results[m].state_bytes = json_number(child, "state_file_bytes");
+    if (results[m].rate <= 0.0 || results[m].rss_kb <= 0.0) {
+      std::fprintf(stderr, "merge: %s child produced no results\n", modes[m]);
+      return 1;
+    }
+  }
+
+  // Cross-checks: exact mode never promotes, sketch mode promotes every
+  // heavy originator, and the sketched footprint sum stays within the HLL
+  // error envelope of the exact truth.
+  bool ok = true;
+  if (results[0].promoted != 0.0) {
+    std::fprintf(stderr, "merge: exact child promoted %g originators\n",
+                 results[0].promoted);
+    ok = false;
+  }
+  if (results[1].promoted != static_cast<double>(heavy)) {
+    std::fprintf(stderr, "merge: sketch child promoted %g of %zu heavy originators\n",
+                 results[1].promoted, heavy);
+    ok = false;
+  }
+  const double footprint_err =
+      std::abs(results[1].footprint_sum - results[0].footprint_sum) /
+      results[0].footprint_sum;
+  if (footprint_err > 0.025) {
+    std::fprintf(stderr, "merge: sketch footprint sum off by %.2f%% (> 2.5%%)\n",
+                 footprint_err * 100.0);
+    ok = false;
+  }
+  const double rss_ratio = results[0].rss_kb / results[1].rss_kb;
+  std::printf("\nfootprint sum      exact %.0f, sketch %.0f (%.3f%% error)\n",
+              results[0].footprint_sum, results[1].footprint_sum,
+              footprint_err * 100.0);
+  std::printf("peak RSS           exact %.0f kB, sketch %.0f kB (%.2fx)\n",
+              results[0].rss_kb, results[1].rss_kb, rss_ratio);
+  if (!smoke && rss_ratio < 4.0) {
+    std::fprintf(stderr, "merge: RSS ratio %.2fx below the 4x acceptance floor\n",
+                 rss_ratio);
+    ok = false;
+  }
+  if (!ok) return 1;
+
+  const Axis axes[] = {
+      {"merge_exact_originators_per_s", results[0].rate},
+      {"merge_sketch_originators_per_s", results[1].rate},
+      {"merge_rss_ratio", rss_ratio},
+  };
+
+  if (!json_path.empty()) {
+    std::ofstream os(json_path);
+    os << "{\n"
+       << "  \"bench\": \"perf_merge\",\n"
+       << "  \"light\": " << light << ",\n"
+       << "  \"heavy\": " << heavy << ",\n"
+       << "  \"heavy_queriers\": " << heavy_queriers << ",\n"
+       << "  \"shards\": " << shards << ",\n"
+       << "  \"merge_exact_originators_per_s\": " << results[0].rate << ",\n"
+       << "  \"merge_sketch_originators_per_s\": " << results[1].rate << ",\n"
+       << "  \"merge_rss_ratio\": " << rss_ratio << ",\n"
+       << "  \"exact_peak_rss_kb\": " << results[0].rss_kb << ",\n"
+       << "  \"sketch_peak_rss_kb\": " << results[1].rss_kb << ",\n"
+       << "  \"exact_state_file_bytes\": " << results[0].state_bytes << ",\n"
+       << "  \"sketch_state_file_bytes\": " << results[1].state_bytes << ",\n"
+       << "  \"exact_ingest_records_per_s\": " << results[0].ingest_rate << ",\n"
+       << "  \"sketch_ingest_records_per_s\": " << results[1].ingest_rate << ",\n"
+       << "  \"footprint_error\": " << footprint_err;
+    if (!baseline_path.empty()) append_baseline(os, baseline_path, axes);
+    os << "\n}\n";
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
+
+  if (!check_path.empty()) return check_axes(check_path, axes);
+  return 0;
+}
+
 int run(int argc, char** argv) {
+  const std::string merge_child = arg_str(argc, argv, "--merge-child", "");
+  if (!merge_child.empty()) return run_merge_child(merge_child, argc, argv);
+  if (arg_flag(argc, argv, "--merge")) return run_merge(argc, argv, argv[0]);
   if (arg_flag(argc, argv, "--features")) return run_features(argc, argv);
   const bool smoke = arg_flag(argc, argv, "--smoke");
   const double scale = arg_scale(argc, argv, smoke ? 0.02 : 0.25);

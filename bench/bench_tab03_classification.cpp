@@ -289,12 +289,27 @@ int run(int argc, char** argv) {
   const std::uint64_t seed = arg_seed(argc, argv, 7);
   const std::size_t reps = 20;
 
+  // `--querier-state sketch` reruns the whole table with sketched querier
+  // cardinalities (plus optional --sketch-threshold), quantifying what the
+  // bounded-memory state costs in classification quality — the accuracy
+  // half of the federation study in EXPERIMENTS.md.
+  core::SensorConfig base_sensor;
+  if (arg_str(argc, argv, "--querier-state", "exact") == "sketch") {
+    base_sensor.querier_state = core::QuerierStateMode::kSketch;
+  }
+  base_sensor.sketch_promote_threshold = static_cast<std::uint32_t>(std::max(
+      1, std::atoi(arg_str(argc, argv, "--sketch-threshold", "64").c_str())));
+  std::printf("querier state: %s\n",
+              base_sensor.querier_state == core::QuerierStateMode::kSketch ? "sketch"
+                                                                           : "exact");
+
   std::vector<DatasetRun> runs;
-  runs.push_back(build("JP-ditl", sim::jp_ditl_config(seed, scale), 0));
-  runs.push_back(build("B-post-ditl", sim::b_post_ditl_config(seed + 1, scale), 0));
-  runs.push_back(build("M-ditl", sim::m_ditl_config(seed + 2, scale), 0));
+  runs.push_back(build("JP-ditl", sim::jp_ditl_config(seed, scale), 0, base_sensor));
+  runs.push_back(
+      build("B-post-ditl", sim::b_post_ditl_config(seed + 1, scale), 0, base_sensor));
+  runs.push_back(build("M-ditl", sim::m_ditl_config(seed + 2, scale), 0, base_sensor));
   {
-    core::SensorConfig sensor;
+    core::SensorConfig sensor = base_sensor;
     sensor.min_queriers = 10;  // compressed sampling floor, see DESIGN.md
     runs.push_back(build("M-sampled", sim::m_sampled_config(seed + 3, 3, scale * 0.5),
                          0, sensor));

@@ -57,6 +57,10 @@ class Deduplicator {
   /// Entries currently tracked (diagnostic).
   std::size_t state_size() const noexcept { return last_seen_.size(); }
 
+  /// Pre-sizes the last-seen map for an expected pair count so an N-way
+  /// federated merge does not rehash repeatedly mid-merge.
+  void reserve(std::size_t expected_pairs) { last_seen_.reserve(expected_pairs); }
+
   /// Checkpoint round-trip.  The last-seen and expiry maps serialize
   /// slot-exactly (see FlatMap::for_each_slot): after load(), every future
   /// admit/prune sequence evolves bit-for-bit like the uninterrupted

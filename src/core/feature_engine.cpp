@@ -104,6 +104,7 @@ void FeatureExtractionCache::save(util::BinaryWriter& out) const {
     out.u64(e.mod_count);
     out.u64(e.total_queries);
     out.u64(e.period_count);
+    out.u64(e.footprint);
     out.u64(e.norm_periods);
     out.u32(e.norm_as);
     out.u32(e.norm_cc);
@@ -155,6 +156,7 @@ bool FeatureExtractionCache::load(util::BinaryReader& in) {
     e.mod_count = in.u64();
     e.total_queries = in.u64();
     e.period_count = in.u64();
+    e.footprint = in.u64();
     e.norm_periods = in.u64();
     e.norm_as = in.u32();
     e.norm_cc = in.u32();
@@ -198,7 +200,10 @@ FeatureVector FeatureEngine::compute_row(const FeatureExtractionCache::RowEntry&
   FeatureVector fv;
   fv.originator = originator;
   const std::size_t k = entry.qids.size();
-  fv.footprint = k;
+  // Cardinality-shaped outputs read the aggregate's footprint (the sketch
+  // estimate once promoted); sample-shaped reductions below stream over
+  // the k retained (qid, count) columns.  Exact mode: footprint == k.
+  fv.footprint = entry.footprint;
   if (k == 0) return fv;
 
   // One streaming pass over the querier-id column gathers everything the
@@ -250,7 +255,7 @@ FeatureVector FeatureEngine::compute_row(const FeatureExtractionCache::RowEntry&
   }
   DynamicFeatures& f = fv.dynamics;
   f[static_cast<std::size_t>(DynamicFeature::kQueriesPerQuerier)] =
-      static_cast<double>(entry.total_queries) / queriers;
+      static_cast<double>(entry.total_queries) / static_cast<double>(entry.footprint);
   f[static_cast<std::size_t>(DynamicFeature::kPersistence)] =
       periods_norm_ == 0 ? 0.0
                          : static_cast<double>(entry.period_count) /
@@ -387,6 +392,7 @@ std::vector<FeatureVector> FeatureEngine::extract(
             bool same = entry.interval_token != 0 &&
                         entry.total_queries == agg.total_queries &&
                         entry.period_count == agg.periods.size() &&
+                        entry.footprint == agg.unique_queriers() &&
                         entry.qids.size() == agg.querier_queries.size();
             if (same) {
               std::size_t m = 0;
@@ -409,6 +415,7 @@ std::vector<FeatureVector> FeatureEngine::extract(
               }
               entry.total_queries = agg.total_queries;
               entry.period_count = agg.periods.size();
+              entry.footprint = agg.unique_queriers();
             }
             row_valid = same && norms_match;
           }

@@ -69,6 +69,11 @@ class FeatureExtractionCache {
     std::uint64_t mod_count = 0;
     std::uint64_t total_queries = 0;
     std::uint64_t period_count = 0;
+    /// Unique-querier cardinality (aggregate's unique_queriers() at
+    /// flatten time).  Equals qids.size() in exact mode; in sketch mode a
+    /// promoted originator's sketch estimate, while qids/counts hold only
+    /// the frozen sample.
+    std::uint64_t footprint = 0;
     /// Normalizer snapshot the cached row was computed under.
     std::uint64_t norm_periods = 0;
     std::uint32_t norm_as = 0;

@@ -1,0 +1,109 @@
+#include "core/federation.hpp"
+
+#include "util/binio.hpp"
+#include "util/metrics.hpp"
+#include "util/parallel.hpp"
+
+namespace dnsbs::core {
+namespace {
+
+// Deterministic: one inc per export/import call, functions of the
+// federation command sequence alone.
+util::MetricCounter& g_exports = util::metrics_counter("dnsbs.federation.exports");
+util::MetricCounter& g_imports = util::metrics_counter("dnsbs.federation.imports");
+
+void write_config_echo(const SensorConfig& config, util::BinaryWriter& out) {
+  out.u64(config.min_queriers);
+  out.u64(config.top_n);
+  out.i64(config.dedup_window.secs());
+  out.i64(config.persistence_period.secs());
+  out.u8(static_cast<std::uint8_t>(config.querier_state));
+  out.u32(config.sketch_promote_threshold);
+  out.u8(config.sketch_precision);
+}
+
+bool config_echo_matches(const SensorConfig& config, util::BinaryReader& in) {
+  bool match = in.u64() == config.min_queriers;
+  match &= in.u64() == config.top_n;
+  match &= in.i64() == config.dedup_window.secs();
+  match &= in.i64() == config.persistence_period.secs();
+  match &= in.u8() == static_cast<std::uint8_t>(config.querier_state);
+  match &= in.u32() == config.sketch_promote_threshold;
+  match &= in.u8() == config.sketch_precision;
+  if (!match) in.fail();
+  return in.ok();
+}
+
+}  // namespace
+
+void export_sensor_state(const Sensor& sensor, util::BinaryWriter& out) {
+  out.u32(kFederationMagic);
+  out.u32(kFederationVersion);
+  write_config_echo(sensor.config(), out);
+  sensor.save_state(out);
+  g_exports.inc();
+}
+
+bool import_sensor_state(util::BinaryReader& in, Sensor& into) {
+  if (in.u32() != kFederationMagic || in.u32() != kFederationVersion) {
+    in.fail();
+    return false;
+  }
+  if (!config_echo_matches(into.config(), in)) return false;
+  if (!into.merge_state(in)) return false;
+  g_imports.inc();
+  return true;
+}
+
+FederatedSensorPool::FederatedSensorPool(std::size_t shards, const SensorConfig& config,
+                                         const netdb::AsDb& as_db,
+                                         const netdb::GeoDb& geo_db,
+                                         const QuerierResolver& resolver)
+    : threads_(config.threads != 0 ? config.threads : util::configured_thread_count()) {
+  if (shards == 0) shards = 1;
+  // Shard sensors run single-threaded: the pool parallelizes across
+  // shards, and nested sharding would only re-partition an already
+  // originator-disjoint slice.
+  SensorConfig shard_config = config;
+  shard_config.threads = 1;
+  sensors_.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    sensors_.push_back(std::make_unique<Sensor>(shard_config, as_db, geo_db, resolver));
+  }
+}
+
+void FederatedSensorPool::ingest_all(std::span<const dns::QueryRecord> records) {
+  const std::size_t shards = sensors_.size();
+  if (shards == 1) {
+    for (const auto& r : records) sensors_[0]->ingest(r);
+    sensors_[0]->publish_metrics();
+    return;
+  }
+  std::vector<std::vector<std::uint32_t>> buckets(shards);
+  for (auto& b : buckets) b.reserve(records.size() / shards + 16);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    buckets[federation_shard(records[i].originator, shards)].push_back(
+        static_cast<std::uint32_t>(i));
+  }
+  util::parallel_for(
+      shards,
+      [&](std::size_t s) {
+        Sensor& sensor = *sensors_[s];
+        for (const std::uint32_t idx : buckets[s]) sensor.ingest(records[idx]);
+      },
+      threads_);
+  for (auto& sensor : sensors_) sensor->publish_metrics();
+}
+
+void FederatedSensorPool::merge_into(Sensor& coordinator) {
+  std::size_t extra_originators = 0;
+  std::size_t extra_pairs = 0;
+  for (const auto& sensor : sensors_) {
+    extra_originators += sensor->aggregator().originator_count();
+    extra_pairs += sensor->dedup().state_size();
+  }
+  coordinator.reserve_for_merge(extra_originators, extra_pairs);
+  for (auto& sensor : sensors_) coordinator.merge_from(std::move(*sensor));
+}
+
+}  // namespace dnsbs::core

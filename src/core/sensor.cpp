@@ -42,6 +42,10 @@ util::MetricCounter& g_predictions = util::metrics_counter("dnsbs.sensor.classif
 util::MetricGauge& g_live_keys = util::metrics_gauge("dnsbs.dedup.live_keys");
 util::MetricGauge& g_originators = util::metrics_gauge("dnsbs.aggregate.originators");
 util::MetricGauge& g_periods = util::metrics_gauge("dnsbs.aggregate.periods");
+// Register bytes across all promoted originators (0 in exact mode).  Set
+// at publish points from aggregator state, which the sharded-ingest
+// contract keeps byte-identical to serial — deterministic.
+util::MetricGauge& g_sketch_bytes = util::metrics_gauge("dnsbs.aggregate.sketch_bytes");
 
 }  // namespace
 
@@ -52,7 +56,7 @@ Sensor::Sensor(SensorConfig config, const netdb::AsDb& as_db, const netdb::GeoDb
       geo_db_(geo_db),
       resolver_(resolver),
       dedup_(config.dedup_window),
-      aggregator_(config.persistence_period) {}
+      aggregator_(config.persistence_period, config.sketch_config()) {}
 
 void Sensor::ingest(const dns::QueryRecord& record) {
   if (dedup_.admit(record)) aggregator_.add(record);
@@ -68,6 +72,9 @@ void Sensor::publish_metrics() const {
   g_live_keys.set(static_cast<std::int64_t>(dedup_.state_size()));
   g_originators.set(static_cast<std::int64_t>(aggregator_.originator_count()));
   g_periods.set(static_cast<std::int64_t>(aggregator_.total_periods()));
+  if (config_.querier_state == QuerierStateMode::kSketch) {
+    g_sketch_bytes.set(static_cast<std::int64_t>(aggregator_.sketch_bytes()));
+  }
 }
 
 util::MetricsSnapshot Sensor::snapshot_metrics() const {
@@ -108,12 +115,14 @@ void Sensor::ingest_all(std::span<const dns::QueryRecord> records) {
   struct Shard {
     Deduplicator dedup;
     OriginatorAggregator agg;
-    Shard(util::SimTime window, util::SimTime period) : dedup(window), agg(period) {}
+    Shard(util::SimTime window, util::SimTime period, QuerierSketchConfig sketch)
+        : dedup(window), agg(period, sketch) {}
   };
   std::vector<Shard> shard_state;
   shard_state.reserve(shards);
   for (std::size_t s = 0; s < shards; ++s) {
-    shard_state.emplace_back(config_.dedup_window, config_.persistence_period);
+    shard_state.emplace_back(config_.dedup_window, config_.persistence_period,
+                             config_.sketch_config());
   }
 
   // Shards see only a subsequence of the clock, so each one finishes by
@@ -166,6 +175,33 @@ bool Sensor::load_state(util::BinaryReader& in) {
   cached_rows_.clear();
   rows_cached_ = false;
   rows_at_mutation_ = 0;
+  return true;
+}
+
+void Sensor::merge_from(Sensor&& other) {
+  dedup_.merge_from(std::move(other.dedup_));
+  aggregator_.merge_from(std::move(other.aggregator_));
+  // The merged tallies split into "already published" (by either sensor's
+  // own publish points) and "pending"; summing the watermarks keeps every
+  // record published to the registry exactly once.
+  published_admitted_ += other.published_admitted_;
+  published_suppressed_ += other.published_suppressed_;
+  other.published_admitted_ = 0;
+  other.published_suppressed_ = 0;
+  cached_rows_.clear();
+  rows_cached_ = false;
+  rows_at_mutation_ = 0;
+}
+
+bool Sensor::merge_state(util::BinaryReader& in) {
+  Sensor scratch(config_, as_db_, geo_db_, resolver_);
+  if (!scratch.load_state(in)) return false;
+  // The exporting process's registry is not ours: count every imported
+  // tally as unpublished so this process's counters cover the full merged
+  // stream exactly once.
+  scratch.published_admitted_ = 0;
+  scratch.published_suppressed_ = 0;
+  merge_from(std::move(scratch));
   return true;
 }
 

@@ -32,6 +32,18 @@ struct SensorConfig {
   /// util::configured_thread_count() (the DNSBS_THREADS knob).  Output is
   /// byte-identical for every setting.
   std::size_t threads = 0;
+  /// Querier-cardinality state: exact histograms (byte-identical legacy
+  /// behavior) or bounded-memory mergeable sketches (see aggregate.hpp).
+  QuerierStateMode querier_state = QuerierStateMode::kExact;
+  /// Exact-histogram size at which an originator promotes to sketches
+  /// (sketch mode only).
+  std::uint32_t sketch_promote_threshold = 64;
+  /// HyperLogLog precision for promoted originators (sketch mode only).
+  std::uint8_t sketch_precision = util::HllSketch::kDefaultPrecision;
+
+  QuerierSketchConfig sketch_config() const noexcept {
+    return QuerierSketchConfig{querier_state, sketch_promote_threshold, sketch_precision};
+  }
 };
 
 class Sensor {
@@ -91,6 +103,28 @@ class Sensor {
   /// the lazily-built engine so the next extract_features() stamps a fresh
   /// interval token.  Returns false on config mismatch or corrupt stream.
   bool load_state(util::BinaryReader& in);
+
+  /// Federation: folds another sensor's window state (same config) into
+  /// this one.  For originator-disjoint sources (the export-state
+  /// `--shards` split) the result is byte-identical to one sensor having
+  /// ingested the whole stream; for overlapping sources (per-authority
+  /// splits) exact mode is content-lossless and sketch mode bounded-error.
+  /// Invalidates cached feature rows; the next extract_features() sees the
+  /// merged state.
+  void merge_from(Sensor&& other);
+
+  /// Reads a save_state() stream produced by a sensor with the same
+  /// config and merges it into this one (load into a scratch sensor +
+  /// merge_from).  Returns false on config mismatch or corrupt stream,
+  /// leaving this sensor untouched.
+  bool merge_state(util::BinaryReader& in);
+
+  /// Pre-sizes the aggregate and dedup tables for an N-way merge so the
+  /// coordinator grows each table once, not per source.
+  void reserve_for_merge(std::size_t extra_originators, std::size_t extra_dedup_pairs) {
+    aggregator_.reserve(aggregator_.originator_count() + extra_originators);
+    dedup_.reserve(dedup_.state_size() + extra_dedup_pairs);
+  }
 
   /// Pushes tallies accumulated since the last publish into the registry
   /// (idempotent; const because snapshot_metrics() is a read operation

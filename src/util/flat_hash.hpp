@@ -56,13 +56,22 @@ inline std::size_t next_pow2(std::size_t n) noexcept {
 
 /// Open-addressing hash map: power-of-two capacity, SplitMix64-mixed
 /// hashing, linear probing, backward-shift deletion.  Values must be
-/// default-constructible and movable.  Grows at 3/4 load.
+/// default-constructible and movable (move-only values are fine).  Grows
+/// at 3/4 load.
+///
+/// MinCap is the capacity of the first allocation (power of two >= 2).
+/// The default 16 suits interval-wide tables; per-originator maps — where
+/// millions of instances hold a handful of entries each — shrink their
+/// floor to keep the light-originator footprint down.
 ///
 /// Iterators are invalidated by any insert or erase.  find() returns a
 /// pointer to the slot's std::pair<K, V> (nullptr when absent), which
 /// doubles as the "iterator" for the try_emplace result.
-template <typename K, typename V, typename Hash = std::hash<K>>
+template <typename K, typename V, typename Hash = std::hash<K>, std::size_t MinCap = 16>
 class FlatMap {
+  static_assert(MinCap >= 2 && (MinCap & (MinCap - 1)) == 0,
+                "MinCap must be a power of two >= 2");
+
  public:
   using value_type = std::pair<K, V>;
 
@@ -232,7 +241,8 @@ class FlatMap {
     // smaller than the growth path's 16-slot floor), so only reject
     // non-power-of-two garbage.
     if (cap != 0 && (cap & (cap - 1)) != 0) return false;
-    slots_.assign(cap, value_type{});
+    slots_.clear();
+    slots_.resize(cap);
     used_.assign(cap, 0);
     size_ = 0;
     return true;
@@ -275,7 +285,7 @@ class FlatMap {
 
   void grow_if_needed() {
     if (slots_.empty()) {
-      rehash(16);
+      rehash(MinCap);
     } else if ((size_ + 1) * 4 > slots_.size() * 3) {
       rehash(slots_.size() * 2);
     }
@@ -284,7 +294,8 @@ class FlatMap {
   void rehash(std::size_t new_cap) {
     std::vector<value_type> old_slots = std::move(slots_);
     std::vector<std::uint8_t> old_used = std::move(used_);
-    slots_.assign(new_cap, value_type{});
+    slots_.clear();
+    slots_.resize(new_cap);
     used_.assign(new_cap, 0);
     for (std::size_t s = 0; s < old_slots.size(); ++s) {
       if (!old_used[s]) continue;
@@ -302,7 +313,7 @@ class FlatMap {
 
 /// Open-addressing hash set with the same layout/determinism properties
 /// as FlatMap.
-template <typename K, typename Hash = std::hash<K>>
+template <typename K, typename Hash = std::hash<K>, std::size_t MinCap = 16>
 class FlatSet {
   struct Empty {};
 
@@ -337,7 +348,7 @@ class FlatSet {
 
   class const_iterator {
    public:
-    using Inner = typename FlatMap<K, Empty, Hash>::const_iterator;
+    using Inner = typename FlatMap<K, Empty, Hash, MinCap>::const_iterator;
     explicit const_iterator(Inner it) : it_(it) {}
     const K& operator*() const { return it_->first; }
     const_iterator& operator++() {
@@ -355,14 +366,14 @@ class FlatSet {
   const_iterator end() const noexcept { return const_iterator(map_.end()); }
 
  private:
-  FlatMap<K, Empty, Hash> map_;
+  FlatMap<K, Empty, Hash, MinCap> map_;
 };
 
 /// Deterministic ordered iteration for output paths: visits (key, value)
 /// in ascending key order regardless of slot layout.
-template <typename K, typename V, typename H, typename Fn>
-void for_each_sorted(const FlatMap<K, V, H>& map, Fn&& fn) {
-  std::vector<const typename FlatMap<K, V, H>::value_type*> entries;
+template <typename K, typename V, typename H, std::size_t M, typename Fn>
+void for_each_sorted(const FlatMap<K, V, H, M>& map, Fn&& fn) {
+  std::vector<const typename FlatMap<K, V, H, M>::value_type*> entries;
   entries.reserve(map.size());
   for (const auto& kv : map) entries.push_back(&kv);
   std::sort(entries.begin(), entries.end(),
@@ -371,8 +382,8 @@ void for_each_sorted(const FlatMap<K, V, H>& map, Fn&& fn) {
 }
 
 /// Keys of a FlatSet in ascending order.
-template <typename K, typename H>
-std::vector<K> sorted_keys(const FlatSet<K, H>& set) {
+template <typename K, typename H, std::size_t M>
+std::vector<K> sorted_keys(const FlatSet<K, H, M>& set) {
   std::vector<K> keys;
   keys.reserve(set.size());
   for (const K& k : set) keys.push_back(k);

@@ -1,0 +1,380 @@
+// Header-only mergeable cardinality sketches (HyperLogLog) for the
+// bounded-memory federation path.
+//
+// Exact per-originator querier sets grow linearly with footprint; a
+// flood-sized originator (paper §III-B "interesting" tail, Fachkha-style
+// amplification victims) can carry hundreds of thousands of unique
+// queriers.  HllSketch bounds that state at 2^precision bytes while
+// keeping the one property federation needs: merge_from() is an
+// elementwise register max, so merging is commutative, associative and
+// idempotent — N sensors can sketch disjoint (or overlapping) slices of
+// the stream and a coordinator folds them in any order to the same
+// registers a single sensor would have produced.
+//
+// Determinism contract (same spirit as flat_hash.hpp): hashing is the
+// SplitMix64 finalizer from flat_detail::mix64 with no per-process salt,
+// the register file is a pure function of the *set* of keys ever added,
+// and estimate() is a pure function of the register file.  Two runs — or
+// two shards merged in any order — that saw the same key set report the
+// same estimate.
+//
+// Representation: a sketch starts sparse (sorted vector of packed
+// (index, rank) entries, 4 bytes each) and densifies into the flat
+// 2^precision register array once the sparse form stops being smaller.
+// The representation is a pure function of the operation sequence, and
+// serialization captures it verbatim, so checkpoint round-trips are
+// byte-identical and restored sketches evolve exactly like uninterrupted
+// ones.
+#pragma once
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/binio.hpp"
+#include "util/flat_hash.hpp"
+
+namespace dnsbs::util {
+
+class HllSketch {
+ public:
+  static constexpr std::uint8_t kMinPrecision = 4;
+  static constexpr std::uint8_t kMaxPrecision = 16;
+  static constexpr std::uint8_t kDefaultPrecision = 12;  ///< ~1.6% std error
+
+  explicit HllSketch(std::uint8_t precision = kDefaultPrecision)
+      : precision_(clamp_precision(precision)) {}
+
+  std::uint8_t precision() const noexcept { return precision_; }
+  std::size_t register_count() const noexcept { return std::size_t{1} << precision_; }
+  bool dense() const noexcept { return !regs_.empty(); }
+  bool empty() const noexcept { return regs_.empty() && sparse_.empty(); }
+
+  /// Adds a raw 64-bit key (mixed through SplitMix64, matching the flat
+  /// containers' hashing).  Adding the same key again is a no-op.
+  void add(std::uint64_t key) { add_hash(flat_detail::mix64(key)); }
+
+  /// Adds a pre-mixed 64-bit hash.
+  void add_hash(std::uint64_t h) {
+    const std::uint32_t idx = static_cast<std::uint32_t>(h >> (64 - precision_));
+    const std::uint64_t rest = h << precision_;
+    const std::uint8_t rho =
+        rest == 0 ? static_cast<std::uint8_t>(65 - precision_)
+                  : static_cast<std::uint8_t>(std::countl_zero(rest) + 1);
+    set_register(idx, rho);
+  }
+
+  /// Elementwise register max.  Commutative, associative, idempotent.
+  /// Requires matching precision; returns false (and leaves this sketch
+  /// untouched) on a mismatch.
+  bool merge_from(const HllSketch& other) {
+    if (other.precision_ != precision_) return false;
+    if (other.empty()) return true;
+    if (dense() || other.dense()) {
+      if (!dense()) densify();
+      if (other.dense()) {
+        for (std::size_t i = 0; i < regs_.size(); ++i) {
+          regs_[i] = std::max(regs_[i], other.regs_[i]);
+        }
+      } else {
+        for (const std::uint32_t packed : other.sparse_) {
+          const std::size_t idx = packed >> 8;
+          regs_[idx] = std::max(regs_[idx], static_cast<std::uint8_t>(packed & 0xffu));
+        }
+      }
+    } else {
+      // Two sorted sparse lists: linear merge, max rank on a shared index.
+      std::vector<std::uint32_t> merged;
+      merged.reserve(sparse_.size() + other.sparse_.size());
+      std::size_t a = 0, b = 0;
+      while (a < sparse_.size() && b < other.sparse_.size()) {
+        const std::uint32_t ia = sparse_[a] >> 8, ib = other.sparse_[b] >> 8;
+        if (ia < ib) {
+          merged.push_back(sparse_[a++]);
+        } else if (ib < ia) {
+          merged.push_back(other.sparse_[b++]);
+        } else {
+          merged.push_back(std::max(sparse_[a++], other.sparse_[b++]));
+        }
+      }
+      merged.insert(merged.end(), sparse_.begin() + static_cast<std::ptrdiff_t>(a),
+                    sparse_.end());
+      merged.insert(merged.end(), other.sparse_.begin() + static_cast<std::ptrdiff_t>(b),
+                    other.sparse_.end());
+      sparse_ = std::move(merged);
+      if (sparse_.size() >= densify_threshold()) densify();
+    }
+    cache_valid_ = false;
+    return true;
+  }
+
+  /// Cardinality estimate (cached; recomputed after any mutation).  A pure
+  /// function of the register file — identical for any add/merge order
+  /// that produced the same key set.
+  double estimate() const {
+    if (!cache_valid_) {
+      cached_estimate_ = compute_estimate();
+      cache_valid_ = true;
+    }
+    return cached_estimate_;
+  }
+  std::uint64_t estimate_u64() const {
+    return static_cast<std::uint64_t>(std::llround(estimate()));
+  }
+
+  /// Bytes of register state currently held (sparse entries or the dense
+  /// array) — the footprint the sketch-mode RSS gate is about.
+  std::size_t memory_bytes() const noexcept {
+    return dense() ? regs_.size() : sparse_.size() * sizeof(std::uint32_t);
+  }
+
+  /// Serializes the representation verbatim (form byte + payload), so a
+  /// restored sketch is byte-identical on the next save and evolves
+  /// exactly like the uninterrupted one.
+  void save(BinaryWriter& out) const {
+    out.u8(precision_);
+    out.u8(dense() ? 1 : 0);
+    if (dense()) {
+      out.bytes(regs_.data(), regs_.size());
+    } else {
+      out.u64(sparse_.size());
+      for (const std::uint32_t packed : sparse_) out.u32(packed);
+    }
+  }
+
+  bool load(BinaryReader& in) {
+    const std::uint8_t p = in.u8();
+    const std::uint8_t form = in.u8();
+    if (!in.ok() || p < kMinPrecision || p > kMaxPrecision || form > 1) return false;
+    precision_ = p;
+    regs_.clear();
+    sparse_.clear();
+    cache_valid_ = false;
+    const std::uint8_t max_rho = static_cast<std::uint8_t>(65 - precision_);
+    if (form == 1) {
+      regs_.resize(register_count());
+      if (!in.bytes(regs_.data(), regs_.size())) return false;
+      for (const std::uint8_t r : regs_) {
+        if (r > max_rho) return false;
+      }
+    } else {
+      const std::uint64_t n = in.u64();
+      if (!in.ok() || n >= densify_threshold()) return false;
+      sparse_.reserve(static_cast<std::size_t>(n));
+      std::uint32_t prev_idx = 0;
+      for (std::uint64_t i = 0; i < n; ++i) {
+        const std::uint32_t packed = in.u32();
+        const std::uint32_t idx = packed >> 8;
+        const std::uint8_t rho = static_cast<std::uint8_t>(packed & 0xffu);
+        if (!in.ok() || idx >= register_count() || rho == 0 || rho > max_rho ||
+            (i != 0 && idx <= prev_idx)) {
+          return false;
+        }
+        sparse_.push_back(packed);
+        prev_idx = idx;
+      }
+    }
+    return in.ok();
+  }
+
+ private:
+  static std::uint8_t clamp_precision(std::uint8_t p) noexcept {
+    return p < kMinPrecision ? kMinPrecision : (p > kMaxPrecision ? kMaxPrecision : p);
+  }
+
+  /// Sparse entries are 4 bytes each; switch to the flat array once the
+  /// sparse form would match its size.
+  std::size_t densify_threshold() const noexcept { return register_count() / 4; }
+
+  void set_register(std::uint32_t idx, std::uint8_t rho) {
+    if (dense()) {
+      if (rho > regs_[idx]) {
+        regs_[idx] = rho;
+        cache_valid_ = false;
+      }
+      return;
+    }
+    const std::uint32_t packed = (idx << 8) | rho;
+    auto it = std::lower_bound(sparse_.begin(), sparse_.end(), std::uint32_t{idx << 8});
+    if (it != sparse_.end() && (*it >> 8) == idx) {
+      if (packed > *it) {
+        *it = packed;
+        cache_valid_ = false;
+      }
+      return;
+    }
+    sparse_.insert(it, packed);
+    cache_valid_ = false;
+    if (sparse_.size() >= densify_threshold()) densify();
+  }
+
+  void densify() {
+    regs_.assign(register_count(), 0);
+    for (const std::uint32_t packed : sparse_) {
+      regs_[packed >> 8] = static_cast<std::uint8_t>(packed & 0xffu);
+    }
+    sparse_.clear();
+    sparse_.shrink_to_fit();
+  }
+
+  static double alpha_m(std::size_t m) noexcept {
+    switch (m) {
+      case 16: return 0.673;
+      case 32: return 0.697;
+      case 64: return 0.709;
+      default: return 0.7213 / (1.0 + 1.079 / static_cast<double>(m));
+    }
+  }
+
+  double compute_estimate() const {
+    const std::size_t m = register_count();
+    double sum = 0.0;
+    std::size_t zeros = 0;
+    // Canonical accumulation order: register index 0..m-1 for both forms,
+    // so the estimate never depends on which representation holds the
+    // registers.
+    const auto accumulate = [&](std::uint8_t reg) {
+      if (reg == 0) {
+        ++zeros;
+        sum += 1.0;
+      } else {
+        sum += std::ldexp(1.0, -static_cast<int>(reg));
+      }
+    };
+    if (dense()) {
+      for (const std::uint8_t r : regs_) accumulate(r);
+    } else {
+      std::size_t next = 0;
+      for (const std::uint32_t packed : sparse_) {
+        const std::size_t idx = packed >> 8;
+        for (; next < idx; ++next) accumulate(0);
+        accumulate(static_cast<std::uint8_t>(packed & 0xffu));
+        next = idx + 1;
+      }
+      for (; next < m; ++next) accumulate(0);
+    }
+    const double md = static_cast<double>(m);
+    const double raw = alpha_m(m) * md * md / sum;
+    if (raw <= 2.5 * md && zeros != 0) {
+      // Linear counting: far more accurate while most registers are zero.
+      return md * std::log(md / static_cast<double>(zeros));
+    }
+    // 64-bit hashes: the classic 32-bit large-range correction never
+    // applies at these cardinalities.
+    return raw;
+  }
+
+  std::uint8_t precision_;
+  /// Sparse form: sorted by register index, packed (index << 8) | rank.
+  std::vector<std::uint32_t> sparse_;
+  /// Dense form: 2^precision ranks; non-empty once densified.
+  std::vector<std::uint8_t> regs_;
+  mutable double cached_estimate_ = 0.0;
+  mutable bool cache_valid_ = false;
+};
+
+/// Exact-until-threshold cardinality estimator: small sets stay an exact
+/// FlatSet (count() is exact, serialization slot-exact, downstream
+/// consumers byte-identical to a sketch-free build), and only sets that
+/// outgrow `promote_threshold` pay for HLL registers.  Promotion folds
+/// every exact key into the sketch, so the register file — and therefore
+/// the estimate — is a pure function of the key set, independent of when
+/// promotion happened or in which merge order keys arrived.
+class CardinalityEstimator {
+ public:
+  explicit CardinalityEstimator(std::uint32_t promote_threshold = 1024,
+                                std::uint8_t precision = HllSketch::kDefaultPrecision)
+      : sketch_(precision), threshold_(promote_threshold) {}
+
+  std::uint32_t promote_threshold() const noexcept { return threshold_; }
+  std::uint8_t precision() const noexcept { return sketch_.precision(); }
+  bool promoted() const noexcept { return promoted_; }
+
+  void add(std::uint64_t key) {
+    if (!promoted_) {
+      if (exact_.insert(key) && exact_.size() > threshold_) promote();
+      return;
+    }
+    sketch_.add(key);
+  }
+
+  /// Exact size before promotion, sketch estimate after.
+  std::uint64_t count() const {
+    return promoted_ ? sketch_.estimate_u64() : exact_.size();
+  }
+
+  /// Requires matching knobs (the federation path configures every sensor
+  /// identically); returns false on a mismatch.
+  bool merge_from(const CardinalityEstimator& other) {
+    if (threshold_ != other.threshold_ || precision() != other.precision()) return false;
+    if (other.promoted_) {
+      if (!promoted_) promote();
+      return sketch_.merge_from(other.sketch_);
+    }
+    for (const std::uint64_t key : other.exact_) add(key);
+    return true;
+  }
+
+  std::size_t memory_bytes() const noexcept {
+    return exact_.capacity() * sizeof(std::uint64_t) * 2 + sketch_.memory_bytes();
+  }
+
+  /// Slot-exact below the threshold (the exact set's layout is
+  /// load-bearing for determinism, like every flat container checkpoint),
+  /// representation-exact above it.
+  void save(BinaryWriter& out) const {
+    out.u32(threshold_);
+    out.u8(promoted_ ? 1 : 0);
+    if (promoted_) {
+      sketch_.save(out);
+    } else {
+      out.u8(sketch_.precision());
+      out.u64(exact_.capacity());
+      out.u64(exact_.size());
+      exact_.for_each_slot([&out](std::size_t slot, std::uint64_t key) {
+        out.u64(slot);
+        out.u64(key);
+      });
+    }
+  }
+
+  bool load(BinaryReader& in) {
+    const std::uint32_t threshold = in.u32();
+    const std::uint8_t was_promoted = in.u8();
+    if (!in.ok() || threshold != threshold_ || was_promoted > 1) return false;
+    exact_.clear();
+    promoted_ = was_promoted != 0;
+    if (promoted_) {
+      const std::uint8_t want = precision();
+      if (!sketch_.load(in) || sketch_.precision() != want) return false;
+      return true;
+    }
+    const std::uint8_t p = in.u8();
+    if (!in.ok() || p != precision()) return false;
+    sketch_ = HllSketch(p);
+    const std::uint64_t cap = in.u64();
+    const std::uint64_t n = in.u64();
+    if (!in.ok() || n > cap || !exact_.restore_layout(cap)) return false;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const std::uint64_t slot = in.u64();
+      const std::uint64_t key = in.u64();
+      if (!in.ok() || !exact_.place(slot, key)) return false;
+    }
+    return in.ok();
+  }
+
+ private:
+  void promote() {
+    for (const std::uint64_t key : exact_) sketch_.add(key);
+    exact_ = FlatSet<std::uint64_t>{};  // clear() keeps capacity; release it
+    promoted_ = true;
+  }
+
+  FlatSet<std::uint64_t> exact_;
+  HllSketch sketch_;
+  std::uint32_t threshold_;
+  bool promoted_ = false;
+};
+
+}  // namespace dnsbs::util

@@ -464,6 +464,79 @@ TEST(StreamingDriver, CheckpointRestoreIsByteIdentical) {
   }
 }
 
+TEST(StreamingDriver, CheckpointRestoreIsByteIdenticalInSketchMode) {
+  // Same mid-window kill-and-restore contract as the exact-mode test, but
+  // with querier state in sketch mode and the promotion threshold set low
+  // enough that some originators are promoted (registers + frozen sample)
+  // and some are still exact histograms when the checkpoint lands.  The
+  // rendered windows include the deterministic metric view, so the
+  // dnsbs.aggregate.sketch_* counters must also survive the restart.
+  Dbs dbs;
+  const CategoryResolver resolver;
+  analysis::StreamingConfig sc;
+  sc.window = SimTime::seconds(600);
+
+  analysis::WindowedPipelineConfig pc = pipeline_config();
+  pc.sensor.querier_state = core::QuerierStateMode::kSketch;
+  pc.sensor.sketch_promote_threshold = 6;  // footprints 7..9 promote, 4..6 stay exact
+
+  std::vector<QueryRecord> records;
+  for (const std::int64_t w : {0, 1, 2, 3}) append_block(records, w * 600);
+  std::size_t split = 0;
+  while (split < records.size() && records[split].time.secs() < 1300) ++split;
+  ASSERT_GT(split, 0u);
+  ASSERT_LT(split, records.size());
+
+  std::vector<std::string> expect;
+  {
+    analysis::WindowedPipeline pipeline(pc, dbs.as_db, dbs.geo_db, resolver);
+    pipeline.set_labels(make_labels());
+    analysis::StreamingWindowDriver driver(sc, pipeline, dbs.as_db, dbs.geo_db, resolver);
+    for (const QueryRecord& r : records) driver.offer(r);
+    driver.flush();
+    expect = render_all(pipeline, /*with_metrics=*/true);
+  }
+  ASSERT_EQ(expect.size(), 4u);
+  bool saw_promotion = false;
+  for (const std::string& w : expect) {
+    const auto pos = w.find("metric dnsbs.aggregate.sketch_promotions=");
+    if (pos != std::string::npos && w.compare(pos + 41, 1, "0") != 0) {
+      saw_promotion = true;
+    }
+  }
+  EXPECT_TRUE(saw_promotion) << "threshold too high to exercise promotion";
+
+  std::stringstream checkpoint;
+  std::vector<std::string> got;
+  {
+    analysis::WindowedPipeline pipeline(pc, dbs.as_db, dbs.geo_db, resolver);
+    pipeline.set_labels(make_labels());
+    analysis::StreamingWindowDriver driver(sc, pipeline, dbs.as_db, dbs.geo_db, resolver);
+    for (std::size_t i = 0; i < split; ++i) driver.offer(records[i]);
+    EXPECT_EQ(driver.open_windows(), 1u) << "checkpoint should land mid-window";
+    ASSERT_TRUE(driver.save(checkpoint));
+    got = render_all(pipeline, /*with_metrics=*/true);
+  }
+  {
+    analysis::WindowedPipeline pipeline(pc, dbs.as_db, dbs.geo_db, resolver);
+    pipeline.set_labels(make_labels());
+    analysis::StreamingWindowDriver driver(sc, pipeline, dbs.as_db, dbs.geo_db, resolver);
+    ASSERT_TRUE(driver.restore(checkpoint));
+    for (std::size_t i = split; i < records.size(); ++i) driver.offer(records[i]);
+    driver.flush();
+    EXPECT_EQ(driver.windows_closed(), 4u);
+    for (std::string& s : render_all(pipeline, /*with_metrics=*/true)) {
+      got.push_back(std::move(s));
+    }
+  }
+
+  ASSERT_EQ(got.size(), expect.size());
+  for (std::size_t i = 0; i < expect.size(); ++i) {
+    EXPECT_EQ(got[i], expect[i]) << "window " << i
+                                 << " diverged across the sketch-mode restart";
+  }
+}
+
 TEST(StreamingDriver, RestoreRejectsMismatchedConfig) {
   Dbs dbs;
   const CategoryResolver resolver;

@@ -12,6 +12,10 @@
 #                              # dnsbs_cli serve twice — once uninterrupted,
 #                              # once checkpoint+kill+restore mid-stream —
 #                              # and require byte-identical window summaries
+#   FEDERATION=1 tools/check.sh  # federation smoke: 4 export-state shards
+#                              # folded by `merge` must match single-sensor
+#                              # `analyze` byte-for-byte (exact and sketch
+#                              # modes); mismatched configs must refuse
 #
 # Extra arguments are passed straight to ctest.  Environment knobs:
 #   BUILD_DIR  build tree (default: <repo>/build-asan, build-tsan, build-perf)
@@ -49,6 +53,12 @@ if [[ "${PERF:-0}" == "1" ]]; then
   # ML training gate: same >10% rule against the committed training/predict
   # throughput baseline (BENCH_ml.json, written by bench_ml --json).
   "$BUILD/bench/bench_ml" --check "$ROOT/BENCH_ml.json" --repeat 5 "$@"
+  # Federated-merge gate: exact + sketch self-exec children over the
+  # 1M+-originator scenario, checked against BENCH_perf_merge.json (merge
+  # throughput both modes, plus the >=4x sketch RSS advantage — the ratio
+  # is also a hard floor inside the bench itself).
+  "$BUILD/bench/bench_perf_pipeline" --merge --repeat 3 \
+    --check "$ROOT/BENCH_perf_merge.json" "$@"
 
   # Metrics-overhead gate: the instrumented build must stay within 2% of a
   # -DDNSBS_METRICS=OFF no-op build on the end-to-end axis (the budget in
@@ -142,6 +152,59 @@ if [[ "${SERVE:-0}" == "1" ]]; then
     exit 1
   }
   echo "serve smoke passed: $(grep -c '^window ' "$WORK/windows_a.txt") windows byte-identical across restart"
+  exit 0
+fi
+
+if [[ "${FEDERATION:-0}" == "1" ]]; then
+  # Federation smoke: the N-sensor merge contract end to end through the
+  # CLI.  Four originator-disjoint export-state shards folded by `merge`
+  # must reproduce the single-sensor `analyze` byte-for-byte — in exact
+  # mode AND in sketch mode (disjoint shards move per-originator state
+  # wholesale) — and a coordinator configured differently must refuse the
+  # state files.
+  BUILD="${BUILD_DIR:-$ROOT/build-federation}"
+  GEN=()
+  command -v ninja >/dev/null 2>&1 && GEN=(-G Ninja)
+  cmake -B "$BUILD" -S "$ROOT" "${GEN[@]}" -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake --build "$BUILD" -j"$JOBS" --target dnsbs_cli
+  CLI="$BUILD/tools/dnsbs_cli"
+  WORK="$(mktemp -d)"
+  trap 'rm -rf "$WORK"' EXIT
+
+  WORLD=(--scenario jp --scale 0.05 --seed 7)
+  "$CLI" generate "${WORLD[@]}" --out "$WORK/query.log"
+
+  for MODE in exact sketch; do
+    KNOBS=(--querier-state "$MODE")
+    [[ "$MODE" == "sketch" ]] && KNOBS+=(--sketch-threshold 8)
+    echo "federation smoke: $MODE mode, 4 shards"
+    "$CLI" analyze "${WORLD[@]}" "${KNOBS[@]}" --log "$WORK/query.log" \
+      --csv "$WORK/single_$MODE.csv" > "$WORK/single_$MODE.txt"
+    STATES=()
+    for i in 0 1 2 3; do
+      "$CLI" export-state "${WORLD[@]}" "${KNOBS[@]}" --log "$WORK/query.log" \
+        --shards 4 --shard-index "$i" --state-out "$WORK/shard_${MODE}_$i.state"
+      STATES+=(--state "$WORK/shard_${MODE}_$i.state")
+    done
+    "$CLI" merge "${WORLD[@]}" "${KNOBS[@]}" "${STATES[@]}" \
+      --csv "$WORK/fed_$MODE.csv" > "$WORK/fed_$MODE.txt"
+    diff "$WORK/single_$MODE.txt" "$WORK/fed_$MODE.txt" || {
+      echo "federation smoke FAILED: $MODE merge report diverged from single sensor"
+      exit 1
+    }
+    diff "$WORK/single_$MODE.csv" "$WORK/fed_$MODE.csv" || {
+      echo "federation smoke FAILED: $MODE merge CSV diverged from single sensor"
+      exit 1
+    }
+  done
+
+  # Config-mismatch refusal: an exact coordinator must reject sketch state.
+  if "$CLI" merge "${WORLD[@]}" --state "$WORK/shard_sketch_0.state" \
+      > /dev/null 2>&1; then
+    echo "federation smoke FAILED: exact coordinator accepted sketch state"
+    exit 1
+  fi
+  echo "federation smoke passed: exact + sketch merges byte-identical, mismatch refused"
   exit 0
 fi
 

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "util/cli.hpp"
 
@@ -42,6 +43,17 @@ struct Options {
   // sendlog / ctl
   std::string to;                   ///< "host:port" target
   std::string ctl_cmd = "stats";    ///< stats|checkpoint|flush|shutdown|ping
+
+  // querier-cardinality state (analyze/stats/serve/export-state/merge)
+  std::string querier_state = "exact";  ///< exact|sketch
+  std::uint64_t sketch_threshold = 64;  ///< exact-to-sketch promotion size
+  std::uint64_t sketch_precision = 12;  ///< HLL precision (registers = 2^p)
+
+  // federation (export-state / merge)
+  std::uint64_t shards = 1;          ///< export: total originator shards
+  std::uint64_t shard_index = 0;     ///< export: this sensor's shard
+  std::string state_out;             ///< export: state file destination
+  std::vector<std::string> state_paths;  ///< merge: repeatable --state inputs
 };
 
 /// Parses argv[1..] into `opt`.  On failure returns false with a message
@@ -121,6 +133,33 @@ inline bool parse(int argc, char* const* argv, Options& opt, std::string& error)
       opt.to = value;
     } else if (flag == "--cmd") {
       opt.ctl_cmd = value;
+    } else if (flag == "--querier-state") {
+      opt.querier_state = value;
+      if (opt.querier_state != "exact" && opt.querier_state != "sketch") {
+        error = "flag --querier-state: want exact or sketch, got '" +
+                opt.querier_state + "'";
+        return false;
+      }
+    } else if (flag == "--sketch-threshold") {
+      ok = util::parse_u64(value, opt.sketch_threshold, &why);
+    } else if (flag == "--sketch-precision") {
+      ok = util::parse_u64(value, opt.sketch_precision, &why);
+      if (ok && (opt.sketch_precision < 4 || opt.sketch_precision > 16)) {
+        error = "flag --sketch-precision: want 4..16";
+        return false;
+      }
+    } else if (flag == "--shards") {
+      ok = util::parse_u64(value, opt.shards, &why);
+      if (ok && opt.shards == 0) {
+        error = "flag --shards: want at least 1";
+        return false;
+      }
+    } else if (flag == "--shard-index") {
+      ok = util::parse_u64(value, opt.shard_index, &why);
+    } else if (flag == "--state-out") {
+      opt.state_out = value;
+    } else if (flag == "--state") {
+      opt.state_paths.emplace_back(value);
     } else {
       error = "unknown flag: " + flag;
       return false;

@@ -31,6 +31,18 @@
 //   dnsbs_cli ctl       --to HOST:PORT [--cmd stats|checkpoint|flush|shutdown|ping]
 //       Send one control command to a running daemon and print the reply.
 //
+//   dnsbs_cli export-state --log FILE --state-out FILE
+//                       [--shards N --shard-index I] [--querier-state M]
+//       Run one federated sensor over (its shard of) a query log and write
+//       a transferable state snapshot.  N exports with --shards N tile the
+//       log disjointly by originator.
+//
+//   dnsbs_cli merge     --state FILE [--state FILE ...] [--csv FILE]
+//       Coordinator: fold exported state snapshots into one sensor and
+//       print the same report `analyze` would.  Merging N disjoint shards
+//       reproduces the single-sensor analyze output byte-for-byte (exact
+//       mode); sketch-mode merges carry the documented HLL error bound.
+//
 // Every subcommand accepts --metrics-out FILE to dump the final metrics
 // snapshot; a path ending in ".prom" selects Prometheus text exposition,
 // anything else gets JSON.
@@ -48,6 +60,7 @@
 #include <string>
 
 #include "cli_options.hpp"
+#include "core/federation.hpp"
 #include "core/sensor.hpp"
 #include "dns/capture.hpp"
 #include "labeling/curator.hpp"
@@ -55,6 +68,7 @@
 #include "net/socket.hpp"
 #include "serve/daemon.hpp"
 #include "sim/scenario.hpp"
+#include "util/binio.hpp"
 #include "util/metrics.hpp"
 #include "util/table.hpp"
 
@@ -65,7 +79,9 @@ using namespace dnsbs;
 int usage() {
   std::fprintf(
       stderr,
-      "usage: dnsbs_cli <generate|analyze|classify|stats|serve|sendlog|ctl> [options]\n"
+      "usage: dnsbs_cli "
+      "<generate|analyze|classify|stats|serve|sendlog|ctl|export-state|merge> "
+      "[options]\n"
       "  --scenario jp|b|m   vantage preset (default jp)\n"
       "  --scale S           world scale (default 0.15)\n"
       "  --seed N            world seed (default 1)\n"
@@ -75,6 +91,14 @@ int usage() {
       "  --metrics-out FILE  metrics snapshot (.prom = Prometheus, else JSON)\n"
       "  --min-queriers Q    sensor floor (default 20)\n"
       "  --top K             rows to print (default 20)\n"
+      "  --querier-state M   exact|sketch querier cardinality state (default exact)\n"
+      "  --sketch-threshold N  exact-to-sketch promotion size (default 64)\n"
+      "  --sketch-precision P  HLL precision 4..16 (default 12)\n"
+      "federation:\n"
+      "  --shards N          (export-state) split the log into N originator shards\n"
+      "  --shard-index I     (export-state) which shard this sensor ingests\n"
+      "  --state-out FILE    (export-state) state snapshot destination\n"
+      "  --state FILE        (merge, repeatable) state snapshots to fold in\n"
       "serve:\n"
       "  --bind A            listen address (default 127.0.0.1)\n"
       "  --udp-port P        UDP intake port (default 0 = ephemeral)\n"
@@ -134,52 +158,24 @@ sim::ScenarioConfig config_for(const cli::Options& opt) {
   return sim::jp_ditl_config(opt.seed, opt.scale);
 }
 
-int cmd_generate(const cli::Options& opt) {
-  if (opt.out_path.empty()) {
-    std::fprintf(stderr, "generate requires --out FILE\n");
-    return 2;
-  }
-  sim::Scenario scenario(config_for(opt));
-  std::fprintf(stderr, "simulating %s (scale %.2f, seed %llu)...\n",
-               scenario.config().name.c_str(), opt.scale,
-               static_cast<unsigned long long>(opt.seed));
-  scenario.run();
-  std::ofstream out(opt.out_path);
-  if (!out) {
-    std::fprintf(stderr, "cannot write %s\n", opt.out_path.c_str());
-    return 1;
-  }
-  dns::QueryLogWriter writer(out);
-  for (const auto& record : scenario.authority(0).records()) writer.write(record);
-  std::fprintf(stderr, "wrote %zu records from %s to %s\n", writer.count(),
-               scenario.authority(0).config().name.c_str(), opt.out_path.c_str());
-  return 0;
+/// Sensor knobs shared by every pipeline-running subcommand, including the
+/// querier-state mode — export-state and merge must build sensors with the
+/// same config or import refuses the state file.
+core::SensorConfig sensor_config_for(const cli::Options& opt) {
+  core::SensorConfig sc;
+  sc.min_queriers = opt.min_queriers;
+  if (opt.querier_state == "sketch") sc.querier_state = core::QuerierStateMode::kSketch;
+  sc.sketch_promote_threshold = static_cast<std::uint32_t>(opt.sketch_threshold);
+  sc.sketch_precision = static_cast<std::uint8_t>(opt.sketch_precision);
+  return sc;
 }
 
-int cmd_analyze(const cli::Options& opt) {
-  if (opt.log_path.empty()) {
-    std::fprintf(stderr, "analyze requires --log FILE\n");
-    return 2;
-  }
-  sim::Scenario scenario(config_for(opt));  // world only; no traffic run
-  std::ifstream in(opt.log_path);
-  if (!in) {
-    std::fprintf(stderr, "cannot read %s\n", opt.log_path.c_str());
-    return 1;
-  }
-  core::SensorConfig sensor_config;
-  sensor_config.min_queriers = opt.min_queriers;
-  core::Sensor sensor(sensor_config, scenario.plan().as_db(), scenario.plan().geo_db(),
-                      scenario.naming());
-  std::size_t skipped = 0;
-  std::vector<dns::QueryRecord> records;
-  {
-    dns::QueryLogReader reader(in);
-    while (auto record = reader.next()) records.push_back(*record);
-    skipped = reader.skipped();
-  }
-  sensor.ingest_all(records);
-  std::fprintf(stderr, "replayed %zu records (%zu skipped)\n", records.size(), skipped);
+/// Shared tail of `analyze` and `merge`: extract features, train a forest
+/// on the world's ground truth, print the top-originator table and the
+/// optional CSV.  One renderer means a federated merge is byte-comparable
+/// (stdout and CSV) against a single-sensor analyze of the full log.
+int report_analysis(sim::Scenario& scenario, core::Sensor& sensor,
+                    const cli::Options& opt) {
   const auto features = sensor.extract_features();
 
   // Train a forest on the world's ground truth restricted to detected
@@ -241,6 +237,136 @@ int cmd_analyze(const cli::Options& opt) {
   return 0;
 }
 
+int cmd_generate(const cli::Options& opt) {
+  if (opt.out_path.empty()) {
+    std::fprintf(stderr, "generate requires --out FILE\n");
+    return 2;
+  }
+  sim::Scenario scenario(config_for(opt));
+  std::fprintf(stderr, "simulating %s (scale %.2f, seed %llu)...\n",
+               scenario.config().name.c_str(), opt.scale,
+               static_cast<unsigned long long>(opt.seed));
+  scenario.run();
+  std::ofstream out(opt.out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", opt.out_path.c_str());
+    return 1;
+  }
+  dns::QueryLogWriter writer(out);
+  for (const auto& record : scenario.authority(0).records()) writer.write(record);
+  std::fprintf(stderr, "wrote %zu records from %s to %s\n", writer.count(),
+               scenario.authority(0).config().name.c_str(), opt.out_path.c_str());
+  return 0;
+}
+
+int cmd_analyze(const cli::Options& opt) {
+  if (opt.log_path.empty()) {
+    std::fprintf(stderr, "analyze requires --log FILE\n");
+    return 2;
+  }
+  sim::Scenario scenario(config_for(opt));  // world only; no traffic run
+  std::ifstream in(opt.log_path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", opt.log_path.c_str());
+    return 1;
+  }
+  core::Sensor sensor(sensor_config_for(opt), scenario.plan().as_db(),
+                      scenario.plan().geo_db(), scenario.naming());
+  std::size_t skipped = 0;
+  std::vector<dns::QueryRecord> records;
+  {
+    dns::QueryLogReader reader(in);
+    while (auto record = reader.next()) records.push_back(*record);
+    skipped = reader.skipped();
+  }
+  sensor.ingest_all(records);
+  std::fprintf(stderr, "replayed %zu records (%zu skipped)\n", records.size(), skipped);
+  return report_analysis(scenario, sensor, opt);
+}
+
+int cmd_export_state(const cli::Options& opt) {
+  if (opt.log_path.empty()) {
+    std::fprintf(stderr, "export-state requires --log FILE\n");
+    return 2;
+  }
+  const std::string& out_path = !opt.state_out.empty() ? opt.state_out : opt.out_path;
+  if (out_path.empty()) {
+    std::fprintf(stderr, "export-state requires --state-out FILE\n");
+    return 2;
+  }
+  if (opt.shards > 1 && opt.shard_index >= opt.shards) {
+    std::fprintf(stderr, "--shard-index must be < --shards (%llu)\n",
+                 static_cast<unsigned long long>(opt.shards));
+    return 2;
+  }
+  sim::Scenario scenario(config_for(opt));  // world only; no traffic run
+  std::ifstream in(opt.log_path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", opt.log_path.c_str());
+    return 1;
+  }
+  std::vector<dns::QueryRecord> records;
+  {
+    dns::QueryLogReader reader(in);
+    while (auto record = reader.next()) {
+      // The canonical federation partition: this sensor keeps only its
+      // originator shard, so N exports tile the log disjointly and the
+      // merged result is byte-identical to a single-sensor run.
+      if (opt.shards > 1 &&
+          core::federation_shard(record->originator, opt.shards) != opt.shard_index) {
+        continue;
+      }
+      records.push_back(*record);
+    }
+  }
+  core::Sensor sensor(sensor_config_for(opt), scenario.plan().as_db(),
+                      scenario.plan().geo_db(), scenario.naming());
+  sensor.ingest_all(records);
+
+  std::ofstream out(out_path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  util::BinaryWriter writer(out);
+  core::export_sensor_state(sensor, writer);
+  if (!writer.ok()) {
+    std::fprintf(stderr, "short write to %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "exported shard %llu/%llu: %zu records, %zu originators -> %s\n",
+               static_cast<unsigned long long>(opt.shard_index),
+               static_cast<unsigned long long>(opt.shards), records.size(),
+               sensor.aggregator().originator_count(), out_path.c_str());
+  return 0;
+}
+
+int cmd_merge(const cli::Options& opt) {
+  if (opt.state_paths.empty()) {
+    std::fprintf(stderr, "merge requires at least one --state FILE\n");
+    return 2;
+  }
+  sim::Scenario scenario(config_for(opt));  // world only; no traffic run
+  core::Sensor sensor(sensor_config_for(opt), scenario.plan().as_db(),
+                      scenario.plan().geo_db(), scenario.naming());
+  for (const auto& path : opt.state_paths) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot read %s\n", path.c_str());
+      return 1;
+    }
+    util::BinaryReader reader(in);
+    if (!core::import_sensor_state(reader, sensor)) {
+      std::fprintf(stderr, "merge: %s: config mismatch or corrupt state\n",
+                   path.c_str());
+      return 1;
+    }
+  }
+  std::fprintf(stderr, "merged %zu state files: %zu originators\n",
+               opt.state_paths.size(), sensor.aggregator().originator_count());
+  return report_analysis(scenario, sensor, opt);
+}
+
 int cmd_classify(const cli::Options& opt) {
   sim::Scenario scenario(config_for(opt));
   labeling::Darknet darknet(labeling::default_darknet_prefixes());
@@ -248,10 +374,8 @@ int cmd_classify(const cli::Options& opt) {
   std::fprintf(stderr, "simulating %s...\n", scenario.config().name.c_str());
   scenario.run();
 
-  core::SensorConfig sensor_config;
-  sensor_config.min_queriers = opt.min_queriers;
-  core::Sensor sensor(sensor_config, scenario.plan().as_db(), scenario.plan().geo_db(),
-                      scenario.naming());
+  core::Sensor sensor(sensor_config_for(opt), scenario.plan().as_db(),
+                      scenario.plan().geo_db(), scenario.naming());
   sensor.ingest_all(scenario.authority(0).records());
   const auto features = sensor.extract_features();
 
@@ -322,10 +446,8 @@ void print_metrics_table(const util::MetricsSnapshot& snapshot) {
 
 int cmd_stats(const cli::Options& opt) {
   sim::Scenario scenario(config_for(opt));
-  core::SensorConfig sensor_config;
-  sensor_config.min_queriers = opt.min_queriers;
-  core::Sensor sensor(sensor_config, scenario.plan().as_db(), scenario.plan().geo_db(),
-                      scenario.naming());
+  core::Sensor sensor(sensor_config_for(opt), scenario.plan().as_db(),
+                      scenario.plan().geo_db(), scenario.naming());
 
   if (!opt.log_path.empty()) {
     std::ifstream in(opt.log_path);
@@ -364,7 +486,7 @@ int cmd_serve(const cli::Options& opt) {
   cfg.queue_capacity = opt.queue_capacity;
   cfg.streaming.window = util::SimTime::seconds(opt.window_secs);
   cfg.streaming.hop = util::SimTime::seconds(opt.hop_secs);
-  cfg.pipeline.sensor.min_queriers = opt.min_queriers;
+  cfg.pipeline.sensor = sensor_config_for(opt);
   cfg.pipeline.seed = opt.seed;
   // Summaries are written at window close; no need to hold history forever.
   cfg.pipeline.history_limit = 64;
@@ -499,6 +621,8 @@ int main(int argc, char** argv) {
   else if (opt.command == "serve") rc = cmd_serve(opt);
   else if (opt.command == "sendlog") rc = cmd_sendlog(opt);
   else if (opt.command == "ctl") rc = cmd_ctl(opt);
+  else if (opt.command == "export-state") rc = cmd_export_state(opt);
+  else if (opt.command == "merge") rc = cmd_merge(opt);
   else return usage();
   if (rc == 0 && !write_metrics(opt.metrics_out)) rc = 1;
   return rc;

@@ -1,5 +1,6 @@
 #include "analysis/pipeline.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "util/log.hpp"
@@ -130,13 +131,18 @@ void WindowedPipeline::train_and_classify(std::size_t position) {
     model_->fit(train);
   }
 
-  // Classify everything detected.
+  // Classify everything detected, folding each prediction's vote-fraction
+  // confidence into the window's decile histogram.
   WindowResult& result = results_[position];
+  result.retrained = retrained;
   if (model_) {
     for (const auto& fv : observation.features) {
-      result.classes[fv.originator] =
-          static_cast<core::AppClass>(model_->predict(fv.row()));
+      const auto [cls, confidence] = model_->predict_with_confidence(fv.row());
+      result.classes[fv.originator] = static_cast<core::AppClass>(cls);
       result.footprints[fv.originator] = fv.footprint;
+      const auto bucket = std::min(kConfidenceBuckets - 1,
+                                   static_cast<std::size_t>(confidence * 10.0));
+      ++result.confidence_hist[bucket];
     }
   }
   g_classified.add(result.classes.size());

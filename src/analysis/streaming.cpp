@@ -6,14 +6,17 @@
 #include <ostream>
 
 #include "util/binio.hpp"
+#include "util/log.hpp"
 #include "util/metrics.hpp"
+#include "util/strings.hpp"
 
 namespace dnsbs::analysis {
 
 namespace {
 
 constexpr char kMagic[8] = {'D', 'N', 'S', 'B', 'S', 'C', 'K', 'P'};
-constexpr std::uint32_t kVersion = 1;
+// v2: appended the per-window telemetry history ring (PR 9).
+constexpr std::uint32_t kVersion = 2;
 
 // All three are deterministic: window opens/closes and lateness are pure
 // functions of the record timestamp stream.
@@ -38,7 +41,8 @@ StreamingWindowDriver::StreamingWindowDriver(StreamingConfig config,
       pipeline_(pipeline),
       as_db_(as_db),
       geo_db_(geo_db),
-      resolver_(resolver) {
+      resolver_(resolver),
+      telemetry_(config.telemetry_capacity, config.drift_warn_threshold) {
   // 0 or out-of-range hop means tumbling windows; a hop wider than the
   // window would leave uncovered gaps in the stream.
   if (config_.hop.secs() <= 0 || config_.hop > config_.window) {
@@ -69,6 +73,44 @@ void StreamingWindowDriver::close_front() {
   if (config_.synchronous) pipeline_.finish();
   ++windows_closed_;
   g_closed.inc();
+  // Telemetry needs the window's WindowResult, which only exists once the
+  // train chain joined — so history is a synchronous-mode feature.
+  if (config_.synchronous && config_.telemetry_capacity > 0) record_telemetry();
+}
+
+void StreamingWindowDriver::record_telemetry() {
+  const auto& results = pipeline_.results();
+  if (results.empty()) return;
+  const WindowResult& r = results.back();
+  const util::MetricsSnapshot& d = r.metrics_delta;
+
+  WindowTelemetry entry;
+  entry.index = r.index;
+  entry.start_secs = r.start.secs();
+  entry.end_secs = r.end.secs();
+  entry.records = d.scalar("dnsbs.sensor.records");
+  entry.interesting = d.scalar("dnsbs.sensor.interesting");
+  entry.dedup_admitted = d.scalar("dnsbs.dedup.admitted");
+  entry.dedup_suppressed = d.scalar("dnsbs.dedup.suppressed");
+  entry.late_records = d.scalar("dnsbs.serve.late_dropped");
+  entry.classified = r.classes.size();
+  entry.retrained = r.retrained;
+  entry.confidence_hist = r.confidence_hist;
+  for (const auto& [addr, cls] : r.classes) {
+    const auto i = static_cast<std::size_t>(cls);
+    if (i < entry.class_counts.size()) ++entry.class_counts[i];
+  }
+  entry.queue_depth_peak = queue_depth_peak_;
+  queue_depth_peak_ = 0;
+
+  const WindowTelemetry& stored = telemetry_.record(std::move(entry));
+  if (stored.drift_warned) {
+    util::log_warn(
+        "telemetry",
+        util::format("window %llu class-mix drift %.3f exceeds %.3f vs trailing baseline",
+                     static_cast<unsigned long long>(stored.index), stored.drift,
+                     config_.drift_warn_threshold));
+  }
 }
 
 void StreamingWindowDriver::offer(const dns::QueryRecord& record) {
@@ -106,12 +148,16 @@ void StreamingWindowDriver::flush() {
   while (!windows_.empty()) close_front();
 }
 
+void StreamingWindowDriver::publish_pending_metrics() {
+  pipeline_.finish();
+  for (OpenWindow& w : windows_) w.sensor->publish_metrics();
+}
+
 bool StreamingWindowDriver::save(std::ostream& out_stream) {
   // Quiesce: join the train chain, then reconcile every open sensor's
   // pending tallies into the registry so the snapshot written below
   // matches the published watermarks serialized with each sensor.
-  pipeline_.finish();
-  for (OpenWindow& w : windows_) w.sensor->publish_metrics();
+  publish_pending_metrics();
 
   util::BinaryWriter out(out_stream);
   out.bytes(kMagic, sizeof(kMagic));
@@ -134,6 +180,10 @@ bool StreamingWindowDriver::save(std::ostream& out_stream) {
     out.i64(w.start.secs());
     w.sensor->save_state(out);
   }
+  // Full-fidelity telemetry history (including sched fields): a restored
+  // daemon must answer HISTORY exactly as the checkpointed one would.
+  telemetry_.save(out);
+  out.i64(queue_depth_peak_);
   return out.ok();
 }
 
@@ -164,6 +214,9 @@ bool StreamingWindowDriver::restore(std::istream& in_stream) {
     if (!in.ok() || !w.sensor->load_state(in)) return false;
     windows_.push_back(std::move(w));
   }
+  if (!telemetry_.load(in)) return false;
+  queue_depth_peak_ = in.i64();
+  if (!in.ok()) return false;
   // State validated: install the registry and window numbering.  The
   // registry already contains the checkpoint-time tallies; the restored
   // sensors' watermarks agree, so nothing double-publishes.

@@ -15,12 +15,14 @@
 // contract (save()/restore()) is tested against.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <iosfwd>
 #include <memory>
 
 #include "analysis/pipeline.hpp"
+#include "analysis/telemetry.hpp"
 
 namespace dnsbs::analysis {
 
@@ -37,6 +39,13 @@ struct StreamingConfig {
   /// publish.  Batch-style callers that diff results only at the end can
   /// disable this to overlap train with ingest.
   bool synchronous = true;
+  /// Per-window telemetry ring size (HISTORY verb / GET /windows); 0
+  /// disables retention.  Entries are recorded at window close, which
+  /// requires synchronous mode (asynchronous callers get no telemetry).
+  std::size_t telemetry_capacity = 256;
+  /// WARN when a window's class-mix drift from the trailing baseline
+  /// exceeds this total-variation distance (0..1).
+  double drift_warn_threshold = 0.5;
 };
 
 /// Drives a WindowedPipeline from a record-at-a-time stream.
@@ -76,11 +85,34 @@ class StreamingWindowDriver {
   /// false (state unspecified — discard the pair) on mismatch/corruption.
   bool restore(std::istream& in);
 
+  /// save()'s quiesce without the serialization: joins the pipeline's
+  /// in-flight window and reconciles every open sensor's pending tallies
+  /// into the registry.  The daemon's /metrics scrape runs this first so
+  /// the served snapshot matches what an exit-time --metrics-out dump of
+  /// the same stream would contain.
+  void publish_pending_metrics();
+
   std::size_t open_windows() const noexcept { return windows_.size(); }
   std::uint64_t windows_closed() const noexcept { return windows_closed_; }
   std::uint64_t late_records() const noexcept { return late_records_; }
   /// Stream time of the most recent record offered (start value: 0).
   util::SimTime stream_time() const noexcept { return stream_time_; }
+
+  /// Per-window telemetry ring (empty when telemetry_capacity == 0 or
+  /// synchronous mode is off).
+  const TelemetryHistory& telemetry() const noexcept { return telemetry_; }
+  /// One-line JSON of the most recent `last_n` entries (0 = all) — the
+  /// HISTORY verb's reply body.
+  std::string history_json(std::size_t last_n = 0) const {
+    return telemetry_.to_json(last_n);
+  }
+
+  /// Feeds the intake-queue watermark for the telemetry entry of the
+  /// window currently accumulating; the daemon calls this from its drive
+  /// thread between batches.  Resets at each window close.
+  void note_queue_depth(std::size_t depth) noexcept {
+    queue_depth_peak_ = std::max(queue_depth_peak_, static_cast<std::int64_t>(depth));
+  }
 
  private:
   struct OpenWindow {
@@ -91,6 +123,7 @@ class StreamingWindowDriver {
   std::unique_ptr<core::Sensor> make_sensor() const;
   void open_due_windows(util::SimTime t);
   void close_front();
+  void record_telemetry();
 
   StreamingConfig config_;
   WindowedPipeline& pipeline_;
@@ -104,6 +137,8 @@ class StreamingWindowDriver {
   util::SimTime stream_time_{};
   std::uint64_t windows_closed_ = 0;
   std::uint64_t late_records_ = 0;
+  TelemetryHistory telemetry_;
+  std::int64_t queue_depth_peak_ = 0;
 };
 
 }  // namespace dnsbs::analysis

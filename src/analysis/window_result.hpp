@@ -3,7 +3,9 @@
 // sensor + classifier repeatedly over a long scenario (paper §VI).
 #pragma once
 
+#include <array>
 #include <cstddef>
+#include <cstdint>
 #include <unordered_map>
 
 #include "core/taxonomy.hpp"
@@ -13,6 +15,11 @@
 
 namespace dnsbs::analysis {
 
+/// Fixed decile buckets for the prediction-confidence histogram:
+/// bucket i holds confidences in [i/10, (i+1)/10), except the last which
+/// also takes 1.0.
+inline constexpr std::size_t kConfidenceBuckets = 10;
+
 struct WindowResult {
   std::size_t index = 0;
   util::SimTime start{};
@@ -21,6 +28,12 @@ struct WindowResult {
   std::unordered_map<net::IPv4Addr, core::AppClass> classes;
   /// Footprint (unique queriers) per detected originator.
   std::unordered_map<net::IPv4Addr, std::size_t> footprints;
+  /// Histogram of RF vote-fraction confidence over this window's
+  /// predictions (deciles).  Deterministic: the forest's vote tally is a
+  /// pure function of model + row.
+  std::array<std::uint64_t, kConfidenceBuckets> confidence_hist{};
+  /// True when this window retrained the model (enough fresh labels).
+  bool retrained = false;
   /// Registry delta attributed to this window (records ingested, rows
   /// extracted, retrains, ...).  Exact when windows run through
   /// process_window(); under enqueue_window() pipelining the next window's

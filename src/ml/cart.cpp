@@ -220,7 +220,14 @@ std::uint32_t CartTree::build(BuildContext& ctx, std::size_t begin, std::size_t 
           static_cast<double>(n);
       const double decrease = node_gini - weighted;
       if (decrease > best.decrease) {
-        best = Best{decrease, f, (v_here + v_next) / 2.0};
+        // The midpoint of two adjacent doubles can round up to v_next,
+        // which would send every row left in the partition below (and
+        // recurse forever on the unchanged segment).  Fall back to the
+        // left value: v_here still goes left, v_next right, and predict's
+        // `x <= threshold` stays consistent with the training partition.
+        double threshold = (v_here + v_next) / 2.0;
+        if (threshold >= v_next) threshold = v_here;
+        best = Best{decrease, f, threshold};
       }
     }
   }
@@ -240,6 +247,7 @@ std::uint32_t CartTree::build(BuildContext& ctx, std::size_t begin, std::size_t 
   }
   const std::size_t mid = begin + left_rows;
   assert(mid > begin && mid < end);
+  if (mid == begin || mid == end) return make_leaf();  // e.g. NaN features
 
   // Branchless two-way stable partition: left rows compact in place
   // (writes trail reads, so in-place is safe), right rows spill to scratch

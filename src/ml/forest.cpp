@@ -96,8 +96,13 @@ void RandomForest::fit_indices(const Dataset& data, std::span<const std::size_t>
 }
 
 std::size_t RandomForest::predict(std::span<const double> features) const {
+  return predict_with_confidence(features).first;
+}
+
+std::pair<std::size_t, double> RandomForest::predict_with_confidence(
+    std::span<const double> features) const {
   g_predictions.inc();
-  if (trees_.empty()) return 0;
+  if (trees_.empty()) return {0, 0.0};
   std::vector<std::size_t> votes(class_count_ == 0 ? 1 : class_count_, 0);
   for (const auto& tree : trees_) {
     const std::size_t y = tree.predict(features);
@@ -107,7 +112,11 @@ std::size_t RandomForest::predict(std::span<const double> features) const {
     assert(y < votes.size() && "RandomForest: tree vote outside class range");
     if (y < votes.size()) ++votes[y];
   }
-  return majority_vote(votes);
+  const std::size_t winner = majority_vote(votes);
+  // Vote fraction for the winning class — deterministic (the vote tally
+  // is a pure function of the model and the row), so it can feed
+  // deterministic telemetry like the per-window confidence histogram.
+  return {winner, static_cast<double>(votes[winner]) / static_cast<double>(trees_.size())};
 }
 
 std::vector<std::size_t> RandomForest::predict_all(const Dataset& data) const {

@@ -5,6 +5,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "ml/cart.hpp"
@@ -46,6 +47,11 @@ class RandomForest final : public Classifier {
   /// byte-identical to fit(data.subset(indices)) (the crossval fast path).
   void fit_indices(const Dataset& data, std::span<const std::size_t> indices) override;
   std::size_t predict(std::span<const double> features) const override;
+  /// predict() plus the winning class's vote fraction (votes / trees) —
+  /// the forest's native confidence signal.  Deterministic for a given
+  /// model + row; {0, 0.0} before any fit.
+  std::pair<std::size_t, double> predict_with_confidence(
+      std::span<const double> features) const;
   /// Batched prediction: rows are voted in parallel, results ordered by row.
   std::vector<std::size_t> predict_all(const Dataset& data) const override;
   std::vector<std::size_t> predict_indices(

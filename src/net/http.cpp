@@ -1,0 +1,90 @@
+#include "net/http.hpp"
+
+namespace dnsbs::net {
+
+namespace {
+
+bool is_http_method(std::string_view token) {
+  return token == "GET" || token == "HEAD" || token == "POST" || token == "PUT" ||
+         token == "DELETE" || token == "OPTIONS" || token == "PATCH";
+}
+
+}  // namespace
+
+bool looks_like_http_request(std::string_view line) {
+  const auto space = line.find(' ');
+  if (space == std::string_view::npos) return false;
+  // "GET /path HTTP/x.y" — method token, then a target, then the version.
+  return is_http_method(line.substr(0, space)) &&
+         line.find(" HTTP/") != std::string_view::npos;
+}
+
+std::optional<HttpRequest> read_http_request(TcpStream& stream,
+                                             const std::string& request_line,
+                                             int timeout_ms) {
+  const auto first = request_line.find(' ');
+  const auto last = request_line.rfind(' ');
+  if (first == std::string::npos || last == first) return std::nullopt;
+
+  HttpRequest request;
+  request.method = request_line.substr(0, first);
+  request.version = request_line.substr(last + 1);
+  std::string target = request_line.substr(first + 1, last - first - 1);
+  if (target.empty() || target[0] != '/') return std::nullopt;
+  const auto qmark = target.find('?');
+  if (qmark != std::string::npos) {
+    request.query = target.substr(qmark + 1);
+    target.resize(qmark);
+  }
+  request.path = std::move(target);
+
+  // Drain headers up to the blank line; a peer that trickles more than
+  // 100 header lines is cut off (scrapers send a handful).
+  for (int i = 0; i < 100; ++i) {
+    const auto header = stream.read_line(timeout_ms);
+    if (!header) return std::nullopt;
+    if (header->empty()) return request;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> query_param(std::string_view query, std::string_view name) {
+  while (!query.empty()) {
+    const auto amp = query.find('&');
+    const std::string_view pair =
+        amp == std::string_view::npos ? query : query.substr(0, amp);
+    const auto eq = pair.find('=');
+    if (eq != std::string_view::npos && pair.substr(0, eq) == name) {
+      return std::string(pair.substr(eq + 1));
+    }
+    if (amp == std::string_view::npos) break;
+    query.remove_prefix(amp + 1);
+  }
+  return std::nullopt;
+}
+
+std::string_view http_reason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 503: return "Service Unavailable";
+  }
+  return "Unknown";
+}
+
+std::string http_response(int status, std::string_view content_type,
+                          std::string_view body) {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " ";
+  out += http_reason(status);
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace dnsbs::net

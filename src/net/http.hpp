@@ -1,0 +1,46 @@
+// Minimal HTTP/1.1 GET responder support on top of TcpStream — just
+// enough surface for the daemon's scrape endpoints (/metrics, /healthz,
+// /windows).  Deliberately not a web server: one request per connection,
+// request bodies ignored, responses always `Connection: close` with an
+// exact Content-Length so scrapers never block on a keep-alive.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "net/socket.hpp"
+
+namespace dnsbs::net {
+
+struct HttpRequest {
+  std::string method;   ///< "GET", "HEAD", ...
+  std::string path;     ///< target without the query string
+  std::string query;    ///< after '?', empty when absent
+  std::string version;  ///< "HTTP/1.1"
+};
+
+/// True when a line read off a fresh connection looks like an HTTP
+/// request line ("GET /x HTTP/1.1") rather than a control-protocol verb.
+/// The daemon's status socket speaks both; this is the demultiplexer.
+bool looks_like_http_request(std::string_view line);
+
+/// Parses `request_line` and drains header lines from `stream` until the
+/// blank separator (headers themselves are ignored).  nullopt on a
+/// malformed request line or a peer that never finishes its headers.
+std::optional<HttpRequest> read_http_request(TcpStream& stream,
+                                             const std::string& request_line,
+                                             int timeout_ms);
+
+/// Value of `name` in a query string ("n=5&x=y"), or nullopt.
+std::optional<std::string> query_param(std::string_view query, std::string_view name);
+
+/// Builds a complete response: status line, Content-Type, exact
+/// Content-Length, Connection: close, then the body.
+std::string http_response(int status, std::string_view content_type,
+                          std::string_view body);
+
+/// Canonical reason phrase ("OK", "Not Found", ...).
+std::string_view http_reason(int status);
+
+}  // namespace dnsbs::net

@@ -1,6 +1,7 @@
 #include "serve/daemon.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <ctime>
 #include <fstream>
@@ -8,9 +9,11 @@
 
 #include "core/feature_vector.hpp"
 #include "dns/capture.hpp"
+#include "net/http.hpp"
 #include "util/log.hpp"
 #include "util/metrics.hpp"
 #include "util/strings.hpp"
+#include "util/trace.hpp"
 
 namespace dnsbs::serve {
 
@@ -54,6 +57,18 @@ std::string hex_double(double v) {
   std::snprintf(buf, sizeof(buf), "%a", v);
   return buf;
 }
+
+// Trace deadlines use the steady clock directly (not the metrics clock) so
+// TRACE keeps working in a -DDNSBS_METRICS=OFF build, where it produces a
+// valid-but-empty capture.
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+constexpr std::string_view kTextPlain = "text/plain; charset=utf-8";
 
 }  // namespace
 
@@ -190,19 +205,20 @@ void ServeDaemon::status_loop() {
   while (!stop_.load()) {
     auto stream = status_listener_.accept(kPollMs);
     if (!stream) continue;
-    // One command per line; connection stays open for more until the peer
-    // hangs up.
+    // The first line picks the protocol: an HTTP request line flips the
+    // connection into one-shot HTTP mode; anything else is the line
+    // protocol, one command per line until the peer hangs up.
+    bool first = true;
     while (!stop_.load()) {
       auto line = stream->read_line(kPollMs * 50);
       if (!line) break;
       g_control.inc();
-      auto request = std::make_unique<ControlRequest>();
-      request->command = *line;
-      auto reply = request->reply.get_future();
-      {
-        std::lock_guard<std::mutex> lock(control_mutex_);
-        control_requests_.push_back(std::move(request));
+      if (first && net::looks_like_http_request(*line)) {
+        handle_http(*stream, *line);
+        break;
       }
+      first = false;
+      auto reply = submit_control(*line);
       const std::string answer = reply.get() + "\n";
       if (!stream->write_all(answer.data(), answer.size())) break;
       if (*line == "SHUTDOWN") break;
@@ -210,13 +226,77 @@ void ServeDaemon::status_loop() {
   }
 }
 
+std::future<std::string> ServeDaemon::submit_control(std::string command) {
+  auto request = std::make_unique<ControlRequest>();
+  request->command = std::move(command);
+  auto reply = request->reply.get_future();
+  std::lock_guard<std::mutex> lock(control_mutex_);
+  control_requests_.push_back(std::move(request));
+  return reply;
+}
+
+void ServeDaemon::handle_http(net::TcpStream& stream, const std::string& request_line) {
+  const auto finish = [&stream](int status, std::string_view type, std::string_view body) {
+    const std::string response = net::http_response(status, type, body);
+    stream.write_all(response.data(), response.size());
+  };
+  const auto request = net::read_http_request(stream, request_line, kPollMs * 50);
+  if (!request) {
+    finish(400, kTextPlain, "malformed request\n");
+    return;
+  }
+  if (request->method != "GET") {
+    finish(405, kTextPlain, "only GET is supported\n");
+    return;
+  }
+  // Every route funnels through the drive thread, so the served bytes see
+  // the same quiesced registry/history a checkpoint of this instant would.
+  // The lowercase http.metrics verb is unreachable via `dnsbs_cli ctl`
+  // (which uppercases its command), keeping the line protocol's namespace
+  // clean.
+  std::string verb;
+  if (request->path == "/metrics") {
+    verb = "http.metrics";
+  } else if (request->path == "/healthz") {
+    verb = "PING";
+  } else if (request->path == "/windows") {
+    verb = "HISTORY";
+    if (const auto n = net::query_param(request->query, "n")) verb += " " + *n;
+  } else {
+    finish(404, kTextPlain, "not found\n");
+    return;
+  }
+  auto reply = submit_control(std::move(verb));
+  // Bounded wait: a wedged drive thread yields 503, not a hung scrape.
+  if (reply.wait_for(std::chrono::seconds(30)) != std::future_status::ready) {
+    finish(503, kTextPlain, "drive thread unresponsive\n");
+    return;
+  }
+  const std::string body = reply.get();
+  if (request->path == "/healthz") {
+    finish(200, kTextPlain, "ok\n");
+  } else if (request->path == "/windows") {
+    if (body.rfind("ERR", 0) == 0) {
+      finish(400, kTextPlain, body + "\n");
+    } else {
+      finish(200, "application/json; charset=utf-8", body + "\n");
+    }
+  } else {
+    finish(200, "text/plain; version=0.0.4; charset=utf-8", body);
+  }
+}
+
 void ServeDaemon::drive_loop() {
   std::vector<RawPacket> batch;
   while (true) {
     service_control();
+    if (trace_active_ && steady_now_ns() >= trace_deadline_ns_) finish_trace();
     if (stop_.load()) break;
     batch.clear();
     const std::size_t n = queue_.pop_batch(batch, 256, 50);
+    // Intake backlog watermark: what was just popped plus what is still
+    // queued behind it.
+    driver_->note_queue_depth(n + queue_.size());
     for (const RawPacket& p : batch) process_packet(p);
     if (n > 0) {
       write_new_window_summaries();
@@ -232,9 +312,29 @@ void ServeDaemon::drive_loop() {
       }
     }
   }
+  // A capture cut short by SHUTDOWN still produces a loadable file.
+  if (trace_active_) finish_trace();
   // Answer any control request that raced the stop flag so no client
   // blocks on a dead promise.
   service_control();
+}
+
+void ServeDaemon::finish_trace() {
+  trace_active_ = false;
+  util::trace_stop();
+  const std::string json = util::trace_export_json();
+  std::ofstream out(config_.trace_out, std::ios::trunc);
+  out << json;
+  out.flush();
+  if (!out) {
+    util::log_warn("serve",
+                   util::format("trace write failed: %s", config_.trace_out.c_str()));
+    return;
+  }
+  util::log_info("serve",
+                 util::format("trace written: %s (%zu events, %llu dropped)",
+                              config_.trace_out.c_str(), util::trace_event_count(),
+                              static_cast<unsigned long long>(util::trace_dropped())));
 }
 
 void ServeDaemon::process_packet(const RawPacket& packet) {
@@ -269,6 +369,33 @@ void ServeDaemon::service_control() {
 std::string ServeDaemon::handle_control(const std::string& command) {
   if (command == "PING") return "PONG";
   if (command == "STATS") return stats_json();
+  if (command == "HISTORY" || command.rfind("HISTORY ", 0) == 0) {
+    std::uint64_t last_n = 0;
+    if (command.size() > 8 && !util::parse_u64(command.substr(8), last_n)) {
+      return "ERR bad HISTORY count: " + command.substr(8);
+    }
+    return driver_->history_json(static_cast<std::size_t>(last_n));
+  }
+  if (command == "TRACE" || command.rfind("TRACE ", 0) == 0) {
+    if (config_.trace_out.empty()) return "ERR no --trace-out configured";
+    std::uint64_t secs = 5;
+    if (command.size() > 6 &&
+        (!util::parse_u64(command.substr(6), secs) || secs == 0 || secs > 3600)) {
+      return "ERR bad TRACE seconds (want 1..3600): " + command.substr(6);
+    }
+    util::trace_start();  // restarts (and discards) any capture in flight
+    trace_active_ = true;
+    trace_deadline_ns_ = steady_now_ns() + secs * 1'000'000'000ull;
+    return util::format("OK tracing %llus -> %s",
+                        static_cast<unsigned long long>(secs),
+                        config_.trace_out.c_str());
+  }
+  if (command == "http.metrics") {
+    // Same quiesce as a checkpoint, so the scraped deterministic series are
+    // byte-identical to an exit-time --metrics-out dump of the same stream.
+    driver_->publish_pending_metrics();
+    return util::metrics_snapshot().to_prometheus();
+  }
   if (command == "FLUSH") {
     drain_intake();
     driver_->flush();
@@ -347,6 +474,7 @@ std::string ServeDaemon::stats_json() const {
       << ",\"open_windows\":" << driver_->open_windows()
       << ",\"windows_closed\":" << driver_->windows_closed()
       << ",\"late_records\":" << driver_->late_records()
+      << ",\"history_windows\":" << driver_->telemetry().size()
       << ",\"queue_depth\":" << queue_.size() << ",\"capture\":{\"packets\":"
       << capture_stats_.packets << ",\"accepted\":" << capture_stats_.accepted
       << ",\"malformed\":" << capture_stats_.malformed

@@ -4,12 +4,16 @@
 //
 //   udp thread    recvfrom() -> RawPacket -> try_push (drop + count when full)
 //   tcp thread    accept(); length-prefixed frames -> blocking push (lossless)
-//   status thread accept(); line commands (STATS/CHECKPOINT/FLUSH/SHUTDOWN/PING)
-//                 forwarded to the drive thread, reply written back
+//   status thread accept(); line commands (STATS/HISTORY/TRACE/CHECKPOINT/
+//                 FLUSH/SHUTDOWN/PING) forwarded to the drive thread, reply
+//                 written back.  The same socket answers HTTP/1.1 GETs
+//                 (/metrics, /healthz, /windows): the first line of a
+//                 connection picks the protocol.
 //   drive thread  pops packet batches, decodes via dns::record_from_packet,
 //                 offers records to the StreamingWindowDriver (which owns
 //                 window open/close against the WindowedPipeline), writes
-//                 window summaries, services control requests, checkpoints
+//                 window summaries, services control requests, checkpoints,
+//                 finishes timed trace captures (TRACE <secs>)
 //
 // Determinism: everything that feeds deterministic metric series — packet
 // decode, dedup/aggregate ingest, window close — runs on the single drive
@@ -56,6 +60,7 @@ struct ServeConfig {
   std::int64_t checkpoint_every_secs = 0;  ///< stream-time cadence; 0 = manual only
   std::string windows_out;         ///< append one summary block per closed window
   std::string ready_file;          ///< written once listening: "udp=P tcp=P status=P"
+  std::string trace_out;           ///< TRACE <secs> writes Chrome trace JSON here
 };
 
 class ServeDaemon {
@@ -100,6 +105,8 @@ class ServeDaemon {
   void tcp_loop();
   void serve_tcp_connection(net::TcpStream stream);
   void status_loop();
+  void handle_http(net::TcpStream& stream, const std::string& request_line);
+  std::future<std::string> submit_control(std::string command);
   void drive_loop();
   void process_packet(const RawPacket& packet);
   void service_control();
@@ -108,6 +115,7 @@ class ServeDaemon {
   bool write_checkpoint(std::string& why);
   void drain_intake();
   void write_new_window_summaries();
+  void finish_trace();
 
   ServeConfig config_;
   const netdb::AsDb& as_db_;
@@ -136,6 +144,9 @@ class ServeDaemon {
   dns::CaptureStats capture_stats_;
   std::uint64_t summaries_written_ = 0;
   std::int64_t next_cadence_checkpoint_ = 0;
+  // TRACE capture state; drive-thread only (handle_control runs there).
+  bool trace_active_ = false;
+  std::uint64_t trace_deadline_ns_ = 0;
 };
 
 }  // namespace dnsbs::serve

@@ -1,7 +1,9 @@
 #include "util/log.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <ctime>
 #include <mutex>
 #include <utility>
 
@@ -15,7 +17,51 @@ std::atomic<LogLevel> g_level{LogLevel::kWarn};
 std::mutex g_sink_mutex;
 LogSink g_sink;  // empty = stderr default
 
+// The clock is swapped rarely (test setup) but read per line; its own
+// mutex keeps reads off the sink's critical section.
+std::mutex g_clock_mutex;
+LogClock g_clock;  // empty = real system/steady clocks
+
 thread_local std::string tls_thread_name;
+
+/// Monotonic anchor: the steady reading when the process first logged
+/// (static init), so mono stamps read as uptime.
+std::chrono::steady_clock::time_point process_start() {
+  static const auto start = std::chrono::steady_clock::now();
+  return start;
+}
+
+LogTimestamps now_timestamps() {
+  {
+    std::lock_guard<std::mutex> lock(g_clock_mutex);
+    if (g_clock) return g_clock();
+  }
+  LogTimestamps ts;
+  ts.wall_unix_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        std::chrono::system_clock::now().time_since_epoch())
+                        .count();
+  ts.mono_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - process_start())
+          .count());
+  return ts;
+}
+
+/// "2015-05-18T09:30:00.123Z +12.345678s " — fixed-width, space-terminated.
+void append_timestamps(std::string& line, const LogTimestamps& ts) {
+  const std::int64_t ms_part =
+      ts.wall_unix_ms >= 0 ? ts.wall_unix_ms % 1000 : (ts.wall_unix_ms % 1000 + 1000) % 1000;
+  const auto secs = static_cast<std::time_t>((ts.wall_unix_ms - ms_part) / 1000);
+  std::tm tm{};
+  gmtime_r(&secs, &tm);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03lldZ +%llu.%06llus ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour, tm.tm_min,
+                tm.tm_sec, static_cast<long long>(ms_part),
+                static_cast<unsigned long long>(ts.mono_ns / 1000000000ULL),
+                static_cast<unsigned long long>(ts.mono_ns % 1000000000ULL / 1000ULL));
+  line += buf;
+}
 
 const char* level_name(LogLevel level) noexcept {
   switch (level) {
@@ -48,13 +94,21 @@ void set_log_sink(LogSink sink) {
   g_sink = std::move(sink);
 }
 
+void set_log_clock(LogClock clock) {
+  std::lock_guard<std::mutex> lock(g_clock_mutex);
+  g_clock = std::move(clock);
+}
+
 void log(LogLevel level, const std::string& tag, const std::string& message) {
   if (level < g_level.load(std::memory_order_relaxed)) return;
   const std::string& who = thread_name();
+  const LogTimestamps ts = now_timestamps();
   std::string line;
-  line.reserve(16 + who.size() + tag.size() + message.size());
+  line.reserve(64 + who.size() + tag.size() + message.size());
   line += level_name(level);
-  line += " [";
+  line += ' ';
+  append_timestamps(line, ts);
+  line += "[";
   line += who;
   line += "] [";
   line += tag;

@@ -1,14 +1,19 @@
 // Minimal leveled logging.  The library itself stays quiet at Info by
 // default; the simulator and benches raise verbosity when diagnosing.
 //
-// Each message is composed into one string ("LEVEL [thread] [tag] msg\n")
+// Each message is composed into one string
+// ("LEVEL 2015-05-18T09:30:00.123Z +12.345678s [thread] [tag] msg\n")
 // on the calling thread — no printf-style varargs, no vsnprintf — and
 // handed to the sink in a single call, so lines from concurrent workers
-// never interleave mid-line.  Worker threads are attributable: the pool
-// names its workers (util::set_thread_name), unnamed threads get a stable
-// "t<N>" id on first log.
+// never interleave mid-line.  The wall stamp (UTC, ms) correlates lines
+// with external systems; the monotonic stamp (seconds since process
+// start, µs) orders them robustly across clock steps.  Both come from an
+// injectable clock so tests assert exact lines.  Worker threads are
+// attributable: the pool names its workers (util::set_thread_name),
+// unnamed threads get a stable "t<N>" id on first log.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <string_view>
@@ -35,7 +40,20 @@ const std::string& thread_name();
 using LogSink = std::function<void(LogLevel, std::string_view line)>;
 void set_log_sink(LogSink sink);
 
-/// Writes "LEVEL [thread] [tag] message" to the sink if enabled.
+/// The pair of stamps every line carries.
+struct LogTimestamps {
+  std::int64_t wall_unix_ms = 0;  ///< Unix epoch milliseconds, UTC
+  std::uint64_t mono_ns = 0;      ///< nanoseconds since process start
+};
+
+/// Replaces the timestamp source (tests install a fixed clock so composed
+/// lines are byte-deterministic).  Pass nullptr to restore the real
+/// system/steady clocks.  Invoked outside the sink mutex.
+using LogClock = std::function<LogTimestamps()>;
+void set_log_clock(LogClock clock);
+
+/// Writes "LEVEL <wall>Z +<mono>s [thread] [tag] message" to the sink if
+/// enabled.
 void log(LogLevel level, const std::string& tag, const std::string& message);
 
 inline void log_debug(const std::string& tag, const std::string& msg) {

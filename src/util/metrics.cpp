@@ -7,6 +7,7 @@
 #include <mutex>
 
 #include "util/binio.hpp"
+#include "util/trace.hpp"
 
 namespace dnsbs::util {
 
@@ -130,6 +131,14 @@ constexpr std::size_t kMaxSpanDepth = 16;
 thread_local const char* tls_span_stack[kMaxSpanDepth];
 thread_local std::size_t tls_span_depth = 0;
 
+/// Frames nested past kMaxSpanDepth (they record no histogram and no
+/// trace events).  Which thread overruns depends on work distribution, so
+/// the tally is sched-shaped.
+MetricCounter& span_dropped_counter() {
+  static MetricCounter& c = metrics_counter("dnsbs.span.dropped", /*sched=*/true);
+  return c;
+}
+
 }  // namespace
 
 MetricCounter& metrics_counter(std::string_view name, bool sched) {
@@ -167,13 +176,24 @@ void metrics_restore(const MetricsSnapshot& snap) {
   }
 }
 
-ScopedSpan::ScopedSpan(const char* stage) noexcept : start_ns_(metrics_now_ns()) {
-  if (tls_span_depth < kMaxSpanDepth) tls_span_stack[tls_span_depth] = stage;
+ScopedSpan::ScopedSpan(const char* stage) noexcept
+    : start_ns_(metrics_now_ns()), stage_(stage), traced_(false) {
+  if (tls_span_depth < kMaxSpanDepth) {
+    tls_span_stack[tls_span_depth] = stage;
+  } else {
+    span_dropped_counter().inc();
+  }
   ++tls_span_depth;  // depth still tracks overflowed frames (they record nothing)
+  if (tls_span_depth <= kMaxSpanDepth && trace_enabled()) {
+    traced_ = detail::trace_record_begin(stage, start_ns_);
+  }
 }
 
 ScopedSpan::~ScopedSpan() {
-  const std::uint64_t elapsed = metrics_now_ns() - start_ns_;
+  const std::uint64_t end_ns = metrics_now_ns();
+  // End the trace event even if the capture stopped mid-span: the begin
+  // was recorded, so the stream stays balanced.
+  if (traced_) detail::trace_record_end(stage_, end_ns);
   --tls_span_depth;
   if (tls_span_depth >= kMaxSpanDepth) return;  // overflowed frame: dropped
   std::string path = "dnsbs.span.";
@@ -181,7 +201,7 @@ ScopedSpan::~ScopedSpan() {
     if (i != 0) path += '/';
     path += tls_span_stack[i];
   }
-  metrics_histogram(path).record(elapsed);
+  metrics_histogram(path).record(end_ns - start_ns_);
 }
 
 #else  // !DNSBS_METRICS_ENABLED
@@ -382,6 +402,10 @@ std::string MetricsSnapshot::to_prometheus() const {
   for (const MetricValue& v : values) {
     const std::string name = prometheus_name(v.name);
     out += "# TYPE " + name + " " + kind_name(v.kind) + "\n";
+    // Scheduling-shaped series carry a machine-readable marker so scrape
+    // consumers (the OBS gate's determinism diff) can strip them the same
+    // way deterministic_view() does.
+    if (v.sched) out += "# SCHED " + name + "\n";
     switch (v.kind) {
       case MetricKind::kCounter:
         out += name + " ";

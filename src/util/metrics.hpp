@@ -248,7 +248,10 @@ void metrics_restore(const MetricsSnapshot& snap);
 /// `dnsbs.span.<outer>/<inner>/...` named by the thread's span stack, so
 /// nested spans read as a hierarchical wall-time trace in the snapshot.
 /// Span stacks are per-thread; a span opened on a pool worker roots its
-/// own trace.  Use through DNSBS_SPAN below.
+/// own trace.  While a trace capture is active (util/trace.hpp) each span
+/// also appends begin/end events to its thread's trace ring.  Frames past
+/// the depth cap record nothing and are tallied in the sched counter
+/// `dnsbs.span.dropped`.  Use through DNSBS_SPAN below.
 class ScopedSpan {
  public:
   explicit ScopedSpan(const char* stage) noexcept;
@@ -259,6 +262,8 @@ class ScopedSpan {
 #if DNSBS_METRICS_ENABLED
  private:
   std::uint64_t start_ns_;
+  const char* stage_;
+  bool traced_;
 #endif
 };
 

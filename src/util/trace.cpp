@@ -1,0 +1,224 @@
+#include "util/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "util/log.hpp"
+
+namespace dnsbs::util {
+
+#if DNSBS_METRICS_ENABLED
+
+namespace {
+
+enum : std::uint8_t { kPhaseBegin = 0, kPhaseEnd = 1 };
+
+struct TraceEvent {
+  const char* name;  // string literal (span stage names); lives forever
+  std::uint64_t ts_ns;
+  std::uint8_t phase;
+};
+
+/// One ring per thread that ever traced.  Single writer (the owning
+/// thread); readers synchronize through the release/acquire `count`.
+/// Owned by shared_ptr from both the registry and the writer's
+/// thread_local, so a ring survives its thread and its events stay
+/// exportable.
+struct TraceRing {
+  explicit TraceRing(std::size_t capacity, std::uint32_t id, std::string label)
+      : events(capacity), tid(id), thread_label(std::move(label)) {}
+  std::vector<TraceEvent> events;
+  std::atomic<std::uint32_t> count{0};
+  std::uint32_t tid;
+  std::string thread_label;
+};
+
+std::atomic<bool> g_enabled{false};
+std::atomic<std::uint64_t> g_dropped{0};
+std::atomic<std::size_t> g_capacity{kTraceRingDefaultCapacity};
+
+std::mutex& registry_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::vector<std::shared_ptr<TraceRing>>& registry() {
+  static std::vector<std::shared_ptr<TraceRing>> rings;
+  return rings;
+}
+
+TraceRing& thread_ring() {
+  thread_local std::shared_ptr<TraceRing> ring = [] {
+    std::lock_guard<std::mutex> lock(registry_mutex());
+    auto& rings = registry();
+    auto r = std::make_shared<TraceRing>(g_capacity.load(std::memory_order_relaxed),
+                                         static_cast<std::uint32_t>(rings.size() + 1),
+                                         thread_name());
+    rings.push_back(r);
+    return r;
+  }();
+  return *ring;
+}
+
+bool ring_append(TraceRing& ring, const char* name, std::uint64_t ts_ns,
+                 std::uint8_t phase) noexcept {
+  const std::uint32_t n = ring.count.load(std::memory_order_relaxed);
+  if (n >= ring.events.size()) {
+    g_dropped.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  ring.events[n] = TraceEvent{name, ts_ns, phase};
+  ring.count.store(n + 1, std::memory_order_release);
+  return true;
+}
+
+void append_ts_us(std::string& out, std::uint64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64 ".%03" PRIu64, ns / 1000, ns % 1000);
+  out += buf;
+}
+
+void append_event(std::string& out, bool& first, const char* name, char phase,
+                  std::uint32_t tid, std::uint64_t rel_ns) {
+  out += first ? "\n" : ",\n";
+  first = false;
+  out += "{\"name\":\"";
+  out += name;  // stage names are code literals: no JSON escaping needed
+  out += "\",\"cat\":\"dnsbs\",\"ph\":\"";
+  out += phase;
+  out += "\",\"pid\":1,\"tid\":";
+  out += std::to_string(tid);
+  out += ",\"ts\":";
+  append_ts_us(out, rel_ns);
+  out += "}";
+}
+
+}  // namespace
+
+bool trace_enabled() noexcept { return g_enabled.load(std::memory_order_relaxed); }
+
+void trace_start(std::size_t per_thread_capacity) {
+  g_enabled.store(false, std::memory_order_relaxed);
+  if (per_thread_capacity == 0) per_thread_capacity = 1;
+  g_capacity.store(per_thread_capacity, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex());
+    for (auto& ring : registry()) ring->count.store(0, std::memory_order_release);
+  }
+  g_dropped.store(0, std::memory_order_relaxed);
+  g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void trace_stop() noexcept { g_enabled.store(false, std::memory_order_relaxed); }
+
+std::uint64_t trace_dropped() noexcept {
+  return g_dropped.load(std::memory_order_relaxed);
+}
+
+std::size_t trace_event_count() {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  std::size_t total = 0;
+  for (const auto& ring : registry()) {
+    total += ring->count.load(std::memory_order_acquire);
+  }
+  return total;
+}
+
+bool detail::trace_record_begin(const char* name, std::uint64_t ts_ns) noexcept {
+  return ring_append(thread_ring(), name, ts_ns, kPhaseBegin);
+}
+
+void detail::trace_record_end(const char* name, std::uint64_t ts_ns) noexcept {
+  ring_append(thread_ring(), name, ts_ns, kPhaseEnd);
+}
+
+std::string trace_export_json() {
+  // Copy the readable prefix of every ring under the registry lock;
+  // per-ring `count` acquire pairs with the writer's release publish.
+  struct RingCopy {
+    std::uint32_t tid;
+    std::string label;
+    std::vector<TraceEvent> events;
+  };
+  std::vector<RingCopy> rings;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex());
+    for (const auto& ring : registry()) {
+      const std::uint32_t n = ring->count.load(std::memory_order_acquire);
+      if (n == 0) continue;
+      RingCopy copy;
+      copy.tid = ring->tid;
+      copy.label = ring->thread_label;
+      copy.events.assign(ring->events.begin(), ring->events.begin() + n);
+      rings.push_back(std::move(copy));
+    }
+  }
+
+  std::uint64_t base_ns = ~std::uint64_t{0};
+  for (const RingCopy& ring : rings) {
+    for (const TraceEvent& e : ring.events) base_ns = std::min(base_ns, e.ts_ns);
+  }
+  if (rings.empty()) base_ns = 0;
+
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const RingCopy& ring : rings) {
+    // Thread-name metadata event so Perfetto labels the track.
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":";
+    out += std::to_string(ring.tid);
+    out += ",\"args\":{\"name\":\"";
+    for (const char c : ring.label) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    out += "\"}}";
+
+    // Events are in thread order, so timestamps are already monotone.
+    // Balance the stream structurally: a begin pushes, an end pops its
+    // matching begin (orphan ends — begin dropped or pre-capture — are
+    // skipped), and begins still open at export get a synthetic end at
+    // the ring's final timestamp.
+    std::vector<const TraceEvent*> open;
+    std::uint64_t last_ns = base_ns;
+    for (const TraceEvent& e : ring.events) {
+      last_ns = std::max(last_ns, e.ts_ns);
+      if (e.phase == kPhaseBegin) {
+        open.push_back(&e);
+        append_event(out, first, e.name, 'B', ring.tid, e.ts_ns - base_ns);
+      } else if (!open.empty()) {
+        append_event(out, first, open.back()->name, 'E', ring.tid, e.ts_ns - base_ns);
+        open.pop_back();
+      }
+    }
+    while (!open.empty()) {
+      append_event(out, first, open.back()->name, 'E', ring.tid, last_ns - base_ns);
+      open.pop_back();
+    }
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+#else  // !DNSBS_METRICS_ENABLED
+
+bool trace_enabled() noexcept { return false; }
+void trace_start(std::size_t) {}
+void trace_stop() noexcept {}
+std::uint64_t trace_dropped() noexcept { return 0; }
+std::size_t trace_event_count() { return 0; }
+bool detail::trace_record_begin(const char*, std::uint64_t) noexcept { return false; }
+void detail::trace_record_end(const char*, std::uint64_t) noexcept {}
+std::string trace_export_json() {
+  return "{\"traceEvents\":[\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+#endif  // DNSBS_METRICS_ENABLED
+
+}  // namespace dnsbs::util

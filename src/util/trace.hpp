@@ -1,0 +1,82 @@
+// Trace timelines: per-thread bounded ring buffers of span begin/end
+// events, exported as Chrome `trace_event` JSON (load the file in Perfetto
+// or chrome://tracing to see the daemon's threads on a wall-clock
+// timeline).
+//
+// Relationship to the metrics registry (DESIGN.md "Telemetry plane"):
+// DNSBS_SPAN keeps feeding duration histograms unconditionally; when a
+// trace capture is active (trace_start()..trace_stop()) every span
+// additionally appends one begin and one end event to its thread's ring.
+// The events carry raw steady-clock timestamps, i.e. they are
+// scheduling-shaped by construction — a trace is a diagnostic artifact,
+// never part of the deterministic output surface.
+//
+// Hot-path cost when idle is one relaxed atomic load per span (the
+// enabled flag), which is what keeps the <2% metrics-overhead budget
+// intact with tracing compiled in.  When active, appends are lock-free:
+// each ring has exactly one writer (its owning thread) and publishes via
+// a release store of the count; rings that fill up drop new events (and
+// count the drops) rather than wrap, so a capture is a prefix of the
+// timeline, not a random slice.
+//
+// With -DDNSBS_METRICS=OFF there are no spans, so the trace layer
+// compiles to the same no-op surface: captures succeed and export an
+// empty (but valid) trace.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#ifndef DNSBS_METRICS_ENABLED
+#define DNSBS_METRICS_ENABLED 1
+#endif
+
+namespace dnsbs::util {
+
+/// Default per-thread ring capacity (events).  64Ki events * 24B ≈ 1.5MB
+/// per traced thread — minutes of span activity at daemon rates.
+inline constexpr std::size_t kTraceRingDefaultCapacity = std::size_t{1} << 16;
+
+/// True while a capture is active.  One relaxed load; spans check this
+/// before touching any ring.
+bool trace_enabled() noexcept;
+
+/// Starts a capture: clears every ring, zeroes the drop tally and flips
+/// the enabled flag.  `per_thread_capacity` applies to rings created
+/// after this call; existing rings keep their allocation (capacity is
+/// fixed at ring birth so writers never race a resize).  Idempotent —
+/// calling while already tracing just restarts the capture.
+void trace_start(std::size_t per_thread_capacity = kTraceRingDefaultCapacity);
+
+/// Stops the capture.  Buffered events stay readable until the next
+/// trace_start(); spans already begun keep the right to append their
+/// matching end event, so a stop mid-span still exports balanced.
+void trace_stop() noexcept;
+
+/// Events discarded because a ring was full (capture-wide, sched-shaped).
+std::uint64_t trace_dropped() noexcept;
+
+/// Buffered events across all rings (test/monitoring hook).
+std::size_t trace_event_count();
+
+/// Renders the buffered capture as Chrome trace_event JSON:
+/// {"traceEvents":[...],"displayTimeUnit":"ms"}.  Guarantees Perfetto
+/// validity regardless of drops or in-flight spans: per tid the B/E
+/// events are balanced (orphan ends are skipped, still-open begins get a
+/// synthetic end at the ring's last timestamp) and timestamps are
+/// non-decreasing.  Timestamps are microseconds relative to the earliest
+/// buffered event.
+std::string trace_export_json();
+
+namespace detail {
+/// Appends a begin event; returns false when the ring was full (the span
+/// then skips its end event, keeping the stream balanced).  `ts_ns` is
+/// the span's own start stamp so histogram and trace agree.
+bool trace_record_begin(const char* name, std::uint64_t ts_ns) noexcept;
+/// Appends the matching end event.  Runs even if the capture stopped
+/// between begin and end (the buffer is still owned by this thread).
+void trace_record_end(const char* name, std::uint64_t ts_ns) noexcept;
+}  // namespace detail
+
+}  // namespace dnsbs::util

@@ -7,12 +7,15 @@
 
 #include <cstdio>
 #include <fstream>
+#include <iterator>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "analysis/streaming.hpp"
+#include "analysis/telemetry.hpp"
 #include "cli_options.hpp"
 #include "dns/capture.hpp"
 #include "labeling/ground_truth.hpp"
@@ -21,6 +24,9 @@
 #include "serve/intake.hpp"
 #include "util/binio.hpp"
 #include "util/fuzz.hpp"
+#include "util/parallel.hpp"
+#include "util/strings.hpp"
+#include "util/trace.hpp"
 
 namespace dnsbs {
 namespace {
@@ -94,6 +100,43 @@ TEST(CliParse, FullServeCommandLine) {
   EXPECT_TRUE(opt.restore);
   EXPECT_EQ(opt.queue_capacity, 128u);
   EXPECT_EQ(opt.windows_out, "/tmp/w");
+}
+
+TEST(CliParse, MetricsFormatOverrideAndSuffixConflict) {
+  cli::Options opt;
+  std::string error;
+  ASSERT_TRUE(parse_args({"analyze", "--metrics-out", "m.txt", "--metrics-format", "prom"},
+                         opt, error))
+      << error;
+  EXPECT_EQ(opt.metrics_format, "prom");
+
+  EXPECT_FALSE(parse_args({"analyze", "--metrics-format", "xml"}, opt, error));
+  EXPECT_NE(error.find("--metrics-format"), std::string::npos) << error;
+
+  // .prom has always meant Prometheus; an explicit json override that
+  // contradicts the suffix is ambiguous and must be a hard error.
+  EXPECT_FALSE(parse_args(
+      {"analyze", "--metrics-out", "m.prom", "--metrics-format", "json"}, opt, error));
+  EXPECT_NE(error.find("conflicts"), std::string::npos) << error;
+
+  // Agreeing with the suffix (or overriding a non-.prom path) is fine.
+  ASSERT_TRUE(parse_args(
+      {"analyze", "--metrics-out", "m.prom", "--metrics-format", "prom"}, opt, error))
+      << error;
+  ASSERT_TRUE(parse_args(
+      {"analyze", "--metrics-out", "m.json", "--metrics-format", "json"}, opt, error))
+      << error;
+}
+
+TEST(CliParse, TelemetryFlags) {
+  cli::Options opt;
+  std::string error;
+  ASSERT_TRUE(parse_args({"serve", "--trace-out", "/tmp/t.json", "--history-cap", "8"},
+                         opt, error))
+      << error;
+  EXPECT_EQ(opt.trace_out, "/tmp/t.json");
+  EXPECT_EQ(opt.history_cap, 8u);
+  EXPECT_FALSE(parse_args({"serve", "--history-cap", "many"}, opt, error));
 }
 
 TEST(CliParse, StrictNumericHelpers) {
@@ -497,6 +540,7 @@ TEST(StreamingDriver, CheckpointRestoreIsByteIdenticalInSketchMode) {
     expect = render_all(pipeline, /*with_metrics=*/true);
   }
   ASSERT_EQ(expect.size(), 4u);
+#if DNSBS_METRICS_ENABLED
   bool saw_promotion = false;
   for (const std::string& w : expect) {
     const auto pos = w.find("metric dnsbs.aggregate.sketch_promotions=");
@@ -505,6 +549,7 @@ TEST(StreamingDriver, CheckpointRestoreIsByteIdenticalInSketchMode) {
     }
   }
   EXPECT_TRUE(saw_promotion) << "threshold too high to exercise promotion";
+#endif
 
   std::stringstream checkpoint;
   std::vector<std::string> got;
@@ -566,6 +611,209 @@ TEST(StreamingDriver, RestoreRejectsMismatchedConfig) {
     analysis::StreamingWindowDriver driver(sc, pipeline, dbs.as_db, dbs.geo_db, resolver);
     std::stringstream garbage("not a checkpoint at all");
     EXPECT_FALSE(driver.restore(garbage));
+  }
+}
+
+// ---- per-window telemetry history --------------------------------------
+
+TEST(TelemetryHistory, DerivesGaugesAndTrimsToCapacity) {
+  analysis::TelemetryHistory h(2);
+  analysis::WindowTelemetry e;
+  e.index = 0;
+  e.dedup_admitted = 3;
+  e.dedup_suppressed = 1;
+  e.records = 9;
+  e.late_records = 1;
+  const auto& stored = h.record(e);
+  EXPECT_DOUBLE_EQ(stored.dedup_ratio, 0.25);
+  EXPECT_DOUBLE_EQ(stored.late_rate, 0.1);
+  e.index = 1;
+  h.record(e);
+  e.index = 2;
+  h.record(e);
+  EXPECT_EQ(h.size(), 2u);
+  EXPECT_EQ(h.entries().front().index, 1u) << "oldest entry must be evicted";
+}
+
+TEST(TelemetryHistory, DriftWarnsOnceBaselineIsPopulated) {
+  analysis::TelemetryHistory h(16, /*drift_warn_threshold=*/0.5);
+  analysis::WindowTelemetry e;
+  e.classified = 10;
+  e.class_counts[0] = 10;  // all predictions in class 0
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    e.index = i;
+    EXPECT_FALSE(h.record(e).drift_warned) << "baseline not yet populated at " << i;
+  }
+  analysis::WindowTelemetry shifted;
+  shifted.index = 3;
+  shifted.classified = 10;
+  shifted.class_counts[1] = 10;  // disjoint mix: total variation = 1
+  const auto& warned = h.record(shifted);
+  EXPECT_DOUBLE_EQ(warned.drift, 1.0);
+  EXPECT_TRUE(warned.drift_warned);
+  // Identical mix drifts by 0 and never warns.
+  e.index = 4;
+  const auto& same = h.record(e);
+  EXPECT_LT(same.drift, 0.5);
+}
+
+TEST(TelemetryHistory, JsonCarriesGoldenKeysOnOneLine) {
+  analysis::TelemetryHistory h(4);
+  analysis::WindowTelemetry e;
+  e.index = 7;
+  e.start_secs = 600;
+  e.end_secs = 1200;
+  e.records = 5;
+  e.classified = 2;
+  e.class_counts[0] = 2;
+  e.retrained = true;
+  e.confidence_hist[9] = 2;
+  e.queue_depth_peak = 42;
+  h.record(e);
+
+  const std::string json = h.to_json();
+  EXPECT_EQ(json.rfind("{\"count\":1,\"capacity\":4,\"windows\":[", 0), 0u) << json;
+  EXPECT_EQ(json.find('\n'), std::string::npos) << "control replies are one line";
+  for (const char* key :
+       {"\"index\":7", "\"start\":600", "\"end\":1200", "\"records\":5",
+        "\"interesting\":", "\"dedup\":{\"admitted\":", "\"ratio\":",
+        "\"late\":{\"records\":", "\"rate\":", "\"classified\":2", "\"retrained\":true",
+        "\"confidence\":[0,0,0,0,0,0,0,0,0,2]", "\"class_mix\":{", "\"drift\":",
+        "\"drift_warn\":false", "\"sched\":{\"queue_depth_peak\":42}"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << " missing in " << json;
+  }
+  // last_n views report what they contain, newest last.
+  h.record(e);
+  EXPECT_EQ(h.to_json(1).rfind("{\"count\":1,\"capacity\":4,", 0), 0u);
+  EXPECT_EQ(h.to_json(0).rfind("{\"count\":2,\"capacity\":4,", 0), 0u);
+}
+
+TEST(TelemetryHistory, BinaryRoundTripIsExact) {
+  analysis::TelemetryHistory a(8);
+  analysis::WindowTelemetry e;
+  e.classified = 4;
+  e.class_counts[2] = 4;
+  e.dedup_admitted = 10;
+  e.dedup_suppressed = 30;
+  e.queue_depth_peak = 17;
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    e.index = i;
+    a.record(e);
+  }
+  std::stringstream state;
+  util::BinaryWriter writer(state);
+  a.save(writer);
+  ASSERT_TRUE(writer.ok());
+
+  analysis::TelemetryHistory b(8);
+  util::BinaryReader reader(state);
+  ASSERT_TRUE(b.load(reader));
+  EXPECT_EQ(a.to_json(), b.to_json());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.entries()[i], b.entries()[i]) << "entry " << i;
+  }
+
+  // A ring sized differently is a config mismatch, not a silent resize.
+  std::stringstream again;
+  util::BinaryWriter w2(again);
+  a.save(w2);
+  analysis::TelemetryHistory c(4);
+  util::BinaryReader r2(again);
+  EXPECT_FALSE(c.load(r2));
+}
+
+TEST(StreamingDriver, HistorySurvivesCheckpointByteIdentically) {
+  Dbs dbs;
+  const CategoryResolver resolver;
+  analysis::StreamingConfig sc;
+  sc.window = SimTime::seconds(600);
+
+  std::vector<QueryRecord> records;
+  for (const std::int64_t w : {0, 1, 2, 3}) append_block(records, w * 600);
+  std::size_t split = 0;
+  while (split < records.size() && records[split].time.secs() < 1300) ++split;
+
+  // Run A: uninterrupted reference history.
+  std::string expect_history;
+  {
+    analysis::WindowedPipeline pipeline(pipeline_config(), dbs.as_db, dbs.geo_db,
+                                        resolver);
+    pipeline.set_labels(make_labels());
+    analysis::StreamingWindowDriver driver(sc, pipeline, dbs.as_db, dbs.geo_db, resolver);
+    for (const QueryRecord& r : records) driver.offer(r);
+    driver.flush();
+    EXPECT_EQ(driver.telemetry().size(), 4u);
+    expect_history = driver.history_json();
+  }
+
+  // Run B: killed mid-window-2, restored, finished.
+  std::stringstream checkpoint;
+  std::string at_kill;
+  {
+    analysis::WindowedPipeline pipeline(pipeline_config(), dbs.as_db, dbs.geo_db,
+                                        resolver);
+    pipeline.set_labels(make_labels());
+    analysis::StreamingWindowDriver driver(sc, pipeline, dbs.as_db, dbs.geo_db, resolver);
+    for (std::size_t i = 0; i < split; ++i) driver.offer(records[i]);
+    ASSERT_TRUE(driver.save(checkpoint));
+    at_kill = driver.history_json();
+  }
+  {
+    analysis::WindowedPipeline pipeline(pipeline_config(), dbs.as_db, dbs.geo_db,
+                                        resolver);
+    pipeline.set_labels(make_labels());
+    analysis::StreamingWindowDriver driver(sc, pipeline, dbs.as_db, dbs.geo_db, resolver);
+    ASSERT_TRUE(driver.restore(checkpoint));
+    EXPECT_EQ(driver.history_json(), at_kill)
+        << "restored daemon must answer HISTORY exactly as the killed one";
+    for (std::size_t i = split; i < records.size(); ++i) driver.offer(records[i]);
+    driver.flush();
+    EXPECT_EQ(driver.history_json(), expect_history)
+        << "completed history must match the uninterrupted run";
+  }
+}
+
+TEST(StreamingDriver, HistoryAndWindowsIdenticalAcrossThreadCounts) {
+  // The full observability plane active (trace capture + telemetry ring)
+  // must not perturb the determinism contract: windows, metric deltas and
+  // the rendered history are byte-identical for 1/2/4 worker threads.
+  struct ThreadCountGuard {
+    ~ThreadCountGuard() { util::set_thread_count(0); }
+  } guard;
+  Dbs dbs;
+  const CategoryResolver resolver;
+  analysis::StreamingConfig sc;
+  sc.window = SimTime::seconds(600);
+
+  std::vector<QueryRecord> records;
+  for (const std::int64_t w : {0, 1, 2, 3}) append_block(records, w * 600);
+
+  std::vector<std::string> baseline_windows;
+  std::string baseline_history;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    util::set_thread_count(threads);
+    util::trace_start();
+    analysis::WindowedPipeline pipeline(pipeline_config(), dbs.as_db, dbs.geo_db,
+                                        resolver);
+    pipeline.set_labels(make_labels());
+    analysis::StreamingWindowDriver driver(sc, pipeline, dbs.as_db, dbs.geo_db, resolver);
+    for (const QueryRecord& r : records) driver.offer(r);
+    driver.flush();
+    util::trace_stop();
+    const auto rendered = render_all(pipeline, /*with_metrics=*/true);
+    const std::string history = driver.history_json();
+    if (threads == 1) {
+      baseline_windows = rendered;
+      baseline_history = history;
+      continue;
+    }
+    ASSERT_EQ(rendered.size(), baseline_windows.size()) << "threads=" << threads;
+    for (std::size_t i = 0; i < rendered.size(); ++i) {
+      EXPECT_EQ(rendered[i], baseline_windows[i])
+          << "window " << i << " diverged at threads=" << threads;
+    }
+    EXPECT_EQ(history, baseline_history) << "history diverged at threads=" << threads;
   }
 }
 
@@ -835,6 +1083,185 @@ TEST(ServeDaemon, RestoreFromCheckpointResumesNumbering) {
   EXPECT_EQ(daemon.driver()->windows_closed(), 3u);
   EXPECT_EQ(daemon.pipeline()->results().back().index, 2u)
       << "window numbering must continue across the restart";
+}
+
+// ---- HTTP scrape surface + HISTORY/TRACE verbs -------------------------
+
+struct HttpResponse {
+  std::string status_line;
+  std::vector<std::string> headers;
+  std::string body;
+};
+
+/// One-shot HTTP/1.1 GET (or other method) against the status socket.
+std::optional<HttpResponse> http_request(std::uint16_t port, const std::string& method,
+                                         const std::string& target) {
+  auto stream = net::TcpStream::connect("127.0.0.1", port);
+  if (!stream.has_value()) return std::nullopt;
+  const std::string request =
+      method + " " + target + " HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n";
+  if (!stream->write_all(request.data(), request.size())) return std::nullopt;
+
+  HttpResponse response;
+  auto status = stream->read_line(30000);
+  if (!status.has_value()) return std::nullopt;
+  response.status_line = *status;
+  std::size_t content_length = 0;
+  for (;;) {
+    auto header = stream->read_line(30000, std::size_t{1} << 20);
+    if (!header.has_value()) return std::nullopt;
+    if (header->empty()) break;
+    response.headers.push_back(*header);
+    const std::string lowered = util::to_lower(*header);
+    if (lowered.rfind("content-length:", 0) == 0) {
+      std::uint64_t n = 0;
+      if (!util::parse_u64(util::trim(lowered.substr(15)), n, nullptr))
+        return std::nullopt;
+      content_length = static_cast<std::size_t>(n);
+    }
+  }
+  response.body.resize(content_length);
+  if (content_length > 0 &&
+      !stream->read_exact(response.body.data(), content_length, 30000)) {
+    return std::nullopt;
+  }
+  return response;
+}
+
+bool has_header(const HttpResponse& response, const std::string& needle) {
+  for (const std::string& header : response.headers) {
+    if (util::to_lower(header).find(util::to_lower(needle)) != std::string::npos)
+      return true;
+  }
+  return false;
+}
+
+TEST(ServeDaemon, HttpScrapeHistoryAndTrace) {
+  Dbs dbs;
+  const CategoryResolver resolver;
+  const std::string dir = ::testing::TempDir();
+  const std::string trace_out = dir + "serve_trace.json";
+  std::remove(trace_out.c_str());
+
+  serve::ServeConfig cfg;
+  cfg.tcp = true;
+  cfg.stamped = true;
+  cfg.streaming.window = SimTime::seconds(100);
+  cfg.pipeline = pipeline_config();
+  cfg.pipeline.sensor.min_queriers = 3;
+  cfg.trace_out = trace_out;
+
+  serve::ServeDaemon daemon(cfg, dbs.as_db, dbs.geo_db, resolver);
+  std::string error;
+  ASSERT_TRUE(daemon.start(error)) << error;
+
+  // One command per connection, like `dnsbs_cli ctl`: the status loop is
+  // serial and reclaims idle connections, so don't hold one across the
+  // HTTP requests below.
+  const auto command = [&daemon](const std::string& cmd) -> std::string {
+    auto control = net::TcpStream::connect("127.0.0.1", daemon.status_port());
+    EXPECT_TRUE(control.has_value()) << cmd;
+    if (!control.has_value()) return "";
+    const std::string line = cmd + "\n";
+    EXPECT_TRUE(control->write_all(line.data(), line.size()));
+    auto reply = control->read_line(30000, std::size_t{1} << 20);
+    EXPECT_TRUE(reply.has_value()) << cmd;
+    return reply.value_or("");
+  };
+  // Start a long trace first so the ingest spans below land in it; the
+  // daemon dumps the capture on shutdown even if the deadline is not hit.
+  EXPECT_EQ(command("TRACE 30"),
+            "OK tracing 30s -> " + trace_out);
+  EXPECT_EQ(command("TRACE 0"), "ERR bad TRACE seconds (want 1..3600): 0");
+  EXPECT_EQ(command("TRACE abc"), "ERR bad TRACE seconds (want 1..3600): abc");
+
+  // Two windows of stamped traffic over TCP.
+  {
+    auto stream = net::TcpStream::connect("127.0.0.1", daemon.tcp_port());
+    ASSERT_TRUE(stream.has_value());
+    std::vector<std::uint8_t> wire;
+    for (int w = 0; w < 3; ++w) {
+      for (int o = 0; o < 3; ++o) {
+        for (int q = 0; q < 4; ++q) {
+          const auto message = dns::make_ptr_query_packet(
+              static_cast<std::uint16_t>((w * 16 + q) & 0xffff), addr(192, 0, 2, o));
+          const auto payload = stamped_payload(w * 100 + q, addr(10, 0, q, o), message);
+          wire.clear();
+          append_be16(wire, payload.size());
+          wire.insert(wire.end(), payload.begin(), payload.end());
+          ASSERT_TRUE(stream->write_all(wire.data(), wire.size()));
+        }
+      }
+    }
+  }
+  EXPECT_EQ(command("FLUSH"), "OK flushed");
+
+  // Line-protocol telemetry verbs.
+  const std::string stats = command("STATS");
+  EXPECT_NE(stats.find("\"history_windows\":3"), std::string::npos) << stats;
+  const std::string history = command("HISTORY");
+  EXPECT_EQ(history.rfind("{\"count\":3,", 0), 0u) << history;
+  EXPECT_NE(history.find("\"sched\":{\"queue_depth_peak\":"), std::string::npos);
+  EXPECT_EQ(command("HISTORY 1").rfind("{\"count\":1,", 0), 0u);
+  EXPECT_EQ(command("HISTORY nope"), "ERR bad HISTORY count: nope");
+
+  // HTTP endpoints share the same socket; each GET is a fresh one-shot
+  // connection while the line-protocol stream above stays usable.
+  const auto healthz = http_request(daemon.status_port(), "GET", "/healthz");
+  ASSERT_TRUE(healthz.has_value());
+  EXPECT_EQ(healthz->status_line, "HTTP/1.1 200 OK");
+  EXPECT_TRUE(has_header(*healthz, "content-length: 3"));
+  EXPECT_EQ(healthz->body, "ok\n");
+
+  const auto metrics = http_request(daemon.status_port(), "GET", "/metrics");
+  ASSERT_TRUE(metrics.has_value());
+  EXPECT_EQ(metrics->status_line, "HTTP/1.1 200 OK");
+  EXPECT_TRUE(has_header(*metrics, "text/plain; version=0.0.4"));
+#if DNSBS_METRICS_ENABLED
+  EXPECT_NE(metrics->body.find("# TYPE"), std::string::npos);
+  EXPECT_NE(metrics->body.find("dnsbs_sensor_records"), std::string::npos);
+  EXPECT_NE(metrics->body.find("# SCHED"), std::string::npos)
+      << "sched series must stay strippable in the scrape output";
+#endif
+
+  const auto windows = http_request(daemon.status_port(), "GET", "/windows?n=1");
+  ASSERT_TRUE(windows.has_value());
+  EXPECT_EQ(windows->status_line, "HTTP/1.1 200 OK");
+  EXPECT_TRUE(has_header(*windows, "application/json"));
+  EXPECT_EQ(windows->body.rfind("{\"count\":1,", 0), 0u) << windows->body;
+  EXPECT_EQ(windows->body.back(), '\n');
+
+  const auto missing = http_request(daemon.status_port(), "GET", "/nope");
+  ASSERT_TRUE(missing.has_value());
+  EXPECT_EQ(missing->status_line, "HTTP/1.1 404 Not Found");
+  const auto post = http_request(daemon.status_port(), "POST", "/metrics");
+  ASSERT_TRUE(post.has_value());
+  EXPECT_EQ(post->status_line, "HTTP/1.1 405 Method Not Allowed");
+
+  EXPECT_EQ(command("SHUTDOWN"), "OK shutting down");
+  daemon.wait();
+
+  // The in-flight trace is finished on drive-loop exit: the file must be a
+  // structurally valid Chrome trace with balanced B/E pairs.
+  std::ifstream trace(trace_out);
+  ASSERT_TRUE(trace.good()) << trace_out;
+  std::string json((std::istreambuf_iterator<char>(trace)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  const auto count_all = [&json](const std::string& needle) {
+    std::size_t n = 0;
+    for (std::size_t at = json.find(needle); at != std::string::npos;
+         at = json.find(needle, at + needle.size()))
+      ++n;
+    return n;
+  };
+  EXPECT_EQ(count_all("\"ph\":\"B\""), count_all("\"ph\":\"E\""));
+#if DNSBS_METRICS_ENABLED
+  EXPECT_GT(count_all("\"ph\":\"B\""), 0u) << "pipeline spans should have been captured";
+  EXPECT_NE(json.find("\"name\":\"pipeline.window\""), std::string::npos)
+      << json.substr(0, 400);
+#endif
 }
 
 }  // namespace

@@ -3,12 +3,16 @@
 // (single-string composition + thread names + pluggable sink).
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <map>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "util/log.hpp"
 #include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace dnsbs::util {
 namespace {
@@ -158,6 +162,128 @@ TEST(MetricsSpans, NestedSpansRecordSlashJoinedPath) {
 #endif
 }
 
+void nest_spans(int remaining) {
+  if (remaining == 0) return;
+  DNSBS_SPAN("deep");
+  nest_spans(remaining - 1);
+}
+
+TEST(MetricsSpans, OverflowPastMaxDepthCountsDroppedFrames) {
+#if !DNSBS_METRICS_ENABLED
+  GTEST_SKIP() << "built with -DDNSBS_METRICS=OFF";
+#else
+  MetricCounter& dropped = metrics_counter("dnsbs.span.dropped", /*sched=*/true);
+  const std::uint64_t before = dropped.value();
+  nest_spans(20);  // span stack holds 16: the innermost 4 frames overflow
+  EXPECT_EQ(dropped.value(), before + 4);
+  nest_spans(16);  // exactly at the limit: nothing dropped
+  EXPECT_EQ(dropped.value(), before + 4);
+#endif
+}
+
+// ---- trace timelines -----------------------------------------------------
+
+std::size_t count_all(const std::string& s, const std::string& needle) {
+  std::size_t n = 0;
+  for (auto p = s.find(needle); p != std::string::npos; p = s.find(needle, p + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+TEST(TraceTimeline, ExportIsBalancedPerThreadWithMonotoneTs) {
+#if !DNSBS_METRICS_ENABLED
+  GTEST_SKIP() << "built with -DDNSBS_METRICS=OFF";
+#else
+  EXPECT_FALSE(trace_enabled());  // capture is strictly opt-in
+  trace_start();
+  {
+    DNSBS_SPAN("outer");
+    { DNSBS_SPAN("inner"); }
+  }
+  std::thread([] { DNSBS_SPAN("worker"); }).join();
+  trace_stop();
+  const std::string json = trace_export_json();
+
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u) << json;
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"name\":\"thread_name\",\"ph\":\"M\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"name\":\"outer\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"name\":\"worker\""), std::string::npos) << json;
+  EXPECT_EQ(trace_dropped(), 0u);
+  EXPECT_GE(trace_event_count(), 6u);  // 3 spans = 3 B + 3 E
+
+  // One event per line: walk them checking per-tid B/E balance and
+  // per-tid timestamp monotonicity (what Perfetto requires to load).
+  std::map<int, int> depth;
+  std::map<int, double> last_ts;
+  std::istringstream lines(json);
+  std::string line;
+  while (std::getline(lines, line)) {
+    const auto ph = line.find("\"ph\":\"");
+    if (ph == std::string::npos) continue;
+    const char phase = line[ph + 6];
+    if (phase == 'M') continue;  // thread_name metadata
+    const auto tid_pos = line.find("\"tid\":");
+    ASSERT_NE(tid_pos, std::string::npos) << line;
+    const int tid = std::atoi(line.c_str() + tid_pos + 6);
+    const auto ts_pos = line.find("\"ts\":");
+    ASSERT_NE(ts_pos, std::string::npos) << line;
+    const double ts = std::atof(line.c_str() + ts_pos + 5);
+    if (last_ts.count(tid)) {
+      EXPECT_GE(ts, last_ts[tid]) << line;
+    }
+    last_ts[tid] = ts;
+    if (phase == 'B') {
+      ++depth[tid];
+    } else {
+      ASSERT_EQ(phase, 'E') << line;
+      --depth[tid];
+      EXPECT_GE(depth[tid], 0) << "orphan E on tid " << tid;
+    }
+  }
+  EXPECT_GE(depth.size(), 2u);  // main + worker tracks
+  for (const auto& [tid, d] : depth) EXPECT_EQ(d, 0) << "unbalanced tid " << tid;
+#endif
+}
+
+TEST(TraceTimeline, StopMidSpanStillBalances) {
+#if !DNSBS_METRICS_ENABLED
+  GTEST_SKIP() << "built with -DDNSBS_METRICS=OFF";
+#else
+  trace_start();
+  {
+    DNSBS_SPAN("half_open");
+    trace_stop();  // the span's end lands after the stop, yet is recorded
+  }
+  const std::string json = trace_export_json();
+  EXPECT_EQ(count_all(json, "\"ph\":\"B\""), count_all(json, "\"ph\":\"E\"")) << json;
+  EXPECT_NE(json.find("\"name\":\"half_open\""), std::string::npos) << json;
+#endif
+}
+
+TEST(TraceTimeline, DropOnFullKeepsBalancedPrefix) {
+#if !DNSBS_METRICS_ENABLED
+  GTEST_SKIP() << "built with -DDNSBS_METRICS=OFF";
+#else
+  // Ring capacity is fixed at ring creation, so exercise the tiny ring on
+  // a fresh thread (existing threads keep their original capacity).
+  trace_start(4);
+  std::thread([] {
+    for (int i = 0; i < 8; ++i) {
+      DNSBS_SPAN("tiny");
+    }
+  }).join();
+  trace_stop();
+  // Two spans fit (B+E each); the other six begins are rejected, and a
+  // rejected begin suppresses its end, keeping the capture balanced.
+  EXPECT_EQ(trace_dropped(), 6u);
+  const std::string json = trace_export_json();
+  EXPECT_EQ(count_all(json, "\"ph\":\"B\""), 2u) << json;
+  EXPECT_EQ(count_all(json, "\"ph\":\"E\""), 2u) << json;
+#endif
+}
+
 // ---- snapshot algebra & serializers (always compiled) --------------------
 
 MetricValue make_counter(std::string name, std::uint64_t v, bool sched = false) {
@@ -240,6 +366,7 @@ TEST(MetricsSerialization, PrometheusShape) {
   EXPECT_NE(prom.find("# TYPE dnsbs_parse_lines counter\ndnsbs_parse_lines 42\n"),
             std::string::npos)
       << prom;
+  EXPECT_EQ(prom.find("# SCHED"), std::string::npos) << prom;  // nothing sched here
   // Histogram buckets are cumulative and close with +Inf/_sum/_count.
   EXPECT_NE(prom.find("c_hist_ns_bucket{le=\"0\"} 2\n"), std::string::npos) << prom;
   EXPECT_NE(prom.find("c_hist_ns_bucket{le=\"7\"} 3\n"), std::string::npos) << prom;
@@ -248,11 +375,26 @@ TEST(MetricsSerialization, PrometheusShape) {
   EXPECT_NE(prom.find("c_hist_ns_count 3\n"), std::string::npos) << prom;
 }
 
+TEST(MetricsSerialization, PrometheusMarksSchedSeries) {
+  // The `# SCHED` marker after `# TYPE` is what lets scrape-diff tooling
+  // strip thread-count-dependent series without a name allowlist.
+  MetricsSnapshot snap;
+  snap.values = {make_counter("a.det", 1), make_counter("b.sched", 2, /*sched=*/true)};
+  const std::string prom = snap.to_prometheus();
+  EXPECT_NE(prom.find("# TYPE b_sched counter\n# SCHED b_sched\nb_sched 2\n"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("# TYPE a_det counter\na_det 1\n"), std::string::npos) << prom;
+}
+
 // ---- logger rework -------------------------------------------------------
 
-TEST(LogSink, ComposedLineCarriesLevelThreadAndTag) {
+TEST(LogSink, ComposedLineCarriesLevelTimestampsThreadAndTag) {
   std::vector<std::string> lines;
   set_log_sink([&lines](LogLevel, std::string_view line) { lines.emplace_back(line); });
+  // Pin the clocks so the whole line is exact: 2015-05-18T09:30:00.123Z
+  // wall time, 12.345678s of uptime.
+  set_log_clock([] { return LogTimestamps{1431941400123, 12345678000ULL}; });
   const LogLevel old_level = log_level();
   set_log_level(LogLevel::kInfo);
   set_thread_name("metrics-test");
@@ -262,10 +404,33 @@ TEST(LogSink, ComposedLineCarriesLevelThreadAndTag) {
 
   set_log_level(old_level);
   set_log_sink(nullptr);
+  set_log_clock(nullptr);
   set_thread_name("");
 
   ASSERT_EQ(lines.size(), 1u);
-  EXPECT_EQ(lines[0], "INFO  [metrics-test] [unit] hello metrics\n");
+  EXPECT_EQ(lines[0],
+            "INFO  2015-05-18T09:30:00.123Z +12.345678s "
+            "[metrics-test] [unit] hello metrics\n");
+}
+
+TEST(LogSink, RealClockProducesPlausibleStamps) {
+  std::vector<std::string> lines;
+  set_log_sink([&lines](LogLevel, std::string_view line) { lines.emplace_back(line); });
+  const LogLevel old_level = log_level();
+  set_log_level(LogLevel::kInfo);
+  log_info("unit", "real clock");
+  set_log_level(old_level);
+  set_log_sink(nullptr);
+  ASSERT_EQ(lines.size(), 1u);
+  // "INFO 20xx-..-..T..Z +N.NNNNNNs [" — wall stamp is this century and the
+  // monotonic stamp is a small uptime, not a raw epoch reading.
+  EXPECT_NE(lines[0].find("INFO  20"), std::string::npos) << lines[0];
+  EXPECT_NE(lines[0].find("Z +"), std::string::npos) << lines[0];
+  const auto plus = lines[0].find("Z +");
+  const auto s_unit = lines[0].find("s [", plus);
+  ASSERT_NE(s_unit, std::string::npos) << lines[0];
+  const std::string mono = lines[0].substr(plus + 3, s_unit - plus - 3);
+  EXPECT_LT(std::stod(mono), 3600.0) << lines[0];  // test suites run in minutes
 }
 
 TEST(LogSink, UnnamedThreadsGetStableIds) {

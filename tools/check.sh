@@ -16,6 +16,12 @@
 #                              # folded by `merge` must match single-sensor
 #                              # `analyze` byte-for-byte (exact and sketch
 #                              # modes); mismatched configs must refuse
+#   OBS=1 tools/check.sh       # observability smoke: boot the daemon, scrape
+#                              # GET /metrics and require the deterministic
+#                              # series to match the daemon's --metrics-out
+#                              # .prom byte-for-byte, capture + validate a
+#                              # Chrome trace, then re-run the metrics
+#                              # overhead gate (instrumented >= 98% of no-op)
 #
 # Extra arguments are passed straight to ctest.  Environment knobs:
 #   BUILD_DIR  build tree (default: <repo>/build-asan, build-tsan, build-perf)
@@ -133,25 +139,50 @@ if [[ "${SERVE:-0}" == "1" ]]; then
     STATUS_PORT=$(sed 's/.*status=\([0-9]*\).*/\1/' "$WORK/ready")
   }
   ctl() { "$CLI" ctl --to "127.0.0.1:$STATUS_PORT" --cmd "$1" >/dev/null; }
+  ctl_get() { "$CLI" ctl --to "127.0.0.1:$STATUS_PORT" --cmd "$1"; }
+  # Drop the sched-shaped objects (intake queue watermarks) that may
+  # legitimately differ between an uninterrupted and a restarted run.
+  strip_sched() { sed 's/,"sched":{[^}]*}//g'; }
 
   echo "serve smoke: run A (uninterrupted)"
   start_daemon "$WORK/windows_a.txt"
   "$CLI" sendlog --log "$WORK/query.log" --to "127.0.0.1:$TCP_PORT" --tcp
-  ctl flush; ctl shutdown; wait "$DAEMON_PID"
+  ctl flush
+  ctl_get history > "$WORK/history_a.json"
+  ctl shutdown; wait "$DAEMON_PID"
 
   echo "serve smoke: run B (checkpoint + restart mid-stream)"
   start_daemon "$WORK/windows_b.txt"
   "$CLI" sendlog --log "$WORK/first.log" --to "127.0.0.1:$TCP_PORT" --tcp
-  ctl checkpoint; ctl shutdown; wait "$DAEMON_PID"
+  ctl checkpoint
+  ctl_get history > "$WORK/history_prekill.json"
+  ctl shutdown; wait "$DAEMON_PID"
   start_daemon "$WORK/windows_b.txt" --restore
+  ctl_get history > "$WORK/history_restored.json"
   "$CLI" sendlog --log "$WORK/second.log" --to "127.0.0.1:$TCP_PORT" --tcp
-  ctl flush; ctl shutdown; wait "$DAEMON_PID"
+  ctl flush
+  ctl_get history > "$WORK/history_b.json"
+  ctl shutdown; wait "$DAEMON_PID"
 
   diff "$WORK/windows_a.txt" "$WORK/windows_b.txt" || {
     echo "serve smoke FAILED: restarted run diverged from uninterrupted run"
     exit 1
   }
-  echo "serve smoke passed: $(grep -c '^window ' "$WORK/windows_a.txt") windows byte-identical across restart"
+  # The checkpoint carries the telemetry ring at full fidelity: a restored
+  # daemon must answer HISTORY exactly (sched fields included) as the
+  # killed one did.
+  diff "$WORK/history_prekill.json" "$WORK/history_restored.json" || {
+    echo "serve smoke FAILED: HISTORY changed across checkpoint+restore"
+    exit 1
+  }
+  # And the completed histories agree between runs once the
+  # scheduling-shaped fields are stripped.
+  diff <(strip_sched < "$WORK/history_a.json") \
+       <(strip_sched < "$WORK/history_b.json") || {
+    echo "serve smoke FAILED: restarted HISTORY diverged from uninterrupted run"
+    exit 1
+  }
+  echo "serve smoke passed: $(grep -c '^window ' "$WORK/windows_a.txt") windows + HISTORY byte-identical across restart"
   exit 0
 fi
 
@@ -205,6 +236,139 @@ if [[ "${FEDERATION:-0}" == "1" ]]; then
     exit 1
   fi
   echo "federation smoke passed: exact + sketch merges byte-identical, mismatch refused"
+  exit 0
+fi
+
+if [[ "${OBS:-0}" == "1" ]]; then
+  # Observability smoke: the live telemetry plane end to end.
+  #   1. GET /metrics on a running daemon must carry the same deterministic
+  #      series (sched-marked and histogram blocks stripped) as the .prom
+  #      file the same process writes via --metrics-out at exit.
+  #   2. A TRACE capture dumped at shutdown must be a structurally valid
+  #      Chrome trace (balanced B/E, loadable JSON when python3 exists).
+  #   3. The metrics-overhead budget still holds with the telemetry plane
+  #      compiled in: instrumented end-to-end throughput >= 98% of a
+  #      -DDNSBS_METRICS=OFF build.
+  BUILD="${BUILD_DIR:-$ROOT/build-serve}"
+  GEN=()
+  command -v ninja >/dev/null 2>&1 && GEN=(-G Ninja)
+  cmake -B "$BUILD" -S "$ROOT" "${GEN[@]}" -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake --build "$BUILD" -j"$JOBS" --target dnsbs_cli
+  CLI="$BUILD/tools/dnsbs_cli"
+  WORK="$(mktemp -d)"
+  trap 'kill $(jobs -p) 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+  WORLD=(--scenario jp --scale 0.05 --seed 7)
+  "$CLI" generate "${WORLD[@]}" --out "$WORK/query.log"
+
+  rm -f "$WORK/ready"
+  "$CLI" serve "${WORLD[@]}" --stamped --tcp-port 0 --window 3600 \
+    --min-queriers 5 --windows-out "$WORK/windows.txt" \
+    --metrics-out "$WORK/exit.prom" --trace-out "$WORK/trace.json" \
+    --ready-file "$WORK/ready" &
+  DAEMON_PID=$!
+  for _ in $(seq 300); do [[ -s "$WORK/ready" ]] && break; sleep 0.1; done
+  [[ -s "$WORK/ready" ]] || { echo "daemon did not come up"; exit 1; }
+  TCP_PORT=$(sed 's/.*tcp=\([0-9]*\).*/\1/' "$WORK/ready")
+  STATUS_PORT=$(sed 's/.*status=\([0-9]*\).*/\1/' "$WORK/ready")
+  ctl() { "$CLI" ctl --to "127.0.0.1:$STATUS_PORT" --cmd "$1" >/dev/null; }
+
+  ctl "trace 3600"  # long deadline: the dump happens at SHUTDOWN
+  "$CLI" sendlog --log "$WORK/query.log" --to "127.0.0.1:$TCP_PORT" --tcp
+  ctl flush
+
+  # Scrape /metrics over plain HTTP/1.1 (no curl dependency): strip the
+  # response headers, normalize CRLF.
+  exec 3<>"/dev/tcp/127.0.0.1/$STATUS_PORT"
+  printf 'GET /metrics HTTP/1.1\r\nHost: check\r\nConnection: close\r\n\r\n' >&3
+  tr -d '\r' <&3 | sed '1,/^$/d' > "$WORK/scrape.prom"
+  exec 3>&- 3<&-
+  grep -q '^# TYPE ' "$WORK/scrape.prom" || {
+    echo "observability smoke FAILED: /metrics scrape looks empty"
+    exit 1
+  }
+
+  ctl shutdown; wait "$DAEMON_PID"
+
+  # Deterministic view: drop histogram blocks and series flagged with the
+  # machine-readable "# SCHED <name>" marker (same stripping rule as
+  # MetricsSnapshot::deterministic_view).
+  det_view() {
+    awk '
+      /^# TYPE /  { held = $0; skip = ($4 == "histogram"); next }
+      /^# SCHED / { skip = 1; held = ""; next }
+      {
+        if (skip) next
+        if (held != "") { print held; held = "" }
+        print
+      }' "$1"
+  }
+  det_view "$WORK/scrape.prom" > "$WORK/scrape_det.prom"
+  det_view "$WORK/exit.prom" > "$WORK/exit_det.prom"
+  diff "$WORK/scrape_det.prom" "$WORK/exit_det.prom" || {
+    echo "observability smoke FAILED: /metrics deterministic series diverged from --metrics-out"
+    exit 1
+  }
+
+  [[ -s "$WORK/trace.json" ]] || {
+    echo "observability smoke FAILED: no trace written at shutdown"
+    exit 1
+  }
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - "$WORK/trace.json" <<'PY'
+import collections, json, sys
+with open(sys.argv[1]) as fh:
+    trace = json.load(fh)
+depth = collections.Counter()
+for event in trace["traceEvents"]:
+    if event["ph"] == "B":
+        depth[event["tid"]] += 1
+    elif event["ph"] == "E":
+        depth[event["tid"]] -= 1
+        assert depth[event["tid"]] >= 0, f"orphan E on tid {event['tid']}"
+assert not any(depth.values()), f"unbalanced spans: {dict(depth)}"
+assert trace["traceEvents"], "empty trace"
+print(f"trace OK: {len(trace['traceEvents'])} events, "
+      f"{len({e['tid'] for e in trace['traceEvents']})} threads")
+PY
+  else
+    b=$(grep -c '"ph":"B"' "$WORK/trace.json")
+    e=$(grep -c '"ph":"E"' "$WORK/trace.json")
+    [[ "$b" == "$e" && "$b" -gt 0 ]] || {
+      echo "observability smoke FAILED: trace B/E unbalanced ($b vs $e)"
+      exit 1
+    }
+    echo "trace OK: $b balanced span pairs (python3 unavailable, grep check)"
+  fi
+  echo "observability smoke passed: scrape matched --metrics-out, trace valid"
+
+  # Overhead budget with the telemetry plane active, same interleaved
+  # best-of discipline as the PERF gate.
+  BUILD_ON="$ROOT/build-perf"
+  BUILD_OFF="$ROOT/build-perf-noop"
+  cmake -B "$BUILD_ON" -S "$ROOT" "${GEN[@]}" -DCMAKE_BUILD_TYPE=Release \
+    -DDNSBS_METRICS=ON >/dev/null
+  cmake --build "$BUILD_ON" -j"$JOBS" --target bench_perf_pipeline
+  cmake -B "$BUILD_OFF" -S "$ROOT" "${GEN[@]}" -DCMAKE_BUILD_TYPE=Release \
+    -DDNSBS_METRICS=OFF >/dev/null
+  cmake --build "$BUILD_OFF" -j"$JOBS" --target bench_perf_pipeline
+  rate_of() {
+    "$1" --json "$2" --repeat 5 >/dev/null
+    awk -F': ' '/"end_to_end_records_per_s"/ {gsub(/,/,"",$2); print $2; exit}' "$2"
+  }
+  on_rate=0 off_rate=0
+  for round in 1 2; do
+    r=$(rate_of "$BUILD_ON/bench/bench_perf_pipeline" "$BUILD_ON/bench_obs_on.json")
+    on_rate=$(awk -v a="$on_rate" -v b="$r" 'BEGIN { print (b > a) ? b : a }')
+    r=$(rate_of "$BUILD_OFF/bench/bench_perf_pipeline" "$BUILD_OFF/bench_obs_off.json")
+    off_rate=$(awk -v a="$off_rate" -v b="$r" 'BEGIN { print (b > a) ? b : a }')
+  done
+  awk -v on="$on_rate" -v off="$off_rate" 'BEGIN {
+    ratio = off > 0 ? on / off : 1;
+    printf "telemetry overhead: ON %.0f rec/s vs OFF %.0f rec/s (%.3fx)\n", on, off, ratio;
+    if (ratio < 0.98) { print "telemetry overhead gate FAILED: >2% slowdown"; exit 1 }
+    print "telemetry overhead gate passed (<2%)";
+  }'
   exit 0
 fi
 

@@ -21,6 +21,8 @@ struct Options {
   std::string out_path;
   std::string csv_path;
   std::string metrics_out;
+  std::string metrics_format;       ///< "", "json" or "prom"; "" = sniff by suffix
+  std::string trace_out;            ///< Chrome trace JSON destination (see below)
   std::uint64_t min_queriers = 20;
   std::uint64_t top = 20;
 
@@ -39,6 +41,7 @@ struct Options {
   std::int64_t checkpoint_every_secs = 0;  ///< stream-time cadence, 0 = manual
   std::string windows_out;
   std::string ready_file;
+  std::uint64_t history_cap = 256;  ///< per-window telemetry ring (0 = off)
 
   // sendlog / ctl
   std::string to;                   ///< "host:port" target
@@ -102,6 +105,17 @@ inline bool parse(int argc, char* const* argv, Options& opt, std::string& error)
       opt.csv_path = value;
     } else if (flag == "--metrics-out") {
       opt.metrics_out = value;
+    } else if (flag == "--metrics-format") {
+      opt.metrics_format = value;
+      if (opt.metrics_format != "json" && opt.metrics_format != "prom") {
+        error = "flag --metrics-format: want json or prom, got '" +
+                opt.metrics_format + "'";
+        return false;
+      }
+    } else if (flag == "--trace-out") {
+      opt.trace_out = value;
+    } else if (flag == "--history-cap") {
+      ok = util::parse_u64(value, opt.history_cap, &why);
     } else if (flag == "--min-queriers") {
       ok = util::parse_u64(value, opt.min_queriers, &why);
     } else if (flag == "--top") {
@@ -168,6 +182,14 @@ inline bool parse(int argc, char* const* argv, Options& opt, std::string& error)
       error = "flag " + flag + ": " + why;
       return false;
     }
+  }
+  // A .prom suffix has always selected the Prometheus exposition format;
+  // an explicit --metrics-format json that contradicts it is ambiguous
+  // (which one did the operator mean?) and therefore a hard error.
+  if (opt.metrics_format == "json" && opt.metrics_out.size() >= 5 &&
+      opt.metrics_out.ends_with(".prom")) {
+    error = "--metrics-format json conflicts with .prom suffix: " + opt.metrics_out;
+    return false;
   }
   return true;
 }

@@ -28,8 +28,13 @@
 //       Replay a query log as stamped packets (the daemon's --stamped
 //       framing) over UDP datagrams or one TCP connection.
 //
-//   dnsbs_cli ctl       --to HOST:PORT [--cmd stats|checkpoint|flush|shutdown|ping]
+//   dnsbs_cli ctl       --to HOST:PORT [--cmd stats|history|trace|checkpoint|
+//                                             flush|shutdown|ping]
 //       Send one control command to a running daemon and print the reply.
+//       "history [n]" returns the per-window telemetry ring as JSON;
+//       "trace [secs]" starts a timed capture into the daemon's
+//       --trace-out file.  The same status port also answers plain HTTP
+//       GETs: /metrics (Prometheus), /healthz, /windows[?n=K].
 //
 //   dnsbs_cli export-state --log FILE --state-out FILE
 //                       [--shards N --shard-index I] [--querier-state M]
@@ -45,7 +50,10 @@
 //
 // Every subcommand accepts --metrics-out FILE to dump the final metrics
 // snapshot; a path ending in ".prom" selects Prometheus text exposition,
-// anything else gets JSON.
+// anything else gets JSON.  --metrics-format json|prom overrides the
+// suffix sniff (json + a .prom path is a hard conflict).  --trace-out FILE
+// captures a Chrome trace_event timeline of the run (for serve it only
+// arms the TRACE control verb).
 //
 // `analyze` and `serve` resolve querier names through the synthetic world,
 // so the (scenario, scale, seed) triple must match the one used by
@@ -71,6 +79,7 @@
 #include "util/binio.hpp"
 #include "util/metrics.hpp"
 #include "util/table.hpp"
+#include "util/trace.hpp"
 
 namespace {
 
@@ -89,6 +98,8 @@ int usage() {
       "  --log FILE          (analyze/stats/sendlog) log input path\n"
       "  --csv FILE          (analyze) feature-vector CSV output\n"
       "  --metrics-out FILE  metrics snapshot (.prom = Prometheus, else JSON)\n"
+      "  --metrics-format F  json|prom; overrides the .prom suffix sniff\n"
+      "  --trace-out FILE    Chrome trace JSON of this run (serve: TRACE target)\n"
       "  --min-queriers Q    sensor floor (default 20)\n"
       "  --top K             rows to print (default 20)\n"
       "  --querier-state M   exact|sketch querier cardinality state (default exact)\n"
@@ -113,16 +124,21 @@ int usage() {
       "  --checkpoint-every SECS  stream-time checkpoint cadence\n"
       "  --windows-out FILE  append a summary block per closed window\n"
       "  --ready-file FILE   write bound ports once listening\n"
+      "  --history-cap N     per-window telemetry ring size (default 256, 0 = off)\n"
       "sendlog/ctl:\n"
       "  --to HOST:PORT      target daemon\n"
       "  --tcp               (sendlog) stream frames over TCP instead of UDP\n"
-      "  --cmd NAME          (ctl) stats|checkpoint|flush|shutdown|ping\n");
+      "  --cmd NAME          (ctl) stats|history [n]|trace [secs]|checkpoint|\n"
+      "                      flush|shutdown|ping\n");
   return 2;
 }
 
-/// Dumps the end-of-run metrics snapshot for any subcommand.  Returns
-/// false (and complains) when the file cannot be written.
-bool write_metrics(const std::string& path) {
+/// Dumps the end-of-run metrics snapshot for any subcommand.  The format
+/// is --metrics-format when given, else sniffed from the path suffix
+/// (.prom = Prometheus text, anything else JSON).  Returns false (and
+/// complains) when the file cannot be written.
+bool write_metrics(const cli::Options& opt) {
+  const std::string& path = opt.metrics_out;
   if (path.empty()) return true;
   const util::MetricsSnapshot snapshot = util::metrics_snapshot();
   std::ofstream out(path);
@@ -130,9 +146,30 @@ bool write_metrics(const std::string& path) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
     return false;
   }
-  const bool prometheus = path.size() >= 5 && path.compare(path.size() - 5, 5, ".prom") == 0;
+  const bool prometheus =
+      opt.metrics_format.empty()
+          ? path.size() >= 5 && path.compare(path.size() - 5, 5, ".prom") == 0
+          : opt.metrics_format == "prom";
   out << (prometheus ? snapshot.to_prometheus() : snapshot.to_json());
   std::fprintf(stderr, "wrote %zu metrics to %s\n", snapshot.values.size(), path.c_str());
+  return static_cast<bool>(out);
+}
+
+/// Ends the process-wide trace capture armed for non-serve subcommands and
+/// writes the Chrome trace_event JSON.  Returns false when the file cannot
+/// be written.
+bool write_trace(const std::string& path) {
+  util::trace_stop();
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << util::trace_export_json();
+  out.flush();
+  std::fprintf(stderr, "wrote trace (%zu events, %llu dropped) to %s\n",
+               util::trace_event_count(),
+               static_cast<unsigned long long>(util::trace_dropped()), path.c_str());
   return static_cast<bool>(out);
 }
 
@@ -490,11 +527,13 @@ int cmd_serve(const cli::Options& opt) {
   cfg.pipeline.seed = opt.seed;
   // Summaries are written at window close; no need to hold history forever.
   cfg.pipeline.history_limit = 64;
+  cfg.streaming.telemetry_capacity = static_cast<std::size_t>(opt.history_cap);
   cfg.checkpoint_path = opt.checkpoint_path;
   cfg.restore = opt.restore;
   cfg.checkpoint_every_secs = opt.checkpoint_every_secs;
   cfg.windows_out = opt.windows_out;
   cfg.ready_file = opt.ready_file;
+  cfg.trace_out = opt.trace_out;
 
   serve::ServeDaemon daemon(cfg, scenario.plan().as_db(), scenario.plan().geo_db(),
                             scenario.naming());
@@ -613,6 +652,10 @@ int main(int argc, char** argv) {
     if (!error.empty()) std::fprintf(stderr, "dnsbs_cli: %s\n", error.c_str());
     return usage();
   }
+  // For serve the trace file is the TRACE control verb's target; every
+  // other subcommand traces its whole run.
+  const bool trace_run = !opt.trace_out.empty() && opt.command != "serve";
+  if (trace_run) util::trace_start();
   int rc = -1;
   if (opt.command == "generate") rc = cmd_generate(opt);
   else if (opt.command == "analyze") rc = cmd_analyze(opt);
@@ -624,6 +667,7 @@ int main(int argc, char** argv) {
   else if (opt.command == "export-state") rc = cmd_export_state(opt);
   else if (opt.command == "merge") rc = cmd_merge(opt);
   else return usage();
-  if (rc == 0 && !write_metrics(opt.metrics_out)) rc = 1;
+  if (trace_run && !write_trace(opt.trace_out) && rc == 0) rc = 1;
+  if (rc == 0 && !write_metrics(opt)) rc = 1;
   return rc;
 }

@@ -38,6 +38,23 @@
 //                                                  BENCH_perf_merge.json
 //                                                  (knobs: --light --heavy
 //                                                  --heavy-queriers --shards)
+//   --stream                                       streaming-sensor scenario:
+//                                                  offer a multi-window record
+//                                                  stream to the
+//                                                  StreamingWindowDriver with
+//                                                  --async-windows off and on,
+//                                                  comparing sustained intake
+//                                                  throughput, boundary-region
+//                                                  intake throughput (where
+//                                                  the sync driver stalls for
+//                                                  the whole window close) and
+//                                                  p99/max offer latency
+//                                                  against
+//                                                  BENCH_perf_stream.json
+//                                                  (knobs: --originators
+//                                                  --queriers --windows
+//                                                  --boundary-span
+//                                                  --job-threads)
 //
 // Times are best-of --repeat (default 3) so scheduler noise shrinks the
 // committed baseline instead of inflating it.
@@ -59,12 +76,15 @@
 #include <unistd.h>
 #endif
 
+#include "analysis/pipeline.hpp"
+#include "analysis/streaming.hpp"
 #include "common.hpp"
 #include "core/federation.hpp"
 #include "core/sensor.hpp"
 #include "dns/query_log.hpp"
 #include "sim/scenario.hpp"
 #include "util/binio.hpp"
+#include "util/jobs.hpp"
 #include "util/metrics.hpp"
 #include "util/strings.hpp"
 
@@ -383,6 +403,246 @@ std::size_t arg_size(int argc, char** argv, const char* name, const char* fallba
       std::strtoull(arg_str(argc, argv, name, fallback).c_str(), nullptr, 10));
 }
 
+/// One --stream measurement: a full pass of the record stream through a
+/// fresh driver+pipeline pair in one execution mode.
+struct StreamModeRun {
+  double intake_records_per_s = 0;    ///< whole-stream offer() throughput
+  double boundary_records_per_s = 0;  ///< throughput across window boundaries
+  double p99_offer_us = 0;
+  double max_offer_us = 0;
+  double wall_s = 0;  ///< including flush (total work is mode-invariant)
+  /// Deterministic view of each window's metrics delta — the byte-identity
+  /// oracle the two modes are cross-checked against.
+  std::vector<std::string> window_metrics;
+};
+
+StreamModeRun run_stream_once(bool async, std::size_t job_threads,
+                              const std::vector<dns::QueryRecord>& records,
+                              std::int64_t window_secs, std::size_t windows,
+                              std::size_t per_window, std::size_t span,
+                              const netdb::AsDb& as_db, const netdb::GeoDb& geo_db,
+                              const core::QuerierResolver& resolver) {
+  analysis::WindowedPipelineConfig pcfg;
+  pcfg.sensor.threads = 1;
+  pcfg.sensor.top_n = 0;
+  // No carry-forward: every close pays the full cold extraction — the
+  // constant per-window cost a live sensor seeing fresh queriers pays,
+  // and the stall the async mode exists to hide.
+  pcfg.carry_forward = false;
+  if (async) {
+    pcfg.jobs = std::make_shared<util::JobSystem>(
+        util::JobSystemConfig{.threads = job_threads, .metric_prefix = {}});
+  }
+  analysis::WindowedPipeline pipeline(pcfg, as_db, geo_db, resolver);
+  analysis::StreamingConfig sc;
+  sc.window = util::SimTime::seconds(window_secs);
+  sc.async_windows = async;
+  analysis::StreamingWindowDriver driver(sc, pipeline, as_db, geo_db, resolver);
+
+  std::vector<double> offer_secs(records.size());
+  const auto t0 = Clock::now();
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto o0 = Clock::now();
+    driver.offer(records[i]);
+    offer_secs[i] = seconds_since(o0);
+  }
+  const double intake_secs = seconds_since(t0);
+  driver.flush();
+
+  StreamModeRun run;
+  run.wall_s = seconds_since(t0);
+  if (driver.windows_closed() != windows) std::abort();
+  run.intake_records_per_s = static_cast<double>(records.size()) / intake_secs;
+
+  // Boundary region: the first `span` offers at/after each interior window
+  // boundary.  The very first of them is the offer that seals the previous
+  // window — in sync mode it carries the entire close.
+  double boundary_secs = 0.0;
+  std::size_t boundary_count = 0;
+  for (std::size_t b = 1; b < windows; ++b) {
+    for (std::size_t i = b * per_window; i < b * per_window + span; ++i) {
+      boundary_secs += offer_secs[i];
+    }
+    boundary_count += span;
+  }
+  run.boundary_records_per_s = static_cast<double>(boundary_count) / boundary_secs;
+
+  std::vector<double> sorted = offer_secs;
+  const std::size_t p99 = sorted.size() * 99 / 100;
+  std::nth_element(sorted.begin(), sorted.begin() + static_cast<std::ptrdiff_t>(p99),
+                   sorted.end());
+  run.p99_offer_us = sorted[p99] * 1e6;
+  run.max_offer_us =
+      *std::max_element(sorted.begin() + static_cast<std::ptrdiff_t>(p99),
+                        sorted.end()) *
+      1e6;
+
+  for (auto& result : pipeline.results()) {
+    run.window_metrics.push_back(result.metrics_delta.deterministic_view().to_json());
+  }
+  return run;
+}
+
+/// --stream: the async-window-pipeline scenario behind the
+/// BENCH_perf_stream.json gate (tools/check.sh PERF=1).  A multi-window
+/// synthetic stream — every window a fresh cold extraction — is offered
+/// record-at-a-time to the StreamingWindowDriver twice, --async-windows
+/// off then on, and the two modes' per-window deterministic metric deltas
+/// are required to match byte-for-byte (the same oracle the serve tests
+/// use).  Gated axes: sync + async sustained intake, async boundary
+/// intake, and the async/sync boundary speedup; the non-smoke run also
+/// enforces the >= 2x boundary-speedup acceptance floor directly.
+int run_stream(int argc, char** argv) {
+  const bool smoke = arg_flag(argc, argv, "--smoke");
+  const int repeat =
+      smoke ? 1 : std::max(1, std::atoi(arg_str(argc, argv, "--repeat", "3").c_str()));
+  const std::size_t originators =
+      arg_size(argc, argv, "--originators", smoke ? "80" : "600");
+  const std::size_t queriers = arg_size(argc, argv, "--queriers", smoke ? "40" : "300");
+  const std::size_t windows =
+      std::max<std::size_t>(2, arg_size(argc, argv, "--windows", smoke ? "3" : "4"));
+  const std::size_t job_threads = arg_size(argc, argv, "--job-threads", "2");
+  const std::string json_path = arg_str(argc, argv, "--json", "");
+  const std::string check_path = arg_str(argc, argv, "--check", "");
+  const std::string baseline_path = arg_str(argc, argv, "--baseline", "");
+  constexpr std::int64_t kWindowSecs = 3600;
+  const std::size_t per_window = originators * queriers;
+  const std::size_t span = std::min(
+      per_window, arg_size(argc, argv, "--boundary-span", smoke ? "200" : "2000"));
+
+  print_header("perf_stream",
+               "async window pipeline (job-system close vs inline close)",
+               util::format("originators=%zu queriers=%zu windows=%zu span=%zu "
+                            "job_threads=%zu repeat=%d",
+                            originators, queriers, windows, span, job_threads, repeat));
+
+  // Same address plan as --features: sixteen /16s so AS/geo lookups hit.
+  netdb::AsDb as_db;
+  netdb::GeoDb geo_db;
+  for (int i = 0; i < 16; ++i) {
+    const auto prefix = *net::Prefix::parse(util::format("10.%d.0.0/16", i));
+    as_db.add(prefix, 100 + i, util::format("bench-as-%d", i));
+    geo_db.add(prefix, netdb::CountryCode(static_cast<char>('a' + i), 'q'));
+  }
+  const FeatureBenchResolver resolver;
+
+  // Each window re-ingests the full originator x querier matrix, evenly
+  // spread across the window so record times are globally monotone; the
+  // first record of window w lands exactly on the boundary and seals
+  // window w-1.
+  const std::size_t space =
+      std::min<std::size_t>(per_window, std::size_t{16} << 16);
+  std::vector<dns::QueryRecord> records;
+  records.reserve(windows * per_window);
+  for (std::size_t w = 0; w < windows; ++w) {
+    for (std::size_t s = 0; s < per_window; ++s) {
+      const std::int64_t t =
+          static_cast<std::int64_t>(w) * kWindowSecs +
+          static_cast<std::int64_t>((s * static_cast<std::size_t>(kWindowSecs)) /
+                                    per_window);
+      records.push_back(
+          {util::SimTime::seconds(t),
+           net::IPv4Addr((10u << 24) | static_cast<std::uint32_t>(s % space)),
+           net::IPv4Addr((172u << 24) | static_cast<std::uint32_t>(s / queriers)),
+           dns::RCode::kNoError});
+    }
+  }
+
+  StreamModeRun best[2];  // [0] = sync, [1] = async
+  best[0].p99_offer_us = best[1].p99_offer_us = 1e18;
+  best[0].max_offer_us = best[1].max_offer_us = 1e18;
+  best[0].wall_s = best[1].wall_s = 1e18;
+  for (int r = 0; r < repeat; ++r) {
+    for (int m = 0; m < 2; ++m) {
+      StreamModeRun run =
+          run_stream_once(m == 1, job_threads, records, kWindowSecs, windows,
+                          per_window, span, as_db, geo_db, resolver);
+      best[m].intake_records_per_s =
+          std::max(best[m].intake_records_per_s, run.intake_records_per_s);
+      best[m].boundary_records_per_s =
+          std::max(best[m].boundary_records_per_s, run.boundary_records_per_s);
+      best[m].p99_offer_us = std::min(best[m].p99_offer_us, run.p99_offer_us);
+      best[m].max_offer_us = std::min(best[m].max_offer_us, run.max_offer_us);
+      best[m].wall_s = std::min(best[m].wall_s, run.wall_s);
+      best[m].window_metrics = std::move(run.window_metrics);
+    }
+    // Byte-identity oracle: both modes must attribute the same
+    // deterministic metric deltas to every window, every repeat.
+    if (best[0].window_metrics != best[1].window_metrics) {
+      std::fprintf(stderr, "stream: async window metrics diverged from sync\n");
+      return 1;
+    }
+  }
+
+  const double boundary_speedup =
+      best[1].boundary_records_per_s / best[0].boundary_records_per_s;
+  std::printf("records            %zu (%zu windows of %zu)\n", records.size(), windows,
+              per_window);
+  std::printf("intake             sync %.0f rec/s, async %.0f rec/s\n",
+              best[0].intake_records_per_s, best[1].intake_records_per_s);
+  std::printf("boundary intake    sync %.0f rec/s, async %.0f rec/s (%.1fx)\n",
+              best[0].boundary_records_per_s, best[1].boundary_records_per_s,
+              boundary_speedup);
+  std::printf("offer p99          sync %.1f us, async %.1f us\n", best[0].p99_offer_us,
+              best[1].p99_offer_us);
+  std::printf("offer max          sync %.0f us, async %.0f us\n", best[0].max_offer_us,
+              best[1].max_offer_us);
+  std::printf("wall (incl flush)  sync %.2f s, async %.2f s\n", best[0].wall_s,
+              best[1].wall_s);
+  std::printf("window metrics     %zu windows byte-identical across modes\n",
+              best[0].window_metrics.size());
+
+  if (!smoke && boundary_speedup < 2.0) {
+    std::fprintf(stderr,
+                 "stream: boundary speedup %.2fx below the 2x acceptance floor\n",
+                 boundary_speedup);
+    return 1;
+  }
+
+  // The speedup ratio is deliberately not a gated axis: it divides two
+  // measurements and inherits both runs' noise.  It is recorded in the
+  // JSON and enforced by the absolute 2x floor above; the gated axes are
+  // the direct throughputs.
+  const Axis axes[] = {
+      {"stream_sync_intake_records_per_s", best[0].intake_records_per_s},
+      {"stream_async_intake_records_per_s", best[1].intake_records_per_s},
+      {"stream_async_boundary_records_per_s", best[1].boundary_records_per_s},
+  };
+
+  if (!json_path.empty()) {
+    std::ofstream os(json_path);
+    os << "{\n"
+       << "  \"bench\": \"perf_stream\",\n"
+       << "  \"originators\": " << originators << ",\n"
+       << "  \"queriers\": " << queriers << ",\n"
+       << "  \"windows\": " << windows << ",\n"
+       << "  \"boundary_span\": " << span << ",\n"
+       << "  \"job_threads\": " << job_threads << ",\n"
+       << "  \"records\": " << records.size() << ",\n"
+       << "  \"stream_sync_intake_records_per_s\": " << best[0].intake_records_per_s
+       << ",\n"
+       << "  \"stream_async_intake_records_per_s\": " << best[1].intake_records_per_s
+       << ",\n"
+       << "  \"stream_sync_boundary_records_per_s\": "
+       << best[0].boundary_records_per_s << ",\n"
+       << "  \"stream_async_boundary_records_per_s\": "
+       << best[1].boundary_records_per_s << ",\n"
+       << "  \"stream_async_boundary_speedup\": " << boundary_speedup << ",\n"
+       << "  \"stream_sync_p99_offer_us\": " << best[0].p99_offer_us << ",\n"
+       << "  \"stream_async_p99_offer_us\": " << best[1].p99_offer_us << ",\n"
+       << "  \"stream_sync_max_offer_us\": " << best[0].max_offer_us << ",\n"
+       << "  \"stream_async_max_offer_us\": " << best[1].max_offer_us << ",\n"
+       << "  \"stream_sync_wall_s\": " << best[0].wall_s << ",\n"
+       << "  \"stream_async_wall_s\": " << best[1].wall_s;
+    if (!baseline_path.empty()) append_baseline(os, baseline_path, axes);
+    os << "\n}\n";
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
+
+  if (!check_path.empty()) return check_axes(check_path, axes);
+  return 0;
+}
+
 /// The --merge children never extract features, so the resolver is never
 /// consulted; it exists only to satisfy the Sensor constructor.
 class NullResolver final : public core::QuerierResolver {
@@ -685,6 +945,7 @@ int run(int argc, char** argv) {
   if (!merge_child.empty()) return run_merge_child(merge_child, argc, argv);
   if (arg_flag(argc, argv, "--merge")) return run_merge(argc, argv, argv[0]);
   if (arg_flag(argc, argv, "--features")) return run_features(argc, argv);
+  if (arg_flag(argc, argv, "--stream")) return run_stream(argc, argv);
   const bool smoke = arg_flag(argc, argv, "--smoke");
   const double scale = arg_scale(argc, argv, smoke ? 0.02 : 0.25);
   const std::uint64_t seed = arg_seed(argc, argv, 7);

@@ -24,26 +24,28 @@ WindowedPipeline::WindowedPipeline(WindowedPipelineConfig config,
       as_db_(as_db),
       geo_db_(geo_db),
       resolver_(resolver),
-      last_metrics_(util::metrics_snapshot()) {
+      last_metrics_(util::metrics_snapshot()),
+      jobs_(config.jobs) {
   if (config_.carry_forward) {
     feature_cache_ = std::make_shared<core::FeatureExtractionCache>();
   }
+  if (!jobs_) {
+    jobs_ = std::make_shared<util::JobSystem>(
+        util::JobSystemConfig{.threads = 1, .metric_prefix = "dnsbs.pipeline.jobs"});
+  }
+  train_queue_ = jobs_->queue("train");
 }
 
 WindowedPipeline::~WindowedPipeline() {
   // Swallow a pending exception: it already surfaced (or will) via the
   // finish() the caller owed us; destruction must not throw.
-  if (pending_.valid()) {
-    try {
-      pending_.get();
-    } catch (...) {
-    }
+  try {
+    jobs_->drain(train_queue_);
+  } catch (...) {
   }
 }
 
-void WindowedPipeline::finish() {
-  if (pending_.valid()) pending_.get();
-}
+void WindowedPipeline::finish() { jobs_->drain(train_queue_); }
 
 void WindowedPipeline::enqueue_window(std::span<const dns::QueryRecord> records,
                                       util::SimTime start, util::SimTime end) {
@@ -94,12 +96,11 @@ void WindowedPipeline::enqueue_sensor_window(core::Sensor& sensor, util::SimTime
   result.end = end;
   results_.push_back(std::move(result));
 
-  // 3. Retrain + classify on a background task; the caller is free to
-  //    ingest the next window meanwhile.  The task only touches
+  // 3. Retrain + classify on the serial train queue; the caller is free
+  //    to ingest the next window meanwhile.  The job only touches
   //    observations_[position], results_[position], labels_ (read) and
   //    model_ — none of which step 1 of the next enqueue reads or moves.
-  pending_ =
-      std::async(std::launch::async, [this, position] { train_and_classify(position); });
+  jobs_->submit(train_queue_, [this, position] { train_and_classify(position); });
 }
 
 void WindowedPipeline::set_next_window_index(std::size_t index) {

@@ -9,7 +9,6 @@
 // window so operators and the longitudinal benches share one code path.
 #pragma once
 
-#include <future>
 #include <memory>
 #include <span>
 #include <vector>
@@ -19,6 +18,7 @@
 #include "labeling/ground_truth.hpp"
 #include "labeling/strategies.hpp"
 #include "ml/forest.hpp"
+#include "util/jobs.hpp"
 
 namespace dnsbs::analysis {
 
@@ -42,6 +42,11 @@ struct WindowedPipelineConfig {
   /// (0 = unlimited).  Long-running daemons set this: WindowResult.index
   /// stays absolute across trims, only the retained prefix is dropped.
   std::size_t history_limit = 0;
+  /// Job system the train+classify chain runs on (queue "train").  Null
+  /// means the pipeline owns a single-worker system of its own; the
+  /// streaming daemon shares one system across its close/train/export
+  /// queues so a bounded worker pool serves the whole window pipeline.
+  std::shared_ptr<util::JobSystem> jobs;
 };
 
 class WindowedPipeline {
@@ -87,6 +92,21 @@ class WindowedPipeline {
 
   /// Joins the in-flight window, if any; rethrows its exception.
   void finish();
+
+  /// The job system the train chain runs on (the config's, or the
+  /// pipeline-owned default).  The streaming driver and daemon register
+  /// their close/export queues on it so one worker pool serves the whole
+  /// async window pipeline.
+  const std::shared_ptr<util::JobSystem>& jobs() const noexcept { return jobs_; }
+
+  /// The most recently enqueued window's result, joined.  The streaming
+  /// driver patches metrics_delta attribution here (async mode splits the
+  /// delta between drive-thread and close-queue series); everyone else
+  /// should read results().
+  WindowResult& back_result() {
+    finish();
+    return results_.back();
+  }
 
   /// The carry-forward extraction cache (null when carry_forward is off).
   /// Streaming callers attach it to their sensors before ingesting.
@@ -166,9 +186,11 @@ class WindowedPipeline {
   /// Absolute index of results_[0]; advanced by history trims and by
   /// set_next_window_index() after a restore.
   std::size_t base_index_ = 0;
-  /// The previous window's train+classify task; joined before the next
-  /// window mutates shared state.
-  std::future<void> pending_;
+  /// Job system + serial queue the train+classify chain runs on.  The
+  /// queue's FIFO order is the determinism argument: train steps execute
+  /// strictly in window order whatever the worker count.
+  std::shared_ptr<util::JobSystem> jobs_;
+  util::JobSystem::QueueId train_queue_ = 0;
 };
 
 }  // namespace dnsbs::analysis

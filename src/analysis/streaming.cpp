@@ -4,6 +4,8 @@
 #include <cstring>
 #include <istream>
 #include <ostream>
+#include <string_view>
+#include <utility>
 
 #include "util/binio.hpp"
 #include "util/log.hpp"
@@ -16,7 +18,9 @@ namespace {
 
 constexpr char kMagic[8] = {'D', 'N', 'S', 'B', 'S', 'C', 'K', 'P'};
 // v2: appended the per-window telemetry history ring (PR 9).
-constexpr std::uint32_t kVersion = 2;
+// v3: appended the drive-side (ingest) attribution snapshot (PR 10) so a
+//     restored driver keeps splitting window metric deltas exactly.
+constexpr std::uint32_t kVersion = 3;
 
 // All three are deterministic: window opens/closes and lateness are pure
 // functions of the record timestamp stream.
@@ -28,6 +32,41 @@ std::int64_t floor_div(std::int64_t a, std::int64_t b) {
   std::int64_t q = a / b;
   if (a % b != 0 && ((a < 0) != (b < 0))) --q;
   return q;
+}
+
+/// Deterministic series written on the drive (offering) side of the
+/// pipeline: per-packet decode tallies, the daemon's packet counters,
+/// window open/close/lateness bookkeeping, and the per-record aggregate
+/// counters bumped inside Sensor::ingest().  In async mode these keep
+/// advancing while a close job runs, so a window's share of them is
+/// measured between close *enqueues* (where the drive thread is the only
+/// writer) instead of between close-side registry snapshots.  Everything
+/// else that is deterministic publishes on the close side (sensor
+/// watermark reconciliation, extraction, training) in close-queue order.
+bool ingest_side_series(std::string_view name) {
+  return name.starts_with("dnsbs.capture.") || name == "dnsbs.serve.packets" ||
+         name == "dnsbs.serve.bad_stamp" || name == "dnsbs.serve.windows_opened" ||
+         name == "dnsbs.serve.windows_closed" || name == "dnsbs.serve.late_dropped" ||
+         name == "dnsbs.aggregate.originators_created" ||
+         name == "dnsbs.aggregate.sketch_promotions";
+}
+
+/// Overwrites the drive-side series of a close-side delta with the values
+/// measured between close enqueues.  In sync mode the two agree (nothing
+/// runs between seal and train), so patching is an identity there — one
+/// code path serves both modes.
+void apply_ingest_delta(util::MetricsSnapshot& delta,
+                        const util::MetricsSnapshot& ingest_delta) {
+  for (util::MetricValue& v : delta.values) {
+    if (!ingest_side_series(v.name)) continue;
+    if (const util::MetricValue* s = ingest_delta.find(v.name)) {
+      v.count = s->count;
+      v.gauge = s->gauge;
+    } else {
+      v.count = 0;
+      v.gauge = 0;
+    }
+  }
 }
 
 }  // namespace
@@ -42,11 +81,26 @@ StreamingWindowDriver::StreamingWindowDriver(StreamingConfig config,
       as_db_(as_db),
       geo_db_(geo_db),
       resolver_(resolver),
+      jobs_(pipeline.jobs()),
+      ingest_boundary_(util::metrics_snapshot()),
       telemetry_(config.telemetry_capacity, config.drift_warn_threshold) {
   // 0 or out-of-range hop means tumbling windows; a hop wider than the
   // window would leave uncovered gaps in the stream.
   if (config_.hop.secs() <= 0 || config_.hop > config_.window) {
     config_.hop = config_.window;
+  }
+  if (config_.async_windows) close_queue_ = jobs_->queue("close");
+}
+
+StreamingWindowDriver::~StreamingWindowDriver() {
+  // Queued close jobs reference this driver; they must land before the
+  // members they touch go away.  Errors already surfaced (or were owed
+  // to) a quiesce barrier.
+  if (config_.async_windows) {
+    try {
+      jobs_->drain(close_queue_);
+    } catch (...) {
+    }
   }
 }
 
@@ -68,20 +122,42 @@ void StreamingWindowDriver::open_due_windows(util::SimTime t) {
 void StreamingWindowDriver::close_front() {
   OpenWindow window = std::move(windows_.front());
   windows_.pop_front();
-  pipeline_.enqueue_sensor_window(*window.sensor, window.start,
-                                  window.start + config_.window);
-  if (config_.synchronous) pipeline_.finish();
+  // Attribution point for drive-side series: everything this thread
+  // bumped since the previous close enqueue belongs to this window —
+  // captured before this close's own windows_closed tick, which (like
+  // the sync path always did) lands in the *next* window's delta.
+  util::MetricsSnapshot now = util::metrics_snapshot();
+  util::MetricsSnapshot ingest_delta =
+      util::MetricsSnapshot::delta(ingest_boundary_, now);
+  ingest_boundary_ = std::move(now);
   ++windows_closed_;
   g_closed.inc();
-  // Telemetry needs the window's WindowResult, which only exists once the
-  // train chain joined — so history is a synchronous-mode feature.
-  if (config_.synchronous && config_.telemetry_capacity > 0) record_telemetry();
+
+  if (config_.async_windows) {
+    // Hand the sealed sensor to the serial close queue; shared_ptr only
+    // because std::function requires a copyable closure.
+    std::shared_ptr<core::Sensor> sensor(std::move(window.sensor));
+    jobs_->submit(close_queue_,
+                  [this, sensor, start = window.start,
+                   delta = std::move(ingest_delta)] {
+                    complete_window(*sensor, start, delta);
+                  });
+  } else {
+    complete_window(*window.sensor, window.start, ingest_delta);
+  }
 }
 
-void StreamingWindowDriver::record_telemetry() {
-  const auto& results = pipeline_.results();
-  if (results.empty()) return;
-  const WindowResult& r = results.back();
+void StreamingWindowDriver::complete_window(core::Sensor& sensor, util::SimTime start,
+                                            const util::MetricsSnapshot& ingest_delta) {
+  pipeline_.enqueue_sensor_window(sensor, start, start + config_.window);
+  pipeline_.finish();
+  WindowResult& result = pipeline_.back_result();
+  apply_ingest_delta(result.metrics_delta, ingest_delta);
+  if (config_.telemetry_capacity > 0) record_telemetry(result);
+  if (on_close_) on_close_(result, pipeline_.observations().back());
+}
+
+void StreamingWindowDriver::record_telemetry(const WindowResult& r) {
   const util::MetricsSnapshot& d = r.metrics_delta;
 
   WindowTelemetry entry;
@@ -100,8 +176,7 @@ void StreamingWindowDriver::record_telemetry() {
     const auto i = static_cast<std::size_t>(cls);
     if (i < entry.class_counts.size()) ++entry.class_counts[i];
   }
-  entry.queue_depth_peak = queue_depth_peak_;
-  queue_depth_peak_ = 0;
+  entry.queue_depth_peak = queue_depth_peak_.exchange(0, std::memory_order_relaxed);
 
   const WindowTelemetry& stored = telemetry_.record(std::move(entry));
   if (stored.drift_warned) {
@@ -146,17 +221,25 @@ void StreamingWindowDriver::offer(const dns::QueryRecord& record) {
 
 void StreamingWindowDriver::flush() {
   while (!windows_.empty()) close_front();
+  // Flush promises complete results: every sealed window has landed.
+  quiesce();
+}
+
+void StreamingWindowDriver::quiesce() {
+  if (config_.async_windows) jobs_->drain(close_queue_);
+  pipeline_.finish();
 }
 
 void StreamingWindowDriver::publish_pending_metrics() {
-  pipeline_.finish();
+  quiesce();
   for (OpenWindow& w : windows_) w.sensor->publish_metrics();
 }
 
 bool StreamingWindowDriver::save(std::ostream& out_stream) {
-  // Quiesce: join the train chain, then reconcile every open sensor's
-  // pending tallies into the registry so the snapshot written below
-  // matches the published watermarks serialized with each sensor.
+  // Quiesce: land queued close work and the train chain, then reconcile
+  // every open sensor's pending tallies into the registry so the snapshot
+  // written below matches the published watermarks serialized with each
+  // sensor.  A checkpoint requested mid-close is therefore slot-exact.
   publish_pending_metrics();
 
   util::BinaryWriter out(out_stream);
@@ -170,6 +253,7 @@ bool StreamingWindowDriver::save(std::ostream& out_stream) {
   out.u64(windows_closed_);
   out.u64(late_records_);
   pipeline_.boundary_metrics().save(out);
+  ingest_boundary_.save(out);
   const util::MetricsSnapshot registry = util::metrics_snapshot();
   registry.save(out);
   const auto& cache = pipeline_.feature_cache();
@@ -183,7 +267,7 @@ bool StreamingWindowDriver::save(std::ostream& out_stream) {
   // Full-fidelity telemetry history (including sched fields): a restored
   // daemon must answer HISTORY exactly as the checkpointed one would.
   telemetry_.save(out);
-  out.i64(queue_depth_peak_);
+  out.i64(queue_depth_peak_.load(std::memory_order_relaxed));
   return out.ok();
 }
 
@@ -201,8 +285,9 @@ bool StreamingWindowDriver::restore(std::istream& in_stream) {
   windows_closed_ = in.u64();
   late_records_ = in.u64();
   util::MetricsSnapshot boundary;
+  util::MetricsSnapshot ingest_boundary;
   util::MetricsSnapshot registry;
-  if (!boundary.load(in) || !registry.load(in)) return false;
+  if (!boundary.load(in) || !ingest_boundary.load(in) || !registry.load(in)) return false;
   const bool has_cache = in.u8() != 0;
   if (!in.ok() || has_cache != (pipeline_.feature_cache() != nullptr)) return false;
   if (has_cache && !pipeline_.feature_cache()->load(in)) return false;
@@ -215,13 +300,14 @@ bool StreamingWindowDriver::restore(std::istream& in_stream) {
     windows_.push_back(std::move(w));
   }
   if (!telemetry_.load(in)) return false;
-  queue_depth_peak_ = in.i64();
+  queue_depth_peak_.store(in.i64(), std::memory_order_relaxed);
   if (!in.ok()) return false;
   // State validated: install the registry and window numbering.  The
   // registry already contains the checkpoint-time tallies; the restored
   // sensors' watermarks agree, so nothing double-publishes.
   util::metrics_restore(registry);
   pipeline_.set_boundary_metrics(std::move(boundary));
+  ingest_boundary_ = std::move(ingest_boundary);
   pipeline_.set_next_window_index(windows_closed_);
   return in.ok();
 }

@@ -9,6 +9,28 @@
 // and hands each window to the WindowedPipeline's ordered train+classify
 // chain when stream time passes its end.
 //
+// Two execution modes, one output contract:
+//
+//   * synchronous (async_windows = false): a window close runs feature
+//     extraction, training, classification, telemetry and the close
+//     callback inline in offer() — the caller stalls for the duration.
+//   * asynchronous (async_windows = true): offer() only assigns records
+//     to open sensors; a close hands the sealed sensor to the job
+//     system's serial "close" queue, where the same steps run while the
+//     caller keeps ingesting.
+//
+// The async mode emits byte-identical windows, telemetry and
+// deterministic metric deltas.  The argument: (1) the close queue is
+// FIFO-serial, so every registry mutation made by close work happens in
+// exactly the sync order; (2) deterministic series bumped on the *drive*
+// side (capture decode, packet counts, window opens/closes, lateness,
+// per-record aggregate creation/promotion) keep advancing during an async
+// close, so each window's share of those series is snapshotted at close
+// *enqueue* time — between two enqueues the drive thread is the only
+// writer — and patched over the close-side delta, reproducing the sync
+// attribution exactly.  Scheduling-shaped series (sched flag, histograms)
+// are outside the contract, as everywhere else.
+//
 // Clocking is stream time, not wall time: windows open and close as record
 // timestamps advance, so replaying a capture yields byte-identical results
 // regardless of replay speed — the property the checkpoint/restart
@@ -16,8 +38,10 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <iosfwd>
 #include <memory>
 
@@ -33,15 +57,15 @@ struct StreamingConfig {
   /// smaller values give overlapping (sliding) windows.  Must not exceed
   /// the window width (gaps would silently drop records).
   util::SimTime hop{};
-  /// Join the pipeline's train+classify task at every window close.  The
-  /// daemon runs synchronously: the registry snapshot a window's
-  /// metrics_delta is measured against must not race the next window's
-  /// publish.  Batch-style callers that diff results only at the end can
-  /// disable this to overlap train with ingest.
-  bool synchronous = true;
+  /// Run window closes on the pipeline's job system ("close" queue)
+  /// instead of inline in offer().  Output stays byte-identical (see the
+  /// header comment); offer() stops stalling across window boundaries.
+  /// Errors thrown by async close work surface at the next quiesce
+  /// barrier (flush/save/publish_pending_metrics) instead of in offer().
+  bool async_windows = false;
   /// Per-window telemetry ring size (HISTORY verb / GET /windows); 0
-  /// disables retention.  Entries are recorded at window close, which
-  /// requires synchronous mode (asynchronous callers get no telemetry).
+  /// disables retention.  Entries are recorded at window close in both
+  /// modes.
   std::size_t telemetry_capacity = 256;
   /// WARN when a window's class-mix drift from the trailing baseline
   /// exceeds this total-variation distance (0..1).
@@ -52,54 +76,81 @@ struct StreamingConfig {
 ///
 /// The pipeline must be dedicated to this driver (window numbering is
 /// shared), and should be freshly constructed when restore() is used.
-/// Not thread-safe; the daemon calls it from its single drive thread.
+/// offer()/flush()/save()/restore() belong to one drive thread; in async
+/// mode the close work runs on the pipeline's job system and every shared
+/// touch point is serialized through quiesce barriers.
 class StreamingWindowDriver {
  public:
+  /// Invoked once per closed window, after the result is complete and its
+  /// telemetry entry recorded — on the closing thread: the drive thread
+  /// in sync mode, a job-system worker in async mode.  The references are
+  /// valid for the duration of the call.  The daemon renders its
+  /// --windows-out summary block here; the callback must not re-enter the
+  /// driver.
+  using WindowCloseFn =
+      std::function<void(const WindowResult&, const labeling::WindowObservation&)>;
+
   StreamingWindowDriver(StreamingConfig config, WindowedPipeline& pipeline,
                         const netdb::AsDb& as_db, const netdb::GeoDb& geo_db,
                         const core::QuerierResolver& resolver);
+  ~StreamingWindowDriver();
 
   /// Feeds one deduplicatable record.  Advances the stream clock to the
   /// record's time: opens every window whose start has been reached,
-  /// closes (extracts + enqueues) every window whose end has passed, then
+  /// closes (seals + enqueues) every window whose end has passed, then
   /// ingests the record into each open window covering its timestamp.
   /// A record older than every open window is counted late and dropped.
   void offer(const dns::QueryRecord& record);
 
-  /// Closes all open windows in order (end of stream / operator flush).
-  /// Windows close at their natural grid ends even if the stream stopped
-  /// mid-window.
+  /// Closes all open windows in order (end of stream / operator flush)
+  /// and quiesces, so results/telemetry for every window are complete on
+  /// return.  Windows close at their natural grid ends even if the stream
+  /// stopped mid-window.
   void flush();
+
+  /// Barrier: drains the close queue (async mode) and joins the
+  /// pipeline's in-flight window.  On return no close work is running
+  /// and none is queued; rethrows the first error captured by async
+  /// close work.
+  void quiesce();
+
+  void set_window_close_callback(WindowCloseFn fn) { on_close_ = std::move(fn); }
 
   /// Serializes the full resumable state: stream clock, per-open-window
   /// sensor state (dedup + aggregates), the shared feature cache, the
-  /// pipeline's boundary snapshot and the whole metrics registry.  Joins
-  /// the pipeline's in-flight window and reconciles every open sensor's
-  /// pending tallies first, so the registry snapshot matches the sensor
-  /// watermarks being serialized.
+  /// pipeline's boundary snapshot, the drive-side attribution snapshot
+  /// and the whole metrics registry.  Quiesces first (a checkpoint taken
+  /// mid-close waits for the close to land), so the registry snapshot
+  /// matches the sensor watermarks being serialized — slot-exact in
+  /// either mode.
   bool save(std::ostream& out);
 
   /// Restores state saved by save().  Must run on a freshly constructed
-  /// driver + pipeline pair (same configs) before any offer(); restores
-  /// the registry, so call it before other components publish.  Returns
-  /// false (state unspecified — discard the pair) on mismatch/corruption.
+  /// driver + pipeline pair (same window grid; async_windows may differ —
+  /// it is an execution strategy, not part of the stream's identity)
+  /// before any offer(); restores the registry, so call it before other
+  /// components publish.  Returns false (state unspecified — discard the
+  /// pair) on mismatch/corruption.
   bool restore(std::istream& in);
 
-  /// save()'s quiesce without the serialization: joins the pipeline's
-  /// in-flight window and reconciles every open sensor's pending tallies
-  /// into the registry.  The daemon's /metrics scrape runs this first so
-  /// the served snapshot matches what an exit-time --metrics-out dump of
-  /// the same stream would contain.
+  /// save()'s quiesce without the serialization: drains close work and
+  /// reconciles every open sensor's pending tallies into the registry.
+  /// The daemon's /metrics scrape runs this first so the served snapshot
+  /// matches what an exit-time --metrics-out dump of the same stream
+  /// would contain.
   void publish_pending_metrics();
 
   std::size_t open_windows() const noexcept { return windows_.size(); }
+  /// Windows sealed and handed to the close path (in async mode the
+  /// close work may still be in flight until the next quiesce).
   std::uint64_t windows_closed() const noexcept { return windows_closed_; }
   std::uint64_t late_records() const noexcept { return late_records_; }
   /// Stream time of the most recent record offered (start value: 0).
   util::SimTime stream_time() const noexcept { return stream_time_; }
 
-  /// Per-window telemetry ring (empty when telemetry_capacity == 0 or
-  /// synchronous mode is off).
+  /// Per-window telemetry ring (empty when telemetry_capacity == 0).
+  /// Written by the closing thread: in async mode, quiesce() before
+  /// reading.
   const TelemetryHistory& telemetry() const noexcept { return telemetry_; }
   /// One-line JSON of the most recent `last_n` entries (0 = all) — the
   /// HISTORY verb's reply body.
@@ -111,7 +162,11 @@ class StreamingWindowDriver {
   /// window currently accumulating; the daemon calls this from its drive
   /// thread between batches.  Resets at each window close.
   void note_queue_depth(std::size_t depth) noexcept {
-    queue_depth_peak_ = std::max(queue_depth_peak_, static_cast<std::int64_t>(depth));
+    const auto d = static_cast<std::int64_t>(depth);
+    std::int64_t cur = queue_depth_peak_.load(std::memory_order_relaxed);
+    while (d > cur && !queue_depth_peak_.compare_exchange_weak(
+                          cur, d, std::memory_order_relaxed)) {
+    }
   }
 
  private:
@@ -123,13 +178,22 @@ class StreamingWindowDriver {
   std::unique_ptr<core::Sensor> make_sensor() const;
   void open_due_windows(util::SimTime t);
   void close_front();
-  void record_telemetry();
+  /// The close work shared by both modes: pipeline pass, delta patch,
+  /// telemetry, close callback.  Runs on the drive thread (sync) or the
+  /// close queue (async).
+  void complete_window(core::Sensor& sensor, util::SimTime start,
+                       const util::MetricsSnapshot& ingest_delta);
+  void record_telemetry(const WindowResult& result);
 
   StreamingConfig config_;
   WindowedPipeline& pipeline_;
   const netdb::AsDb& as_db_;
   const netdb::GeoDb& geo_db_;
   const core::QuerierResolver& resolver_;
+  /// Job system shared with the pipeline; close_queue_ is registered on
+  /// it when async_windows is on.
+  std::shared_ptr<util::JobSystem> jobs_;
+  util::JobSystem::QueueId close_queue_ = 0;
   std::deque<OpenWindow> windows_;
   bool started_ = false;
   /// Start of the next window to open (hop grid, anchored at epoch 0).
@@ -137,8 +201,12 @@ class StreamingWindowDriver {
   util::SimTime stream_time_{};
   std::uint64_t windows_closed_ = 0;
   std::uint64_t late_records_ = 0;
+  /// Registry state at the last close *enqueue*: the base each window's
+  /// drive-side series delta is measured against (see header comment).
+  util::MetricsSnapshot ingest_boundary_;
+  WindowCloseFn on_close_;
   TelemetryHistory telemetry_;
-  std::int64_t queue_depth_peak_ = 0;
+  std::atomic<std::int64_t> queue_depth_peak_{0};
 };
 
 }  // namespace dnsbs::analysis

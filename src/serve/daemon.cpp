@@ -78,11 +78,21 @@ ServeDaemon::ServeDaemon(ServeConfig config, const netdb::AsDb& as_db,
       as_db_(as_db),
       geo_db_(geo_db),
       resolver_(resolver),
+      jobs_(std::make_shared<util::JobSystem>(util::JobSystemConfig{
+          .threads = config_.job_threads, .metric_prefix = "dnsbs.serve.jobs"})),
       queue_(config_.queue_capacity) {
+  // One pool, three serial queues: the pipeline registers "train", the
+  // driver "close" (async mode), the daemon "export".
+  config_.pipeline.jobs = jobs_;
+  export_queue_ = jobs_->queue("export");
   pipeline_ = std::make_unique<analysis::WindowedPipeline>(config_.pipeline, as_db_,
                                                            geo_db_, resolver_);
   driver_ = std::make_unique<analysis::StreamingWindowDriver>(
       config_.streaming, *pipeline_, as_db_, geo_db_, resolver_);
+  driver_->set_window_close_callback(
+      [this](const analysis::WindowResult& r, const labeling::WindowObservation& obs) {
+        on_window_close(r, obs);
+      });
 }
 
 ServeDaemon::~ServeDaemon() {
@@ -116,7 +126,10 @@ bool ServeDaemon::start(std::string& error) {
     }
     // The previous incarnation already wrote summaries for every window it
     // closed; windows_out is append-mode, so pick up where it stopped.
-    summaries_written_ = driver_->windows_closed();
+    {
+      std::lock_guard<std::mutex> lock(summary_mutex_);
+      sequencer_.reset(driver_->windows_closed());
+    }
     util::log_info("serve",
                    util::format("restored checkpoint %s: %llu windows closed, "
                                 "%zu open, stream_time=%lld",
@@ -298,43 +311,56 @@ void ServeDaemon::drive_loop() {
     // queued behind it.
     driver_->note_queue_depth(n + queue_.size());
     for (const RawPacket& p : batch) process_packet(p);
-    if (n > 0) {
-      write_new_window_summaries();
-      if (config_.checkpoint_every_secs > 0 && !config_.checkpoint_path.empty() &&
-          driver_->stream_time().secs() >= next_cadence_checkpoint_) {
-        std::string why;
-        if (!write_checkpoint(why)) {
-          util::log_warn("serve", util::format("cadence checkpoint failed: %s",
-                                               why.c_str()));
-        }
-        next_cadence_checkpoint_ =
-            driver_->stream_time().secs() + config_.checkpoint_every_secs;
+    if (n > 0 && config_.checkpoint_every_secs > 0 && !config_.checkpoint_path.empty() &&
+        driver_->stream_time().secs() >= next_cadence_checkpoint_) {
+      std::string why;
+      if (!write_checkpoint(why)) {
+        util::log_warn("serve", util::format("cadence checkpoint failed: %s",
+                                             why.c_str()));
       }
+      next_cadence_checkpoint_ =
+          driver_->stream_time().secs() + config_.checkpoint_every_secs;
     }
   }
   // A capture cut short by SHUTDOWN still produces a loadable file.
   if (trace_active_) finish_trace();
+  // SHUTDOWN barrier: land queued close work, summary appends and trace
+  // dumps before the drive thread exits — wait() returning means every
+  // file the daemon owed is on disk.  Open windows are NOT flushed (they
+  // stay resumable from the last checkpoint).
+  quiesce_pipeline();
   // Answer any control request that raced the stop flag so no client
   // blocks on a dead promise.
   service_control();
 }
 
+void ServeDaemon::quiesce_pipeline() {
+  driver_->quiesce();
+  jobs_->drain(export_queue_);
+}
+
 void ServeDaemon::finish_trace() {
   trace_active_ = false;
   util::trace_stop();
-  const std::string json = util::trace_export_json();
-  std::ofstream out(config_.trace_out, std::ios::trunc);
-  out << json;
-  out.flush();
-  if (!out) {
-    util::log_warn("serve",
-                   util::format("trace write failed: %s", config_.trace_out.c_str()));
-    return;
-  }
-  util::log_info("serve",
-                 util::format("trace written: %s (%zu events, %llu dropped)",
-                              config_.trace_out.c_str(), util::trace_event_count(),
-                              static_cast<unsigned long long>(util::trace_dropped())));
+  // Serialization + file write ride the export queue: a large capture can
+  // take a while to render and the drive thread should go straight back to
+  // intake.  The buffer is stable until the next trace_start(), and the
+  // TRACE verb drains this queue before restarting a capture.
+  jobs_->submit(export_queue_, [this] {
+    const std::string json = util::trace_export_json();
+    std::ofstream out(config_.trace_out, std::ios::trunc);
+    out << json;
+    out.flush();
+    if (!out) {
+      util::log_warn("serve",
+                     util::format("trace write failed: %s", config_.trace_out.c_str()));
+      return;
+    }
+    util::log_info("serve",
+                   util::format("trace written: %s (%zu events, %llu dropped)",
+                                config_.trace_out.c_str(), util::trace_event_count(),
+                                static_cast<unsigned long long>(util::trace_dropped())));
+  });
 }
 
 void ServeDaemon::process_packet(const RawPacket& packet) {
@@ -368,12 +394,20 @@ void ServeDaemon::service_control() {
 
 std::string ServeDaemon::handle_control(const std::string& command) {
   if (command == "PING") return "PONG";
-  if (command == "STATS") return stats_json();
+  if (command == "STATS") {
+    // Barrier so windows_closed/history/queue stats describe a settled
+    // pipeline, not one mid-close.
+    quiesce_pipeline();
+    return stats_json();
+  }
   if (command == "HISTORY" || command.rfind("HISTORY ", 0) == 0) {
     std::uint64_t last_n = 0;
     if (command.size() > 8 && !util::parse_u64(command.substr(8), last_n)) {
       return "ERR bad HISTORY count: " + command.substr(8);
     }
+    // The telemetry ring is written by the closing thread; quiesce before
+    // reading it.
+    driver_->quiesce();
     return driver_->history_json(static_cast<std::size_t>(last_n));
   }
   if (command == "TRACE" || command.rfind("TRACE ", 0) == 0) {
@@ -383,6 +417,9 @@ std::string ServeDaemon::handle_control(const std::string& command) {
         (!util::parse_u64(command.substr(6), secs) || secs == 0 || secs > 3600)) {
       return "ERR bad TRACE seconds (want 1..3600): " + command.substr(6);
     }
+    // A queued dump job reads the trace buffer trace_start() would reset;
+    // let it land first.
+    jobs_->drain(export_queue_);
     util::trace_start();  // restarts (and discards) any capture in flight
     trace_active_ = true;
     trace_deadline_ns_ = steady_now_ns() + secs * 1'000'000'000ull;
@@ -391,15 +428,17 @@ std::string ServeDaemon::handle_control(const std::string& command) {
                         config_.trace_out.c_str());
   }
   if (command == "http.metrics") {
-    // Same quiesce as a checkpoint, so the scraped deterministic series are
-    // byte-identical to an exit-time --metrics-out dump of the same stream.
+    // Same quiesce as a checkpoint (publish_pending_metrics drains close +
+    // train), so the scraped deterministic series are byte-identical to an
+    // exit-time --metrics-out dump of the same stream.
     driver_->publish_pending_metrics();
     return util::metrics_snapshot().to_prometheus();
   }
   if (command == "FLUSH") {
     drain_intake();
     driver_->flush();
-    write_new_window_summaries();
+    // flush() quiesced the close path; land the summary appends it queued.
+    jobs_->drain(export_queue_);
     return "OK flushed";
   }
   if (command == "CHECKPOINT") {
@@ -436,7 +475,6 @@ void ServeDaemon::drain_intake() {
     if (tcp_active_.load() == 0 && queue_.size() == 0) break;
     ++idle_rounds;
   }
-  write_new_window_summaries();
 }
 
 bool ServeDaemon::write_checkpoint(std::string& why) {
@@ -444,6 +482,10 @@ bool ServeDaemon::write_checkpoint(std::string& why) {
     why = "no checkpoint path configured";
     return false;
   }
+  // A restore assumes summaries for every closed window are already on
+  // disk (the sequencer resumes at windows_closed); make that true before
+  // the checkpoint can land.  driver_->save() below quiesces close+train.
+  quiesce_pipeline();
   const std::string tmp = config_.checkpoint_path + ".tmp";
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
@@ -481,57 +523,82 @@ std::string ServeDaemon::stats_json() const {
       << ",\"responses\":" << capture_stats_.responses
       << ",\"rejected_query\":" << capture_stats_.rejected_query
       << ",\"non_ptr\":" << capture_stats_.non_ptr
-      << ",\"non_reverse_name\":" << capture_stats_.non_reverse_name
-      << "},\"metrics\":" << metrics << "}";
+      << ",\"non_reverse_name\":" << capture_stats_.non_reverse_name << "},\"jobs\":[";
+  const auto jobs = jobs_->stats();
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const auto& q = jobs[i];
+    out << (i ? "," : "") << "{\"queue\":\"" << q.name << "\",\"depth\":" << q.depth
+        << ",\"submitted\":" << q.submitted << ",\"completed\":" << q.completed
+        << ",\"depth_peak\":" << q.depth_peak << "}";
+  }
+  out << "],\"metrics\":" << metrics << "}";
   return out.str();
 }
 
-void ServeDaemon::write_new_window_summaries() {
-  if (config_.windows_out.empty()) {
-    summaries_written_ = driver_->windows_closed();
-    return;
+std::string render_window_summary(const analysis::WindowResult& r,
+                                  const labeling::WindowObservation& observation) {
+  std::ostringstream out;
+  out << "window " << r.index << " start=" << r.start.secs() << " end=" << r.end.secs()
+      << "\n";
+  const auto& features = observation.features;
+  out << "features " << features.size() << "\n";
+  for (const core::FeatureVector& fv : features) {
+    out << "row " << fv.originator.to_string() << " footprint=" << fv.footprint;
+    for (const double v : fv.statics) out << ' ' << hex_double(v);
+    for (const double v : fv.dynamics) out << ' ' << hex_double(v);
+    out << "\n";
   }
-  if (driver_->windows_closed() <= summaries_written_) return;
-  const auto& results = pipeline_->results();
-  const auto& observations = pipeline_->observations();
-  std::ofstream out(config_.windows_out, std::ios::app);
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    const analysis::WindowResult& r = results[i];
-    if (r.index < summaries_written_) continue;
-    out << "window " << r.index << " start=" << r.start.secs() << " end=" << r.end.secs()
+  // unordered_map iteration order is not deterministic; sort by address.
+  std::vector<std::pair<net::IPv4Addr, core::AppClass>> classes(r.classes.begin(),
+                                                                r.classes.end());
+  std::sort(classes.begin(), classes.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  out << "classes " << classes.size() << "\n";
+  const auto& names = core::app_class_names();
+  for (const auto& [addr, cls] : classes) {
+    const auto footprint = r.footprints.find(addr);
+    out << "class " << addr.to_string() << ' ' << names[static_cast<std::size_t>(cls)]
+        << " footprint=" << (footprint != r.footprints.end() ? footprint->second : 0)
         << "\n";
-    const auto& features = observations[i].features;
-    out << "features " << features.size() << "\n";
-    for (const core::FeatureVector& fv : features) {
-      out << "row " << fv.originator.to_string() << " footprint=" << fv.footprint;
-      for (const double v : fv.statics) out << ' ' << hex_double(v);
-      for (const double v : fv.dynamics) out << ' ' << hex_double(v);
-      out << "\n";
-    }
-    // unordered_map iteration order is not deterministic; sort by address.
-    std::vector<std::pair<net::IPv4Addr, core::AppClass>> classes(r.classes.begin(),
-                                                                  r.classes.end());
-    std::sort(classes.begin(), classes.end(),
-              [](const auto& a, const auto& b) { return a.first < b.first; });
-    out << "classes " << classes.size() << "\n";
-    const auto& names = core::app_class_names();
-    for (const auto& [addr, cls] : classes) {
-      const auto footprint = r.footprints.find(addr);
-      out << "class " << addr.to_string() << ' ' << names[static_cast<std::size_t>(cls)]
-          << " footprint=" << (footprint != r.footprints.end() ? footprint->second : 0)
-          << "\n";
-    }
-    const util::MetricsSnapshot det = r.metrics_delta.deterministic_view();
-    out << "metrics " << det.values.size() << "\n";
-    for (const util::MetricValue& v : det.values) {
-      out << "metric " << v.name << '='
-          << (v.kind == util::MetricKind::kGauge ? v.gauge
-                                                 : static_cast<std::int64_t>(v.count))
-          << "\n";
-    }
-    out << "end\n";
-    summaries_written_ = r.index + 1;
   }
+  const util::MetricsSnapshot det = r.metrics_delta.deterministic_view();
+  out << "metrics " << det.values.size() << "\n";
+  for (const util::MetricValue& v : det.values) {
+    out << "metric " << v.name << '='
+        << (v.kind == util::MetricKind::kGauge ? v.gauge
+                                               : static_cast<std::int64_t>(v.count))
+        << "\n";
+  }
+  out << "end\n";
+  return out.str();
+}
+
+void ServeDaemon::on_window_close(const analysis::WindowResult& result,
+                                  const labeling::WindowObservation& observation) {
+  if (config_.windows_out.empty()) return;
+  // Rendering (hexfloat formatting dominates) runs here, on the closing
+  // thread: a close-queue worker in async mode, off the intake path.
+  std::string block = render_window_summary(result, observation);
+  std::vector<std::string> ready;
+  {
+    std::lock_guard<std::mutex> lock(summary_mutex_);
+    ready = sequencer_.push(result.index, std::move(block));
+  }
+  if (ready.empty()) return;
+  if (config_.streaming.async_windows) {
+    // File appends ride the serial export queue; blocks leave the (also
+    // serial) close queue in window order, so appends land in order too.
+    jobs_->submit(export_queue_, [this, blocks = std::move(ready)] {
+      append_summaries(blocks);
+    });
+  } else {
+    append_summaries(ready);
+  }
+}
+
+void ServeDaemon::append_summaries(const std::vector<std::string>& blocks) {
+  std::ofstream out(config_.windows_out, std::ios::app);
+  for (const std::string& block : blocks) out << block;
 }
 
 }  // namespace dnsbs::serve

@@ -11,15 +11,30 @@
 //                 connection picks the protocol.
 //   drive thread  pops packet batches, decodes via dns::record_from_packet,
 //                 offers records to the StreamingWindowDriver (which owns
-//                 window open/close against the WindowedPipeline), writes
-//                 window summaries, services control requests, checkpoints,
-//                 finishes timed trace captures (TRACE <secs>)
+//                 window open/close against the WindowedPipeline), services
+//                 control requests, checkpoints, starts/stops timed trace
+//                 captures (TRACE <secs>)
+//
+// Plus a shared util::JobSystem (the async window pipeline) with three
+// serial queues on one small worker pool:
+//
+//   close   window seal -> feature extraction, retrain gate, classify,
+//           telemetry (StreamingWindowDriver, --async-windows on)
+//   train   the pipeline's ordered retrain+classify chain
+//   export  --windows-out summary appends (rendered on the closing
+//           thread, re-sequenced by absolute window index) and TRACE
+//           dump serialization — file I/O never blocks intake
 //
 // Determinism: everything that feeds deterministic metric series — packet
-// decode, dedup/aggregate ingest, window close — runs on the single drive
-// thread in arrival order, so a replayed stream produces byte-identical
-// windows.  Socket-side tallies (datagrams seen, queue drops, frames) are
-// sched-flagged: they depend on kernel timing, not on the stream.
+// decode, dedup/aggregate ingest, window close — runs either on the single
+// drive thread in arrival order or on a serial queue in window order, so a
+// replayed stream produces byte-identical windows in both --async-windows
+// modes (see analysis/streaming.hpp for the attribution argument).
+// Socket-side tallies (datagrams seen, queue drops, frames) and the
+// dnsbs.serve.jobs.* queue gauges are sched-flagged: they depend on kernel
+// timing, not on the stream.  Control verbs that read shared state (STATS,
+// HISTORY, /metrics, FLUSH, CHECKPOINT) quiesce the queues first, so their
+// replies — and any checkpoint taken mid-close — are slot-exact.
 //
 // Timestamps: with `stamped` framing each payload carries its own stream
 // time and querier ([8B LE seconds][4B LE querier IPv4][DNS message]),
@@ -33,7 +48,9 @@
 #include <atomic>
 #include <cstdint>
 #include <future>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -45,6 +62,50 @@
 
 namespace dnsbs::serve {
 
+/// Renders one closed window as the --windows-out text block ("window N
+/// ... end\n"): features as hexfloat rows, classes sorted by address, the
+/// deterministic view of the window's metrics delta.  Pure function of the
+/// result + observation, so sync and async modes share the exact bytes.
+std::string render_window_summary(const analysis::WindowResult& result,
+                                  const labeling::WindowObservation& observation);
+
+/// Re-sequences rendered summary blocks by absolute window index so the
+/// --windows-out file is always in window order.  The close queue is
+/// FIFO-serial, so blocks normally arrive already ordered — this class
+/// *encodes* that invariant (and would ride out a future concurrent close
+/// path): push() buffers out-of-order blocks and releases the contiguous
+/// run starting at the next expected index.  Not thread-safe; the daemon
+/// guards it with a mutex.
+class WindowSummarySequencer {
+ public:
+  /// Discards buffered blocks and sets the next expected index (used at
+  /// checkpoint restore: summaries for windows [0, next) already exist).
+  void reset(std::uint64_t next_index) {
+    next_ = next_index;
+    pending_.clear();
+  }
+  /// Offers one block; returns the blocks now contiguous from the expected
+  /// index, in window order (often just this block; empty when a gap
+  /// precedes it).  A block older than the expected index is dropped — its
+  /// window was already exported (checkpoint replay overlap).
+  std::vector<std::string> push(std::uint64_t index, std::string block) {
+    std::vector<std::string> ready;
+    if (index < next_) return ready;
+    pending_.emplace(index, std::move(block));
+    for (auto it = pending_.begin(); it != pending_.end() && it->first == next_;
+         it = pending_.erase(it), ++next_) {
+      ready.push_back(std::move(it->second));
+    }
+    return ready;
+  }
+  std::uint64_t next_index() const noexcept { return next_; }
+  std::size_t buffered() const noexcept { return pending_.size(); }
+
+ private:
+  std::uint64_t next_ = 0;
+  std::map<std::uint64_t, std::string> pending_;
+};
+
 struct ServeConfig {
   std::string bind = "127.0.0.1";
   std::uint16_t udp_port = 0;     ///< 0 = ephemeral
@@ -53,6 +114,10 @@ struct ServeConfig {
   std::uint16_t status_port = 0;  ///< control socket; 0 = ephemeral
   bool stamped = false;           ///< replay framing (see header comment)
   std::size_t queue_capacity = 65536;
+  /// Worker threads of the shared job system (close/train/export queues).
+  /// Output is byte-identical for any value — the queues are serial; more
+  /// workers only add queue-to-queue overlap.
+  std::size_t job_threads = 2;
   analysis::StreamingConfig streaming;
   analysis::WindowedPipelineConfig pipeline;
   std::string checkpoint_path;     ///< target of CHECKPOINT (and cadence saves)
@@ -114,7 +179,15 @@ class ServeDaemon {
   std::string stats_json() const;
   bool write_checkpoint(std::string& why);
   void drain_intake();
-  void write_new_window_summaries();
+  /// Driver close callback: renders the summary block (on the closing
+  /// thread — a job worker in async mode), sequences it, and appends to
+  /// --windows-out (inline in sync mode, via the export queue in async).
+  void on_window_close(const analysis::WindowResult& result,
+                       const labeling::WindowObservation& observation);
+  void append_summaries(const std::vector<std::string>& blocks);
+  /// Barrier: close + train + export work all landed (STATS/HISTORY/FLUSH/
+  /// CHECKPOINT and loop exit run behind it).
+  void quiesce_pipeline();
   void finish_trace();
 
   ServeConfig config_;
@@ -122,6 +195,13 @@ class ServeDaemon {
   const netdb::GeoDb& geo_db_;
   const core::QuerierResolver& resolver_;
 
+  /// One worker pool for the whole async window pipeline; the pipeline's
+  /// "train" queue, the driver's "close" queue and the daemon's "export"
+  /// queue all live here (metric prefix dnsbs.serve.jobs).  Declared
+  /// before pipeline_/driver_ so their destructors (which drain their
+  /// queues) run first.
+  std::shared_ptr<util::JobSystem> jobs_;
+  util::JobSystem::QueueId export_queue_ = 0;
   std::unique_ptr<analysis::WindowedPipeline> pipeline_;
   std::unique_ptr<analysis::StreamingWindowDriver> driver_;
   BoundedQueue<RawPacket> queue_;
@@ -142,7 +222,10 @@ class ServeDaemon {
   bool started_ = false;
 
   dns::CaptureStats capture_stats_;
-  std::uint64_t summaries_written_ = 0;
+  /// Summary ordering state; on_window_close may run on a job worker, so
+  /// access goes through summary_mutex_.
+  std::mutex summary_mutex_;
+  WindowSummarySequencer sequencer_;
   std::int64_t next_cadence_checkpoint_ = 0;
   // TRACE capture state; drive-thread only (handle_control runs there).
   bool trace_active_ = false;

@@ -1,0 +1,166 @@
+#include "util/jobs.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "util/metrics.hpp"
+#include "util/strings.hpp"
+
+namespace dnsbs::util {
+
+JobSystem::JobSystem(JobSystemConfig config) : config_(std::move(config)) {
+  workers_.reserve(config_.threads);
+  for (std::size_t i = 0; i < config_.threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+JobSystem::~JobSystem() {
+  for (QueueId q = 0; q < queues_.size(); ++q) {
+    try {
+      drain(q);
+    } catch (...) {
+      // A queue error still pending at destruction has no drain left to
+      // surface through; destruction must not throw.
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+JobSystem::QueueId JobSystem::queue(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (QueueId q = 0; q < queues_.size(); ++q) {
+    if (queues_[q].name == name) return q;
+  }
+  Queue& created = queues_.emplace_back();
+  created.name = std::string(name);
+  if (!config_.metric_prefix.empty()) {
+    const std::string base = config_.metric_prefix + "." + created.name;
+    created.queued_metric = &metrics_counter(base + ".queued", /*sched=*/true);
+    created.completed_metric = &metrics_counter(base + ".completed", /*sched=*/true);
+    created.peak_metric = &metrics_gauge(base + ".queue_depth_peak", /*sched=*/true);
+  }
+  return queues_.size() - 1;
+}
+
+void JobSystem::submit(QueueId q, std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Queue& queue = queues_.at(q);
+    queue.jobs.push_back(std::move(job));
+    ++queue.submitted;
+    const std::size_t depth = queue.jobs.size() + (queue.running ? 1 : 0);
+    if (depth > queue.depth_peak) {
+      queue.depth_peak = depth;
+      if (queue.peak_metric) {
+        queue.peak_metric->set(static_cast<std::int64_t>(depth));
+      }
+    }
+    if (queue.queued_metric) queue.queued_metric->inc();
+  }
+  work_cv_.notify_one();
+}
+
+void JobSystem::run_one(std::unique_lock<std::mutex>& lock, QueueId q) {
+  Queue& queue = queues_[q];
+  std::function<void()> job = std::move(queue.jobs.front());
+  queue.jobs.pop_front();
+  queue.running = true;
+  lock.unlock();
+  std::exception_ptr error;
+  try {
+    job();
+  } catch (...) {
+    error = std::current_exception();
+  }
+  lock.lock();
+  queue.running = false;
+  ++queue.completed;
+  if (queue.completed_metric) queue.completed_metric->inc();
+  if (error && !queue.error) queue.error = error;
+  lock.unlock();
+  // Finishing a job makes this queue runnable again (its next job may be
+  // waiting) and unblocks drainers.
+  done_cv_.notify_all();
+  work_cv_.notify_one();
+  lock.lock();
+}
+
+void JobSystem::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    // Round-robin scan for a runnable queue so one busy queue cannot
+    // starve the others.
+    QueueId found = queues_.size();
+    const std::size_t n = queues_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      const QueueId q = (rr_next_ + i) % n;
+      if (!queues_[q].running && !queues_[q].jobs.empty()) {
+        found = q;
+        rr_next_ = (q + 1) % n;
+        break;
+      }
+    }
+    if (found < queues_.size()) {
+      run_one(lock, found);
+      continue;
+    }
+    if (stopping_) return;
+    work_cv_.wait(lock);
+  }
+}
+
+void JobSystem::drain(QueueId q) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (q >= queues_.size()) {
+    throw std::out_of_range(format("JobSystem::drain: no queue %zu", q));
+  }
+  for (;;) {
+    Queue& queue = queues_[q];
+    if (!queue.jobs.empty() && !queue.running) {
+      // Help: execute the queue inline instead of waiting for a worker.
+      run_one(lock, q);
+      continue;
+    }
+    if (queue.jobs.empty() && !queue.running) break;
+    done_cv_.wait(lock);
+  }
+  if (queues_[q].error) {
+    std::exception_ptr error = std::exchange(queues_[q].error, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+void JobSystem::drain_all() {
+  std::size_t n;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    n = queues_.size();
+  }
+  for (QueueId q = 0; q < n; ++q) drain(q);
+}
+
+std::vector<JobSystem::QueueStats> JobSystem::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<QueueStats> out;
+  out.reserve(queues_.size());
+  for (const Queue& queue : queues_) {
+    QueueStats s;
+    s.name = queue.name;
+    s.depth = queue.jobs.size();
+    s.running = queue.running;
+    s.submitted = queue.submitted;
+    s.completed = queue.completed;
+    s.depth_peak = queue.depth_peak;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace dnsbs::util

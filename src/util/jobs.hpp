@@ -1,0 +1,127 @@
+// Named job queues over a small dedicated worker pool.
+//
+// The PR 1 ThreadPool is fork-join: one data-parallel job at a time, the
+// submitting thread participates, and for_each_index blocks until every
+// chunk ran.  That shape fits kernels (feature extraction, forest fits)
+// but not pipelines: a streaming daemon wants to *hand off* a closed
+// window and keep assigning records while extraction, training and export
+// proceed elsewhere.  JobSystem provides that handoff: named FIFO queues
+// share a pool of workers, each queue executes at most one job at a time
+// (per-queue serial order — the property the windowed pipeline's
+// determinism argument rests on), and different queues run concurrently.
+//
+// Barriers: drain(q) returns once every job submitted to q has finished;
+// drain_all() quiesces the whole system.  A drainer *helps*: while the
+// target queue has runnable jobs it executes them inline, so drain makes
+// progress even with zero workers (threads = 0 turns the system into a
+// deferred-execution queue run entirely at drain points) and a job may
+// drain a *different* queue from inside a worker without deadlock.
+//
+// Errors: the first exception a queue's job throws is captured and
+// rethrown by the next drain of that queue (later jobs still run — jobs
+// on one queue are expected to be independent failures-wise, mirroring
+// std::future semantics per job chain).
+//
+// Observability: with a non-empty metric_prefix each queue exports
+//   <prefix>.<queue>.queued        jobs submitted        (counter, sched)
+//   <prefix>.<queue>.completed     jobs finished         (counter, sched)
+//   <prefix>.<queue>.queue_depth_peak  high-water depth  (gauge,   sched)
+// All sched-flagged: queue depths depend on scheduling, never on the
+// record stream, so the deterministic view stays byte-identical whatever
+// the worker count.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+namespace dnsbs::util {
+
+class MetricCounter;
+class MetricGauge;
+
+struct JobSystemConfig {
+  /// Worker threads; 0 = no workers, jobs run inline at drain barriers.
+  std::size_t threads = 2;
+  /// Per-queue metric series prefix (e.g. "dnsbs.serve.jobs"); empty
+  /// disables metric export.
+  std::string metric_prefix;
+};
+
+class JobSystem {
+ public:
+  using QueueId = std::size_t;
+
+  explicit JobSystem(JobSystemConfig config = {});
+  /// Drains every queue (swallowing captured errors — they surfaced, or
+  /// were owed to, an earlier drain), then joins the workers.
+  ~JobSystem();
+
+  JobSystem(const JobSystem&) = delete;
+  JobSystem& operator=(const JobSystem&) = delete;
+
+  /// Registers (or finds) the queue named `name`; idempotent.
+  QueueId queue(std::string_view name);
+
+  /// Appends a job to the queue.  FIFO per queue; at most one job of a
+  /// queue runs at any moment, so submission order is execution order.
+  void submit(QueueId q, std::function<void()> job);
+
+  /// Blocks until every job submitted to `q` so far has completed,
+  /// helping inline while the queue is runnable.  Rethrows (and clears)
+  /// the queue's first captured exception.  Must not be called from
+  /// inside a job of the same queue.
+  void drain(QueueId q);
+
+  /// drain() over every queue, in registration order.
+  void drain_all();
+
+  struct QueueStats {
+    std::string name;
+    std::size_t depth = 0;        ///< queued jobs not yet started
+    bool running = false;         ///< a job of this queue is executing now
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;
+    std::size_t depth_peak = 0;   ///< high-water (depth + running) at submit
+  };
+  std::vector<QueueStats> stats() const;
+
+  std::size_t threads() const noexcept { return workers_.size(); }
+
+ private:
+  struct Queue {
+    std::string name;
+    std::deque<std::function<void()>> jobs;
+    bool running = false;
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;
+    std::size_t depth_peak = 0;
+    std::exception_ptr error;
+    MetricCounter* queued_metric = nullptr;
+    MetricCounter* completed_metric = nullptr;
+    MetricGauge* peak_metric = nullptr;
+  };
+
+  /// Pops and runs the front job of queues_[q].  Precondition (under
+  /// `lock`): the queue is runnable.  Releases the lock around the job.
+  void run_one(std::unique_lock<std::mutex>& lock, QueueId q);
+  void worker_loop();
+
+  JobSystemConfig config_;
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;  ///< workers: a queue became runnable
+  std::condition_variable done_cv_;  ///< drainers: a job finished
+  std::deque<Queue> queues_;         ///< deque: stable refs across queue()
+  std::size_t rr_next_ = 0;          ///< round-robin fairness cursor
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace dnsbs::util

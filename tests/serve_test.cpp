@@ -17,6 +17,7 @@
 #include "analysis/streaming.hpp"
 #include "analysis/telemetry.hpp"
 #include "cli_options.hpp"
+#include "util/jobs.hpp"
 #include "dns/capture.hpp"
 #include "labeling/ground_truth.hpp"
 #include "net/socket.hpp"
@@ -137,6 +138,23 @@ TEST(CliParse, TelemetryFlags) {
   EXPECT_EQ(opt.trace_out, "/tmp/t.json");
   EXPECT_EQ(opt.history_cap, 8u);
   EXPECT_FALSE(parse_args({"serve", "--history-cap", "many"}, opt, error));
+}
+
+TEST(CliParse, AsyncWindowsFlag) {
+  cli::Options opt;
+  std::string error;
+  EXPECT_TRUE(opt.async_windows) << "async pipeline is the serve default";
+  ASSERT_TRUE(parse_args({"serve", "--async-windows", "off"}, opt, error)) << error;
+  EXPECT_FALSE(opt.async_windows);
+  ASSERT_TRUE(parse_args({"serve", "--async-windows", "on"}, opt, error)) << error;
+  EXPECT_TRUE(opt.async_windows);
+  EXPECT_FALSE(parse_args({"serve", "--async-windows", "maybe"}, opt, error));
+  EXPECT_NE(error.find("--async-windows"), std::string::npos) << error;
+
+  ASSERT_TRUE(parse_args({"serve", "--job-threads", "4"}, opt, error)) << error;
+  EXPECT_EQ(opt.job_threads, 4u);
+  EXPECT_FALSE(parse_args({"serve", "--job-threads", "65"}, opt, error));
+  EXPECT_FALSE(parse_args({"serve", "--job-threads", "two"}, opt, error));
 }
 
 TEST(CliParse, StrictNumericHelpers) {
@@ -817,6 +835,214 @@ TEST(StreamingDriver, HistoryAndWindowsIdenticalAcrossThreadCounts) {
   }
 }
 
+// ---- async window pipeline vs sync (oracle) ----------------------------
+
+TEST(WindowSummarySequencer, ReleasesContiguousRunsInOrder) {
+  serve::WindowSummarySequencer seq;
+  EXPECT_TRUE(seq.push(1, "b").empty()) << "gap at 0 must buffer";
+  EXPECT_TRUE(seq.push(3, "d").empty());
+  EXPECT_EQ(seq.buffered(), 2u);
+  // Index 0 arrives: 0 and the buffered 1 release together; 3 still waits.
+  const auto run = seq.push(0, "a");
+  ASSERT_EQ(run.size(), 2u);
+  EXPECT_EQ(run[0], "a");
+  EXPECT_EQ(run[1], "b");
+  EXPECT_EQ(seq.next_index(), 2u);
+  const auto rest = seq.push(2, "c");
+  ASSERT_EQ(rest.size(), 2u);
+  EXPECT_EQ(rest[0], "c");
+  EXPECT_EQ(rest[1], "d");
+  EXPECT_EQ(seq.buffered(), 0u);
+  // Duplicates of already-released indices are dropped (checkpoint replay
+  // overlap), and reset() re-bases after a restore.
+  EXPECT_TRUE(seq.push(1, "stale").empty());
+  EXPECT_EQ(seq.next_index(), 4u);
+  seq.reset(7);
+  EXPECT_EQ(seq.next_index(), 7u);
+  ASSERT_EQ(seq.push(7, "h").size(), 1u);
+}
+
+struct StreamRun {
+  std::vector<std::string> windows;  ///< rendered with metric deltas
+  std::string history;
+};
+
+/// Runs the full record stream through a fresh pipeline + driver pair and
+/// returns the rendered windows + telemetry history.  `jobs_threads` < 0
+/// selects sync mode; >= 0 selects async mode with that many job-system
+/// workers (0 = everything runs inline at the quiesce barriers).
+StreamRun run_stream(const std::vector<QueryRecord>& records,
+                     analysis::StreamingConfig sc, int jobs_threads) {
+  Dbs dbs;
+  const CategoryResolver resolver;
+  analysis::WindowedPipelineConfig pc = pipeline_config();
+  sc.async_windows = jobs_threads >= 0;
+  if (sc.async_windows) {
+    pc.jobs = std::make_shared<util::JobSystem>(util::JobSystemConfig{
+        .threads = static_cast<std::size_t>(jobs_threads), .metric_prefix = {}});
+  }
+  analysis::WindowedPipeline pipeline(pc, dbs.as_db, dbs.geo_db, resolver);
+  pipeline.set_labels(make_labels());
+  analysis::StreamingWindowDriver driver(sc, pipeline, dbs.as_db, dbs.geo_db, resolver);
+  for (const QueryRecord& r : records) driver.offer(r);
+  driver.flush();
+  return StreamRun{render_all(pipeline, /*with_metrics=*/true), driver.history_json()};
+}
+
+TEST(AsyncWindows, TumblingMatchesSyncByteIdentically) {
+  // The byte-identity contract of --async-windows: rendered windows
+  // (features, classes, deterministic metric deltas) and the HISTORY ring
+  // must equal the sync run's bytes for every worker count.
+  std::vector<QueryRecord> records;
+  for (const std::int64_t w : {0, 1, 3}) append_block(records, w * 600);
+  analysis::StreamingConfig sc;
+  sc.window = SimTime::seconds(600);
+
+  const StreamRun expect = run_stream(records, sc, /*jobs_threads=*/-1);
+  ASSERT_EQ(expect.windows.size(), 4u);
+  for (const int threads : {0, 1, 2, 4}) {
+    const StreamRun got = run_stream(records, sc, threads);
+    ASSERT_EQ(got.windows.size(), expect.windows.size()) << "threads=" << threads;
+    for (std::size_t i = 0; i < expect.windows.size(); ++i) {
+      EXPECT_EQ(got.windows[i], expect.windows[i])
+          << "window " << i << " diverged from sync at jobs threads=" << threads;
+    }
+    EXPECT_EQ(got.history, expect.history)
+        << "HISTORY diverged from sync at jobs threads=" << threads;
+  }
+}
+
+TEST(AsyncWindows, HoppingMatchesSyncByteIdentically) {
+  // Overlapping windows close in bursts (several ends can pass in one
+  // offer), so multiple close jobs queue up back-to-back — the serial
+  // close queue must still reproduce the sync bytes.
+  std::vector<QueryRecord> records;
+  for (const std::int64_t w : {0, 1, 3}) append_block(records, w * 600);
+  analysis::StreamingConfig sc;
+  sc.window = SimTime::seconds(600);
+  sc.hop = SimTime::seconds(300);
+
+  const StreamRun expect = run_stream(records, sc, /*jobs_threads=*/-1);
+  ASSERT_EQ(expect.windows.size(), 7u);
+  for (const int threads : {1, 2, 4}) {
+    const StreamRun got = run_stream(records, sc, threads);
+    ASSERT_EQ(got.windows.size(), expect.windows.size()) << "threads=" << threads;
+    for (std::size_t i = 0; i < expect.windows.size(); ++i) {
+      EXPECT_EQ(got.windows[i], expect.windows[i])
+          << "window " << i << " diverged from sync at jobs threads=" << threads;
+    }
+    EXPECT_EQ(got.history, expect.history)
+        << "HISTORY diverged from sync at jobs threads=" << threads;
+  }
+}
+
+TEST(AsyncWindows, MidCloseCheckpointContinuesInEitherMode) {
+  // CHECKPOINT while an async close is in flight: save() quiesces, so the
+  // snapshot is slot-exact, and the checkpoint restores into EITHER mode
+  // (async_windows is an execution strategy, not part of the stream's
+  // identity) with byte-identical continuation.
+  Dbs dbs;
+  const CategoryResolver resolver;
+  analysis::StreamingConfig sc;
+  sc.window = SimTime::seconds(600);
+
+  std::vector<QueryRecord> records;
+  for (const std::int64_t w : {0, 1, 2, 3}) append_block(records, w * 600);
+  // Split right after the offer that seals window 1: its close job is
+  // still in flight (or queued) when save() runs.
+  std::size_t split = 0;
+  while (split < records.size() && records[split].time.secs() < 1200) ++split;
+  ++split;  // include the boundary-crossing record itself
+  ASSERT_LT(split, records.size());
+
+  const StreamRun expect = run_stream(records, sc, /*jobs_threads=*/-1);
+  ASSERT_EQ(expect.windows.size(), 4u);
+
+  // Async run, killed right behind the window-1 boundary.
+  std::string checkpoint;
+  std::vector<std::string> prefix;
+  {
+    analysis::WindowedPipelineConfig pc = pipeline_config();
+    pc.jobs = std::make_shared<util::JobSystem>(
+        util::JobSystemConfig{.threads = 2, .metric_prefix = {}});
+    analysis::StreamingConfig async_sc = sc;
+    async_sc.async_windows = true;
+    analysis::WindowedPipeline pipeline(pc, dbs.as_db, dbs.geo_db, resolver);
+    pipeline.set_labels(make_labels());
+    analysis::StreamingWindowDriver driver(async_sc, pipeline, dbs.as_db, dbs.geo_db,
+                                           resolver);
+    for (std::size_t i = 0; i < split; ++i) driver.offer(records[i]);
+    EXPECT_EQ(driver.windows_closed(), 2u);
+    std::stringstream out;
+    ASSERT_TRUE(driver.save(out));
+    checkpoint = out.str();
+    prefix = render_all(pipeline, /*with_metrics=*/true);
+  }
+  ASSERT_EQ(prefix.size(), 2u);
+
+  // Continue the stream in each mode from the same checkpoint bytes.
+  for (const bool resume_async : {false, true}) {
+    analysis::WindowedPipelineConfig pc = pipeline_config();
+    analysis::StreamingConfig resume_sc = sc;
+    resume_sc.async_windows = resume_async;
+    if (resume_async) {
+      pc.jobs = std::make_shared<util::JobSystem>(
+          util::JobSystemConfig{.threads = 2, .metric_prefix = {}});
+    }
+    analysis::WindowedPipeline pipeline(pc, dbs.as_db, dbs.geo_db, resolver);
+    pipeline.set_labels(make_labels());
+    analysis::StreamingWindowDriver driver(resume_sc, pipeline, dbs.as_db, dbs.geo_db,
+                                           resolver);
+    std::istringstream in(checkpoint);
+    ASSERT_TRUE(driver.restore(in)) << "resume_async=" << resume_async;
+    EXPECT_EQ(driver.windows_closed(), 2u);
+    for (std::size_t i = split; i < records.size(); ++i) driver.offer(records[i]);
+    driver.flush();
+
+    std::vector<std::string> got = prefix;
+    for (std::string& s : render_all(pipeline, /*with_metrics=*/true)) {
+      got.push_back(std::move(s));
+    }
+    ASSERT_EQ(got.size(), expect.windows.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i], expect.windows[i])
+          << "window " << i << " diverged (resume_async=" << resume_async << ")";
+    }
+    EXPECT_EQ(driver.history_json(), expect.history)
+        << "resume_async=" << resume_async;
+  }
+}
+
+TEST(AsyncWindows, CloseErrorSurfacesAtQuiesceNotInOffer) {
+  // An error thrown by close-side work must not crash the drive thread
+  // mid-offer; it surfaces at the next barrier and the driver stays
+  // usable afterwards.
+  Dbs dbs;
+  const CategoryResolver resolver;
+  analysis::WindowedPipelineConfig pc = pipeline_config();
+  pc.jobs = std::make_shared<util::JobSystem>(
+      util::JobSystemConfig{.threads = 1, .metric_prefix = {}});
+  analysis::StreamingConfig sc;
+  sc.window = SimTime::seconds(100);
+  sc.async_windows = true;
+  analysis::WindowedPipeline pipeline(pc, dbs.as_db, dbs.geo_db, resolver);
+  analysis::StreamingWindowDriver driver(sc, pipeline, dbs.as_db, dbs.geo_db, resolver);
+  bool fail_once = true;
+  driver.set_window_close_callback(
+      [&fail_once](const analysis::WindowResult&, const labeling::WindowObservation&) {
+        if (fail_once) {
+          fail_once = false;
+          throw std::runtime_error("close callback failure");
+        }
+      });
+  driver.offer(rec(10, addr(10, 0, 0, 1), addr(192, 0, 2, 0)));
+  driver.offer(rec(150, addr(10, 0, 0, 2), addr(192, 0, 2, 0)));  // seals window 0
+  EXPECT_THROW(driver.quiesce(), std::runtime_error);
+  driver.offer(rec(250, addr(10, 0, 0, 3), addr(192, 0, 2, 0)));  // seals window 1
+  driver.flush();  // second close succeeds; error slot was consumed
+  EXPECT_EQ(driver.windows_closed(), 3u);
+}
+
 // ---- component state roundtrips ----------------------------------------
 
 TEST(StateRoundtrip, DeduplicatorContinuesIdentically) {
@@ -1083,6 +1309,96 @@ TEST(ServeDaemon, RestoreFromCheckpointResumesNumbering) {
   EXPECT_EQ(daemon.driver()->windows_closed(), 3u);
   EXPECT_EQ(daemon.pipeline()->results().back().index, 2u)
       << "window numbering must continue across the restart";
+}
+
+TEST(ServeDaemon, AsyncLoopbackSummariesMatchSyncByteForByte) {
+  // Full-daemon variant of the oracle: the same stamped replay through
+  // --async-windows on and off must leave byte-identical --windows-out
+  // files, and STATS must report the job-system queues.
+  Dbs dbs;
+  const CategoryResolver resolver;
+  const std::string dir = ::testing::TempDir();
+
+  const auto run_daemon = [&](bool async, const std::string& windows_out,
+                              std::string& stats_out) {
+    std::remove(windows_out.c_str());
+    serve::ServeConfig cfg;
+    cfg.tcp = true;
+    cfg.stamped = true;
+    cfg.streaming.window = SimTime::seconds(100);
+    cfg.streaming.async_windows = async;
+    cfg.pipeline = pipeline_config();
+    cfg.pipeline.sensor.min_queriers = 3;
+    cfg.windows_out = windows_out;
+
+    serve::ServeDaemon daemon(cfg, dbs.as_db, dbs.geo_db, resolver);
+    std::string error;
+    ASSERT_TRUE(daemon.start(error)) << error;
+    {
+      auto stream = net::TcpStream::connect("127.0.0.1", daemon.tcp_port());
+      ASSERT_TRUE(stream.has_value());
+      std::vector<std::uint8_t> wire;
+      for (int w = 0; w < 3; ++w) {
+        for (int o = 0; o < 3; ++o) {
+          for (int q = 0; q < 4; ++q) {
+            const auto message = dns::make_ptr_query_packet(
+                static_cast<std::uint16_t>((w * 16 + q) & 0xffff), addr(192, 0, 2, o));
+            const auto payload = stamped_payload(w * 100 + q, addr(10, 0, q, o), message);
+            wire.clear();
+            append_be16(wire, payload.size());
+            wire.insert(wire.end(), payload.begin(), payload.end());
+            ASSERT_TRUE(stream->write_all(wire.data(), wire.size()));
+          }
+        }
+      }
+    }
+    auto control = net::TcpStream::connect("127.0.0.1", daemon.status_port());
+    ASSERT_TRUE(control.has_value());
+    const auto command = [&control](const std::string& cmd) -> std::string {
+      const std::string line = cmd + "\n";
+      EXPECT_TRUE(control->write_all(line.data(), line.size()));
+      auto reply = control->read_line(30000, std::size_t{1} << 20);
+      EXPECT_TRUE(reply.has_value()) << cmd;
+      return reply.value_or("");
+    };
+    EXPECT_EQ(command("FLUSH"), "OK flushed");
+    stats_out = command("STATS");
+    EXPECT_EQ(command("SHUTDOWN"), "OK shutting down");
+    daemon.wait();
+    EXPECT_EQ(daemon.driver()->windows_closed(), 3u);
+  };
+
+  const std::string sync_out = dir + "serve_windows_sync.txt";
+  const std::string async_out = dir + "serve_windows_async.txt";
+  std::string sync_stats;
+  std::string async_stats;
+  run_daemon(/*async=*/false, sync_out, sync_stats);
+  run_daemon(/*async=*/true, async_out, async_stats);
+
+  const auto slurp = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << path;
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  };
+  const std::string sync_bytes = slurp(sync_out);
+  const std::string async_bytes = slurp(async_out);
+  EXPECT_FALSE(sync_bytes.empty());
+  EXPECT_EQ(async_bytes, sync_bytes)
+      << "--windows-out must be byte-identical across --async-windows modes";
+
+  // STATS reports every registered queue; "close" only exists in async.
+  for (const std::string* stats : {&sync_stats, &async_stats}) {
+    EXPECT_NE(stats->find("\"jobs\":["), std::string::npos) << *stats;
+    EXPECT_NE(stats->find("\"queue\":\"export\""), std::string::npos) << *stats;
+    EXPECT_NE(stats->find("\"queue\":\"train\""), std::string::npos) << *stats;
+  }
+  EXPECT_EQ(sync_stats.find("\"queue\":\"close\""), std::string::npos) << sync_stats;
+  EXPECT_NE(async_stats.find("\"queue\":\"close\""), std::string::npos) << async_stats;
+#if DNSBS_METRICS_ENABLED
+  EXPECT_NE(async_stats.find("dnsbs.serve.jobs.close.completed"), std::string::npos)
+      << "job queue metrics should ride the registry";
+#endif
 }
 
 // ---- HTTP scrape surface + HISTORY/TRACE verbs -------------------------

@@ -9,9 +9,11 @@
 #                              # + metrics-overhead gate (ON within 2% of OFF)
 #   METRICS=0 tools/check.sh   # -DDNSBS_METRICS=OFF no-op build + full suite
 #   SERVE=1 tools/check.sh     # daemon smoke: replay a generated log into
-#                              # dnsbs_cli serve twice — once uninterrupted,
-#                              # once checkpoint+kill+restore mid-stream —
-#                              # and require byte-identical window summaries
+#                              # dnsbs_cli serve three times — uninterrupted,
+#                              # --async-windows off, and checkpoint+kill+
+#                              # restore mid-stream — and require
+#                              # byte-identical window summaries across all
+#                              # three
 #   FEDERATION=1 tools/check.sh  # federation smoke: 4 export-state shards
 #                              # folded by `merge` must match single-sensor
 #                              # `analyze` byte-for-byte (exact and sketch
@@ -27,10 +29,11 @@
 #   BUILD_DIR  build tree (default: <repo>/build-asan, build-tsan, build-perf)
 #   TSAN=1     swap address,undefined for thread (the two are exclusive)
 #   PERF=1     skip sanitizers: Release build, run bench_perf_pipeline (the
-#              end-to-end and --features scenarios) and bench_ml against the
-#              committed BENCH_perf.json / BENCH_perf_features.json /
-#              BENCH_ml.json baselines and fail on a >10% throughput
-#              regression on any axis; then build with
+#              end-to-end, --features, --merge and --stream scenarios) and
+#              bench_ml against the committed BENCH_perf.json /
+#              BENCH_perf_features.json / BENCH_perf_merge.json /
+#              BENCH_perf_stream.json / BENCH_ml.json baselines and fail on
+#              a >10% throughput regression on any axis; then build with
 #              -DDNSBS_METRICS=OFF and fail if the instrumented build's
 #              end-to-end throughput is <98% of the no-op build's
 #   METRICS=0  build with -DDNSBS_METRICS=OFF (metrics layer compiled to
@@ -65,6 +68,13 @@ if [[ "${PERF:-0}" == "1" ]]; then
   # is also a hard floor inside the bench itself).
   "$BUILD/bench/bench_perf_pipeline" --merge --repeat 3 \
     --check "$ROOT/BENCH_perf_merge.json" "$@"
+  # Async-window-pipeline gate: streaming-driver intake throughput (whole
+  # stream + boundary region) sync vs async against BENCH_perf_stream.json;
+  # the >=2x async boundary-speedup acceptance floor and the sync/async
+  # per-window metric byte-identity check are hard failures inside the
+  # bench itself.
+  "$BUILD/bench/bench_perf_pipeline" --stream --repeat 3 \
+    --check "$ROOT/BENCH_perf_stream.json" "$@"
 
   # Metrics-overhead gate: the instrumented build must stay within 2% of a
   # -DDNSBS_METRICS=OFF no-op build on the end-to-end axis (the budget in
@@ -151,6 +161,13 @@ if [[ "${SERVE:-0}" == "1" ]]; then
   ctl_get history > "$WORK/history_a.json"
   ctl shutdown; wait "$DAEMON_PID"
 
+  echo "serve smoke: run C (--async-windows off: sync close path)"
+  start_daemon "$WORK/windows_c.txt" --async-windows off
+  "$CLI" sendlog --log "$WORK/query.log" --to "127.0.0.1:$TCP_PORT" --tcp
+  ctl flush
+  ctl_get history > "$WORK/history_c.json"
+  ctl shutdown; wait "$DAEMON_PID"
+
   echo "serve smoke: run B (checkpoint + restart mid-stream)"
   start_daemon "$WORK/windows_b.txt"
   "$CLI" sendlog --log "$WORK/first.log" --to "127.0.0.1:$TCP_PORT" --tcp
@@ -166,6 +183,18 @@ if [[ "${SERVE:-0}" == "1" ]]; then
 
   diff "$WORK/windows_a.txt" "$WORK/windows_b.txt" || {
     echo "serve smoke FAILED: restarted run diverged from uninterrupted run"
+    exit 1
+  }
+  # The async window pipeline is an execution strategy, not an output
+  # change: the same replay with --async-windows off must produce the
+  # byte-identical summary file and (sched stripped) HISTORY.
+  diff "$WORK/windows_a.txt" "$WORK/windows_c.txt" || {
+    echo "serve smoke FAILED: --async-windows off diverged from async run"
+    exit 1
+  }
+  diff <(strip_sched < "$WORK/history_a.json") \
+       <(strip_sched < "$WORK/history_c.json") || {
+    echo "serve smoke FAILED: sync-mode HISTORY diverged from async run"
     exit 1
   }
   # The checkpoint carries the telemetry ring at full fidelity: a restored

@@ -42,6 +42,11 @@ struct Options {
   std::string windows_out;
   std::string ready_file;
   std::uint64_t history_cap = 256;  ///< per-window telemetry ring (0 = off)
+  /// Async window pipeline: close/train/export on the job system instead
+  /// of inline on the drive thread.  Output is byte-identical either way;
+  /// "off" is the debugging fallback that keeps everything single-threaded.
+  bool async_windows = true;
+  std::uint64_t job_threads = 2;    ///< job-system workers (serve)
 
   // sendlog / ctl
   std::string to;                   ///< "host:port" target
@@ -141,6 +146,21 @@ inline bool parse(int argc, char* const* argv, Options& opt, std::string& error)
       ok = util::parse_i64(value, opt.checkpoint_every_secs, &why);
     } else if (flag == "--windows-out") {
       opt.windows_out = value;
+    } else if (flag == "--async-windows") {
+      if (value == "on") {
+        opt.async_windows = true;
+      } else if (value == "off") {
+        opt.async_windows = false;
+      } else {
+        error = "flag --async-windows: want on or off, got '" + std::string(value) + "'";
+        return false;
+      }
+    } else if (flag == "--job-threads") {
+      ok = util::parse_u64(value, opt.job_threads, &why);
+      if (ok && opt.job_threads > 64) {
+        error = "flag --job-threads: want 0..64";
+        return false;
+      }
     } else if (flag == "--ready-file") {
       opt.ready_file = value;
     } else if (flag == "--to") {

@@ -19,6 +19,7 @@
 //                       [--stamped] [--window SECS] [--hop SECS] [--queue N]
 //                       [--checkpoint FILE] [--restore] [--checkpoint-every SECS]
 //                       [--windows-out FILE] [--ready-file FILE]
+//                       [--async-windows on|off] [--job-threads N]
 //       Long-running daemon: ingest DNS packets from UDP (and TCP with
 //       --tcp-port), window the stream, and answer STATS/CHECKPOINT/FLUSH/
 //       SHUTDOWN/PING on the status socket.  See DESIGN.md "Streaming
@@ -125,6 +126,10 @@ int usage() {
       "  --windows-out FILE  append a summary block per closed window\n"
       "  --ready-file FILE   write bound ports once listening\n"
       "  --history-cap N     per-window telemetry ring size (default 256, 0 = off)\n"
+      "  --async-windows on|off  run window close/export on the job system so\n"
+      "                      intake never stalls at a boundary (default on;\n"
+      "                      output is byte-identical in both modes)\n"
+      "  --job-threads N     job-system worker threads (default 2)\n"
       "sendlog/ctl:\n"
       "  --to HOST:PORT      target daemon\n"
       "  --tcp               (sendlog) stream frames over TCP instead of UDP\n"
@@ -523,6 +528,8 @@ int cmd_serve(const cli::Options& opt) {
   cfg.queue_capacity = opt.queue_capacity;
   cfg.streaming.window = util::SimTime::seconds(opt.window_secs);
   cfg.streaming.hop = util::SimTime::seconds(opt.hop_secs);
+  cfg.streaming.async_windows = opt.async_windows;
+  cfg.job_threads = static_cast<std::size_t>(opt.job_threads);
   cfg.pipeline.sensor = sensor_config_for(opt);
   cfg.pipeline.seed = opt.seed;
   // Summaries are written at window close; no need to hold history forever.
